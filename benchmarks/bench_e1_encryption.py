@@ -1,0 +1,73 @@
+"""E1 -- Figure 1: the encryption procedure.
+
+Reproduces the paper's worked example exactly (g=2, n=35, column key
+<2,2> -> item keys 8/32/32, encrypted values 9/22/34) and measures bulk
+column encryption/decryption throughput at paper-scale key sizes.
+"""
+
+import pytest
+
+from repro.bench.harness import ResultTable, time_call
+from repro.crypto import secret_sharing as ss
+from repro.crypto.keys import ColumnKey, SystemKeys
+from repro.crypto.prf import seeded_rng
+
+ROWS = 2000
+
+
+def test_figure1_worked_example():
+    keys = SystemKeys(n=35, g=2, rho1=5, rho2=7, phi=24, value_bits=3)
+    ck = ColumnKey(m=2, x=2)
+    table = ResultTable(
+        "Figure 1: encryption procedure (g=2, n=35, ck_A=<2,2>)",
+        ["row-id r", "value v", "item key vk", "encrypted ve"],
+    )
+    for r, v in [(1, 2), (2, 4), (8, 3)]:
+        vk = ss.item_key(keys, r, ck)
+        ve = ss.encrypt_value(keys, v, vk)
+        assert ss.decrypt_value(keys, ve, vk) == v
+        table.add(r, v, vk, ve)
+    table.emit()
+    assert [row[2] for row in table.rows] == [8, 32, 32]
+    assert [row[3] for row in table.rows] == [9, 22, 34]
+
+
+def _encrypt_column(keys, rng):
+    ck = keys.random_column_key(rng)
+    row_ids = [keys.random_row_id(rng) for _ in range(ROWS)]
+    values = [rng.randrange(1, 2**40) for _ in range(ROWS)]
+    shares = ss.encrypt_column(keys, values, row_ids, ck)
+    return ck, row_ids, values, shares
+
+
+@pytest.mark.parametrize("bits", [256, 1024, 2048])
+def test_bulk_encryption_throughput(benchmark, bits, request):
+    keys = request.getfixturevalue(f"bench_keys_{bits}")
+    rng = seeded_rng(bits)
+    ck = keys.random_column_key(rng)
+    row_ids = [keys.random_row_id(rng) for _ in range(ROWS)]
+    values = [rng.randrange(1, 2**40) for _ in range(ROWS)]
+    shares = benchmark(ss.encrypt_column, keys, values, row_ids, ck)
+    assert ss.decrypt_column(keys, shares, row_ids, ck) == values
+
+
+def test_encryption_summary_table(bench_keys_256, bench_keys_1024, bench_keys_2048):
+    table = ResultTable(
+        "E1: column encryption/decryption throughput "
+        f"({ROWS} rows, DO-side)",
+        ["modulus bits", "encrypt rows/s", "decrypt rows/s", "share bytes/value"],
+    )
+    for keys in (bench_keys_256, bench_keys_1024, bench_keys_2048):
+        rng = seeded_rng(keys.n)
+        ck, row_ids, values, shares = _encrypt_column(keys, rng)
+        enc_s, _ = time_call(ss.encrypt_column, keys, values, row_ids, ck, repeat=1)
+        dec_s, back = time_call(ss.decrypt_column, keys, shares, row_ids, ck, repeat=1)
+        assert back == [v % keys.n for v in values]
+        table.add(
+            keys.n.bit_length(),
+            int(ROWS / enc_s),
+            int(ROWS / dec_s),
+            keys.n.bit_length() // 8,
+        )
+    table.note("DO stores one column key per column; the SP stores the shares")
+    table.emit()

@@ -1,0 +1,73 @@
+"""E2 -- Demo step 2 / Figure 3: client vs server cost breakdown.
+
+The demo invites attendees to note that the client cost (parse + rewrite +
+decrypt) is subtle compared with the total.  This bench reports the split
+for every TPC-H query and benchmarks representative queries end to end.
+"""
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.workloads.tpch.queries import QUERIES
+
+
+def test_cost_breakdown_all_queries(tpch):
+    proxy, _, _ = tpch
+    table = ResultTable(
+        "E2: per-query cost breakdown (client = parse+rewrite+decrypt)",
+        ["query", "client ms", "server ms", "client %", "rows"],
+    )
+    fractions = []
+    for number in range(1, 23):
+        result = proxy.query(QUERIES[number])
+        cost = result.cost
+        fractions.append(cost.client_fraction)
+        table.add(
+            f"Q{number}",
+            cost.client_s * 1000,
+            cost.server_s * 1000,
+            round(100 * cost.client_fraction, 1),
+            result.table.num_rows,
+        )
+    table.note("paper claim: client cost is subtle vs total (server dominates)")
+    table.emit()
+    # the demo's claim, on the median query
+    fractions.sort()
+    assert fractions[len(fractions) // 2] < 0.5
+
+
+def test_overhead_vs_plaintext(tpch):
+    """Per-query encrypted/plain ratio (the SIGMOD'14 headline figure).
+
+    Absolute ratios depend on the substrate (bignum UDFs in pure Python vs
+    native column scans); the shape that must hold is that every query
+    *completes* encrypted and the overhead stays within a bounded factor,
+    not that it matches the authors' Spark cluster.
+    """
+    import time
+
+    proxy, plain, _ = tpch
+    table = ResultTable(
+        "E2b: encrypted vs plaintext execution per TPC-H query",
+        ["query", "plain ms", "sdb ms", "ratio"],
+    )
+    ratios = []
+    for number in range(1, 23):
+        t0 = time.perf_counter()
+        plain.execute(QUERIES[number])
+        plain_s = time.perf_counter() - t0
+        result = proxy.query(QUERIES[number])
+        sdb_s = result.cost.total_s
+        ratio = sdb_s / plain_s if plain_s else float("inf")
+        ratios.append(ratio)
+        table.add(f"Q{number}", plain_s * 1000, sdb_s * 1000, round(ratio, 1))
+    table.note("22/22 queries complete encrypted; ratio is substrate-dependent")
+    table.emit()
+    assert len(ratios) == 22
+
+
+@pytest.mark.parametrize("number", [1, 3, 6, 18])
+def test_query_end_to_end(benchmark, tpch, number):
+    proxy, _, _ = tpch
+    result = benchmark(proxy.query, QUERIES[number])
+    assert result.table.num_columns > 0

@@ -1,0 +1,158 @@
+"""E4 -- Section 2.2: secure operator microbenchmarks.
+
+The paper's multiplication protocol is a single modular multiplication per
+row; key update is one modular exponentiation.  This bench measures every
+SDB operator against the plaintext operation and against the specialized-
+encryption alternatives (Paillier HOM addition, OPE encryption), at
+paper-scale 2048-bit moduli.
+
+Expected shape: sdb_mul within a small factor of a bignum multiply and
+orders of magnitude cheaper than Paillier encryption; all SDB outputs stay
+in one encrypted space (composable), unlike the baselines.
+"""
+
+import pytest
+
+from repro.baselines.ope import OPECipher, OPEKey
+from repro.baselines.paillier import paillier_keygen
+from repro.bench.harness import ResultTable, time_call
+from repro.core import udfs
+from repro.crypto import keyops
+from repro.crypto import secret_sharing as ss
+from repro.crypto.keyops import KeyExpr
+from repro.crypto.prf import seeded_rng
+
+ROWS = 1000
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    keys = request.getfixturevalue("bench_keys_2048")
+    rng = seeded_rng(404)
+    ck_a = keys.random_column_key(rng)
+    ck_b = keys.random_column_key(rng)
+    aux = keyops.aux_column_key(keys, rng)
+    row_ids = [keys.random_row_id(rng) for _ in range(ROWS)]
+    values_a = [rng.randrange(1, 2**40) for _ in range(ROWS)]
+    values_b = [rng.randrange(1, 2**40) for _ in range(ROWS)]
+    a_shares = ss.encrypt_column(keys, values_a, row_ids, ck_a)
+    b_shares = ss.encrypt_column(keys, values_b, row_ids, ck_b)
+    s_shares = ss.encrypt_column(keys, [1] * ROWS, row_ids, aux)
+    return {
+        "keys": keys, "rng": rng, "ck_a": ck_a, "ck_b": ck_b, "aux": aux,
+        "row_ids": row_ids, "values_a": values_a, "values_b": values_b,
+        "a": a_shares, "b": b_shares, "s": s_shares,
+    }
+
+
+def _keyupdate_args(setup_data):
+    keys = setup_data["keys"]
+    current = KeyExpr.from_column_key(setup_data["ck_a"], "t")
+    target = KeyExpr.from_column_key(keys.random_column_key(setup_data["rng"]), "t")
+    params = keyops.key_update_params(
+        keys, current, target, {"t": setup_data["aux"]}
+    )
+    return params
+
+
+def test_sdb_mul(benchmark, setup):
+    keys, a, b = setup["keys"], setup["a"], setup["b"]
+    out = benchmark(
+        lambda: [udfs.sdb_mul(x, y, keys.n) for x, y in zip(a, b)]
+    )
+    assert len(out) == ROWS
+
+
+def test_sdb_add_aligned(benchmark, setup):
+    keys, a, b = setup["keys"], setup["a"], setup["b"]
+    out = benchmark(lambda: [udfs.sdb_add(x, y, keys.n) for x, y in zip(a, b)])
+    assert len(out) == ROWS
+
+
+def test_sdb_keyupdate(benchmark, setup):
+    keys, a, s = setup["keys"], setup["a"], setup["s"]
+    params = _keyupdate_args(setup)
+    (source, q), = params.q_by_source
+    out = benchmark(
+        lambda: [
+            udfs.sdb_keyupdate(x, params.p, keys.n, se, q)
+            for x, se in zip(a, s)
+        ]
+    )
+    assert len(out) == ROWS
+
+
+def test_plain_multiplication(benchmark, setup):
+    a, b = setup["values_a"], setup["values_b"]
+    benchmark(lambda: [x * y for x, y in zip(a, b)])
+
+
+def test_paillier_encrypt(benchmark, setup):
+    paillier = paillier_keygen(modulus_bits=2048, rng=seeded_rng(11))
+    values = setup["values_a"][:50]  # Paillier is slow; scale and report /row
+    rng = seeded_rng(12)
+    out = benchmark(lambda: [paillier.public.encrypt(v, rng) for v in values])
+    assert len(out) == 50
+
+
+def test_paillier_hom_add(benchmark, setup):
+    paillier = paillier_keygen(modulus_bits=2048, rng=seeded_rng(13))
+    rng = seeded_rng(14)
+    cts = [paillier.public.encrypt(v, rng) for v in setup["values_a"][:200]]
+    out = benchmark(
+        lambda: [paillier.public.add(x, y) for x, y in zip(cts, cts[1:])]
+    )
+    assert len(out) == 199
+
+
+def test_ope_encrypt(benchmark, setup):
+    ope = OPECipher(OPEKey(key=b"o" * 32, plaintext_bits=41))
+    values = setup["values_a"][:200]
+    out = benchmark(lambda: [ope.encrypt(v) for v in values])
+    assert len(out) == 200
+
+
+def test_operator_summary_table(setup):
+    keys = setup["keys"]
+    a, b, s = setup["a"], setup["b"], setup["s"]
+    params = _keyupdate_args(setup)
+    (source, q), = params.q_by_source
+    paillier = paillier_keygen(modulus_bits=2048, rng=seeded_rng(21))
+    prng = seeded_rng(22)
+    ope = OPECipher(OPEKey(key=b"o" * 32, plaintext_bits=41))
+
+    measurements = []
+    t, _ = time_call(lambda: [x * y for x, y in zip(setup["values_a"], setup["values_b"])], repeat=3)
+    measurements.append(("plaintext multiply", t / ROWS, "n/a"))
+    t, _ = time_call(lambda: [udfs.sdb_mul(x, y, keys.n) for x, y in zip(a, b)], repeat=3)
+    measurements.append(("sdb_mul (EE multiply)", t / ROWS, "share"))
+    t, _ = time_call(lambda: [udfs.sdb_add(x, y, keys.n) for x, y in zip(a, b)], repeat=3)
+    measurements.append(("sdb_add (aligned)", t / ROWS, "share"))
+    t, _ = time_call(
+        lambda: [udfs.sdb_keyupdate(x, params.p, keys.n, se, q) for x, se in zip(a, s)],
+        repeat=1,
+    )
+    measurements.append(("sdb_keyupdate", t / ROWS, "share"))
+    t, _ = time_call(lambda: [paillier.public.encrypt(v, prng) for v in setup["values_a"][:20]], repeat=1)
+    measurements.append(("Paillier encrypt", t / 20, "HOM only"))
+    cts = [paillier.public.encrypt(v, prng) for v in setup["values_a"][:50]]
+    t, _ = time_call(lambda: [paillier.public.add(x, y) for x, y in zip(cts, cts[1:])], repeat=3)
+    measurements.append(("Paillier HOM add", t / 49, "HOM only"))
+    t, _ = time_call(lambda: [ope.encrypt(v) for v in setup["values_a"][:100]], repeat=1)
+    measurements.append(("OPE encrypt", t / 100, "order only"))
+
+    table = ResultTable(
+        "E4: per-row operator cost, 2048-bit modulus",
+        ["operator", "us/row", "output space"],
+    )
+    for name, seconds, space in measurements:
+        table.add(name, round(seconds * 1e6, 2), space)
+    table.note("SDB outputs all live in the share space (composable); "
+               "HOM/OPE outputs cannot feed other operators")
+    table.emit()
+
+    by_name = {name: seconds for name, seconds, _ in measurements}
+    # shape: sdb_mul is vastly cheaper than Paillier encryption, and
+    # keyupdate (one modexp) is the expensive SDB operator
+    assert by_name["sdb_mul (EE multiply)"] < by_name["Paillier encrypt"] / 10
+    assert by_name["sdb_keyupdate"] > by_name["sdb_mul (EE multiply)"]

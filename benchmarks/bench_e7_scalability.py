@@ -1,0 +1,63 @@
+"""E7 -- Section 2.2: the new architecture pushes computation to the engine.
+
+Server time should grow with data size while client time (parse + rewrite
++ decrypt of the small result) stays flat -- the benefit of the UDF
+architecture over the original standalone-engine SDB the paper describes.
+"""
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.crypto.prf import seeded_rng
+from repro.workloads.tpch.loader import tpch_deployment
+from repro.workloads.tpch.queries import QUERIES
+
+SCALES = (0.0002, 0.0004, 0.0008)
+
+#: aggregation-heavy queries whose result stays small as data grows
+REPRESENTATIVE = {1: "Q1 (scan+agg)", 6: "Q6 (filter+agg)", 3: "Q3 (join+agg)"}
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    out = {}
+    for sf in SCALES:
+        out[sf] = tpch_deployment(scale_factor=sf, proxy_rng=seeded_rng(1000))
+    return out
+
+
+def test_scalability_table(deployments):
+    table = ResultTable(
+        "E7: server vs client time as data grows",
+        ["query", "scale", "lineitem rows", "server ms", "client ms"],
+    )
+    client_ranges = {}
+    server_growth = {}
+    for number, label in REPRESENTATIVE.items():
+        for sf in SCALES:
+            proxy, _, data = deployments[sf]
+            result = proxy.query(QUERIES[number])
+            table.add(
+                label, sf, len(data["lineitem"]),
+                round(result.cost.server_s * 1000, 1),
+                round(result.cost.client_s * 1000, 1),
+            )
+            client_ranges.setdefault(number, []).append(result.cost.client_s)
+            server_growth.setdefault(number, []).append(result.cost.server_s)
+    table.note("server time grows ~linearly in rows; client time stays flat")
+    table.emit()
+
+    for number in REPRESENTATIVE:
+        servers = server_growth[number]
+        # 4x data -> server work clearly grows
+        assert servers[-1] > servers[0] * 1.5
+        clients = client_ranges[number]
+        # client side does not scale with base data (same result size)
+        assert max(clients) < max(servers[-1], 0.05)
+
+
+@pytest.mark.parametrize("sf", SCALES)
+def test_q6_at_scale(benchmark, deployments, sf):
+    proxy, _, _ = deployments[sf]
+    result = benchmark(proxy.query, QUERIES[6])
+    assert result.table.num_rows == 1

@@ -1,0 +1,114 @@
+"""E9 -- Architecture claim: parallel execution and fault tolerance.
+
+Section 2.2: the new architecture "enjoys all the benefits such as
+fault-tolerance, parallel-execution, and scalability provided by the
+underlying Spark SQL engine".  Our stand-in engine implements partition-
+parallel partial aggregation with task retry; this bench shows
+
+* eligible encrypted queries run partition-parallel and produce the same
+  answers (correctness is in tests/engine/test_parallel.py),
+* injected task failures are absorbed by retry at bounded overhead,
+* the partial/merge plan touches each partition independently (the
+  scalability mechanism; wall-clock speedup depends on the GIL, so the
+  bench reports plan shape and per-partition work, not a speedup claim).
+"""
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.engine.parallel import FaultInjector, TaskScheduler
+
+ROWS = 2000
+SQL = "SELECT region, SUM(amount) AS total FROM pay GROUP BY region"
+
+
+def _rows():
+    regions = ["east", "west", "north", "south"]
+    return [
+        (i, regions[i % 4], float((i * 37) % 500) + 0.25) for i in range(ROWS)
+    ]
+
+
+def _deployment(partitions: int, scheduler=None):
+    server = SDBServer(parallel_partitions=partitions)
+    if scheduler is not None:
+        server.engine.scheduler = scheduler
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(41))
+    proxy.create_table(
+        "pay",
+        [("id", ValueType.int_()), ("region", ValueType.string(8)),
+         ("amount", ValueType.decimal(2))],
+        _rows(),
+        sensitive=["amount"],
+        rng=seeded_rng(42),
+    )
+    return server, proxy
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    _, proxy = _deployment(partitions=0)
+    result = proxy.query(SQL)
+    return {row[0]: row[1] for row in result.table.rows()}
+
+
+def test_parallel_plan_report(serial_result):
+    table = ResultTable(
+        "E9: partition-parallel encrypted aggregation",
+        ["partitions", "plan", "tasks", "attempts", "matches serial"],
+    )
+    for partitions in (2, 4, 8):
+        server, proxy = _deployment(partitions)
+        result = proxy.query(SQL)
+        got = {row[0]: row[1] for row in result.table.rows()}
+        matches = all(
+            abs(got[k] - v) < 1e-6 for k, v in serial_result.items()
+        ) and len(got) == len(serial_result)
+        stats = server.engine.scheduler.stats
+        plan = server.engine.last_plan
+        table.add(partitions, plan.reason, stats.tasks, stats.attempts, matches)
+        assert plan.mode == "parallel"
+        assert plan.partitions == partitions
+        assert matches
+    table.note("encrypted SUM merges because partial share-sums stay in the ring")
+    table.emit()
+
+
+def test_fault_tolerance_report(serial_result):
+    table = ResultTable(
+        "E9b: task failures absorbed by retry",
+        ["injected failures", "retries", "lost queries", "matches serial"],
+    )
+    for failures in (0, 1, 3):
+        injector = FaultInjector(
+            {("partial", p): 1 for p in range(failures)}
+        )
+        scheduler = TaskScheduler(max_attempts=3, fault_injector=injector)
+        server, proxy = _deployment(4, scheduler=scheduler)
+        result = proxy.query(SQL)
+        got = {row[0]: row[1] for row in result.table.rows()}
+        matches = all(
+            abs(got[k] - v) < 1e-6 for k, v in serial_result.items()
+        )
+        table.add(failures, scheduler.stats.retries, scheduler.stats.failures,
+                  matches)
+        assert scheduler.stats.retries == failures
+        assert scheduler.stats.failures == 0
+        assert matches
+    table.note("a lost task is re-run, not a lost query (Spark's recovery model)")
+    table.emit()
+
+
+def test_parallel_query_speed(benchmark):
+    server, proxy = _deployment(4)
+    benchmark(proxy.query, SQL)
+    assert server.engine.last_plan.mode == "parallel"
+
+
+def test_serial_query_speed(benchmark):
+    _, proxy = _deployment(0)
+    benchmark(proxy.query, SQL)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the experiment benches.
+
+Sizes are chosen so the full bench suite finishes in minutes on a laptop
+while still showing the paper's shapes; every fixture is seeded so runs
+are reproducible.
+"""
+
+import pytest
+
+from repro.crypto.keys import generate_system_keys
+from repro.crypto.prf import seeded_rng
+from repro.workloads.tpch.loader import tpch_deployment
+
+#: scale factor used by the query-level experiments
+BENCH_SF = 0.0004
+
+
+@pytest.fixture(scope="session")
+def bench_keys_256():
+    return generate_system_keys(modulus_bits=256, value_bits=64, rng=seeded_rng(1))
+
+
+@pytest.fixture(scope="session")
+def bench_keys_1024():
+    return generate_system_keys(modulus_bits=1024, value_bits=64, rng=seeded_rng(2))
+
+
+@pytest.fixture(scope="session")
+def bench_keys_2048():
+    """Paper-scale key material (two 1024-bit primes)."""
+    return generate_system_keys(modulus_bits=2048, value_bits=64, rng=seeded_rng(3))
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    """(proxy, plain_engine, data) at the bench scale factor."""
+    return tpch_deployment(scale_factor=BENCH_SF, proxy_rng=seeded_rng(99))

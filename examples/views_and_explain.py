@@ -1,0 +1,83 @@
+"""Application-developer ergonomics: views, EXPLAIN, transactions.
+
+SDB's proxy is the only component an application talks to.  This example
+shows the surface a developer actually uses day to day: named views that
+hide the encryption entirely, EXPLAIN dry-runs that show what the SP will
+see (and what it learns), and transactions wrapping multi-statement
+changes.
+
+Run:  python examples/views_and_explain.py
+"""
+
+import datetime
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+
+def main() -> None:
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(33))
+    proxy.create_table(
+        "trades",
+        [
+            ("tid", ValueType.int_()),
+            ("desk", ValueType.string(8)),
+            ("qty", ValueType.int_()),
+            ("price", ValueType.decimal(2)),
+            ("tday", ValueType.date()),
+        ],
+        [
+            (1, "rates", 100, 99.50, datetime.date(2024, 3, 1)),
+            (2, "fx", 250, 1.25, datetime.date(2024, 3, 1)),
+            (3, "rates", -50, 98.75, datetime.date(2024, 3, 2)),
+            (4, "credit", 75, 101.10, datetime.date(2024, 3, 2)),
+            (5, "fx", -120, 1.30, datetime.date(2024, 3, 3)),
+        ],
+        sensitive=["qty", "price"],
+        rng=seeded_rng(34),
+    )
+
+    # -- views hide both schema detail and the encryption --------------------
+    proxy.create_view(
+        "exposure",
+        "SELECT desk, qty * price AS notional, tday FROM trades",
+    )
+    proxy.create_view(
+        "desk_totals",
+        "SELECT desk, SUM(notional) AS total FROM exposure GROUP BY desk",
+    )
+    result = proxy.query("SELECT desk, total FROM desk_totals ORDER BY desk")
+    print("desk totals through two stacked views:")
+    print(result.table.pretty())
+
+    # -- EXPLAIN: what will the SP see and learn? ------------------------------
+    report = proxy.explain(
+        "SELECT desk, SUM(notional) AS total FROM exposure "
+        "WHERE notional > 1000 GROUP BY desk"
+    )
+    print("\nEXPLAIN (dry run, no SP contact):")
+    print(report.pretty())
+
+    # -- transactions wrap multi-statement changes ------------------------------
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE trades SET qty = qty * 2 WHERE desk = 'fx'")
+    proxy.execute("INSERT INTO trades (tid, desk, qty, price, tday) "
+                  "VALUES (6, 'fx', 10, 1.28, DATE '2024-03-04')")
+    proxy.execute("COMMIT")
+    after = proxy.query(
+        "SELECT SUM(qty) AS q FROM trades WHERE desk = 'fx'"
+    )
+    print(f"\nfx desk quantity after committed rebalance: "
+          f"{after.table.column('q')[0]}")
+
+    # the view reflects the new data automatically (it is just SQL)
+    result = proxy.query("SELECT desk, total FROM desk_totals ORDER BY desk")
+    print("\ndesk totals after the transaction:")
+    print(result.table.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without network access.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e . --no-build-isolation --no-use-pep517``
+works on machines that cannot download the ``wheel`` package (PEP 517
+editable installs require it; the legacy ``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""SDB: secure query processing with data interoperability (PVLDB'15).
+
+Reproduction of He, Wong, Kao, Cheung, Li, Yiu, Lo, *"SDB: A Secure Query
+Processing System with Data Interoperability"*, PVLDB 8(12), 2015.
+
+The two objects an application needs::
+
+    from repro import SDBProxy, SDBServer, ValueType
+
+    server = SDBServer()                  # the untrusted service provider
+    proxy = SDBProxy(server)              # the data owner's gateway
+    proxy.create_table("t", [("a", ValueType.int_())], [(1,), (2,)],
+                       sensitive=["a"])
+    result = proxy.query("SELECT SUM(a) AS s FROM t")
+
+Subpackages: :mod:`repro.crypto` (the secret-sharing scheme),
+:mod:`repro.core` (proxy/server/rewriter/UDFs), :mod:`repro.engine` (the
+SP's relational engine), :mod:`repro.sql` (parser), :mod:`repro.net`
+(TCP deployment), :mod:`repro.storage` (persistence), :mod:`repro.workloads`
+(TPC-H), :mod:`repro.baselines` (CryptDB/MONOMI-style comparators),
+:mod:`repro.cli` (tools).
+"""
+
+from repro.core.meta import SensitivityProfile, ValueType
+from repro.core.proxy import DMLResult, QueryResult, SDBProxy
+from repro.core.server import SDBServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SDBProxy",
+    "SDBServer",
+    "QueryResult",
+    "DMLResult",
+    "ValueType",
+    "SensitivityProfile",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Comparison systems the paper positions SDB against.
+
+* :mod:`repro.baselines.paillier` -- the Paillier cryptosystem (CryptDB /
+  MONOMI's additively homomorphic HOM onion layer).
+* :mod:`repro.baselines.ope` -- an order-preserving encoding (the OPE
+  layer), implemented as a keyed monotone mapping.
+* :mod:`repro.baselines.onion` -- RND/DET/OPE/HOM onion columns in the
+  CryptDB style, with layer peeling.
+* :mod:`repro.baselines.cryptdb` -- a capability model deciding which
+  queries a specialized-encryption system supports *natively* (without DO
+  involvement or precomputation); reproduces the "4 of 22 TPC-H" claim.
+* :mod:`repro.baselines.monomi` -- MONOMI-style split client/server
+  planning: the server does what its encryption supports, the client
+  finishes the rest, and the planner reports how much work moved back to
+  the client.
+"""
+
+from repro.baselines.cryptdb import CryptDBCapabilityModel, QuerySupport
+from repro.baselines.monomi import MonomiPlanner
+from repro.baselines.ope import OPECipher
+from repro.baselines.paillier import PaillierKeypair, paillier_keygen
+
+__all__ = [
+    "PaillierKeypair",
+    "paillier_keygen",
+    "OPECipher",
+    "CryptDBCapabilityModel",
+    "QuerySupport",
+    "MonomiPlanner",
+]

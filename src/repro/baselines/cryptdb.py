@@ -1,0 +1,313 @@
+"""CryptDB capability model: which queries run *natively* on onions.
+
+The SDB paper's intro claim: "CryptDB can only support 4 out of 22 TPC-H
+queries without significantly involving the DO or extensive precomputation
+in query processing."  This module reproduces the analysis behind such a
+number: it walks a query and checks every operation touching an encrypted
+column against what the onion layers can actually evaluate server-side:
+
+* DET -- equality, IN, GROUP BY, equi-join, COUNT(DISTINCT);
+* OPE -- order predicates, ORDER BY, MIN/MAX, BETWEEN (base columns only);
+* HOM (Paillier) -- SUM and *linear* expressions (additions, plain-constant
+  multiples) of encrypted columns;
+* SEARCH -- single-word ``%word%`` LIKE patterns.
+
+The crucial rule is the one SDB is built to remove: onion outputs are not
+interoperable.  A HOM sum cannot feed an OPE comparison; an OPE minimum
+cannot feed a DET equality; a product of two encrypted columns does not
+exist server-side at all.  Every such composition is recorded as a
+violation with the reason.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql import ast
+
+#: expression classes over encrypted data
+PLAIN = "plain"            # no encrypted inputs
+ENC_COLUMN = "enc_column"  # a bare encrypted column (all onions available)
+HOM_LINEAR = "hom_linear"  # linear combination: HOM-computable, add-only space
+BLOCKED = "blocked"        # not computable server-side
+
+
+@dataclass
+class QuerySupport:
+    """Verdict for one query."""
+
+    supported: bool
+    violations: list = field(default_factory=list)
+
+    def blocked(self, reason: str) -> None:
+        self.supported = False
+        if reason not in self.violations:
+            self.violations.append(reason)
+
+
+class CryptDBCapabilityModel:
+    """Static analysis of native (no-client, no-precomputation) support.
+
+    ``sensitive`` decides which columns are encrypted: a callable
+    ``(table, column) -> bool``; ``None`` means *every* column is encrypted
+    (CryptDB's standard deployment).
+    """
+
+    def __init__(self, tables: dict, sensitive=None):
+        self._tables = {name: [c for c, _ in columns] for name, columns in tables.items()}
+        self._sensitive = sensitive
+
+    # -- public ------------------------------------------------------------
+
+    def analyze(self, query: ast.Select) -> QuerySupport:
+        support = QuerySupport(supported=True)
+        self._analyze_select(query, support, outer={})
+        return support
+
+    # -- helpers --------------------------------------------------------------
+
+    def _bindings(self, texpr, support, outer) -> dict:
+        bindings = dict(outer)
+        for item in self._flatten(texpr):
+            if isinstance(item, ast.TableRef):
+                bindings[item.binding] = ("table", item.name)
+            elif isinstance(item, ast.SubqueryRef):
+                inner = self._analyze_select(item.query, support, outer)
+                bindings[item.alias] = ("derived", inner)
+            if isinstance(item, ast.Join) and item.condition is not None:
+                pass  # conditions handled by caller after bindings known
+        return bindings
+
+    def _flatten(self, texpr):
+        if texpr is None:
+            return []
+        if isinstance(texpr, ast.Join):
+            return self._flatten(texpr.left) + self._flatten(texpr.right)
+        return [texpr]
+
+    def _join_conditions(self, texpr):
+        if isinstance(texpr, ast.Join):
+            yield from self._join_conditions(texpr.left)
+            yield from self._join_conditions(texpr.right)
+            if texpr.condition is not None:
+                yield texpr.condition
+        return
+
+    def _analyze_select(self, query: ast.Select, support, outer) -> dict:
+        """Analyze one SELECT; returns {output_name: expr class}."""
+        bindings = self._bindings(query.from_clause, support, outer)
+        for condition in self._join_conditions(query.from_clause or ast.TableRef("_")):
+            self._predicate(condition, bindings, support)
+        if query.where is not None:
+            self._predicate(query.where, bindings, support)
+        for g in query.group_by:
+            cls = self._classify(g, bindings, support)
+            if cls not in (PLAIN, ENC_COLUMN):
+                support.blocked(
+                    f"GROUP BY on a computed encrypted expression: {g.to_sql()}"
+                )
+        if query.having is not None:
+            self._predicate(query.having, bindings, support)
+        outputs = {}
+        for i, item in enumerate(query.items):
+            if isinstance(item.expr, ast.Star):
+                continue
+            cls = self._output_class(item.expr, bindings, support)
+            name = item.alias or (
+                item.expr.name if isinstance(item.expr, ast.Column) else f"_col{i}"
+            )
+            outputs[name] = cls
+        for order in query.order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Column) and expr.table is None and expr.name in outputs:
+                cls = outputs[expr.name]
+                if cls == HOM_LINEAR:
+                    support.blocked(
+                        f"ORDER BY a HOM aggregate ({expr.name}): HOM output "
+                        "is not order-comparable (onion interoperability gap)"
+                    )
+                elif cls == BLOCKED:
+                    support.blocked(f"ORDER BY a blocked expression {expr.name}")
+                continue
+            cls = self._classify(expr, bindings, support)
+            if cls == HOM_LINEAR or cls == BLOCKED:
+                support.blocked(f"ORDER BY not OPE-evaluable: {expr.to_sql()}")
+        return outputs
+
+    # -- classification -------------------------------------------------------------
+
+    def _is_sensitive(self, binding_info, column: str) -> bool:
+        kind, payload = binding_info
+        if kind == "derived":
+            return payload.get(column, PLAIN) != PLAIN
+        table = payload
+        if self._sensitive is None:
+            return True
+        return self._sensitive(table, column)
+
+    def _column_class(self, node: ast.Column, bindings) -> str:
+        candidates = []
+        for binding, info in bindings.items():
+            if node.table is not None and binding != node.table:
+                continue
+            kind, payload = info
+            columns = (
+                payload.keys() if kind == "derived" else self._tables.get(payload, [])
+            )
+            if node.name in columns:
+                candidates.append(info)
+        if not candidates:
+            return PLAIN  # unknown (outer) -- treated as a constant here
+        info = candidates[0]
+        if info[0] == "derived":
+            return info[1].get(node.name, PLAIN)
+        return ENC_COLUMN if self._is_sensitive(info, node.name) else PLAIN
+
+    def _classify(self, expr, bindings, support) -> str:
+        """Expression class; records violations for inherently blocked ops."""
+        if isinstance(expr, (ast.Literal, ast.Interval)):
+            return PLAIN
+        if isinstance(expr, ast.Column):
+            return self._column_class(expr, bindings)
+        if isinstance(expr, ast.UnaryOp):
+            return self._classify(expr.operand, bindings, support)
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-"):
+            left = self._classify(expr.left, bindings, support)
+            right = self._classify(expr.right, bindings, support)
+            if BLOCKED in (left, right):
+                return BLOCKED
+            if left == PLAIN and right == PLAIN:
+                return PLAIN
+            return HOM_LINEAR
+        if isinstance(expr, ast.BinaryOp) and expr.op == "*":
+            left = self._classify(expr.left, bindings, support)
+            right = self._classify(expr.right, bindings, support)
+            if left == PLAIN and right == PLAIN:
+                return PLAIN
+            if PLAIN in (left, right) and BLOCKED not in (left, right):
+                return HOM_LINEAR  # plain-constant multiple
+            return BLOCKED  # product of two encrypted values: no onion
+        if isinstance(expr, ast.BinaryOp) and expr.op == "/":
+            left = self._classify(expr.left, bindings, support)
+            right = self._classify(expr.right, bindings, support)
+            if left == PLAIN and right == PLAIN:
+                return PLAIN
+            return BLOCKED  # no homomorphic division
+        if isinstance(expr, ast.Aggregate):
+            return self._aggregate_class(expr, bindings, support)
+        if isinstance(expr, ast.CaseWhen):
+            for cond, _ in expr.branches:
+                self._predicate(cond, bindings, support)
+            classes = [
+                self._classify(branch, bindings, support)
+                for _, branch in expr.branches
+            ]
+            if expr.default is not None:
+                classes.append(self._classify(expr.default, bindings, support))
+            return PLAIN if all(c == PLAIN for c in classes) else BLOCKED
+        if isinstance(expr, ast.Extract):
+            inner = self._classify(expr.operand, bindings, support)
+            return PLAIN if inner == PLAIN else BLOCKED
+        if isinstance(expr, ast.Substring):
+            inner = self._classify(expr.operand, bindings, support)
+            return PLAIN if inner == PLAIN else BLOCKED
+        if isinstance(expr, ast.ScalarSubquery):
+            outputs = self._analyze_select(expr.query, support, bindings)
+            classes = list(outputs.values()) or [PLAIN]
+            return classes[0]
+        if isinstance(expr, (ast.BinaryOp, ast.Between, ast.InList,
+                             ast.InSubquery, ast.Exists, ast.Like, ast.IsNull)):
+            self._predicate(expr, bindings, support)
+            return PLAIN
+        return BLOCKED
+
+    def _aggregate_class(self, expr: ast.Aggregate, bindings, support) -> str:
+        if expr.arg is None:
+            return PLAIN  # COUNT(*)
+        arg = self._classify(expr.arg, bindings, support)
+        if expr.func == "count":
+            return PLAIN  # DET distinct / presence counting
+        if arg == PLAIN:
+            return PLAIN
+        if arg == BLOCKED:
+            return BLOCKED
+        if expr.func == "sum":
+            return HOM_LINEAR if not expr.distinct else BLOCKED
+        if expr.func in ("min", "max"):
+            # OPE gives the position; the matching ciphertext is returned
+            return ENC_COLUMN if arg == ENC_COLUMN else BLOCKED
+        if expr.func == "avg":
+            return BLOCKED  # needs division
+        return BLOCKED
+
+    # -- predicates -------------------------------------------------------------------
+
+    def _predicate(self, expr, bindings, support) -> None:
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("and", "or"):
+            self._predicate(expr.left, bindings, support)
+            self._predicate(expr.right, bindings, support)
+            return
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            self._predicate(expr.operand, bindings, support)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op in ast.COMPARISON_OPS:
+            left = self._classify(expr.left, bindings, support)
+            right = self._classify(expr.right, bindings, support)
+            if left == PLAIN and right == PLAIN:
+                return
+            if BLOCKED in (left, right):
+                support.blocked(f"comparison not evaluable: {expr.to_sql()}")
+                return
+            if HOM_LINEAR in (left, right):
+                support.blocked(
+                    f"comparison consumes a HOM output: {expr.to_sql()} "
+                    "(HOM and OPE/DET spaces are not interoperable)"
+                )
+                return
+            # enc_column vs enc_column/plain-constant: DET or OPE handles it
+            return
+        if isinstance(expr, ast.Between):
+            subject = self._classify(expr.subject, bindings, support)
+            low = self._classify(expr.low, bindings, support)
+            high = self._classify(expr.high, bindings, support)
+            if subject == BLOCKED or subject == HOM_LINEAR:
+                support.blocked(f"BETWEEN not OPE-evaluable: {expr.to_sql()}")
+            if HOM_LINEAR in (low, high) or BLOCKED in (low, high):
+                support.blocked(f"BETWEEN bound not evaluable: {expr.to_sql()}")
+            return
+        if isinstance(expr, ast.InList):
+            subject = self._classify(expr.subject, bindings, support)
+            if subject not in (PLAIN, ENC_COLUMN):
+                support.blocked(f"IN on computed encrypted value: {expr.to_sql()}")
+            return
+        if isinstance(expr, ast.InSubquery):
+            subject = self._classify(expr.subject, bindings, support)
+            outputs = self._analyze_select(expr.query, support, bindings)
+            inner = list(outputs.values()) or [PLAIN]
+            if subject not in (PLAIN, ENC_COLUMN) or inner[0] not in (PLAIN, ENC_COLUMN):
+                support.blocked(f"IN-subquery not DET-joinable: {expr.to_sql()}")
+            return
+        if isinstance(expr, ast.Exists):
+            self._analyze_select(expr.query, support, bindings)
+            return
+        if isinstance(expr, ast.Like):
+            subject = self._classify(expr.subject, bindings, support)
+            if subject == PLAIN:
+                return
+            if not re.fullmatch(r"%\w+%", expr.pattern):
+                support.blocked(
+                    f"LIKE pattern beyond SEARCH word matching: '{expr.pattern}'"
+                )
+            return
+        if isinstance(expr, ast.IsNull):
+            return
+        # value used as predicate
+        self._classify(expr, bindings, support)
+
+    def _output_class(self, expr, bindings, support) -> str:
+        cls = self._classify(expr, bindings, support)
+        if cls == BLOCKED:
+            support.blocked(f"output not computable server-side: {expr.to_sql()}")
+        return cls

@@ -1,0 +1,228 @@
+"""MONOMI-style split client/server execution planning.
+
+MONOMI (Tu et al., PVLDB 2013) extends the CryptDB approach for analytical
+queries with two ideas the SDB paper's intro references:
+
+* **precomputation** -- materialize encrypted derived columns (e.g.
+  ``l_extendedprice * (1 - l_discount)``) at upload time so the server can
+  HOM-sum them;
+* **split execution** -- whatever the encryption cannot evaluate at the
+  server is shipped back (as encrypted rows or partial aggregates) and
+  finished at the client.
+
+This planner reuses the CryptDB capability analysis, first rewriting the
+query against a configured set of precomputed expressions, and classifies
+the residue: ``server`` (fully native), ``split`` (server filters/groups,
+client finishes aggregates or divisions), or ``client`` (base data must be
+shipped).  The coverage experiment (E2) reports all three systems side by
+side, which is exactly the paper's positioning: SDB runs everything
+natively, MONOMI needs precomputation plus client work, CryptDB supports a
+handful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.cryptdb import BLOCKED, CryptDBCapabilityModel, QuerySupport
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class Precomputation:
+    """A derived encrypted column materialized at upload time."""
+
+    table: str
+    name: str
+    expr: ast.Expr
+
+
+#: the precomputations MONOMI's optimizer would pick for TPC-H
+def default_tpch_precomputations() -> list[Precomputation]:
+    from repro.sql.parser import parse
+
+    def expr_of(sql: str) -> ast.Expr:
+        return parse(f"SELECT {sql}").items[0].expr
+
+    return [
+        Precomputation(
+            "lineitem", "disc_price", expr_of("l_extendedprice * (1 - l_discount)")
+        ),
+        Precomputation(
+            "lineitem",
+            "charge",
+            expr_of("l_extendedprice * (1 - l_discount) * (1 + l_tax)"),
+        ),
+        Precomputation(
+            "lineitem", "disc_revenue", expr_of("l_extendedprice * l_discount")
+        ),
+        Precomputation(
+            "partsupp", "ps_value", expr_of("ps_supplycost * ps_availqty")
+        ),
+    ]
+
+
+@dataclass
+class MonomiPlan:
+    mode: str  # 'server' | 'split' | 'client'
+    precomputed_used: list = field(default_factory=list)
+    client_ops: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+
+
+class MonomiPlanner:
+    """Plan queries for a MONOMI-style deployment."""
+
+    def __init__(
+        self,
+        tables: dict,
+        sensitive=None,
+        precomputations: Optional[list] = None,
+    ):
+        self._precomputations = (
+            default_tpch_precomputations()
+            if precomputations is None
+            else precomputations
+        )
+        # expose precomputed columns as extra (encrypted) columns
+        extended = {
+            name: list(columns) for name, columns in tables.items()
+        }
+        for pre in self._precomputations:
+            extended.setdefault(pre.table, []).append((pre.name, None))
+        self._tables = extended
+        base_sensitive = sensitive
+
+        def sensitive_with_precomputed(table, column):
+            if any(p.table == table and p.name == column for p in self._precomputations):
+                return True
+            if base_sensitive is None:
+                return True
+            return base_sensitive(table, column)
+
+        self._model = CryptDBCapabilityModel(
+            extended, sensitive=sensitive_with_precomputed
+        )
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, query: ast.Select) -> MonomiPlan:
+        rewritten, used = self._substitute(query)
+        support = self._model.analyze(rewritten)
+        if support.supported:
+            return MonomiPlan(mode="server", precomputed_used=used)
+        client_ops, hard = self._classify_violations(support)
+        if not hard:
+            return MonomiPlan(
+                mode="split",
+                precomputed_used=used,
+                client_ops=client_ops,
+                violations=support.violations,
+            )
+        return MonomiPlan(
+            mode="client",
+            precomputed_used=used,
+            client_ops=client_ops,
+            violations=support.violations,
+        )
+
+    def _classify_violations(self, support: QuerySupport):
+        """Split violations into client-finishable and server-blocking.
+
+        HOM outputs consumed by comparisons/HAVING and output divisions can
+        be finished at the client (ship partial aggregates); products of
+        encrypted columns or pattern matching cannot (ship raw rows).
+        """
+        client_ops = []
+        hard = []
+        for violation in support.violations:
+            if "HOM output" in violation or "ORDER BY a HOM aggregate" in violation:
+                client_ops.append(f"client-side comparison: {violation}")
+            elif "output not computable" in violation and (
+                "/" in violation or "AVG(" in violation.upper()
+            ):
+                # ship partial aggregates (sums/counts), divide at the client
+                client_ops.append(f"client-side division: {violation}")
+            else:
+                hard.append(violation)
+        return client_ops, hard
+
+    # -- precomputation substitution ---------------------------------------------
+
+    def _substitute(self, query: ast.Select):
+        used: list[str] = []
+
+        def sub_expr(expr):
+            for pre in self._precomputations:
+                if expr == pre.expr:
+                    if pre.name not in used:
+                        used.append(pre.name)
+                    return ast.Column(pre.name)
+            return self._rebuild(expr, sub_expr)
+
+        def sub_select(select: ast.Select) -> ast.Select:
+            return ast.Select(
+                items=tuple(
+                    ast.SelectItem(expr=sub_expr(i.expr), alias=i.alias)
+                    for i in select.items
+                ),
+                from_clause=sub_from(select.from_clause),
+                where=sub_expr(select.where) if select.where is not None else None,
+                group_by=tuple(sub_expr(g) for g in select.group_by),
+                having=sub_expr(select.having) if select.having is not None else None,
+                order_by=tuple(
+                    ast.OrderItem(expr=sub_expr(o.expr), descending=o.descending)
+                    for o in select.order_by
+                ),
+                limit=select.limit,
+                distinct=select.distinct,
+            )
+
+        def sub_from(texpr):
+            if texpr is None or isinstance(texpr, ast.TableRef):
+                return texpr
+            if isinstance(texpr, ast.SubqueryRef):
+                return ast.SubqueryRef(query=sub_select(texpr.query), alias=texpr.alias)
+            if isinstance(texpr, ast.Join):
+                return ast.Join(
+                    left=sub_from(texpr.left),
+                    right=sub_from(texpr.right),
+                    kind=texpr.kind,
+                    condition=(
+                        sub_expr(texpr.condition)
+                        if texpr.condition is not None
+                        else None
+                    ),
+                )
+            return texpr
+
+        return sub_select(query), used
+
+    def _rebuild(self, expr, sub):
+        """Structurally rebuild an expression, substituting children."""
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(op=expr.op, left=sub(expr.left), right=sub(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(op=expr.op, operand=sub(expr.operand))
+        if isinstance(expr, ast.Aggregate) and expr.arg is not None:
+            return ast.Aggregate(func=expr.func, arg=sub(expr.arg), distinct=expr.distinct)
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                branches=tuple((sub(c), sub(r)) for c, r in expr.branches),
+                default=sub(expr.default) if expr.default is not None else None,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                subject=sub(expr.subject), low=sub(expr.low), high=sub(expr.high),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                subject=sub(expr.subject),
+                items=tuple(sub(i) for i in expr.items),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.ScalarSubquery):
+            return expr  # precomputation inside subqueries: handled coarsely
+        return expr

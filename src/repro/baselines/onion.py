@@ -1,0 +1,114 @@
+"""CryptDB-style onion encryption columns.
+
+CryptDB stores each sensitive column under several *onions*, each a stack
+of encryption layers peeled on demand:
+
+* **Equality onion**: RND (probabilistic AES-like) over DET
+  (deterministic) -- peel RND to enable equality/joins/group-by.
+* **Order onion**: RND over OPE -- peel to enable range predicates.
+* **Add onion**: Paillier (HOM) -- supports SUM and addition only.
+
+This module implements the layers (PRF-based RND/DET, the real OPE and
+Paillier from their modules) and the peeling state machine.  What it
+deliberately reproduces is the *data interoperability gap* the SDB paper
+criticizes: each onion's ciphertexts live in a different space, so e.g.
+the output of a HOM addition can never feed an OPE comparison -- which is
+why CryptDB supports so few TPC-H queries natively (experiment E2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.baselines.ope import OPECipher, OPEKey
+from repro.baselines.paillier import PaillierKeypair
+from repro.crypto.prf import derive_key, prf_int
+
+
+class Layer(enum.Enum):
+    RND = "rnd"
+    DET = "det"
+    OPE = "ope"
+    HOM = "hom"
+    PLAIN = "plain"
+
+
+def det_encrypt(key: bytes, plaintext: int, bits: int = 128) -> int:
+    """Deterministic encryption (PRF of the plaintext).
+
+    Supports equality tests only; stands in for AES-ECB/SIV in CryptDB.
+    (One-way here, which suffices for equality semantics and benchmarks;
+    CryptDB decrypts by peeling, we track plaintexts at the client.)
+    """
+    return prf_int(key, plaintext.to_bytes(16, "big", signed=True), bits)
+
+
+def rnd_encrypt(key: bytes, inner: int, nonce: int, bits: int = 128) -> int:
+    """Probabilistic layer: XOR the inner ciphertext with a PRF pad."""
+    pad = prf_int(key, nonce.to_bytes(16, "big"), bits)
+    return inner ^ pad
+
+
+def rnd_decrypt(key: bytes, outer: int, nonce: int, bits: int = 128) -> int:
+    return rnd_encrypt(key, outer, nonce, bits)  # XOR is its own inverse
+
+
+@dataclass
+class OnionColumn:
+    """One sensitive column encrypted under the three CryptDB onions."""
+
+    name: str
+    eq_cells: list = field(default_factory=list)    # RND(DET(v)) or DET(v)
+    ord_cells: list = field(default_factory=list)   # RND(OPE(v)) or OPE(v)
+    add_cells: list = field(default_factory=list)   # Paillier(v)
+    eq_layer: Layer = Layer.RND
+    ord_layer: Layer = Layer.RND
+
+    def peel_equality(self, key: bytes) -> None:
+        """Expose DET ciphertexts (needed for =, IN, GROUP BY, join)."""
+        if self.eq_layer is Layer.RND:
+            self.eq_cells = [
+                rnd_decrypt(key, cell, nonce) for nonce, cell in enumerate(self.eq_cells)
+            ]
+            self.eq_layer = Layer.DET
+
+    def peel_order(self, key: bytes) -> None:
+        """Expose OPE ciphertexts (needed for <, BETWEEN, ORDER BY)."""
+        if self.ord_layer is Layer.RND:
+            self.ord_cells = [
+                rnd_decrypt(key, cell, nonce) for nonce, cell in enumerate(self.ord_cells)
+            ]
+            self.ord_layer = Layer.OPE
+
+
+class OnionEncryptor:
+    """Encrypts integer columns under the three onions."""
+
+    def __init__(self, master_key: bytes, paillier: PaillierKeypair, rng=None):
+        self._det_key = derive_key(master_key, "det")
+        self._rnd_eq_key = derive_key(master_key, "rnd-eq")
+        self._rnd_ord_key = derive_key(master_key, "rnd-ord")
+        self._ope = OPECipher(OPEKey(key=derive_key(master_key, "ope")))
+        self._paillier = paillier
+        self._rng = rng
+
+    @property
+    def rnd_eq_key(self) -> bytes:
+        return self._rnd_eq_key
+
+    @property
+    def rnd_ord_key(self) -> bytes:
+        return self._rnd_ord_key
+
+    def encrypt_column(self, name: str, values) -> OnionColumn:
+        column = OnionColumn(name=name)
+        for nonce, value in enumerate(values):
+            det = det_encrypt(self._det_key, value)
+            column.eq_cells.append(rnd_encrypt(self._rnd_eq_key, det, nonce))
+            ope = self._ope.encrypt(value)
+            column.ord_cells.append(rnd_encrypt(self._rnd_ord_key, ope, nonce))
+            column.add_cells.append(
+                self._paillier.public.encrypt(value, self._rng)
+            )
+        return column

@@ -1,0 +1,66 @@
+"""Order-preserving encryption (the CryptDB/MONOMI OPE onion layer).
+
+A keyed, strictly monotone mapping from a bounded plaintext domain into a
+larger ciphertext domain.  We implement the classic recursive
+binary-partition construction (a practical stand-in for Boldyreva et al.'s
+hypergeometric sampler, which the paper's reference [4] analyses): the
+ciphertext of ``m`` is obtained by walking a key-derived pseudorandom
+binary search tree over the ciphertext space.  Deterministic per key,
+strictly order-preserving, and -- as reference [4] proves -- inherently
+leaky: ciphertext order (and approximate magnitude) is public.  That
+leak is exactly why CryptDB needs it as a *separate* onion that cannot
+feed other operators, while SDB's masked comparisons stay inside the
+share space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prf import prf_int
+
+
+@dataclass(frozen=True)
+class OPEKey:
+    key: bytes
+    plaintext_bits: int = 32
+    expansion_bits: int = 32  # ciphertext space = plaintext space << expansion
+
+
+class OPECipher:
+    """Deterministic order-preserving cipher over a signed bounded domain."""
+
+    def __init__(self, key: OPEKey):
+        self._key = key
+        self._plain_lo = -(1 << (key.plaintext_bits - 1))
+        self._plain_hi = (1 << (key.plaintext_bits - 1)) - 1
+        span = (self._plain_hi - self._plain_lo + 1)
+        self._cipher_hi = span << key.expansion_bits
+
+    def encrypt(self, plaintext: int) -> int:
+        """Map ``plaintext`` to its ciphertext; strictly monotone."""
+        if not self._plain_lo <= plaintext <= self._plain_hi:
+            raise ValueError("plaintext outside OPE domain")
+        plain_lo, plain_hi = self._plain_lo, self._plain_hi
+        cipher_lo, cipher_hi = 0, self._cipher_hi
+        depth = 0
+        while plain_lo < plain_hi:
+            plain_mid = (plain_lo + plain_hi) // 2
+            # key-derived split point of the ciphertext interval: keeps the
+            # mapping pseudorandom while preserving order
+            gap = cipher_hi - cipher_lo
+            label = f"{depth}:{plain_lo}:{plain_hi}".encode()
+            offset = prf_int(self._key.key, label, 64) % max(gap // 4, 1)
+            cipher_mid = cipher_lo + gap // 2 + offset - max(gap // 8, 0)
+            cipher_mid = min(max(cipher_mid, cipher_lo + 1), cipher_hi - 1)
+            if plaintext <= plain_mid:
+                plain_hi = plain_mid
+                cipher_hi = cipher_mid
+            else:
+                plain_lo = plain_mid + 1
+                cipher_lo = cipher_mid + 1
+            depth += 1
+        return cipher_lo
+
+    def encrypt_many(self, values) -> list[int]:
+        return [self.encrypt(v) for v in values]

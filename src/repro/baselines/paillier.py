@@ -1,0 +1,81 @@
+"""The Paillier cryptosystem.
+
+CryptDB's and MONOMI's HOM onion layer: additively homomorphic public-key
+encryption.  Implemented in full (keygen / encrypt / decrypt / ciphertext
+addition / plaintext multiplication) so the operator microbenchmarks
+(experiment E4) compare SDB's one-multiplication operators against real
+HOM costs, not a stub.
+
+Standard scheme with g = n + 1 (so encryption needs no extra exponent):
+
+    c = (1 + m*n) * r^n  mod n^2,   m = L(c^lambda mod n^2) * mu mod n.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import ntheory
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    def encrypt(self, plaintext: int, rng=None) -> int:
+        """Encrypt ``plaintext`` (signed values taken mod n)."""
+        m = plaintext % self.n
+        n2 = self.n_squared
+        r = ntheory.random_unit(self.n, rng)
+        return (1 + m * self.n) % n2 * pow(r, self.n, n2) % n2
+
+    def add(self, c1: int, c2: int) -> int:
+        """Homomorphic addition: Dec(add(c1,c2)) = m1 + m2."""
+        return c1 * c2 % self.n_squared
+
+    def mul_plain(self, c: int, k: int) -> int:
+        """Homomorphic plaintext multiplication: Dec = m * k."""
+        return pow(c, k % self.n, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    public: PaillierPublicKey
+    lam: int  # lcm(p-1, q-1)
+    mu: int   # (L(g^lam mod n^2))^-1 mod n
+
+    def decrypt(self, ciphertext: int) -> int:
+        n = self.public.n
+        n2 = self.public.n_squared
+        x = pow(ciphertext, self.lam, n2)
+        l_value = (x - 1) // n
+        m = l_value * self.mu % n
+        return m - n if m > n // 2 else m
+
+
+@dataclass(frozen=True)
+class PaillierKeypair:
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+
+def paillier_keygen(modulus_bits: int = 2048, rng=None) -> PaillierKeypair:
+    half = modulus_bits // 2
+    p = ntheory.random_prime(half, rng)
+    q = ntheory.random_prime(modulus_bits - half, rng)
+    while q == p:
+        q = ntheory.random_prime(modulus_bits - half, rng)
+    n = p * q
+    lam = (p - 1) * (q - 1) // ntheory.gcd(p - 1, q - 1)
+    public = PaillierPublicKey(n=n)
+    x = pow(n + 1, lam, n * n)
+    l_value = (x - 1) // n
+    mu = ntheory.modinv(l_value, n)
+    return PaillierKeypair(
+        public=public, private=PaillierPrivateKey(public=public, lam=lam, mu=mu)
+    )

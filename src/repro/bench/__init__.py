@@ -1,0 +1,5 @@
+"""Benchmark support: paper-style result tables and measurement helpers."""
+
+from repro.bench.harness import ResultTable, time_call
+
+__all__ = ["ResultTable", "time_call"]

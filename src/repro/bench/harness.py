@@ -1,0 +1,72 @@
+"""Measurement and reporting helpers for the experiment benches.
+
+Each experiment module in ``benchmarks/`` regenerates one of the paper's
+artefacts; the helpers here keep the output uniform: a titled ASCII table
+(the "same rows the paper reports") plus raw numbers available to
+assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ResultTable:
+    """A paper-style results table."""
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError("row width does not match columns")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in self.columns]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        print("\n" + self.render())
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def time_call(fn: Callable, *args, repeat: int = 3, **kwargs):
+    """Best-of-``repeat`` wall-clock timing; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result

@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+* ``sdb-shell`` (:mod:`repro.cli.shell`) -- the interactive data-owner
+  console: run SQL, see the rewritten query, the cost breakdown and the
+  key store, mirroring the demo UI of paper Figure 3;
+* ``sdb-server`` (:mod:`repro.cli.server`) -- the service-provider daemon
+  (machine MSP), optionally durable;
+* ``sdb-dbgen`` (:mod:`repro.cli.dbgen`) -- the TPC-H-style data
+  generator, writing CSV.
+"""

@@ -1,0 +1,53 @@
+"""``sdb-dbgen``: write TPC-H-style tables as CSV.
+
+The in-library generator (:mod:`repro.workloads.tpch.dbgen`) feeds the
+tests and benches directly; this tool exports the same deterministic data
+for use outside the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+from typing import Optional
+
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.schema import TABLES
+
+
+def write_csv(data: dict, directory) -> dict:
+    """Write one ``<table>.csv`` per relation; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts = {}
+    for table, rows in data.items():
+        path = directory / f"{table}.csv"
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow([name for name, _ in TABLES[table]])
+            writer.writerows(rows)
+        counts[table] = len(rows)
+    return counts
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sdb-dbgen", description="TPC-H-style CSV generator"
+    )
+    parser.add_argument("--scale-factor", "-s", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=19920101)
+    parser.add_argument("--output", "-o", default="tpch-data")
+    args = parser.parse_args(argv)
+
+    data = generate(scale_factor=args.scale_factor, seed=args.seed)
+    counts = write_csv(data, args.output)
+    total = sum(counts.values())
+    for table in sorted(counts):
+        print(f"{table}: {counts[table]} rows")
+    print(f"wrote {total} rows to {args.output}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

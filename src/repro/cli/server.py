@@ -1,0 +1,52 @@
+"""``sdb-server``: run the service provider as a standalone daemon.
+
+This is machine MSP of the demo: an unmodified engine plus the SDB UDFs,
+listening for proxies.  ``--durable DIR`` adds disk persistence with
+write-ahead logging, so the daemon recovers its (encrypted) state after a
+restart.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sdb-server", description="SDB service-provider daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9753)
+    parser.add_argument("--durable", metavar="DIR",
+                        help="persist tables and WAL under DIR")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="partition-parallel execution over N partitions")
+    args = parser.parse_args(argv)
+
+    if args.durable:
+        from repro.storage import DurableServer
+
+        sdb_server = DurableServer(args.durable)
+        if sdb_server.recovered_statements:
+            print(f"recovered {sdb_server.recovered_statements} WAL statements")
+    else:
+        from repro.core.server import SDBServer
+
+        sdb_server = SDBServer(parallel_partitions=args.parallel)
+
+    from repro.net.server import SDBNetServer
+
+    server = SDBNetServer((args.host, args.port), sdb_server=sdb_server)
+    print(f"sdb-server listening on {args.host}:{server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,292 @@
+"""``sdb-shell``: the data owner's interactive console.
+
+A text stand-in for the demo UI of paper Figure 3: type SQL, get the
+decrypted result plus the rewritten query the SP actually ran and the
+client/server cost split.  Backslash commands inspect the deployment:
+
+    \\help               this text
+    \\tables             uploaded tables and their sensitive columns
+    \\keystore           key store size and contents summary (demo step 1)
+    \\explain <sql>      rewrite without executing
+    \\upload <csv> <table> [col,col]   encrypt+upload a CSV (demo step 1);
+                        the optional list names the sensitive columns
+    \\rotate <table> <column>          re-key a column at the SP
+    \\view <name> <sql>  create/replace a proxy-side view
+    \\views              list views
+    \\rewrite on|off     toggle printing the rewritten SQL after queries
+    \\quit               exit
+
+The shell is UI only; every capability it exposes is proxy API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.meta import ValueType
+from repro.core.proxy import DMLResult, QueryResult, SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+
+def load_csv(path) -> tuple[list, list]:
+    """Read a CSV with header into ``(columns, rows)`` for ``create_table``.
+
+    Types are inferred column-wise from the data: INT if every non-empty
+    cell parses as an integer, DECIMAL(2) for numbers, DATE for ISO dates,
+    else STRING sized to the widest value.  Empty cells become NULL.
+    """
+    import csv
+    import datetime
+
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        raw_rows = [row for row in reader if row]
+
+    def parse_cell(text: str):
+        if text == "":
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            pass
+        try:
+            return datetime.date.fromisoformat(text)
+        except ValueError:
+            return text
+
+    parsed = [[parse_cell(cell) for cell in row] for row in raw_rows]
+    columns = []
+    for i, name in enumerate(header):
+        cells = [row[i] for row in parsed if row[i] is not None]
+        if cells and all(isinstance(c, int) for c in cells):
+            vtype = ValueType.int_()
+        elif cells and all(isinstance(c, (int, float)) for c in cells):
+            vtype = ValueType.decimal(2)
+        elif cells and all(isinstance(c, datetime.date) for c in cells):
+            vtype = ValueType.date()
+        else:
+            width = max((len(str(c).encode("utf-8")) for c in cells), default=1)
+            vtype = ValueType.string(max(width, 1))
+            for row in parsed:
+                if row[i] is not None:
+                    row[i] = str(row[i])
+        columns.append((name, vtype))
+    return columns, [tuple(row) for row in parsed]
+
+
+class SDBShell:
+    """Line-at-a-time console over one :class:`SDBProxy`.
+
+    ``execute_line`` returns the text to display, which keeps the shell
+    fully testable without a TTY.
+    """
+
+    PROMPT = "sdb> "
+
+    def __init__(self, proxy: SDBProxy):
+        self.proxy = proxy
+        self.show_rewrite = True
+        self.done = False
+
+    # -- line dispatch ------------------------------------------------------
+
+    def execute_line(self, line: str) -> str:
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._command(line)
+        try:
+            result = self.proxy.execute(line)
+        except Exception as exc:
+            return f"error: {exc}"
+        if isinstance(result, QueryResult):
+            return self._render_query(result)
+        return self._render_dml(result)
+
+    def _command(self, line: str) -> str:
+        parts = line[1:].split(None, 1)
+        name = parts[0].lower() if parts else ""
+        argument = parts[1] if len(parts) > 1 else ""
+        if name in ("q", "quit", "exit"):
+            self.done = True
+            return "bye"
+        if name == "help":
+            return __doc__.split("commands:", 1)[-1] if "commands:" in __doc__ else __doc__
+        if name == "tables":
+            return self._render_tables()
+        if name == "views":
+            views = self.proxy.store.views()
+            if not views:
+                return "(no views)"
+            return "\n".join(
+                f"{v}: {self.proxy.store.view(v)}" for v in views
+            )
+        if name == "view":
+            parts = argument.split(None, 1)
+            if len(parts) != 2:
+                return "usage: \\view <name> <select sql>"
+            try:
+                self.proxy.create_view(parts[0], parts[1], replace=True)
+            except Exception as exc:
+                return f"error: {exc}"
+            return f"view {parts[0]} created"
+        if name == "keystore":
+            return self._render_keystore()
+        if name == "explain":
+            if not argument:
+                return "usage: \\explain <sql>"
+            try:
+                return self.proxy.explain(argument).pretty()
+            except Exception as exc:
+                return f"error: {exc}"
+        if name == "rewrite":
+            self.show_rewrite = argument.strip().lower() != "off"
+            return f"rewrite display {'on' if self.show_rewrite else 'off'}"
+        if name == "upload":
+            return self._upload(argument)
+        if name == "rotate":
+            parts = argument.split()
+            if len(parts) != 2:
+                return "usage: \\rotate <table> <column>"
+            try:
+                result = self.proxy.rotate_column_key(parts[0], parts[1])
+            except Exception as exc:
+                return f"error: {exc}"
+            return f"{result.affected} share(s) re-keyed at the SP"
+        return f"unknown command \\{name} (try \\help)"
+
+    def _upload(self, argument: str) -> str:
+        parts = argument.split()
+        if len(parts) < 2:
+            return "usage: \\upload <csv> <table> [sensitive,columns]"
+        path, table = parts[0], parts[1]
+        sensitive = parts[2].split(",") if len(parts) > 2 else []
+        try:
+            columns, rows = load_csv(path)
+            self.proxy.create_table(table, columns, rows, sensitive=sensitive)
+        except Exception as exc:
+            return f"error: {exc}"
+        names = [c for c, _ in columns]
+        return (
+            f"uploaded {table}: {len(rows)} rows, columns {names}, "
+            f"sensitive {sensitive or '[]'}"
+        )
+
+    # -- rendering ------------------------------------------------------------
+
+    def _render_query(self, result: QueryResult) -> str:
+        lines = [result.table.pretty()]
+        cost = result.cost
+        lines.append(
+            f"({result.table.num_rows} rows; client "
+            f"{cost.client_s * 1000:.1f} ms [parse {cost.parse_s * 1000:.1f}"
+            f" + rewrite {cost.rewrite_s * 1000:.1f}"
+            f" + decrypt {cost.decrypt_s * 1000:.1f}], server "
+            f"{cost.server_s * 1000:.1f} ms)"
+        )
+        if self.show_rewrite:
+            lines.append(f"rewritten: {result.rewritten_sql}")
+        return "\n".join(lines)
+
+    def _render_dml(self, result: DMLResult) -> str:
+        lines = [f"{result.affected} row(s) affected"]
+        if self.show_rewrite:
+            lines.append(f"rewritten: {result.rewritten_sql}")
+        return "\n".join(lines)
+
+    def _render_tables(self) -> str:
+        names = self.proxy.store.tables()
+        if not names:
+            return "(no tables uploaded)"
+        lines = []
+        for name in names:
+            meta = self.proxy.store.table(name)
+            sensitive = ", ".join(meta.sensitive_columns()) or "-"
+            lines.append(
+                f"{name}: {len(meta.columns)} columns, {meta.num_rows} rows, "
+                f"sensitive: [{sensitive}]"
+            )
+        return "\n".join(lines)
+
+    def _render_keystore(self) -> str:
+        store = self.proxy.store
+        lines = [
+            f"key store: {store.size_bytes()} bytes "
+            f"({len(store.tables())} tables)"
+        ]
+        for name in store.tables():
+            meta = store.table(name)
+            keys = sum(1 for c in meta.columns.values() if c.sensitive)
+            lines.append(f"  {name}: {keys} column keys + 1 auxiliary key")
+        lines.append("(size is O(#columns): independent of row count)")
+        return "\n".join(lines)
+
+    # -- REPL -----------------------------------------------------------------------
+
+    def run(self, stdin=None, stdout=None) -> None:
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stdout.write("SDB shell -- \\help for commands\n")
+        while not self.done:
+            stdout.write(self.PROMPT)
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            output = self.execute_line(line)
+            if output:
+                stdout.write(output + "\n")
+
+
+def build_proxy(args) -> SDBProxy:
+    """Assemble the deployment the flags describe."""
+    if args.connect:
+        from repro.net import RemoteServer
+
+        host, _, port = args.connect.partition(":")
+        server = RemoteServer.connect(host or "127.0.0.1", int(port or 9753))
+    elif args.durable:
+        from repro.storage import DurableServer
+
+        server = DurableServer(args.durable)
+    else:
+        server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=args.modulus_bits)
+    if args.tpch:
+        from repro.workloads.tpch.dbgen import generate
+        from repro.workloads.tpch.loader import load_encrypted
+
+        data = generate(scale_factor=args.tpch, seed=args.seed)
+        load_encrypted(proxy, data, rng=seeded_rng(args.seed))
+    return proxy
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sdb-shell", description="SDB data-owner console"
+    )
+    parser.add_argument("--connect", metavar="HOST:PORT",
+                        help="use a remote SP (sdb-server) instead of in-process")
+    parser.add_argument("--durable", metavar="DIR",
+                        help="in-process SP with disk persistence under DIR")
+    parser.add_argument("--tpch", type=float, metavar="SF",
+                        help="pre-load TPC-H data at this scale factor")
+    parser.add_argument("--modulus-bits", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    shell = SDBShell(build_proxy(args))
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

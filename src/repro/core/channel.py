@@ -1,0 +1,95 @@
+"""The DO <-> SP communication boundary.
+
+The paper's architecture (Figure 2) separates the proxy and the engine by a
+network.  We keep the two in one process but force every interaction
+through this channel object, which (a) makes the trust boundary explicit in
+code, (b) counts request/response bytes for the cost experiments, and
+(c) hands the QR-knowledge attacker exactly what a wire-tapper would see.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crypto.sies import SIESCiphertext
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class ChannelRecord:
+    """One observed message."""
+
+    direction: str  # 'to_sp' | 'to_do'
+    kind: str       # 'query' | 'result' | 'upload'
+    size_bytes: int
+    summary: str
+
+
+@dataclass
+class Channel:
+    """Byte-counting, recording message channel."""
+
+    records: list = field(default_factory=list)
+
+    def record_query(self, sql: str) -> None:
+        self.records.append(
+            ChannelRecord(
+                direction="to_sp",
+                kind="query",
+                size_bytes=len(sql.encode("utf-8")),
+                summary=sql[:120],
+            )
+        )
+
+    def record_upload(self, name: str, table: Table) -> None:
+        self.records.append(
+            ChannelRecord(
+                direction="to_sp",
+                kind="upload",
+                size_bytes=estimate_table_bytes(table),
+                summary=f"upload {name}: {table.num_rows} rows",
+            )
+        )
+
+    def record_result(self, table: Table) -> None:
+        self.records.append(
+            ChannelRecord(
+                direction="to_do",
+                kind="result",
+                size_bytes=estimate_table_bytes(table),
+                summary=f"result: {table.num_rows} rows x {table.num_columns} cols",
+            )
+        )
+
+    def bytes_sent(self) -> int:
+        return sum(r.size_bytes for r in self.records if r.direction == "to_sp")
+
+    def bytes_received(self) -> int:
+        return sum(r.size_bytes for r in self.records if r.direction == "to_do")
+
+
+def estimate_value_bytes(value) -> int:
+    """Approximate serialized size of one value."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, (value.bit_length() + 7) // 8)
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, datetime.date):
+        return 4
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, SIESCiphertext):
+        return estimate_value_bytes(value.value) + 8
+    return 16
+
+
+def estimate_table_bytes(table: Table) -> int:
+    return sum(
+        estimate_value_bytes(v) for column in table.columns for v in column
+    )

@@ -1,0 +1,122 @@
+"""Result decryption at the proxy (paper Figure 2, steps 4-5).
+
+For every application-visible output column the rewriter produced an
+:class:`OutputSpec`; this module executes those specs against the encrypted
+result relation:
+
+* plain slots pass through;
+* share slots regenerate item keys -- decrypting hidden SIES row-id columns
+  when the derived key still has row-id terms -- and apply Equation 4;
+* post-op trees evaluate proxy-side arithmetic (division, AVG) on the
+  decrypted parts.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+from repro.core.keystore import KeyStore
+from repro.core.plan import Const, OutputColumn, PlainSlot, PostOp, ShareSlot
+from repro.crypto.encoding import decode_signed
+from repro.crypto.sies import SIESCipher, SIESCiphertext
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+
+
+class DecryptionError(ValueError):
+    """Result shape does not match the decryption plan."""
+
+
+class Decryptor:
+    """Decrypts SP result relations using the DO's key store."""
+
+    def __init__(self, store: KeyStore):
+        self._store = store
+        self._keys = store.keys
+        self._sies = SIESCipher(store.sies_key)
+
+    def decrypt(self, result: Table, outputs: tuple[OutputColumn, ...]) -> Table:
+        """Decode an encrypted result into the application-visible table."""
+        n = self._keys.n
+        decoded_columns: list[list] = [[] for _ in outputs]
+        for i in range(result.num_rows):
+            row = result.row(i)
+            rowid_cache: dict[int, int] = {}
+            for out_idx, output in enumerate(outputs):
+                decoded_columns[out_idx].append(
+                    self._value(output.spec, row, rowid_cache)
+                )
+        specs = tuple(
+            _infer_spec(output.name, column)
+            for output, column in zip(outputs, decoded_columns)
+        )
+        return Table(Schema(specs), decoded_columns)
+
+    # -- spec evaluation -----------------------------------------------------
+
+    def _value(self, spec, row, rowid_cache):
+        if isinstance(spec, PlainSlot):
+            return row[spec.index]
+        if isinstance(spec, Const):
+            return spec.value
+        if isinstance(spec, ShareSlot):
+            return self._share_value(spec, row, rowid_cache)
+        if isinstance(spec, PostOp):
+            return self._post_value(spec, row, rowid_cache)
+        raise DecryptionError(f"unknown output spec {type(spec).__name__}")
+
+    def _share_value(self, spec: ShareSlot, row, rowid_cache):
+        share = row[spec.index]
+        if share is None:
+            return None
+        row_ids = {}
+        for source, slot in spec.rowid_slots:
+            cached = rowid_cache.get(slot)
+            if cached is None:
+                ciphertext = row[slot]
+                if not isinstance(ciphertext, SIESCiphertext):
+                    raise DecryptionError(
+                        f"hidden column {slot} does not hold a SIES row id"
+                    )
+                cached = self._sies.decrypt(ciphertext)
+                rowid_cache[slot] = cached
+            row_ids[source] = cached
+        vk = spec.key.item_key(self._keys, row_ids)
+        ring = decode_signed(share * vk % self._keys.n, self._keys.n)
+        return spec.vtype.decode(ring)
+
+    def _post_value(self, spec: PostOp, row, rowid_cache):
+        left = self._value(spec.left, row, rowid_cache)
+        if spec.op == "neg":
+            return None if left is None else -left
+        right = self._value(spec.right, row, rowid_cache)
+        if left is None or right is None:
+            return None
+        if spec.op == "+":
+            return left + right
+        if spec.op == "-":
+            return left - right
+        if spec.op == "*":
+            return left * right
+        if spec.op == "/":
+            if right == 0:
+                return None
+            return left / right
+        raise DecryptionError(f"unknown post operator {spec.op!r}")
+
+
+def _infer_spec(name: str, values) -> ColumnSpec:
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool):
+            return ColumnSpec(name, DataType.BOOL)
+        if isinstance(v, int):
+            return ColumnSpec(name, DataType.INT)
+        if isinstance(v, float):
+            return ColumnSpec(name, DataType.DECIMAL, scale=2)
+        if isinstance(v, datetime.date):
+            return ColumnSpec(name, DataType.DATE)
+        return ColumnSpec(name, DataType.STRING)
+    return ColumnSpec(name, DataType.STRING)

@@ -1,0 +1,180 @@
+"""The upload pipeline (demo step 1).
+
+Takes a plain table and the DO's sensitivity choices and produces the
+encrypted table stored at the SP:
+
+* insensitive columns are stored plain,
+* each sensitive column is ring-encoded and secret-shared under a fresh
+  column key (Definitions 1-2),
+* a random row id is assigned per row and stored SIES-encrypted in the
+  hidden ``__rowid`` column,
+* the auxiliary column ``__s`` stores an encryption of 1 under a fresh
+  auxiliary key -- the key-update helper every secure operator relies on.
+
+Returns the :class:`TableMeta` for the DO's key store and the
+:class:`repro.engine.Table` shipped to the SP.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterable, Optional, Sequence
+
+from repro.core.meta import ColumnMeta, TableMeta, ValueType
+from repro.crypto import keyops
+from repro.crypto.encoding import check_domain, encode_signed
+from repro.crypto.keys import SystemKeys
+from repro.crypto.secret_sharing import encrypt_value, item_key
+from repro.crypto.sies import SIESCipher, SIESKey
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+
+#: Hidden column names on every encrypted table.
+ROWID_COLUMN = "__rowid"
+AUX_COLUMN = "__s"
+
+_DTYPE_BY_KIND = {
+    "int": DataType.INT,
+    "decimal": DataType.DECIMAL,
+    "date": DataType.DATE,
+    "string": DataType.STRING,
+    "bool": DataType.BOOL,
+}
+
+
+class UploadError(ValueError):
+    """Invalid upload request (bad schema, out-of-domain values, ...)."""
+
+
+def encrypt_table(
+    keys: SystemKeys,
+    sies_key: SIESKey,
+    name: str,
+    columns: Sequence[tuple[str, ValueType]],
+    rows: Iterable[Sequence],
+    sensitive: Iterable[str],
+    rng=None,
+) -> tuple[TableMeta, Table]:
+    """Encrypt ``rows`` according to the sensitivity choice.
+
+    ``columns`` is ``[(name, ValueType), ...]`` in storage order; ``rows``
+    yields tuples in the same order; ``sensitive`` names the columns to
+    protect.  ``rng`` seeds key and row-id generation for reproducible
+    experiments (production passes None for the OS CSPRNG).
+    """
+    sensitive = set(sensitive)
+    names = [c for c, _ in columns]
+    unknown = sensitive - set(names)
+    if unknown:
+        raise UploadError(f"sensitive columns not in schema: {sorted(unknown)}")
+
+    metas: dict[str, ColumnMeta] = {}
+    for col_name, vtype in columns:
+        if col_name.startswith("__"):
+            raise UploadError(f"column name {col_name!r} is reserved")
+        is_sensitive = col_name in sensitive
+        metas[col_name] = ColumnMeta(
+            name=col_name,
+            vtype=vtype,
+            sensitive=is_sensitive,
+            key=keys.random_column_key(rng) if is_sensitive else None,
+        )
+    aux_key = keyops.aux_column_key(keys, rng)
+
+    cipher = SIESCipher(sies_key)
+    nonce = _random_nonce(rng)
+
+    out_columns: list[list] = [[] for _ in columns]
+    rowid_column: list = []
+    aux_column: list = []
+    num_rows = 0
+    for row in rows:
+        if len(row) != len(columns):
+            raise UploadError(
+                f"row width {len(row)} does not match schema width {len(columns)}"
+            )
+        row_id = keys.random_row_id(rng)
+        rowid_column.append(cipher.encrypt(row_id % sies_key.modulus, nonce))
+        nonce += 1
+        aux_vk = item_key(keys, row_id, aux_key)
+        aux_column.append(encrypt_value(keys, 1, aux_vk))
+        for out, value, (col_name, vtype) in zip(out_columns, row, columns):
+            meta = metas[col_name]
+            if not meta.sensitive:
+                out.append(value)
+                continue
+            if value is None:
+                out.append(None)
+                continue
+            ring = check_domain(vtype.encode(value), keys.value_bits)
+            vk = item_key(keys, row_id, meta.key)
+            out.append(encrypt_value(keys, encode_signed(ring, keys.n), vk))
+        num_rows += 1
+
+    specs = []
+    for col_name, vtype in columns:
+        if col_name in sensitive:
+            specs.append(ColumnSpec(col_name, DataType.SHARE))
+        else:
+            dtype = _DTYPE_BY_KIND[vtype.kind]
+            scale = vtype.scale if dtype is DataType.DECIMAL else 0
+            specs.append(ColumnSpec(col_name, dtype, scale=scale))
+    specs.append(ColumnSpec(ROWID_COLUMN, DataType.SHARE))
+    specs.append(ColumnSpec(AUX_COLUMN, DataType.SHARE))
+
+    table = Table(
+        Schema(tuple(specs)), out_columns + [rowid_column, aux_column]
+    )
+    meta = TableMeta(name=name, columns=metas, aux_key=aux_key, num_rows=num_rows)
+    return meta, table
+
+
+def encrypt_rows(
+    keys: SystemKeys,
+    sies_key: SIESKey,
+    meta: TableMeta,
+    rows: Iterable[Sequence],
+    rng=None,
+) -> list[tuple]:
+    """Encrypt new rows for an already-uploaded table (INSERT path).
+
+    Reuses the table's existing column keys and auxiliary key, assigns a
+    fresh random row id per row, and returns rows in *storage* order:
+    the declared columns followed by the hidden ``__rowid`` and ``__s``
+    columns.  This is exactly what a CPA attacker triggers when it inserts
+    chosen plaintexts (paper Section 2.3): fresh row ids make the resulting
+    shares unlinkable to equal-valued rows already stored.
+    """
+    if meta.aux_key is None:
+        raise UploadError(f"table {meta.name!r} has no auxiliary key")
+    cipher = SIESCipher(sies_key)
+    metas = list(meta.columns.values())
+    out = []
+    for row in rows:
+        if len(row) != len(metas):
+            raise UploadError(
+                f"row width {len(row)} does not match schema width {len(metas)}"
+            )
+        row_id = keys.random_row_id(rng)
+        nonce = _random_nonce(rng)
+        rowid_cell = cipher.encrypt(row_id % sies_key.modulus, nonce)
+        aux_vk = item_key(keys, row_id, meta.aux_key)
+        aux_cell = encrypt_value(keys, 1, aux_vk)
+        storage_row = []
+        for value, column in zip(row, metas):
+            if not column.sensitive or value is None:
+                storage_row.append(value)
+                continue
+            ring = check_domain(column.vtype.encode(value), keys.value_bits)
+            vk = item_key(keys, row_id, column.key)
+            storage_row.append(encrypt_value(keys, encode_signed(ring, keys.n), vk))
+        storage_row.append(rowid_cell)
+        storage_row.append(aux_cell)
+        out.append(tuple(storage_row))
+    return out
+
+
+def _random_nonce(rng) -> int:
+    if rng is not None:
+        return rng.getrandbits(63)
+    return secrets.randbits(63)

@@ -1,0 +1,124 @@
+"""EXPLAIN: what the proxy is about to do, without doing it.
+
+The demo UI (Figure 3) shows the attendee the rewritten query next to the
+original.  :func:`explain` packages that view -- rewritten SQL, how each
+output column decrypts, declared leakage, rewriting notes -- for the
+shell, tests and documentation, with no server round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import Const, PlainSlot, PostOp, ShareSlot
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """A dry-run description of one statement."""
+
+    kind: str                       # 'select' | 'insert' | 'update' | 'delete'
+    original_sql: str
+    rewritten_sql: str
+    outputs: tuple[str, ...]        # one human-readable line per output
+    leakage: tuple[str, ...]
+    notes: tuple[str, ...]
+
+    def pretty(self) -> str:
+        lines = [f"-- {self.kind.upper()} --"]
+        lines.append("rewritten:")
+        lines.append(f"  {self.rewritten_sql}")
+        if self.outputs:
+            lines.append("outputs:")
+            lines.extend(f"  {line}" for line in self.outputs)
+        lines.append("declared leakage:")
+        if self.leakage:
+            lines.extend(f"  - {item}" for item in self.leakage)
+        else:
+            lines.append("  (none)")
+        if self.notes:
+            lines.append("notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def explain(proxy, sql: str) -> ExplainReport:
+    """Rewrite ``sql`` against the proxy's key store; never contacts the SP.
+
+    INSERTs are described rather than rewritten: rewriting one would burn
+    fresh row ids for rows that are never stored.
+    """
+    statement = parse_statement(sql)
+    if isinstance(statement, ast.Select):
+        plan = proxy.rewriter.rewrite(statement)
+        outputs = tuple(
+            f"{column.name}: {describe_spec(column.spec)}"
+            for column in plan.outputs
+        )
+        return ExplainReport(
+            kind="select",
+            original_sql=sql,
+            rewritten_sql=plan.sql,
+            outputs=outputs,
+            leakage=plan.leakage,
+            notes=plan.notes,
+        )
+    if isinstance(statement, ast.Insert):
+        meta = proxy.store.table(statement.table)
+        sensitive = [c.name for c in meta.columns.values() if c.sensitive]
+        return ExplainReport(
+            kind="insert",
+            original_sql=sql,
+            rewritten_sql=(
+                f"INSERT INTO {statement.table} (...{len(meta.columns)} columns"
+                f" + __rowid + __s) VALUES (<shares>)"
+            ),
+            outputs=(),
+            leakage=tuple(
+                f"insert: plaintext of insensitive column {c.name!r}"
+                for c in meta.columns.values()
+                if not c.sensitive
+            ),
+            notes=(
+                f"sensitive columns encrypted at the proxy: {sensitive}",
+                "each row gets a fresh random row id (CPA resistance)",
+            ),
+        )
+    if isinstance(statement, ast.Update):
+        plan = proxy.rewriter.rewrite_update(statement)
+    else:
+        plan = proxy.rewriter.rewrite_delete(statement)
+    return ExplainReport(
+        kind=type(statement).__name__.lower(),
+        original_sql=sql,
+        rewritten_sql=plan.sql,
+        outputs=(),
+        leakage=plan.leakage,
+        notes=plan.notes,
+    )
+
+
+def describe_spec(spec) -> str:
+    """One line describing how an output column decrypts."""
+    if isinstance(spec, PlainSlot):
+        return f"plain (result column {spec.index})"
+    if isinstance(spec, ShareSlot):
+        if spec.key.is_row_independent:
+            key = "row-independent key"
+        else:
+            sources = ", ".join(s for s, _ in spec.key.terms)
+            key = f"key over row ids of [{sources}]"
+        return (
+            f"share (result column {spec.index}, {key}, "
+            f"type {spec.vtype.kind})"
+        )
+    if isinstance(spec, PostOp):
+        left = describe_spec(spec.left)
+        if spec.right is None:
+            return f"proxy-side {spec.op}({left})"
+        return f"proxy-side ({left} {spec.op} {describe_spec(spec.right)})"
+    if isinstance(spec, Const):
+        return f"constant {spec.value!r}"
+    return f"<{type(spec).__name__}>"

@@ -1,0 +1,195 @@
+"""The DO-side key store (demo step 1).
+
+Holds the system keys, one :class:`TableMeta` per uploaded table (column
+keys, auxiliary-column keys) and the SIES key for row ids.  The paper's
+demo invites the attendee to "check the size of the key store": it is
+O(#columns), independent of row count -- :meth:`KeyStore.size_bytes` makes
+that measurable (experiment E5).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.meta import ColumnMeta, TableMeta, ValueType
+from repro.crypto import keyops
+from repro.crypto.keys import ColumnKey, SystemKeys
+from repro.crypto.sies import SIESKey
+
+
+class KeyStoreError(KeyError):
+    """Unknown table/column, or duplicate registration."""
+
+
+class KeyStore:
+    """Column keys and table metadata for one data owner."""
+
+    def __init__(self, keys: SystemKeys, sies_key: SIESKey):
+        self.keys = keys
+        self.sies_key = sies_key
+        self._tables: dict[str, TableMeta] = {}
+        self._views: dict[str, str] = {}  # name -> defining SELECT text
+
+    # -- registration -----------------------------------------------------
+
+    def register_table(self, meta: TableMeta, replace: bool = False) -> None:
+        key = meta.name.lower()
+        if key in self._tables and not replace:
+            raise KeyStoreError(f"table {meta.name!r} already registered")
+        self._tables[key] = meta
+
+    def drop_table(self, name: str) -> None:
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise KeyStoreError(f"unknown table {name!r}") from None
+
+    # -- lookup ------------------------------------------------------------
+
+    def table(self, name: str) -> TableMeta:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise KeyStoreError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- views ---------------------------------------------------------------
+    #
+    # Views live at the *proxy*: the SP never learns that a query came
+    # through a view, it only sees the fully expanded rewritten SQL.  A
+    # view is therefore also a convenient place to hide rewriting detail
+    # from applications.
+
+    def register_view(self, name: str, sql: str, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._tables:
+            raise KeyStoreError(f"{name!r} is already a table")
+        if key in self._views and not replace:
+            raise KeyStoreError(f"view {name!r} already registered")
+        self._views[key] = sql
+
+    def view(self, name: str) -> str:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise KeyStoreError(f"unknown view {name!r}") from None
+
+    def is_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def drop_view(self, name: str) -> None:
+        try:
+            del self._views[name.lower()]
+        except KeyError:
+            raise KeyStoreError(f"unknown view {name!r}") from None
+
+    def views(self) -> list[str]:
+        return sorted(self._views)
+
+    def column_key(self, table: str, column: str) -> ColumnKey:
+        meta = self.table(table).column(column)
+        if not meta.sensitive or meta.key is None:
+            raise KeyStoreError(f"{table}.{column} is not a sensitive column")
+        return meta.key
+
+    def aux_key(self, table: str) -> ColumnKey:
+        aux = self.table(table).aux_key
+        if aux is None:
+            raise KeyStoreError(f"table {table!r} has no auxiliary column key")
+        return aux
+
+    # -- measurement ----------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialized size of everything the DO must keep secret.
+
+        System keys + SIES key + per-column keys.  Deliberately *excludes*
+        any per-row material: there is none, which is the demo's point.
+        """
+        return len(self.to_json().encode("utf-8"))
+
+    def to_json(self) -> str:
+        payload = {
+            "system": {
+                "n": self.keys.n,
+                "g": self.keys.g,
+                "rho1": self.keys.rho1,
+                "rho2": self.keys.rho2,
+                "value_bits": self.keys.value_bits,
+            },
+            "sies": {
+                "key": self.sies_key.key.hex(),
+                "modulus": self.sies_key.modulus,
+            },
+            "tables": {
+                name: _table_to_dict(meta) for name, meta in self._tables.items()
+            },
+            "views": dict(self._views),
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "KeyStore":
+        data = json.loads(payload)
+        system = data["system"]
+        keys = SystemKeys(
+            n=int(system["n"]),
+            g=int(system["g"]),
+            rho1=int(system["rho1"]),
+            rho2=int(system["rho2"]),
+            phi=(int(system["rho1"]) - 1) * (int(system["rho2"]) - 1),
+            value_bits=int(system["value_bits"]),
+        )
+        sies = SIESKey(
+            key=bytes.fromhex(data["sies"]["key"]),
+            modulus=int(data["sies"]["modulus"]),
+        )
+        store = cls(keys, sies)
+        for name, table in data["tables"].items():
+            store.register_table(_table_from_dict(name, table))
+        for name, sql in data.get("views", {}).items():
+            store.register_view(name, sql)
+        return store
+
+
+def _table_to_dict(meta: TableMeta) -> dict:
+    return {
+        "aux_key": [meta.aux_key.m, meta.aux_key.x] if meta.aux_key else None,
+        "num_rows": meta.num_rows,
+        "columns": [
+            {
+                "name": c.name,
+                "kind": c.vtype.kind,
+                "scale": c.vtype.scale,
+                "width": c.vtype.width,
+                "sensitive": c.sensitive,
+                "key": [c.key.m, c.key.x] if c.key else None,
+            }
+            for c in meta.columns.values()
+        ],
+    }
+
+
+def _table_from_dict(name: str, data: dict) -> TableMeta:
+    columns = {}
+    for c in data["columns"]:
+        key = ColumnKey(m=c["key"][0], x=c["key"][1]) if c["key"] else None
+        columns[c["name"]] = ColumnMeta(
+            name=c["name"],
+            vtype=ValueType(c["kind"], scale=c["scale"], width=c["width"]),
+            sensitive=c["sensitive"],
+            key=key,
+        )
+    aux = data["aux_key"]
+    return TableMeta(
+        name=name,
+        columns=columns,
+        aux_key=ColumnKey(m=aux[0], x=aux[1]) if aux else None,
+        num_rows=data["num_rows"],
+    )

@@ -1,0 +1,152 @@
+"""Logical value types and sensitivity metadata.
+
+The DO declares, per uploaded column, a logical type and whether the column
+is sensitive (demo step 1: "choose the attributes that need to be
+protected").  Sensitive columns are ring-encoded and secret-shared; the
+rest are stored plain at the SP.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto import encoding
+from repro.crypto.keys import ColumnKey
+
+
+@dataclass(frozen=True)
+class ValueType:
+    """A logical type: int, decimal(scale), date, string(width) or bool."""
+
+    kind: str  # 'int' | 'decimal' | 'date' | 'string' | 'bool'
+    scale: int = 0
+    width: int = 0
+
+    KINDS = ("int", "decimal", "date", "string", "bool")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown value kind {self.kind!r}")
+        if self.kind == "decimal" and self.scale < 0:
+            raise ValueError("decimal scale must be non-negative")
+        if self.kind == "string" and self.width <= 0:
+            raise ValueError("string columns need a positive width")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def int_(cls) -> "ValueType":
+        return cls("int")
+
+    @classmethod
+    def decimal(cls, scale: int = 2) -> "ValueType":
+        return cls("decimal", scale=scale)
+
+    @classmethod
+    def date(cls) -> "ValueType":
+        return cls("date")
+
+    @classmethod
+    def string(cls, width: int) -> "ValueType":
+        return cls("string", width=width)
+
+    @classmethod
+    def bool_(cls) -> "ValueType":
+        return cls("bool")
+
+    # -- ring encoding ---------------------------------------------------------
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in ("int", "decimal")
+
+    @property
+    def is_orderable(self) -> bool:
+        return self.kind in ("int", "decimal", "date", "string")
+
+    def encode(self, value) -> int:
+        """Map an application value to a (signed) ring integer."""
+        if self.kind == "int":
+            return int(value)
+        if self.kind == "decimal":
+            return encoding.encode_decimal(value, self.scale)
+        if self.kind == "date":
+            return encoding.encode_date(value)
+        if self.kind == "string":
+            return encoding.encode_string(value, self.width)
+        if self.kind == "bool":
+            return int(bool(value))
+        raise AssertionError(self.kind)
+
+    def decode(self, ring_value: int):
+        """Inverse of :meth:`encode` (input already sign-decoded)."""
+        if self.kind == "int":
+            return ring_value
+        if self.kind == "decimal":
+            return encoding.decode_decimal(ring_value, self.scale)
+        if self.kind == "date":
+            return encoding.decode_date(ring_value)
+        if self.kind == "string":
+            return encoding.decode_string(ring_value, self.width)
+        if self.kind == "bool":
+            return bool(ring_value)
+        raise AssertionError(self.kind)
+
+
+@dataclass(frozen=True)
+class ColumnMeta:
+    """DO-side metadata for one uploaded column."""
+
+    name: str
+    vtype: ValueType
+    sensitive: bool = False
+    key: Optional[ColumnKey] = None  # set for sensitive columns
+
+    def __post_init__(self):
+        if self.sensitive and self.key is None:
+            raise ValueError(f"sensitive column {self.name!r} needs a column key")
+
+
+@dataclass
+class TableMeta:
+    """DO-side metadata for one uploaded table.
+
+    ``aux_key`` is the column key of the auxiliary ``S`` column (encrypted
+    1s) every encrypted table carries; ``sies_nonce_base`` seeds the per-row
+    SIES nonces for the encrypted row ids.
+    """
+
+    name: str
+    columns: dict  # name -> ColumnMeta (insertion-ordered)
+    aux_key: Optional[ColumnKey] = None
+    num_rows: int = 0
+
+    def column(self, name: str) -> ColumnMeta:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    @property
+    def has_sensitive(self) -> bool:
+        return any(c.sensitive for c in self.columns.values())
+
+    def sensitive_columns(self) -> list[str]:
+        return [c.name for c in self.columns.values() if c.sensitive]
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Which columns of a schema are sensitive (demo step 1 settings page)."""
+
+    name: str
+    sensitive: frozenset
+
+    @classmethod
+    def of(cls, name: str, columns) -> "SensitivityProfile":
+        return cls(name=name, sensitive=frozenset(columns))
+
+    def is_sensitive(self, table: str, column: str) -> bool:
+        return f"{table}.{column}" in self.sensitive or column in self.sensitive

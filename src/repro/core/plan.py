@@ -1,0 +1,99 @@
+"""Rewrite products: the rewritten query plus the decryption plan.
+
+The proxy needs two things back from the rewriter: the query to submit to
+the SP, and a *decryption plan* describing how each application-visible
+output column is recovered from the (partly encrypted) result relation:
+
+* :class:`PlainSlot` -- the SP column is already plaintext (insensitive
+  data, counts, comparison outcomes).
+* :class:`ShareSlot` -- the SP column holds shares under a derived key;
+  decryption may need SIES row ids delivered in hidden columns.
+* :class:`PostOp` trees -- proxy-side arithmetic that cannot run in the
+  ring (division, AVG): leaves are slots, inner nodes are exact rational
+  operators evaluated after decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.meta import ValueType
+from repro.crypto.keyops import KeyExpr
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class PlainSlot:
+    """Pass-through output: result column ``index`` is plaintext."""
+
+    index: int
+    vtype: Optional[ValueType] = None
+
+
+@dataclass(frozen=True)
+class ShareSlot:
+    """Encrypted output: result column ``index`` holds shares under ``key``.
+
+    ``rowid_slots`` maps each row-id source in ``key.terms`` to the index
+    of the hidden result column carrying that source's SIES ciphertext.
+    """
+
+    index: int
+    key: KeyExpr
+    vtype: ValueType
+    rowid_slots: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class PostOp:
+    """Proxy-side arithmetic over decrypted slots (division, AVG, ...)."""
+
+    op: str  # '+', '-', '*', '/', 'neg'
+    left: "OutputSpec"
+    right: Optional["OutputSpec"] = None
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal folded into a proxy-side post expression."""
+
+    value: object
+
+
+OutputSpec = Union[PlainSlot, ShareSlot, PostOp, Const]
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One application-visible output column."""
+
+    name: str
+    spec: OutputSpec
+
+
+@dataclass
+class RewrittenQuery:
+    """Everything the proxy needs to run one query end to end."""
+
+    query: ast.Select                     # submitted to the SP
+    outputs: tuple[OutputColumn, ...]     # in application order
+    leakage: tuple[str, ...] = ()         # per-site leakage events
+    notes: tuple[str, ...] = ()           # rewriting decisions worth surfacing
+
+    @property
+    def sql(self) -> str:
+        return self.query.to_sql()
+
+
+@dataclass
+class RewrittenDML:
+    """A rewritten INSERT/UPDATE/DELETE ready for submission to the SP."""
+
+    statement: ast.Statement
+    leakage: tuple[str, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    @property
+    def sql(self) -> str:
+        return self.statement.to_sql()

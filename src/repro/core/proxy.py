@@ -1,0 +1,426 @@
+"""The SDB proxy at the data owner (paper Figure 2).
+
+Responsibilities, verbatim from Section 2.2:
+
+* storing column keys for sensitive data in its key store;
+* accepting SQL queries from the application;
+* rewriting operators on sensitive columns to UDFs and submitting the
+  rewritten queries to the SP;
+* receiving encrypted results and decrypting them with the column keys;
+* sending decrypted results back to the application.
+
+The proxy also measures the client/server cost breakdown the demo shows in
+step 2 (parse + rewrite + decrypt vs. server execution).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.channel import Channel
+from repro.core.decryptor import Decryptor
+from repro.core.encryptor import AUX_COLUMN, ROWID_COLUMN, encrypt_rows, encrypt_table
+from repro.core.keystore import KeyStore
+from repro.core.meta import ValueType
+from repro.core.protocols import ProtocolPolicy
+from repro.core.rewriter import RewriteError, Rewriter
+from repro.core.server import SDBServer
+from repro.crypto.keys import generate_system_keys
+from repro.crypto.sies import SIESKey
+from repro.engine.expressions import Evaluator, RowScope
+from repro.engine.table import Table
+from repro.sql import ast
+from repro.sql.parser import parse, parse_statement
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-query wall-clock split (demo step 2)."""
+
+    parse_s: float
+    rewrite_s: float
+    server_s: float
+    decrypt_s: float
+
+    @property
+    def client_s(self) -> float:
+        return self.parse_s + self.rewrite_s + self.decrypt_s
+
+    @property
+    def total_s(self) -> float:
+        return self.client_s + self.server_s
+
+    @property
+    def client_fraction(self) -> float:
+        total = self.total_s
+        return self.client_s / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A decrypted result plus everything the demo UI displays."""
+
+    table: Table
+    rewritten_sql: str
+    cost: CostBreakdown
+    leakage: tuple[str, ...]
+    notes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DMLResult:
+    """Outcome of an INSERT/UPDATE/DELETE issued through the proxy."""
+
+    affected: int
+    rewritten_sql: str
+    cost: CostBreakdown
+    leakage: tuple[str, ...]
+    notes: tuple[str, ...]
+
+
+class SDBProxy:
+    """The data owner's gateway to the (untrusted) service provider."""
+
+    def __init__(
+        self,
+        server: SDBServer,
+        modulus_bits: int = 256,
+        value_bits: int = 64,
+        policy: Optional[ProtocolPolicy] = None,
+        rng=None,
+    ):
+        keys = generate_system_keys(
+            modulus_bits=modulus_bits, value_bits=value_bits, rng=rng
+        )
+        sies_key = SIESKey.generate(keys.n, rng=rng)
+        self.store = KeyStore(keys, sies_key)
+        self.policy = policy or ProtocolPolicy()
+        self.rewriter = Rewriter(self.store, policy=self.policy, rng=rng)
+        self.server = server
+        self.channel = Channel()
+        self._decryptor = Decryptor(self.store)
+        self._rng = rng
+
+    # -- uploads (demo step 1) ----------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, ValueType]],
+        rows: Iterable[Sequence],
+        sensitive: Iterable[str] = (),
+        rng=None,
+        replace: bool = False,
+    ) -> None:
+        """Encrypt and upload a table."""
+        meta, encrypted = encrypt_table(
+            self.store.keys,
+            self.store.sies_key,
+            name,
+            columns,
+            rows,
+            sensitive,
+            rng=rng,
+        )
+        self.store.register_table(meta, replace=replace)
+        self.channel.record_upload(name, encrypted)
+        self.server.store_table(name, encrypted, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self.store.drop_table(name)
+        self.server.drop_table(name)
+
+    # -- views (proxy-side; the SP only ever sees expanded SQL) --------------
+
+    def create_view(self, name: str, sql: str, replace: bool = False) -> None:
+        """Register a named SELECT; queries may use it like a table.
+
+        The definition is validated by rewriting it once (errors surface
+        at creation, not first use) and stored in the key store -- the SP
+        never learns the view exists.
+        """
+        parsed = parse(sql)
+        self.store.register_view(name, sql, replace=replace)
+        try:
+            self.rewriter.rewrite(parsed)
+        except Exception:
+            self.store.drop_view(name)
+            raise
+
+    def drop_view(self, name: str) -> None:
+        self.store.drop_view(name)
+
+    # -- queries (demo step 2) ------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Parse, rewrite, submit, decrypt -- with a cost breakdown."""
+        t0 = time.perf_counter()
+        parsed = parse(sql)
+        t1 = time.perf_counter()
+        plan = self.rewriter.rewrite(parsed)
+        t2 = time.perf_counter()
+        self.channel.record_query(plan.sql)
+        encrypted_result = self.server.execute(plan.query)
+        self.channel.record_result(encrypted_result)
+        t3 = time.perf_counter()
+        table = self._decryptor.decrypt(encrypted_result, plan.outputs)
+        t4 = time.perf_counter()
+        return QueryResult(
+            table=table,
+            rewritten_sql=plan.sql,
+            cost=CostBreakdown(
+                parse_s=t1 - t0,
+                rewrite_s=t2 - t1,
+                server_s=t3 - t2,
+                decrypt_s=t4 - t3,
+            ),
+            leakage=plan.leakage,
+            notes=plan.notes,
+        )
+
+    # -- DML -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> Union[QueryResult, DMLResult]:
+        """Run any supported statement (SELECT, DML, BEGIN/COMMIT/ROLLBACK)."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Select):
+            return self.query(sql)
+        if isinstance(statement, ast.TxnControl):
+            return self._execute_txn(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_dml(statement, self.rewriter.rewrite_update)
+        return self._execute_dml(statement, self.rewriter.rewrite_delete)
+
+    def _execute_txn(self, statement: ast.TxnControl) -> DMLResult:
+        """Transaction control, mirrored in the key store's row counts.
+
+        The SP owns the data-side undo; the proxy only has to keep its
+        ``num_rows`` bookkeeping consistent when a transaction's inserts
+        and deletes are rolled back.
+        """
+        t0 = time.perf_counter()
+        if statement.kind == "begin":
+            self.server.begin()
+            self._txn_row_counts = {
+                name: self.store.table(name).num_rows
+                for name in self.store.tables()
+            }
+        elif statement.kind == "commit":
+            self.server.commit()
+            self._txn_row_counts = None
+        else:
+            self.server.rollback()
+            saved = getattr(self, "_txn_row_counts", None)
+            if saved:
+                for name, count in saved.items():
+                    if name in self.store:
+                        self.store.table(name).num_rows = count
+            self._txn_row_counts = None
+        t1 = time.perf_counter()
+        self.channel.record_query(statement.to_sql())
+        return DMLResult(
+            affected=0,
+            rewritten_sql=statement.to_sql(),
+            cost=CostBreakdown(
+                parse_s=0.0, rewrite_s=0.0, server_s=t1 - t0, decrypt_s=0.0
+            ),
+            leakage=(),
+            notes=(f"transaction {statement.kind}",),
+        )
+
+    def _execute_insert(self, statement: ast.Insert) -> DMLResult:
+        """Encrypt the VALUES rows locally and submit an encrypted INSERT.
+
+        Each inserted row gets a fresh random row id, so two inserts of the
+        same plaintext produce unrelated shares -- the property that defeats
+        the paper's chosen-plaintext (bank-account) attacker.
+        """
+        t0 = time.perf_counter()
+        if statement.table not in self.store:
+            raise RewriteError(f"table {statement.table!r} is not uploaded")
+        meta = self.store.table(statement.table)
+        names = list(meta.columns)
+        if statement.columns is not None:
+            unknown = [c for c in statement.columns if c not in meta.columns]
+            if unknown:
+                raise RewriteError(
+                    f"table {statement.table!r} has no columns {unknown}"
+                )
+            positions = {c: i for i, c in enumerate(statement.columns)}
+        else:
+            positions = {c: i for i, c in enumerate(names)}
+
+        evaluator = Evaluator(None, RowScope({}))
+        plain_rows = []
+        for value_row in statement.rows:
+            if len(value_row) != len(positions):
+                raise RewriteError("INSERT row width mismatch")
+            try:
+                values = [evaluator.evaluate(v) for v in value_row]
+            except Exception as exc:
+                raise RewriteError(
+                    f"INSERT values must be constant expressions: {exc}"
+                ) from exc
+            plain_rows.append(
+                tuple(
+                    values[positions[name]] if name in positions else None
+                    for name in names
+                )
+            )
+        t1 = time.perf_counter()
+        encrypted = encrypt_rows(
+            self.store.keys, self.store.sies_key, meta, plain_rows, rng=self._rng
+        )
+        rewritten = ast.Insert(
+            table=statement.table,
+            columns=tuple(names) + (ROWID_COLUMN, AUX_COLUMN),
+            rows=tuple(
+                tuple(ast.Literal(cell) for cell in row) for row in encrypted
+            ),
+        )
+        t2 = time.perf_counter()
+        self.channel.record_query(rewritten.to_sql())
+        affected = self.server.execute_dml(rewritten)
+        t3 = time.perf_counter()
+        meta.num_rows += affected
+        insensitive = [
+            c.name for c in meta.columns.values() if not c.sensitive
+        ]
+        leakage = tuple(
+            f"insert: plaintext of insensitive column {name!r}"
+            for name in insensitive
+        ) + (f"insert: row count {affected}",)
+        return DMLResult(
+            affected=affected,
+            rewritten_sql=rewritten.to_sql(),
+            cost=CostBreakdown(
+                parse_s=t1 - t0, rewrite_s=t2 - t1, server_s=t3 - t2, decrypt_s=0.0
+            ),
+            leakage=leakage,
+            notes=("values encrypted at the proxy with fresh row ids",),
+        )
+
+    def _execute_dml(self, statement, rewrite) -> DMLResult:
+        t0 = time.perf_counter()
+        plan = rewrite(statement)
+        t1 = time.perf_counter()
+        self.channel.record_query(plan.sql)
+        affected = self.server.execute_dml(plan.statement)
+        t2 = time.perf_counter()
+        meta = self.store.table(statement.table)
+        if isinstance(statement, ast.Delete):
+            meta.num_rows -= affected
+        return DMLResult(
+            affected=affected,
+            rewritten_sql=plan.sql,
+            cost=CostBreakdown(
+                parse_s=0.0, rewrite_s=t1 - t0, server_s=t2 - t1, decrypt_s=0.0
+            ),
+            leakage=plan.leakage,
+            notes=plan.notes,
+        )
+
+    # -- key management -----------------------------------------------------------
+
+    def rotate_column_key(self, table: str, column: str) -> DMLResult:
+        """Re-encrypt one sensitive column under a fresh key, SP-side only.
+
+        This is the key-update protocol used as an administrative
+        operation: the proxy draws a fresh column key, derives the public
+        parameters ``(p, q)`` and submits one UPDATE whose assignment is a
+        single ``sdb_keyupdate`` call over the column and its auxiliary
+        ``S`` column.  The ciphertexts never leave the SP, no plaintext is
+        touched, and a copy of the *old* key (say, from a compromised
+        backup of the key store) can no longer decrypt the column.
+        """
+        from repro.crypto import keyops
+        from repro.crypto.keyops import KeyExpr
+
+        meta = self.store.table(table)
+        column_meta = meta.column(column)
+        if not column_meta.sensitive:
+            raise RewriteError(f"column {column!r} is not sensitive")
+        new_key = self.store.keys.random_column_key(self._rng)
+        params = keyops.key_update_params(
+            self.store.keys,
+            KeyExpr.from_column_key(column_meta.key, table),
+            KeyExpr.from_column_key(new_key, table),
+            {table: meta.aux_key},
+        )
+        return self._apply_rotation(meta, column, column_meta, new_key, params)
+
+    def rotate_aux_key(self, table: str) -> DMLResult:
+        """Re-key the auxiliary ``S`` column itself.
+
+        ``S`` (an encryption of 1) is its own key-update helper: the update
+        expression references the pre-rotation ``__s`` cells, and SQL UPDATE
+        semantics evaluate assignments against the original row.
+        """
+        from repro.crypto import keyops
+        from repro.crypto.keyops import KeyExpr
+
+        meta = self.store.table(table)
+        new_key = keyops.aux_column_key(self.store.keys, self._rng)
+        params = keyops.key_update_params(
+            self.store.keys,
+            KeyExpr.from_column_key(meta.aux_key, table),
+            KeyExpr.from_column_key(new_key, table),
+            {table: meta.aux_key},
+        )
+        result = self._apply_rotation(meta, "__s", None, new_key, params)
+        meta.aux_key = new_key
+        return result
+
+    def _apply_rotation(self, meta, column, column_meta, new_key, params) -> DMLResult:
+        import dataclasses
+
+        n = self.store.keys.n
+        args = [ast.Column(column), ast.Literal(params.p), ast.Literal(n)]
+        for _, q in params.q_by_source:
+            args.append(ast.Column("__s"))
+            args.append(ast.Literal(q))
+        statement = ast.Update(
+            table=meta.name,
+            assignments=(
+                ast.Assignment(
+                    column=column,
+                    value=ast.FuncCall("sdb_keyupdate", tuple(args)),
+                ),
+            ),
+            where=None,
+        )
+        t0 = time.perf_counter()
+        self.channel.record_query(statement.to_sql())
+        affected = self.server.execute_dml(statement)
+        t1 = time.perf_counter()
+        if column_meta is not None:
+            meta.columns[column] = dataclasses.replace(column_meta, key=new_key)
+        return DMLResult(
+            affected=affected,
+            rewritten_sql=statement.to_sql(),
+            cost=CostBreakdown(
+                parse_s=0.0, rewrite_s=0.0, server_s=t1 - t0, decrypt_s=0.0
+            ),
+            leakage=(),
+            notes=(
+                f"column {meta.name}.{column} re-keyed at the SP; "
+                "old key can no longer decrypt",
+            ),
+        )
+
+    # -- inspection ---------------------------------------------------------------
+
+    def explain(self, sql: str):
+        """Dry-run: the rewritten statement and decryption plan for ``sql``."""
+        from repro.core.explain import explain
+
+        return explain(self, sql)
+
+    # -- key store inspection (demo step 1) --------------------------------------
+
+    def key_store_bytes(self) -> int:
+        return self.store.size_bytes()

@@ -1,0 +1,1684 @@
+"""SQL rewriting: plain queries in, UDF queries + decryption plans out.
+
+This is the proxy component of paper Figure 2: "rewriting the SQL operators
+that involve sensitive columns to their corresponding UDFs".  The rewriter
+walks the application's AST and, wherever a sensitive column is touched,
+replaces the operator by the SDB UDF implementing its secure protocol while
+*deriving the column key of the result* (Section 2.2's multiplication
+example, generalized to the full operator suite of
+:mod:`repro.core.protocols`).
+
+Design notes
+------------
+
+* Every intermediate sensitive value carries a :class:`KeyExpr` -- the
+  derived key with one exponent term per row-id source.  Outputs that still
+  have terms get hidden SIES row-id columns appended so the proxy can
+  regenerate item keys (the paper's "the row-id is added in the rewritten
+  query").
+* Derived tables re-export the auxiliary ``__s`` and ``__rowid`` columns of
+  any source that their share outputs still depend on, so outer operators
+  can keep performing key updates -- data interoperability across query
+  nesting.
+* Divisions and AVG cannot run in the ring.  In output position they become
+  proxy-side :class:`PostOp` trees over exact SP-computed parts; in
+  comparisons they are *normalized away* by cross-multiplication (the
+  divisor must be provably positive: COUNT aggregates and positive
+  literals), which is how e.g. TPC-H Q17's ``l_quantity < 0.2 * avg(...)``
+  runs entirely at the SP.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.keystore import KeyStore
+from repro.core.meta import TableMeta, ValueType
+from repro.core.plan import (
+    Const,
+    OutputColumn,
+    PlainSlot,
+    PostOp,
+    RewrittenQuery,
+    ShareSlot,
+)
+from repro.core.protocols import ComparisonMode, ProtocolPolicy
+from repro.crypto import keyops, ntheory
+from repro.crypto.keys import ColumnKey
+from repro.crypto.keyops import KeyExpr
+from repro.engine.expressions import Evaluator, EvaluationError, RowScope
+from repro.sql import ast
+
+ROWID_COLUMN = "__rowid"
+AUX_COLUMN = "__s"
+
+
+class RewriteError(ValueError):
+    """The query cannot be rewritten (unknown table/column, misuse)."""
+
+
+class UnsupportedQueryError(RewriteError):
+    """The query needs an operation outside SDB's secure operator suite."""
+
+
+@dataclass(frozen=True)
+class RExpr:
+    """A rewritten expression: SP-evaluable node + value metadata."""
+
+    node: ast.Expr
+    vtype: ValueType
+    key: Optional[KeyExpr] = None
+
+    @property
+    def is_share(self) -> bool:
+        return self.key is not None
+
+
+@dataclass(frozen=True)
+class SourceHandle:
+    """How to reach one row-id source's helper columns from a scope."""
+
+    name: str
+    aux_key: ColumnKey
+    s_expr: ast.Expr
+    rowid_expr: ast.Expr
+
+
+@dataclass(frozen=True)
+class DerivedColumn:
+    """Metadata of one derived-table output column."""
+
+    name: str
+    vtype: ValueType
+    key: Optional[KeyExpr] = None
+
+
+class Scope:
+    """Name resolution for the rewriter (bindings, sources, memos)."""
+
+    def __init__(self, outer: Optional["Scope"] = None):
+        self.tables: dict[str, TableMeta] = {}
+        self.derived: dict[str, dict[str, DerivedColumn]] = {}
+        self.sources: dict[str, SourceHandle] = {}
+        self.memo: dict[ast.Expr, RExpr] = {}
+        self.outer = outer
+
+    # -- registration -----------------------------------------------------
+
+    def add_table(self, binding: str, meta: TableMeta) -> None:
+        if binding in self.tables or binding in self.derived:
+            raise RewriteError(f"duplicate binding {binding!r}")
+        self.tables[binding] = meta
+        self.sources[binding] = SourceHandle(
+            name=binding,
+            aux_key=meta.aux_key,
+            s_expr=ast.Column(AUX_COLUMN, table=binding),
+            rowid_expr=ast.Column(ROWID_COLUMN, table=binding),
+        )
+
+    def add_derived(
+        self, binding: str, columns: dict, handles: list[SourceHandle]
+    ) -> None:
+        if binding in self.tables or binding in self.derived:
+            raise RewriteError(f"duplicate binding {binding!r}")
+        self.derived[binding] = columns
+        for handle in handles:
+            self.sources.setdefault(handle.name, handle)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, name: str, table: Optional[str]) -> RExpr:
+        scope = self
+        while scope is not None:
+            hit = scope._resolve_local(name, table)
+            if hit is not None:
+                return hit
+            scope = scope.outer
+        where = f"{table}.{name}" if table else name
+        raise RewriteError(f"unknown column {where!r}")
+
+    def _resolve_local(self, name: str, table: Optional[str]) -> Optional[RExpr]:
+        hits = []
+        for binding, meta in self.tables.items():
+            if table is not None and binding != table:
+                continue
+            if name in meta.columns:
+                hits.append(_column_rexpr(binding, meta.columns[name]))
+        for binding, columns in self.derived.items():
+            if table is not None and binding != table:
+                continue
+            if name in columns:
+                col = columns[name]
+                hits.append(
+                    RExpr(
+                        node=ast.Column(col.name, table=binding),
+                        vtype=col.vtype,
+                        key=col.key,
+                    )
+                )
+        if len(hits) > 1:
+            raise RewriteError(f"ambiguous column {name!r}")
+        return hits[0] if hits else None
+
+    def handle(self, source: str) -> SourceHandle:
+        scope = self
+        while scope is not None:
+            if source in scope.sources:
+                return scope.sources[source]
+            scope = scope.outer
+        raise UnsupportedQueryError(
+            f"no auxiliary column available for source {source!r}"
+        )
+
+    def column_is_sensitive(self, name: str, table: Optional[str]) -> bool:
+        try:
+            return self.resolve(name, table).is_share
+        except RewriteError:
+            return False
+
+    def all_bindings(self) -> list[str]:
+        return list(self.tables) + list(self.derived)
+
+    def binding_columns(self, binding: str) -> list[str]:
+        if binding in self.tables:
+            return list(self.tables[binding].columns)
+        if binding in self.derived:
+            return list(self.derived[binding])
+        raise RewriteError(f"unknown table {binding!r} in star expansion")
+
+
+def _column_rexpr(binding: str, meta) -> RExpr:
+    node = ast.Column(meta.name, table=binding)
+    if meta.sensitive:
+        return RExpr(
+            node=node,
+            vtype=meta.vtype,
+            key=KeyExpr.from_column_key(meta.key, binding),
+        )
+    return RExpr(node=node, vtype=meta.vtype)
+
+
+class Rewriter:
+    """Rewrites application queries for one key store."""
+
+    def __init__(
+        self,
+        store: KeyStore,
+        policy: Optional[ProtocolPolicy] = None,
+        rng=None,
+    ):
+        self.store = store
+        self.keys = store.keys
+        self.policy = policy or ProtocolPolicy()
+        self.rng = rng if rng is not None else random.SystemRandom()
+        self._leakage: list[str] = []
+        self._notes: list[str] = []
+        self._hidden_counter = 0
+
+    # -- entry point --------------------------------------------------------
+
+    def rewrite(self, query: ast.Select) -> RewrittenQuery:
+        self._leakage = []
+        self._notes = []
+        self._hidden_counter = 0
+        rewritten, outputs = self._rewrite_top(query)
+        return RewrittenQuery(
+            query=rewritten,
+            outputs=tuple(outputs),
+            leakage=tuple(self._leakage),
+            notes=tuple(self._notes),
+        )
+
+    # -- views ----------------------------------------------------------------
+
+    def _expand_view(self, texpr: ast.TableRef) -> ast.SubqueryRef:
+        """Inline a proxy-side view as a derived table.
+
+        Cycle detection lives in the caller (:meth:`_rewrite_from`), whose
+        guard stays open while the expanded subquery is rewritten -- views
+        referencing views are legal, definition cycles are an error.
+        """
+        from repro.sql.parser import parse
+
+        query = parse(self.store.view(texpr.name))
+        return ast.SubqueryRef(query=query, alias=texpr.binding)
+
+    # -- DML -----------------------------------------------------------------
+
+    def rewrite_update(self, statement: ast.Update):
+        """Rewrite an UPDATE so it runs entirely at the SP.
+
+        The WHERE predicate goes through the normal secure-comparison
+        rewriting.  Each assignment to a *sensitive* column is rewritten as
+        a share expression and key-updated to the column's own key, so the
+        replacement share is decryptable exactly like an uploaded one:
+
+        * ``SET balance = balance * 2``  -- share arithmetic, then key
+          update back to ``ck_balance``;
+        * ``SET balance = 100``          -- the constant is carried into
+          the row's key via the auxiliary column ``S`` (an encryption of 1
+          key-updated to ``ck_balance``, scaled by the ring constant).
+
+        Assignments to insensitive columns must not involve sensitive
+        inputs (that would require decrypting at the SP).
+        """
+        from repro.core.plan import RewrittenDML
+
+        self._leakage = []
+        self._notes = []
+        self._hidden_counter = 0
+        if statement.table not in self.store:
+            raise RewriteError(f"table {statement.table!r} is not uploaded")
+        meta = self.store.table(statement.table)
+        scope = Scope()
+        scope.add_table(statement.table, meta)
+        binding = statement.table
+
+        where = (
+            self._rewrite_predicate(statement.where, scope)
+            if statement.where is not None
+            else None
+        )
+
+        assignments = []
+        for assignment in statement.assignments:
+            column = meta.column(assignment.column)
+            rexpr = self._rewrite_expr(assignment.value, scope)
+            if not column.sensitive:
+                if rexpr.is_share:
+                    raise UnsupportedQueryError(
+                        f"assignment to insensitive column {column.name!r} "
+                        "cannot read sensitive data (the SP would have to "
+                        "decrypt); mark the target column sensitive instead"
+                    )
+                assignments.append(
+                    ast.Assignment(column=assignment.column, value=rexpr.node)
+                )
+                continue
+            target_key = KeyExpr.from_column_key(column.key, binding)
+            target_scale = column.vtype.scale
+            if rexpr.is_share:
+                rexpr = self._rescale(rexpr, target_scale)
+                if rexpr.vtype.scale != target_scale:
+                    raise UnsupportedQueryError(
+                        f"cannot assign scale-{rexpr.vtype.scale} expression "
+                        f"to {column.name!r} (scale {target_scale}): ring "
+                        "arithmetic cannot round a share back down -- use an "
+                        "integer factor or a constant at the column's scale"
+                    )
+                rexpr = self._keyupdate(rexpr, target_key, scope)
+            else:
+                rexpr = self._encrypt_plain_under(
+                    rexpr, target_key, target_scale, scope
+                )
+            assignments.append(
+                ast.Assignment(column=assignment.column, value=rexpr.node)
+            )
+            self._notes.append(
+                f"SET {column.name}: share re-keyed to the column key at the SP"
+            )
+
+        rewritten = ast.Update(
+            table=statement.table,
+            assignments=tuple(assignments),
+            where=where,
+        )
+        return RewrittenDML(
+            statement=rewritten,
+            leakage=tuple(self._leakage),
+            notes=tuple(self._notes),
+        )
+
+    def rewrite_delete(self, statement: ast.Delete):
+        """Rewrite a DELETE's predicate; row removal itself is public."""
+        from repro.core.plan import RewrittenDML
+
+        self._leakage = []
+        self._notes = []
+        self._hidden_counter = 0
+        if statement.table not in self.store:
+            raise RewriteError(f"table {statement.table!r} is not uploaded")
+        meta = self.store.table(statement.table)
+        scope = Scope()
+        scope.add_table(statement.table, meta)
+        where = (
+            self._rewrite_predicate(statement.where, scope)
+            if statement.where is not None
+            else None
+        )
+        if statement.where is not None:
+            self._leak("row selection", f"DELETE WHERE {statement.where.to_sql()}")
+        rewritten = ast.Delete(table=statement.table, where=where)
+        return RewrittenDML(
+            statement=rewritten,
+            leakage=tuple(self._leakage),
+            notes=tuple(self._notes),
+        )
+
+    # -- shared SELECT machinery ------------------------------------------------
+
+    def _build_scope(self, query: ast.Select, outer: Optional[Scope]) -> tuple:
+        """Create the scope and the rewritten FROM clause."""
+        scope = Scope(outer=outer)
+        if query.from_clause is None:
+            return scope, None
+        from_clause = self._rewrite_from(query.from_clause, scope)
+        return scope, from_clause
+
+    def _rewrite_from(self, texpr: ast.TableExpr, scope: Scope) -> ast.TableExpr:
+        if isinstance(texpr, ast.TableRef):
+            if self.store.is_view(texpr.name):
+                key = texpr.name.lower()
+                expanding = getattr(self, "_expanding_views", None)
+                if expanding is None:
+                    expanding = self._expanding_views = set()
+                if key in expanding:
+                    raise RewriteError(
+                        f"view {texpr.name!r} is defined recursively"
+                    )
+                expanding.add(key)
+                try:
+                    return self._rewrite_from(self._expand_view(texpr), scope)
+                finally:
+                    expanding.discard(key)
+            if texpr.name not in self.store:
+                raise RewriteError(f"table {texpr.name!r} is not uploaded")
+            scope.add_table(texpr.binding, self.store.table(texpr.name))
+            return texpr
+        if isinstance(texpr, ast.SubqueryRef):
+            inner, columns, handles = self._rewrite_inner(texpr.query, scope)
+            rebased = [
+                SourceHandle(
+                    name=h.name,
+                    aux_key=h.aux_key,
+                    s_expr=ast.Column(f"__s_{h.name}", table=texpr.alias),
+                    rowid_expr=ast.Column(f"__rowid_{h.name}", table=texpr.alias),
+                )
+                for h in handles
+            ]
+            scope.add_derived(texpr.alias, columns, rebased)
+            return ast.SubqueryRef(query=inner, alias=texpr.alias)
+        if isinstance(texpr, ast.Join):
+            left = self._rewrite_from(texpr.left, scope)
+            right = self._rewrite_from(texpr.right, scope)
+            condition = None
+            if texpr.condition is not None:
+                condition = self._rewrite_predicate(texpr.condition, scope)
+            return ast.Join(
+                left=left, right=right, kind=texpr.kind, condition=condition
+            )
+        raise RewriteError(f"cannot rewrite {type(texpr).__name__}")
+
+    def _rewrite_group_by(self, query: ast.Select, scope: Scope) -> tuple:
+        """Rewrite GROUP BY keys; sensitive keys become equality tokens."""
+        out = []
+        for expr in query.group_by:
+            rexpr = self._rewrite_expr(expr, scope)
+            if rexpr.is_share:
+                token = self._tokenize(rexpr, scope, site=f"GROUP BY {expr.to_sql()}")
+                scope.memo[expr] = token
+                out.append(token.node)
+            else:
+                scope.memo[expr] = rexpr
+                out.append(rexpr.node)
+        return tuple(out)
+
+    # -- top-level SELECT ----------------------------------------------------------
+
+    def _rewrite_top(self, query: ast.Select):
+        scope, from_clause = self._build_scope(query, outer=None)
+        where = (
+            self._rewrite_predicate(query.where, scope)
+            if query.where is not None
+            else None
+        )
+        group_by = self._rewrite_group_by(query, scope)
+        user_items = self._expand_stars(query.items, scope)
+
+        phys_items: list[ast.SelectItem] = []
+        outputs: list[OutputColumn] = []
+        output_rexprs: list = []  # RExpr | None (None for PostOp outputs)
+        rowid_slots: dict[str, int] = {}
+        used_names: set[str] = set()
+
+        grouped = bool(query.group_by) or self._query_has_aggregates(query)
+
+        for i, item in enumerate(user_items):
+            name = self._output_name(item, i, used_names)
+            if self._needs_post(item.expr, scope):
+                spec = self._rewrite_post(
+                    item.expr, scope, phys_items, rowid_slots, grouped
+                )
+                outputs.append(OutputColumn(name=name, spec=spec))
+                output_rexprs.append(None)
+                continue
+            rexpr = self._rewrite_expr(item.expr, scope)
+            if query.distinct and rexpr.is_share and rexpr.key.terms:
+                rexpr = self._tokenize(rexpr, scope, site=f"DISTINCT {name}")
+            spec = self._leaf_spec(
+                rexpr, name, scope, phys_items, rowid_slots, grouped
+            )
+            outputs.append(OutputColumn(name=name, spec=spec))
+            output_rexprs.append(rexpr)
+
+        having = (
+            self._rewrite_predicate(query.having, scope)
+            if query.having is not None
+            else None
+        )
+
+        order_by = self._rewrite_order_by(
+            query, scope, user_items, outputs, output_rexprs
+        )
+
+        rewritten = ast.Select(
+            items=tuple(phys_items),
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+        return rewritten, outputs
+
+    def _leaf_spec(
+        self, rexpr: RExpr, name: str, scope, phys_items, rowid_slots, grouped
+    ):
+        index = len(phys_items)
+        phys_items.append(ast.SelectItem(expr=rexpr.node, alias=self._phys_alias(name)))
+        if not rexpr.is_share:
+            return PlainSlot(index=index, vtype=rexpr.vtype)
+        slots = []
+        for source, _ in rexpr.key.terms:
+            if grouped:
+                raise UnsupportedQueryError(
+                    "grouped query outputs a row-dependent share; "
+                    "aggregate or group by it instead"
+                )
+            slot = rowid_slots.get(source)
+            if slot is None:
+                slot = len(phys_items)
+                handle = scope.handle(source)
+                phys_items.append(
+                    ast.SelectItem(
+                        expr=handle.rowid_expr, alias=self._hidden_name()
+                    )
+                )
+                rowid_slots[source] = slot
+            slots.append((source, slot))
+        return ShareSlot(
+            index=index, key=rexpr.key, vtype=rexpr.vtype, rowid_slots=tuple(slots)
+        )
+
+    def _phys_alias(self, name: str) -> str:
+        return name
+
+    def _hidden_name(self) -> str:
+        self._hidden_counter += 1
+        return f"__h{self._hidden_counter}"
+
+    @staticmethod
+    def _output_name(item: ast.SelectItem, i: int, used: set) -> str:
+        if item.alias:
+            base = item.alias
+        elif isinstance(item.expr, ast.Column):
+            base = item.expr.name
+        elif isinstance(item.expr, ast.Aggregate):
+            base = item.expr.func
+        else:
+            base = f"_col{i}"
+        name = base
+        suffix = 1
+        while name in used:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        used.add(name)
+        return name
+
+    def _expand_stars(self, items, scope: Scope):
+        out = []
+        for item in items:
+            if not isinstance(item.expr, ast.Star):
+                out.append(item)
+                continue
+            bindings = (
+                [item.expr.table] if item.expr.table else scope.all_bindings()
+            )
+            for binding in bindings:
+                for column in scope.binding_columns(binding):
+                    out.append(
+                        ast.SelectItem(expr=ast.Column(column, table=binding))
+                    )
+        return out
+
+    def _query_has_aggregates(self, query: ast.Select) -> bool:
+        roots = [item.expr for item in query.items]
+        if query.having is not None:
+            roots.append(query.having)
+        roots.extend(o.expr for o in query.order_by)
+        return any(
+            isinstance(node, ast.Aggregate)
+            for root in roots
+            for node in ast.walk(root)
+        )
+
+    # -- ORDER BY -------------------------------------------------------------------
+
+    def _rewrite_order_by(self, query, scope, user_items, outputs, output_rexprs):
+        alias_map = {}
+        for item, output, rexpr in zip(user_items, outputs, output_rexprs):
+            alias_map[output.name] = (output, rexpr)
+            if item.alias:
+                alias_map[item.alias] = (output, rexpr)
+        out = []
+        for order_item in query.order_by:
+            expr = order_item.expr
+            if (
+                isinstance(expr, ast.Column)
+                and expr.table is None
+                and expr.name in alias_map
+            ):
+                output, rexpr = alias_map[expr.name]
+                if isinstance(output.spec, PlainSlot):
+                    node = ast.Column(output.name)
+                elif rexpr is not None:
+                    node = self._order_token(rexpr, scope).node
+                else:
+                    raise UnsupportedQueryError(
+                        f"cannot ORDER BY proxy-computed column {expr.name!r}"
+                    )
+            else:
+                rexpr = self._rewrite_expr(expr, scope)
+                node = (
+                    self._order_token(rexpr, scope).node
+                    if rexpr.is_share
+                    else rexpr.node
+                )
+            out.append(ast.OrderItem(expr=node, descending=order_item.descending))
+        return tuple(out)
+
+    def _order_token(self, rexpr: RExpr, scope: Scope) -> RExpr:
+        rho = self.policy.random_mask(self.keys, self.rng)
+        masked = self._keyupdate(rexpr, keyops.reveal_key(self.keys, rho), scope)
+        self._leak("order_token", "ORDER BY on sensitive expression")
+        node = ast.FuncCall(
+            "sdb_signed", (masked.node, ast.Literal(self.keys.n))
+        )
+        return RExpr(node=node, vtype=ValueType.int_())
+
+    # -- derived tables / subqueries ----------------------------------------------------
+
+    def _rewrite_inner(self, query: ast.Select, outer: Scope):
+        """Rewrite a derived-table query; returns (select, columns, handles)."""
+        scope, from_clause = self._build_scope(query, outer=outer)
+        where = (
+            self._rewrite_predicate(query.where, scope)
+            if query.where is not None
+            else None
+        )
+        group_by = self._rewrite_group_by(query, scope)
+        user_items = self._expand_stars(query.items, scope)
+
+        phys_items: list[ast.SelectItem] = []
+        columns: dict[str, DerivedColumn] = {}
+        used_names: set[str] = set()
+        needed_sources: dict[str, SourceHandle] = {}
+
+        for i, item in enumerate(user_items):
+            name = self._output_name(item, i, used_names)
+            if self._needs_post(item.expr, scope):
+                raise UnsupportedQueryError(
+                    "division on sensitive data inside a derived table; "
+                    "move it to the outer query"
+                )
+            rexpr = self._rewrite_expr(item.expr, scope)
+            phys_items.append(ast.SelectItem(expr=rexpr.node, alias=name))
+            columns[name] = DerivedColumn(name=name, vtype=rexpr.vtype, key=rexpr.key)
+            if rexpr.is_share:
+                for source, _ in rexpr.key.terms:
+                    needed_sources[source] = scope.handle(source)
+
+        grouped = bool(query.group_by)
+        handles = []
+        if needed_sources and grouped:
+            raise UnsupportedQueryError(
+                "grouped derived table exports row-dependent shares"
+            )
+        for source, handle in needed_sources.items():
+            phys_items.append(
+                ast.SelectItem(expr=handle.s_expr, alias=f"__s_{source}")
+            )
+            phys_items.append(
+                ast.SelectItem(expr=handle.rowid_expr, alias=f"__rowid_{source}")
+            )
+            handles.append(handle)
+
+        having = (
+            self._rewrite_predicate(query.having, scope)
+            if query.having is not None
+            else None
+        )
+
+        order_by = []
+        for order_item in query.order_by:
+            # inner ORDER BY only matters combined with LIMIT; aliases of
+            # plain outputs resolve by name, everything else is rewritten
+            expr = order_item.expr
+            if (
+                isinstance(expr, ast.Column)
+                and expr.table is None
+                and expr.name in columns
+                and columns[expr.name].key is None
+            ):
+                node = ast.Column(expr.name)
+            else:
+                rexpr = self._rewrite_expr(expr, scope)
+                node = (
+                    self._order_token(rexpr, scope).node
+                    if rexpr.is_share
+                    else rexpr.node
+                )
+            order_by.append(
+                ast.OrderItem(expr=node, descending=order_item.descending)
+            )
+
+        rewritten = ast.Select(
+            items=tuple(phys_items),
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+        return rewritten, columns, handles
+
+    def _rewrite_scalar_subquery(self, expr: ast.ScalarSubquery, scope: Scope) -> RExpr:
+        inner, columns, _ = self._rewrite_inner(expr.query, scope)
+        if len(columns) != 1:
+            raise RewriteError("scalar subquery must return exactly one column")
+        col = next(iter(columns.values()))
+        if col.key is not None and col.key.terms:
+            raise UnsupportedQueryError(
+                "scalar subquery returns a row-dependent share; aggregate it"
+            )
+        return RExpr(
+            node=ast.ScalarSubquery(query=inner), vtype=col.vtype, key=col.key
+        )
+
+    # -- predicates -----------------------------------------------------------------
+
+    def _rewrite_predicate(self, expr: ast.Expr, scope: Scope) -> ast.Expr:
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("and", "or"):
+            return ast.BinaryOp(
+                op=expr.op,
+                left=self._rewrite_predicate(expr.left, scope),
+                right=self._rewrite_predicate(expr.right, scope),
+            )
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            return ast.UnaryOp(
+                op="not", operand=self._rewrite_predicate(expr.operand, scope)
+            )
+        if isinstance(expr, ast.BinaryOp) and expr.op in ast.COMPARISON_OPS:
+            return self._rewrite_comparison(expr, scope)
+        if isinstance(expr, ast.Between):
+            return self._rewrite_between(expr, scope)
+        if isinstance(expr, ast.InList):
+            return self._rewrite_in_list(expr, scope)
+        if isinstance(expr, ast.InSubquery):
+            return self._rewrite_in_subquery(expr, scope)
+        if isinstance(expr, ast.Exists):
+            inner, _, _ = self._rewrite_inner(expr.query, scope)
+            return ast.Exists(query=inner, negated=expr.negated)
+        if isinstance(expr, ast.Like):
+            return self._rewrite_like(expr, scope)
+        if isinstance(expr, ast.IsNull):
+            subject = self._rewrite_expr(expr.subject, scope)
+            return ast.IsNull(subject=subject.node, negated=expr.negated)
+        rexpr = self._rewrite_expr(expr, scope)
+        if rexpr.is_share:
+            raise UnsupportedQueryError(
+                "a sensitive value cannot be used directly as a predicate"
+            )
+        return rexpr.node
+
+    def _rewrite_comparison(self, expr: ast.BinaryOp, scope: Scope) -> ast.Expr:
+        left, right = expr.left, expr.right
+        if self._comparison_needs_normalization(expr, scope):
+            left, right = self._normalize_fractions(expr, scope)
+        l = self._rewrite_expr(left, scope)
+        r = self._rewrite_expr(right, scope)
+        return self._compare(expr.op, l, r, scope, site=expr.to_sql())
+
+    def _rewrite_between(self, expr: ast.Between, scope: Scope) -> ast.Expr:
+        subject = self._rewrite_expr(expr.subject, scope)
+        low = self._rewrite_expr(expr.low, scope)
+        high = self._rewrite_expr(expr.high, scope)
+        if not (subject.is_share or low.is_share or high.is_share):
+            return ast.Between(
+                subject=subject.node, low=low.node, high=high.node,
+                negated=expr.negated,
+            )
+        ge = self._compare(">=", subject, low, scope, site=expr.to_sql())
+        le = self._compare("<=", subject, high, scope, site=expr.to_sql())
+        both = ast.BinaryOp(op="and", left=ge, right=le)
+        return ast.UnaryOp(op="not", operand=both) if expr.negated else both
+
+    def _rewrite_in_list(self, expr: ast.InList, scope: Scope) -> ast.Expr:
+        subject = self._rewrite_expr(expr.subject, scope)
+        items = [self._rewrite_expr(item, scope) for item in expr.items]
+        if not subject.is_share and not any(i.is_share for i in items):
+            return ast.InList(
+                subject=subject.node,
+                items=tuple(i.node for i in items),
+                negated=expr.negated,
+            )
+        token_m = self._fresh_token_m()
+        self._leak("token", f"IN-list membership: {expr.subject.to_sql()}")
+        subject_token = self._as_token(subject, token_m, scope)
+        item_tokens = tuple(
+            self._as_token(i, token_m, scope, as_vtype=subject.vtype).node
+            for i in items
+        )
+        return ast.InList(
+            subject=subject_token.node, items=item_tokens, negated=expr.negated
+        )
+
+    def _rewrite_in_subquery(self, expr: ast.InSubquery, scope: Scope) -> ast.Expr:
+        subject = self._rewrite_expr(expr.subject, scope)
+        inner_scope, inner_from = self._build_scope(expr.query, outer=scope)
+        inner_where = (
+            self._rewrite_predicate(expr.query.where, inner_scope)
+            if expr.query.where is not None
+            else None
+        )
+        inner_group = self._rewrite_group_by(expr.query, inner_scope)
+        inner_items = self._expand_stars(expr.query.items, inner_scope)
+        if len(inner_items) != 1:
+            raise RewriteError("IN subquery must return one column")
+        inner_rexpr = self._rewrite_expr(inner_items[0].expr, inner_scope)
+
+        if not subject.is_share and not inner_rexpr.is_share:
+            inner_select = ast.Select(
+                items=(ast.SelectItem(expr=inner_rexpr.node, alias="v"),),
+                from_clause=inner_from,
+                where=inner_where,
+                group_by=inner_group,
+                having=(
+                    self._rewrite_predicate(expr.query.having, inner_scope)
+                    if expr.query.having is not None
+                    else None
+                ),
+                distinct=expr.query.distinct,
+            )
+            return ast.InSubquery(
+                subject=subject.node, query=inner_select, negated=expr.negated
+            )
+
+        token_m = self._fresh_token_m()
+        self._leak("token", f"IN-subquery membership: {expr.subject.to_sql()}")
+        share_vtype = (subject if subject.is_share else inner_rexpr).vtype
+        subject_token = self._as_token(
+            subject, token_m, scope, as_vtype=share_vtype
+        )
+        inner_token = self._as_token(
+            inner_rexpr, token_m, inner_scope, as_vtype=share_vtype
+        )
+        inner_select = ast.Select(
+            items=(ast.SelectItem(expr=inner_token.node, alias="v"),),
+            from_clause=inner_from,
+            where=inner_where,
+            group_by=inner_group,
+            having=(
+                self._rewrite_predicate(expr.query.having, inner_scope)
+                if expr.query.having is not None
+                else None
+            ),
+            distinct=expr.query.distinct,
+        )
+        return ast.InSubquery(
+            subject=subject_token.node, query=inner_select, negated=expr.negated
+        )
+
+    def _rewrite_like(self, expr: ast.Like, scope: Scope) -> ast.Expr:
+        subject = self._rewrite_expr(expr.subject, scope)
+        if subject.is_share:
+            raise UnsupportedQueryError(
+                "LIKE on a sensitive column is not supported by the secure "
+                "operator suite (pattern matching has no share-space protocol)"
+            )
+        return ast.Like(
+            subject=subject.node, pattern=expr.pattern, negated=expr.negated
+        )
+
+    # -- comparison / token protocols ---------------------------------------------------
+
+    def _compare(self, op, l: RExpr, r: RExpr, scope: Scope, site: str) -> ast.Expr:
+        if not l.is_share and not r.is_share:
+            return ast.BinaryOp(op=op, left=l.node, right=r.node)
+
+        if op in ("=", "<>"):
+            lt, rt = self._equality_tokens(l, r, scope, site)
+            return ast.BinaryOp(op=op, left=lt.node, right=rt.node)
+
+        if not (l.vtype.is_orderable and r.vtype.is_orderable):
+            raise UnsupportedQueryError(f"cannot order-compare: {site}")
+
+        diff = self._sub(l, r, scope)
+        rho = self.policy.random_mask(self.keys, self.rng)
+        masked = self._keyupdate(diff, keyops.reveal_key(self.keys, rho), scope)
+        self._leak("compare", f"comparison sign: {site}")
+        sign = ast.FuncCall("sdb_sign", (masked.node, ast.Literal(self.keys.n)))
+        return ast.BinaryOp(op=op, left=sign, right=ast.Literal(0))
+
+    def _equality_tokens(self, l: RExpr, r: RExpr, scope: Scope, site: str):
+        """Tokenize both sides of an equality with aligned encodings."""
+        token_m = self._fresh_token_m()
+        self._leak("token", f"equality: {site}")
+        if l.vtype.kind == "string" or r.vtype.kind == "string":
+            if l.is_share and r.is_share and l.vtype.width != r.vtype.width:
+                raise UnsupportedQueryError(
+                    "equality between sensitive strings of different widths "
+                    f"({l.vtype.width} vs {r.vtype.width}): {site}"
+                )
+            width = (l.vtype if l.is_share else r.vtype).width
+            lt = self._as_token(l, token_m, scope, as_vtype=ValueType.string(width))
+            rt = self._as_token(r, token_m, scope, as_vtype=ValueType.string(width))
+            return lt, rt
+        if l.vtype.is_numeric and r.vtype.is_numeric:
+            scale = max(l.vtype.scale, r.vtype.scale)
+            l = self._rescale(l, scale)
+            r = self._rescale(r, scale)
+            as_vtype = ValueType.decimal(scale) if scale else ValueType.int_()
+            lt = self._as_token(l, token_m, scope, as_vtype=as_vtype)
+            rt = self._as_token(r, token_m, scope, as_vtype=as_vtype)
+            return lt, rt
+        lt = self._as_token(l, token_m, scope)
+        rt = self._as_token(r, token_m, scope)
+        return lt, rt
+
+    def _as_token(
+        self, rexpr: RExpr, token_m: int, scope: Scope, as_vtype: ValueType = None
+    ) -> RExpr:
+        """Re-encrypt (or encode) a value under the token key ``<m, 0>``."""
+        target = KeyExpr.make(token_m)
+        if rexpr.is_share:
+            return self._keyupdate(rexpr, target, scope)
+        vtype = as_vtype or rexpr.vtype
+        inv = ntheory.modinv(token_m, self.keys.n)
+        constant = self._fold(rexpr.node)
+        if constant is not _NOT_CONST:
+            ring = self._ring(constant, vtype, vtype.scale)
+            return RExpr(
+                node=ast.Literal(ring * inv % self.keys.n),
+                vtype=vtype,
+                key=target,
+            )
+        enc = self._enc_node(
+            RExpr(node=rexpr.node, vtype=vtype), vtype.scale
+        )
+        node = ast.FuncCall(
+            "sdb_mul_plain",
+            (enc, ast.Literal(inv), ast.Literal(0), ast.Literal(self.keys.n)),
+        )
+        return RExpr(node=node, vtype=vtype, key=target)
+
+    def _tokenize(self, rexpr: RExpr, scope: Scope, site: str) -> RExpr:
+        token_m = self._fresh_token_m()
+        self._leak("token", site)
+        return self._as_token(rexpr, token_m, scope)
+
+    def _fresh_token_m(self) -> int:
+        return ntheory.random_unit(self.keys.n, self.rng)
+
+    # -- arithmetic on shares -------------------------------------------------------------
+
+    def _rewrite_expr(self, expr: ast.Expr, scope: Scope) -> RExpr:
+        memo = scope.memo.get(expr)
+        if memo is not None:
+            return memo
+
+        if isinstance(expr, ast.Literal):
+            return RExpr(node=expr, vtype=_literal_vtype(expr.value))
+        if isinstance(expr, ast.Interval):
+            return RExpr(node=expr, vtype=ValueType.int_())
+        if isinstance(expr, ast.Column):
+            return scope.resolve(expr.name, expr.table)
+        if isinstance(expr, ast.BinaryOp):
+            return self._rewrite_binary(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            return self._rewrite_unary(expr, scope)
+        if isinstance(expr, ast.Aggregate):
+            return self._rewrite_aggregate(expr, scope)
+        if isinstance(expr, ast.CaseWhen):
+            return self._rewrite_case(expr, scope)
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._rewrite_scalar_subquery(expr, scope)
+        if isinstance(expr, ast.Extract):
+            operand = self._rewrite_expr(expr.operand, scope)
+            if operand.is_share:
+                raise UnsupportedQueryError(
+                    "EXTRACT on a sensitive date has no share-space protocol; "
+                    "store the extracted part as its own column"
+                )
+            return RExpr(
+                node=ast.Extract(unit=expr.unit, operand=operand.node),
+                vtype=ValueType.int_(),
+            )
+        if isinstance(expr, ast.Substring):
+            operand = self._rewrite_expr(expr.operand, scope)
+            if operand.is_share:
+                raise UnsupportedQueryError(
+                    "SUBSTRING on a sensitive string has no share-space protocol"
+                )
+            return RExpr(
+                node=ast.Substring(
+                    operand=operand.node, start=expr.start, length=expr.length
+                ),
+                vtype=ValueType.string(width=64),
+            )
+        if isinstance(
+            expr, (ast.Between, ast.InList, ast.InSubquery, ast.Exists,
+                   ast.Like, ast.IsNull)
+        ):
+            # a predicate in value position (e.g. inside CASE WHEN handled
+            # elsewhere); rewrite as predicate and type it boolean
+            return RExpr(
+                node=self._rewrite_predicate(expr, scope), vtype=ValueType.bool_()
+            )
+        raise RewriteError(f"cannot rewrite expression {type(expr).__name__}")
+
+    def _rewrite_binary(self, expr: ast.BinaryOp, scope: Scope) -> RExpr:
+        if expr.op in ("and", "or") or expr.op in ast.COMPARISON_OPS:
+            return RExpr(
+                node=self._rewrite_predicate(expr, scope), vtype=ValueType.bool_()
+            )
+        l = self._rewrite_expr(expr.left, scope)
+        r = self._rewrite_expr(expr.right, scope)
+        if not l.is_share and not r.is_share:
+            return RExpr(
+                node=ast.BinaryOp(op=expr.op, left=l.node, right=r.node),
+                vtype=_combine_plain_vtype(expr.op, l.vtype, r.vtype),
+            )
+        if expr.op == "+":
+            return self._add(l, r, scope)
+        if expr.op == "-":
+            return self._sub(l, r, scope)
+        if expr.op == "*":
+            return self._mul(l, r, scope)
+        if expr.op == "/":
+            raise UnsupportedQueryError(
+                "division on sensitive data must be normalized (comparison) "
+                "or computed at the proxy (output position)"
+            )
+        if expr.op == "||":
+            raise UnsupportedQueryError("concatenation of sensitive strings")
+        raise RewriteError(f"unknown operator {expr.op!r}")
+
+    def _rewrite_unary(self, expr: ast.UnaryOp, scope: Scope) -> RExpr:
+        if expr.op == "not":
+            return RExpr(
+                node=self._rewrite_predicate(expr, scope), vtype=ValueType.bool_()
+            )
+        operand = self._rewrite_expr(expr.operand, scope)
+        if not operand.is_share:
+            return RExpr(
+                node=ast.UnaryOp(op="-", operand=operand.node), vtype=operand.vtype
+            )
+        return self._mul_const(operand, -1, 0)
+
+    # EE / EP multiplication ------------------------------------------------------------
+
+    def _mul(self, l: RExpr, r: RExpr, scope: Scope) -> RExpr:
+        if l.is_share and r.is_share:
+            node = ast.FuncCall(
+                "sdb_mul", (l.node, r.node, ast.Literal(self.keys.n))
+            )
+            key = keyops.multiply_keys(self.keys, l.key, r.key)
+            return RExpr(node=node, vtype=_mul_vtype(l.vtype, r.vtype), key=key)
+        share, plain = (l, r) if l.is_share else (r, l)
+        constant = self._fold(plain.node)
+        if constant is not _NOT_CONST:
+            if constant is None:
+                return RExpr(node=ast.Literal(None), vtype=share.vtype, key=share.key)
+            scale = _numeric_scale(plain.vtype, constant)
+            ring = self._ring(constant, plain.vtype, scale)
+            if ring == 0:
+                return RExpr(
+                    node=ast.Literal(0),
+                    vtype=_mul_vtype(share.vtype, plain.vtype),
+                    key=share.key,
+                )
+            return self._mul_const(share, ring, scale)
+        # non-constant insensitive operand: scale it into the ring at the SP
+        scale = plain.vtype.scale if plain.vtype.kind == "decimal" else 0
+        node = ast.FuncCall(
+            "sdb_mul_plain",
+            (
+                share.node,
+                plain.node,
+                ast.Literal(scale),
+                ast.Literal(self.keys.n),
+            ),
+        )
+        vtype = _mul_vtype(share.vtype, plain.vtype)
+        return RExpr(node=node, vtype=vtype, key=share.key)
+
+    def _mul_const(self, share: RExpr, ring_factor: int, added_scale: int) -> RExpr:
+        """Multiply a share by a ring constant at the SP (key unchanged)."""
+        node = ast.FuncCall(
+            "sdb_mul_plain",
+            (
+                share.node,
+                ast.Literal(ring_factor),
+                ast.Literal(0),
+                ast.Literal(self.keys.n),
+            ),
+        )
+        vtype = share.vtype
+        if added_scale or vtype.kind == "decimal":
+            vtype = ValueType.decimal(vtype.scale + added_scale)
+        return RExpr(node=node, vtype=vtype, key=share.key)
+
+    # EE / EP addition ---------------------------------------------------------------------
+
+    def _add(self, l: RExpr, r: RExpr, scope: Scope) -> RExpr:
+        if l.is_share and r.is_share:
+            scale = max(l.vtype.scale, r.vtype.scale)
+            l = self._rescale(l, scale)
+            r = self._rescale(r, scale)
+            if l.key != r.key:
+                # align to whichever key still has row-id terms, so we never
+                # create a deterministic intermediate unnecessarily
+                if not l.key.terms and r.key.terms:
+                    l = self._keyupdate(l, r.key, scope)
+                else:
+                    r = self._keyupdate(r, l.key, scope)
+            node = ast.FuncCall(
+                "sdb_add", (l.node, r.node, ast.Literal(self.keys.n))
+            )
+            return RExpr(
+                node=node, vtype=_add_vtype(l.vtype, r.vtype, scale), key=l.key
+            )
+        share, plain = (l, r) if l.is_share else (r, l)
+        scale = max(share.vtype.scale, plain.vtype.scale)
+        share = self._rescale(share, scale) if share.vtype.is_numeric else share
+        encrypted = self._encrypt_plain_under(plain, share.key, scale, scope)
+        node = ast.FuncCall(
+            "sdb_add", (share.node, encrypted.node, ast.Literal(self.keys.n))
+        )
+        return RExpr(
+            node=node, vtype=_add_vtype(share.vtype, plain.vtype, scale),
+            key=share.key,
+        )
+
+    def _sub(self, l: RExpr, r: RExpr, scope: Scope) -> RExpr:
+        if r.is_share:
+            negated = self._mul_const(r, -1, 0)
+            negated = RExpr(node=negated.node, vtype=r.vtype, key=r.key)
+            return self._add(l, negated, scope)
+        # r is plain: negate the plain side
+        if isinstance(r.node, ast.Literal) and isinstance(r.node.value, (int, float)):
+            neg = RExpr(node=ast.Literal(-r.node.value), vtype=r.vtype)
+        else:
+            neg = RExpr(node=ast.UnaryOp(op="-", operand=r.node), vtype=r.vtype)
+        # dates subtract to day counts; the ring encoding already does this
+        if r.vtype.kind == "date":
+            constant = self._fold(r.node)
+            if constant is _NOT_CONST:
+                raise UnsupportedQueryError(
+                    "subtracting a non-constant date from a sensitive value"
+                )
+            ring = self._ring(constant, r.vtype, 0)
+            neg = RExpr(node=ast.Literal(-ring), vtype=ValueType.int_())
+        result = self._add(l, neg, scope)
+        vtype = result.vtype
+        if l.vtype.kind == "date" and r.vtype.kind == "date":
+            vtype = ValueType.int_()
+        return RExpr(node=result.node, vtype=vtype, key=result.key)
+
+    def _rescale(self, rexpr: RExpr, target_scale: int) -> RExpr:
+        if not rexpr.vtype.is_numeric or rexpr.vtype.scale == target_scale:
+            return rexpr
+        if rexpr.vtype.scale > target_scale:
+            raise RewriteError("cannot reduce scale of a share")
+        diff = target_scale - rexpr.vtype.scale
+        if not rexpr.is_share:
+            return rexpr  # plain values are scaled when ring-encoded
+        scaled = self._mul_const(rexpr, 10 ** diff, 0)
+        return RExpr(
+            node=scaled.node, vtype=ValueType.decimal(target_scale), key=rexpr.key
+        )
+
+    def _encrypt_plain_under(
+        self, plain: RExpr, key: KeyExpr, scale: int, scope: Scope
+    ) -> RExpr:
+        """Produce a share of an insensitive value under ``key``."""
+        constant = self._fold(plain.node)
+        vtype = plain.vtype
+        if not key.terms:
+            # row-independent key: encryption is value * m^-1
+            inv = ntheory.modinv(key.m, self.keys.n)
+            if constant is not _NOT_CONST:
+                ring = self._ring(constant, vtype, scale)
+                return RExpr(
+                    node=ast.Literal(ring * inv % self.keys.n), vtype=vtype, key=key
+                )
+            enc = self._enc_node(plain, scale)
+            node = ast.FuncCall(
+                "sdb_mul_plain",
+                (enc, ast.Literal(inv), ast.Literal(0), ast.Literal(self.keys.n)),
+            )
+            return RExpr(node=node, vtype=vtype, key=key)
+        # re-key an S column (an encryption of 1) to the target key, then
+        # scale it by the plain value
+        source = key.terms[0][0]
+        handle = scope.handle(source)
+        one = RExpr(
+            node=handle.s_expr,
+            vtype=ValueType.int_(),
+            key=KeyExpr.from_column_key(handle.aux_key, source),
+        )
+        one_under_key = self._keyupdate(one, key, scope)
+        if constant is not _NOT_CONST:
+            ring = self._ring(constant, vtype, scale)
+            if ring == 0:
+                return RExpr(node=ast.Literal(0), vtype=vtype, key=key)
+            node = ast.FuncCall(
+                "sdb_mul_plain",
+                (
+                    one_under_key.node,
+                    ast.Literal(ring),
+                    ast.Literal(0),
+                    ast.Literal(self.keys.n),
+                ),
+            )
+            return RExpr(node=node, vtype=vtype, key=key)
+        enc = self._enc_node(plain, scale)
+        node = ast.FuncCall(
+            "sdb_mul",
+            (one_under_key.node, enc, ast.Literal(self.keys.n)),
+        )
+        return RExpr(node=node, vtype=vtype, key=key)
+
+    def _enc_node(self, plain: RExpr, scale: int) -> ast.Expr:
+        """SP-side ring encoding of an insensitive expression."""
+        vtype = plain.vtype
+        return ast.FuncCall(
+            "sdb_enc",
+            (
+                plain.node,
+                ast.Literal(vtype.kind),
+                ast.Literal(scale),
+                ast.Literal(vtype.width),
+                ast.Literal(self.keys.n),
+            ),
+        )
+
+    # -- key update --------------------------------------------------------------------------
+
+    def _keyupdate(self, rexpr: RExpr, target: KeyExpr, scope: Scope) -> RExpr:
+        if rexpr.key == target:
+            return rexpr
+        current_terms = rexpr.key.term_map()
+        target_terms = target.term_map()
+        helper_keys = {}
+        for src in set(current_terms) | set(target_terms):
+            if current_terms.get(src, 0) != target_terms.get(src, 0):
+                helper_keys[src] = scope.handle(src).aux_key
+        params = keyops.key_update_params(
+            self.keys, rexpr.key, target, helper_keys
+        )
+        args = [rexpr.node, ast.Literal(params.p), ast.Literal(self.keys.n)]
+        for source, q in params.q_by_source:
+            args.append(scope.handle(source).s_expr)
+            args.append(ast.Literal(q))
+        node = ast.FuncCall("sdb_keyupdate", tuple(args))
+        return RExpr(node=node, vtype=rexpr.vtype, key=target)
+
+    # -- aggregates ---------------------------------------------------------------------------
+
+    def _rewrite_aggregate(self, expr: ast.Aggregate, scope: Scope) -> RExpr:
+        memo = scope.memo.get(expr)
+        if memo is not None:
+            return memo
+        result = self._rewrite_aggregate_uncached(expr, scope)
+        scope.memo[expr] = result
+        return result
+
+    def _rewrite_aggregate_uncached(self, expr: ast.Aggregate, scope: Scope) -> RExpr:
+        if expr.arg is None:  # COUNT(*)
+            return RExpr(node=expr, vtype=ValueType.int_())
+        arg = self._rewrite_expr(expr.arg, scope)
+        if not arg.is_share:
+            node = ast.Aggregate(
+                func=expr.func, arg=arg.node, distinct=expr.distinct
+            )
+            vtype = arg.vtype if expr.func != "count" else ValueType.int_()
+            if expr.func == "avg":
+                vtype = ValueType.decimal(max(arg.vtype.scale, 2))
+            return RExpr(node=node, vtype=vtype)
+
+        if expr.func == "count":
+            counted = arg.node
+            if expr.distinct:
+                token = self._tokenize(
+                    arg, scope, site=f"COUNT(DISTINCT {expr.arg.to_sql()})"
+                )
+                counted = token.node
+            return RExpr(
+                node=ast.Aggregate(func="count", arg=counted, distinct=expr.distinct),
+                vtype=ValueType.int_(),
+            )
+
+        if expr.distinct:
+            raise UnsupportedQueryError(
+                f"{expr.func.upper()}(DISTINCT ...) on sensitive data"
+            )
+
+        if expr.func == "sum":
+            target, _ = keyops.token_key(self.keys, self.rng)
+            self._leak("sum_align", f"SUM alignment: {expr.arg.to_sql()}")
+            aligned = self._keyupdate(arg, target, scope)
+            node = ast.FuncCall(
+                "sdb_agg_sum", (aligned.node, ast.Literal(self.keys.n))
+            )
+            return RExpr(node=node, vtype=arg.vtype, key=target)
+
+        if expr.func in ("min", "max"):
+            rho = self.policy.random_mask(self.keys, self.rng)
+            masked = self._keyupdate(
+                arg, keyops.reveal_key(self.keys, rho), scope
+            )
+            self._leak("order_token", f"{expr.func.upper()}: {expr.arg.to_sql()}")
+            token = ast.FuncCall(
+                "sdb_signed", (masked.node, ast.Literal(self.keys.n))
+            )
+            target, _ = keyops.token_key(self.keys, self.rng)
+            aligned = self._keyupdate(arg, target, scope)
+            node = ast.FuncCall(
+                f"sdb_agg_{expr.func}", (token, aligned.node)
+            )
+            return RExpr(node=node, vtype=arg.vtype, key=target)
+
+        if expr.func == "avg":
+            raise UnsupportedQueryError(
+                "AVG of sensitive data outside output position (normalize "
+                "the comparison or select SUM and COUNT)"
+            )
+        raise RewriteError(f"unknown aggregate {expr.func!r}")
+
+    # -- CASE ------------------------------------------------------------------------------------
+
+    def _rewrite_case(self, expr: ast.CaseWhen, scope: Scope) -> RExpr:
+        conditions = [self._rewrite_predicate(c, scope) for c, _ in expr.branches]
+        branches = [self._rewrite_expr(b, scope) for _, b in expr.branches]
+        default = (
+            self._rewrite_expr(expr.default, scope)
+            if expr.default is not None
+            else None
+        )
+        all_branches = branches + ([default] if default is not None else [])
+        if not any(b.is_share for b in all_branches):
+            pairs = tuple(
+                (c, b.node) for c, b in zip(conditions, branches)
+            )
+            return RExpr(
+                node=ast.CaseWhen(
+                    branches=pairs,
+                    default=default.node if default is not None else None,
+                ),
+                vtype=all_branches[0].vtype,
+            )
+        scale = max(b.vtype.scale for b in all_branches)
+        target = next(b for b in all_branches if b.is_share)
+        target = self._rescale(target, scale)
+        target_key = target.key
+
+        def align(branch: RExpr) -> ast.Expr:
+            if branch.is_share:
+                branch = self._rescale(branch, scale)
+                return self._keyupdate(branch, target_key, scope).node
+            constant = self._fold(branch.node)
+            if constant == 0 or constant is None:
+                return ast.Literal(0 if constant == 0 else None)
+            return self._encrypt_plain_under(
+                branch, target_key, scale, scope
+            ).node
+
+        pairs = tuple(
+            (c, align(b)) for c, b in zip(conditions, branches)
+        )
+        default_node = align(default) if default is not None else None
+        vtype = target.vtype
+        return RExpr(
+            node=ast.CaseWhen(branches=pairs, default=default_node),
+            vtype=vtype,
+            key=target_key,
+        )
+
+    # -- output-position division (PostOp trees) ------------------------------------------------
+
+    def _needs_post(self, expr: ast.Expr, scope: Scope) -> bool:
+        """Does this output expression need proxy-side arithmetic?"""
+        return self._contains_sensitive_fraction(expr, scope)
+
+    def _contains_sensitive_fraction(self, expr: ast.Expr, scope: Scope) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.BinaryOp) and node.op == "/":
+                if self._expr_sensitive(node, scope):
+                    return True
+            if (
+                isinstance(node, ast.Aggregate)
+                and node.func == "avg"
+                and node.arg is not None
+                and self._expr_sensitive(node.arg, scope)
+            ):
+                return True
+        return False
+
+    def _rewrite_post(self, expr, scope, phys_items, rowid_slots, grouped):
+        """Build a PostOp tree for an output expression with divisions."""
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-", "*", "/"):
+            if self._contains_sensitive_fraction(
+                expr.left, scope
+            ) or self._contains_sensitive_fraction(expr.right, scope) or expr.op == "/":
+                left = self._rewrite_post(
+                    expr.left, scope, phys_items, rowid_slots, grouped
+                )
+                right = self._rewrite_post(
+                    expr.right, scope, phys_items, rowid_slots, grouped
+                )
+                return PostOp(op=expr.op, left=left, right=right)
+        if (
+            isinstance(expr, ast.Aggregate)
+            and expr.func == "avg"
+            and expr.arg is not None
+            and self._expr_sensitive(expr.arg, scope)
+        ):
+            total = self._rewrite_post(
+                ast.Aggregate(func="sum", arg=expr.arg, distinct=expr.distinct),
+                scope, phys_items, rowid_slots, grouped,
+            )
+            count = self._rewrite_post(
+                ast.Aggregate(func="count", arg=expr.arg, distinct=expr.distinct),
+                scope, phys_items, rowid_slots, grouped,
+            )
+            return PostOp(op="/", left=total, right=count)
+        constant = self._fold(expr)
+        if constant is not _NOT_CONST:
+            return Const(value=constant)
+        rexpr = self._rewrite_expr(expr, scope)
+        return self._leaf_spec(
+            rexpr, self._hidden_name(), scope, phys_items, rowid_slots, grouped
+        )
+
+    def _expr_sensitive(self, expr: ast.Expr, scope: Scope) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Column):
+                if scope.column_is_sensitive(node.name, node.table):
+                    return True
+            elif isinstance(node, (ast.ScalarSubquery, ast.InSubquery)):
+                query = node.query
+                child = self._sensitivity_scope(query, scope)
+                for item in query.items:
+                    if not isinstance(item.expr, ast.Star) and self._expr_sensitive(
+                        item.expr, child
+                    ):
+                        return True
+        return False
+
+    def _sensitivity_scope(self, query: ast.Select, outer: Scope) -> Scope:
+        """A lightweight scope for sensitivity checks (no rewriting)."""
+        scope = Scope(outer=outer)
+        self._collect_sensitivity_bindings(query.from_clause, scope)
+        return scope
+
+    def _collect_sensitivity_bindings(self, texpr, scope: Scope) -> None:
+        if texpr is None:
+            return
+        if isinstance(texpr, ast.TableRef):
+            if texpr.name in self.store:
+                try:
+                    scope.add_table(texpr.binding, self.store.table(texpr.name))
+                except RewriteError:
+                    pass
+            return
+        if isinstance(texpr, ast.Join):
+            self._collect_sensitivity_bindings(texpr.left, scope)
+            self._collect_sensitivity_bindings(texpr.right, scope)
+            return
+        if isinstance(texpr, ast.SubqueryRef):
+            # treat a derived table's outputs conservatively: sensitive if
+            # anything inside is sensitive
+            child = self._sensitivity_scope(texpr.query, scope.outer)
+            columns = {}
+            for i, item in enumerate(texpr.query.items):
+                if isinstance(item.expr, ast.Star):
+                    continue
+                name = item.alias or (
+                    item.expr.name if isinstance(item.expr, ast.Column) else f"_col{i}"
+                )
+                sensitive = self._expr_sensitive(item.expr, child)
+                columns[name] = DerivedColumn(
+                    name=name,
+                    vtype=ValueType.int_(),
+                    key=KeyExpr.make(1) if sensitive else None,
+                )
+            try:
+                scope.add_derived(texpr.alias, columns, [])
+            except RewriteError:
+                pass
+
+    # -- fraction normalization for comparisons ------------------------------------------------
+
+    def _comparison_needs_normalization(self, expr: ast.BinaryOp, scope) -> bool:
+        def has_fraction(side) -> bool:
+            for node in ast.walk(side):
+                if isinstance(node, ast.BinaryOp) and node.op == "/":
+                    return True
+                if isinstance(node, ast.Aggregate) and node.func == "avg":
+                    if node.arg is not None and self._expr_sensitive(node.arg, scope):
+                        return True
+                if isinstance(node, ast.ScalarSubquery):
+                    for item in node.query.items:
+                        child = self._sensitivity_scope(node.query, scope)
+                        if not isinstance(item.expr, ast.Star) and _walk_has_fraction(
+                            item.expr, child, self
+                        ):
+                            return True
+            return False
+
+        sensitive = self._expr_sensitive(expr.left, scope) or self._expr_sensitive(
+            expr.right, scope
+        )
+        return sensitive and (has_fraction(expr.left) or has_fraction(expr.right))
+
+    def _normalize_fractions(self, expr: ast.BinaryOp, scope: Scope):
+        nl, dl = self._as_fraction(expr.left, scope)
+        nr, dr = self._as_fraction(expr.right, scope)
+        for den in (dl, dr):
+            if den is not None and not _provably_positive(den):
+                raise UnsupportedQueryError(
+                    f"cannot prove divisor positive: {den.to_sql()}"
+                )
+        left = nl if dr is None else ast.BinaryOp(op="*", left=nl, right=dr)
+        right = nr if dl is None else ast.BinaryOp(op="*", left=nr, right=dl)
+        self._notes.append(
+            f"normalized division by cross-multiplication: {expr.to_sql()}"
+        )
+        return left, right
+
+    def _as_fraction(self, expr: ast.Expr, scope: Scope):
+        """Symbolically split ``expr`` into (numerator, denominator|None)."""
+        if isinstance(expr, ast.BinaryOp) and expr.op == "/":
+            nl, dl = self._as_fraction(expr.left, scope)
+            nr, dr = self._as_fraction(expr.right, scope)
+            num = nl if dr is None else ast.BinaryOp(op="*", left=nl, right=dr)
+            den = nr if dl is None else ast.BinaryOp(op="*", left=nr, right=dl)
+            return num, den
+        if isinstance(expr, ast.BinaryOp) and expr.op == "*":
+            nl, dl = self._as_fraction(expr.left, scope)
+            nr, dr = self._as_fraction(expr.right, scope)
+            num = ast.BinaryOp(op="*", left=nl, right=nr)
+            den = _mul_opt(dl, dr)
+            return num, den
+        if (
+            isinstance(expr, ast.Aggregate)
+            and expr.func == "avg"
+            and expr.arg is not None
+            and self._expr_sensitive(expr.arg, scope)
+        ):
+            return (
+                ast.Aggregate(func="sum", arg=expr.arg, distinct=expr.distinct),
+                ast.Aggregate(func="count", arg=expr.arg, distinct=expr.distinct),
+            )
+        if isinstance(expr, ast.ScalarSubquery):
+            if len(expr.query.items) != 1:
+                return expr, None
+            child = self._sensitivity_scope(expr.query, scope)
+            num, den = self._as_fraction(expr.query.items[0].expr, child)
+            if den is None:
+                return expr, None
+            num_query = ast.Select(
+                items=(ast.SelectItem(expr=num),),
+                from_clause=expr.query.from_clause,
+                where=expr.query.where,
+                group_by=expr.query.group_by,
+                having=expr.query.having,
+            )
+            den_query = ast.Select(
+                items=(ast.SelectItem(expr=den),),
+                from_clause=expr.query.from_clause,
+                where=expr.query.where,
+                group_by=expr.query.group_by,
+                having=expr.query.having,
+            )
+            return (
+                ast.ScalarSubquery(query=num_query),
+                ast.ScalarSubquery(query=den_query),
+            )
+        return expr, None
+
+    # -- helpers ----------------------------------------------------------------------------------
+
+    def _fold(self, expr: ast.Expr):
+        """Constant-fold an expression at the proxy; `_NOT_CONST` on failure."""
+        try:
+            return Evaluator(None, RowScope({})).evaluate(expr)
+        except Exception:
+            return _NOT_CONST
+
+    def _ring(self, value, vtype: ValueType, scale: int) -> int:
+        """Ring-encode a constant at the requested decimal scale."""
+        if value is None:
+            raise RewriteError("cannot ring-encode NULL")
+        if vtype.kind in ("int", "decimal") or isinstance(value, (int, float)):
+            return round(float(value) * (10 ** scale)) if scale else int(round(value))
+        if vtype.kind == "date" or isinstance(value, datetime.date):
+            from repro.crypto.encoding import encode_date
+
+            return encode_date(value)
+        if vtype.kind == "string" or isinstance(value, str):
+            from repro.crypto.encoding import encode_string
+
+            width = vtype.width or max(len(str(value).encode("utf-8")), 1)
+            return encode_string(str(value), width)
+        if vtype.kind == "bool":
+            return int(bool(value))
+        raise RewriteError(f"cannot ring-encode {value!r}")
+
+    def _leak(self, kind: str, site: str) -> None:
+        self._leakage.append(f"{kind}: {site}")
+
+
+def _walk_has_fraction(expr, scope, rewriter) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinaryOp) and node.op == "/":
+            return True
+        if isinstance(node, ast.Aggregate) and node.func == "avg":
+            if node.arg is not None and rewriter._expr_sensitive(node.arg, scope):
+                return True
+    return False
+
+
+def _mul_opt(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return ast.BinaryOp(op="*", left=a, right=b)
+
+
+def _provably_positive(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Aggregate) and expr.func == "count":
+        return True  # non-negative; zero makes both sides zero/NULL
+    if isinstance(expr, ast.Literal):
+        return isinstance(expr.value, (int, float)) and expr.value > 0
+    if isinstance(expr, ast.BinaryOp) and expr.op == "*":
+        return _provably_positive(expr.left) and _provably_positive(expr.right)
+    if isinstance(expr, ast.ScalarSubquery) and len(expr.query.items) == 1:
+        return _provably_positive(expr.query.items[0].expr)
+    return False
+
+
+_NOT_CONST = object()
+
+
+def _literal_vtype(value) -> ValueType:
+    if value is None:
+        return ValueType.int_()
+    if isinstance(value, bool):
+        return ValueType.bool_()
+    if isinstance(value, int):
+        return ValueType.int_()
+    if isinstance(value, float):
+        exponent = decimal.Decimal(str(value)).as_tuple().exponent
+        return ValueType.decimal(max(0, -exponent))
+    if isinstance(value, datetime.date):
+        return ValueType.date()
+    if isinstance(value, str):
+        return ValueType.string(width=max(len(value.encode("utf-8")), 1))
+    raise RewriteError(f"unsupported literal {value!r}")
+
+
+def _numeric_scale(vtype: ValueType, constant) -> int:
+    if vtype.kind == "decimal":
+        return vtype.scale
+    if isinstance(constant, float):
+        exponent = decimal.Decimal(str(constant)).as_tuple().exponent
+        return max(0, -exponent)
+    return 0
+
+
+def _combine_plain_vtype(op, l: ValueType, r: ValueType) -> ValueType:
+    if op == "||":
+        return ValueType.string(width=(l.width or 32) + (r.width or 32))
+    if l.kind == "date" or r.kind == "date":
+        if op == "-" and l.kind == "date" and r.kind == "date":
+            return ValueType.int_()
+        return ValueType.date()
+    if l.kind == "decimal" or r.kind == "decimal" or op == "/":
+        return ValueType.decimal(max(l.scale, r.scale, 2))
+    return ValueType.int_()
+
+
+def _mul_vtype(l: ValueType, r: ValueType) -> ValueType:
+    if l.kind == "decimal" or r.kind == "decimal":
+        return ValueType.decimal(l.scale + r.scale)
+    return ValueType.int_()
+
+
+def _add_vtype(l: ValueType, r: ValueType, scale: int) -> ValueType:
+    if l.kind == "date" or r.kind == "date":
+        return ValueType.date()
+    if l.kind == "decimal" or r.kind == "decimal":
+        return ValueType.decimal(scale)
+    return ValueType.int_()

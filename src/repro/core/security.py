@@ -1,0 +1,236 @@
+"""Threat-model harness (paper Section 2.3 and demo step 3).
+
+Simulates the three attacker knowledge levels the paper defines and checks
+SDB's claims against them:
+
+* **DB knowledge** -- the attacker reads the SP's disk: every stored share.
+  :func:`scan_for_plaintext` confirms sensitive plaintexts never appear;
+  :func:`share_uniformity` quantifies that shares look like uniform ring
+  elements.
+* **CPA knowledge** -- the attacker inserts chosen plaintexts and watches
+  the new ciphertexts.  :class:`CPAAttacker` mounts the matching attack the
+  scheme must (and does) resist: because every row gets a fresh random row
+  id, equal plaintexts do not produce matching shares.
+* **QR knowledge** -- the attacker observes rewritten queries, UDF traffic
+  and intermediate results.  :class:`QRAttacker` extracts exactly the
+  *declared* leakage (comparison signs, token equality patterns) and
+  verifies the underlying values remain hidden.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.server import SDBServer
+from repro.crypto.sies import SIESCiphertext
+from repro.engine.schema import DataType
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class PlaintextHit:
+    table: str
+    column: str
+    row: int
+    value: object
+
+
+def iter_stored_shares(server: SDBServer):
+    """Yield (table, column, row, share) for every SHARE-typed cell."""
+    for name in server.catalog.names():
+        table = server.catalog.get(name)
+        for spec in table.schema.columns:
+            if spec.dtype is not DataType.SHARE:
+                continue
+            for i, value in enumerate(table.column(spec.name)):
+                yield name, spec.name, i, value
+
+
+def scan_for_plaintext(
+    server: SDBServer, plaintexts: Iterable, include_zero: bool = False
+) -> list[PlaintextHit]:
+    """DB-knowledge check: do any sensitive plaintexts appear on disk?
+
+    ``plaintexts`` are the ring-encoded sensitive values the DO uploaded.
+    A correct deployment returns an empty list (up to the negligible chance
+    of a share colliding with a value).
+
+    **Zero is excluded by default**: multiplicative secret sharing maps 0
+    to 0 (``ve = 0 * vk^-1 = 0``, Definition 2), so zero-ness of a cell is
+    visible at the SP by construction.  This is an inherent, *declared*
+    property of the paper's scheme, not an implementation defect; see
+    :func:`zero_value_cells` for quantifying it.  Pass ``include_zero=True``
+    to surface those cells as hits anyway.
+    """
+    needles = set(plaintexts)
+    if not include_zero:
+        needles.discard(0)
+    hits = []
+    for table, column, row, share in iter_stored_shares(server):
+        if share in needles and isinstance(share, int):
+            hits.append(PlaintextHit(table=table, column=column, row=row, value=share))
+    return hits
+
+
+def zero_value_cells(server: SDBServer) -> list[PlaintextHit]:
+    """Stored shares equal to zero: the scheme's declared zero-leakage.
+
+    An SP observer learns *which sensitive cells are exactly zero* (and
+    nothing about any non-zero magnitude), because the encryption of 0 is 0
+    under every item key.
+    """
+    return [
+        PlaintextHit(table=table, column=column, row=row, value=0)
+        for table, column, row, share in iter_stored_shares(server)
+        if share == 0 and column != "__rowid"
+    ]
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """First-order uniformity statistics of stored shares over Z_n."""
+
+    count: int
+    mean_fraction: float      # mean(share / n); uniform -> 0.5
+    top_bit_fraction: float   # fraction with top bit set; uniform -> ~0.5
+    distinct_fraction: float  # distinct / count; uniform -> ~1.0
+
+    def looks_uniform(self, tolerance: float = 0.05) -> bool:
+        return (
+            abs(self.mean_fraction - 0.5) < tolerance
+            and abs(self.top_bit_fraction - 0.5) < tolerance * 2
+            and self.distinct_fraction > 0.9
+        )
+
+
+def share_uniformity(server: SDBServer, n: int) -> UniformityReport:
+    shares = [
+        share
+        for _, column, _, share in iter_stored_shares(server)
+        if isinstance(share, int) and column != "__rowid"
+    ]
+    if not shares:
+        return UniformityReport(0, 0.5, 0.5, 1.0)
+    mean_fraction = sum(s / n for s in shares) / len(shares)
+    top = sum(1 for s in shares if s >= n // 2) / len(shares)
+    distinct = len(set(shares)) / len(shares)
+    return UniformityReport(
+        count=len(shares),
+        mean_fraction=mean_fraction,
+        top_bit_fraction=top,
+        distinct_fraction=distinct,
+    )
+
+
+class CPAAttacker:
+    """Chosen-plaintext attack: insert known values, try to match rows.
+
+    The attacker controls plaintexts inserted through the DO (e.g. opening
+    bank accounts with chosen balances, Section 2.3) and then reads the SP
+    disk.  The attack: for each chosen plaintext, find stored shares equal
+    to the share its insertion produced, hoping to identify other rows with
+    the same value.  Fresh random row ids make item keys row-unique, so
+    matches never exceed the attacker's own rows.
+    """
+
+    def __init__(self, server: SDBServer):
+        self._server = server
+        self._before: dict = {}
+
+    def snapshot(self) -> None:
+        self._before = {
+            name: self._server.catalog.get(name).num_rows
+            for name in self._server.catalog.names()
+        }
+
+    def observe_new_shares(self, table: str, column: str) -> list:
+        """Shares of rows inserted after :meth:`snapshot` (CPA knowledge)."""
+        stored = self._server.catalog.get(table)
+        start = self._before.get(table, 0)
+        return stored.column(column)[start:]
+
+    def match_rows(self, table: str, column: str, chosen_shares: Iterable) -> int:
+        """Count *pre-existing* rows whose share equals a chosen one."""
+        stored = self._server.catalog.get(table)
+        start = self._before.get(table, 0)
+        old = stored.column(column)[:start]
+        chosen = set(chosen_shares)
+        return sum(1 for share in old if share in chosen)
+
+
+@dataclass
+class QRObservation:
+    """What a wire/memory tap learns from one query execution."""
+
+    rewritten_sql: str
+    comparison_signs: list = field(default_factory=list)
+    token_matches: int = 0
+    token_values_seen: int = 0
+
+
+class QRAttacker:
+    """Query-result knowledge: harvest what the transcript actually leaks."""
+
+    def __init__(self, server: SDBServer):
+        if not server.transcript.queries and not server._instrument:
+            raise ValueError("server must be instrumented for QR analysis")
+        self._server = server
+
+    def observations(self) -> list[QRObservation]:
+        out = []
+        transcript = self._server.transcript
+        signs_by_query: list = []
+        for sql in transcript.queries:
+            out.append(QRObservation(rewritten_sql=sql))
+        signs = [
+            result
+            for name, _, result in transcript.udf_values
+            if name == "sdb_sign"
+        ]
+        if out:
+            out[-1].comparison_signs = signs
+        return out
+
+    #: UDFs whose *outputs* are declared leakage (masked comparison signs);
+    #: their results carrying small integers is by design, not recovery.
+    DECLARED_LEAKAGE_UDFS = frozenset({"sdb_sign"})
+
+    def recovered_plaintexts(self, known_ring_values: Iterable) -> int:
+        """How many sensitive ring values appear in UDF traffic *beyond
+        what the attacker already knows*.
+
+        For a sound deployment this is 0: every UDF input/output is either
+        a share, a masked value, or public material.  Three exclusions keep
+        the check honest rather than coincidence-driven:
+
+        * ring value 0 (shares of 0 *are* 0 under multiplicative sharing,
+          same as :func:`scan_for_plaintext`);
+        * integers that appear verbatim in the rewritten queries -- a QR
+          attacker reads the query text, so re-seeing a query constant in a
+          UDF argument reveals nothing new (e.g. rescale factors like 100
+          colliding with a small sensitive domain);
+        * results of declared-leakage UDFs (comparison signs in {-1,0,1}).
+        """
+        known = set(known_ring_values)
+        known.discard(0)
+        known -= self._public_query_constants()
+        seen = 0
+        for name, args, result in self._server.transcript.udf_values:
+            candidates = list(args)
+            if name not in self.DECLARED_LEAKAGE_UDFS:
+                candidates.append(result)
+            for value in candidates:
+                if isinstance(value, int) and value in known:
+                    seen += 1
+        return seen
+
+    def _public_query_constants(self) -> set:
+        """Every integer literal visible in the submitted query texts."""
+        import re
+
+        public: set = set()
+        for sql in self._server.transcript.queries:
+            public.update(int(m) for m in re.findall(r"\d+", sql))
+        return public

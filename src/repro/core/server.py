@@ -1,0 +1,190 @@
+"""The service-provider side: an unmodified engine plus SDB UDFs.
+
+Matches paper Section 2.2: the SP stores plain values of insensitive data
+and the secret shares of sensitive data, processes rewritten queries, and
+returns encrypted results.  The server also supports *instrumentation*: a
+transcript of everything an SP-resident attacker could observe (stored
+relations, submitted queries, UDF inputs/outputs), which powers the demo's
+memory-dump step and the security experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.udfs import AGGREGATE_UDFS, SCALAR_UDFS, register_sdb_udfs
+from repro.engine import Catalog, Engine, Table
+from repro.engine.udf import UDFRegistry
+from repro.sql import ast
+
+
+@dataclass
+class Transcript:
+    """What an attacker sitting on the SP can see (QR knowledge)."""
+
+    queries: list = field(default_factory=list)      # rewritten SQL strings
+    results: list = field(default_factory=list)      # result tables
+    udf_values: list = field(default_factory=list)   # sampled UDF in/outputs
+
+    def clear(self) -> None:
+        self.queries.clear()
+        self.results.clear()
+        self.udf_values.clear()
+
+
+class SDBServer:
+    """A relational engine with the SDB UDF set installed.
+
+    ``parallel_partitions`` switches the engine to the partition-parallel
+    executor (:mod:`repro.engine.parallel`): eligible queries run as
+    partial + merge over that many partitions with task retry; everything
+    else silently takes the serial path.
+    """
+
+    def __init__(
+        self,
+        instrument: bool = False,
+        udf_sample_limit: int = 10000,
+        parallel_partitions: int = 0,
+    ):
+        self.catalog = Catalog()
+        self.udfs = UDFRegistry()
+        register_sdb_udfs(self.udfs)
+        if parallel_partitions:
+            from repro.engine.parallel import ParallelEngine
+
+            self.engine = ParallelEngine(
+                self.catalog, self.udfs, num_partitions=parallel_partitions
+            )
+        else:
+            self.engine = Engine(self.catalog, self.udfs)
+        self.transcript = Transcript()
+        self._instrument = instrument
+        self._udf_sample_limit = udf_sample_limit
+        # one statement at a time: the networked deployment serves several
+        # proxies from threads, and DML mutates tables in place
+        self._lock = threading.RLock()
+        self._undo: Optional[dict] = None  # table -> column snapshots
+        if instrument:
+            self._wrap_udfs()
+
+    # -- storage -----------------------------------------------------------
+
+    def store_table(self, name: str, table: Table, replace: bool = False) -> None:
+        self.catalog.create(name, table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    # -- query processing --------------------------------------------------------
+
+    def execute(self, query) -> Table:
+        """Run a (rewritten) query.  The SP never sees keys or plaintext."""
+        with self._lock:
+            if self._instrument:
+                sql = query if isinstance(query, str) else query.to_sql()
+                self.transcript.queries.append(sql)
+            result = self.engine.execute(query)
+            if self._instrument:
+                self.transcript.results.append(result)
+            return result
+
+    def execute_dml(self, statement) -> int:
+        """Run a (rewritten) INSERT/UPDATE/DELETE; returns affected rows."""
+        with self._lock:
+            if self._instrument:
+                sql = statement if isinstance(statement, str) else statement.to_sql()
+                self.transcript.queries.append(sql)
+            if isinstance(statement, str):
+                from repro.sql.parser import parse_statement
+
+                statement = parse_statement(statement)
+            self._remember_for_undo(statement.table)
+            return self.engine.execute_dml(statement)
+
+    # -- transactions ---------------------------------------------------------
+    #
+    # Single-writer transactions with table-granular undo: the first
+    # mutation of each table inside a transaction snapshots its columns;
+    # ROLLBACK restores the snapshots, COMMIT discards them.  Queries always
+    # see the current (uncommitted) state -- the engine is one writer at a
+    # time under the server lock, so this is serializable trivially.
+
+    def begin(self) -> None:
+        with self._lock:
+            if getattr(self, "_undo", None) is not None:
+                raise RuntimeError("transaction already in progress")
+            self._undo = {}
+
+    def commit(self) -> None:
+        with self._lock:
+            if getattr(self, "_undo", None) is None:
+                raise RuntimeError("no transaction in progress")
+            self._undo = None
+
+    def rollback(self) -> None:
+        with self._lock:
+            undo = getattr(self, "_undo", None)
+            if undo is None:
+                raise RuntimeError("no transaction in progress")
+            for name, columns in undo.items():
+                if columns is None:
+                    # table did not exist when first touched: drop it
+                    if name in self.catalog:
+                        self.catalog.drop(name)
+                elif name in self.catalog:
+                    self.catalog.get(name).columns = columns
+            self._undo = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return getattr(self, "_undo", None) is not None
+
+    def _remember_for_undo(self, table_name: str) -> None:
+        undo = getattr(self, "_undo", None)
+        if undo is None:
+            return
+        key = table_name.lower()
+        if key in undo:
+            return
+        if key in self.catalog:
+            table = self.catalog.get(key)
+            undo[key] = [list(column) for column in table.columns]
+        else:
+            undo[key] = None
+
+    # -- attacker surface ------------------------------------------------------------
+
+    def memory_dump(self) -> dict:
+        """Everything currently observable at the SP.
+
+        ``disk``: stored relations (DB knowledge).  ``memory``: transient
+        values observed during computation (QR knowledge) -- queries,
+        results and sampled UDF traffic when instrumented.
+        """
+        return {
+            "disk": {
+                name: self.catalog.get(name) for name in self.catalog.names()
+            },
+            "memory": {
+                "queries": list(self.transcript.queries),
+                "results": list(self.transcript.results),
+                "udf_values": list(self.transcript.udf_values),
+            },
+        }
+
+    def _wrap_udfs(self) -> None:
+        for name in list(SCALAR_UDFS):
+            original = self.udfs.scalar(name)
+
+            def wrapped(*args, _original=original, _name=name):
+                result = _original(*args)
+                if len(self.transcript.udf_values) < self._udf_sample_limit:
+                    self.transcript.udf_values.append(
+                        (_name, args, result)
+                    )
+                return result
+
+            self.udfs.register_scalar(name, wrapped, replace=True)

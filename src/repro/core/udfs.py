@@ -1,0 +1,196 @@
+"""The SDB UDFs installed at the service provider.
+
+Every UDF operates on shares (big integers mod ``n``) plus plain values and
+DO-computed scalars; none of them can see a plaintext or a key.  This is
+the paper's data-interoperability property in code: all operators read and
+write the *same* encrypted representation, so their outputs compose.
+
+The only state a UDF receives beyond its arguments is the public modulus
+``n``, passed as a literal argument by the rewritten query -- exactly like
+the paper's ``sdb_multiply(Ae, Be, n)`` example in Section 2.2.
+
+All scalar UDFs propagate NULL, matching SQL semantics for rows produced by
+outer joins.
+"""
+
+from __future__ import annotations
+
+from repro.engine.udf import AggregateUDF, UDFRegistry
+
+
+def sdb_mul(ae, be, n):
+    """EE multiplication: ``ce = ae * be mod n`` (paper Section 2.2)."""
+    if ae is None or be is None:
+        return None
+    return ae * be % n
+
+
+def sdb_mul_plain(ae, plain, pow10, n):
+    """EP multiplication by an insensitive value.
+
+    The plain operand is scaled by ``10**pow10`` (decimal alignment decided
+    by the rewriter) and rounded to a ring integer; the share is scaled,
+    the column key is unchanged.
+    """
+    if ae is None or plain is None:
+        return None
+    factor = round(plain * (10 ** pow10)) if pow10 else int(round(plain))
+    return ae * (factor % n) % n
+
+
+def sdb_add(ae, be, n):
+    """EE addition of two *key-aligned* shares."""
+    if ae is None or be is None:
+        return None
+    return (ae + be) % n
+
+
+def sdb_keyupdate(ae, p, n, *pairs):
+    """Key update: ``p * ae * prod_i se_i**q_i mod n``.
+
+    ``pairs`` is a flat sequence ``se_1, q_1, se_2, q_2, ...`` where each
+    ``se_i`` is the auxiliary column share of one row-id source and ``q_i``
+    the DO-computed exponent.  With no pairs this degenerates to a scalar
+    multiplication (used e.g. to re-key aggregated, row-independent shares).
+    """
+    if ae is None:
+        return None
+    out = p * ae % n
+    for i in range(0, len(pairs), 2):
+        se, q = pairs[i], pairs[i + 1]
+        if se is None:
+            return None
+        out = out * pow(se, q, n) % n
+    return out
+
+
+def sdb_enc(value, kind, scale, width, n):
+    """Ring-encode an *insensitive* value at the SP.
+
+    Used when an insensitive expression meets a sensitive one (EP addition,
+    mixed equality): the plain value must enter the ring with the same
+    encoding the DO used at upload time.  Nothing secret is involved --
+    the value was public at the SP already.
+    """
+    if value is None:
+        return None
+    import datetime
+
+    if kind in ("int", "decimal"):
+        return round(value * (10 ** scale)) % n if scale else int(round(value)) % n
+    if kind == "date":
+        if isinstance(value, datetime.date):
+            return (value - datetime.date(1970, 1, 1)).days % n
+        return int(value) % n
+    if kind == "string":
+        raw = str(value).encode("utf-8")
+        if len(raw) > width:
+            return None  # cannot equal any fixed-width encoded value
+        return int.from_bytes(raw.ljust(width, b"\x00"), "big") % n
+    if kind == "bool":
+        return int(bool(value)) % n
+    raise ValueError(f"sdb_enc: unknown kind {kind!r}")
+
+
+def sdb_sign(masked, n):
+    """Sign of a masked difference: -1, 0 or +1.
+
+    ``masked`` is ``d * rho mod n`` with ``|d| * rho < n/2`` guaranteed by
+    the mask policy, so residues below ``n/2`` are positive differences and
+    residues above are negative ones.
+    """
+    if masked is None:
+        return None
+    if masked == 0:
+        return 0
+    return 1 if masked < n // 2 else -1
+
+
+def sdb_signed(masked, n):
+    """Centered representative of a masked value (order-preserving).
+
+    Used as an ORDER BY key: for a fixed positive mask, ``v * rho`` is
+    monotone in ``v`` within the wrap-free window.
+    """
+    if masked is None:
+        return None
+    return masked - n if masked > n // 2 else masked
+
+
+class SdbSum(AggregateUDF):
+    """SUM over key-aligned shares: addition mod n; empty input -> NULL."""
+
+    def __init__(self):
+        self.initial = None
+
+    def step(self, state, share, n):
+        if share is None:
+            return state
+        if state is None:
+            return share % n
+        return (state + share) % n
+
+
+class _SdbExtreme(AggregateUDF):
+    """MIN/MAX over (order-token, aligned-share) pairs.
+
+    The token is the ``sdb_signed`` masked value (order-preserving); the
+    payload share is pre-aligned to a row-independent key so the winner
+    decrypts without row ids.
+    """
+
+    def __init__(self, want_max: bool):
+        self.initial = None
+        self._want_max = want_max
+
+    def step(self, state, token, share):
+        if token is None:
+            return state
+        if state is None:
+            return (token, share)
+        best_token, _ = state
+        if (token > best_token) if self._want_max else (token < best_token):
+            return (token, share)
+        return state
+
+    def finish(self, state):
+        return None if state is None else state[1]
+
+
+class SdbMin(_SdbExtreme):
+    def __init__(self):
+        super().__init__(want_max=False)
+
+
+class SdbMax(_SdbExtreme):
+    def __init__(self):
+        super().__init__(want_max=True)
+
+
+SCALAR_UDFS = {
+    "sdb_mul": sdb_mul,
+    "sdb_mul_plain": sdb_mul_plain,
+    "sdb_add": sdb_add,
+    "sdb_keyupdate": sdb_keyupdate,
+    "sdb_enc": sdb_enc,
+    "sdb_sign": sdb_sign,
+    "sdb_signed": sdb_signed,
+}
+
+AGGREGATE_UDFS = {
+    "sdb_agg_sum": SdbSum,
+    "sdb_agg_min": SdbMin,
+    "sdb_agg_max": SdbMax,
+}
+
+
+def register_sdb_udfs(registry: UDFRegistry) -> None:
+    """Install the SDB UDF set into an engine's registry.
+
+    This is the entire server-side footprint of SDB -- the engine itself is
+    unmodified (paper Section 2.2).
+    """
+    for name, func in SCALAR_UDFS.items():
+        registry.register_scalar(name, func, replace=True)
+    for name, cls in AGGREGATE_UDFS.items():
+        registry.register_aggregate(name, cls(), replace=True)

@@ -1,0 +1,36 @@
+"""Cryptographic substrate for SDB.
+
+This package implements every cryptographic component the paper relies on:
+
+* :mod:`repro.crypto.ntheory` -- number-theoretic primitives (Miller-Rabin
+  primality testing, prime generation, modular inverses) used to build the
+  RSA-style modulus ``n = rho1 * rho2`` of Section 2.1.
+* :mod:`repro.crypto.keys` -- system key material (``g``, ``n``, ``phi(n)``)
+  and per-column keys ``ck = <m, x>``.
+* :mod:`repro.crypto.secret_sharing` -- the multiplicative secret sharing
+  scheme of Definitions 1 and 2 and the decryption rule of Equation 4.
+* :mod:`repro.crypto.sies` -- the SIES symmetric scheme used for row ids.
+* :mod:`repro.crypto.keyops` -- the column-key algebra that powers the
+  data-interoperable operators (key propagation and key-update parameters).
+* :mod:`repro.crypto.prf` -- deterministic pseudo-random functions and
+  seedable randomness used across the system.
+"""
+
+from repro.crypto.keys import ColumnKey, SystemKeys, generate_system_keys
+from repro.crypto.secret_sharing import (
+    decrypt_value,
+    encrypt_value,
+    item_key,
+)
+from repro.crypto.sies import SIESCipher, SIESKey
+
+__all__ = [
+    "ColumnKey",
+    "SystemKeys",
+    "generate_system_keys",
+    "item_key",
+    "encrypt_value",
+    "decrypt_value",
+    "SIESCipher",
+    "SIESKey",
+]

@@ -1,0 +1,96 @@
+"""Plaintext encoding for the secret-sharing domain.
+
+SDB's shares live in ``Z_n``; application values (signed integers, fixed
+point decimals, dates, short strings) must be mapped into that ring before
+encryption and back after decryption.  The encodings here are the standard
+ones:
+
+* **Signed integers** -- ``v mod n`` with the convention that residues above
+  ``n/2`` are negative.  Values must satisfy ``|v| < 2**(value_bits-1)`` so
+  arithmetic never wraps and the masked-sign comparison protocol of
+  :mod:`repro.core.protocols` is unambiguous.
+* **Decimals** -- scaled integers at a fixed per-column scale (TPC-H uses
+  two fractional digits).
+* **Dates** -- days since 1970-01-01 (proleptic Gregorian).
+* **Strings** -- big-endian integer of the UTF-8 bytes, right-padded to a
+  fixed width so integer order equals (byte-wise) lexicographic order.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def encode_signed(value: int, n: int) -> int:
+    """Map a signed integer into ``Z_n``."""
+    return value % n
+
+
+def decode_signed(residue: int, n: int) -> int:
+    """Inverse of :func:`encode_signed` under the ``n/2`` convention."""
+    residue %= n
+    return residue - n if residue > n // 2 else residue
+
+
+def check_domain(value: int, value_bits: int) -> int:
+    """Validate that ``value`` fits the configured plaintext domain.
+
+    Returns the value unchanged; raises :class:`OverflowError` otherwise.
+    Keeping every stored plaintext inside ``|v| < 2**(value_bits-1)`` is what
+    lets additions, subtractions and constant multiplications of query
+    expressions stay inside the wrap-free window the comparison protocol
+    needs.
+    """
+    if abs(value) >= 1 << (value_bits - 1):
+        raise OverflowError(
+            f"value {value} outside the {value_bits}-bit plaintext domain"
+        )
+    return value
+
+
+def encode_decimal(value, scale: int = 2) -> int:
+    """Encode a decimal as a scaled integer (``round`` half-even)."""
+    return round(float(value) * (10 ** scale))
+
+
+def decode_decimal(encoded: int, scale: int = 2) -> float:
+    """Inverse of :func:`encode_decimal`."""
+    return encoded / (10 ** scale)
+
+
+def encode_date(value) -> int:
+    """Encode a date (``datetime.date`` or ISO string) as epoch days."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def decode_date(days: int) -> datetime.date:
+    """Inverse of :func:`encode_date`."""
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+def encode_string(value: str, width: int) -> int:
+    """Encode a string as a fixed-width big-endian integer.
+
+    Order-compatible with byte-wise lexicographic comparison, which is what
+    makes equality tokens and ORDER BY on encrypted string columns behave
+    like their plaintext counterparts.  Raises if the UTF-8 form exceeds
+    ``width`` bytes.
+    """
+    raw = value.encode("utf-8")
+    if len(raw) > width:
+        raise ValueError(f"string longer than the declared width {width}")
+    if b"\x00" in raw:
+        # NUL is the padding byte; strings containing it would not
+        # round-trip (SQL strings never contain NUL anyway)
+        raise ValueError("strings containing NUL bytes are not encodable")
+    return int.from_bytes(raw.ljust(width, b"\x00"), "big")
+
+
+def decode_string(encoded: int, width: int) -> str:
+    """Inverse of :func:`encode_string` (strips the zero padding)."""
+    raw = int(encoded).to_bytes(width, "big")
+    return raw.rstrip(b"\x00").decode("utf-8")

@@ -1,0 +1,196 @@
+"""Column-key algebra: how keys propagate through secure operators.
+
+This module is the data-interoperability engine room.  Every SDB operator
+consumes shares and produces shares; what makes the outputs *decryptable*
+and *composable* is that the DO can derive the column key of every operator
+output from the keys of its inputs:
+
+* multiplication (paper Section 2.2):  ``ck_C = <mA * mB, xA + xB>``;
+* key update: re-encrypt a column to any target key with SP-side work only,
+  using the auxiliary column ``S`` (an encrypted column of 1s);
+* plaintext multiplication: the share is scaled, the key is unchanged;
+* addition: operands aligned to a common key, shares added.
+
+Because operators can also *combine columns of different tables* (after a
+join), a derived key is in general
+
+    ``vk = m * g**(sum_i r_i * x_i)  (exponents mod phi(n))``
+
+with one term per source table instance.  :class:`KeyExpr` captures this:
+``m`` is the multiplicative part and ``terms`` maps a row-id *source*
+(a table instance in the query plan) to its exponent coefficient ``x``.
+A plain column key ``<m, x>`` of table ``t`` is the one-term expression
+``KeyExpr(m, {t: x})``; an aggregation-ready key has no terms at all and
+decrypts without row ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.crypto.keys import ColumnKey, SystemKeys
+from repro.crypto.ntheory import modinv
+
+
+@dataclass(frozen=True)
+class KeyExpr:
+    """A derived column key: ``vk = m * g**(sum r_src * x_src) mod n``.
+
+    ``terms`` is a canonically sorted tuple of ``(source, x)`` pairs; a
+    *source* names the row-id stream of one table instance in a query (two
+    scans of the same table in a self-join are distinct sources).
+    """
+
+    m: int
+    terms: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def make(cls, m: int, terms: Mapping[str, int] = ()) -> "KeyExpr":
+        items = dict(terms) if terms else {}
+        cleaned = tuple(sorted((s, x) for s, x in items.items() if x != 0))
+        return cls(m=m, terms=cleaned)
+
+    @classmethod
+    def from_column_key(cls, ck: ColumnKey, source: str) -> "KeyExpr":
+        return cls.make(ck.m, {source: ck.x})
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(s for s, _ in self.terms)
+
+    @property
+    def is_row_independent(self) -> bool:
+        """True when the item key does not depend on any row id.
+
+        Row-independent keys (``x = 0`` everywhere) decrypt without row ids
+        and are the alignment target for SUM and for equality tokens.
+        """
+        return not self.terms
+
+    def term_map(self) -> dict[str, int]:
+        return dict(self.terms)
+
+    def item_key(self, keys: SystemKeys, row_ids: Mapping[str, int]) -> int:
+        """Materialize the item key given the row id of every source."""
+        exponent = 0
+        for source, x in self.terms:
+            exponent = (exponent + row_ids[source] * x) % keys.phi
+        return (self.m * pow(keys.g, exponent, keys.n)) % keys.n
+
+
+def multiply_keys(keys: SystemKeys, a: KeyExpr, b: KeyExpr) -> KeyExpr:
+    """Key for ``A * B`` (paper: ``<mA*mB, xA+xB>``, per source)."""
+    merged = a.term_map()
+    for source, x in b.terms:
+        merged[source] = (merged.get(source, 0) + x) % keys.phi
+    return KeyExpr.make((a.m * b.m) % keys.n, merged)
+
+
+def multiply_key_plain(keys: SystemKeys, a: KeyExpr, constant: int) -> KeyExpr:
+    """Key for ``A * c`` computed DO-side (share untouched at the SP).
+
+    Decryption multiplies the share by the item key, so scaling the key's
+    ``m`` by ``c`` scales the decrypted value by ``c`` for free.  ``c`` must
+    be non-zero mod n (the rewriter folds multiplications by zero away); the
+    SP-side variant (:func:`repro.core.udfs.sdb_mul_plain`) scales the share
+    instead and leaves the key unchanged -- the rewriter picks either.
+    """
+    c = constant % keys.n
+    if c == 0:
+        raise ValueError("cannot fold multiplication by zero into a key")
+    return KeyExpr.make((a.m * c) % keys.n, a.term_map())
+
+
+@dataclass(frozen=True)
+class KeyUpdateParams:
+    """DO-computed parameters of one key-update UDF call.
+
+    The SP evaluates ``new_share = p * share * prod_i helper_i ** q_i mod n``
+    where ``helper_i`` is the encrypted auxiliary column ``S`` of source
+    ``i``.  ``p`` and the ``q_i`` reveal nothing useful without the secret
+    column keys (they are one equation in several unknowns, masked by the
+    randomness of the keys involved).
+    """
+
+    p: int
+    q_by_source: tuple[tuple[str, int], ...]
+
+
+def key_update_params(
+    keys: SystemKeys,
+    current: KeyExpr,
+    target: KeyExpr,
+    helper_keys: Mapping[str, ColumnKey],
+) -> KeyUpdateParams:
+    """Compute ``(p, {q_i})`` to re-encrypt from ``current`` to ``target``.
+
+    Correctness (per source ``i`` with helper key ``<mS, xS>``)::
+
+        ve' = ve * (m/m') * g**(sum_i r_i (x_i - x'_i))
+        Se_i**q_i = mS_i**(-q_i) * g**(-r_i * xS_i * q_i)
+
+    choosing ``q_i = (x'_i - x_i) * xS_i^-1 mod phi`` makes the ``g`` powers
+    match, and ``p = (m/m') * prod_i mS_i**q_i mod n`` fixes the constants.
+
+    ``helper_keys`` maps each involved source to the column key of its
+    auxiliary ``S`` column; ``xS`` must be a unit modulo ``phi(n)`` (the
+    upload pipeline samples it that way).
+    """
+    current_terms = current.term_map()
+    target_terms = target.term_map()
+    p = (current.m * modinv(target.m, keys.n)) % keys.n
+    q_by_source = []
+    for source in sorted(set(current_terms) | set(target_terms)):
+        x = current_terms.get(source, 0)
+        x_target = target_terms.get(source, 0)
+        if x == x_target:
+            continue
+        helper = helper_keys.get(source)
+        if helper is None:
+            raise KeyError(f"no auxiliary column key for source {source!r}")
+        xs_inv = modinv(helper.x, keys.phi)
+        q = ((x_target - x) * xs_inv) % keys.phi
+        p = (p * pow(helper.m, q, keys.n)) % keys.n
+        q_by_source.append((source, q))
+    return KeyUpdateParams(p=p, q_by_source=tuple(q_by_source))
+
+
+def aux_column_key(keys: SystemKeys, rng=None) -> ColumnKey:
+    """Column key for an auxiliary ``S`` column.
+
+    Like any column key, but ``x`` is additionally required to be a unit
+    modulo ``phi(n)`` so that key-update can divide by it.
+    """
+    from repro.crypto import ntheory
+
+    m = ntheory.random_unit(keys.n, rng)
+    while True:
+        x = ntheory.random_below(keys.phi, rng)
+        if ntheory.gcd(x, keys.phi) == 1:
+            return ColumnKey(m=m, x=x)
+
+
+def reveal_key(keys: SystemKeys, mask: int) -> KeyExpr:
+    """The *revealing* target key ``<mask^-1 mod n, 0>``.
+
+    Key-updating a column to this key hands the SP ``v * mask mod n`` for
+    every row: with ``mask = 1`` the plaintext itself (never used), with a
+    random positive ``mask`` the sign-preserving masked value used by the
+    comparison and ordering protocols, and the decryption key for the DO is
+    simply ``mask^-1``.
+    """
+    return KeyExpr.make(modinv(mask % keys.n, keys.n))
+
+
+def token_key(keys: SystemKeys, rng=None) -> tuple[KeyExpr, int]:
+    """A fresh deterministic-token target key ``<mG, 0>``.
+
+    Returns the key expression and ``mG`` (kept by the DO to decrypt group
+    keys in results).  Same plaintext -> same token, which is exactly the
+    information GROUP BY / equi-join needs and nothing more.
+    """
+    from repro.crypto import ntheory
+
+    m = ntheory.random_unit(keys.n, rng)
+    return KeyExpr.make(m), m

@@ -1,0 +1,166 @@
+"""Key material for SDB's secret sharing scheme (paper Section 2.1).
+
+The data owner maintains:
+
+* a public RSA-style modulus ``n = rho1 * rho2`` (the factors and
+  ``phi(n) = (rho1 - 1) * (rho2 - 1)`` stay secret at the DO),
+* a secret generator ``g`` co-prime with ``n``,
+* one **column key** ``ck = <m, x>`` per sensitive column, where
+  ``0 < m, x < n`` are random.
+
+The paper uses 1024-bit primes (2048-bit ``n``).  Key size is a parameter
+here so tests can run with small moduli while benchmarks use paper-scale
+material.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto import ntheory
+
+#: Modulus size used by the paper (two 1024-bit primes).
+PAPER_MODULUS_BITS = 2048
+
+#: Default bound (in bits) on plaintext magnitude.  Sensitive values must
+#: satisfy ``|v| < 2**VALUE_BITS`` so that signed decoding and the masked
+#: comparison protocol are unambiguous.  64 bits covers TPC-H's scaled
+#: decimals with room to spare.
+DEFAULT_VALUE_BITS = 64
+
+
+@dataclass(frozen=True)
+class ColumnKey:
+    """A column key ``ck = <m, x>``.
+
+    ``m`` is the multiplicative part and ``x`` the exponent part of the item
+    key ``vk = m * g**(r * x) mod n`` (Definition 1).  Column keys live only
+    in the DO's key store; the SP never sees them.
+    """
+
+    m: int
+    x: int
+
+    def __post_init__(self):
+        if self.m <= 0 or self.x < 0:
+            raise ValueError("column key parts must be positive (x may be 0)")
+
+    def to_json(self) -> str:
+        return json.dumps({"m": self.m, "x": self.x})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ColumnKey":
+        data = json.loads(payload)
+        return cls(m=int(data["m"]), x=int(data["x"]))
+
+
+@dataclass(frozen=True)
+class SystemKeys:
+    """The DO's system-wide key material.
+
+    Attributes
+    ----------
+    n:
+        Public modulus ``rho1 * rho2``; shared with the SP (UDFs reduce
+        modulo ``n``).
+    g:
+        Secret generator, co-prime with ``n``.
+    rho1, rho2:
+        The secret prime factors.
+    phi:
+        ``phi(n) = (rho1 - 1) * (rho2 - 1)``; exponents of ``g`` are reduced
+        modulo ``phi`` (the paper's "mod phi(n)" convention after Def. 1).
+    value_bits:
+        Bound on plaintext magnitude (see :data:`DEFAULT_VALUE_BITS`).
+    """
+
+    n: int
+    g: int
+    rho1: int
+    rho2: int
+    phi: int
+    value_bits: int = DEFAULT_VALUE_BITS
+
+    def __post_init__(self):
+        if self.rho1 * self.rho2 != self.n:
+            raise ValueError("n must equal rho1 * rho2")
+        if self.phi != (self.rho1 - 1) * (self.rho2 - 1):
+            raise ValueError("phi must equal (rho1-1)*(rho2-1)")
+        if ntheory.gcd(self.g, self.n) != 1:
+            raise ValueError("g must be co-prime with n")
+        if self.n.bit_length() < self.value_bits + 3:
+            raise ValueError(
+                "modulus too small for the configured plaintext domain"
+            )
+
+    @property
+    def public(self) -> "PublicParams":
+        """The part of the key material the SP is allowed to see."""
+        return PublicParams(n=self.n, value_bits=self.value_bits)
+
+    def random_column_key(self, rng=None) -> ColumnKey:
+        """Draw a fresh uniform column key ``<m, x>``.
+
+        ``m`` is sampled from ``Z_n*`` so item keys are invertible; ``x`` is
+        sampled from ``[1, phi)`` so the exponent is a valid residue.
+        """
+        m = ntheory.random_unit(self.n, rng)
+        x = ntheory.random_below(self.phi, rng)
+        return ColumnKey(m=m, x=x)
+
+    def random_row_id(self, rng=None) -> int:
+        """Draw a random row id ``0 < r < n`` (Section 2.1)."""
+        return ntheory.random_below(self.n, rng)
+
+
+@dataclass(frozen=True)
+class PublicParams:
+    """Public parameters shipped to the SP alongside the UDFs.
+
+    Only ``n`` (and the plaintext-domain width, which is public information
+    about the schema) crosses the trust boundary.  ``g``, ``phi`` and the
+    column keys never do.
+    """
+
+    n: int
+    value_bits: int = DEFAULT_VALUE_BITS
+
+
+def generate_system_keys(
+    modulus_bits: int = PAPER_MODULUS_BITS,
+    value_bits: int = DEFAULT_VALUE_BITS,
+    rng=None,
+) -> SystemKeys:
+    """Generate fresh system keys.
+
+    Follows the paper: pick two random primes ``rho1, rho2`` of
+    ``modulus_bits / 2`` bits each, set ``n = rho1 * rho2``,
+    ``phi = (rho1-1)(rho2-1)``, and pick a secret ``g`` co-prime with ``n``.
+
+    ``rng`` may be provided for reproducible tests; production callers leave
+    it ``None`` to use the OS CSPRNG.
+    """
+    if modulus_bits < 16:
+        raise ValueError("modulus_bits must be at least 16")
+    half = modulus_bits // 2
+    rho1 = ntheory.random_prime(half, rng)
+    rho2 = ntheory.random_prime(modulus_bits - half, rng)
+    while rho2 == rho1:
+        rho2 = ntheory.random_prime(modulus_bits - half, rng)
+    n = rho1 * rho2
+    phi = (rho1 - 1) * (rho2 - 1)
+    g = ntheory.random_unit(n, rng)
+    return SystemKeys(
+        n=n, g=g, rho1=rho1, rho2=rho2, phi=phi, value_bits=value_bits
+    )
+
+
+def testing_system_keys(rng=None, value_bits: int = 24) -> SystemKeys:
+    """Small (but still correct) key material for fast unit tests.
+
+    Uses a 64-bit modulus: large enough that the ``value_bits``-bit plaintext
+    domain and the masked comparison protocol behave exactly as at paper
+    scale, small enough that property-based tests run thousands of cases.
+    """
+    return generate_system_keys(modulus_bits=64, value_bits=value_bits, rng=rng)

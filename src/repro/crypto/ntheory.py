@@ -1,0 +1,154 @@
+"""Number-theoretic primitives.
+
+SDB's secret sharing scheme works in the multiplicative group modulo an
+RSA-style composite ``n = rho1 * rho2`` (Section 2.1 of the paper).  This
+module provides the primitives needed to construct and work in that group:
+probabilistic primality testing, prime generation, modular inverses, and
+random sampling of units (elements co-prime with ``n``).
+
+Everything here is pure Python on native big integers; the paper uses
+2048-bit ``n`` and Python's ``pow`` handles that size natively.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+# Deterministic Miller-Rabin witness sets.  For 64-bit integers the first
+# twelve primes are a *proven* deterministic witness set (Sorenson & Webster
+# 2015), so ``is_prime`` is exact below 3.3 * 10^24.  Above that we add
+# random witnesses for a 2^-128 error bound.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+_RANDOM_WITNESS_ROUNDS = 64
+
+
+def _miller_rabin_witness(a: int, d: int, s: int, m: int) -> bool:
+    """Return ``True`` if ``a`` witnesses that ``m`` is composite.
+
+    ``m - 1 = d * 2**s`` with ``d`` odd.
+    """
+    x = pow(a, d, m)
+    if x in (1, m - 1):
+        return False
+    for _ in range(s - 1):
+        x = x * x % m
+        if x == m - 1:
+            return False
+    return True
+
+
+def is_prime(m: int) -> bool:
+    """Primality test.
+
+    Exact for ``m`` below ~3.3e24 (deterministic Miller-Rabin witness set);
+    probabilistic with error below ``2**-128`` above that.
+    """
+    if m < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if m == p:
+            return True
+        if m % p == 0:
+            return False
+    d = m - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    if m < _DETERMINISTIC_BOUND:
+        witnesses = _DETERMINISTIC_WITNESSES
+    else:
+        witnesses = tuple(
+            secrets.randbelow(m - 3) + 2 for _ in range(_RANDOM_WITNESS_ROUNDS)
+        )
+    return not any(_miller_rabin_witness(a, d, s, m) for a in witnesses)
+
+
+def random_prime(bits: int, rng=None) -> int:
+    """Sample a random prime of exactly ``bits`` bits.
+
+    ``rng`` may be a :class:`random.Random`-like object (for reproducible
+    tests); by default the OS CSPRNG is used.
+    """
+    if bits < 2:
+        raise ValueError("primes need at least 2 bits")
+    randbits = rng.getrandbits if rng is not None else secrets.randbits
+    while True:
+        candidate = randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # full bit-length, odd
+        if is_prime(candidate):
+            return candidate
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, s, t)`` with ``a*s + b*t == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ValueError` when ``gcd(a, m) != 1`` (the inverse does not
+    exist); SDB's encryption function relies on item keys being units mod n,
+    which key generation guarantees.
+    """
+    g, s, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return s % m
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (non-negative)."""
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def random_unit(n: int, rng=None) -> int:
+    """Sample a uniform element of ``Z_n*`` (co-prime with ``n``) in ``[2, n)``.
+
+    The paper requires the secret generator ``g`` and the column-key parts to
+    be co-prime with ``n`` so that modular inverses exist.
+    """
+    randbelow = (
+        (lambda k: rng.randrange(k)) if rng is not None else secrets.randbelow
+    )
+    while True:
+        candidate = randbelow(n - 2) + 2
+        if gcd(candidate, n) == 1:
+            return candidate
+
+
+def random_below(n: int, rng=None) -> int:
+    """Sample a uniform integer in ``[1, n)``."""
+    randbelow = (
+        (lambda k: rng.randrange(k)) if rng is not None else secrets.randbelow
+    )
+    return randbelow(n - 1) + 1
+
+
+def crt_pair(residue1: int, modulus1: int, residue2: int, modulus2: int) -> int:
+    """Chinese remainder theorem for two co-prime moduli.
+
+    Used by tests to validate arithmetic against the factored form of ``n``.
+    """
+    g, s, _ = egcd(modulus1, modulus2)
+    if g != 1:
+        raise ValueError("moduli must be co-prime")
+    diff = (residue2 - residue1) % modulus2
+    return (residue1 + modulus1 * ((diff * s) % modulus2)) % (modulus1 * modulus2)

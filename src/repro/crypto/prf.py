@@ -1,0 +1,52 @@
+"""Pseudo-random functions and seedable randomness.
+
+Two needs across SDB:
+
+* **Security-grade randomness** for real key generation (``secrets``).
+* **Reproducible randomness** for tests, benchmarks and the TPC-H data
+  generator.  Everything that generates data or keys accepts an optional
+  ``rng`` so experiments are repeatable.
+
+The PRF here (SHA-256 in counter mode) backs the SIES pads and the
+deterministic row-id assignment used by the upload pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+
+
+def prf_int(key: bytes, message: bytes, bits: int) -> int:
+    """Keyed PRF ``F_key(message)`` returning a ``bits``-bit integer.
+
+    Implemented as HMAC-SHA256 in counter mode, truncated/expanded to the
+    requested width.  Deterministic in ``(key, message)``.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    blocks = []
+    counter = 0
+    need = (bits + 7) // 8
+    while sum(len(b) for b in blocks) < need:
+        blocks.append(
+            hmac.new(key, message + counter.to_bytes(8, "big"), hashlib.sha256).digest()
+        )
+        counter += 1
+    raw = b"".join(blocks)[:need]
+    return int.from_bytes(raw, "big") % (1 << bits)
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Derive an independent sub-key from a master key and a label."""
+    return hmac.new(master, label.encode("utf-8"), hashlib.sha256).digest()
+
+
+def seeded_rng(seed) -> random.Random:
+    """A reproducible RNG for tests, dbgen and benchmarks.
+
+    Not for key material in production use; real deployments pass
+    ``rng=None`` to key generation, which then uses the OS CSPRNG.
+    """
+    return random.Random(seed)

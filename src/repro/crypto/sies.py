@@ -1,0 +1,100 @@
+"""SIES: the symmetric scheme used for row ids (paper reference [6]).
+
+The demo stores each row id ``r`` at the SP encrypted under SIES
+(Papadopoulos, Kiayias, Papadias: "Secure and efficient in-network
+processing of exact sum queries", ICDE 2011).  SIES is an additively
+homomorphic symmetric scheme: a ciphertext is the plaintext plus a
+pseudo-random pad,
+
+    ``c = (r + F_key(nonce)) mod M``,
+
+so the DO (who can regenerate the pad from the nonce) decrypts with a single
+subtraction, and sums of ciphertexts decrypt to sums of plaintexts when the
+pads are summed too.  Row ids are never operated on by SDB's secure
+operators (Section 2.1: "a simpler encryption method suffices"), so this is
+exactly the right tool: cheap, IND-CPA under the PRF assumption, and the
+additive property comes for free for the storage substrate.
+
+The nonce is stored next to the ciphertext at the SP; the key stays at the
+DO's key store.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.prf import prf_int
+
+
+@dataclass(frozen=True)
+class SIESKey:
+    """SIES secret key: PRF key bytes plus the public modulus ``M``."""
+
+    key: bytes
+    modulus: int
+
+    def __post_init__(self):
+        if len(self.key) < 16:
+            raise ValueError("SIES key must be at least 128 bits")
+        if self.modulus < 2:
+            raise ValueError("SIES modulus must be at least 2")
+
+    @classmethod
+    def generate(cls, modulus: int, rng=None) -> "SIESKey":
+        if rng is not None:
+            key = rng.getrandbits(256).to_bytes(32, "big")
+        else:
+            key = secrets.token_bytes(32)
+        return cls(key=key, modulus=modulus)
+
+
+@dataclass(frozen=True)
+class SIESCiphertext:
+    """A SIES ciphertext: the padded value and the pad's nonce."""
+
+    value: int
+    nonce: int
+
+
+class SIESCipher:
+    """Encrypt/decrypt row ids under a :class:`SIESKey`.
+
+    Nonces are sequential by default (the upload pipeline assigns one per
+    row); any unique-per-row integer works.
+    """
+
+    def __init__(self, key: SIESKey):
+        self._key = key
+
+    @property
+    def modulus(self) -> int:
+        return self._key.modulus
+
+    def _pad(self, nonce: int) -> int:
+        bits = max(self._key.modulus.bit_length() + 64, 128)
+        return prf_int(
+            self._key.key, nonce.to_bytes(16, "big", signed=False), bits
+        ) % self._key.modulus
+
+    def encrypt(self, plaintext: int, nonce: int) -> SIESCiphertext:
+        if not 0 <= plaintext < self._key.modulus:
+            raise ValueError("plaintext outside SIES modulus range")
+        return SIESCiphertext(
+            value=(plaintext + self._pad(nonce)) % self._key.modulus,
+            nonce=nonce,
+        )
+
+    def decrypt(self, ciphertext: SIESCiphertext) -> int:
+        return (ciphertext.value - self._pad(ciphertext.nonce)) % self._key.modulus
+
+    def add(self, a: SIESCiphertext, b: SIESCiphertext, nonce: int) -> SIESCiphertext:
+        """Additive homomorphism: re-noised ciphertext of ``a + b``.
+
+        Exercised by the SIES test-suite to match the scheme's headline
+        property (exact sum queries); SDB itself only needs encrypt/decrypt.
+        """
+        combined = (a.value + b.value) % self._key.modulus
+        pad = (self._pad(a.nonce) + self._pad(b.nonce)) % self._key.modulus
+        plain_sum = (combined - pad) % self._key.modulus
+        return self.encrypt(plain_sum, nonce)

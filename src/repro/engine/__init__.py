@@ -1,0 +1,34 @@
+"""The service-provider relational engine substrate.
+
+The paper runs SDB on Spark SQL: an *unmodified* engine plus a set of UDFs.
+This package is our stand-in engine.  It provides exactly the contract SDB
+needs from the substrate:
+
+* a catalog of tables (:mod:`repro.engine.catalog`),
+* columnar storage (:mod:`repro.engine.table`),
+* a SQL executor with joins, grouping, sorting and subqueries
+  (:mod:`repro.engine.executor`),
+* an extensible scalar/aggregate UDF registry (:mod:`repro.engine.udf`).
+
+Nothing in this package knows about encryption; SDB's UDFs are registered
+into it like any other user-defined function, which is the paper's central
+architectural claim (Section 2.2: "an unmodified relational engine with a
+set of SDB UDFs").
+"""
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Engine
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+from repro.engine.udf import AggregateUDF, UDFRegistry
+
+__all__ = [
+    "Catalog",
+    "Engine",
+    "Table",
+    "Schema",
+    "ColumnSpec",
+    "DataType",
+    "UDFRegistry",
+    "AggregateUDF",
+]

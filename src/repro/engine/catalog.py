@@ -1,0 +1,43 @@
+"""Table catalog: the engine's namespace."""
+
+from __future__ import annotations
+
+from repro.engine.table import Table
+
+
+class CatalogError(KeyError):
+    """Unknown or duplicate table."""
+
+
+class Catalog:
+    """Maps table names to :class:`Table` objects."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def create(self, name: str, table: Table, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self._tables.values())

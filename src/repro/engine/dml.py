@@ -1,0 +1,113 @@
+"""DML execution: INSERT / UPDATE / DELETE against catalog tables.
+
+The engine mutates tables in place (the columnar :class:`Table` exposes
+narrow mutation hooks used only from here).  Expressions run through the
+same evaluator as queries, so rewritten DML -- INSERT literals that are
+shares, UPDATE/DELETE predicates containing SDB UDF calls -- executes at
+the SP without the engine knowing anything about encryption.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import Evaluator, RowScope
+from repro.sql import ast
+
+
+class DMLError(ValueError):
+    """Semantically invalid DML (bad table/column, width mismatch)."""
+
+
+def execute_dml(engine, statement: ast.Statement) -> int:
+    """Run one DML statement; returns the number of affected rows."""
+    if isinstance(statement, ast.Insert):
+        return _insert(engine, statement)
+    if isinstance(statement, ast.Update):
+        return _update(engine, statement)
+    if isinstance(statement, ast.Delete):
+        return _delete(engine, statement)
+    raise DMLError(f"not a DML statement: {type(statement).__name__}")
+
+
+def _insert(engine, statement: ast.Insert) -> int:
+    table = _get_table(engine.catalog, statement.table)
+    names = list(table.schema.names)
+    if statement.columns is not None:
+        unknown = [c for c in statement.columns if c not in names]
+        if unknown:
+            raise DMLError(
+                f"table {statement.table!r} has no columns {unknown}"
+            )
+        positions = {c: i for i, c in enumerate(statement.columns)}
+    else:
+        if any(len(row) != len(names) for row in statement.rows):
+            raise DMLError(
+                f"INSERT without a column list must provide all "
+                f"{len(names)} columns of {statement.table!r}"
+            )
+        positions = {c: i for i, c in enumerate(names)}
+
+    evaluator = Evaluator(engine, RowScope({}))
+    rows = []
+    for value_row in statement.rows:
+        values = [evaluator.evaluate(v) for v in value_row]
+        rows.append(
+            tuple(
+                values[positions[name]] if name in positions else None
+                for name in names
+            )
+        )
+    return table.append_rows(rows)
+
+
+def _update(engine, statement: ast.Update) -> int:
+    table = _get_table(engine.catalog, statement.table)
+    names = set(table.schema.names)
+    for assignment in statement.assignments:
+        if assignment.column not in names:
+            raise DMLError(
+                f"table {statement.table!r} has no column {assignment.column!r}"
+            )
+    binding = statement.table
+    column_names = table.schema.names
+    affected = 0
+    updates: list[tuple[int, list]] = []
+    for i in range(table.num_rows):
+        scope = RowScope({binding: dict(zip(column_names, table.row(i)))})
+        evaluator = Evaluator(engine, scope)
+        if statement.where is not None:
+            if evaluator.evaluate(statement.where) is not True:
+                continue
+        new_values = [
+            evaluator.evaluate(a.value) for a in statement.assignments
+        ]
+        updates.append((i, new_values))
+        affected += 1
+    # apply after the scan so assignments never see partially updated rows
+    for i, new_values in updates:
+        for assignment, value in zip(statement.assignments, new_values):
+            table.set_cell(assignment.column, i, value)
+    return affected
+
+
+def _delete(engine, statement: ast.Delete) -> int:
+    table = _get_table(engine.catalog, statement.table)
+    if statement.where is None:
+        removed = table.num_rows
+        table.keep_rows([False] * removed)
+        return removed
+    binding = statement.table
+    column_names = table.schema.names
+    mask = []
+    for i in range(table.num_rows):
+        scope = RowScope({binding: dict(zip(column_names, table.row(i)))})
+        evaluator = Evaluator(engine, scope)
+        mask.append(evaluator.evaluate(statement.where) is not True)
+    return table.keep_rows(mask)
+
+
+def _get_table(catalog: Catalog, name: str):
+    try:
+        return catalog.get(name)
+    except KeyError:
+        raise DMLError(f"unknown table {name!r}") from None

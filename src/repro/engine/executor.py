@@ -1,0 +1,792 @@
+"""SQL execution.
+
+A straightforward but complete interpreter: FROM planning (greedy equi-join
+ordering with hash joins), WHERE filtering, hash aggregation with both
+built-in aggregates and aggregate UDFs, HAVING, projection, DISTINCT,
+ORDER BY (with select-alias resolution) and LIMIT.  Subqueries -- scalar,
+IN, EXISTS, derived tables -- call back into the engine; uncorrelated
+subqueries are evaluated once and correlated ones are memoized on the outer
+values they actually read.
+
+The executor is deliberately engine-agnostic about *what* the values are:
+encrypted shares flow through scans, joins and group-bys exactly like plain
+values, and only UDFs interpret them.  That property is the architectural
+point of the paper (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import Evaluator, EvaluationError, RowScope, _MISSING
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+from repro.engine.udf import UDFRegistry
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class ExecutionError(ValueError):
+    """Raised for semantically invalid queries."""
+
+
+class _TrackingScope(RowScope):
+    """Wraps an outer scope to detect and record correlated column access."""
+
+    def __init__(self, inner: Optional[RowScope]):
+        super().__init__({}, outer=None)
+        self._inner = inner
+        self.accessed: list[tuple[Optional[str], str, object]] = []
+
+    def _lookup_local(self, name, table):
+        if self._inner is None:
+            return _MISSING
+        try:
+            value = self._inner.lookup(name, table)
+        except EvaluationError:
+            return _MISSING
+        self.accessed.append((table, name, value))
+        return value
+
+
+class Engine:
+    """Executes :class:`repro.sql.ast.Select` queries against a catalog."""
+
+    def __init__(self, catalog: Catalog, udfs: Optional[UDFRegistry] = None):
+        self.catalog = catalog
+        self.udfs = udfs or UDFRegistry()
+        self._subquery_cache: dict = {}
+        self._scan_cache: dict = {}
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, query, outer_scope: Optional[RowScope] = None) -> Table:
+        """Run a query (SQL text or AST) and return a result table."""
+        if isinstance(query, str):
+            query = parse(query)
+        if outer_scope is None:
+            self._subquery_cache = {}
+            self._scan_cache = {}
+        return self._execute_select(query, outer_scope)
+
+    def execute_dml(self, statement) -> int:
+        """Run an INSERT/UPDATE/DELETE (SQL text or AST); returns row count."""
+        from repro.engine.dml import execute_dml
+
+        if isinstance(statement, str):
+            from repro.sql.parser import parse_statement
+
+            statement = parse_statement(statement)
+        self._subquery_cache = {}
+        self._scan_cache = {}
+        return execute_dml(self, statement)
+
+    def execute_subquery(
+        self, query: ast.Select, scope: RowScope, limit_one: bool = False
+    ) -> Table:
+        """Run a subquery with memoization and index-based decorrelation.
+
+        First execution records which outer columns the subquery read.  If
+        none: the result is cached unconditionally.  Otherwise results are
+        memoized per tuple of outer values, and -- when the correlation is
+        an equality ``inner_expr = outer_expr`` on one of the subquery's
+        tables -- that table is indexed once so later executions scan only
+        the matching bucket instead of the whole relation.  Together these
+        turn TPC-H's per-row correlated subqueries into per-group,
+        per-bucket work.
+        """
+        key = id(query)
+        entry = self._subquery_cache.get(key)
+        if entry is None:
+            tracker = _TrackingScope(scope)
+            result = self._execute_select(query, tracker)
+            names = tuple(dict.fromkeys((t, n) for t, n, _ in tracker.accessed))
+            entry = {"names": names, "results": {}, "index": None, "analyzed": False}
+            self._subquery_cache[key] = entry
+            if not names:
+                entry["results"][()] = result
+                return result
+            values = self._outer_values(scope, names)
+            entry["results"][values] = result
+            return result
+        names = entry["names"]
+        if not names:
+            return entry["results"][()]
+        values = self._outer_values(scope, names)
+        cached = entry["results"].get(values, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        if not entry["analyzed"]:
+            entry["analyzed"] = True
+            entry["index"] = self._build_correlation_index(query)
+        index = entry["index"]
+        if index is not None:
+            try:
+                outer_key = Evaluator(self, scope).evaluate(index["outer_expr"])
+            except EvaluationError:
+                entry["index"] = None
+                outer_key = _MISSING
+            if outer_key is not _MISSING:
+                bucket = index["buckets"].get(outer_key, [])
+                result = self._execute_select(
+                    query,
+                    scope,
+                    preplanned={index["binding"]: bucket},
+                    drop_conjunct=index["conjunct"],
+                )
+                entry["results"][values] = result
+                return result
+        result = self._execute_select(query, scope)
+        entry["results"][values] = result
+        return result
+
+    def _build_correlation_index(self, query: ast.Select):
+        """Index one subquery table on its correlated-equality key.
+
+        Applies when the FROM clause is a cross list of plain table refs
+        and some top-level conjunct is ``inner = outer`` with the inner
+        side resolvable from exactly one of those tables and the outer
+        side resolvable from none of them.
+        """
+        if query.from_clause is None:
+            return None
+        items = _flatten_cross(query.from_clause)
+        if not all(isinstance(item, ast.TableRef) for item in items):
+            return None
+        local_columns = {}
+        for item in items:
+            if item.name not in self.catalog:
+                return None
+            local_columns[item.binding] = self.catalog.get(item.name).schema.names
+        conjuncts = _split_conjuncts(query.where)
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            for inner_side, outer_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                inner_bindings = _expr_bindings(inner_side, local_columns)
+                if inner_bindings is None or len(inner_bindings) != 1:
+                    continue
+                if _references_local(outer_side, local_columns):
+                    continue
+                if not any(isinstance(n, ast.Column) for n in ast.walk(outer_side)):
+                    continue  # constant, not a correlation
+                binding = next(iter(inner_bindings))
+                table_ref = next(i for i in items if i.binding == binding)
+                rows, _ = self._plan_table_expr(table_ref, None)
+                buckets: dict = {}
+                try:
+                    for bindings in rows:
+                        scope = RowScope(bindings)
+                        key = Evaluator(self, scope).evaluate(inner_side)
+                        if key is None:
+                            continue  # NULL equality never matches
+                        buckets.setdefault(key, []).append(bindings)
+                except EvaluationError:
+                    return None
+                return {
+                    "binding": binding,
+                    "outer_expr": outer_side,
+                    "conjunct": conjunct,
+                    "buckets": buckets,
+                }
+        return None
+
+    @staticmethod
+    def _outer_values(scope: RowScope, names) -> tuple:
+        out = []
+        for table, name in names:
+            try:
+                out.append(scope.lookup(name, table))
+            except EvaluationError:
+                out.append(None)
+        return tuple(out)
+
+    # -- SELECT pipeline ------------------------------------------------------
+
+    def _execute_select(
+        self, query: ast.Select, outer_scope, preplanned=None, drop_conjunct=None
+    ) -> Table:
+        if query.from_clause is None:
+            rows = [({}, ())]
+            binding_columns: dict[str, tuple[str, ...]] = {}
+            where_residual = [query.where] if query.where is not None else []
+        else:
+            conjuncts = _split_conjuncts(query.where)
+            if drop_conjunct is not None:
+                conjuncts = [c for c in conjuncts if c is not drop_conjunct]
+            conjuncts = conjuncts + _hoist_common_or_equalities(conjuncts)
+            rows, binding_columns, where_residual = self._plan_from(
+                query.from_clause, conjuncts, outer_scope, preplanned
+            )
+
+        # WHERE (whatever join planning did not consume)
+        if where_residual:
+            kept = []
+            for bindings in rows:
+                scope = RowScope(bindings, outer=outer_scope)
+                ev = Evaluator(self, scope)
+                if all(ev.evaluate(c) is True for c in where_residual):
+                    kept.append(bindings)
+            rows = kept
+
+        aggregates = self._collect_aggregates(query)
+        if aggregates or query.group_by:
+            result_rows, contexts, names = self._grouped(
+                query, rows, aggregates, outer_scope
+            )
+        else:
+            result_rows, contexts, names = self._projected(
+                query, rows, binding_columns, outer_scope
+            )
+
+        if query.distinct:
+            seen = set()
+            deduped, dedup_ctx = [], []
+            for row, ctx in zip(result_rows, contexts):
+                key = tuple(row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+                    dedup_ctx.append(ctx)
+            result_rows, contexts = deduped, dedup_ctx
+
+        if query.order_by:
+            result_rows = self._order(
+                query, result_rows, contexts, names, outer_scope
+            )
+
+        if query.limit is not None:
+            result_rows = result_rows[: query.limit]
+
+        schema = Schema(
+            tuple(
+                _infer_spec(name, [row[i] for row in result_rows])
+                for i, name in enumerate(names)
+            )
+        )
+        return Table.from_rows(schema, result_rows)
+
+    # -- FROM planning -----------------------------------------------------------
+
+    def _plan_from(self, from_clause, conjuncts, outer_scope, preplanned=None):
+        """Return (rows, binding_columns, residual_conjuncts).
+
+        Flattens cross-join chains and greedily orders them so every step is
+        a hash join on the equi-conjuncts available at that point; explicit
+        JOIN ... ON trees keep their structure.
+        """
+        items = _flatten_cross(from_clause)
+        planned = [
+            self._plan_table_expr(item, outer_scope, preplanned) for item in items
+        ]
+        available = list(conjuncts)
+
+        if len(planned) == 1:
+            rows, columns = planned[0]
+            binding_columns = dict(columns)
+        else:
+            order = _greedy_order(planned, available)
+            rows, columns = planned[order[0]]
+            binding_columns = dict(columns)
+            for idx in order[1:]:
+                right_rows, right_columns = planned[idx]
+                equi, available = _extract_equi(
+                    available, binding_columns, dict(right_columns)
+                )
+                rows = self._hash_join(
+                    rows, binding_columns, right_rows, dict(right_columns),
+                    equi, kind="inner", on_residual=None, outer_scope=outer_scope,
+                )
+                binding_columns.update(right_columns)
+
+        # whatever equi-conjuncts remain (single-table case or leftovers)
+        return rows, binding_columns, available
+
+    def _plan_table_expr(self, texpr, outer_scope, preplanned=None):
+        """Plan one FROM item -> (rows, {binding: column-names})."""
+        if isinstance(texpr, ast.TableRef):
+            table = self.catalog.get(texpr.name)
+            binding = texpr.binding
+            names = table.schema.names
+            if preplanned is not None and binding in preplanned:
+                return preplanned[binding], {binding: names}
+            cache_key = (texpr.name.lower(), binding)
+            rows = self._scan_cache.get(cache_key)
+            if rows is None:
+                rows = [{binding: dict(zip(names, row))} for row in table.rows()]
+                self._scan_cache[cache_key] = rows
+            return rows, {binding: names}
+        if isinstance(texpr, ast.SubqueryRef):
+            table = self._execute_select(texpr.query, outer_scope)
+            names = table.schema.names
+            rows = [{texpr.alias: dict(zip(names, row))} for row in table.rows()]
+            return rows, {texpr.alias: names}
+        if isinstance(texpr, ast.Join):
+            left_rows, left_columns = self._plan_table_expr(texpr.left, outer_scope)
+            right_rows, right_columns = self._plan_table_expr(texpr.right, outer_scope)
+            if texpr.kind == "cross":
+                rows = [
+                    {**l, **r} for l in left_rows for r in right_rows
+                ]
+                return rows, {**left_columns, **right_columns}
+            conjuncts = _split_conjuncts(texpr.condition)
+            equi, residual = _extract_equi(conjuncts, left_columns, right_columns)
+            rows = self._hash_join(
+                left_rows, left_columns, right_rows, right_columns,
+                equi, kind=texpr.kind,
+                on_residual=residual, outer_scope=outer_scope,
+            )
+            return rows, {**left_columns, **right_columns}
+        raise ExecutionError(f"cannot plan {type(texpr).__name__}")
+
+    def _hash_join(
+        self, left_rows, left_columns, right_rows, right_columns,
+        equi, kind, on_residual, outer_scope,
+    ):
+        """Hash join with optional residual ON predicate and LEFT padding."""
+        residual = on_residual or []
+        if equi:
+            left_exprs = [l for l, _ in equi]
+            right_exprs = [r for _, r in equi]
+            index: dict = {}
+            for bindings in right_rows:
+                scope = RowScope(bindings, outer=outer_scope)
+                ev = Evaluator(self, scope)
+                key = tuple(ev.evaluate(e) for e in right_exprs)
+                if None in key:
+                    continue  # SQL: NULL = anything is never true
+                index.setdefault(key, []).append(bindings)
+            candidates = (
+                lambda key: () if None in key else index.get(key, ())
+            )
+        else:
+            candidates = lambda key: right_rows
+            left_exprs = []
+
+        null_right = {
+            binding: {name: None for name in names}
+            for binding, names in right_columns.items()
+        }
+
+        out = []
+        for bindings in left_rows:
+            scope = RowScope(bindings, outer=outer_scope)
+            ev = Evaluator(self, scope)
+            key = tuple(ev.evaluate(e) for e in left_exprs)
+            matched = False
+            for right in candidates(key):
+                merged = {**bindings, **right}
+                if residual:
+                    mscope = RowScope(merged, outer=outer_scope)
+                    mev = Evaluator(self, mscope)
+                    if not all(mev.evaluate(c) is True for c in residual):
+                        continue
+                matched = True
+                out.append(merged)
+            if not matched and kind == "left":
+                out.append({**bindings, **null_right})
+        return out
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _collect_aggregates(self, query: ast.Select):
+        """All aggregate nodes in SELECT/HAVING/ORDER BY (not subqueries)."""
+        roots = [item.expr for item in query.items]
+        if query.having is not None:
+            roots.append(query.having)
+        roots.extend(o.expr for o in query.order_by)
+        found = []
+        seen = set()
+        for root in roots:
+            for node in ast.walk(root):
+                if node in seen:
+                    continue
+                if isinstance(node, ast.Aggregate):
+                    seen.add(node)
+                    found.append(node)
+                elif isinstance(node, ast.FuncCall) and self.udfs.has_aggregate(node.name):
+                    seen.add(node)
+                    found.append(node)
+        return found
+
+    def _grouped(self, query, rows, aggregates, outer_scope):
+        group_exprs = list(query.group_by)
+        groups: dict = {}
+        order_of_groups: list = []
+        for bindings in rows:
+            scope = RowScope(bindings, outer=outer_scope)
+            ev = Evaluator(self, scope)
+            key = tuple(ev.evaluate(g) for g in group_exprs)
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(self, aggregates)
+                groups[key] = state
+                order_of_groups.append(key)
+            state.accumulate(ev)
+
+        if not group_exprs and not groups:
+            # global aggregate over the empty input still yields one row
+            state = _GroupState(self, aggregates)
+            groups[()] = state
+            order_of_groups.append(())
+
+        names = self._output_names(query)
+        result_rows, contexts = [], []
+        for key in order_of_groups:
+            state = groups[key]
+            bound = dict(zip(group_exprs, key))
+            bound.update(state.results())
+            scope = RowScope({}, outer=outer_scope)
+            ev = Evaluator(self, scope, bound=bound)
+            if query.having is not None and ev.evaluate(query.having) is not True:
+                continue
+            row = [ev.evaluate(item.expr) for item in query.items]
+            result_rows.append(row)
+            contexts.append((scope, bound))
+        return result_rows, contexts, names
+
+    def _projected(self, query, rows, binding_columns, outer_scope):
+        items = self._expand_stars(query.items, binding_columns)
+        names = self._output_names_from(items)
+        result_rows, contexts = [], []
+        for bindings in rows:
+            scope = RowScope(bindings, outer=outer_scope)
+            ev = Evaluator(self, scope)
+            result_rows.append([ev.evaluate(item.expr) for item in items])
+            contexts.append((scope, {}))
+        return result_rows, contexts, names
+
+    def _expand_stars(self, items, binding_columns):
+        out = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                targets = (
+                    [item.expr.table] if item.expr.table else list(binding_columns)
+                )
+                for binding in targets:
+                    if binding not in binding_columns:
+                        raise ExecutionError(f"unknown table {binding!r} in star")
+                    for name in binding_columns[binding]:
+                        out.append(
+                            ast.SelectItem(expr=ast.Column(name, table=binding))
+                        )
+            else:
+                out.append(item)
+        return out
+
+    def _output_names(self, query: ast.Select):
+        return self._output_names_from(query.items)
+
+    @staticmethod
+    def _output_names_from(items) -> list[str]:
+        names = []
+        for i, item in enumerate(items):
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ast.Column):
+                names.append(item.expr.name)
+            elif isinstance(item.expr, ast.Aggregate):
+                names.append(item.expr.func)
+            else:
+                names.append(f"_col{i}")
+        # de-duplicate while keeping order
+        seen: dict[str, int] = {}
+        unique = []
+        for name in names:
+            count = seen.get(name, 0)
+            seen[name] = count + 1
+            unique.append(name if count == 0 else f"{name}_{count}")
+        return unique
+
+    # -- ordering ------------------------------------------------------------------
+
+    def _order(self, query, result_rows, contexts, names, outer_scope):
+        alias_to_index = {name: i for i, name in enumerate(names)}
+        decorated = list(zip(result_rows, contexts))
+
+        for order_item in reversed(query.order_by):
+            expr = order_item.expr
+            index = None
+            if isinstance(expr, ast.Column) and expr.table is None and expr.name in alias_to_index:
+                index = alias_to_index[expr.name]
+            elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1  # ORDER BY ordinal
+
+            def key(pair, index=index, expr=expr):
+                row, (scope, bound) = pair
+                if index is not None:
+                    value = row[index]
+                else:
+                    value = Evaluator(self, scope, bound=bound).evaluate(expr)
+                return (value is None, value)
+
+            decorated.sort(key=key, reverse=order_item.descending)
+        return [row for row, _ in decorated]
+
+
+class _GroupState:
+    """Accumulators for one group: built-in aggregates and aggregate UDFs."""
+
+    def __init__(self, engine: Engine, aggregates):
+        self._engine = engine
+        self._aggregates = aggregates
+        self._states: list = []
+        for node in aggregates:
+            if isinstance(node, ast.Aggregate):
+                self._states.append(_BUILTIN_INITIAL[node.func]())
+            else:  # aggregate UDF call
+                self._states.append(engine.udfs.aggregate(node.name).initial)
+
+    def accumulate(self, evaluator: Evaluator):
+        for i, node in enumerate(self._aggregates):
+            if isinstance(node, ast.Aggregate):
+                self._states[i] = _builtin_step(node, self._states[i], evaluator)
+            else:
+                udf = self._engine.udfs.aggregate(node.name)
+                args = [evaluator.evaluate(a) for a in node.args]
+                self._states[i] = udf.step(self._states[i], *args)
+
+    def results(self) -> dict:
+        out = {}
+        for node, state in zip(self._aggregates, self._states):
+            if isinstance(node, ast.Aggregate):
+                out[node] = _builtin_finish(node, state)
+            else:
+                out[node] = self._engine.udfs.aggregate(node.name).finish(state)
+        return out
+
+
+def _count_initial():
+    return {"count": 0, "distinct": set()}
+
+
+def _sum_initial():
+    return {"sum": None, "distinct": set()}
+
+
+def _minmax_initial():
+    return {"value": None}
+
+
+def _avg_initial():
+    return {"sum": None, "count": 0, "distinct": set()}
+
+
+_BUILTIN_INITIAL = {
+    "count": _count_initial,
+    "sum": _sum_initial,
+    "avg": _avg_initial,
+    "min": _minmax_initial,
+    "max": _minmax_initial,
+}
+
+
+def _builtin_step(node: ast.Aggregate, state, evaluator: Evaluator):
+    if node.func == "count" and node.arg is None:
+        state["count"] += 1
+        return state
+    value = evaluator.evaluate(node.arg)
+    if value is None:
+        return state
+    if node.distinct:
+        state["distinct"].add(value)
+        return state
+    if node.func == "count":
+        state["count"] += 1
+    elif node.func == "sum":
+        state["sum"] = value if state["sum"] is None else state["sum"] + value
+    elif node.func == "avg":
+        state["sum"] = value if state["sum"] is None else state["sum"] + value
+        state["count"] += 1
+    elif node.func == "min":
+        state["value"] = value if state["value"] is None else min(state["value"], value)
+    elif node.func == "max":
+        state["value"] = value if state["value"] is None else max(state["value"], value)
+    return state
+
+
+def _builtin_finish(node: ast.Aggregate, state):
+    if node.func == "count":
+        return len(state["distinct"]) if node.distinct else state["count"]
+    if node.func == "sum":
+        if node.distinct:
+            return sum(state["distinct"]) if state["distinct"] else None
+        return state["sum"]
+    if node.func == "avg":
+        if node.distinct:
+            values = state["distinct"]
+            return (sum(values) / len(values)) if values else None
+        if state["count"] == 0:
+            return None
+        return state["sum"] / state["count"]
+    return state["value"]
+
+
+# -- join planning helpers ------------------------------------------------------
+
+
+def _split_conjuncts(expr) -> list:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _split_disjuncts(expr) -> list:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "or":
+        return _split_disjuncts(expr.left) + _split_disjuncts(expr.right)
+    return [expr]
+
+
+def _hoist_common_or_equalities(conjuncts: list) -> list:
+    """Factor equalities shared by every branch of an OR conjunct.
+
+    ``(a=b AND p) OR (a=b AND q)`` implies ``a=b``; hoisting it gives the
+    join planner a hash key (TPC-H Q19's shape).  The original OR stays in
+    place, so this only *adds* implied conjuncts.
+    """
+    hoisted = []
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "or"):
+            continue
+        branches = _split_disjuncts(conjunct)
+        common = None
+        for branch in branches:
+            equalities = {
+                c for c in _split_conjuncts(branch)
+                if isinstance(c, ast.BinaryOp) and c.op == "="
+            }
+            common = equalities if common is None else (common & equalities)
+            if not common:
+                break
+        if common:
+            hoisted.extend(common)
+    return hoisted
+
+
+def _flatten_cross(texpr) -> list:
+    """Flatten a chain of cross joins (comma syntax) into its items."""
+    if isinstance(texpr, ast.Join) and texpr.kind == "cross":
+        return _flatten_cross(texpr.left) + _flatten_cross(texpr.right)
+    return [texpr]
+
+
+def _expr_bindings(expr, binding_columns) -> Optional[set]:
+    """The set of bindings an expression touches, or None if unresolvable."""
+    bindings = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Column):
+            if node.table is not None:
+                if node.table not in binding_columns:
+                    return None
+                bindings.add(node.table)
+            else:
+                owners = [
+                    b for b, names in binding_columns.items() if node.name in names
+                ]
+                if len(owners) != 1:
+                    return None
+                bindings.add(owners[0])
+        elif isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            return None
+    return bindings
+
+
+def _references_local(expr, binding_columns) -> bool:
+    """Does the expression touch any of the given (local) bindings?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Column):
+            if node.table is not None:
+                if node.table in binding_columns:
+                    return True
+            elif any(node.name in names for names in binding_columns.values()):
+                return True
+        elif isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            return True  # conservatively local
+    return False
+
+
+def _extract_equi(conjuncts, left_columns, right_columns):
+    """Split conjuncts into hash-joinable equalities and the rest.
+
+    A conjunct qualifies when it is ``expr_L = expr_R`` with one side fully
+    resolvable from the left bindings and the other from the right.
+    """
+    all_columns = {**left_columns, **right_columns}
+    equi, residual = [], []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            left_b = _expr_bindings(conjunct.left, all_columns)
+            right_b = _expr_bindings(conjunct.right, all_columns)
+            if left_b is not None and right_b is not None and left_b and right_b:
+                if left_b <= set(left_columns) and right_b <= set(right_columns):
+                    equi.append((conjunct.left, conjunct.right))
+                    continue
+                if left_b <= set(right_columns) and right_b <= set(left_columns):
+                    equi.append((conjunct.right, conjunct.left))
+                    continue
+        residual.append(conjunct)
+    return equi, residual
+
+
+def _greedy_order(planned, conjuncts) -> list:
+    """Greedy join order: always add a table connected by an equality.
+
+    ``planned[i]`` is ``(rows, {binding: names})``.  Starts from the first
+    item (TPC-H queries list the driving table first) and repeatedly picks
+    the next item that shares an equi-conjunct with the tables joined so
+    far, falling back to list order when nothing connects.
+    """
+    remaining = list(range(len(planned)))
+    order = [remaining.pop(0)]
+    joined_columns = dict(planned[order[0]][1])
+
+    def connects(idx) -> bool:
+        candidate = {**joined_columns, **dict(planned[idx][1])}
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            left_b = _expr_bindings(conjunct.left, candidate)
+            right_b = _expr_bindings(conjunct.right, candidate)
+            if left_b is None or right_b is None or not left_b or not right_b:
+                continue
+            joined = set(joined_columns)
+            new = set(dict(planned[idx][1]))
+            if (left_b <= joined and right_b <= new) or (
+                right_b <= joined and left_b <= new
+            ):
+                return True
+        return False
+
+    while remaining:
+        for pos, idx in enumerate(remaining):
+            if connects(idx):
+                remaining.pop(pos)
+                break
+        else:
+            idx = remaining.pop(0)
+        order.append(idx)
+        joined_columns.update(dict(planned[idx][1]))
+    return order
+
+
+def _infer_spec(name: str, values) -> ColumnSpec:
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool):
+            return ColumnSpec(name, DataType.BOOL)
+        if isinstance(v, int):
+            return ColumnSpec(name, DataType.INT)
+        if isinstance(v, float):
+            return ColumnSpec(name, DataType.DECIMAL, scale=2)
+        if isinstance(v, datetime.date):
+            return ColumnSpec(name, DataType.DATE)
+        return ColumnSpec(name, DataType.STRING)
+    return ColumnSpec(name, DataType.STRING)

@@ -1,0 +1,350 @@
+"""Expression evaluation.
+
+The evaluator interprets :mod:`repro.sql.ast` expressions against a row
+scope.  SQL NULL semantics apply: NULL propagates through arithmetic and
+comparisons, three-valued logic drives AND/OR/NOT, and predicates keep a row
+only when they evaluate to (Python) ``True``.
+
+Scalar UDF calls dispatch through the engine's :class:`UDFRegistry`;
+subqueries call back into the engine with the current scope as the outer
+environment (correlated subqueries read outer columns through the scope
+chain).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Optional
+
+from repro.sql import ast
+
+
+class EvaluationError(ValueError):
+    """Semantic error while evaluating an expression."""
+
+
+class RowScope:
+    """Name resolution for one row, with an optional outer scope.
+
+    A scope holds per-binding column maps: ``binding -> {column: value}``.
+    Unqualified names resolve against every binding in the nearest scope
+    that knows the name; ambiguity is an error.  Lookup falls back to the
+    outer scope, which is what makes correlated subqueries work.
+    """
+
+    __slots__ = ("bindings", "outer", "outer_used")
+
+    def __init__(self, bindings: dict, outer: Optional["RowScope"] = None):
+        self.bindings = bindings
+        self.outer = outer
+        self.outer_used = False
+
+    def child(self, bindings: dict) -> "RowScope":
+        return RowScope(bindings, outer=self)
+
+    def lookup(self, name: str, table: Optional[str] = None):
+        scope = self
+        first = True
+        while scope is not None:
+            found = scope._lookup_local(name, table)
+            if found is not _MISSING:
+                if not first:
+                    self._mark_outer_used(scope)
+                return found
+            scope = scope.outer
+            first = False
+        where = f"{table}.{name}" if table else name
+        raise EvaluationError(f"unknown column {where!r}")
+
+    def _mark_outer_used(self, scope: "RowScope") -> None:
+        cursor = self
+        while cursor is not None and cursor is not scope:
+            cursor.outer_used = True
+            cursor = cursor.outer
+
+    def _lookup_local(self, name: str, table: Optional[str]):
+        if table is not None:
+            columns = self.bindings.get(table)
+            if columns is not None and name in columns:
+                return columns[name]
+            return _MISSING
+        hits = [
+            columns[name] for columns in self.bindings.values() if name in columns
+        ]
+        if len(hits) > 1:
+            raise EvaluationError(f"ambiguous column {name!r}")
+        return hits[0] if hits else _MISSING
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def like_to_regex(pattern: str) -> "re.Pattern":
+    """Compile a SQL LIKE pattern (% and _) to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def add_interval(date: datetime.date, interval: ast.Interval, sign: int = 1):
+    """Date +/- INTERVAL arithmetic with month-end clamping."""
+    amount = interval.amount * sign
+    if interval.unit == "day":
+        return date + datetime.timedelta(days=amount)
+    months = amount * (12 if interval.unit == "year" else 1)
+    total = date.year * 12 + (date.month - 1) + months
+    year, month = divmod(total, 12)
+    month += 1
+    day = date.day
+    while day > 28:
+        try:
+            return datetime.date(year, month, day)
+        except ValueError:
+            day -= 1
+    return datetime.date(year, month, day)
+
+
+class Evaluator:
+    """Evaluates expressions; owned by the engine executor.
+
+    ``bound`` maps pre-computed expression nodes (aggregates, group keys) to
+    their values; the executor populates it after the grouping phase.
+    """
+
+    def __init__(self, engine, scope: RowScope, bound: Optional[dict] = None):
+        self._engine = engine
+        self._scope = scope
+        self._bound = bound or {}
+
+    def evaluate(self, expr: ast.Expr):
+        if self._bound:
+            hit = self._bound.get(expr, _MISSING)
+            if hit is not _MISSING:
+                return hit
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+        return method(self, expr)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal):
+        return expr.value
+
+    def _eval_interval(self, expr: ast.Interval):
+        return expr
+
+    def _eval_column(self, expr: ast.Column):
+        return self._scope.lookup(expr.name, expr.table)
+
+    # -- operators --------------------------------------------------------------
+
+    def _eval_binary(self, expr: ast.BinaryOp):
+        op = expr.op
+        if op in ("and", "or"):
+            return self._eval_logical(expr)
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if isinstance(right, ast.Interval) or isinstance(left, ast.Interval):
+            return self._eval_interval_arith(op, left, right)
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return left / right
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise EvaluationError(f"unknown operator {op!r}")
+
+    def _eval_interval_arith(self, op, left, right):
+        if isinstance(right, ast.Interval) and isinstance(left, datetime.date):
+            if op == "+":
+                return add_interval(left, right, 1)
+            if op == "-":
+                return add_interval(left, right, -1)
+        if isinstance(left, ast.Interval) and isinstance(right, datetime.date) and op == "+":
+            return add_interval(right, left, 1)
+        raise EvaluationError("invalid interval arithmetic")
+
+    def _eval_logical(self, expr: ast.BinaryOp):
+        left = self.evaluate(expr.left)
+        if expr.op == "and":
+            if left is False:
+                return False
+            right = self.evaluate(expr.right)
+            if left is None or right is None:
+                return False if right is False else None
+            return left and right
+        # or
+        if left is True:
+            return True
+        right = self.evaluate(expr.right)
+        if left is None or right is None:
+            return True if right is True else None
+        return left or right
+
+    def _eval_unary(self, expr: ast.UnaryOp):
+        value = self.evaluate(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "not":
+            return not value
+        raise EvaluationError(f"unknown unary operator {expr.op!r}")
+
+    # -- functions ---------------------------------------------------------------
+
+    def _eval_func(self, expr: ast.FuncCall):
+        func = self._engine.udfs.scalar(expr.name)
+        args = [self.evaluate(a) for a in expr.args]
+        return func(*args)
+
+    def _eval_aggregate(self, expr: ast.Aggregate):
+        raise EvaluationError(
+            f"aggregate {expr.func.upper()} used outside GROUP BY context"
+        )
+
+    def _eval_case(self, expr: ast.CaseWhen):
+        for cond, result in expr.branches:
+            if self.evaluate(cond) is True:
+                return self.evaluate(result)
+        if expr.default is not None:
+            return self.evaluate(expr.default)
+        return None
+
+    def _eval_between(self, expr: ast.Between):
+        subject = self.evaluate(expr.subject)
+        low = self.evaluate(expr.low)
+        high = self.evaluate(expr.high)
+        if subject is None or low is None or high is None:
+            return None
+        result = low <= subject <= high
+        return not result if expr.negated else result
+
+    def _eval_in_list(self, expr: ast.InList):
+        subject = self.evaluate(expr.subject)
+        if subject is None:
+            return None
+        values = [self.evaluate(item) for item in expr.items]
+        result = subject in [v for v in values if v is not None]
+        if not result and any(v is None for v in values):
+            return None
+        return not result if expr.negated else result
+
+    def _eval_like(self, expr: ast.Like):
+        subject = self.evaluate(expr.subject)
+        if subject is None:
+            return None
+        result = bool(like_to_regex(expr.pattern).match(str(subject)))
+        return not result if expr.negated else result
+
+    def _eval_is_null(self, expr: ast.IsNull):
+        value = self.evaluate(expr.subject)
+        return (value is not None) if expr.negated else (value is None)
+
+    def _eval_extract(self, expr: ast.Extract):
+        value = self.evaluate(expr.operand)
+        if value is None:
+            return None
+        return getattr(value, expr.unit)
+
+    def _eval_substring(self, expr: ast.Substring):
+        value = self.evaluate(expr.operand)
+        if value is None:
+            return None
+        start = self.evaluate(expr.start)
+        text = str(value)
+        begin = max(int(start) - 1, 0)
+        if expr.length is None:
+            return text[begin:]
+        return text[begin : begin + int(self.evaluate(expr.length))]
+
+    # -- subqueries -----------------------------------------------------------------
+
+    def _eval_scalar_subquery(self, expr: ast.ScalarSubquery):
+        table = self._engine.execute_subquery(expr.query, self._scope)
+        if table.num_rows == 0:
+            return None
+        if table.num_rows > 1:
+            raise EvaluationError("scalar subquery returned more than one row")
+        if table.num_columns != 1:
+            raise EvaluationError("scalar subquery must return one column")
+        return table.columns[0][0]
+
+    def _eval_in_subquery(self, expr: ast.InSubquery):
+        subject = self.evaluate(expr.subject)
+        if subject is None:
+            return None
+        table = self._engine.execute_subquery(expr.query, self._scope)
+        if table.num_columns != 1:
+            raise EvaluationError("IN subquery must return one column")
+        values = table.columns[0]
+        result = subject in set(v for v in values if v is not None)
+        if not result and any(v is None for v in values):
+            return None
+        return not result if expr.negated else result
+
+    def _eval_exists(self, expr: ast.Exists):
+        table = self._engine.execute_subquery(
+            expr.query, self._scope, limit_one=True
+        )
+        result = table.num_rows > 0
+        return not result if expr.negated else result
+
+    _DISPATCH = {
+        ast.Literal: _eval_literal,
+        ast.Interval: _eval_interval,
+        ast.Column: _eval_column,
+        ast.BinaryOp: _eval_binary,
+        ast.UnaryOp: _eval_unary,
+        ast.FuncCall: _eval_func,
+        ast.Aggregate: _eval_aggregate,
+        ast.CaseWhen: _eval_case,
+        ast.Between: _eval_between,
+        ast.InList: _eval_in_list,
+        ast.Like: _eval_like,
+        ast.IsNull: _eval_is_null,
+        ast.Extract: _eval_extract,
+        ast.Substring: _eval_substring,
+        ast.ScalarSubquery: _eval_scalar_subquery,
+        ast.InSubquery: _eval_in_subquery,
+        ast.Exists: _eval_exists,
+    }

@@ -1,0 +1,74 @@
+"""Schemas and data types for engine tables."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class DataType(enum.Enum):
+    """Logical column types.
+
+    ``SHARE`` is an opaque big integer in ``Z_n`` -- the type of every
+    encrypted column at the SP.  The engine never interprets shares; only
+    UDFs touch them.
+    """
+
+    INT = "int"
+    DECIMAL = "decimal"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+    SHARE = "share"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: name, type and (for DECIMAL) its scale."""
+
+    name: str
+    dtype: DataType
+    scale: int = 0
+
+    def __post_init__(self):
+        if self.dtype is not DataType.DECIMAL and self.scale:
+            raise ValueError("scale is only meaningful for DECIMAL columns")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of column specs with name lookup."""
+
+    columns: tuple[ColumnSpec, ...]
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def of(cls, *specs: ColumnSpec) -> "Schema":
+        return cls(columns=tuple(specs))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def index_of(self, name: str) -> int:
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise KeyError(name)
+
+    def extended(self, *specs: ColumnSpec) -> "Schema":
+        return Schema(columns=self.columns + tuple(specs))

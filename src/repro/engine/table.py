@@ -1,0 +1,152 @@
+"""Columnar in-memory tables.
+
+Storage is column-major (one Python list per column): scans and projections
+touch only the columns they need, which keeps the UDF-heavy rewritten
+queries from paying for untouched columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.schema import ColumnSpec, DataType, Schema
+
+
+class Table:
+    """An immutable-by-convention columnar table."""
+
+    def __init__(self, schema: Schema, columns: Sequence[list]):
+        if len(columns) != len(schema.columns):
+            raise ValueError(
+                f"schema has {len(schema.columns)} columns, data has {len(columns)}"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns = [list(c) for c in columns]
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        return cls(schema, [[] for _ in schema.columns])
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Table":
+        columns: list[list] = [[] for _ in schema.columns]
+        for row in rows:
+            if len(row) != len(columns):
+                raise ValueError(f"row width {len(row)} != schema width {len(columns)}")
+            for col, value in zip(columns, row):
+                col.append(value)
+        return cls(schema, columns)
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    # -- access ---------------------------------------------------------------
+
+    def column(self, name: str) -> list:
+        return self.columns[self.schema.index_of(name)]
+
+    def row(self, i: int) -> tuple:
+        return tuple(col[i] for col in self.columns)
+
+    def rows(self) -> Iterator[tuple]:
+        return (self.row(i) for i in range(self.num_rows))
+
+    def to_dicts(self) -> list[dict]:
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    # -- transformations -------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        return Table(
+            self.schema, [[col[i] for i in indices] for col in self.columns]
+        )
+
+    def head(self, k: int) -> "Table":
+        return Table(self.schema, [col[:k] for col in self.columns])
+
+    def select(self, names: Sequence[str]) -> "Table":
+        specs = tuple(self.schema[name] for name in names)
+        return Table(
+            Schema(specs), [self.column(name) for name in names]
+        )
+
+    def with_column(self, spec: ColumnSpec, values: list) -> "Table":
+        if len(values) != self.num_rows and self.num_columns:
+            raise ValueError("new column length mismatch")
+        return Table(self.schema.extended(spec), self.columns + [list(values)])
+
+    def rename(self, mapping: dict) -> "Table":
+        specs = tuple(
+            ColumnSpec(mapping.get(c.name, c.name), c.dtype, c.scale)
+            for c in self.schema.columns
+        )
+        return Table(Schema(specs), self.columns)
+
+    # -- mutation (DML) ----------------------------------------------------
+    #
+    # Query execution never mutates tables; only the engine's DML entry
+    # points call these, so "immutable-by-convention" still holds for
+    # everything reachable from a SELECT.
+
+    def append_rows(self, rows: Iterable[Sequence]) -> int:
+        """Append rows in schema order; returns the number appended."""
+        count = 0
+        for row in rows:
+            if len(row) != self.num_columns:
+                raise ValueError(
+                    f"row width {len(row)} != schema width {self.num_columns}"
+                )
+            for col, value in zip(self.columns, row):
+                col.append(value)
+            count += 1
+        return count
+
+    def keep_rows(self, mask: Sequence[bool]) -> int:
+        """Keep rows where ``mask`` is true; returns the number removed."""
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length mismatch")
+        removed = self.num_rows - sum(1 for m in mask if m)
+        if removed:
+            for j, col in enumerate(self.columns):
+                self.columns[j] = [v for v, m in zip(col, mask) if m]
+        return removed
+
+    def set_cell(self, name: str, row_index: int, value) -> None:
+        """Overwrite one cell (UPDATE)."""
+        self.columns[self.schema.index_of(name)][row_index] = value
+
+    def __repr__(self) -> str:
+        return f"Table({', '.join(self.schema.names)}; {self.num_rows} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """Render a small ASCII table (used by examples and the demo)."""
+        names = list(self.schema.names)
+        rows = [
+            ["" if v is None else str(v) for v in self.row(i)]
+            for i in range(min(self.num_rows, limit))
+        ]
+        widths = [
+            max(len(names[j]), *(len(r[j]) for r in rows)) if rows else len(names[j])
+            for j in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows]
+        suffix = [] if self.num_rows <= limit else [f"... ({self.num_rows} rows total)"]
+        return "\n".join([header, sep, *body, *suffix])

@@ -1,0 +1,74 @@
+"""User-defined function registry.
+
+This is the extension point the paper's architecture depends on: "SDB can
+easily support any other relational engine by implementing a set of UDFs
+that work with that particular system" (Section 2.2).  The engine calls
+scalar UDFs row-at-a-time from expressions and aggregate UDFs through the
+init/step/finish protocol from the grouping operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class UDFError(KeyError):
+    """Unknown UDF name."""
+
+
+class AggregateUDF:
+    """Base class for aggregate UDFs.
+
+    Subclasses implement ``step(state, *args) -> state`` and
+    ``finish(state) -> value``; ``initial`` is the starting state.  The
+    grouping operator drives one instance per group.
+    """
+
+    initial = None
+
+    def step(self, state, *args):
+        raise NotImplementedError
+
+    def finish(self, state):
+        return state
+
+
+class UDFRegistry:
+    """Named scalar and aggregate UDFs."""
+
+    def __init__(self):
+        self._scalar: dict[str, Callable] = {}
+        self._aggregate: dict[str, AggregateUDF] = {}
+
+    def register_scalar(self, name: str, func: Callable, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._scalar and not replace:
+            raise ValueError(f"scalar UDF {name!r} already registered")
+        self._scalar[key] = func
+
+    def register_aggregate(self, name: str, udf: AggregateUDF, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._aggregate and not replace:
+            raise ValueError(f"aggregate UDF {name!r} already registered")
+        self._aggregate[key] = udf
+
+    def scalar(self, name: str) -> Callable:
+        try:
+            return self._scalar[name.lower()]
+        except KeyError:
+            raise UDFError(f"unknown scalar UDF {name!r}") from None
+
+    def aggregate(self, name: str) -> AggregateUDF:
+        try:
+            return self._aggregate[name.lower()]
+        except KeyError:
+            raise UDFError(f"unknown aggregate UDF {name!r}") from None
+
+    def has_scalar(self, name: str) -> bool:
+        return name.lower() in self._scalar
+
+    def has_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregate
+
+    def names(self) -> list[str]:
+        return sorted(set(self._scalar) | set(self._aggregate))

@@ -1,0 +1,114 @@
+"""The DO-side connection to a remote SP.
+
+:class:`RemoteServer` speaks :mod:`repro.net.protocol` and exposes the
+same surface as the in-process :class:`repro.core.server.SDBServer`
+(``store_table`` / ``drop_table`` / ``execute`` / ``execute_dml``), so
+
+    proxy = SDBProxy(RemoteServer.connect(host, port))
+
+gives the paper's two-machine deployment with no proxy changes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.engine.table import Table
+from repro.net import protocol
+from repro.sql import ast
+
+
+class RemoteServer:
+    """A proxy-side handle on a networked SP."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 10.0) -> "RemoteServer":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing -----------------------------------------------------
+
+    def _call(self, op: str, **args):
+        request = {"op": op, **args}
+        with self._lock:
+            self.bytes_sent += protocol.send_message(self._sock, request)
+            response = protocol.recv_message(self._sock)
+        self.bytes_received += len(repr(response))
+        if "error" in response:
+            raise protocol.NetError(response["error"])
+        return response["ok"]
+
+    # -- SDBServer surface -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._call("ping") == "pong"
+
+    def store_table(self, name: str, table: Table, replace: bool = False) -> None:
+        self._call(
+            "store_table",
+            name=name,
+            table=protocol.encode_value(table),
+            replace=replace,
+        )
+
+    def drop_table(self, name: str) -> None:
+        self._call("drop_table", name=name)
+
+    def execute(self, query) -> Table:
+        sql = query if isinstance(query, str) else query.to_sql()
+        return protocol.decode_value(self._call("execute", sql=sql))
+
+    def execute_dml(self, statement) -> int:
+        """Submit DML.
+
+        INSERTs go as structured rows (their literals include SIES
+        ciphertexts, which have no SQL text form); UPDATE/DELETE go as the
+        rewritten SQL text.
+        """
+        if isinstance(statement, ast.Insert):
+            rows = []
+            for value_row in statement.rows:
+                cells = []
+                for expr in value_row:
+                    if not isinstance(expr, ast.Literal):
+                        raise protocol.NetError(
+                            "remote INSERT requires literal values"
+                        )
+                    cells.append(protocol.encode_value(expr.value))
+                rows.append(cells)
+            return self._call(
+                "insert_rows",
+                name=statement.table,
+                columns=list(statement.columns or ()),
+                rows=rows,
+            )
+        sql = statement if isinstance(statement, str) else statement.to_sql()
+        return self._call("execute_dml", sql=sql)
+
+    def begin(self) -> None:
+        self._call("txn", action="begin")
+
+    def commit(self) -> None:
+        self._call("txn", action="commit")
+
+    def rollback(self) -> None:
+        self._call("txn", action="rollback")
+
+    def catalog_names(self) -> list[str]:
+        return self._call("catalog")

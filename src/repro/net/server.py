@@ -1,0 +1,135 @@
+"""The SP as a network daemon (the demo's machine ``MSP``).
+
+Wraps an :class:`repro.core.server.SDBServer` behind a threaded TCP
+listener speaking the :mod:`repro.net.protocol` frame format.  The daemon
+is exactly as trusted as the in-process server -- i.e. not at all: it only
+ever sees encrypted uploads and rewritten queries.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional
+
+from repro.core.server import SDBServer
+from repro.net import protocol
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+class _RequestHandler(socketserver.BaseRequestHandler):
+    """One connected proxy; requests are handled sequentially per socket."""
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = protocol.recv_message(self.request)
+            except protocol.NetError:
+                return  # peer closed the connection
+            response = self._dispatch(request)
+            try:
+                protocol.send_message(self.request, response)
+            except OSError:
+                return
+
+    def _dispatch(self, request: dict) -> dict:
+        try:
+            op = request["op"]
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise protocol.NetError(f"unknown operation {op!r}")
+            return {"ok": handler(request)}
+        except Exception as exc:  # surface the failure to the caller
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- operations ---------------------------------------------------------
+
+    @property
+    def _sdb(self) -> SDBServer:
+        return self.server.sdb_server
+
+    def _op_ping(self, request: dict):
+        return "pong"
+
+    def _op_store_table(self, request: dict):
+        table = protocol.decode_value(request["table"])
+        self._sdb.store_table(
+            request["name"], table, replace=bool(request.get("replace"))
+        )
+        return table.num_rows
+
+    def _op_drop_table(self, request: dict):
+        self._sdb.drop_table(request["name"])
+        return True
+
+    def _op_execute(self, request: dict):
+        result = self._sdb.execute(request["sql"])
+        return protocol.encode_value(result)
+
+    def _op_execute_dml(self, request: dict):
+        return self._sdb.execute_dml(request["sql"])
+
+    def _op_insert_rows(self, request: dict):
+        """Structured INSERT: rows whose cells cannot render as SQL text
+        (SIES ciphertexts in the hidden row-id column)."""
+        rows = [
+            tuple(protocol.decode_value(cell) for cell in row)
+            for row in request["rows"]
+        ]
+        statement = ast.Insert(
+            table=request["name"],
+            columns=tuple(request["columns"]) or None,
+            rows=tuple(
+                tuple(ast.Literal(cell) for cell in row) for row in rows
+            ),
+        )
+        return self._sdb.execute_dml(statement)
+
+    def _op_txn(self, request: dict):
+        op = request["action"]
+        if op == "begin":
+            self._sdb.begin()
+        elif op == "commit":
+            self._sdb.commit()
+        elif op == "rollback":
+            self._sdb.rollback()
+        else:
+            raise protocol.NetError(f"unknown transaction op {op!r}")
+        return True
+
+    def _op_catalog(self, request: dict):
+        return self._sdb.catalog.names()
+
+
+class SDBNetServer(socketserver.ThreadingTCPServer):
+    """TCP daemon owning one :class:`SDBServer` instance."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address=("127.0.0.1", 0), sdb_server: Optional[SDBServer] = None):
+        super().__init__(address, _RequestHandler)
+        self.sdb_server = sdb_server or SDBServer()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    sdb_server: Optional[SDBServer] = None,
+) -> tuple[SDBNetServer, threading.Thread]:
+    """Start a daemon thread serving on ``(host, port)``.
+
+    ``port=0`` picks a free port (read it back from ``server.port``).
+    The caller owns shutdown: ``server.shutdown(); server.server_close()``.
+    """
+    server = SDBNetServer((host, port), sdb_server=sdb_server)
+    thread = threading.Thread(
+        target=server.serve_forever, name="sdb-sp", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,15 @@
+"""SQL frontend: lexer, AST and parser.
+
+The SDB proxy accepts plain SQL from the application (paper Figure 2, step
+1), parses it here, rewrites sensitive operations to UDF calls, and submits
+the rewritten AST to the service provider's engine.  The dialect covers the
+full TPC-H query set: inner/left joins, correlated and uncorrelated
+subqueries, IN/EXISTS, aggregates, CASE, LIKE, BETWEEN, EXTRACT, SUBSTRING
+and date/interval arithmetic.
+"""
+
+from repro.sql.ast import *  # noqa: F401,F403 -- re-export the AST nodes
+from repro.sql.lexer import LexError, tokenize
+from repro.sql.parser import ParseError, parse
+
+__all__ = ["tokenize", "parse", "LexError", "ParseError"]

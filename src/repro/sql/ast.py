@@ -1,0 +1,466 @@
+"""Typed AST for the SQL dialect.
+
+Plain dataclasses; the same node types are used on both sides of the trust
+boundary -- the proxy's rewriter maps an application AST to a rewritten AST
+in which sensitive operations have become :class:`FuncCall` nodes naming SDB
+UDFs, and the SP engine plans/evaluates either form.
+
+Every node renders back to SQL via ``to_sql()`` so the demo can display the
+rewritten query exactly as the paper's Figure 3 does.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float (decimal), str, bool, date or None."""
+
+    value: object
+
+    def to_sql(self) -> str:
+        v = self.value
+        if v is None:
+            return "NULL"
+        if isinstance(v, bool):
+            return "TRUE" if v else "FALSE"
+        if isinstance(v, datetime.date):
+            return f"DATE '{v.isoformat()}'"
+        if isinstance(v, str):
+            escaped = v.replace("'", "''")
+            return f"'{escaped}'"
+        return str(v)
+
+
+@dataclass(frozen=True)
+class Interval(Expr):
+    """``INTERVAL '3' MONTH`` -- date arithmetic operand."""
+
+    amount: int
+    unit: str  # 'year' | 'month' | 'day'
+
+    def to_sql(self) -> str:
+        return f"INTERVAL '{self.amount}' {self.unit.upper()}"
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A (possibly table-qualified) column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic / comparison / logical binary operator."""
+
+    op: str  # '+', '-', '*', '/', '=', '<>', '<', '<=', '>', '>=', 'and', 'or', '||'
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op.upper()} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-', 'not'
+    operand: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.op.upper()} {self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A scalar function call; rewritten queries use SDB UDF names here."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def to_sql(self) -> str:
+        return f"{self.name}({', '.join(a.to_sql() for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``SUM/AVG/COUNT/MIN/MAX([DISTINCT] expr)`` or ``COUNT(*)``."""
+
+    func: str
+    arg: Optional[Expr]  # None for COUNT(*)
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        if self.arg is None:
+            return f"{self.func.upper()}(*)"
+        inner = ("DISTINCT " if self.distinct else "") + self.arg.to_sql()
+        return f"{self.func.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """Searched CASE expression."""
+
+    branches: tuple[tuple[Expr, Expr], ...]  # (condition, result)
+    default: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.branches:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    subject: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return (
+            f"({self.subject.to_sql()} {maybe_not}BETWEEN "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    subject: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        items = ", ".join(item.to_sql() for item in self.items)
+        return f"({self.subject.to_sql()} {maybe_not}IN ({items}))"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    subject: Expr
+    query: "Select"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.subject.to_sql()} {maybe_not}IN ({self.query.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    query: "Select"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({maybe_not}EXISTS ({self.query.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    query: "Select"
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    subject: Expr
+    pattern: str
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        escaped = self.pattern.replace("'", "''")
+        return f"({self.subject.to_sql()} {maybe_not}LIKE '{escaped}')"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    subject: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.subject.to_sql()} IS {maybe_not}NULL)"
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    """``EXTRACT(YEAR FROM expr)``."""
+
+    unit: str
+    operand: Expr
+
+    def to_sql(self) -> str:
+        return f"EXTRACT({self.unit.upper()} FROM {self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Substring(Expr):
+    """``SUBSTRING(expr FROM start FOR length)`` (1-based, SQL style)."""
+
+    operand: Expr
+    start: Expr
+    length: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        tail = f" FOR {self.length.to_sql()}" if self.length is not None else ""
+        return f"SUBSTRING({self.operand.to_sql()} FROM {self.start.to_sql()}{tail})"
+
+
+# --------------------------------------------------------------------------
+# Relations / query structure
+# --------------------------------------------------------------------------
+
+
+class TableExpr:
+    """Base class for FROM items."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TableRef(TableExpr):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableExpr):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()}) {self.alias}"
+
+
+@dataclass(frozen=True)
+class Join(TableExpr):
+    """Explicit join; ``kind`` is 'inner', 'left' or 'cross'."""
+
+    left: TableExpr
+    right: TableExpr
+    kind: str = "inner"
+    condition: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        kw = {"inner": "JOIN", "left": "LEFT OUTER JOIN", "cross": "CROSS JOIN"}[self.kind]
+        on = f" ON {self.condition.to_sql()}" if self.condition is not None else ""
+        return f"{self.left.to_sql()} {kw} {self.right.to_sql()}{on}"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} AS {self.alias}" if self.alias else self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``SELECT *`` (optionally qualified ``t.*``)."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return self.expr.to_sql() + (" DESC" if self.descending else "")
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement (the only statement the proxy accepts from apps;
+    DDL/upload runs through the client API instead)."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: Optional[TableExpr] = None
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        if self.from_clause is not None:
+            parts.append("FROM " + self.from_clause.to_sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# DML statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table [(col, ...)] VALUES (expr, ...), ...``.
+
+    The proxy evaluates the value expressions locally (they must be
+    constant), encrypts sensitive positions, and submits an INSERT whose
+    literals are shares -- the code path a CPA attacker watches.
+    """
+
+    table: str
+    columns: Optional[tuple[str, ...]]
+    rows: tuple[tuple[Expr, ...], ...]
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expr`` pair of an UPDATE's SET list."""
+
+    column: str
+    value: Expr
+
+    def to_sql(self) -> str:
+        return f"{self.column} = {self.value.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET col = expr, ... [WHERE pred]``."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(a.to_sql() for a in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table [WHERE pred]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
+
+
+@dataclass(frozen=True)
+class TxnControl:
+    """``BEGIN [TRANSACTION]`` / ``COMMIT`` / ``ROLLBACK``."""
+
+    kind: str  # 'begin' | 'commit' | 'rollback'
+
+    def to_sql(self) -> str:
+        return self.kind.upper()
+
+
+#: Any parsable statement.
+Statement = Union[Select, Insert, Update, Delete, TxnControl]
+
+
+COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+ARITHMETIC_OPS = {"+", "-", "*", "/"}
+LOGICAL_OPS = {"and", "or"}
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and every sub-expression (not descending into subqueries)."""
+    yield expr
+    children: Sequence[Expr] = ()
+    if isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, FuncCall):
+        children = expr.args
+    elif isinstance(expr, Aggregate) and expr.arg is not None:
+        children = (expr.arg,)
+    elif isinstance(expr, CaseWhen):
+        children = [c for pair in expr.branches for c in pair]
+        if expr.default is not None:
+            children = list(children) + [expr.default]
+    elif isinstance(expr, Between):
+        children = (expr.subject, expr.low, expr.high)
+    elif isinstance(expr, InList):
+        children = (expr.subject, *expr.items)
+    elif isinstance(expr, (InSubquery, Like, IsNull)):
+        children = (expr.subject,)
+    elif isinstance(expr, (Extract,)):
+        children = (expr.operand,)
+    elif isinstance(expr, Substring):
+        children = (expr.operand, expr.start) + (
+            (expr.length,) if expr.length is not None else ()
+        )
+    for child in children:
+        yield from walk(child)

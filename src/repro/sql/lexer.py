@@ -1,0 +1,105 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Tokens carry
+their source position so parse errors point at the offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "as", "and", "or", "not", "in", "like", "between", "is", "null",
+    "case", "when", "then", "else", "end", "exists", "join", "inner", "left",
+    "right", "outer", "on", "asc", "desc", "union", "all", "date", "interval",
+    "year", "month", "day", "extract", "substring", "for", "count", "sum",
+    "avg", "min", "max", "true", "false", "cross",
+    "insert", "into", "values", "update", "set", "delete",
+    "begin", "commit", "rollback", "transaction",
+}
+
+SYMBOLS = (
+    "<=", ">=", "<>", "!=", "||", "=", "<", ">", "(", ")", ",", "+", "-",
+    "*", "/", ".", ";",
+)
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character sequence."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    text: str
+    position: int
+
+    def matches(self, kind: str, text: str = None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; keywords are case-insensitive, identifiers lowered.
+
+    String literals use single quotes with ``''`` escaping.  Numbers may be
+    integers or decimals (no exponent form; TPC-H does not need it).
+    """
+    return list(_scan(sql))
+
+
+def _scan(sql: str) -> Iterator[Token]:
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            end = sql.find("\n", i)
+            i = length if end < 0 else end + 1
+            continue
+        if ch == "'":
+            text, i = _scan_string(sql, i)
+            yield Token("string", text, i)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            while i < length and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            yield Token("number", sql[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            yield Token("keyword" if word in KEYWORDS else "ident", word, start)
+            continue
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                yield Token("symbol", symbol, i)
+                i += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at position {i}")
+    yield Token("eof", "", length)
+
+
+def _scan_string(sql: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    parts = []
+    while True:
+        if i >= len(sql):
+            raise LexError(f"unterminated string literal starting at {start}")
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1

@@ -1,0 +1,502 @@
+"""Recursive-descent SQL parser.
+
+Grammar (precedence low to high): OR, AND, NOT, predicates
+(comparison / BETWEEN / IN / LIKE / IS NULL / EXISTS), additive,
+multiplicative, unary minus, primary.  Covers everything the 22 TPC-H
+queries need.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+AGGREGATE_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed SQL, with the offending token position."""
+
+
+def parse(sql: str) -> ast.Select:
+    """Parse a single SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    select = parser.parse_select()
+    parser.expect_eof()
+    return select
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse any supported statement: SELECT, INSERT, UPDATE or DELETE."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str = None) -> bool:
+        return self._current.matches(kind, text)
+
+    def _accept(self, kind: str, text: str = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            got = self._current.text or self._current.kind
+            raise ParseError(
+                f"expected {want!r}, got {got!r} at position {self._current.position}"
+            )
+        return self._advance()
+
+    def expect_eof(self):
+        self._accept("symbol", ";")
+        if not self._check("eof"):
+            raise ParseError(
+                f"unexpected trailing input at position {self._current.position}: "
+                f"{self._current.text!r}"
+            )
+
+    # -- statements --------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self._check("keyword", "select"):
+            return self.parse_select()
+        if self._check("keyword", "insert"):
+            return self.parse_insert()
+        if self._check("keyword", "update"):
+            return self.parse_update()
+        if self._check("keyword", "delete"):
+            return self.parse_delete()
+        if self._check("keyword", "begin"):
+            self._advance()
+            self._accept("keyword", "transaction")
+            return ast.TxnControl(kind="begin")
+        if self._check("keyword", "commit"):
+            self._advance()
+            return ast.TxnControl(kind="commit")
+        if self._check("keyword", "rollback"):
+            self._advance()
+            return ast.TxnControl(kind="rollback")
+        got = self._current.text or self._current.kind
+        raise ParseError(f"expected a statement, got {got!r} at position "
+                         f"{self._current.position}")
+
+    def parse_insert(self) -> ast.Insert:
+        self._expect("keyword", "insert")
+        self._expect("keyword", "into")
+        table = self._expect_name()
+        columns = None
+        if self._accept("symbol", "("):
+            names = [self._expect_name()]
+            while self._accept("symbol", ","):
+                names.append(self._expect_name())
+            self._expect("symbol", ")")
+            columns = tuple(names)
+        self._expect("keyword", "values")
+        rows = [self._parse_value_row()]
+        while self._accept("symbol", ","):
+            rows.append(self._parse_value_row())
+        width = len(rows[0])
+        for row in rows:
+            if len(row) != width:
+                raise ParseError("INSERT rows have inconsistent widths")
+        if columns is not None and width != len(columns):
+            raise ParseError(
+                f"INSERT names {len(columns)} columns but rows have {width} values"
+            )
+        return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _parse_value_row(self) -> tuple:
+        self._expect("symbol", "(")
+        values = [self.parse_expr()]
+        while self._accept("symbol", ","):
+            values.append(self.parse_expr())
+        self._expect("symbol", ")")
+        return tuple(values)
+
+    def parse_update(self) -> ast.Update:
+        self._expect("keyword", "update")
+        table = self._expect_name()
+        self._expect("keyword", "set")
+        assignments = [self._parse_assignment()]
+        while self._accept("symbol", ","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self._accept("keyword", "where") else None
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        column = self._expect_name()
+        self._expect("symbol", "=")
+        return ast.Assignment(column=column, value=self.parse_expr())
+
+    def parse_delete(self) -> ast.Delete:
+        self._expect("keyword", "delete")
+        self._expect("keyword", "from")
+        table = self._expect_name()
+        where = self.parse_expr() if self._accept("keyword", "where") else None
+        return ast.Delete(table=table, where=where)
+
+    def parse_select(self) -> ast.Select:
+        self._expect("keyword", "select")
+        distinct = bool(self._accept("keyword", "distinct"))
+        items = [self._parse_select_item()]
+        while self._accept("symbol", ","):
+            items.append(self._parse_select_item())
+
+        from_clause = None
+        if self._accept("keyword", "from"):
+            from_clause = self._parse_from()
+
+        where = self.parse_expr() if self._accept("keyword", "where") else None
+
+        group_by: list[ast.Expr] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by.append(self.parse_expr())
+            while self._accept("symbol", ","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self._accept("keyword", "having") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by.append(self._parse_order_item())
+            while self._accept("symbol", ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept("keyword", "limit"):
+            limit = int(self._expect("number").text)
+
+        return ast.Select(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._check("symbol", "*"):
+            self._advance()
+            return ast.SelectItem(expr=ast.Star())
+        expr = self.parse_expr()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect_name()
+        elif self._check("ident"):
+            alias = self._advance().text
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self._accept("keyword", "desc"):
+            descending = True
+        else:
+            self._accept("keyword", "asc")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    def _expect_name(self) -> str:
+        token = self._current
+        if token.kind in ("ident", "keyword"):
+            self._advance()
+            return token.text
+        raise ParseError(f"expected a name at position {token.position}")
+
+    # -- FROM clause -------------------------------------------------------
+
+    def _parse_from(self) -> ast.TableExpr:
+        left = self._parse_join_chain()
+        while self._accept("symbol", ","):
+            right = self._parse_join_chain()
+            left = ast.Join(left=left, right=right, kind="cross")
+        return left
+
+    def _parse_join_chain(self) -> ast.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            kind = None
+            if self._accept("keyword", "cross"):
+                self._expect("keyword", "join")
+                kind = "cross"
+            elif self._check("keyword", "join") or self._check("keyword", "inner"):
+                self._accept("keyword", "inner")
+                self._expect("keyword", "join")
+                kind = "inner"
+            elif self._check("keyword", "left"):
+                self._advance()
+                self._accept("keyword", "outer")
+                self._expect("keyword", "join")
+                kind = "left"
+            else:
+                return left
+            right = self._parse_table_primary()
+            condition = None
+            if kind != "cross":
+                self._expect("keyword", "on")
+                condition = self.parse_expr()
+            left = ast.Join(left=left, right=right, kind=kind, condition=condition)
+
+    def _parse_table_primary(self) -> ast.TableExpr:
+        if self._accept("symbol", "("):
+            query = self.parse_select()
+            self._expect("symbol", ")")
+            self._accept("keyword", "as")
+            alias = self._expect_name()
+            return ast.SubqueryRef(query=query, alias=alias)
+        name = self._expect_name()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect_name()
+        elif self._check("ident"):
+            alias = self._advance().text
+        return ast.TableRef(name=name, alias=alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept("keyword", "or"):
+            left = ast.BinaryOp(op="or", left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept("keyword", "and"):
+            left = ast.BinaryOp(op="and", left=left, right=self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept("keyword", "not"):
+            return ast.UnaryOp(op="not", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_additive()
+        negated = bool(self._accept("keyword", "not"))
+        if self._accept("keyword", "between"):
+            low = self._parse_additive()
+            self._expect("keyword", "and")
+            high = self._parse_additive()
+            return ast.Between(subject=left, low=low, high=high, negated=negated)
+        if self._accept("keyword", "in"):
+            self._expect("symbol", "(")
+            if self._check("keyword", "select"):
+                query = self.parse_select()
+                self._expect("symbol", ")")
+                return ast.InSubquery(subject=left, query=query, negated=negated)
+            items = [self.parse_expr()]
+            while self._accept("symbol", ","):
+                items.append(self.parse_expr())
+            self._expect("symbol", ")")
+            return ast.InList(subject=left, items=tuple(items), negated=negated)
+        if self._accept("keyword", "like"):
+            pattern = self._expect("string").text
+            return ast.Like(subject=left, pattern=pattern, negated=negated)
+        if negated:
+            raise ParseError(
+                f"expected BETWEEN/IN/LIKE after NOT at position {self._current.position}"
+            )
+        if self._accept("keyword", "is"):
+            is_negated = bool(self._accept("keyword", "not"))
+            self._expect("keyword", "null")
+            return ast.IsNull(subject=left, negated=is_negated)
+        for op in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+            if self._accept("symbol", op):
+                right = self._parse_additive()
+                canonical = "<>" if op == "!=" else op
+                return ast.BinaryOp(op=canonical, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept("symbol", "+"):
+                left = ast.BinaryOp(op="+", left=left, right=self._parse_multiplicative())
+            elif self._accept("symbol", "-"):
+                left = ast.BinaryOp(op="-", left=left, right=self._parse_multiplicative())
+            elif self._accept("symbol", "||"):
+                left = ast.BinaryOp(op="||", left=left, right=self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept("symbol", "*"):
+                left = ast.BinaryOp(op="*", left=left, right=self._parse_unary())
+            elif self._accept("symbol", "/"):
+                left = ast.BinaryOp(op="/", left=left, right=self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept("symbol", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(value=-operand.value)
+            return ast.UnaryOp(op="-", operand=operand)
+        if self._accept("symbol", "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+
+        if token.matches("symbol", "("):
+            self._advance()
+            if self._check("keyword", "select"):
+                query = self.parse_select()
+                self._expect("symbol", ")")
+                return ast.ScalarSubquery(query=query)
+            expr = self.parse_expr()
+            self._expect("symbol", ")")
+            return expr
+
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            return ast.Literal(value=float(text) if "." in text else int(text))
+
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(value=token.text)
+
+        if token.matches("keyword", "null"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.matches("keyword", "true"):
+            self._advance()
+            return ast.Literal(value=True)
+        if token.matches("keyword", "false"):
+            self._advance()
+            return ast.Literal(value=False)
+
+        if token.matches("keyword", "date"):
+            self._advance()
+            text = self._expect("string").text
+            return ast.Literal(value=datetime.date.fromisoformat(text))
+
+        if token.matches("keyword", "interval"):
+            self._advance()
+            amount = int(self._expect("string").text)
+            unit = self._advance().text
+            if unit not in ("year", "month", "day"):
+                raise ParseError(f"unknown interval unit {unit!r}")
+            return ast.Interval(amount=amount, unit=unit)
+
+        if token.matches("keyword", "case"):
+            return self._parse_case()
+
+        if token.matches("keyword", "exists"):
+            self._advance()
+            self._expect("symbol", "(")
+            query = self.parse_select()
+            self._expect("symbol", ")")
+            return ast.Exists(query=query)
+
+        if token.matches("keyword", "extract"):
+            self._advance()
+            self._expect("symbol", "(")
+            unit = self._advance().text
+            if unit not in ("year", "month", "day"):
+                raise ParseError(f"cannot EXTRACT {unit!r}")
+            self._expect("keyword", "from")
+            operand = self.parse_expr()
+            self._expect("symbol", ")")
+            return ast.Extract(unit=unit, operand=operand)
+
+        if token.matches("keyword", "substring"):
+            self._advance()
+            self._expect("symbol", "(")
+            operand = self.parse_expr()
+            if self._accept("keyword", "from"):
+                start = self.parse_expr()
+                length = self.parse_expr() if self._accept("keyword", "for") else None
+            else:
+                self._expect("symbol", ",")
+                start = self.parse_expr()
+                length = self.parse_expr() if self._accept("symbol", ",") else None
+            self._expect("symbol", ")")
+            return ast.Substring(operand=operand, start=start, length=length)
+
+        if token.kind == "keyword" and token.text in AGGREGATE_FUNCS:
+            return self._parse_aggregate()
+
+        if token.kind == "ident":
+            return self._parse_identifier()
+
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect("keyword", "case")
+        branches = []
+        while self._accept("keyword", "when"):
+            cond = self.parse_expr()
+            self._expect("keyword", "then")
+            branches.append((cond, self.parse_expr()))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch")
+        default = self.parse_expr() if self._accept("keyword", "else") else None
+        self._expect("keyword", "end")
+        return ast.CaseWhen(branches=tuple(branches), default=default)
+
+    def _parse_aggregate(self) -> ast.Expr:
+        func = self._advance().text
+        self._expect("symbol", "(")
+        if func == "count" and self._accept("symbol", "*"):
+            self._expect("symbol", ")")
+            return ast.Aggregate(func="count", arg=None)
+        distinct = bool(self._accept("keyword", "distinct"))
+        arg = self.parse_expr()
+        self._expect("symbol", ")")
+        return ast.Aggregate(func=func, arg=arg, distinct=distinct)
+
+    def _parse_identifier(self) -> ast.Expr:
+        name = self._advance().text
+        if self._accept("symbol", "."):
+            if self._check("symbol", "*"):
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_name()
+            return ast.Column(name=column, table=name)
+        if self._accept("symbol", "("):
+            args = []
+            if not self._check("symbol", ")"):
+                args.append(self.parse_expr())
+                while self._accept("symbol", ","):
+                    args.append(self.parse_expr())
+            self._expect("symbol", ")")
+            return ast.FuncCall(name=name, args=tuple(args))
+        return ast.Column(name=name)

@@ -1,0 +1,42 @@
+"""SP-side persistence: the storage/backup/recovery services of DBaaS.
+
+The paper's SP "provides a reliable repository with storage and
+administration services (such as backup and recovery)" (Section 1).  This
+package implements that substrate:
+
+* :mod:`repro.storage.format` -- a binary on-disk format for encrypted
+  (and plain) relations: tagged cells, length-prefixed big integers for
+  shares, checksummed files;
+* :mod:`repro.storage.disk` -- :class:`DiskCatalog`, a directory of table
+  files with atomic replace semantics;
+* :mod:`repro.storage.wal` -- a write-ahead log of DML so mutations
+  survive a crash between checkpoints;
+* :mod:`repro.storage.durable` -- :class:`DurableServer`, an
+  :class:`repro.core.server.SDBServer` that persists uploads, logs DML
+  write-ahead, checkpoints, and recovers after restart;
+* :mod:`repro.storage.backup` -- point-in-time snapshots with manifest
+  and integrity verification.
+
+Everything written here is SP-visible by definition, so it stores only
+what the SP already holds: shares, SIES ciphertexts and insensitive
+plaintext.  No key material ever reaches this layer.
+"""
+
+from repro.storage.backup import BackupError, create_backup, restore_backup, verify_backup
+from repro.storage.disk import DiskCatalog
+from repro.storage.durable import DurableServer
+from repro.storage.format import StorageError, read_table, write_table
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "DiskCatalog",
+    "DurableServer",
+    "WriteAheadLog",
+    "create_backup",
+    "restore_backup",
+    "verify_backup",
+    "read_table",
+    "write_table",
+    "StorageError",
+    "BackupError",
+]

@@ -1,0 +1,90 @@
+"""Point-in-time backups of the SP's stored state.
+
+A backup is a directory holding a copy of every table file plus a
+``manifest.json`` recording, per table, the file size and SHA-256 of the
+*payload* -- enough to verify integrity before restoring.  Backups copy
+ciphertext only; they are exactly as safe to hand to a third party as the
+SP's disk already is.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+from repro.storage.disk import SUFFIX, DiskCatalog
+
+MANIFEST = "manifest.json"
+
+
+class BackupError(ValueError):
+    """Missing, inconsistent or corrupt backup."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def create_backup(catalog: DiskCatalog, destination) -> dict:
+    """Copy every table file to ``destination`` and write the manifest."""
+    destination = Path(destination)
+    destination.mkdir(parents=True, exist_ok=True)
+    tables = {}
+    for name in catalog.names():
+        source = catalog.directory / f"{name}{SUFFIX}"
+        target = destination / f"{name}{SUFFIX}"
+        shutil.copyfile(source, target)
+        tables[name] = {
+            "bytes": target.stat().st_size,
+            "sha256": _sha256(target),
+        }
+    manifest = {
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "tables": tables,
+    }
+    with open(destination / MANIFEST, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+    return manifest
+
+
+def verify_backup(source) -> dict:
+    """Check every file against the manifest; returns the manifest."""
+    source = Path(source)
+    manifest_path = source / MANIFEST
+    if not manifest_path.exists():
+        raise BackupError(f"no manifest at {source}")
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    for name, meta in manifest["tables"].items():
+        path = source / f"{name}{SUFFIX}"
+        if not path.exists():
+            raise BackupError(f"backup is missing table file {name!r}")
+        if path.stat().st_size != meta["bytes"]:
+            raise BackupError(f"size mismatch for {name!r}")
+        if _sha256(path) != meta["sha256"]:
+            raise BackupError(f"checksum mismatch for {name!r}")
+    return manifest
+
+
+def restore_backup(source, catalog: DiskCatalog, replace: bool = False) -> list[str]:
+    """Verify and copy a backup into a disk catalog; returns table names."""
+    source = Path(source)
+    manifest = verify_backup(source)
+    restored = []
+    for name in sorted(manifest["tables"]):
+        if name in catalog and not replace:
+            raise BackupError(
+                f"table {name!r} already exists (pass replace=True)"
+            )
+        shutil.copyfile(
+            source / f"{name}{SUFFIX}", catalog.directory / f"{name}{SUFFIX}"
+        )
+        restored.append(name)
+    return restored

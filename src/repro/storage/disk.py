@@ -1,0 +1,62 @@
+"""A directory of table files: the SP's persistent catalog."""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro.engine.table import Table
+from repro.storage.format import StorageError, read_table, write_table
+
+_SAFE_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
+SUFFIX = ".sdbt"
+
+
+class DiskCatalog:
+    """Tables as ``<name>.sdbt`` files under one directory.
+
+    Names are normalized to lower case (matching the in-memory catalog)
+    and validated so a table name can never escape the directory.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        key = name.lower()
+        if not _SAFE_NAME.match(key):
+            raise StorageError(f"invalid table name {name!r}")
+        return self.directory / f"{key}{SUFFIX}"
+
+    def save(self, name: str, table: Table) -> int:
+        """Persist (or replace) a table; returns bytes written."""
+        return write_table(self._path(name), table)
+
+    def load(self, name: str) -> Table:
+        path = self._path(name)
+        if not path.exists():
+            raise StorageError(f"no stored table {name!r}")
+        return read_table(path)
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            raise StorageError(f"no stored table {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(p.stem for p in self.directory.glob(f"*{SUFFIX}"))
+
+    def __contains__(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def size_bytes(self, name: str) -> int:
+        return self._path(name).stat().st_size
+
+    def total_bytes(self) -> int:
+        return sum(
+            p.stat().st_size for p in self.directory.glob(f"*{SUFFIX}")
+        )

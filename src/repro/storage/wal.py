@@ -1,0 +1,116 @@
+"""Write-ahead log for DML.
+
+Uploads are checkpointed as whole table files; between checkpoints,
+INSERT/UPDATE/DELETE statements append here *before* they execute
+(write-ahead), so a crash loses no acknowledged mutation.  Recovery
+replays the log on top of the last checkpoint.
+
+Entries are JSON lines.  UPDATE/DELETE are logged as their (rewritten)
+SQL text; INSERTs are logged structurally because their literals include
+SIES ciphertexts, which have no SQL text form.  A torn final line -- the
+signature of a crash mid-append -- is detected and ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.net.protocol import decode_value, encode_value
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+class WriteAheadLog:
+    """Append-only DML journal with replay."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._seq = sum(1 for _ in self.entries())
+
+    @property
+    def seq(self) -> int:
+        """Number of durable entries."""
+        return self._seq
+
+    def append(self, statement: ast.Statement) -> int:
+        """Durably record one statement; returns its sequence number."""
+        entry = self._encode(statement)
+        entry["seq"] = self._seq
+        line = json.dumps(entry, separators=(",", ":"))
+        self._file.write(line + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._seq += 1
+        return entry["seq"]
+
+    def entries(self):
+        """Yield decoded statements in append order (tolerates torn tail)."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    return  # torn tail from a crash mid-append
+                yield self._decode(entry)
+
+    def truncate(self) -> None:
+        """Drop all entries (after a checkpoint makes them redundant)."""
+        self._file.close()
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._seq = 0
+
+    def close(self) -> None:
+        self._file.close()
+
+    # -- entry codec -------------------------------------------------------
+
+    @staticmethod
+    def _encode(statement: ast.Statement) -> dict:
+        if isinstance(statement, ast.TxnControl):
+            return {"kind": "txn", "op": statement.kind}
+        if isinstance(statement, ast.Insert):
+            rows = []
+            for value_row in statement.rows:
+                cells = []
+                for expr in value_row:
+                    if not isinstance(expr, ast.Literal):
+                        raise ValueError("WAL inserts must carry literal values")
+                    cells.append(encode_value(expr.value))
+                rows.append(cells)
+            return {
+                "kind": "insert",
+                "table": statement.table,
+                "columns": list(statement.columns or ()),
+                "rows": rows,
+            }
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return {"kind": "sql", "sql": statement.to_sql()}
+        raise ValueError(f"cannot log {type(statement).__name__}")
+
+    @staticmethod
+    def _decode(entry: dict) -> ast.Statement:
+        if entry["kind"] == "txn":
+            return ast.TxnControl(kind=entry["op"])
+        if entry["kind"] == "insert":
+            return ast.Insert(
+                table=entry["table"],
+                columns=tuple(entry["columns"]) or None,
+                rows=tuple(
+                    tuple(ast.Literal(decode_value(cell)) for cell in row)
+                    for row in entry["rows"]
+                ),
+            )
+        if entry["kind"] == "sql":
+            return parse_statement(entry["sql"])
+        raise ValueError(f"unknown WAL entry kind {entry['kind']!r}")

@@ -1,0 +1,2 @@
+"""Workload substrates: TPC-H (schema, data generator, all 22 queries) and
+synthetic microbenchmark workloads."""

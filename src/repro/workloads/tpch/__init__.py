@@ -1,0 +1,28 @@
+"""TPC-H substrate.
+
+The paper's headline claim is that SDB natively supports *all 22* TPC-H
+queries (Section 1).  This package provides everything needed to check
+that claim end to end:
+
+* :mod:`repro.workloads.tpch.schema` -- the 8 tables with logical types;
+* :mod:`repro.workloads.tpch.dbgen` -- a deterministic, scale-factor data
+  generator preserving the schema's key relationships and value domains;
+* :mod:`repro.workloads.tpch.queries` -- all 22 queries in the SQL dialect,
+  with the standard validation parameters;
+* :mod:`repro.workloads.tpch.sensitivity` -- sensitivity profiles (which
+  columns the data owner protects).
+"""
+
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.queries import QUERIES, query
+from repro.workloads.tpch.schema import TABLES
+from repro.workloads.tpch.sensitivity import FINANCIAL_PROFILE, STRICT_PROFILE
+
+__all__ = [
+    "TABLES",
+    "generate",
+    "QUERIES",
+    "query",
+    "FINANCIAL_PROFILE",
+    "STRICT_PROFILE",
+]

@@ -1,0 +1,116 @@
+"""TPC-H schema: the 8 tables with logical column types.
+
+Column order and names follow the TPC-H specification; types use the
+logical :class:`repro.core.meta.ValueType` vocabulary so the same schema
+drives both the plain engine tables and the encrypted upload.
+"""
+
+from __future__ import annotations
+
+from repro.core.meta import ValueType
+
+V = ValueType
+
+#: table name -> [(column, ValueType), ...]
+TABLES: dict = {
+    "region": [
+        ("r_regionkey", V.int_()),
+        ("r_name", V.string(12)),
+        ("r_comment", V.string(64)),
+    ],
+    "nation": [
+        ("n_nationkey", V.int_()),
+        ("n_name", V.string(16)),
+        ("n_regionkey", V.int_()),
+        ("n_comment", V.string(64)),
+    ],
+    "supplier": [
+        ("s_suppkey", V.int_()),
+        ("s_name", V.string(18)),
+        ("s_address", V.string(24)),
+        ("s_nationkey", V.int_()),
+        ("s_phone", V.string(15)),
+        ("s_acctbal", V.decimal(2)),
+        ("s_comment", V.string(64)),
+    ],
+    "part": [
+        ("p_partkey", V.int_()),
+        ("p_name", V.string(36)),
+        ("p_mfgr", V.string(14)),
+        ("p_brand", V.string(10)),
+        ("p_type", V.string(25)),
+        ("p_size", V.int_()),
+        ("p_container", V.string(10)),
+        ("p_retailprice", V.decimal(2)),
+        ("p_comment", V.string(23)),
+    ],
+    "partsupp": [
+        ("ps_partkey", V.int_()),
+        ("ps_suppkey", V.int_()),
+        ("ps_availqty", V.int_()),
+        ("ps_supplycost", V.decimal(2)),
+        ("ps_comment", V.string(64)),
+    ],
+    "customer": [
+        ("c_custkey", V.int_()),
+        ("c_name", V.string(18)),
+        ("c_address", V.string(24)),
+        ("c_nationkey", V.int_()),
+        ("c_phone", V.string(15)),
+        ("c_acctbal", V.decimal(2)),
+        ("c_mktsegment", V.string(10)),
+        ("c_comment", V.string(64)),
+    ],
+    "orders": [
+        ("o_orderkey", V.int_()),
+        ("o_custkey", V.int_()),
+        ("o_orderstatus", V.string(1)),
+        ("o_totalprice", V.decimal(2)),
+        ("o_orderdate", V.date()),
+        ("o_orderpriority", V.string(15)),
+        ("o_clerk", V.string(15)),
+        ("o_shippriority", V.int_()),
+        ("o_comment", V.string(64)),
+    ],
+    "lineitem": [
+        ("l_orderkey", V.int_()),
+        ("l_partkey", V.int_()),
+        ("l_suppkey", V.int_()),
+        ("l_linenumber", V.int_()),
+        ("l_quantity", V.decimal(2)),
+        ("l_extendedprice", V.decimal(2)),
+        ("l_discount", V.decimal(2)),
+        ("l_tax", V.decimal(2)),
+        ("l_returnflag", V.string(1)),
+        ("l_linestatus", V.string(1)),
+        ("l_shipdate", V.date()),
+        ("l_commitdate", V.date()),
+        ("l_receiptdate", V.date()),
+        ("l_shipinstruct", V.string(25)),
+        ("l_shipmode", V.string(10)),
+        ("l_comment", V.string(44)),
+    ],
+}
+
+#: base cardinalities at scale factor 1.0 (the spec's numbers)
+BASE_ROWS = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+}
+
+
+def row_count(table: str, scale_factor: float) -> int:
+    """Target cardinality at a scale factor (fixed tables unaffected)."""
+    if table == "region":
+        return 5
+    if table == "nation":
+        return 25
+    if table == "partsupp":
+        return 4 * row_count("part", scale_factor)
+    base = BASE_ROWS[table]
+    return max(int(base * scale_factor), _MINIMUM[table])
+
+
+_MINIMUM = {"supplier": 10, "part": 40, "customer": 30, "orders": 150}

@@ -1,0 +1,53 @@
+"""Sensitivity profiles for TPC-H (demo step 1: "choose the attributes").
+
+``FINANCIAL_PROFILE`` protects every money/quantity measure -- the columns
+a data owner outsourcing a sales database plausibly considers sensitive --
+while keys, flags, dates and text stay plain.  Under this profile **all 22
+queries run natively** through SDB's operator suite (experiment E2).
+
+``STRICT_PROFILE`` additionally protects dates and some categorical
+strings.  It demonstrates the suite's boundaries: queries that EXTRACT
+from or pattern-match protected columns are rejected with a clear error
+instead of silently shipping data back, and the coverage bench reports
+which queries survive.
+"""
+
+from __future__ import annotations
+
+from repro.core.meta import SensitivityProfile
+
+FINANCIAL_PROFILE = SensitivityProfile.of(
+    "financial",
+    [
+        "lineitem.l_quantity",
+        "lineitem.l_extendedprice",
+        "lineitem.l_discount",
+        "lineitem.l_tax",
+        "orders.o_totalprice",
+        "customer.c_acctbal",
+        "supplier.s_acctbal",
+        "partsupp.ps_supplycost",
+        "partsupp.ps_availqty",
+        "part.p_retailprice",
+    ],
+)
+
+STRICT_PROFILE = SensitivityProfile.of(
+    "strict",
+    list(FINANCIAL_PROFILE.sensitive)
+    + [
+        "lineitem.l_shipdate",
+        "lineitem.l_commitdate",
+        "lineitem.l_receiptdate",
+        "orders.o_orderdate",
+        "customer.c_phone",
+        "supplier.s_phone",
+    ],
+)
+
+PROFILES = {p.name: p for p in (FINANCIAL_PROFILE, STRICT_PROFILE)}
+
+
+def sensitive_columns(profile: SensitivityProfile, table: str, columns) -> list[str]:
+    """The subset of ``columns`` the profile protects for ``table``."""
+    return [c for c, _ in columns if profile.is_sensitive(table, c)]

@@ -1,0 +1,109 @@
+"""Tests for the CryptDB capability model and the MONOMI planner.
+
+These back the paper's intro comparison (experiment E2): SDB supports all
+22 TPC-H queries natively; CryptDB supports only a handful without client
+involvement or precomputation; MONOMI recovers more via precomputation +
+split execution.
+"""
+
+import pytest
+
+from repro.baselines.cryptdb import CryptDBCapabilityModel
+from repro.baselines.monomi import MonomiPlanner, default_tpch_precomputations
+from repro.sql.parser import parse
+from repro.workloads.tpch.queries import QUERIES
+from repro.workloads.tpch.schema import TABLES
+
+
+@pytest.fixture(scope="module")
+def cryptdb_all_encrypted():
+    return CryptDBCapabilityModel(TABLES, sensitive=None)
+
+
+def supported_set(model):
+    out = set()
+    for number in range(1, 23):
+        if model.analyze(parse(QUERIES[number])).supported:
+            out.add(number)
+    return out
+
+
+def test_cryptdb_simple_supported(cryptdb_all_encrypted):
+    model = cryptdb_all_encrypted
+    assert model.analyze(parse("SELECT a FROM part WHERE p_size = 5")).supported
+    assert model.analyze(
+        parse("SELECT SUM(l_quantity) AS q FROM lineitem")
+    ).supported
+    assert model.analyze(
+        parse("SELECT l_quantity FROM lineitem ORDER BY l_quantity")
+    ).supported
+
+
+def test_cryptdb_blocks_encrypted_products(cryptdb_all_encrypted):
+    support = cryptdb_all_encrypted.analyze(
+        parse("SELECT SUM(l_extendedprice * (1 - l_discount)) AS r FROM lineitem")
+    )
+    assert not support.supported
+
+
+def test_cryptdb_blocks_hom_comparisons(cryptdb_all_encrypted):
+    support = cryptdb_all_encrypted.analyze(
+        parse(
+            "SELECT l_orderkey FROM lineitem GROUP BY l_orderkey "
+            "HAVING SUM(l_quantity) > 300"
+        )
+    )
+    assert not support.supported
+    assert any("HOM" in v for v in support.violations)
+
+
+def test_cryptdb_blocks_avg(cryptdb_all_encrypted):
+    support = cryptdb_all_encrypted.analyze(
+        parse("SELECT AVG(l_quantity) AS a FROM lineitem")
+    )
+    assert not support.supported
+
+
+def test_cryptdb_tpch_coverage_is_tiny(cryptdb_all_encrypted):
+    """The paper's intro: CryptDB supports ~4 of 22 natively."""
+    supported = supported_set(cryptdb_all_encrypted)
+    assert len(supported) <= 5
+    # the supported ones are the no-arithmetic, no-pattern queries
+    assert supported <= {4, 12, 21}
+
+
+def test_monomi_precomputation_recovers_q1_revenue_sums():
+    planner = MonomiPlanner(TABLES, sensitive=None)
+    plan = planner.plan(
+        parse("SELECT SUM(l_extendedprice * (1 - l_discount)) AS r FROM lineitem")
+    )
+    assert plan.mode == "server"
+    assert "disc_price" in plan.precomputed_used
+
+
+def test_monomi_splits_having_comparisons():
+    planner = MonomiPlanner(TABLES, sensitive=None)
+    plan = planner.plan(
+        parse(
+            "SELECT l_orderkey FROM lineitem GROUP BY l_orderkey "
+            "HAVING SUM(l_quantity) > 300"
+        )
+    )
+    assert plan.mode == "split"
+    assert plan.client_ops
+
+
+def test_monomi_coverage_between_cryptdb_and_sdb(cryptdb_all_encrypted):
+    planner = MonomiPlanner(TABLES, sensitive=None)
+    cryptdb_native = supported_set(cryptdb_all_encrypted)
+    monomi_server_or_split = {
+        n for n in range(1, 23)
+        if planner.plan(parse(QUERIES[n])).mode in ("server", "split")
+    }
+    assert len(monomi_server_or_split) > len(cryptdb_native)
+    assert cryptdb_native <= monomi_server_or_split | cryptdb_native
+
+
+def test_default_precomputations_cover_tpch_products():
+    names = {p.name for p in default_tpch_precomputations()}
+    assert {"disc_price", "charge", "disc_revenue", "ps_value"} <= names

@@ -1,0 +1,106 @@
+"""Tests for the OPE cipher and the onion layers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.onion import (
+    Layer,
+    OnionEncryptor,
+    det_encrypt,
+    rnd_decrypt,
+    rnd_encrypt,
+)
+from repro.baselines.ope import OPECipher, OPEKey
+from repro.baselines.paillier import paillier_keygen
+from repro.crypto.prf import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def ope():
+    return OPECipher(OPEKey(key=b"k" * 32, plaintext_bits=24))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=-(2**23), max_value=2**23 - 1),
+    b=st.integers(min_value=-(2**23), max_value=2**23 - 1),
+)
+def test_ope_preserves_order(ope, a, b):
+    ca, cb = ope.encrypt(a), ope.encrypt(b)
+    if a < b:
+        assert ca < cb
+    elif a > b:
+        assert ca > cb
+    else:
+        assert ca == cb
+
+
+def test_ope_deterministic(ope):
+    assert ope.encrypt(12345) == ope.encrypt(12345)
+
+
+def test_ope_out_of_domain(ope):
+    with pytest.raises(ValueError):
+        ope.encrypt(2**30)
+
+
+def test_ope_key_dependence():
+    c1 = OPECipher(OPEKey(key=b"a" * 32, plaintext_bits=24))
+    c2 = OPECipher(OPEKey(key=b"b" * 32, plaintext_bits=24))
+    values = [c1.encrypt(7), c2.encrypt(7)]
+    assert values[0] != values[1]
+
+
+def test_det_equality_semantics():
+    key = b"d" * 32
+    assert det_encrypt(key, 5) == det_encrypt(key, 5)
+    assert det_encrypt(key, 5) != det_encrypt(key, 6)
+
+
+def test_rnd_layer_roundtrip():
+    key = b"r" * 32
+    inner = 123456789
+    outer = rnd_encrypt(key, inner, nonce=9)
+    assert rnd_decrypt(key, outer, nonce=9) == inner
+    assert rnd_encrypt(key, inner, nonce=10) != outer
+
+
+@pytest.fixture(scope="module")
+def encryptor():
+    paillier = paillier_keygen(modulus_bits=256, rng=seeded_rng(5))
+    return OnionEncryptor(b"m" * 32, paillier, rng=seeded_rng(6)), paillier
+
+
+def test_onion_column_structure(encryptor):
+    enc, _ = encryptor
+    column = enc.encrypt_column("qty", [3, 1, 3])
+    assert column.eq_layer is Layer.RND
+    # under RND, equal plaintexts are NOT linkable
+    assert column.eq_cells[0] != column.eq_cells[2]
+
+
+def test_peel_equality_exposes_det(encryptor):
+    enc, _ = encryptor
+    column = enc.encrypt_column("qty", [3, 1, 3])
+    column.peel_equality(enc.rnd_eq_key)
+    assert column.eq_layer is Layer.DET
+    assert column.eq_cells[0] == column.eq_cells[2]  # equality now leaks
+    assert column.eq_cells[0] != column.eq_cells[1]
+
+
+def test_peel_order_exposes_ope(encryptor):
+    enc, _ = encryptor
+    column = enc.encrypt_column("qty", [5, 2, 9])
+    column.peel_order(enc.rnd_ord_key)
+    assert column.ord_layer is Layer.OPE
+    assert column.ord_cells[1] < column.ord_cells[0] < column.ord_cells[2]
+
+
+def test_hom_onion_sums(encryptor):
+    enc, paillier = encryptor
+    column = enc.encrypt_column("qty", [5, 2, 9])
+    total = column.add_cells[0]
+    for c in column.add_cells[1:]:
+        total = paillier.public.add(total, c)
+    assert paillier.private.decrypt(total) == 16

@@ -1,0 +1,49 @@
+"""Tests for the Paillier cryptosystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.paillier import paillier_keygen
+from repro.crypto.prf import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return paillier_keygen(modulus_bits=256, rng=seeded_rng(77))
+
+
+@settings(max_examples=50, deadline=None)
+@given(m=st.integers(min_value=-(2**40), max_value=2**40))
+def test_roundtrip(keypair, m):
+    c = keypair.public.encrypt(m, seeded_rng(abs(m) + 1))
+    assert keypair.private.decrypt(c) == m
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.integers(min_value=-(2**30), max_value=2**30),
+    b=st.integers(min_value=-(2**30), max_value=2**30),
+)
+def test_homomorphic_addition(keypair, a, b):
+    rng = seeded_rng(a * 31 + b)
+    ca = keypair.public.encrypt(a, rng)
+    cb = keypair.public.encrypt(b, rng)
+    assert keypair.private.decrypt(keypair.public.add(ca, cb)) == a + b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(min_value=-(2**20), max_value=2**20),
+    k=st.integers(min_value=0, max_value=1000),
+)
+def test_plaintext_multiplication(keypair, m, k):
+    c = keypair.public.encrypt(m, seeded_rng(m + k))
+    assert keypair.private.decrypt(keypair.public.mul_plain(c, k)) == m * k
+
+
+def test_probabilistic_encryption(keypair):
+    c1 = keypair.public.encrypt(42, seeded_rng(1))
+    c2 = keypair.public.encrypt(42, seeded_rng(2))
+    assert c1 != c2
+    assert keypair.private.decrypt(c1) == keypair.private.decrypt(c2) == 42

@@ -1,0 +1,49 @@
+"""The bench reporting harness itself."""
+
+import pytest
+
+from repro.bench.harness import ResultTable
+
+
+def test_render_alignment():
+    table = ResultTable("T", ["name", "value"])
+    table.add("short", 1)
+    table.add("a-much-longer-name", 123456)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "== T =="
+    # all body rows share the header's width
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) <= 2  # separator may differ by padding convention
+
+
+def test_row_width_checked():
+    table = ResultTable("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_float_formatting():
+    table = ResultTable("T", ["v"])
+    table.add(0.0)
+    table.add(0.1234567)
+    table.add(12.345)
+    table.add(123456.7)
+    text = table.render()
+    assert "0.1235" in text
+    assert "12.35" in text  # two decimals at >= 1
+    assert "123,457" in text  # thousands separator at >= 1000
+
+
+def test_notes_render():
+    table = ResultTable("T", ["v"])
+    table.add(1)
+    table.note("context matters")
+    assert "note: context matters" in table.render()
+
+
+def test_emit_prints(capsys):
+    table = ResultTable("T", ["v"])
+    table.add(42)
+    table.emit()
+    assert "== T ==" in capsys.readouterr().out

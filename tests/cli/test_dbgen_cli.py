@@ -1,0 +1,45 @@
+"""sdb-dbgen CSV export."""
+
+import csv
+
+from repro.cli.dbgen import main, write_csv
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.schema import TABLES
+
+
+def test_write_csv_creates_all_tables(tmp_path):
+    data = generate(scale_factor=0.0002, seed=5)
+    counts = write_csv(data, tmp_path)
+    assert set(counts) == set(TABLES)
+    for table in TABLES:
+        assert (tmp_path / f"{table}.csv").exists()
+
+
+def test_csv_headers_match_schema(tmp_path):
+    data = generate(scale_factor=0.0002, seed=5)
+    write_csv(data, tmp_path)
+    with open(tmp_path / "nation.csv", newline="", encoding="utf-8") as f:
+        header = next(csv.reader(f))
+    assert header == [name for name, _ in TABLES["nation"]]
+
+
+def test_csv_row_counts(tmp_path):
+    data = generate(scale_factor=0.0002, seed=5)
+    counts = write_csv(data, tmp_path)
+    with open(tmp_path / "region.csv", newline="", encoding="utf-8") as f:
+        rows = list(csv.reader(f))
+    assert len(rows) - 1 == counts["region"] == 5
+
+
+def test_main_entry_point(tmp_path, capsys):
+    rc = main(["-s", "0.0002", "--seed", "5", "-o", str(tmp_path / "out")])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "lineitem" in captured.out
+    assert (tmp_path / "out" / "orders.csv").exists()
+
+
+def test_generation_is_deterministic(tmp_path):
+    a = generate(scale_factor=0.0002, seed=5)
+    b = generate(scale_factor=0.0002, seed=5)
+    assert a == b

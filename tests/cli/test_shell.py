@@ -1,0 +1,175 @@
+"""The sdb-shell console, driven programmatically."""
+
+import io
+
+import pytest
+
+from repro.cli.shell import SDBShell
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+
+@pytest.fixture()
+def shell():
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(71))
+    proxy.create_table(
+        "pay",
+        [("id", ValueType.int_()), ("dept", ValueType.string(8)),
+         ("salary", ValueType.decimal(2))],
+        [(1, "eng", 100.0), (2, "ops", 80.0), (3, "eng", 120.0)],
+        sensitive=["salary"],
+        rng=seeded_rng(72),
+    )
+    return SDBShell(proxy)
+
+
+def test_select_renders_table_and_cost(shell):
+    out = shell.execute_line("SELECT dept, SUM(salary) AS total FROM pay GROUP BY dept")
+    assert "dept" in out and "total" in out
+    assert "client" in out and "server" in out
+    assert "rewritten:" in out
+    assert "sdb_" in out
+
+
+def test_rewrite_toggle(shell):
+    assert "off" in shell.execute_line("\\rewrite off")
+    out = shell.execute_line("SELECT id FROM pay")
+    assert "rewritten:" not in out
+    assert "on" in shell.execute_line("\\rewrite on")
+
+
+def test_dml_through_shell(shell):
+    out = shell.execute_line(
+        "INSERT INTO pay (id, dept, salary) VALUES (4, 'hr', 60.0)"
+    )
+    assert "1 row(s) affected" in out
+    out = shell.execute_line("SELECT COUNT(*) AS c FROM pay")
+    assert "4" in out
+
+
+def test_tables_command(shell):
+    out = shell.execute_line("\\tables")
+    assert "pay: 3 columns, 3 rows" in out
+    assert "salary" in out
+
+
+def test_keystore_command(shell):
+    out = shell.execute_line("\\keystore")
+    assert "key store:" in out
+    assert "1 column keys + 1 auxiliary key" in out
+    assert "independent of row count" in out
+
+
+def test_explain_command(shell):
+    out = shell.execute_line("\\explain SELECT salary FROM pay WHERE salary > 90")
+    assert "rewritten:" in out
+    assert "declared leakage:" in out
+
+
+def test_explain_without_sql(shell):
+    assert "usage" in shell.execute_line("\\explain")
+
+
+def test_error_reported_not_raised(shell):
+    out = shell.execute_line("SELECT nope FROM missing")
+    assert out.startswith("error:")
+
+
+def test_unknown_command(shell):
+    assert "unknown command" in shell.execute_line("\\frobnicate")
+
+
+def test_blank_line_is_silent(shell):
+    assert shell.execute_line("   ") == ""
+
+
+def test_quit_sets_done(shell):
+    assert shell.execute_line("\\quit") == "bye"
+    assert shell.done
+
+
+def test_repl_loop_runs_to_eof(shell):
+    stdin = io.StringIO("SELECT id FROM pay\n\\quit\n")
+    stdout = io.StringIO()
+    shell.run(stdin=stdin, stdout=stdout)
+    text = stdout.getvalue()
+    assert "sdb>" in text
+    assert "bye" in text
+
+
+def test_upload_csv_roundtrip(shell, tmp_path):
+    path = tmp_path / "hires.csv"
+    path.write_text(
+        "emp,grade,wage,start\n"
+        "ann,3,12.50,2021-02-03\n"
+        "ben,5,20.00,2019-11-30\n"
+        "cat,3,,2023-01-01\n"
+    )
+    out = shell.execute_line(f"\\upload {path} hires grade,wage")
+    assert "uploaded hires: 3 rows" in out
+    out = shell.execute_line("SELECT emp FROM hires WHERE grade = 3")
+    assert "ann" in out and "cat" in out and "ben" not in out
+    # sensitive columns land encrypted at the SP
+    stored = shell.proxy.server.catalog.get("hires")
+    assert 1250 not in stored.column("wage")
+
+
+def test_upload_usage_message(shell):
+    assert "usage" in shell.execute_line("\\upload onlyonearg")
+
+
+def test_upload_missing_file(shell):
+    assert "error" in shell.execute_line("\\upload /nope.csv t")
+
+
+def test_rotate_command(shell):
+    out = shell.execute_line("\\rotate pay salary")
+    assert "re-keyed" in out
+    out = shell.execute_line("SELECT SUM(salary) AS s FROM pay")
+    assert "300" in out  # 100 + 80 + 120
+
+
+def test_rotate_usage_and_errors(shell):
+    assert "usage" in shell.execute_line("\\rotate pay")
+    assert "error" in shell.execute_line("\\rotate pay id")
+
+
+def test_view_commands(shell):
+    assert "(no views)" in shell.execute_line("\\views")
+    out = shell.execute_line("\\view rich SELECT id FROM pay WHERE salary > 90")
+    assert "created" in out
+    assert "rich" in shell.execute_line("\\views")
+    out = shell.execute_line("SELECT COUNT(*) AS c FROM rich")
+    assert "2" in out
+
+
+def test_view_usage_and_errors(shell):
+    assert "usage" in shell.execute_line("\\view onlyname")
+    assert "error" in shell.execute_line("\\view v SELECT nope FROM missing")
+
+
+def test_transactions_through_shell(shell):
+    shell.execute_line("BEGIN")
+    shell.execute_line("DELETE FROM pay")
+    shell.execute_line("ROLLBACK")
+    out = shell.execute_line("SELECT COUNT(*) AS c FROM pay")
+    assert "3" in out
+
+
+def test_main_wires_tpch(tmp_path):
+    # build_proxy with --tpch loads the encrypted deployment
+    from repro.cli.shell import build_proxy
+
+    class Args:
+        connect = None
+        durable = str(tmp_path / "sp")
+        tpch = 0.0002
+        modulus_bits = 256
+        seed = 3
+
+    proxy = build_proxy(Args)
+    out = SDBShell(proxy).execute_line("SELECT COUNT(*) AS c FROM region")
+    assert "5" in out

@@ -1,0 +1,28 @@
+"""Shared fixtures: key material at several scales.
+
+``small_keys`` (64-bit modulus) powers the bulk of the unit and property
+tests; ``paper_figure_keys`` is the literal toy example of paper Figure 1
+(g=2, n=35); ``medium_keys`` (256-bit) backs the integration tests where
+expression values can grow (sums over many rows).
+"""
+
+import pytest
+
+from repro.crypto.keys import SystemKeys, generate_system_keys
+from repro.crypto.prf import seeded_rng
+
+
+@pytest.fixture(scope="session")
+def small_keys() -> SystemKeys:
+    return generate_system_keys(modulus_bits=64, value_bits=24, rng=seeded_rng(0xC0FFEE))
+
+
+@pytest.fixture(scope="session")
+def medium_keys() -> SystemKeys:
+    return generate_system_keys(modulus_bits=256, value_bits=64, rng=seeded_rng(0xBEEF))
+
+
+@pytest.fixture(scope="session")
+def paper_figure_keys() -> SystemKeys:
+    """The exact parameters of paper Figure 1: g=2, n=35=5*7, phi=24."""
+    return SystemKeys(n=35, g=2, rho1=5, rho2=7, phi=24, value_bits=3)

@@ -1,0 +1,47 @@
+"""The DO<->SP channel: byte accounting and attacker-visible summaries."""
+
+import datetime
+
+from repro.core.channel import (
+    Channel,
+    estimate_table_bytes,
+    estimate_value_bytes,
+)
+from repro.crypto.sies import SIESCiphertext
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+
+
+def test_value_size_estimates():
+    assert estimate_value_bytes(None) == 1
+    assert estimate_value_bytes(True) == 1
+    assert estimate_value_bytes(0) == 1
+    assert estimate_value_bytes(2**2048) == 257
+    assert estimate_value_bytes(1.5) == 8
+    assert estimate_value_bytes("abc") == 3
+    assert estimate_value_bytes(datetime.date(2020, 1, 1)) == 4
+    assert estimate_value_bytes(SIESCiphertext(value=2**64, nonce=1)) == 9 + 8
+
+
+def test_table_size_sums_cells():
+    schema = Schema((ColumnSpec("a", DataType.INT), ColumnSpec("b", DataType.STRING)))
+    table = Table.from_rows(schema, [(1, "xy"), (2, None)])
+    assert estimate_table_bytes(table) == 1 + 1 + 2 + 1
+
+
+def test_direction_accounting():
+    channel = Channel()
+    channel.record_query("SELECT 1")
+    schema = Schema((ColumnSpec("a", DataType.INT),))
+    channel.record_result(Table.from_rows(schema, [(7,)]))
+    channel.record_upload("t", Table.from_rows(schema, [(1,), (2,)]))
+    assert channel.bytes_sent() == len("SELECT 1") + 2
+    assert channel.bytes_received() == 1
+    kinds = [r.kind for r in channel.records]
+    assert kinds == ["query", "result", "upload"]
+
+
+def test_summaries_are_bounded():
+    channel = Channel()
+    channel.record_query("SELECT " + "x" * 1000)
+    assert len(channel.records[0].summary) <= 120

@@ -1,0 +1,255 @@
+"""Encrypted DML must behave exactly like plaintext DML.
+
+For every INSERT/UPDATE/DELETE, run it through the proxy (encrypt at the
+DO, rewritten statement at the SP) and against a plaintext twin engine,
+then compare full SELECT results.  Also verifies the security-relevant
+side conditions: inserted shares are fresh (CPA resistance) and UPDATE
+writes shares decryptable under the original column key.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import DMLResult, SDBProxy
+from repro.core.rewriter import RewriteError, UnsupportedQueryError
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.engine import Catalog, Engine, Table
+from repro.engine.schema import ColumnSpec, DataType, Schema
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("owner", ValueType.string(12)),
+    ("balance", ValueType.decimal(2)),
+    ("opened", ValueType.date()),
+]
+
+ROWS = [
+    (1, "ada", 100.00, datetime.date(2020, 1, 1)),
+    (2, "bob", 250.50, datetime.date(2021, 6, 15)),
+    (3, "cyd", 300.00, datetime.date(2022, 3, 9)),
+    (4, "dan", 80.25, datetime.date(2023, 11, 30)),
+]
+
+SENSITIVE = ["balance"]
+
+
+@pytest.fixture()
+def systems():
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(99))
+    proxy.create_table("accounts", COLUMNS, ROWS, sensitive=SENSITIVE,
+                       rng=seeded_rng(5))
+    catalog = Catalog()
+    catalog.create(
+        "accounts",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("id", DataType.INT),
+                ColumnSpec("owner", DataType.STRING),
+                ColumnSpec("balance", DataType.DECIMAL, scale=2),
+                ColumnSpec("opened", DataType.DATE),
+            ),
+            ROWS,
+        ),
+    )
+    return proxy, Engine(catalog)
+
+
+def run_both_dml(systems, sql):
+    proxy, plain = systems
+    expected = plain.execute_dml(sql)
+    result = proxy.execute(sql)
+    assert isinstance(result, DMLResult)
+    assert result.affected == expected
+    return result
+
+
+def assert_same_state(systems):
+    proxy, plain = systems
+    sql = "SELECT id, owner, balance, opened FROM accounts ORDER BY id"
+    expected = plain.execute(sql)
+    actual = proxy.query(sql).table
+    assert actual.num_rows == expected.num_rows
+    for e, a in zip(expected.rows(), actual.rows()):
+        for ev, av in zip(e, a):
+            if isinstance(ev, float):
+                assert av == pytest.approx(ev, abs=1e-9)
+            else:
+                assert av == ev
+
+
+# -- INSERT -------------------------------------------------------------------
+
+
+def test_insert_roundtrip(systems):
+    run_both_dml(
+        systems,
+        "INSERT INTO accounts (id, owner, balance, opened) "
+        "VALUES (5, 'eve', 512.75, DATE '2024-02-02')",
+    )
+    assert_same_state(systems)
+
+
+def test_insert_multi_row(systems):
+    run_both_dml(
+        systems,
+        "INSERT INTO accounts (id, owner, balance, opened) VALUES "
+        "(6, 'fay', 1.00, DATE '2024-01-01'), "
+        "(7, 'gil', 2.00, DATE '2024-01-02')",
+    )
+    assert_same_state(systems)
+
+
+def test_insert_subset_pads_nulls(systems):
+    run_both_dml(systems, "INSERT INTO accounts (id, owner) VALUES (8, 'hal')")
+    assert_same_state(systems)
+
+
+def test_insert_updates_keystore_row_count(systems):
+    proxy, _ = systems
+    before = proxy.store.table("accounts").num_rows
+    proxy.execute("INSERT INTO accounts (id, owner, balance) VALUES (9, 'ivy', 3.50)")
+    assert proxy.store.table("accounts").num_rows == before + 1
+
+
+def test_insert_negative_balance(systems):
+    run_both_dml(
+        systems, "INSERT INTO accounts (id, owner, balance) VALUES (10, 'jon', -45.25)"
+    )
+    assert_same_state(systems)
+
+
+def test_insert_rejects_unknown_table(systems):
+    proxy, _ = systems
+    with pytest.raises(RewriteError):
+        proxy.execute("INSERT INTO missing (a) VALUES (1)")
+
+
+def test_insert_rejects_unknown_column(systems):
+    proxy, _ = systems
+    with pytest.raises(RewriteError):
+        proxy.execute("INSERT INTO accounts (nope) VALUES (1)")
+
+
+def test_cpa_fresh_shares_on_equal_plaintexts(systems):
+    """Two inserts of the same balance must produce different shares."""
+    proxy, _ = systems
+    proxy.execute("INSERT INTO accounts (id, owner, balance) VALUES (11, 'kim', 777.77)")
+    proxy.execute("INSERT INTO accounts (id, owner, balance) VALUES (12, 'lou', 777.77)")
+    stored = proxy.server.catalog.get("accounts")
+    shares = stored.column("balance")[-2:]
+    assert shares[0] != shares[1]
+
+
+def test_insert_rewritten_sql_contains_no_plaintext_balance(systems):
+    proxy, _ = systems
+    result = proxy.execute(
+        "INSERT INTO accounts (id, owner, balance) VALUES (13, 'mia', 987.65)"
+    )
+    # 98765 is the ring encoding of the sensitive balance; it must not
+    # appear in the SQL the SP receives (id/owner are insensitive and may)
+    assert "98765" not in result.rewritten_sql
+
+
+# -- UPDATE ------------------------------------------------------------------
+
+
+def test_update_constant_assignment(systems):
+    run_both_dml(systems, "UPDATE accounts SET balance = 42.00 WHERE id = 2")
+    assert_same_state(systems)
+
+
+def test_update_share_arithmetic(systems):
+    run_both_dml(systems, "UPDATE accounts SET balance = balance * 2 WHERE id = 1")
+    assert_same_state(systems)
+
+
+def test_update_share_addition(systems):
+    run_both_dml(systems, "UPDATE accounts SET balance = balance + 10.50")
+    assert_same_state(systems)
+
+
+def test_update_predicate_on_sensitive_column(systems):
+    run_both_dml(
+        systems, "UPDATE accounts SET owner = 'rich' WHERE balance > 200"
+    )
+    assert_same_state(systems)
+
+
+def test_update_insensitive_column(systems):
+    run_both_dml(systems, "UPDATE accounts SET owner = 'anon' WHERE id = 3")
+    assert_same_state(systems)
+
+
+def test_update_rejects_sensitive_to_insensitive_flow(systems):
+    proxy, _ = systems
+    with pytest.raises(UnsupportedQueryError):
+        proxy.execute("UPDATE accounts SET id = balance WHERE id = 1")
+
+
+def test_update_no_matches(systems):
+    result = run_both_dml(
+        systems, "UPDATE accounts SET balance = 0.00 WHERE id = 999"
+    )
+    assert result.affected == 0
+    assert_same_state(systems)
+
+
+def test_update_mixed_assignments(systems):
+    run_both_dml(
+        systems,
+        "UPDATE accounts SET balance = balance - 5.00, owner = 'moved' WHERE id = 4",
+    )
+    assert_same_state(systems)
+
+
+# -- DELETE ------------------------------------------------------------------
+
+
+def test_delete_by_sensitive_predicate(systems):
+    run_both_dml(systems, "DELETE FROM accounts WHERE balance < 150")
+    assert_same_state(systems)
+
+
+def test_delete_by_plain_predicate(systems):
+    run_both_dml(systems, "DELETE FROM accounts WHERE owner = 'bob'")
+    assert_same_state(systems)
+
+
+def test_delete_all_rows(systems):
+    run_both_dml(systems, "DELETE FROM accounts")
+    assert_same_state(systems)
+
+
+def test_delete_updates_keystore_row_count(systems):
+    proxy, _ = systems
+    proxy.execute("DELETE FROM accounts WHERE id <= 2")
+    assert proxy.store.table("accounts").num_rows == 2
+
+
+def test_delete_records_leakage(systems):
+    proxy, _ = systems
+    result = proxy.execute("DELETE FROM accounts WHERE balance > 200")
+    assert any("DELETE WHERE" in item for item in result.leakage)
+
+
+# -- interleaving DML and queries ------------------------------------------------
+
+
+def test_full_lifecycle(systems):
+    run_both_dml(
+        systems,
+        "INSERT INTO accounts (id, owner, balance, opened) "
+        "VALUES (20, 'zoe', 64.00, DATE '2025-05-05')",
+    )
+    run_both_dml(systems, "UPDATE accounts SET balance = balance * 3 WHERE id = 20")
+    run_both_dml(systems, "DELETE FROM accounts WHERE balance > 250")
+    assert_same_state(systems)
+    proxy, plain = systems
+    sql = "SELECT SUM(balance) AS total FROM accounts"
+    expected = plain.execute(sql).column("total")[0]
+    actual = proxy.query(sql).table.column("total")[0]
+    assert actual == pytest.approx(expected, abs=1e-9)

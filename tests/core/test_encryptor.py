@@ -1,0 +1,130 @@
+"""Tests for the upload pipeline."""
+
+import datetime
+
+import pytest
+
+from repro.core.encryptor import AUX_COLUMN, ROWID_COLUMN, UploadError, encrypt_table
+from repro.core.meta import ValueType
+from repro.crypto.encoding import decode_signed
+from repro.crypto.keys import generate_system_keys
+from repro.crypto.prf import seeded_rng
+from repro.crypto.secret_sharing import decrypt_value, item_key
+from repro.crypto.sies import SIESCipher, SIESKey
+from repro.engine.schema import DataType
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_system_keys(modulus_bits=128, value_bits=40, rng=seeded_rng(5))
+
+
+@pytest.fixture(scope="module")
+def sies_key(keys):
+    return SIESKey.generate(keys.n, rng=seeded_rng(6))
+
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("balance", ValueType.decimal(2)),
+    ("opened", ValueType.date()),
+    ("owner", ValueType.string(8)),
+]
+ROWS = [
+    (1, 1000.50, datetime.date(2020, 1, 1), "alice"),
+    (2, -42.00, datetime.date(2021, 6, 15), "bob"),
+    (3, 0.00, datetime.date(2022, 3, 3), "carol"),
+]
+
+
+def test_layout_and_types(keys, sies_key):
+    meta, table = encrypt_table(
+        keys, sies_key, "accounts", COLUMNS, ROWS,
+        sensitive=["balance", "opened"], rng=seeded_rng(7),
+    )
+    assert table.schema.names == (
+        "id", "balance", "opened", "owner", ROWID_COLUMN, AUX_COLUMN
+    )
+    assert table.schema["balance"].dtype is DataType.SHARE
+    assert table.schema["opened"].dtype is DataType.SHARE
+    assert table.schema["id"].dtype is DataType.INT
+    assert table.column("id") == [1, 2, 3]       # insensitive stays plain
+    assert table.column("owner") == ["alice", "bob", "carol"]
+    assert meta.num_rows == 3
+    assert meta.sensitive_columns() == ["balance", "opened"]
+
+
+def test_shares_decrypt_with_stored_keys(keys, sies_key):
+    meta, table = encrypt_table(
+        keys, sies_key, "accounts", COLUMNS, ROWS,
+        sensitive=["balance"], rng=seeded_rng(8),
+    )
+    cipher = SIESCipher(sies_key)
+    ck = meta.column("balance").key
+    for i, (_, balance, _, _) in enumerate(ROWS):
+        row_id = cipher.decrypt(table.column(ROWID_COLUMN)[i])
+        vk = item_key(keys, row_id, ck)
+        ring = decode_signed(
+            decrypt_value(keys, table.column("balance")[i], vk), keys.n
+        )
+        assert meta.column("balance").vtype.decode(ring) == pytest.approx(balance)
+
+
+def test_aux_column_encrypts_one(keys, sies_key):
+    meta, table = encrypt_table(
+        keys, sies_key, "accounts", COLUMNS, ROWS,
+        sensitive=["balance"], rng=seeded_rng(9),
+    )
+    cipher = SIESCipher(sies_key)
+    for i in range(3):
+        row_id = cipher.decrypt(table.column(ROWID_COLUMN)[i])
+        vk = item_key(keys, row_id, meta.aux_key)
+        assert decrypt_value(keys, table.column(AUX_COLUMN)[i], vk) == 1
+
+
+def test_null_sensitive_value_stays_null(keys, sies_key):
+    rows = [(1, None, datetime.date(2020, 1, 1), "x")]
+    _, table = encrypt_table(
+        keys, sies_key, "t", COLUMNS, rows, sensitive=["balance"], rng=seeded_rng(10),
+    )
+    assert table.column("balance") == [None]
+
+
+def test_unknown_sensitive_column_rejected(keys, sies_key):
+    with pytest.raises(UploadError):
+        encrypt_table(keys, sies_key, "t", COLUMNS, ROWS, sensitive=["nope"])
+
+
+def test_reserved_column_name_rejected(keys, sies_key):
+    with pytest.raises(UploadError):
+        encrypt_table(
+            keys, sies_key, "t", [("__rowid", ValueType.int_())], [], sensitive=[]
+        )
+
+
+def test_row_width_mismatch_rejected(keys, sies_key):
+    with pytest.raises(UploadError):
+        encrypt_table(
+            keys, sies_key, "t", COLUMNS, [(1, 2.0)], sensitive=[], rng=seeded_rng(1)
+        )
+
+
+def test_out_of_domain_value_rejected(keys, sies_key):
+    rows = [(1, 10.0**15, datetime.date(2020, 1, 1), "x")]  # > 2^39 scaled
+    with pytest.raises(OverflowError):
+        encrypt_table(
+            keys, sies_key, "t", COLUMNS, rows, sensitive=["balance"],
+            rng=seeded_rng(2),
+        )
+
+
+def test_same_value_different_shares(keys, sies_key):
+    rows = [
+        (1, 500.00, datetime.date(2020, 1, 1), "a"),
+        (2, 500.00, datetime.date(2020, 1, 1), "b"),
+    ]
+    _, table = encrypt_table(
+        keys, sies_key, "t", COLUMNS, rows, sensitive=["balance"], rng=seeded_rng(3),
+    )
+    shares = table.column("balance")
+    assert shares[0] != shares[1]  # fresh row ids randomize equal plaintexts

@@ -1,0 +1,444 @@
+"""End-to-end: encrypted execution must equal plaintext execution.
+
+The strongest correctness property SDB can have: for any query, running it
+through proxy-rewrite -> SP engine -> decrypt yields the same relation as
+running the original SQL on the plaintext data.  This file exercises every
+operator family the rewriter supports on a small sales schema.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.engine import Catalog, Engine, Table
+from repro.engine.schema import ColumnSpec, DataType, Schema
+
+SALES_COLUMNS = [
+    ("sale_id", ValueType.int_()),
+    ("region", ValueType.string(10)),
+    ("product", ValueType.string(12)),
+    ("qty", ValueType.int_()),
+    ("price", ValueType.decimal(2)),
+    ("discount", ValueType.decimal(2)),
+    ("sold", ValueType.date()),
+]
+
+SALES_ROWS = [
+    (1, "east", "widget", 10, 19.99, 0.10, datetime.date(2023, 1, 5)),
+    (2, "east", "gadget", 5, 7.50, 0.00, datetime.date(2023, 1, 7)),
+    (3, "west", "widget", 3, 19.99, 0.05, datetime.date(2023, 2, 1)),
+    (4, "west", "sprocket", 12, 2.25, 0.20, datetime.date(2023, 2, 14)),
+    (5, "north", "gadget", 7, 7.50, 0.15, datetime.date(2023, 3, 3)),
+    (6, "north", "widget", 1, 21.00, 0.00, datetime.date(2023, 3, 9)),
+    (7, "east", "sprocket", 20, 2.25, 0.25, datetime.date(2023, 3, 21)),
+    (8, "south", "widget", 4, 19.99, 0.10, datetime.date(2023, 4, 2)),
+]
+
+RETURNS_COLUMNS = [
+    ("sale_id", ValueType.int_()),
+    ("amount", ValueType.decimal(2)),
+    ("reason", ValueType.string(16)),
+]
+
+RETURNS_ROWS = [
+    (1, 19.99, "damaged"),
+    (4, 4.50, "wrong item"),
+    (7, 2.25, "damaged"),
+]
+
+SENSITIVE = ["qty", "price", "discount"]
+RETURNS_SENSITIVE = ["amount"]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    """An SDB deployment and a plaintext twin over the same data."""
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(2024))
+    proxy.create_table("sales", SALES_COLUMNS, SALES_ROWS, sensitive=SENSITIVE,
+                       rng=seeded_rng(7))
+    proxy.create_table("returns", RETURNS_COLUMNS, RETURNS_ROWS,
+                       sensitive=RETURNS_SENSITIVE, rng=seeded_rng(8))
+
+    plain_catalog = Catalog()
+    plain_catalog.create(
+        "sales",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("sale_id", DataType.INT),
+                ColumnSpec("region", DataType.STRING),
+                ColumnSpec("product", DataType.STRING),
+                ColumnSpec("qty", DataType.INT),
+                ColumnSpec("price", DataType.DECIMAL, scale=2),
+                ColumnSpec("discount", DataType.DECIMAL, scale=2),
+                ColumnSpec("sold", DataType.DATE),
+            ),
+            SALES_ROWS,
+        ),
+    )
+    plain_catalog.create(
+        "returns",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("sale_id", DataType.INT),
+                ColumnSpec("amount", DataType.DECIMAL, scale=2),
+                ColumnSpec("reason", DataType.STRING),
+            ),
+            RETURNS_ROWS,
+        ),
+    )
+    plain = Engine(plain_catalog)
+    return proxy, plain
+
+
+def assert_tables_match(expected: Table, actual: Table, ordered: bool):
+    assert actual.num_rows == expected.num_rows
+    assert actual.num_columns == expected.num_columns
+    expected_rows = [_normalize(r) for r in expected.rows()]
+    actual_rows = [_normalize(r) for r in actual.rows()]
+    if not ordered:
+        expected_rows = sorted(expected_rows, key=repr)
+        actual_rows = sorted(actual_rows, key=repr)
+    for e, a in zip(expected_rows, actual_rows):
+        assert len(e) == len(a)
+        for ev, av in zip(e, a):
+            if isinstance(ev, float) or isinstance(av, float):
+                assert av == pytest.approx(ev, rel=1e-9, abs=1e-9)
+            else:
+                assert av == ev
+
+
+def _normalize(row):
+    return tuple(
+        round(v, 6) if isinstance(v, float) else v for v in row
+    )
+
+
+def run_both(systems, sql, ordered=False):
+    proxy, plain = systems
+    expected = plain.execute(sql)
+    result = proxy.query(sql)
+    assert_tables_match(expected, result.table, ordered)
+    return result
+
+
+# -- projections & arithmetic -------------------------------------------------
+
+
+def test_select_sensitive_column(systems):
+    run_both(systems, "SELECT sale_id, price FROM sales")
+
+
+def test_paper_multiplication_example(systems):
+    """The exact rewriting example of Section 2.2: SELECT A * B."""
+    result = run_both(systems, "SELECT qty * price AS c FROM sales")
+    assert "sdb_mul" in result.rewritten_sql
+    assert "__rowid" in result.rewritten_sql  # row-id added for decryption
+
+
+def test_share_times_constant(systems):
+    run_both(systems, "SELECT price * 3 AS p3, price * 0.5 AS half FROM sales")
+
+
+def test_share_plus_constant_and_share(systems):
+    run_both(systems, "SELECT qty + 5 AS q5, price + discount AS s FROM sales")
+
+
+def test_share_minus_share_and_revenue_expression(systems):
+    run_both(
+        systems,
+        "SELECT sale_id, price * (1 - discount) AS net FROM sales",
+    )
+
+
+def test_mixed_sensitive_insensitive_arithmetic(systems):
+    run_both(systems, "SELECT price * sale_id AS weighted FROM sales")
+
+
+def test_unary_minus_on_share(systems):
+    run_both(systems, "SELECT -qty AS negative FROM sales")
+
+
+# -- filtering ------------------------------------------------------------------
+
+
+def test_comparison_share_vs_constant(systems):
+    result = run_both(
+        systems, "SELECT sale_id FROM sales WHERE price > 10", ordered=False
+    )
+    assert "sdb_sign" in result.rewritten_sql
+
+
+def test_comparison_share_vs_share(systems):
+    run_both(systems, "SELECT sale_id FROM sales WHERE price > qty")
+
+
+def test_equality_on_share(systems):
+    result = run_both(systems, "SELECT sale_id FROM sales WHERE qty = 5")
+    # equality goes through deterministic tokens, not sign comparisons
+    assert "sdb_keyupdate" in result.rewritten_sql
+
+
+def test_between_on_share(systems):
+    run_both(systems, "SELECT sale_id FROM sales WHERE price BETWEEN 5 AND 20")
+
+
+def test_in_list_on_share(systems):
+    run_both(systems, "SELECT sale_id FROM sales WHERE qty IN (1, 5, 7)")
+
+
+def test_not_and_boolean_mix(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE NOT (price < 5) AND (qty > 3 OR discount = 0)",
+    )
+
+
+def test_expression_comparison(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE price * (1 - discount) > 15",
+    )
+
+
+def test_comparison_against_insensitive_column(systems):
+    run_both(systems, "SELECT sale_id FROM sales WHERE qty > sale_id")
+
+
+# -- aggregation -------------------------------------------------------------------
+
+
+def test_sum_of_share(systems):
+    result = run_both(systems, "SELECT SUM(price) AS total FROM sales")
+    assert "sdb_agg_sum" in result.rewritten_sql
+
+
+def test_sum_of_expression(systems):
+    run_both(
+        systems,
+        "SELECT SUM(price * (1 - discount) * qty) AS revenue FROM sales",
+    )
+
+
+def test_count_and_count_star(systems):
+    run_both(systems, "SELECT COUNT(*) AS c, COUNT(price) AS cp FROM sales")
+
+
+def test_avg_of_share_is_post_computed(systems):
+    run_both(systems, "SELECT AVG(price) AS mean FROM sales")
+
+
+def test_min_max_of_share(systems):
+    run_both(systems, "SELECT MIN(price) AS lo, MAX(price) AS hi FROM sales")
+
+
+def test_group_by_insensitive_with_share_aggregates(systems):
+    run_both(
+        systems,
+        "SELECT region, SUM(qty) AS q, AVG(price) AS p, COUNT(*) AS c "
+        "FROM sales GROUP BY region ORDER BY region",
+        ordered=True,
+    )
+
+
+def test_group_by_sensitive_column(systems):
+    run_both(
+        systems,
+        "SELECT price, COUNT(*) AS c FROM sales GROUP BY price",
+    )
+
+
+def test_having_on_share_aggregate(systems):
+    run_both(
+        systems,
+        "SELECT region, SUM(qty) AS q FROM sales GROUP BY region HAVING SUM(qty) > 10",
+    )
+
+
+def test_count_distinct_share(systems):
+    run_both(systems, "SELECT COUNT(DISTINCT price) AS c FROM sales")
+
+
+# -- ordering --------------------------------------------------------------------------
+
+
+def test_order_by_share_column(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales ORDER BY price DESC, sale_id",
+        ordered=True,
+    )
+
+
+def test_order_by_share_aggregate_alias(systems):
+    run_both(
+        systems,
+        "SELECT region, SUM(price * qty) AS revenue FROM sales "
+        "GROUP BY region ORDER BY revenue DESC, region",
+        ordered=True,
+    )
+
+
+def test_order_by_with_limit(systems):
+    run_both(
+        systems,
+        "SELECT sale_id, price FROM sales ORDER BY price DESC LIMIT 3",
+        ordered=True,
+    )
+
+
+# -- joins ------------------------------------------------------------------------------
+
+
+def test_join_on_insensitive_key(systems):
+    run_both(
+        systems,
+        "SELECT s.sale_id, s.price, r.amount FROM sales s "
+        "JOIN returns r ON s.sale_id = r.sale_id",
+    )
+
+
+def test_join_with_share_arithmetic_across_tables(systems):
+    run_both(
+        systems,
+        "SELECT s.sale_id, s.price - r.amount AS kept FROM sales s "
+        "JOIN returns r ON s.sale_id = r.sale_id",
+    )
+
+
+def test_cross_table_share_product(systems):
+    run_both(
+        systems,
+        "SELECT s.sale_id, s.qty * r.amount AS cross_product FROM sales s "
+        "JOIN returns r ON s.sale_id = r.sale_id",
+    )
+
+
+def test_join_on_sensitive_equality(systems):
+    run_both(
+        systems,
+        "SELECT s.sale_id, r.sale_id FROM sales s JOIN returns r "
+        "ON s.price = r.amount",
+    )
+
+
+def test_comma_join(systems):
+    run_both(
+        systems,
+        "SELECT s.sale_id FROM sales s, returns r "
+        "WHERE s.sale_id = r.sale_id AND s.price > 10",
+    )
+
+
+# -- subqueries ------------------------------------------------------------------------------
+
+
+def test_scalar_subquery_share_comparison(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE price > (SELECT AVG(price) FROM sales)",
+    )
+
+
+def test_in_subquery_sensitive(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE price IN (SELECT amount FROM returns)",
+    )
+
+
+def test_exists_correlated(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales s WHERE EXISTS "
+        "(SELECT 1 FROM returns r WHERE r.sale_id = s.sale_id AND r.amount > 3)",
+    )
+
+
+def test_derived_table_with_share_columns(systems):
+    run_both(
+        systems,
+        "SELECT region, SUM(net) AS total FROM "
+        "(SELECT region, price * (1 - discount) AS net FROM sales) t "
+        "GROUP BY region",
+    )
+
+
+def test_correlated_scalar_subquery(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales s WHERE price = "
+        "(SELECT MAX(price) FROM sales s2 WHERE s2.region = s.region)",
+    )
+
+
+def test_avg_comparison_normalized(systems):
+    """Q17-style: share < 0.2 * AVG(share) must be cross-multiplied."""
+    result = run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE qty < "
+        "(SELECT 0.5 * AVG(qty) FROM sales)",
+    )
+    assert any("normalized" in note for note in result.notes)
+
+
+# -- CASE / misc -----------------------------------------------------------------------------
+
+
+def test_case_when_with_share_branches(systems):
+    run_both(
+        systems,
+        "SELECT SUM(CASE WHEN region = 'east' THEN price ELSE 0 END) AS east_total "
+        "FROM sales",
+    )
+
+
+def test_case_with_sensitive_condition(systems):
+    run_both(
+        systems,
+        "SELECT SUM(CASE WHEN qty > 5 THEN price ELSE 0 END) AS big_total FROM sales",
+    )
+
+
+def test_post_division_in_output(systems):
+    run_both(
+        systems,
+        "SELECT SUM(price * qty) / SUM(qty) AS weighted_avg FROM sales",
+    )
+
+
+def test_date_filter_insensitive(systems):
+    run_both(
+        systems,
+        "SELECT sale_id FROM sales WHERE sold >= DATE '2023-02-01' "
+        "AND sold < DATE '2023-02-01' + INTERVAL '1' MONTH",
+    )
+
+
+def test_like_on_insensitive(systems):
+    run_both(systems, "SELECT sale_id FROM sales WHERE product LIKE 'w%'")
+
+
+def test_distinct_on_share(systems):
+    proxy, plain = systems
+    expected = plain.execute("SELECT DISTINCT price FROM sales")
+    result = proxy.query("SELECT DISTINCT price FROM sales")
+    assert sorted(result.table.column("price")) == sorted(expected.column("price"))
+
+
+def test_cost_breakdown_populated(systems):
+    proxy, _ = systems
+    result = proxy.query("SELECT SUM(price) AS t FROM sales")
+    assert result.cost.total_s > 0
+    assert result.cost.client_s >= 0
+    assert 0 <= result.cost.client_fraction <= 1
+
+
+def test_leakage_reported(systems):
+    proxy, _ = systems
+    result = proxy.query("SELECT sale_id FROM sales WHERE price > 10")
+    assert any(event.startswith("compare") for event in result.leakage)

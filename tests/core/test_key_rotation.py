@@ -1,0 +1,163 @@
+"""SP-side key rotation via the key-update protocol."""
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.keyops import KeyExpr
+from repro.crypto.prf import seeded_rng
+from repro.crypto.secret_sharing import decrypt_value, item_key
+from repro.crypto.sies import SIESCipher
+from repro.crypto.encoding import decode_signed
+
+
+@pytest.fixture()
+def deployment():
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(81))
+    proxy.create_table(
+        "vault",
+        [("id", ValueType.int_()), ("amount", ValueType.decimal(2))],
+        [(1, 11.25), (2, -3.50), (3, 600.00)],
+        sensitive=["amount"],
+        rng=seeded_rng(82),
+    )
+    return proxy, server
+
+
+def _decrypt_column(proxy, server, table, column):
+    """Decrypt straight from SP storage using the *current* key store."""
+    stored = server.catalog.get(table)
+    meta = proxy.store.table(table)
+    keys = proxy.store.keys
+    cipher = SIESCipher(proxy.store.sies_key)
+    ck = meta.column(column).key
+    out = []
+    for share, rowid_ct in zip(stored.column(column), stored.column("__rowid")):
+        row_id = cipher.decrypt(rowid_ct)
+        ring = decrypt_value(keys, share, item_key(keys, row_id, ck))
+        out.append(decode_signed(ring, keys.n))
+    return out
+
+
+def test_rotation_preserves_decryptability(deployment):
+    proxy, server = deployment
+    before = _decrypt_column(proxy, server, "vault", "amount")
+    result = proxy.rotate_column_key("vault", "amount")
+    assert result.affected == 3
+    after = _decrypt_column(proxy, server, "vault", "amount")
+    assert after == before
+
+
+def test_rotation_changes_every_share(deployment):
+    proxy, server = deployment
+    before = list(server.catalog.get("vault").column("amount"))
+    proxy.rotate_column_key("vault", "amount")
+    after = list(server.catalog.get("vault").column("amount"))
+    assert all(a != b for a, b in zip(after, before))
+
+
+def test_old_key_no_longer_decrypts(deployment):
+    proxy, server = deployment
+    old_key = proxy.store.table("vault").column("amount").key
+    expected = _decrypt_column(proxy, server, "vault", "amount")
+    proxy.rotate_column_key("vault", "amount")
+
+    keys = proxy.store.keys
+    cipher = SIESCipher(proxy.store.sies_key)
+    stored = server.catalog.get("vault")
+    stale = []
+    for share, rowid_ct in zip(stored.column("amount"), stored.column("__rowid")):
+        row_id = cipher.decrypt(rowid_ct)
+        ring = decrypt_value(keys, share, item_key(keys, row_id, old_key))
+        stale.append(decode_signed(ring, keys.n))
+    assert stale != expected
+
+
+def test_queries_work_after_rotation(deployment):
+    proxy, _ = deployment
+    proxy.rotate_column_key("vault", "amount")
+    result = proxy.query("SELECT SUM(amount) AS total FROM vault WHERE amount > 0")
+    assert result.table.column("total") == [pytest.approx(611.25)]
+
+
+def test_dml_works_after_rotation(deployment):
+    proxy, _ = deployment
+    proxy.rotate_column_key("vault", "amount")
+    proxy.execute("UPDATE vault SET amount = amount + 1.00 WHERE id = 1")
+    proxy.execute("INSERT INTO vault (id, amount) VALUES (4, 8.75)")
+    result = proxy.query("SELECT amount FROM vault ORDER BY id")
+    assert result.table.column("amount") == [
+        pytest.approx(12.25), pytest.approx(-3.5),
+        pytest.approx(600.0), pytest.approx(8.75),
+    ]
+
+
+def test_aux_key_rotation(deployment):
+    proxy, server = deployment
+    before = _decrypt_column(proxy, server, "vault", "amount")
+    old_aux = proxy.store.table("vault").aux_key
+    proxy.rotate_aux_key("vault")
+    assert proxy.store.table("vault").aux_key != old_aux
+    # data column untouched and still decryptable
+    assert _decrypt_column(proxy, server, "vault", "amount") == before
+    # the S column still encrypts 1 under the *new* aux key
+    meta = proxy.store.table("vault")
+    keys = proxy.store.keys
+    cipher = SIESCipher(proxy.store.sies_key)
+    stored = server.catalog.get("vault")
+    for share, rowid_ct in zip(stored.column("__s"), stored.column("__rowid")):
+        row_id = cipher.decrypt(rowid_ct)
+        assert decrypt_value(keys, share, item_key(keys, row_id, meta.aux_key)) == 1
+
+
+def test_column_rotation_after_aux_rotation(deployment):
+    proxy, server = deployment
+    before = _decrypt_column(proxy, server, "vault", "amount")
+    proxy.rotate_aux_key("vault")
+    proxy.rotate_column_key("vault", "amount")
+    assert _decrypt_column(proxy, server, "vault", "amount") == before
+
+
+def test_rotation_rejects_insensitive_column(deployment):
+    proxy, _ = deployment
+    from repro.core.rewriter import RewriteError
+
+    with pytest.raises(RewriteError):
+        proxy.rotate_column_key("vault", "id")
+
+
+def test_rotation_sql_carries_no_key_material(deployment):
+    proxy, _ = deployment
+    old_key = proxy.store.table("vault").column("amount").key
+    result = proxy.rotate_column_key("vault", "amount")
+    new_key = proxy.store.table("vault").column("amount").key
+    for secret in (old_key.m, old_key.x, new_key.m, new_key.x,
+                   proxy.store.keys.g, proxy.store.keys.phi):
+        assert str(secret) not in result.rewritten_sql
+
+
+def test_rotation_over_the_wire():
+    from repro.net import RemoteServer, start_server
+
+    sdb_server = SDBServer()
+    net_server, _ = start_server(sdb_server=sdb_server)
+    try:
+        remote = RemoteServer.connect("127.0.0.1", net_server.port)
+        proxy = SDBProxy(remote, modulus_bits=256, value_bits=64,
+                         rng=seeded_rng(83))
+        proxy.create_table(
+            "vault",
+            [("id", ValueType.int_()), ("amount", ValueType.decimal(2))],
+            [(1, 5.00), (2, 6.00)],
+            sensitive=["amount"],
+            rng=seeded_rng(84),
+        )
+        proxy.rotate_column_key("vault", "amount")
+        result = proxy.query("SELECT SUM(amount) AS s FROM vault")
+        assert result.table.column("s") == [pytest.approx(11.0)]
+        remote.close()
+    finally:
+        net_server.shutdown()
+        net_server.server_close()

@@ -1,0 +1,131 @@
+"""Property tests for the typed encodings: decimals and dates.
+
+Decimal arithmetic must track scales exactly (the rewriter aligns scales
+by multiplying shares by powers of ten); date comparisons go through the
+ordinal ring encoding.  Hypothesis drives both against the plaintext twin.
+"""
+
+import datetime
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.engine import Catalog, ColumnSpec, DataType, Engine, Schema, Table
+
+ROWS = [
+    (1, 10.25, 3.50, datetime.date(2020, 1, 15)),
+    (2, -4.75, 0.25, datetime.date(2021, 6, 1)),
+    (3, 0.00, 19.99, datetime.date(2019, 12, 31)),
+    (4, 250.10, -8.80, datetime.date(2022, 2, 28)),
+    (5, 1.05, 1.05, datetime.date(2020, 1, 15)),
+]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    server = SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(141))
+    proxy.create_table(
+        "m",
+        [("id", ValueType.int_()), ("x", ValueType.decimal(2)),
+         ("y", ValueType.decimal(2)), ("d", ValueType.date())],
+        ROWS,
+        sensitive=["x", "y", "d"],
+        rng=seeded_rng(142),
+    )
+    catalog = Catalog()
+    catalog.create(
+        "m",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("id", DataType.INT),
+                ColumnSpec("x", DataType.DECIMAL, scale=2),
+                ColumnSpec("y", DataType.DECIMAL, scale=2),
+                ColumnSpec("d", DataType.DATE),
+            ),
+            ROWS,
+        ),
+    )
+    return proxy, Engine(catalog)
+
+
+def _run(systems, sql):
+    proxy, plain = systems
+    expected = [tuple(r) for r in plain.execute(sql).rows()]
+    actual = [tuple(r) for r in proxy.query(sql).table.rows()]
+    assert len(actual) == len(expected), sql
+    for e, a in zip(expected, actual):
+        for ev, av in zip(e, a):
+            if isinstance(ev, float) or isinstance(av, float):
+                assert av == pytest.approx(ev, rel=1e-9, abs=1e-9), sql
+            else:
+                assert av == ev, sql
+
+
+decimal_constants = st.integers(min_value=-9999, max_value=9999).map(
+    lambda cents: f"{cents / 100:.2f}"
+)
+columns = st.sampled_from(["x", "y"])
+operands = st.one_of(columns, decimal_constants)
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(a=operands, b=operands, op=st.sampled_from(["+", "-", "*"]))
+def test_decimal_arithmetic_property(systems, a, b, op):
+    _run(systems, f"SELECT id, ({a} {op} {b}) AS e FROM m ORDER BY id")
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(a=operands, b=operands, cmp=st.sampled_from(["<", "<=", "=", ">", ">=", "<>"]))
+def test_decimal_comparison_property(systems, a, b, cmp):
+    _run(systems, f"SELECT id FROM m WHERE {a} {cmp} {b} ORDER BY id")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    day=st.dates(min_value=datetime.date(2019, 1, 1),
+                 max_value=datetime.date(2023, 1, 1)),
+    cmp=st.sampled_from(["<", "<=", "=", ">", ">="]),
+)
+def test_date_comparison_property(systems, day, cmp):
+    _run(systems, f"SELECT id FROM m WHERE d {cmp} DATE '{day.isoformat()}' ORDER BY id")
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    amount=st.integers(min_value=1, max_value=24),
+    unit=st.sampled_from(["month", "year", "day"]),
+)
+def test_date_interval_property(systems, amount, unit):
+    _run(
+        systems,
+        f"SELECT id FROM m WHERE d < DATE '2020-06-01' + INTERVAL "
+        f"'{amount}' {unit} ORDER BY id",
+    )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(a=operands, b=operands)
+def test_decimal_sum_property(systems, a, b):
+    _run(systems, f"SELECT SUM({a} * {b}) AS s FROM m")
+
+
+def test_mixed_scale_between(systems):
+    _run(systems, "SELECT id FROM m WHERE x BETWEEN -5.00 AND 10.25 ORDER BY id")
+
+
+def test_group_by_date(systems):
+    _run(
+        systems,
+        "SELECT d, COUNT(*) AS c FROM m GROUP BY d ORDER BY d",
+    )

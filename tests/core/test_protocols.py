@@ -1,0 +1,87 @@
+"""Protocol policy: mask sizing, headroom, the interactive sign protocol."""
+
+import pytest
+
+from repro.core.protocols import (
+    ComparisonMode,
+    ProtocolPolicy,
+    interactive_signs,
+)
+from repro.crypto.encoding import encode_signed
+from repro.crypto.keys import generate_system_keys
+from repro.crypto.prf import seeded_rng
+from repro.crypto.secret_sharing import encrypt_value, item_key
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_system_keys(modulus_bits=256, value_bits=64,
+                                rng=seeded_rng(171))
+
+
+def test_mask_bits_leave_headroom(keys):
+    policy = ProtocolPolicy()
+    bits = policy.mask_bits(keys)
+    # mask * |expression| must stay under n/2
+    assert bits + policy.expression_bits(keys) < keys.n.bit_length() - 1
+    assert bits >= policy.min_mask_bits
+
+
+def test_mask_bits_reject_tiny_modulus():
+    tiny = generate_system_keys(modulus_bits=96, value_bits=64,
+                                rng=seeded_rng(172))
+    with pytest.raises(ValueError, match="too small"):
+        ProtocolPolicy().mask_bits(tiny)
+
+
+def test_random_mask_is_positive_unit(keys):
+    policy = ProtocolPolicy()
+    rng = seeded_rng(173)
+    for _ in range(10):
+        rho = policy.random_mask(keys, rng)
+        assert rho > 0
+        assert rho.bit_length() == policy.mask_bits(keys)
+        from repro.crypto.ntheory import gcd
+
+        assert gcd(rho, keys.n) == 1
+
+
+def test_masked_sign_window_exact(keys):
+    """|d| * rho < n/2 makes the residue's half-plane equal sign(d)."""
+    policy = ProtocolPolicy()
+    rng = seeded_rng(174)
+    rho = policy.random_mask(keys, rng)
+    for d in (-(2**40), -1, 1, 2**40):
+        masked = (encode_signed(d, keys.n) * rho) % keys.n
+        sign = 1 if masked < keys.n // 2 else -1
+        if masked == 0:
+            sign = 0
+        assert sign == (1 if d > 0 else -1)
+
+
+def test_interactive_signs_protocol(keys):
+    ck = keys.random_column_key(seeded_rng(175))
+    rng = seeded_rng(176)
+    values = [-5, 0, 7, -(2**30), 2**30, None]
+    shares, item_keys = [], []
+    for v in values:
+        row_id = keys.random_row_id(rng)
+        vk = item_key(keys, row_id, ck)
+        item_keys.append(vk)
+        if v is None:
+            shares.append(None)
+        else:
+            shares.append(encrypt_value(keys, encode_signed(v, keys.n), vk))
+    signs = interactive_signs(keys, shares, item_keys)
+    assert signs == [-1, 0, 1, -1, 1, None]
+
+
+def test_comparison_mode_enum():
+    assert ComparisonMode("masked") is ComparisonMode.MASKED
+    assert ComparisonMode("interactive") is ComparisonMode.INTERACTIVE
+
+
+def test_policy_headroom_tradeoff(keys):
+    small = ProtocolPolicy(expr_headroom_bits=16)
+    large = ProtocolPolicy(expr_headroom_bits=64)
+    assert small.mask_bits(keys) > large.mask_bits(keys)

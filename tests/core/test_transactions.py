@@ -1,0 +1,190 @@
+"""Transactions: atomicity at the SP, durability through the WAL."""
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.sql.parser import parse_statement
+from repro.storage import DurableServer
+
+
+def _deployment(server=None, seed=111):
+    server = server or SDBServer()
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64,
+                     rng=seeded_rng(seed))
+    proxy.create_table(
+        "acct",
+        [("id", ValueType.int_()), ("bal", ValueType.decimal(2))],
+        [(1, 100.00), (2, 200.00)],
+        sensitive=["bal"],
+        rng=seeded_rng(seed + 1),
+    )
+    return server, proxy
+
+
+def _balances(proxy):
+    result = proxy.query("SELECT id, bal FROM acct ORDER BY id")
+    return {row[0]: row[1] for row in result.table.rows()}
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def test_parse_txn_statements():
+    assert parse_statement("BEGIN").kind == "begin"
+    assert parse_statement("BEGIN TRANSACTION").kind == "begin"
+    assert parse_statement("commit").kind == "commit"
+    assert parse_statement("ROLLBACK;").kind == "rollback"
+
+
+# -- in-memory semantics ---------------------------------------------------------
+
+
+def test_commit_keeps_changes():
+    _, proxy = _deployment()
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = bal + 50.00 WHERE id = 1")
+    proxy.execute("INSERT INTO acct (id, bal) VALUES (3, 10.00)")
+    proxy.execute("COMMIT")
+    assert _balances(proxy) == {
+        1: pytest.approx(150.0), 2: pytest.approx(200.0), 3: pytest.approx(10.0)
+    }
+
+
+def test_rollback_restores_everything():
+    _, proxy = _deployment()
+    before = _balances(proxy)
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = 0.00")
+    proxy.execute("DELETE FROM acct WHERE id = 2")
+    proxy.execute("INSERT INTO acct (id, bal) VALUES (9, 9.00)")
+    assert _balances(proxy) != before  # uncommitted state is visible
+    proxy.execute("ROLLBACK")
+    assert _balances(proxy) == before
+
+
+def test_rollback_restores_keystore_row_count():
+    _, proxy = _deployment()
+    proxy.execute("BEGIN")
+    proxy.execute("INSERT INTO acct (id, bal) VALUES (3, 1.00)")
+    assert proxy.store.table("acct").num_rows == 3
+    proxy.execute("ROLLBACK")
+    assert proxy.store.table("acct").num_rows == 2
+    # post-rollback DML still works and counts correctly
+    proxy.execute("INSERT INTO acct (id, bal) VALUES (4, 2.00)")
+    assert proxy.store.table("acct").num_rows == 3
+
+
+def test_transfer_is_atomic():
+    """The textbook pattern: debit + credit commit or vanish together."""
+    _, proxy = _deployment()
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = bal - 75.00 WHERE id = 1")
+    proxy.execute("UPDATE acct SET bal = bal + 75.00 WHERE id = 2")
+    proxy.execute("ROLLBACK")
+    assert _balances(proxy) == {1: pytest.approx(100.0), 2: pytest.approx(200.0)}
+
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = bal - 75.00 WHERE id = 1")
+    proxy.execute("UPDATE acct SET bal = bal + 75.00 WHERE id = 2")
+    proxy.execute("COMMIT")
+    assert _balances(proxy) == {1: pytest.approx(25.0), 2: pytest.approx(275.0)}
+
+
+def test_nested_begin_rejected():
+    server, proxy = _deployment()
+    proxy.execute("BEGIN")
+    with pytest.raises(RuntimeError):
+        server.begin()
+    proxy.execute("ROLLBACK")
+
+
+def test_commit_without_begin_rejected():
+    server, _ = _deployment()
+    with pytest.raises(RuntimeError):
+        server.commit()
+    with pytest.raises(RuntimeError):
+        server.rollback()
+
+
+# -- durability -----------------------------------------------------------------
+
+
+def test_committed_txn_survives_crash(tmp_path):
+    server = DurableServer(tmp_path)
+    _, proxy = _deployment(server)
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = bal + 1.00 WHERE id = 1")
+    proxy.execute("COMMIT")
+    server.close()  # crash after commit, before checkpoint
+
+    recovered = DurableServer(tmp_path)
+    proxy.server = recovered
+    assert recovered.recovered_statements == 1
+    assert _balances(proxy)[1] == pytest.approx(101.0)
+    recovered.close()
+
+
+def test_uncommitted_txn_discarded_on_recovery(tmp_path):
+    server = DurableServer(tmp_path)
+    _, proxy = _deployment(server)
+    proxy.execute("BEGIN")
+    proxy.execute("UPDATE acct SET bal = 0.00")
+    server.close()  # crash mid-transaction: no commit marker in the WAL
+
+    recovered = DurableServer(tmp_path)
+    proxy.server = recovered
+    assert recovered.recovered_statements == 0
+    assert _balances(proxy) == {1: pytest.approx(100.0), 2: pytest.approx(200.0)}
+    recovered.close()
+
+
+def test_rolled_back_txn_not_replayed(tmp_path):
+    server = DurableServer(tmp_path)
+    _, proxy = _deployment(server)
+    proxy.execute("BEGIN")
+    proxy.execute("DELETE FROM acct")
+    proxy.execute("ROLLBACK")
+    proxy.execute("UPDATE acct SET bal = bal + 5.00 WHERE id = 2")  # autocommit
+    server.close()
+
+    recovered = DurableServer(tmp_path)
+    proxy.server = recovered
+    assert recovered.recovered_statements == 1
+    assert _balances(proxy) == {1: pytest.approx(100.0), 2: pytest.approx(205.0)}
+    recovered.close()
+
+
+def test_checkpoint_refused_mid_transaction(tmp_path):
+    server = DurableServer(tmp_path)
+    _, proxy = _deployment(server)
+    proxy.execute("BEGIN")
+    with pytest.raises(RuntimeError, match="inside a transaction"):
+        server.checkpoint()
+    proxy.execute("COMMIT")
+    server.checkpoint()
+    server.close()
+
+
+# -- over the wire -----------------------------------------------------------------
+
+
+def test_transactions_over_tcp():
+    from repro.net import RemoteServer, start_server
+
+    net_server, _ = start_server(sdb_server=SDBServer())
+    try:
+        remote = RemoteServer.connect("127.0.0.1", net_server.port)
+        _, proxy = _deployment(server=remote, seed=121)
+        proxy.execute("BEGIN")
+        proxy.execute("UPDATE acct SET bal = 0.00")
+        proxy.execute("ROLLBACK")
+        assert _balances(proxy) == {
+            1: pytest.approx(100.0), 2: pytest.approx(200.0)
+        }
+        remote.close()
+    finally:
+        net_server.shutdown()
+        net_server.server_close()

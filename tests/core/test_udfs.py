@@ -1,0 +1,117 @@
+"""Unit tests for the SP-side UDFs."""
+
+import datetime
+
+import pytest
+
+from repro.core import udfs
+from repro.engine.udf import UDFRegistry
+
+N = 10007 * 10009  # composite modulus for arithmetic checks
+
+
+def test_sdb_mul_matches_paper():
+    assert udfs.sdb_mul(7, 9, N) == 63
+    assert udfs.sdb_mul(N - 1, 2, N) == N - 2
+
+
+def test_sdb_mul_null_propagates():
+    assert udfs.sdb_mul(None, 2, N) is None
+    assert udfs.sdb_mul(2, None, N) is None
+
+
+def test_sdb_mul_plain_scaling():
+    assert udfs.sdb_mul_plain(10, 3, 0, N) == 30
+    assert udfs.sdb_mul_plain(10, 0.25, 2, N) == 250  # 0.25 * 10^2 = 25
+    assert udfs.sdb_mul_plain(10, -1, 0, N) == (10 * (N - 1)) % N
+    assert udfs.sdb_mul_plain(None, 3, 0, N) is None
+    assert udfs.sdb_mul_plain(10, None, 0, N) is None
+
+
+def test_sdb_add():
+    assert udfs.sdb_add(N - 1, 3, N) == 2
+    assert udfs.sdb_add(None, 3, N) is None
+
+
+def test_sdb_keyupdate_scalar_only():
+    assert udfs.sdb_keyupdate(10, 3, N) == 30
+
+
+def test_sdb_keyupdate_with_pairs():
+    se, q = 7, 5
+    expected = (3 * 10 * pow(7, 5, N)) % N
+    assert udfs.sdb_keyupdate(10, 3, N, se, q) == expected
+
+
+def test_sdb_keyupdate_null():
+    assert udfs.sdb_keyupdate(None, 3, N) is None
+    assert udfs.sdb_keyupdate(10, 3, N, None, 5) is None
+
+
+def test_sdb_sign():
+    assert udfs.sdb_sign(0, N) == 0
+    assert udfs.sdb_sign(5, N) == 1
+    assert udfs.sdb_sign(N - 5, N) == -1
+    assert udfs.sdb_sign(None, N) is None
+
+
+def test_sdb_signed():
+    assert udfs.sdb_signed(5, N) == 5
+    assert udfs.sdb_signed(N - 5, N) == -5
+    assert udfs.sdb_signed(None, N) is None
+
+
+def test_sdb_enc_numeric():
+    assert udfs.sdb_enc(42, "int", 0, 0, N) == 42
+    assert udfs.sdb_enc(1.5, "decimal", 2, 0, N) == 150
+    assert udfs.sdb_enc(-3, "int", 0, 0, N) == N - 3
+    assert udfs.sdb_enc(None, "int", 0, 0, N) is None
+
+
+def test_sdb_enc_date():
+    assert udfs.sdb_enc(datetime.date(1970, 1, 2), "date", 0, 0, N) == 1
+
+
+def test_sdb_enc_string():
+    packed = udfs.sdb_enc("ab", "string", 0, 4, N)
+    assert packed == int.from_bytes(b"ab\x00\x00", "big") % N
+    assert udfs.sdb_enc("waytoolong", "string", 0, 4, N) is None
+
+
+def test_sdb_enc_bool_and_unknown_kind():
+    assert udfs.sdb_enc(True, "bool", 0, 0, N) == 1
+    with pytest.raises(ValueError):
+        udfs.sdb_enc(1, "mystery", 0, 0, N)
+
+
+def test_agg_sum():
+    agg = udfs.SdbSum()
+    state = agg.initial
+    for share in [5, 7, None, N - 2]:
+        state = agg.step(state, share, N)
+    assert state == (5 + 7 + N - 2) % N
+    assert agg.finish(state) == state
+    assert agg.finish(agg.initial) is None
+
+
+def test_agg_min_max():
+    lo = udfs.SdbMin()
+    hi = udfs.SdbMax()
+    state_lo, state_hi = lo.initial, hi.initial
+    for token, share in [(3, 100), (-5, 200), (None, 999), (4, 300)]:
+        state_lo = lo.step(state_lo, token, share)
+        state_hi = hi.step(state_hi, token, share)
+    assert lo.finish(state_lo) == 200  # token -5 wins
+    assert hi.finish(state_hi) == 300  # token 4 wins
+    assert lo.finish(lo.initial) is None
+
+
+def test_register_sdb_udfs():
+    registry = UDFRegistry()
+    udfs.register_sdb_udfs(registry)
+    assert registry.has_scalar("sdb_mul")
+    assert registry.has_scalar("sdb_enc")
+    assert registry.has_aggregate("sdb_agg_sum")
+    assert registry.has_aggregate("sdb_agg_min")
+    # idempotent (replace=True)
+    udfs.register_sdb_udfs(registry)

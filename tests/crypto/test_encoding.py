@@ -1,0 +1,75 @@
+"""Tests for ring encodings (signed, decimal, date, string)."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import encoding
+
+N = (2**31 - 1) * (2**13 - 1)  # arbitrary composite for ring tests
+
+
+@given(st.integers(min_value=-(N // 2) + 1, max_value=N // 2))
+def test_signed_roundtrip(v):
+    assert encoding.decode_signed(encoding.encode_signed(v, N), N) == v
+
+
+def test_signed_negative_representation():
+    assert encoding.encode_signed(-1, N) == N - 1
+    assert encoding.decode_signed(N - 1, N) == -1
+
+
+def test_check_domain():
+    assert encoding.check_domain(100, 8) == 100
+    with pytest.raises(OverflowError):
+        encoding.check_domain(128, 8)
+    with pytest.raises(OverflowError):
+        encoding.check_domain(-200, 8)
+
+
+@given(st.decimals(min_value=-10**6, max_value=10**6, places=2, allow_nan=False))
+def test_decimal_roundtrip_scale2(d):
+    encoded = encoding.encode_decimal(d, scale=2)
+    assert encoding.decode_decimal(encoded, scale=2) == pytest.approx(float(d))
+
+
+def test_decimal_scaling():
+    assert encoding.encode_decimal(12.34, 2) == 1234
+    assert encoding.encode_decimal("5.5", 1) == 55
+    assert encoding.decode_decimal(1234, 2) == 12.34
+
+
+@given(st.dates(min_value=datetime.date(1900, 1, 1), max_value=datetime.date(2200, 1, 1)))
+def test_date_roundtrip(d):
+    assert encoding.decode_date(encoding.encode_date(d)) == d
+
+
+def test_date_from_iso_string():
+    assert encoding.encode_date("1970-01-02") == 1
+    assert encoding.encode_date("1969-12-31") == -1
+    assert encoding.decode_date(0) == datetime.date(1970, 1, 1)
+
+
+@given(st.text(min_size=0, max_size=10).filter(lambda s: "\x00" not in s))
+def test_string_roundtrip(s):
+    width = max(len(s.encode("utf-8")), 1) + 2
+    assert encoding.decode_string(encoding.encode_string(s, width), width) == s
+
+
+def test_string_with_nul_rejected():
+    with pytest.raises(ValueError):
+        encoding.encode_string("a\x00b", 8)
+
+
+def test_string_order_matches_lexicographic():
+    w = 8
+    words = ["apple", "banana", "cherry", "date"]
+    encoded = [encoding.encode_string(x, w) for x in words]
+    assert encoded == sorted(encoded)
+
+
+def test_string_too_long_rejected():
+    with pytest.raises(ValueError):
+        encoding.encode_string("toolongstring", 4)

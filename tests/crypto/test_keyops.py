@@ -1,0 +1,210 @@
+"""Property tests for the column-key algebra and the key-update protocol.
+
+These are the correctness core of SDB's data interoperability: every
+operator's derived key must decrypt the operator's output.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import keyops
+from repro.crypto import secret_sharing as ss
+from repro.crypto.encoding import decode_signed, encode_signed
+from repro.crypto.keyops import KeyExpr
+from repro.crypto.ntheory import gcd
+from repro.crypto.prf import seeded_rng
+
+VALUES = st.integers(min_value=-(2**22), max_value=2**22)
+
+
+def _encrypt(keys, value, key_expr, row_ids):
+    vk = key_expr.item_key(keys, row_ids)
+    return ss.encrypt_value(keys, encode_signed(value, keys.n), vk)
+
+
+def _decrypt(keys, share, key_expr, row_ids):
+    vk = key_expr.item_key(keys, row_ids)
+    return decode_signed(ss.decrypt_value(keys, share, vk), keys.n)
+
+
+@settings(max_examples=100)
+@given(a=VALUES, b=VALUES, seed=st.integers(0, 2**16))
+def test_multiplication_key_derivation(small_keys, a, b, seed):
+    """Paper Section 2.2: ce = ae*be, ck_C = <mA*mB, xA+xB>."""
+    if abs(a * b) >= 2**23:
+        a, b = a % 1000, b % 1000
+    rng = seeded_rng(seed)
+    ka = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t")
+    kb = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t")
+    r = small_keys.random_row_id(rng)
+    row_ids = {"t": r}
+    ae = _encrypt(small_keys, a, ka, row_ids)
+    be = _encrypt(small_keys, b, kb, row_ids)
+    ce = ae * be % small_keys.n
+    kc = keyops.multiply_keys(small_keys, ka, kb)
+    assert _decrypt(small_keys, ce, kc, row_ids) == a * b
+
+
+@settings(max_examples=100)
+@given(a=VALUES, b=VALUES, seed=st.integers(0, 2**16))
+def test_cross_table_multiplication(small_keys, a, b, seed):
+    """Columns of two different tables multiply into a two-term key."""
+    if abs(a * b) >= 2**23:
+        a, b = a % 1000, b % 1000
+    rng = seeded_rng(seed)
+    ka = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t1")
+    kb = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t2")
+    row_ids = {"t1": small_keys.random_row_id(rng), "t2": small_keys.random_row_id(rng)}
+    ae = _encrypt(small_keys, a, ka, row_ids)
+    be = _encrypt(small_keys, b, kb, row_ids)
+    kc = keyops.multiply_keys(small_keys, ka, kb)
+    assert len(kc.terms) == 2
+    ce = ae * be % small_keys.n
+    assert _decrypt(small_keys, ce, kc, row_ids) == a * b
+
+
+@settings(max_examples=100)
+@given(v=VALUES, seed=st.integers(0, 2**16))
+def test_key_update_single_term(small_keys, v, seed):
+    """Re-encrypt a share to a fresh key via p * ve * Se^q."""
+    rng = seeded_rng(seed)
+    source_ck = small_keys.random_column_key(rng)
+    helper_ck = keyops.aux_column_key(small_keys, rng)
+    target_ck = small_keys.random_column_key(rng)
+    current = KeyExpr.from_column_key(source_ck, "t")
+    target = KeyExpr.from_column_key(target_ck, "t")
+    r = small_keys.random_row_id(rng)
+    row_ids = {"t": r}
+
+    ve = _encrypt(small_keys, v, current, row_ids)
+    se = _encrypt(small_keys, 1, KeyExpr.from_column_key(helper_ck, "t"), row_ids)
+
+    params = keyops.key_update_params(small_keys, current, target, {"t": helper_ck})
+    updated = params.p * ve % small_keys.n
+    for source, q in params.q_by_source:
+        assert source == "t"
+        updated = updated * pow(se, q, small_keys.n) % small_keys.n
+
+    assert _decrypt(small_keys, updated, target, row_ids) == v
+
+
+@settings(max_examples=60)
+@given(v=VALUES, seed=st.integers(0, 2**16))
+def test_key_update_to_row_independent_key(small_keys, v, seed):
+    """Alignment to <m', 0>: the SUM/token target."""
+    rng = seeded_rng(seed)
+    source_ck = small_keys.random_column_key(rng)
+    helper_ck = keyops.aux_column_key(small_keys, rng)
+    target, m_token = keyops.token_key(small_keys, rng)
+    current = KeyExpr.from_column_key(source_ck, "t")
+    r = small_keys.random_row_id(rng)
+    row_ids = {"t": r}
+
+    ve = _encrypt(small_keys, v, current, row_ids)
+    se = _encrypt(small_keys, 1, KeyExpr.from_column_key(helper_ck, "t"), row_ids)
+    params = keyops.key_update_params(small_keys, current, target, {"t": helper_ck})
+    updated = params.p * ve % small_keys.n
+    for _, q in params.q_by_source:
+        updated = updated * pow(se, q, small_keys.n) % small_keys.n
+
+    # decryptable WITHOUT a row id
+    assert target.is_row_independent
+    assert decode_signed(updated * m_token % small_keys.n, small_keys.n) == v
+
+
+@settings(max_examples=60)
+@given(v=VALUES, w=VALUES, seed=st.integers(0, 2**16))
+def test_key_update_multi_term(small_keys, v, w, seed):
+    """A two-term key (cross-table product) aligned to a token key."""
+    if abs(v * w) >= 2**23:
+        v, w = v % 1000, w % 1000
+    rng = seeded_rng(seed)
+    ka = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t1")
+    kb = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t2")
+    h1 = keyops.aux_column_key(small_keys, rng)
+    h2 = keyops.aux_column_key(small_keys, rng)
+    row_ids = {"t1": small_keys.random_row_id(rng), "t2": small_keys.random_row_id(rng)}
+
+    ae = _encrypt(small_keys, v, ka, row_ids)
+    be = _encrypt(small_keys, w, kb, row_ids)
+    product = ae * be % small_keys.n
+    kc = keyops.multiply_keys(small_keys, ka, kb)
+
+    s1 = _encrypt(small_keys, 1, KeyExpr.from_column_key(h1, "t1"), row_ids)
+    s2 = _encrypt(small_keys, 1, KeyExpr.from_column_key(h2, "t2"), row_ids)
+    target, m_token = keyops.token_key(small_keys, rng)
+    params = keyops.key_update_params(
+        small_keys, kc, target, {"t1": h1, "t2": h2}
+    )
+    helpers = {"t1": s1, "t2": s2}
+    updated = params.p * product % small_keys.n
+    for source, q in params.q_by_source:
+        updated = updated * pow(helpers[source], q, small_keys.n) % small_keys.n
+
+    assert decode_signed(updated * m_token % small_keys.n, small_keys.n) == v * w
+
+
+@settings(max_examples=60)
+@given(v=VALUES, seed=st.integers(0, 2**16))
+def test_reveal_key_hands_sp_masked_value(small_keys, v, seed):
+    """Key-update to <rho^-1, 0> gives the SP exactly v * rho mod n."""
+    rng = seeded_rng(seed)
+    source_ck = small_keys.random_column_key(rng)
+    helper_ck = keyops.aux_column_key(small_keys, rng)
+    rho = rng.randrange(1, 2**16)
+    target = keyops.reveal_key(small_keys, rho)
+    current = KeyExpr.from_column_key(source_ck, "t")
+    r = small_keys.random_row_id(rng)
+    row_ids = {"t": r}
+
+    ve = _encrypt(small_keys, v, current, row_ids)
+    se = _encrypt(small_keys, 1, KeyExpr.from_column_key(helper_ck, "t"), row_ids)
+    params = keyops.key_update_params(small_keys, current, target, {"t": helper_ck})
+    updated = params.p * ve % small_keys.n
+    for _, q in params.q_by_source:
+        updated = updated * pow(se, q, small_keys.n) % small_keys.n
+
+    assert updated == (v * rho) % small_keys.n
+    # and the sign of v is readable from the masked value
+    if v != 0 and abs(v) * rho < small_keys.n // 2:
+        assert (updated < small_keys.n // 2) == (v > 0)
+
+
+@settings(max_examples=60)
+@given(c=st.integers(min_value=1, max_value=2**20), v=VALUES, seed=st.integers(0, 2**16))
+def test_do_side_plain_multiplication_key(small_keys, c, v, seed):
+    """A*c with the share untouched: only the key changes (if c is a unit)."""
+    if gcd(c, small_keys.n) != 1 or abs(c * v) >= 2**23:
+        return
+    rng = seeded_rng(seed)
+    ka = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t")
+    r = small_keys.random_row_id(rng)
+    row_ids = {"t": r}
+    ae = _encrypt(small_keys, v, ka, row_ids)
+    kc = keyops.multiply_key_plain(small_keys, ka, c)
+    assert _decrypt(small_keys, ae, kc, row_ids) == c * v
+
+
+def test_key_update_requires_helper(small_keys):
+    rng = seeded_rng(1)
+    current = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t")
+    target = KeyExpr.from_column_key(small_keys.random_column_key(rng), "t")
+    with pytest.raises(KeyError):
+        keyops.key_update_params(small_keys, current, target, {})
+
+
+def test_key_update_noop_when_keys_equal(small_keys):
+    rng = seeded_rng(2)
+    ck = small_keys.random_column_key(rng)
+    current = KeyExpr.from_column_key(ck, "t")
+    params = keyops.key_update_params(small_keys, current, current, {})
+    assert params.p == 1
+    assert params.q_by_source == ()
+
+
+def test_keyexpr_canonical_form():
+    a = KeyExpr.make(5, {"b": 2, "a": 3})
+    b = KeyExpr.make(5, {"a": 3, "b": 2})
+    assert a == b
+    assert KeyExpr.make(5, {"a": 0}).is_row_independent

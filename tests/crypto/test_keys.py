@@ -1,0 +1,96 @@
+"""Tests for system and column key generation."""
+
+import pytest
+
+from repro.crypto import ntheory
+from repro.crypto.keys import (
+    ColumnKey,
+    SystemKeys,
+    generate_system_keys,
+    testing_system_keys as _testing_system_keys,
+)
+from repro.crypto.prf import seeded_rng
+
+
+def test_generate_system_keys_structure():
+    keys = generate_system_keys(modulus_bits=64, rng=seeded_rng(1), value_bits=24)
+    assert keys.n == keys.rho1 * keys.rho2
+    assert keys.phi == (keys.rho1 - 1) * (keys.rho2 - 1)
+    assert ntheory.is_prime(keys.rho1)
+    assert ntheory.is_prime(keys.rho2)
+    assert keys.rho1 != keys.rho2
+    assert ntheory.gcd(keys.g, keys.n) == 1
+    assert keys.n.bit_length() in (63, 64)
+
+
+def test_generation_is_reproducible_with_rng():
+    a = generate_system_keys(modulus_bits=64, rng=seeded_rng(42), value_bits=24)
+    b = generate_system_keys(modulus_bits=64, rng=seeded_rng(42), value_bits=24)
+    assert (a.n, a.g, a.rho1, a.rho2) == (b.n, b.g, b.rho1, b.rho2)
+
+
+def test_rsa_property_holds():
+    """a^(e*d) == a mod n whenever e*d == 1 mod phi(n) (paper Section 2.1)."""
+    keys = generate_system_keys(modulus_bits=64, rng=seeded_rng(3), value_bits=24)
+    e = 65537
+    d = ntheory.modinv(e, keys.phi)
+    for a in [2, 12345, keys.n - 2]:
+        assert pow(a, e * d, keys.n) == a % keys.n
+
+
+def test_modulus_too_small_for_domain_rejected():
+    with pytest.raises(ValueError):
+        generate_system_keys(modulus_bits=16, value_bits=32, rng=seeded_rng(0))
+
+
+def test_tiny_modulus_request_rejected():
+    with pytest.raises(ValueError):
+        generate_system_keys(modulus_bits=8, rng=seeded_rng(0))
+
+
+def test_system_keys_validation():
+    with pytest.raises(ValueError):
+        SystemKeys(n=36, g=5, rho1=5, rho2=7, phi=24, value_bits=3)
+    with pytest.raises(ValueError):
+        SystemKeys(n=35, g=5, rho1=5, rho2=7, phi=20, value_bits=3)
+    with pytest.raises(ValueError):
+        SystemKeys(n=35, g=7, rho1=5, rho2=7, phi=24, value_bits=3)  # g not unit
+
+
+def test_public_params_hide_secrets():
+    keys = _testing_system_keys(rng=seeded_rng(4))
+    pub = keys.public
+    assert pub.n == keys.n
+    assert not hasattr(pub, "g")
+    assert not hasattr(pub, "phi")
+    assert not hasattr(pub, "rho1")
+
+
+def test_random_column_key_in_range():
+    keys = _testing_system_keys(rng=seeded_rng(5))
+    rng = seeded_rng(6)
+    for _ in range(20):
+        ck = keys.random_column_key(rng)
+        assert 0 < ck.m < keys.n
+        assert 0 < ck.x < keys.phi
+        assert ntheory.gcd(ck.m, keys.n) == 1
+
+
+def test_column_key_json_roundtrip():
+    ck = ColumnKey(m=123456789, x=987654321)
+    assert ColumnKey.from_json(ck.to_json()) == ck
+
+
+def test_column_key_rejects_nonpositive_m():
+    with pytest.raises(ValueError):
+        ColumnKey(m=0, x=5)
+    with pytest.raises(ValueError):
+        ColumnKey(m=3, x=-1)
+
+
+def test_random_row_id_in_range():
+    keys = _testing_system_keys(rng=seeded_rng(7))
+    rng = seeded_rng(8)
+    for _ in range(50):
+        r = keys.random_row_id(rng)
+        assert 0 < r < keys.n

@@ -1,0 +1,105 @@
+"""Unit and property tests for the number-theory substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ntheory
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 9, 561, 1105, 2047, 25326001, 3215031751]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_is_prime_accepts_known_primes(p):
+    assert ntheory.is_prime(p)
+
+
+@pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+def test_is_prime_rejects_composites_and_carmichaels(c):
+    assert not ntheory.is_prime(c)
+
+
+def test_is_prime_large_probabilistic_branch():
+    # 2^89 - 1 is a Mersenne prime above the deterministic bound.
+    assert ntheory.is_prime(2**89 - 1)
+    assert not ntheory.is_prime((2**89 - 1) * 3)
+
+
+@pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+def test_random_prime_has_requested_size(bits):
+    rng = random.Random(7)
+    p = ntheory.random_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert ntheory.is_prime(p)
+
+
+def test_random_prime_rejects_tiny_request():
+    with pytest.raises(ValueError):
+        ntheory.random_prime(1)
+
+
+def test_random_prime_deterministic_with_seeded_rng():
+    assert ntheory.random_prime(32, random.Random(5)) == ntheory.random_prime(
+        32, random.Random(5)
+    )
+
+
+@given(st.integers(min_value=-10**9, max_value=10**9),
+       st.integers(min_value=-10**9, max_value=10**9))
+def test_egcd_bezout_identity(a, b):
+    g, s, t = ntheory.egcd(a, b)
+    assert a * s + b * t == g
+
+
+@given(st.integers(min_value=2, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+def test_modinv_when_coprime(m, a):
+    if ntheory.gcd(a, m) != 1:
+        with pytest.raises(ValueError):
+            ntheory.modinv(a, m)
+    else:
+        inv = ntheory.modinv(a, m)
+        assert 0 <= inv < m
+        assert a * inv % m == 1
+
+
+def test_modinv_no_inverse_raises():
+    with pytest.raises(ValueError):
+        ntheory.modinv(6, 9)
+
+
+@given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=0, max_value=10**12))
+def test_gcd_matches_math(a, b):
+    import math
+
+    assert ntheory.gcd(a, b) == math.gcd(a, b)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=10, max_value=10**6))
+def test_random_unit_is_coprime_and_in_range(n):
+    rng = random.Random(n)
+    u = ntheory.random_unit(n, rng)
+    assert 2 <= u < n
+    assert ntheory.gcd(u, n) == 1
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=3, max_value=10**6))
+def test_random_below_in_range(n):
+    rng = random.Random(n)
+    v = ntheory.random_below(n, rng)
+    assert 1 <= v < n
+
+
+def test_crt_pair_reconstructs():
+    # residues of 123 mod 7 and mod 11
+    assert ntheory.crt_pair(123 % 7, 7, 123 % 11, 11) == 123 % 77
+
+
+def test_crt_pair_requires_coprime_moduli():
+    with pytest.raises(ValueError):
+        ntheory.crt_pair(1, 6, 2, 9)

@@ -1,0 +1,108 @@
+"""Tests for the secret sharing scheme, including paper Figure 1 verbatim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import secret_sharing as ss
+from repro.crypto.encoding import decode_signed, encode_signed
+from repro.crypto.keys import ColumnKey
+from repro.crypto.prf import seeded_rng
+
+
+class TestPaperFigure1:
+    """The worked example of Figure 1: g=2, n=35, ck_A=<2,2>.
+
+    Rows (row-id, value): (1, 2), (2, 4), (8, 3) must produce item keys
+    8, 32, 32 and encrypted values 9, 22, 34.
+    """
+
+    CK = ColumnKey(m=2, x=2)
+    ROWS = [(1, 2), (2, 4), (8, 3)]
+    EXPECTED_ITEM_KEYS = [8, 32, 32]
+    EXPECTED_SHARES = [9, 22, 34]
+
+    def test_item_keys_match_figure(self, paper_figure_keys):
+        vks = [ss.item_key(paper_figure_keys, r, self.CK) for r, _ in self.ROWS]
+        assert vks == self.EXPECTED_ITEM_KEYS
+
+    def test_encrypted_values_match_figure(self, paper_figure_keys):
+        shares = []
+        for r, v in self.ROWS:
+            vk = ss.item_key(paper_figure_keys, r, self.CK)
+            shares.append(ss.encrypt_value(paper_figure_keys, v, vk))
+        assert shares == self.EXPECTED_SHARES
+
+    def test_decryption_recovers_figure_values(self, paper_figure_keys):
+        for (r, v), ve in zip(self.ROWS, self.EXPECTED_SHARES):
+            vk = ss.item_key(paper_figure_keys, r, self.CK)
+            assert ss.decrypt_value(paper_figure_keys, ve, vk) == v
+
+
+@settings(max_examples=200)
+@given(value=st.integers(min_value=-(2**23) + 1, max_value=2**23 - 1), seed=st.integers(0, 2**16))
+def test_roundtrip_any_signed_value(small_keys, value, seed):
+    rng = seeded_rng(seed)
+    ck = small_keys.random_column_key(rng)
+    r = small_keys.random_row_id(rng)
+    vk = ss.item_key(small_keys, r, ck)
+    ve = ss.encrypt_value(small_keys, encode_signed(value, small_keys.n), vk)
+    back = ss.decrypt_value(small_keys, ve, vk)
+    assert decode_signed(back, small_keys.n) == value
+
+
+@settings(max_examples=50)
+@given(seed=st.integers(0, 2**16))
+def test_share_depends_on_row_id(small_keys, seed):
+    """Same value in two rows must (w.h.p.) produce different shares."""
+    rng = seeded_rng(seed)
+    ck = small_keys.random_column_key(rng)
+    r1, r2 = small_keys.random_row_id(rng), small_keys.random_row_id(rng)
+    if r1 == r2 or ck.x == 0:
+        return
+    v = 12345
+    vk1 = ss.item_key(small_keys, r1, ck)
+    vk2 = ss.item_key(small_keys, r2, ck)
+    ve1 = ss.encrypt_value(small_keys, v, vk1)
+    ve2 = ss.encrypt_value(small_keys, v, vk2)
+    # identical only if g^(r1 x) == g^(r2 x); astronomically unlikely and
+    # excluded for this fixed seed set
+    assert ve1 != ve2 or vk1 == vk2
+
+
+def test_column_roundtrip(small_keys):
+    rng = seeded_rng(99)
+    ck = small_keys.random_column_key(rng)
+    values = [encode_signed(v, small_keys.n) for v in [0, 1, -1, 1000, -99999]]
+    row_ids = [small_keys.random_row_id(rng) for _ in values]
+    shares = ss.encrypt_column(small_keys, values, row_ids, ck)
+    assert ss.decrypt_column(small_keys, shares, row_ids, ck) == values
+
+
+def test_share_alone_reveals_nothing_definite(small_keys):
+    """Any share is consistent with any plaintext (perfect ambiguity).
+
+    For a fixed share ve and *any* candidate value v' there exists an item
+    key vk' with D(ve, vk') = v' -- multiplicative sharing is a one-time-pad
+    in Z_n* (up to non-unit values).
+    """
+    rng = seeded_rng(5)
+    ck = small_keys.random_column_key(rng)
+    r = small_keys.random_row_id(rng)
+    vk = ss.item_key(small_keys, r, ck)
+    ve = ss.encrypt_value(small_keys, 4242, vk)
+    from repro.crypto.ntheory import modinv
+
+    for candidate in [1, 7, 100000, 2**23 - 1]:
+        vk_candidate = candidate * modinv(ve, small_keys.n) % small_keys.n
+        assert ss.decrypt_value(small_keys, ve, vk_candidate) == candidate
+
+
+def test_zero_encrypts_to_zero(small_keys):
+    """0 is a fixed point of multiplicative sharing (used by CASE ... ELSE 0)."""
+    rng = seeded_rng(6)
+    ck = small_keys.random_column_key(rng)
+    r = small_keys.random_row_id(rng)
+    vk = ss.item_key(small_keys, r, ck)
+    assert ss.encrypt_value(small_keys, 0, vk) == 0
+    assert ss.decrypt_value(small_keys, 0, vk) == 0

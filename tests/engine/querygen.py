@@ -1,0 +1,147 @@
+"""Random query generation for differential testing.
+
+Generates SELECT statements inside the semantic core our engine shares
+with SQLite (the oracle): integer arithmetic without division, string
+equality/LIKE, NULL-free ORDER BY keys, non-DISTINCT aggregates.  Staying
+inside that core means every mismatch is a real bug in one engine, not a
+dialect difference.
+"""
+
+from __future__ import annotations
+
+import random
+
+COLUMNS = {
+    "t1": [("a", "int"), ("b", "int"), ("c", "str"), ("d", "int")],
+    "t2": [("x", "int"), ("y", "int"), ("z", "str")],
+}
+
+STRINGS = ["red", "green", "blue", "teal", "pink"]
+
+
+def random_rows(rng: random.Random, table: str, count: int) -> list[tuple]:
+    rows = []
+    for _ in range(count):
+        row = []
+        for _, kind in COLUMNS[table]:
+            if kind == "int":
+                # small domain forces join/group collisions; ~10% NULLs
+                row.append(None if rng.random() < 0.1 else rng.randint(-20, 20))
+            else:
+                row.append(rng.choice(STRINGS))
+        rows.append(tuple(row))
+    return rows
+
+
+class QueryGenerator:
+    """Draws random queries over the fixed two-table schema."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def query(self) -> str:
+        if self.rng.random() < 0.25:
+            return self._join_query()
+        return self._single_table_query()
+
+    # -- building blocks -----------------------------------------------------
+
+    def _int_column(self, table: str) -> str:
+        name = self.rng.choice(
+            [c for c, kind in COLUMNS[table] if kind == "int"]
+        )
+        return name
+
+    def _str_column(self, table: str) -> str:
+        return self.rng.choice(
+            [c for c, kind in COLUMNS[table] if kind == "str"]
+        )
+
+    def _int_expr(self, table: str, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.45:
+            return self._int_column(table)
+        if roll < 0.65:
+            return str(self.rng.randint(-10, 10))
+        op = self.rng.choice(["+", "-", "*"])
+        return (
+            f"({self._int_expr(table, depth + 1)} {op} "
+            f"{self._int_expr(table, depth + 1)})"
+        )
+
+    def _predicate(self, table: str, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth < 2 and roll < 0.3:
+            joiner = self.rng.choice(["AND", "OR"])
+            return (
+                f"({self._predicate(table, depth + 1)} {joiner} "
+                f"{self._predicate(table, depth + 1)})"
+            )
+        kind = self.rng.choice(["cmp", "between", "in", "str", "null"])
+        if kind == "cmp":
+            op = self.rng.choice(["=", "<>", "<", "<=", ">", ">="])
+            return f"{self._int_expr(table)} {op} {self._int_expr(table)}"
+        if kind == "between":
+            low = self.rng.randint(-15, 5)
+            return (
+                f"{self._int_column(table)} BETWEEN {low} "
+                f"AND {low + self.rng.randint(0, 15)}"
+            )
+        if kind == "in":
+            values = ", ".join(
+                str(self.rng.randint(-10, 10)) for _ in range(self.rng.randint(1, 4))
+            )
+            return f"{self._int_column(table)} IN ({values})"
+        if kind == "str":
+            return f"{self._str_column(table)} = '{self.rng.choice(STRINGS)}'"
+        return f"{self._int_column(table)} IS NOT NULL"
+
+    # -- statement shapes ------------------------------------------------------
+
+    def _single_table_query(self) -> str:
+        table = self.rng.choice(list(COLUMNS))
+        if self.rng.random() < 0.4:
+            return self._aggregate_query(table)
+        columns = [c for c, _ in COLUMNS[table]]
+        self.rng.shuffle(columns)
+        selected = columns[: self.rng.randint(1, len(columns))]
+        sql = f"SELECT {', '.join(selected)} FROM {table}"
+        if self.rng.random() < 0.8:
+            sql += f" WHERE {self._predicate(table)}"
+        if self.rng.random() < 0.3:
+            sql = sql.replace("SELECT", "SELECT DISTINCT", 1)
+        return sql
+
+    def _aggregate_query(self, table: str) -> str:
+        aggs = []
+        for _ in range(self.rng.randint(1, 3)):
+            func = self.rng.choice(["COUNT", "SUM", "MIN", "MAX", "AVG"])
+            if func == "COUNT" and self.rng.random() < 0.5:
+                aggs.append(f"COUNT(*) AS agg{len(aggs)}")
+            else:
+                aggs.append(
+                    f"{func}({self._int_expr(table)}) AS agg{len(aggs)}"
+                )
+        group = self.rng.random() < 0.5
+        items = aggs
+        key = None
+        if group:
+            key = self._str_column(table)
+            items = [key] + aggs
+        sql = f"SELECT {', '.join(items)} FROM {table}"
+        if self.rng.random() < 0.6:
+            sql += f" WHERE {self._predicate(table)}"
+        if group:
+            sql += f" GROUP BY {key}"
+            if self.rng.random() < 0.3:
+                sql += " HAVING COUNT(*) >= 2"
+        return sql
+
+    def _join_query(self) -> str:
+        predicate = f"t1.{self._int_column('t1')} = t2.{self._int_column('t2')}"
+        sql = (
+            f"SELECT t1.a, t1.c, t2.y FROM t1, t2 WHERE {predicate}"
+        )
+        if self.rng.random() < 0.6:
+            sql += f" AND {self._predicate('t1')}"
+        return sql

@@ -1,0 +1,138 @@
+"""Engine-level DML: mutation of catalog tables."""
+
+import pytest
+
+from repro.engine import Catalog, ColumnSpec, DataType, Engine, Schema, Table
+from repro.engine.dml import DMLError
+
+
+@pytest.fixture()
+def engine():
+    catalog = Catalog()
+    schema = Schema(
+        (
+            ColumnSpec("id", DataType.INT),
+            ColumnSpec("name", DataType.STRING),
+            ColumnSpec("balance", DataType.INT),
+        )
+    )
+    table = Table.from_rows(
+        schema,
+        [
+            (1, "ada", 100),
+            (2, "bob", 250),
+            (3, "cyd", 300),
+        ],
+    )
+    catalog.create("accounts", table)
+    return Engine(catalog)
+
+
+def test_insert_all_columns(engine):
+    affected = engine.execute_dml("INSERT INTO accounts VALUES (4, 'dan', 50)")
+    assert affected == 1
+    result = engine.execute("SELECT COUNT(*) AS c FROM accounts")
+    assert result.column("c") == [4]
+
+
+def test_insert_column_subset_pads_nulls(engine):
+    engine.execute_dml("INSERT INTO accounts (id, name) VALUES (9, 'eve')")
+    result = engine.execute("SELECT balance FROM accounts WHERE id = 9")
+    assert result.column("balance") == [None]
+
+
+def test_insert_multiple_rows(engine):
+    affected = engine.execute_dml(
+        "INSERT INTO accounts (id, balance, name) VALUES "
+        "(10, 1, 'x'), (11, 2, 'y'), (12, 3, 'z')"
+    )
+    assert affected == 3
+    result = engine.execute("SELECT SUM(balance) AS s FROM accounts WHERE id >= 10")
+    assert result.column("s") == [6]
+
+
+def test_insert_evaluates_expressions(engine):
+    engine.execute_dml("INSERT INTO accounts (id, balance) VALUES (20, 7 * 6)")
+    result = engine.execute("SELECT balance FROM accounts WHERE id = 20")
+    assert result.column("balance") == [42]
+
+
+def test_insert_unknown_column_rejected(engine):
+    with pytest.raises(DMLError):
+        engine.execute_dml("INSERT INTO accounts (nope) VALUES (1)")
+
+
+def test_insert_without_columns_requires_full_width(engine):
+    with pytest.raises(DMLError):
+        engine.execute_dml("INSERT INTO accounts VALUES (1, 'x')")
+
+
+def test_update_with_predicate(engine):
+    affected = engine.execute_dml(
+        "UPDATE accounts SET balance = balance + 10 WHERE balance >= 250"
+    )
+    assert affected == 2
+    result = engine.execute("SELECT balance FROM accounts ORDER BY id")
+    assert result.column("balance") == [100, 260, 310]
+
+
+def test_update_all_rows(engine):
+    affected = engine.execute_dml("UPDATE accounts SET balance = 0")
+    assert affected == 3
+    result = engine.execute("SELECT SUM(balance) AS s FROM accounts")
+    assert result.column("s") == [0]
+
+
+def test_update_sees_pre_update_values(engine):
+    # swap-like update: both assignments read the original row
+    engine.execute_dml("UPDATE accounts SET balance = id, id = balance WHERE id = 1")
+    result = engine.execute("SELECT id, balance FROM accounts WHERE balance = 1")
+    assert result.column("id") == [100]
+
+
+def test_update_unknown_column_rejected(engine):
+    with pytest.raises(DMLError):
+        engine.execute_dml("UPDATE accounts SET nope = 1")
+
+
+def test_delete_with_predicate(engine):
+    affected = engine.execute_dml("DELETE FROM accounts WHERE balance > 200")
+    assert affected == 2
+    result = engine.execute("SELECT id FROM accounts")
+    assert result.column("id") == [1]
+
+
+def test_delete_all(engine):
+    assert engine.execute_dml("DELETE FROM accounts") == 3
+    result = engine.execute("SELECT COUNT(*) AS c FROM accounts")
+    assert result.column("c") == [0]
+
+
+def test_delete_matching_nothing(engine):
+    assert engine.execute_dml("DELETE FROM accounts WHERE id = 999") == 0
+
+
+def test_dml_unknown_table_rejected(engine):
+    with pytest.raises(DMLError):
+        engine.execute_dml("DELETE FROM missing")
+
+
+def test_dml_invalidates_scan_caches(engine):
+    before = engine.execute("SELECT COUNT(*) AS c FROM accounts").column("c")[0]
+    engine.execute_dml("INSERT INTO accounts VALUES (4, 'dan', 50)")
+    after = engine.execute("SELECT COUNT(*) AS c FROM accounts").column("c")[0]
+    assert (before, after) == (3, 4)
+
+
+def test_table_keep_rows_mask_length_checked():
+    schema = Schema((ColumnSpec("a", DataType.INT),))
+    table = Table.from_rows(schema, [(1,), (2,)])
+    with pytest.raises(ValueError):
+        table.keep_rows([True])
+
+
+def test_table_append_rows_width_checked():
+    schema = Schema((ColumnSpec("a", DataType.INT),))
+    table = Table.from_rows(schema, [(1,)])
+    with pytest.raises(ValueError):
+        table.append_rows([(1, 2)])

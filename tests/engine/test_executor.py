@@ -1,0 +1,303 @@
+"""Behavioural tests for the SQL executor."""
+
+import datetime
+
+import pytest
+
+from repro.engine import Catalog, Engine, Table
+from repro.engine.executor import ExecutionError
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.udf import AggregateUDF
+
+
+@pytest.fixture()
+def engine():
+    catalog = Catalog()
+    catalog.create(
+        "emp",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("id", DataType.INT),
+                ColumnSpec("name", DataType.STRING),
+                ColumnSpec("dept", DataType.STRING),
+                ColumnSpec("salary", DataType.INT),
+                ColumnSpec("hired", DataType.DATE),
+            ),
+            [
+                (1, "ann", "eng", 100, datetime.date(2019, 1, 1)),
+                (2, "bob", "eng", 80, datetime.date(2020, 6, 1)),
+                (3, "cat", "ops", 70, datetime.date(2018, 3, 15)),
+                (4, "dan", "ops", 90, datetime.date(2021, 2, 28)),
+                (5, "eve", "hr", 60, datetime.date(2022, 12, 31)),
+            ],
+        ),
+    )
+    catalog.create(
+        "dept",
+        Table.from_rows(
+            Schema.of(
+                ColumnSpec("dname", DataType.STRING),
+                ColumnSpec("budget", DataType.INT),
+            ),
+            [("eng", 1000), ("ops", 500), ("fin", 250)],
+        ),
+    )
+    return Engine(catalog)
+
+
+def test_select_all(engine):
+    t = engine.execute("SELECT * FROM emp")
+    assert t.num_rows == 5
+    assert t.schema.names == ("id", "name", "dept", "salary", "hired")
+
+
+def test_projection_and_arithmetic(engine):
+    t = engine.execute("SELECT name, salary * 2 AS double FROM emp WHERE id = 1")
+    assert t.to_dicts() == [{"name": "ann", "double": 200}]
+
+
+def test_where_filters(engine):
+    t = engine.execute("SELECT id FROM emp WHERE salary >= 80 AND dept = 'eng'")
+    assert t.column("id") == [1, 2]
+
+
+def test_between_and_in(engine):
+    t = engine.execute("SELECT id FROM emp WHERE salary BETWEEN 70 AND 90")
+    assert t.column("id") == [2, 3, 4]
+    t = engine.execute("SELECT id FROM emp WHERE dept IN ('hr', 'ops')")
+    assert t.column("id") == [3, 4, 5]
+
+
+def test_like(engine):
+    t = engine.execute("SELECT name FROM emp WHERE name LIKE '%a%'")
+    assert t.column("name") == ["ann", "cat", "dan"]
+
+
+def test_order_by_and_limit(engine):
+    t = engine.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+    assert t.column("name") == ["ann", "dan"]
+
+
+def test_order_by_alias(engine):
+    t = engine.execute("SELECT name, salary * 2 AS s2 FROM emp ORDER BY s2")
+    assert t.column("name") == ["eve", "cat", "bob", "dan", "ann"]
+
+
+def test_order_by_multiple_keys(engine):
+    t = engine.execute("SELECT dept, name FROM emp ORDER BY dept, name DESC")
+    assert t.column("name") == ["bob", "ann", "eve", "dan", "cat"]
+
+
+def test_distinct(engine):
+    t = engine.execute("SELECT DISTINCT dept FROM emp ORDER BY dept")
+    assert t.column("dept") == ["eng", "hr", "ops"]
+
+
+def test_global_aggregates(engine):
+    t = engine.execute("SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) FROM emp")
+    row = t.row(0)
+    assert row == (5, 400, 60, 100, 80.0)
+
+
+def test_global_aggregate_empty_input(engine):
+    t = engine.execute("SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 999")
+    assert t.row(0) == (0, None)
+
+
+def test_group_by_having(engine):
+    t = engine.execute(
+        "SELECT dept, COUNT(*) AS c, SUM(salary) AS s FROM emp "
+        "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept"
+    )
+    assert t.to_dicts() == [
+        {"dept": "eng", "c": 2, "s": 180},
+        {"dept": "ops", "c": 2, "s": 160},
+    ]
+
+
+def test_group_by_expression(engine):
+    t = engine.execute(
+        "SELECT EXTRACT(YEAR FROM hired) AS y, COUNT(*) AS c FROM emp GROUP BY EXTRACT(YEAR FROM hired) ORDER BY y"
+    )
+    assert t.column("y") == [2018, 2019, 2020, 2021, 2022]
+
+
+def test_count_distinct(engine):
+    t = engine.execute("SELECT COUNT(DISTINCT dept) FROM emp")
+    assert t.row(0) == (3,)
+
+
+def test_inner_join(engine):
+    t = engine.execute(
+        "SELECT e.name, d.budget FROM emp e JOIN dept d ON e.dept = d.dname "
+        "ORDER BY e.name"
+    )
+    assert t.num_rows == 4  # eve's hr has no dept row
+    assert t.to_dicts()[0] == {"name": "ann", "budget": 1000}
+
+
+def test_left_join_pads_nulls(engine):
+    t = engine.execute(
+        "SELECT e.name, d.budget FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.dname "
+        "WHERE d.budget IS NULL"
+    )
+    assert t.to_dicts() == [{"name": "eve", "budget": None}]
+
+
+def test_comma_join_with_where(engine):
+    t = engine.execute(
+        "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname AND d.budget > 600 ORDER BY e.name"
+    )
+    assert t.column("name") == ["ann", "bob"]
+
+
+def test_join_with_residual_condition(engine):
+    t = engine.execute(
+        "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dname AND e.salary < d.budget "
+        "ORDER BY e.name"
+    )
+    assert t.column("name") == ["ann", "bob", "cat", "dan"]
+
+
+def test_self_join_with_aliases(engine):
+    t = engine.execute(
+        "SELECT a.name, b.name FROM emp a JOIN emp b ON a.dept = b.dept "
+        "WHERE a.id < b.id ORDER BY a.id"
+    )
+    assert t.num_rows == 2  # (ann,bob), (cat,dan)
+
+
+def test_scalar_subquery(engine):
+    t = engine.execute(
+        "SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY name"
+    )
+    assert t.column("name") == ["ann", "dan"]
+
+
+def test_correlated_subquery(engine):
+    t = engine.execute(
+        "SELECT name FROM emp e WHERE salary = "
+        "(SELECT MAX(salary) FROM emp e2 WHERE e2.dept = e.dept) ORDER BY name"
+    )
+    assert t.column("name") == ["ann", "dan", "eve"]
+
+
+def test_in_subquery(engine):
+    t = engine.execute(
+        "SELECT dname FROM dept WHERE dname IN (SELECT dept FROM emp) ORDER BY dname"
+    )
+    assert t.column("dname") == ["eng", "ops"]
+
+
+def test_exists_subquery(engine):
+    t = engine.execute(
+        "SELECT dname FROM dept d WHERE EXISTS "
+        "(SELECT 1 FROM emp e WHERE e.dept = d.dname AND e.salary > 80) ORDER BY dname"
+    )
+    assert t.column("dname") == ["eng", "ops"]
+
+
+def test_not_exists(engine):
+    t = engine.execute(
+        "SELECT dname FROM dept d WHERE NOT EXISTS "
+        "(SELECT 1 FROM emp e WHERE e.dept = d.dname)"
+    )
+    assert t.column("dname") == ["fin"]
+
+
+def test_derived_table(engine):
+    t = engine.execute(
+        "SELECT s.dept, s.total FROM "
+        "(SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept) s "
+        "WHERE s.total > 100 ORDER BY s.total DESC"
+    )
+    assert t.column("dept") == ["eng", "ops"]
+
+
+def test_case_when(engine):
+    t = engine.execute(
+        "SELECT name, CASE WHEN salary >= 90 THEN 'high' WHEN salary >= 70 THEN 'mid' "
+        "ELSE 'low' END AS band FROM emp ORDER BY id"
+    )
+    assert t.column("band") == ["high", "mid", "mid", "high", "low"]
+
+
+def test_case_inside_aggregate(engine):
+    t = engine.execute(
+        "SELECT SUM(CASE WHEN dept = 'eng' THEN salary ELSE 0 END) AS eng_total FROM emp"
+    )
+    assert t.row(0) == (180,)
+
+
+def test_date_comparison_and_interval(engine):
+    t = engine.execute(
+        "SELECT name FROM emp WHERE hired < DATE '2019-06-01' + INTERVAL '1' YEAR ORDER BY name"
+    )
+    assert t.column("name") == ["ann", "cat"]
+
+
+def test_substring(engine):
+    t = engine.execute("SELECT SUBSTRING(name FROM 1 FOR 2) AS p FROM emp WHERE id = 1")
+    assert t.row(0) == ("an",)
+
+
+def test_concat(engine):
+    t = engine.execute("SELECT name || '-' || dept AS tag FROM emp WHERE id = 3")
+    assert t.row(0) == ("cat-ops",)
+
+
+def test_select_without_from(engine):
+    t = engine.execute("SELECT 1 + 2 AS three")
+    assert t.to_dicts() == [{"three": 3}]
+
+
+def test_scalar_udf(engine):
+    engine.udfs.register_scalar("double_it", lambda v: v * 2)
+    t = engine.execute("SELECT double_it(salary) AS d FROM emp WHERE id = 2")
+    assert t.row(0) == (160,)
+
+
+def test_aggregate_udf(engine):
+    class Product(AggregateUDF):
+        initial = 1
+
+        def step(self, state, value):
+            return state * value
+
+    engine.udfs.register_aggregate("product", Product())
+    t = engine.execute("SELECT dept, product(salary) AS p FROM emp GROUP BY dept ORDER BY dept")
+    assert t.column("p") == [8000, 60, 6300]
+
+
+def test_ambiguous_column_raises(engine):
+    with pytest.raises(Exception):
+        engine.execute("SELECT name FROM emp a JOIN emp b ON a.id = b.id")
+
+
+def test_unknown_table_raises(engine):
+    with pytest.raises(Exception):
+        engine.execute("SELECT * FROM nope")
+
+
+def test_unknown_column_raises(engine):
+    with pytest.raises(Exception):
+        engine.execute("SELECT nope FROM emp")
+
+
+def test_duplicate_output_names_are_disambiguated(engine):
+    t = engine.execute("SELECT a.name, b.name FROM emp a JOIN emp b ON a.id = b.id LIMIT 1")
+    assert t.schema.names == ("name", "name_1")
+
+
+def test_null_semantics_where_null_is_false(engine):
+    # comparisons with NULL (from a left join pad) do not satisfy WHERE
+    t = engine.execute(
+        "SELECT e.name FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.dname "
+        "WHERE d.budget > 0"
+    )
+    assert "eve" not in t.column("name")
+
+
+def test_order_by_ordinal(engine):
+    t = engine.execute("SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1")
+    assert t.row(0) == ("ann", 100)

@@ -1,0 +1,173 @@
+"""Expression evaluator semantics: three-valued logic, CASE, LIKE, dates.
+
+Exercised directly through tiny queries so each behaviour is pinned
+independently of join/aggregate machinery.
+"""
+
+import datetime
+
+import pytest
+
+from repro.engine import Catalog, ColumnSpec, DataType, Engine, Schema, Table
+from repro.engine.expressions import add_interval, like_to_regex
+
+
+@pytest.fixture(scope="module")
+def engine():
+    catalog = Catalog()
+    schema = Schema(
+        (
+            ColumnSpec("i", DataType.INT),
+            ColumnSpec("s", DataType.STRING),
+            ColumnSpec("d", DataType.DATE),
+        )
+    )
+    catalog.create(
+        "t",
+        Table.from_rows(
+            schema,
+            [
+                (1, "alpha", datetime.date(2020, 1, 31)),
+                (None, "beta", datetime.date(2021, 12, 1)),
+                (3, None, None),
+            ],
+        ),
+    )
+    return Engine(catalog)
+
+
+def one(engine, expr, where=None):
+    sql = f"SELECT {expr} AS v FROM t"
+    if where:
+        sql += f" WHERE {where}"
+    return engine.execute(sql).column("v")
+
+
+# -- three-valued logic -------------------------------------------------------
+
+
+def test_null_propagates_through_arithmetic(engine):
+    assert one(engine, "i + 1") == [2, None, 4]
+    assert one(engine, "i * 0") == [0, None, 0]
+
+
+def test_null_comparison_is_null(engine):
+    assert one(engine, "i = i") == [True, None, True]
+    assert one(engine, "i < 2") == [True, None, False]
+
+
+def test_and_or_short_circuit_with_null(engine):
+    # FALSE AND NULL = FALSE; TRUE OR NULL = TRUE
+    assert one(engine, "(1 = 2) AND (i = i)") == [False, False, False]
+    assert one(engine, "(1 = 1) OR (i = i)") == [True, True, True]
+    # TRUE AND NULL = NULL; FALSE OR NULL = NULL
+    assert one(engine, "(1 = 1) AND (i = i)") == [True, None, True]
+    assert one(engine, "(1 = 2) OR (i = i)") == [True, None, True]
+
+
+def test_not_null_is_null(engine):
+    assert one(engine, "NOT (i = i)") == [False, None, False]
+
+
+def test_is_null_predicates(engine):
+    assert one(engine, "i IS NULL") == [False, True, False]
+    assert one(engine, "i IS NOT NULL") == [True, False, True]
+
+
+def test_where_drops_null_predicates(engine):
+    result = engine.execute("SELECT s FROM t WHERE i > 0")
+    assert result.column("s") == ["alpha", None]
+
+
+# -- CASE ----------------------------------------------------------------------
+
+
+def test_case_first_match_wins(engine):
+    values = one(
+        engine,
+        "CASE WHEN i = 1 THEN 'one' WHEN i > 0 THEN 'many' ELSE 'none' END",
+    )
+    assert values == ["one", "none", "many"]
+
+
+def test_case_without_else_yields_null(engine):
+    assert one(engine, "CASE WHEN i = 99 THEN 'x' END") == [None, None, None]
+
+
+# -- BETWEEN / IN ---------------------------------------------------------------
+
+
+def test_between_inclusive(engine):
+    assert one(engine, "i BETWEEN 1 AND 3") == [True, None, True]
+
+
+def test_not_between(engine):
+    assert one(engine, "i NOT BETWEEN 2 AND 9") == [True, None, False]
+
+
+def test_in_list_with_null_subject(engine):
+    assert one(engine, "i IN (1, 2)") == [True, None, False]
+
+
+def test_in_list_with_null_member(engine):
+    # 3 IN (1, NULL) is NULL, not FALSE
+    assert one(engine, "i IN (1, NULL)") == [True, None, None]
+
+
+# -- LIKE -------------------------------------------------------------------------
+
+
+def test_like_patterns():
+    regex = like_to_regex("a%b_c")
+    assert regex.fullmatch("aXYZbQc")
+    assert regex.fullmatch("ab_c".replace("_", "Z"))
+    assert not regex.fullmatch("aXYZbQQc")
+
+
+def test_like_escapes_regex_metacharacters():
+    # '+' is literal, not a regex quantifier
+    regex = like_to_regex("50%+")
+    assert regex.fullmatch("50 anything +")
+    assert not regex.fullmatch("50 anything !")
+    # '.' is literal, not any-character
+    assert like_to_regex("a.b").fullmatch("a.b")
+    assert not like_to_regex("a.b").fullmatch("axb")
+
+
+def test_like_in_query(engine):
+    assert one(engine, "s LIKE '%eta'") == [False, True, None]
+    assert one(engine, "s NOT LIKE 'alp%'") == [False, True, None]
+
+
+# -- dates -----------------------------------------------------------------------
+
+
+def test_interval_month_end_clamps():
+    from repro.sql import ast
+
+    base = datetime.date(2020, 1, 31)
+    assert add_interval(base, ast.Interval(1, "month")) == datetime.date(2020, 2, 29)
+    assert add_interval(base, ast.Interval(1, "year")) == datetime.date(2021, 1, 31)
+    assert add_interval(base, ast.Interval(3, "day")) == datetime.date(2020, 2, 3)
+
+
+def test_extract_components(engine):
+    assert one(engine, "EXTRACT(year FROM d)") == [2020, 2021, None]
+    assert one(engine, "EXTRACT(month FROM d)") == [1, 12, None]
+    assert one(engine, "EXTRACT(day FROM d)") == [31, 1, None]
+
+
+def test_date_comparison(engine):
+    assert one(engine, "d < DATE '2021-01-01'") == [True, False, None]
+
+
+# -- strings -----------------------------------------------------------------------
+
+
+def test_substring(engine):
+    assert one(engine, "SUBSTRING(s FROM 1 FOR 3)") == ["alp", "bet", None]
+    assert one(engine, "SUBSTRING(s FROM 4)") == ["ha", "a", None]
+
+
+def test_concat(engine):
+    assert one(engine, "s || '!'") == ["alpha!", "beta!", None]

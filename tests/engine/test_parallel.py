@@ -1,0 +1,287 @@
+"""Partition-parallel execution: correctness, fallback, fault tolerance."""
+
+import pytest
+
+from repro.engine import Catalog, ColumnSpec, DataType, Engine, Schema, Table
+from repro.engine.parallel import (
+    FaultInjector,
+    ParallelEngine,
+    TaskFailure,
+    TaskScheduler,
+    partition_table,
+)
+
+
+def _sales_table(rows=60) -> Table:
+    schema = Schema(
+        (
+            ColumnSpec("id", DataType.INT),
+            ColumnSpec("region", DataType.STRING),
+            ColumnSpec("qty", DataType.INT),
+            ColumnSpec("price", DataType.DECIMAL, scale=2),
+        )
+    )
+    regions = ["east", "west", "north", "south"]
+    data = [
+        (i, regions[i % 4], (i * 7) % 13 + 1, float((i * 31) % 97) + 0.5)
+        for i in range(rows)
+    ]
+    return Table.from_rows(schema, data)
+
+
+@pytest.fixture()
+def engines():
+    table = _sales_table()
+    parallel_catalog = Catalog()
+    parallel_catalog.create("sales", table)
+    serial_catalog = Catalog()
+    serial_catalog.create("sales", table)
+    return (
+        ParallelEngine(parallel_catalog, num_partitions=4),
+        Engine(serial_catalog),
+    )
+
+
+def assert_equivalent(engines, sql, ordered=False):
+    parallel, serial = engines
+    expected = serial.execute(sql)
+    actual = parallel.execute(sql)
+    assert actual.schema.names == expected.schema.names
+    expected_rows = list(expected.rows())
+    actual_rows = list(actual.rows())
+    if not ordered:
+        expected_rows = sorted(expected_rows, key=repr)
+        actual_rows = sorted(actual_rows, key=repr)
+    assert len(actual_rows) == len(expected_rows)
+    for e, a in zip(expected_rows, actual_rows):
+        for ev, av in zip(e, a):
+            if isinstance(ev, float):
+                assert av == pytest.approx(ev, rel=1e-9)
+            else:
+                assert av == ev
+    return parallel.last_plan
+
+
+# -- partitioning -------------------------------------------------------------
+
+
+def test_partition_sizes_balanced():
+    parts = partition_table(_sales_table(10), 3)
+    assert [p.num_rows for p in parts] == [4, 3, 3]
+
+
+def test_partition_preserves_rows():
+    table = _sales_table(17)
+    parts = partition_table(table, 5)
+    rebuilt = [row for part in parts for row in part.rows()]
+    assert rebuilt == list(table.rows())
+
+
+def test_partition_more_than_rows():
+    parts = partition_table(_sales_table(2), 8)
+    assert len(parts) == 2
+
+
+def test_partition_empty_table():
+    parts = partition_table(Table.empty(_sales_table(1).schema), 4)
+    assert len(parts) == 1
+    assert parts[0].num_rows == 0
+
+
+def test_partition_rejects_zero():
+    with pytest.raises(ValueError):
+        partition_table(_sales_table(4), 0)
+
+
+# -- parallel == serial -----------------------------------------------------------
+
+
+def test_scan_filter_project(engines):
+    plan = assert_equivalent(
+        engines, "SELECT id, qty * 2 AS dqty FROM sales WHERE qty > 5"
+    )
+    assert plan.mode == "parallel"
+    assert plan.partitions == 4
+
+
+def test_global_sum(engines):
+    plan = assert_equivalent(engines, "SELECT SUM(qty) AS total FROM sales")
+    assert plan.mode == "parallel"
+
+
+def test_global_count_star(engines):
+    assert_equivalent(engines, "SELECT COUNT(*) AS c FROM sales")
+
+
+def test_global_min_max(engines):
+    assert_equivalent(
+        engines, "SELECT MIN(price) AS lo, MAX(price) AS hi FROM sales"
+    )
+
+
+def test_global_avg(engines):
+    assert_equivalent(engines, "SELECT AVG(qty) AS mean FROM sales")
+
+
+def test_grouped_aggregates(engines):
+    plan = assert_equivalent(
+        engines,
+        "SELECT region, COUNT(*) AS c, SUM(qty) AS q, AVG(price) AS p "
+        "FROM sales GROUP BY region",
+    )
+    assert plan.mode == "parallel"
+
+
+def test_grouped_with_having(engines):
+    assert_equivalent(
+        engines,
+        "SELECT region, SUM(qty) AS q FROM sales GROUP BY region "
+        "HAVING SUM(qty) > 50",
+    )
+
+
+def test_grouped_with_order_and_limit(engines):
+    assert_equivalent(
+        engines,
+        "SELECT region, SUM(qty) AS q FROM sales GROUP BY region "
+        "ORDER BY q DESC LIMIT 2",
+        ordered=True,
+    )
+
+
+def test_aggregate_expression_of_aggregates(engines):
+    assert_equivalent(
+        engines,
+        "SELECT SUM(price) / COUNT(*) AS unit FROM sales WHERE qty >= 3",
+    )
+
+
+def test_scan_order_by_selected_column(engines):
+    plan = assert_equivalent(
+        engines,
+        "SELECT id, price FROM sales WHERE region = 'east' ORDER BY price DESC",
+        ordered=True,
+    )
+    assert plan.mode == "parallel"
+
+
+def test_distinct_scan(engines):
+    assert_equivalent(engines, "SELECT DISTINCT region FROM sales")
+
+
+def test_empty_result(engines):
+    assert_equivalent(engines, "SELECT SUM(qty) AS t FROM sales WHERE qty > 999")
+
+
+def test_aggregate_over_empty_group_count_is_zero(engines):
+    parallel, _ = engines
+    result = parallel.execute("SELECT COUNT(*) AS c FROM sales WHERE id < 0")
+    assert result.column("c") == [0]
+
+
+# -- fallback --------------------------------------------------------------------
+
+
+def test_join_falls_back(engines):
+    parallel, _ = engines
+    parallel.catalog.create("sales2", _sales_table(5))
+    parallel.execute(
+        "SELECT s.id FROM sales s, sales2 t WHERE s.id = t.id"
+    )
+    assert parallel.last_plan.mode == "serial"
+    assert "single base table" in parallel.last_plan.reason
+
+
+def test_subquery_falls_back(engines):
+    parallel, _ = engines
+    parallel.execute(
+        "SELECT id FROM sales WHERE qty > (SELECT AVG(qty) FROM sales)"
+    )
+    assert parallel.last_plan.mode == "serial"
+
+
+def test_distinct_aggregate_falls_back(engines):
+    parallel, _ = engines
+    parallel.execute("SELECT COUNT(DISTINCT region) AS c FROM sales")
+    assert parallel.last_plan.mode == "serial"
+
+
+def test_unresolvable_order_by_falls_back(engines):
+    parallel, _ = engines
+    parallel.execute("SELECT id FROM sales ORDER BY qty * price")
+    assert parallel.last_plan.mode == "serial"
+
+
+def test_fallback_matches_serial(engines):
+    # fallback results must still be correct
+    assert_equivalent(
+        engines, "SELECT COUNT(DISTINCT region) AS c FROM sales"
+    )
+
+
+# -- fault tolerance ----------------------------------------------------------------
+
+
+def test_injected_failures_are_retried():
+    table = _sales_table(40)
+    catalog = Catalog()
+    catalog.create("sales", table)
+    injector = FaultInjector({("partial", 0): 1, ("partial", 2): 2})
+    scheduler = TaskScheduler(max_attempts=3, fault_injector=injector)
+    engine = ParallelEngine(catalog, num_partitions=4, scheduler=scheduler)
+
+    result = engine.execute("SELECT SUM(qty) AS total FROM sales")
+
+    serial_catalog = Catalog()
+    serial_catalog.create("sales", table)
+    expected = Engine(serial_catalog).execute("SELECT SUM(qty) AS total FROM sales")
+    assert result.column("total") == expected.column("total")
+    assert scheduler.stats.retries == 3
+    assert scheduler.stats.failures == 0
+
+
+def test_exhausted_retries_raise():
+    catalog = Catalog()
+    catalog.create("sales", _sales_table(8))
+    injector = FaultInjector({("partial", 1): 99})
+    scheduler = TaskScheduler(max_attempts=2, fault_injector=injector)
+    engine = ParallelEngine(catalog, num_partitions=4, scheduler=scheduler)
+    with pytest.raises(TaskFailure, match="after 2 attempts"):
+        engine.execute("SELECT SUM(qty) AS total FROM sales")
+    assert scheduler.stats.failures == 1
+
+
+def test_scheduler_rejects_zero_attempts():
+    with pytest.raises(ValueError):
+        TaskScheduler(max_attempts=0)
+
+
+# -- encrypted parallel execution ------------------------------------------------------
+
+
+def test_sdb_share_sums_parallelize():
+    """Encrypted SUM must produce identical plaintext via both engines."""
+    from repro.core.meta import ValueType
+    from repro.core.proxy import SDBProxy
+    from repro.core.server import SDBServer
+    from repro.crypto.prf import seeded_rng
+
+    rows = [(i, float(i)) for i in range(1, 41)]
+    results = {}
+    for partitions in (0, 4):
+        server = SDBServer(parallel_partitions=partitions)
+        proxy = SDBProxy(server, modulus_bits=256, value_bits=64,
+                         rng=seeded_rng(77))
+        proxy.create_table(
+            "pay",
+            [("id", ValueType.int_()), ("amount", ValueType.decimal(2))],
+            rows,
+            sensitive=["amount"],
+            rng=seeded_rng(78),
+        )
+        result = proxy.query("SELECT SUM(amount) AS total FROM pay")
+        results[partitions] = result.table.column("total")[0]
+        if partitions:
+            assert server.engine.last_plan.mode == "parallel"
+    assert results[4] == pytest.approx(results[0])
+    assert results[0] == pytest.approx(sum(v for _, v in rows))

@@ -1,0 +1,100 @@
+"""Tests for columnar tables and schemas."""
+
+import pytest
+
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+
+
+def make_schema():
+    return Schema.of(
+        ColumnSpec("id", DataType.INT),
+        ColumnSpec("name", DataType.STRING),
+        ColumnSpec("price", DataType.DECIMAL, scale=2),
+    )
+
+
+def make_table():
+    return Table.from_rows(
+        make_schema(),
+        [(1, "apple", 1.5), (2, "banana", 0.5), (3, "cherry", 3.0)],
+    )
+
+
+def test_schema_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema.of(ColumnSpec("a", DataType.INT), ColumnSpec("a", DataType.INT))
+
+
+def test_schema_lookup():
+    s = make_schema()
+    assert s["name"].dtype == DataType.STRING
+    assert s.index_of("price") == 2
+    assert "id" in s
+    assert "missing" not in s
+    with pytest.raises(KeyError):
+        s["missing"]
+
+
+def test_scale_only_for_decimal():
+    with pytest.raises(ValueError):
+        ColumnSpec("a", DataType.INT, scale=2)
+
+
+def test_from_rows_and_access():
+    t = make_table()
+    assert t.num_rows == 3
+    assert t.num_columns == 3
+    assert t.column("name") == ["apple", "banana", "cherry"]
+    assert t.row(1) == (2, "banana", 0.5)
+    assert list(t.rows())[2] == (3, "cherry", 3.0)
+
+
+def test_row_width_validation():
+    with pytest.raises(ValueError):
+        Table.from_rows(make_schema(), [(1, "x")])
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(ValueError):
+        Table(make_schema(), [[1], [], []])
+
+
+def test_take_and_head():
+    t = make_table()
+    assert t.take([2, 0]).column("id") == [3, 1]
+    assert t.head(2).num_rows == 2
+
+
+def test_select_projects_columns():
+    t = make_table().select(["price", "id"])
+    assert t.schema.names == ("price", "id")
+    assert t.row(0) == (1.5, 1)
+
+
+def test_with_column():
+    t = make_table().with_column(ColumnSpec("flag", DataType.BOOL), [True, False, True])
+    assert t.column("flag") == [True, False, True]
+    with pytest.raises(ValueError):
+        make_table().with_column(ColumnSpec("bad", DataType.BOOL), [True])
+
+
+def test_rename():
+    t = make_table().rename({"id": "key"})
+    assert t.schema.names == ("key", "name", "price")
+
+
+def test_to_dicts():
+    assert make_table().to_dicts()[0] == {"id": 1, "name": "apple", "price": 1.5}
+
+
+def test_empty_table():
+    t = Table.empty(make_schema())
+    assert t.num_rows == 0
+    assert list(t.rows()) == []
+
+
+def test_pretty_renders():
+    text = make_table().pretty(limit=2)
+    assert "apple" in text
+    assert "3 rows total" in text

@@ -1,0 +1,99 @@
+"""Concurrent proxies against one SP: statements serialize safely.
+
+The TCP daemon handles each proxy on its own thread; the shared engine
+must not interleave a DML mutation with a scan.  This test hammers one
+table with concurrent inserts and aggregate reads and checks every read
+observed a consistent prefix.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.net import RemoteServer, start_server
+
+WRITers = 3
+INSERTS_PER_WRITER = 15
+
+
+@pytest.fixture()
+def shared_sp():
+    sdb_server = SDBServer()
+    net_server, _ = start_server(sdb_server=sdb_server)
+    yield net_server
+    net_server.shutdown()
+    net_server.server_close()
+
+
+def test_concurrent_inserts_and_reads(shared_sp):
+    owner_link = RemoteServer.connect("127.0.0.1", shared_sp.port)
+    owner = SDBProxy(owner_link, modulus_bits=256, value_bits=64,
+                     rng=seeded_rng(101))
+    owner.create_table(
+        "ledger",
+        [("seq", ValueType.int_()), ("amount", ValueType.decimal(2))],
+        [(0, 1.00)],
+        sensitive=["amount"],
+        rng=seeded_rng(102),
+    )
+
+    errors: list = []
+    observed: list = []
+    barrier = threading.Barrier(WRITers + 1)
+
+    def writer(worker: int):
+        try:
+            barrier.wait()
+            for i in range(INSERTS_PER_WRITER):
+                seq = worker * 1000 + i
+                owner_lock.acquire()
+                try:
+                    owner.execute(
+                        f"INSERT INTO ledger (seq, amount) VALUES ({seq}, 1.00)"
+                    )
+                finally:
+                    owner_lock.release()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def reader():
+        try:
+            barrier.wait()
+            link = RemoteServer.connect("127.0.0.1", shared_sp.port)
+            reader_proxy = SDBProxy.__new__(SDBProxy)  # share the owner's keys
+            reader_proxy.__dict__.update(owner.__dict__)
+            reader_proxy.server = link
+            for _ in range(20):
+                result = reader_proxy.query(
+                    "SELECT COUNT(*) AS c, SUM(amount) AS s FROM ledger"
+                )
+                row = result.table.to_dicts()[0]
+                observed.append((row["c"], row["s"]))
+            link.close()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    # the proxy object itself is not thread-safe (key store bookkeeping),
+    # so writers share one proxy behind a lock; the *server* concurrency
+    # is exercised by the independent reader connection
+    owner_lock = threading.Lock()
+    threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(WRITers)
+    ]
+    threads.append(threading.Thread(target=reader))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    owner_link.close()
+
+    assert not errors, errors
+    # every observation is consistent: count == sum (all amounts are 1.00)
+    for count, total in observed:
+        assert total == pytest.approx(float(count))
+    final = observed[-1][0]
+    assert 1 <= final <= 1 + WRITers * INSERTS_PER_WRITER

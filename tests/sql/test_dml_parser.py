@@ -1,0 +1,94 @@
+"""Parser coverage for INSERT / UPDATE / DELETE."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import ParseError, parse_statement
+
+
+def test_parse_insert_with_columns():
+    stmt = parse_statement(
+        "INSERT INTO accounts (id, balance) VALUES (1, 100), (2, 250)"
+    )
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.table == "accounts"
+    assert stmt.columns == ("id", "balance")
+    assert len(stmt.rows) == 2
+    assert stmt.rows[0][0] == ast.Literal(1)
+    assert stmt.rows[1][1] == ast.Literal(250)
+
+
+def test_parse_insert_without_columns():
+    stmt = parse_statement("INSERT INTO t VALUES (1, 'x', NULL)")
+    assert stmt.columns is None
+    assert stmt.rows[0][2] == ast.Literal(None)
+
+
+def test_parse_insert_expression_values():
+    stmt = parse_statement("INSERT INTO t (a) VALUES (2 + 3)")
+    value = stmt.rows[0][0]
+    assert isinstance(value, ast.BinaryOp)
+    assert value.op == "+"
+
+
+def test_parse_insert_width_mismatch_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("INSERT INTO t (a, b) VALUES (1)")
+
+
+def test_parse_insert_ragged_rows_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("INSERT INTO t VALUES (1, 2), (3)")
+
+
+def test_parse_update():
+    stmt = parse_statement(
+        "UPDATE accounts SET balance = balance * 2, label = 'vip' WHERE id = 7"
+    )
+    assert isinstance(stmt, ast.Update)
+    assert stmt.table == "accounts"
+    assert [a.column for a in stmt.assignments] == ["balance", "label"]
+    assert isinstance(stmt.assignments[0].value, ast.BinaryOp)
+    assert isinstance(stmt.where, ast.BinaryOp)
+
+
+def test_parse_update_without_where():
+    stmt = parse_statement("UPDATE t SET a = 0")
+    assert stmt.where is None
+
+
+def test_parse_delete():
+    stmt = parse_statement("DELETE FROM orders WHERE total > 1000")
+    assert isinstance(stmt, ast.Delete)
+    assert stmt.table == "orders"
+    assert isinstance(stmt.where, ast.BinaryOp)
+
+
+def test_parse_delete_without_where():
+    stmt = parse_statement("DELETE FROM orders")
+    assert stmt.where is None
+
+
+def test_parse_statement_still_parses_select():
+    stmt = parse_statement("SELECT a FROM t WHERE b = 1")
+    assert isinstance(stmt, ast.Select)
+
+
+def test_parse_statement_rejects_garbage():
+    with pytest.raises(ParseError):
+        parse_statement("DROP TABLE t")
+
+
+def test_dml_to_sql_round_trip():
+    for sql, expected in [
+        (
+            "insert into t (a, b) values (1, 'x')",
+            "INSERT INTO t (a, b) VALUES (1, 'x')",
+        ),
+        ("update t set a = 1 where b = 2", "UPDATE t SET a = 1 WHERE (b = 2)"),
+        ("delete from t where a < 3", "DELETE FROM t WHERE (a < 3)"),
+    ]:
+        assert parse_statement(sql).to_sql() == expected
+        # the rendered SQL parses back to the same statement
+        rendered = parse_statement(sql).to_sql()
+        assert parse_statement(rendered).to_sql() == rendered

@@ -1,0 +1,70 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.sql.lexer import LexError, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]
+
+
+def test_simple_select():
+    assert kinds("SELECT a FROM t") == [
+        ("keyword", "select"),
+        ("ident", "a"),
+        ("keyword", "from"),
+        ("ident", "t"),
+    ]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("SeLeCt") == [("keyword", "select")]
+
+
+def test_numbers_int_and_decimal():
+    assert kinds("1 2.5 0.07") == [
+        ("number", "1"),
+        ("number", "2.5"),
+        ("number", "0.07"),
+    ]
+
+
+def test_string_with_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].kind == "string"
+    assert tokens[0].text == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_multichar_symbols():
+    assert [t.text for t in tokenize("a <= b >= c <> d != e || f")[:-1]] == [
+        "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f",
+    ]
+
+
+def test_line_comments_skipped():
+    assert kinds("select -- comment here\n a") == [
+        ("keyword", "select"),
+        ("ident", "a"),
+    ]
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        tokenize("select @")
+
+
+def test_eof_token_present():
+    assert tokenize("")[-1].kind == "eof"
+
+
+def test_identifiers_with_underscores():
+    assert kinds("l_extendedprice o_orderdate") == [
+        ("ident", "l_extendedprice"),
+        ("ident", "o_orderdate"),
+    ]

@@ -1,0 +1,237 @@
+"""Parser unit tests, from simple selects up to TPC-H-shaped queries."""
+
+import datetime
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import ParseError, parse
+
+
+def test_select_literal():
+    q = parse("SELECT 1")
+    assert q.items[0].expr == ast.Literal(1)
+
+
+def test_select_columns_and_aliases():
+    q = parse("SELECT a, b AS bee, t.c cee FROM t")
+    assert q.items[0].expr == ast.Column("a")
+    assert q.items[1].alias == "bee"
+    assert q.items[2].expr == ast.Column("c", table="t")
+    assert q.items[2].alias == "cee"
+
+
+def test_select_star():
+    q = parse("SELECT * FROM t")
+    assert isinstance(q.items[0].expr, ast.Star)
+
+
+def test_qualified_star():
+    q = parse("SELECT t.* FROM t")
+    assert q.items[0].expr == ast.Star(table="t")
+
+
+def test_arithmetic_precedence():
+    q = parse("SELECT a + b * c")
+    expr = q.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesized_expression():
+    q = parse("SELECT (a + b) * c")
+    expr = q.items[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_minus_folds_into_literal():
+    q = parse("SELECT -5, -x")
+    assert q.items[0].expr == ast.Literal(-5)
+    assert q.items[1].expr == ast.UnaryOp("-", ast.Column("x"))
+
+
+def test_comparison_operators():
+    for op in ["=", "<", "<=", ">", ">=", "<>"]:
+        q = parse(f"SELECT a FROM t WHERE a {op} 3")
+        assert q.where.op == op
+    q = parse("SELECT a FROM t WHERE a != 3")
+    assert q.where.op == "<>"
+
+
+def test_and_or_not_precedence():
+    q = parse("SELECT a FROM t WHERE NOT a = 1 AND b = 2 OR c = 3")
+    assert q.where.op == "or"
+    assert q.where.left.op == "and"
+    assert isinstance(q.where.left.left, ast.UnaryOp)
+
+
+def test_between():
+    q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+    assert isinstance(q.where, ast.Between)
+    q = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10")
+    assert q.where.negated
+
+
+def test_in_list():
+    q = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+    assert isinstance(q.where, ast.InList)
+    assert len(q.where.items) == 3
+
+
+def test_in_subquery():
+    q = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+    assert isinstance(q.where, ast.InSubquery)
+
+
+def test_like_and_not_like():
+    q = parse("SELECT a FROM t WHERE s LIKE '%green%'")
+    assert isinstance(q.where, ast.Like)
+    assert q.where.pattern == "%green%"
+    q = parse("SELECT a FROM t WHERE s NOT LIKE 'x_'")
+    assert q.where.negated
+
+
+def test_is_null():
+    q = parse("SELECT a FROM t WHERE a IS NULL")
+    assert isinstance(q.where, ast.IsNull)
+    q = parse("SELECT a FROM t WHERE a IS NOT NULL")
+    assert q.where.negated
+
+
+def test_exists():
+    q = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+    assert isinstance(q.where, ast.Exists)
+    q = parse("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+    assert isinstance(q.where, ast.UnaryOp)  # NOT wraps Exists
+
+
+def test_aggregates():
+    q = parse("SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), COUNT(DISTINCT e) FROM t")
+    funcs = [item.expr.func for item in q.items]
+    assert funcs == ["count", "sum", "avg", "min", "max", "count"]
+    assert q.items[0].expr.arg is None
+    assert q.items[5].expr.distinct
+
+
+def test_group_by_having():
+    q = parse("SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10")
+    assert q.group_by == (ast.Column("a"),)
+    assert q.having.op == ">"
+
+
+def test_order_by_limit():
+    q = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+    assert q.order_by[0].descending
+    assert not q.order_by[1].descending
+    assert q.limit == 10
+
+
+def test_joins():
+    q = parse("SELECT * FROM a JOIN b ON a.x = b.y LEFT OUTER JOIN c ON b.z = c.w")
+    join = q.from_clause
+    assert isinstance(join, ast.Join)
+    assert join.kind == "left"
+    assert join.left.kind == "inner"
+
+
+def test_comma_join_is_cross():
+    q = parse("SELECT * FROM a, b WHERE a.x = b.y")
+    assert q.from_clause.kind == "cross"
+
+
+def test_derived_table():
+    q = parse("SELECT s FROM (SELECT SUM(a) AS s FROM t) sub")
+    assert isinstance(q.from_clause, ast.SubqueryRef)
+    assert q.from_clause.alias == "sub"
+
+
+def test_scalar_subquery():
+    q = parse("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)")
+    assert isinstance(q.where.right, ast.ScalarSubquery)
+
+
+def test_case_when():
+    q = parse(
+        "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END FROM t"
+    )
+    expr = q.items[0].expr
+    assert isinstance(expr, ast.CaseWhen)
+    assert len(expr.branches) == 2
+    assert expr.default == ast.Literal("many")
+
+
+def test_date_literal_and_interval():
+    q = parse("SELECT a FROM t WHERE d >= DATE '1994-01-01' + INTERVAL '3' MONTH")
+    plus = q.where.right
+    assert plus.left == ast.Literal(datetime.date(1994, 1, 1))
+    assert plus.right == ast.Interval(3, "month")
+
+
+def test_extract():
+    q = parse("SELECT EXTRACT(YEAR FROM o_orderdate) FROM orders")
+    assert q.items[0].expr == ast.Extract("year", ast.Column("o_orderdate"))
+
+
+def test_substring():
+    q = parse("SELECT SUBSTRING(c_phone FROM 1 FOR 2) FROM customer")
+    expr = q.items[0].expr
+    assert isinstance(expr, ast.Substring)
+    assert expr.start == ast.Literal(1)
+    assert expr.length == ast.Literal(2)
+
+
+def test_distinct_select():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+def test_string_concat():
+    q = parse("SELECT a || b FROM t")
+    assert q.items[0].expr.op == "||"
+
+
+def test_function_call():
+    q = parse("SELECT sdb_mul(ae, be, 35) FROM t")
+    expr = q.items[0].expr
+    assert isinstance(expr, ast.FuncCall)
+    assert expr.name == "sdb_mul"
+    assert len(expr.args) == 3
+
+
+def test_trailing_semicolon_ok():
+    parse("SELECT 1;")
+
+
+def test_errors():
+    for bad in [
+        "SELECT",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a b c",
+        "FROM t",
+        "SELECT a FROM t GROUP a",
+        "SELECT CASE END",
+        "SELECT a FROM t WHERE a NOT 5",
+        "SELECT EXTRACT(HOUR FROM x)",
+        "SELECT INTERVAL '1' fortnight",
+    ]:
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+def test_roundtrip_to_sql_reparses():
+    queries = [
+        "SELECT a, SUM(b * c) AS s FROM t WHERE a > 5 GROUP BY a HAVING SUM(b * c) > 2 ORDER BY s DESC LIMIT 3",
+        "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z BETWEEN 1 AND 2",
+        "SELECT CASE WHEN x = 1 THEN y ELSE 0 END FROM t",
+        "SELECT a FROM t WHERE d < DATE '1995-03-15' AND s LIKE 'BUILDING%'",
+    ]
+    for sql in queries:
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert first == second
+
+
+def test_nested_parse_depth():
+    q = parse("SELECT ((((a))))")
+    assert q.items[0].expr == ast.Column("a")

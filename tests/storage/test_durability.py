@@ -1,0 +1,247 @@
+"""DiskCatalog, WAL, DurableServer recovery and backups."""
+
+import datetime
+
+import pytest
+
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.crypto.prf import seeded_rng
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+from repro.sql.parser import parse_statement
+from repro.storage import (
+    BackupError,
+    DiskCatalog,
+    DurableServer,
+    StorageError,
+    WriteAheadLog,
+    create_backup,
+    restore_backup,
+    verify_backup,
+)
+
+
+def _table(rows=((1, "a"), (2, "b"))) -> Table:
+    schema = Schema(
+        (ColumnSpec("id", DataType.INT), ColumnSpec("name", DataType.STRING))
+    )
+    return Table.from_rows(schema, rows)
+
+
+# -- DiskCatalog ---------------------------------------------------------------
+
+
+def test_disk_catalog_save_load(tmp_path):
+    catalog = DiskCatalog(tmp_path)
+    catalog.save("t", _table())
+    assert "t" in catalog
+    assert list(catalog.load("t").rows()) == [(1, "a"), (2, "b")]
+    assert catalog.names() == ["t"]
+
+
+def test_disk_catalog_replace(tmp_path):
+    catalog = DiskCatalog(tmp_path)
+    catalog.save("t", _table())
+    catalog.save("t", _table(((9, "z"),)))
+    assert list(catalog.load("t").rows()) == [(9, "z")]
+
+
+def test_disk_catalog_delete(tmp_path):
+    catalog = DiskCatalog(tmp_path)
+    catalog.save("t", _table())
+    catalog.delete("t")
+    assert "t" not in catalog
+    with pytest.raises(StorageError):
+        catalog.load("t")
+
+
+def test_disk_catalog_rejects_path_escape(tmp_path):
+    catalog = DiskCatalog(tmp_path)
+    with pytest.raises(StorageError):
+        catalog.save("../evil", _table())
+    with pytest.raises(StorageError):
+        catalog.load("a/b")
+
+
+def test_disk_catalog_sizes(tmp_path):
+    catalog = DiskCatalog(tmp_path)
+    catalog.save("t", _table())
+    assert catalog.size_bytes("t") > 0
+    assert catalog.total_bytes() == catalog.size_bytes("t")
+
+
+# -- WriteAheadLog -----------------------------------------------------------------
+
+
+def test_wal_append_and_replay(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.append(parse_statement("DELETE FROM t WHERE id = 1"))
+    wal.append(parse_statement("UPDATE t SET name = 'x' WHERE id = 2"))
+    wal.append(parse_statement("INSERT INTO t (id, name) VALUES (3, 'c')"))
+    wal.close()
+
+    reopened = WriteAheadLog(tmp_path / "wal.log")
+    entries = list(reopened.entries())
+    assert reopened.seq == 3
+    assert [type(e).__name__ for e in entries] == ["Delete", "Update", "Insert"]
+    assert entries[2].rows[0][0].value == 3
+    reopened.close()
+
+
+def test_wal_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(parse_statement("DELETE FROM t WHERE id = 1"))
+    wal.close()
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"kind": "sql", "sql": "DELETE FR')  # crash mid-append
+
+    reopened = WriteAheadLog(path)
+    assert len(list(reopened.entries())) == 1
+    reopened.close()
+
+
+def test_wal_truncate(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.append(parse_statement("DELETE FROM t"))
+    wal.truncate()
+    assert wal.seq == 0
+    assert list(wal.entries()) == []
+    wal.close()
+
+
+# -- DurableServer ------------------------------------------------------------------
+
+
+def _durable_deployment(directory, seed=1):
+    server = DurableServer(directory)
+    proxy = SDBProxy(server, modulus_bits=256, value_bits=64, rng=seeded_rng(seed))
+    proxy.create_table(
+        "accounts",
+        [("id", ValueType.int_()), ("balance", ValueType.decimal(2))],
+        [(1, 10.00), (2, 20.00), (3, 30.00)],
+        sensitive=["balance"],
+        rng=seeded_rng(seed + 1),
+    )
+    return server, proxy
+
+
+def test_upload_is_persisted(tmp_path):
+    server, _ = _durable_deployment(tmp_path)
+    assert server.disk.names() == ["accounts"]
+    server.close()
+
+
+def test_recovery_after_clean_restart(tmp_path):
+    server, proxy = _durable_deployment(tmp_path)
+    server.close()
+
+    recovered = DurableServer(tmp_path)
+    assert recovered.recovered_statements == 0
+    # reattach the same proxy key store to the recovered SP
+    proxy.server = recovered
+    result = proxy.query("SELECT SUM(balance) AS s FROM accounts")
+    assert result.table.column("s") == [pytest.approx(60.0)]
+    recovered.close()
+
+
+def test_recovery_replays_wal(tmp_path):
+    server, proxy = _durable_deployment(tmp_path)
+    proxy.execute("INSERT INTO accounts (id, balance) VALUES (4, 40.00)")
+    proxy.execute("UPDATE accounts SET balance = balance + 1.00 WHERE id = 1")
+    proxy.execute("DELETE FROM accounts WHERE id = 2")
+    # no checkpoint: the table files still hold the original upload
+    server.close()
+
+    recovered = DurableServer(tmp_path)
+    assert recovered.recovered_statements == 3
+    proxy.server = recovered
+    result = proxy.query("SELECT id, balance FROM accounts ORDER BY id")
+    assert result.table.column("id") == [1, 3, 4]
+    assert result.table.column("balance") == [
+        pytest.approx(11.0),
+        pytest.approx(30.0),
+        pytest.approx(40.0),
+    ]
+    recovered.close()
+
+
+def test_checkpoint_truncates_wal(tmp_path):
+    server, proxy = _durable_deployment(tmp_path)
+    proxy.execute("INSERT INTO accounts (id, balance) VALUES (4, 40.00)")
+    assert server.wal.seq == 1
+    flushed = server.checkpoint()
+    assert flushed == 1
+    assert server.wal.seq == 0
+    server.close()
+
+    recovered = DurableServer(tmp_path)
+    assert recovered.recovered_statements == 0
+    proxy.server = recovered
+    result = proxy.query("SELECT COUNT(*) AS c FROM accounts")
+    assert result.table.column("c") == [4]
+    recovered.close()
+
+
+def test_drop_table_removes_file(tmp_path):
+    server, proxy = _durable_deployment(tmp_path)
+    proxy.drop_table("accounts")
+    assert server.disk.names() == []
+    server.close()
+
+
+# -- backups ---------------------------------------------------------------------
+
+
+def test_backup_create_verify_restore(tmp_path):
+    server, proxy = _durable_deployment(tmp_path / "live")
+    proxy.execute("INSERT INTO accounts (id, balance) VALUES (4, 40.00)")
+    server.checkpoint()
+
+    manifest = create_backup(server.disk, tmp_path / "backup")
+    assert set(manifest["tables"]) == {"accounts"}
+    verify_backup(tmp_path / "backup")
+
+    fresh = DiskCatalog(tmp_path / "restored")
+    restored = restore_backup(tmp_path / "backup", fresh)
+    assert restored == ["accounts"]
+    assert fresh.load("accounts").num_rows == 4
+    server.close()
+
+
+def test_backup_detects_corruption(tmp_path):
+    server, _ = _durable_deployment(tmp_path / "live")
+    server.checkpoint()
+    create_backup(server.disk, tmp_path / "backup")
+    victim = tmp_path / "backup" / "accounts.sdbt"
+    blob = bytearray(victim.read_bytes())
+    blob[10] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    with pytest.raises(BackupError, match="checksum"):
+        verify_backup(tmp_path / "backup")
+    server.close()
+
+
+def test_restore_refuses_overwrite(tmp_path):
+    server, _ = _durable_deployment(tmp_path / "live")
+    server.checkpoint()
+    create_backup(server.disk, tmp_path / "backup")
+    with pytest.raises(BackupError, match="already exists"):
+        restore_backup(tmp_path / "backup", server.disk)
+    # explicit opt-in works
+    restore_backup(tmp_path / "backup", server.disk, replace=True)
+    server.close()
+
+
+def test_backup_contains_only_ciphertext(tmp_path):
+    """The backup of a sensitive column holds shares, not ring values."""
+    server, proxy = _durable_deployment(tmp_path / "live")
+    server.checkpoint()
+    create_backup(server.disk, tmp_path / "backup")
+    fresh = DiskCatalog(tmp_path / "restored")
+    restore_backup(tmp_path / "backup", fresh)
+    stored = fresh.load("accounts")
+    ring_values = {1000, 2000, 3000}  # 10.00/20.00/30.00 at scale 2
+    assert not ring_values & set(stored.column("balance"))
+    server.close()

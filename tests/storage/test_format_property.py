@@ -1,0 +1,62 @@
+"""Property test: any engine table round-trips the storage format."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sies import SIESCiphertext
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+from repro.storage.format import deserialize_table, serialize_table
+
+_CELLS_BY_TYPE = {
+    DataType.INT: st.one_of(
+        st.none(), st.integers(min_value=-(2**128), max_value=2**128)
+    ),
+    DataType.SHARE: st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=2**512),
+        st.builds(
+            SIESCiphertext,
+            value=st.integers(min_value=0, max_value=2**256),
+            nonce=st.integers(min_value=0, max_value=2**63),
+        ),
+    ),
+    DataType.DECIMAL: st.one_of(
+        st.none(),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    ),
+    DataType.STRING: st.one_of(st.none(), st.text(max_size=40)),
+    DataType.DATE: st.one_of(
+        st.none(),
+        st.dates(min_value=datetime.date(1, 1, 1),
+                 max_value=datetime.date(9999, 12, 31)),
+    ),
+    DataType.BOOL: st.one_of(st.none(), st.booleans()),
+}
+
+
+@st.composite
+def tables(draw):
+    num_columns = draw(st.integers(min_value=1, max_value=5))
+    num_rows = draw(st.integers(min_value=0, max_value=12))
+    specs = []
+    columns = []
+    for i in range(num_columns):
+        dtype = draw(st.sampled_from(list(_CELLS_BY_TYPE)))
+        scale = draw(st.integers(0, 4)) if dtype is DataType.DECIMAL else 0
+        specs.append(ColumnSpec(f"c{i}", dtype, scale))
+        columns.append(
+            draw(st.lists(_CELLS_BY_TYPE[dtype], min_size=num_rows,
+                          max_size=num_rows))
+        )
+    return Table(Schema(tuple(specs)), columns)
+
+
+@settings(max_examples=80, deadline=None)
+@given(table=tables())
+def test_any_table_round_trips(table):
+    restored = deserialize_table(serialize_table(table))
+    assert restored.schema == table.schema
+    assert list(restored.rows()) == list(table.rows())

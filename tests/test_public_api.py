@@ -1,0 +1,33 @@
+"""The top-level facade: what `import repro` promises."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_facade_end_to_end():
+    from repro.crypto.prf import seeded_rng
+
+    server = repro.SDBServer()
+    proxy = repro.SDBProxy(server, modulus_bits=256, value_bits=64,
+                           rng=seeded_rng(161))
+    proxy.create_table(
+        "t",
+        [("a", repro.ValueType.int_())],
+        [(1,), (2,), (3,)],
+        sensitive=["a"],
+        rng=seeded_rng(162),
+    )
+    result = proxy.query("SELECT SUM(a) AS s FROM t")
+    assert isinstance(result, repro.QueryResult)
+    assert result.table.column("s") == [6]
+    outcome = proxy.execute("DELETE FROM t WHERE a = 2")
+    assert isinstance(outcome, repro.DMLResult)
+    assert outcome.affected == 1

@@ -1,0 +1,106 @@
+"""Tests for the TPC-H data generator: shape, integrity, determinism."""
+
+import datetime
+
+import pytest
+
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.schema import TABLES, row_count
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=0.001, seed=7)
+
+
+def test_cardinalities(data):
+    assert len(data["region"]) == 5
+    assert len(data["nation"]) == 25
+    assert len(data["supplier"]) == row_count("supplier", 0.001)
+    assert len(data["part"]) == row_count("part", 0.001)
+    assert len(data["partsupp"]) == 4 * len(data["part"])
+    assert len(data["orders"]) == row_count("orders", 0.001)
+    # 1..7 lineitems per order
+    assert len(data["orders"]) <= len(data["lineitem"]) <= 7 * len(data["orders"])
+
+
+def test_schema_widths(data):
+    for table, rows in data.items():
+        expected = len(TABLES[table])
+        assert all(len(row) == expected for row in rows)
+
+
+def test_determinism():
+    a = generate(scale_factor=0.001, seed=1)
+    b = generate(scale_factor=0.001, seed=1)
+    assert a == b
+    c = generate(scale_factor=0.001, seed=2)
+    assert a["lineitem"] != c["lineitem"]
+
+
+def test_foreign_keys_resolve(data):
+    nation_keys = {r[0] for r in data["nation"]}
+    region_keys = {r[0] for r in data["region"]}
+    supp_keys = {r[0] for r in data["supplier"]}
+    part_keys = {r[0] for r in data["part"]}
+    cust_keys = {r[0] for r in data["customer"]}
+    order_keys = {r[0] for r in data["orders"]}
+    assert {r[2] for r in data["nation"]} <= region_keys
+    assert {r[3] for r in data["supplier"]} <= nation_keys
+    assert {r[3] for r in data["customer"]} <= nation_keys
+    assert {r[0] for r in data["partsupp"]} <= part_keys
+    assert {r[1] for r in data["partsupp"]} <= supp_keys
+    assert {r[1] for r in data["orders"]} <= cust_keys
+    assert {r[0] for r in data["lineitem"]} <= order_keys
+    assert {r[1] for r in data["lineitem"]} <= part_keys
+    assert {r[2] for r in data["lineitem"]} <= supp_keys
+
+
+def test_lineitem_supplier_is_a_partsupp_pair(data):
+    pairs = {(r[0], r[1]) for r in data["partsupp"]}
+    assert all((li[1], li[2]) in pairs for li in data["lineitem"])
+
+
+def test_value_domains(data):
+    for li in data["lineitem"]:
+        assert 1 <= li[4] <= 50          # quantity
+        assert 0 <= li[6] <= 0.10        # discount
+        assert 0 <= li[7] <= 0.08        # tax
+        assert li[8] in ("R", "A", "N")
+        assert li[9] in ("O", "F")
+        assert li[10] < li[12]           # shipdate < receiptdate
+    for order in data["orders"]:
+        assert order[2] in ("O", "F", "P")
+        assert isinstance(order[4], datetime.date)
+        assert order[3] > 0              # totalprice
+
+
+def test_returnflag_linked_to_receipt_date(data):
+    current = datetime.date(1995, 6, 17)
+    for li in data["lineitem"]:
+        if li[12] > current:
+            assert li[8] == "N"
+        else:
+            assert li[8] in ("R", "A")
+
+
+def test_some_customers_never_order(data):
+    ordering = {o[1] for o in data["orders"]}
+    all_custs = {c[0] for c in data["customer"]}
+    assert ordering < all_custs  # Q22's population exists
+
+
+def test_phone_country_code_matches_nation(data):
+    for c in data["customer"]:
+        assert int(c[4][:2]) == c[3] + 10
+
+
+def test_part_types_and_brands_in_domain(data):
+    for p in data["part"]:
+        assert p[3].startswith("Brand#")
+        assert len(p[4].split()) == 3
+        assert 1 <= p[5] <= 50
+
+
+def test_customer_complaints_exist_for_q16(data):
+    assert any("Customer Complaints" in s[6] for s in data["supplier"])

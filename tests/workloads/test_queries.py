@@ -1,0 +1,92 @@
+"""The 22 TPC-H query texts and sensitivity profiles."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.workloads.tpch.queries import QUERIES, query
+from repro.workloads.tpch.schema import TABLES
+from repro.workloads.tpch.sensitivity import (
+    FINANCIAL_PROFILE,
+    PROFILES,
+    STRICT_PROFILE,
+    sensitive_columns,
+)
+
+
+def test_exactly_22_queries():
+    assert sorted(QUERIES) == list(range(1, 23))
+
+
+@pytest.mark.parametrize("number", range(1, 23))
+def test_query_parses(number):
+    statement = parse(query(number))
+    assert isinstance(statement, ast.Select)
+
+
+@pytest.mark.parametrize("number", range(1, 23))
+def test_query_to_sql_round_trips(number):
+    first = parse(query(number))
+    rendered = first.to_sql()
+    assert parse(rendered).to_sql() == rendered
+
+
+def test_query_accessor_rejects_unknown():
+    with pytest.raises(KeyError):
+        query(23)
+
+
+def test_queries_reference_known_tables():
+    names = set(TABLES)
+    for number in range(1, 23):
+        statement = parse(query(number))
+        for ref in _table_refs(statement):
+            assert ref in names, f"Q{number} references unknown table {ref!r}"
+
+
+def _table_refs(select):
+    out = []
+    stack = [select]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Select):
+            if node.from_clause is not None:
+                stack.append(node.from_clause)
+            for root in [node.where, node.having]:
+                if root is not None:
+                    stack.extend(
+                        n.query for n in ast.walk(root)
+                        if isinstance(n, (ast.InSubquery, ast.Exists,
+                                          ast.ScalarSubquery))
+                    )
+        elif isinstance(node, ast.TableRef):
+            out.append(node.name)
+        elif isinstance(node, ast.SubqueryRef):
+            stack.append(node.query)
+        elif isinstance(node, ast.Join):
+            stack.append(node.left)
+            stack.append(node.right)
+    return out
+
+
+def test_financial_profile_protects_money_columns():
+    assert FINANCIAL_PROFILE.is_sensitive("lineitem", "l_extendedprice")
+    assert FINANCIAL_PROFILE.is_sensitive("customer", "c_acctbal")
+    assert not FINANCIAL_PROFILE.is_sensitive("nation", "n_name")
+
+
+def test_strict_profile_is_superset():
+    assert FINANCIAL_PROFILE.sensitive <= STRICT_PROFILE.sensitive
+
+
+def test_sensitive_columns_resolution():
+    columns = sensitive_columns(
+        FINANCIAL_PROFILE, "lineitem", TABLES["lineitem"]
+    )
+    assert "l_extendedprice" in columns
+    assert "l_orderkey" not in columns
+
+
+def test_profiles_registry():
+    assert FINANCIAL_PROFILE.name in PROFILES
+    assert STRICT_PROFILE.name in PROFILES
