@@ -16,14 +16,14 @@ import time
 
 import pytest
 
-from repro.bench.harness import ResultTable
+from repro.bench.harness import ResultTable, smoke_scaled
 from repro.core.meta import ValueType
 from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.engine import Catalog, ColumnSpec, DataType, Engine, Schema, Table
 
-ROWS = 400
+ROWS = smoke_scaled(400, 100)
 
 
 def _rows(count=ROWS, start=0):

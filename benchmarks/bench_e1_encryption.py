@@ -7,12 +7,12 @@ column encryption/decryption throughput at paper-scale key sizes.
 
 import pytest
 
-from repro.bench.harness import ResultTable, time_call
+from repro.bench.harness import ResultTable, smoke_scaled, time_call
 from repro.crypto import secret_sharing as ss
 from repro.crypto.keys import ColumnKey, SystemKeys
 from repro.crypto.prf import seeded_rng
 
-ROWS = 2000
+ROWS = smoke_scaled(2000, 64)
 
 
 def test_figure1_worked_example():

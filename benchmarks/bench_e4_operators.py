@@ -15,14 +15,22 @@ import pytest
 
 from repro.baselines.ope import OPECipher, OPEKey
 from repro.baselines.paillier import paillier_keygen
-from repro.bench.harness import ResultTable, time_call
+from repro.bench.harness import ResultTable, smoke_scaled, time_call, write_bench_json
 from repro.core import udfs
 from repro.crypto import keyops
 from repro.crypto import secret_sharing as ss
 from repro.crypto.keyops import KeyExpr
 from repro.crypto.prf import seeded_rng
 
-ROWS = 1000
+ROWS = smoke_scaled(1000, 100)
+#: how many rows the deliberately slow baselines get in their own benches
+PAILLIER_ENC_ROWS = smoke_scaled(50, 8)
+PAILLIER_ADD_ROWS = smoke_scaled(200, 16)
+OPE_ROWS = smoke_scaled(200, 16)
+#: smaller slices for the one-shot summary table (timed with repeat=1)
+SUMMARY_PAILLIER_ENC = smoke_scaled(20, 4)
+SUMMARY_PAILLIER_ADD = smoke_scaled(50, 8)
+SUMMARY_OPE = smoke_scaled(100, 16)
 
 
 @pytest.fixture(scope="module")
@@ -89,27 +97,31 @@ def test_plain_multiplication(benchmark, setup):
 
 def test_paillier_encrypt(benchmark, setup):
     paillier = paillier_keygen(modulus_bits=2048, rng=seeded_rng(11))
-    values = setup["values_a"][:50]  # Paillier is slow; scale and report /row
+    # Paillier is slow; scale and report /row
+    values = setup["values_a"][:PAILLIER_ENC_ROWS]
     rng = seeded_rng(12)
     out = benchmark(lambda: [paillier.public.encrypt(v, rng) for v in values])
-    assert len(out) == 50
+    assert len(out) == PAILLIER_ENC_ROWS
 
 
 def test_paillier_hom_add(benchmark, setup):
     paillier = paillier_keygen(modulus_bits=2048, rng=seeded_rng(13))
     rng = seeded_rng(14)
-    cts = [paillier.public.encrypt(v, rng) for v in setup["values_a"][:200]]
+    cts = [
+        paillier.public.encrypt(v, rng)
+        for v in setup["values_a"][:PAILLIER_ADD_ROWS]
+    ]
     out = benchmark(
         lambda: [paillier.public.add(x, y) for x, y in zip(cts, cts[1:])]
     )
-    assert len(out) == 199
+    assert len(out) == PAILLIER_ADD_ROWS - 1
 
 
 def test_ope_encrypt(benchmark, setup):
     ope = OPECipher(OPEKey(key=b"o" * 32, plaintext_bits=41))
-    values = setup["values_a"][:200]
+    values = setup["values_a"][:OPE_ROWS]
     out = benchmark(lambda: [ope.encrypt(v) for v in values])
-    assert len(out) == 200
+    assert len(out) == OPE_ROWS
 
 
 def test_operator_summary_table(setup):
@@ -133,13 +145,22 @@ def test_operator_summary_table(setup):
         repeat=1,
     )
     measurements.append(("sdb_keyupdate", t / ROWS, "share"))
-    t, _ = time_call(lambda: [paillier.public.encrypt(v, prng) for v in setup["values_a"][:20]], repeat=1)
-    measurements.append(("Paillier encrypt", t / 20, "HOM only"))
-    cts = [paillier.public.encrypt(v, prng) for v in setup["values_a"][:50]]
+    t, _ = time_call(
+        lambda: [
+            paillier.public.encrypt(v, prng)
+            for v in setup["values_a"][:SUMMARY_PAILLIER_ENC]
+        ],
+        repeat=1,
+    )
+    measurements.append(("Paillier encrypt", t / SUMMARY_PAILLIER_ENC, "HOM only"))
+    cts = [
+        paillier.public.encrypt(v, prng)
+        for v in setup["values_a"][:SUMMARY_PAILLIER_ADD]
+    ]
     t, _ = time_call(lambda: [paillier.public.add(x, y) for x, y in zip(cts, cts[1:])], repeat=3)
-    measurements.append(("Paillier HOM add", t / 49, "HOM only"))
-    t, _ = time_call(lambda: [ope.encrypt(v) for v in setup["values_a"][:100]], repeat=1)
-    measurements.append(("OPE encrypt", t / 100, "order only"))
+    measurements.append(("Paillier HOM add", t / (SUMMARY_PAILLIER_ADD - 1), "HOM only"))
+    t, _ = time_call(lambda: [ope.encrypt(v) for v in setup["values_a"][:SUMMARY_OPE]], repeat=1)
+    measurements.append(("OPE encrypt", t / SUMMARY_OPE, "order only"))
 
     table = ResultTable(
         "E4: per-row operator cost, 2048-bit modulus",
@@ -150,6 +171,16 @@ def test_operator_summary_table(setup):
     table.note("SDB outputs all live in the share space (composable); "
                "HOM/OPE outputs cannot feed other operators")
     table.emit()
+    write_bench_json(
+        "e4_operators",
+        {
+            "rows": ROWS,
+            "modulus_bits": 2048,
+            "per_row_us": {
+                name: round(seconds * 1e6, 3) for name, seconds, _ in measurements
+            },
+        },
+    )
 
     by_name = {name: seconds for name, seconds, _ in measurements}
     # shape: sdb_mul is vastly cheaper than Paillier encryption, and

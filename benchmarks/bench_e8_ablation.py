@@ -9,7 +9,7 @@
 
 import pytest
 
-from repro.bench.harness import ResultTable, time_call
+from repro.bench.harness import ResultTable, smoke_scaled, time_call
 from repro.core import udfs
 from repro.core.protocols import ProtocolPolicy, interactive_signs
 from repro.crypto import keyops
@@ -17,7 +17,7 @@ from repro.crypto import secret_sharing as ss
 from repro.crypto.keyops import KeyExpr
 from repro.crypto.prf import seeded_rng
 
-ROWS = 500
+ROWS = smoke_scaled(500, 32)
 
 
 def _column(keys, rng, values=None):

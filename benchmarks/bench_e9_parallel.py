@@ -15,14 +15,14 @@ parallel partial aggregation with task retry; this bench shows
 
 import pytest
 
-from repro.bench.harness import ResultTable
+from repro.bench.harness import ResultTable, smoke_scaled
 from repro.core.meta import ValueType
 from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.engine.parallel import FaultInjector, TaskScheduler
 
-ROWS = 2000
+ROWS = smoke_scaled(2000, 400)
 SQL = "SELECT region, SUM(amount) AS total FROM pay GROUP BY region"
 
 

@@ -3,16 +3,37 @@
 Sizes are chosen so the full bench suite finishes in minutes on a laptop
 while still showing the paper's shapes; every fixture is seeded so runs
 are reproducible.
+
+Setting ``BENCH_SMOKE=1`` (honored here and, through
+:func:`repro.bench.harness.smoke_scaled`, by the individual experiment
+modules) shrinks every workload to a bit-rot check: CI runs the whole
+directory in a couple of minutes -- most of it session-scoped key
+generation -- asserting only that the scripts execute and their
+relative-shape claims hold loosely.  Numbers from smoke runs are not
+meaningful (timing asserts are skipped); the emitted ``BENCH_*.json``
+artefacts carry a ``"smoke": true`` flag so downstream tracking can
+exclude them.
+
+Every test collected from this directory is tagged with the ``bench``
+marker (registered in ``pyproject.toml``), so the tier-1 suite can
+deselect benches with ``-m "not bench"`` and CI's bench-smoke job can
+select exactly them.
 """
 
 import pytest
 
+from repro.bench.harness import smoke_scaled
 from repro.crypto.keys import generate_system_keys
 from repro.crypto.prf import seeded_rng
 from repro.workloads.tpch.loader import tpch_deployment
 
 #: scale factor used by the query-level experiments
-BENCH_SF = 0.0004
+BENCH_SF = smoke_scaled(0.0004, 0.0001)
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

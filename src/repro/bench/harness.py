@@ -4,10 +4,24 @@ Each experiment module in ``benchmarks/`` regenerates one of the paper's
 artefacts; the helpers here keep the output uniform: a titled ASCII table
 (the "same rows the paper reports") plus raw numbers available to
 assertions.
+
+Two pieces of infrastructure support continuous benchmarking:
+
+* **machine-readable output** -- :func:`write_bench_json` (and
+  ``ResultTable.emit(json_name=...)``) writes a ``BENCH_<name>.json``
+  artefact so the perf trajectory can be tracked across commits; CI
+  uploads these from the bench-smoke job.  Set ``BENCH_JSON_DIR`` to
+  redirect them (default: current directory).
+* **smoke mode** -- ``BENCH_SMOKE=1`` asks benches for statistically
+  meaningless but *executable* sizes, so CI can verify every benchmark
+  script still runs without spending minutes on real measurements.
+  :func:`smoke_scaled` picks between the full and smoke size.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -44,8 +58,18 @@ class ResultTable:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
 
-    def emit(self) -> None:
+    def emit(self, json_name: str | None = None) -> None:
         print("\n" + self.render())
+        if json_name is not None:
+            write_bench_json(json_name, self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
 
 def _fmt(value) -> str:
@@ -70,3 +94,43 @@ def time_call(fn: Callable, *args, repeat: int = 3, **kwargs):
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return best, result
+
+
+# -- machine-readable output and smoke mode -----------------------------------
+
+
+def bench_smoke() -> bool:
+    """True when ``BENCH_SMOKE`` asks for fast, assertion-light runs."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(full, smoke):
+    """Pick the workload size for the current mode."""
+    return smoke if bench_smoke() else full
+
+
+def bench_json_path(name: str) -> str:
+    """Where ``BENCH_<name>.json`` goes (``BENCH_JSON_DIR`` or cwd)."""
+    directory = os.environ.get("BENCH_JSON_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write one benchmark artefact; returns the file path.
+
+    The payload is augmented with the run mode and a wall-clock stamp so a
+    series of artefacts from successive commits forms a perf trajectory.
+    """
+    record = {
+        "bench": name,
+        "smoke": bench_smoke(),
+        "unix_time": round(time.time(), 3),
+        **payload,
+    }
+    path = bench_json_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, default=str)
+        handle.write("\n")
+    print(f"\n[bench-json] wrote {path}")
+    return path

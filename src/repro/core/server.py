@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.core.udfs import AGGREGATE_UDFS, SCALAR_UDFS, register_sdb_udfs
 from repro.engine import Catalog, Engine, Table
-from repro.engine.udf import UDFRegistry
+from repro.engine.udf import UDFRegistry, rows_from_args
 from repro.sql import ast
 
 
@@ -52,14 +52,20 @@ class SDBServer:
         self.catalog = Catalog()
         self.udfs = UDFRegistry()
         register_sdb_udfs(self.udfs)
+        # Instrumented servers run the row path: the transcript's
+        # per-UDF-call observable is defined by row-at-a-time execution,
+        # and a batch attempt that errors and falls back would record its
+        # partial UDF traffic on top of the row re-run's.
+        batch_enabled = not instrument
         if parallel_partitions:
             from repro.engine.parallel import ParallelEngine
 
             self.engine = ParallelEngine(
-                self.catalog, self.udfs, num_partitions=parallel_partitions
+                self.catalog, self.udfs, num_partitions=parallel_partitions,
+                batch_enabled=batch_enabled,
             )
         else:
-            self.engine = Engine(self.catalog, self.udfs)
+            self.engine = Engine(self.catalog, self.udfs, batch_enabled=batch_enabled)
         self.transcript = Transcript()
         self._instrument = instrument
         self._udf_sample_limit = udf_sample_limit
@@ -188,3 +194,16 @@ class SDBServer:
                 return result
 
             self.udfs.register_scalar(name, wrapped, replace=True)
+
+            # Instrumented servers disable the batch path above, but the
+            # registry is shared -- any engine built on it later must not
+            # bypass the wrapper through a batch registration, so route
+            # batches through the wrapped scalar row by row.
+            if self.udfs.has_batch(name):
+
+                def batch_wrapped(num_rows, *args, _scalar=wrapped):
+                    return [
+                        _scalar(*row) for row in rows_from_args(num_rows, args)
+                    ]
+
+                self.udfs.register_batch(name, batch_wrapped, replace=True)

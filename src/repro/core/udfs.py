@@ -130,6 +130,24 @@ class SdbSum(AggregateUDF):
             return share % n
         return (state + share) % n
 
+    def fold(self, columns, indices):
+        """Whole-group ring sum: one Python-level addition chain, one mod.
+
+        Equivalent to folding :meth:`step` -- ``(a%n + b%n + ...) % n ==
+        (a + b + ...) % n`` -- but with a single modulus reduction for the
+        group instead of one per row.
+        """
+        shares, n = columns
+        if isinstance(n, list):  # per-row modulus: defer to the step path
+            return NotImplemented
+        if isinstance(shares, list):
+            values = [v for i in indices if (v := shares[i]) is not None]
+        else:
+            values = [] if shares is None else [shares] * len(indices)
+        if not values:
+            return None
+        return sum(values) % n
+
 
 class _SdbExtreme(AggregateUDF):
     """MIN/MAX over (order-token, aligned-share) pairs.
@@ -167,6 +185,112 @@ class SdbMax(_SdbExtreme):
         super().__init__(want_max=True)
 
 
+# -- batch (columnar) forms ---------------------------------------------------
+#
+# One entry per scalar UDF above, with identical per-row semantics.  A batch
+# UDF receives the engine's calling convention fn(num_rows, *args) where
+# each argument is a vector (list) or a batch-constant scalar; the modulus
+# and the rewriter-chosen literals are always scalars in rewritten queries,
+# which is exactly what lets the ring arithmetic run as one comprehension
+# with a single hoisted modulus instead of one UDF call per row.
+
+
+def _vec(arg, num_rows):
+    """Broadcast a batch-constant argument to a vector."""
+    return arg if isinstance(arg, list) else [arg] * num_rows
+
+
+def sdb_mul_batch(num_rows, ae, be, n):
+    if isinstance(n, list):
+        return [sdb_mul(a, b, m) for a, b, m in zip(_vec(ae, num_rows), _vec(be, num_rows), n)]
+    return [
+        None if a is None or b is None else a * b % n
+        for a, b in zip(_vec(ae, num_rows), _vec(be, num_rows))
+    ]
+
+
+def sdb_add_batch(num_rows, ae, be, n):
+    if isinstance(n, list):
+        return [sdb_add(a, b, m) for a, b, m in zip(_vec(ae, num_rows), _vec(be, num_rows), n)]
+    return [
+        None if a is None or b is None else (a + b) % n
+        for a, b in zip(_vec(ae, num_rows), _vec(be, num_rows))
+    ]
+
+
+def sdb_mul_plain_batch(num_rows, ae, plain, pow10, n):
+    if isinstance(pow10, list) or isinstance(n, list):
+        return [
+            sdb_mul_plain(a, p, e, m)
+            for a, p, e, m in zip(
+                _vec(ae, num_rows), _vec(plain, num_rows),
+                _vec(pow10, num_rows), _vec(n, num_rows),
+            )
+        ]
+    scale = 10 ** pow10 if pow10 else None
+    out = []
+    for a, p in zip(_vec(ae, num_rows), _vec(plain, num_rows)):
+        if a is None or p is None:
+            out.append(None)
+            continue
+        factor = round(p * scale) if scale is not None else int(round(p))
+        out.append(a * (factor % n) % n)
+    return out
+
+
+def sdb_keyupdate_batch(num_rows, ae, p, n, *pairs):
+    if len(pairs) % 2:
+        raise TypeError("sdb_keyupdate expects (se, q) pairs")
+    if isinstance(p, list) or isinstance(n, list) or any(
+        isinstance(q, list) for q in pairs[1::2]
+    ):
+        vectors = [_vec(a, num_rows) for a in (ae, p, n, *pairs)]
+        return [sdb_keyupdate(*row) for row in zip(*vectors)]
+    share_vectors = [_vec(pairs[i], num_rows) for i in range(0, len(pairs), 2)]
+    exponents = list(pairs[1::2])
+    out = []
+    for i, a in enumerate(_vec(ae, num_rows)):
+        if a is None:
+            out.append(None)
+            continue
+        acc = p * a % n
+        for se_vec, q in zip(share_vectors, exponents):
+            se = se_vec[i]
+            if se is None:
+                acc = None
+                break
+            acc = acc * pow(se, q, n) % n
+        out.append(acc)
+    return out
+
+
+def sdb_enc_batch(num_rows, value, kind, scale, width, n):
+    if any(isinstance(a, list) for a in (kind, scale, width, n)):
+        vectors = [_vec(a, num_rows) for a in (value, kind, scale, width, n)]
+        return [sdb_enc(*row) for row in zip(*vectors)]
+    return [sdb_enc(v, kind, scale, width, n) for v in _vec(value, num_rows)]
+
+
+def sdb_sign_batch(num_rows, masked, n):
+    if isinstance(n, list):
+        return [sdb_sign(v, m) for v, m in zip(_vec(masked, num_rows), n)]
+    half = n // 2
+    return [
+        None if v is None else (0 if v == 0 else (1 if v < half else -1))
+        for v in _vec(masked, num_rows)
+    ]
+
+
+def sdb_signed_batch(num_rows, masked, n):
+    if isinstance(n, list):
+        return [sdb_signed(v, m) for v, m in zip(_vec(masked, num_rows), n)]
+    half = n // 2
+    return [
+        None if v is None else (v - n if v > half else v)
+        for v in _vec(masked, num_rows)
+    ]
+
+
 SCALAR_UDFS = {
     "sdb_mul": sdb_mul,
     "sdb_mul_plain": sdb_mul_plain,
@@ -175,6 +299,16 @@ SCALAR_UDFS = {
     "sdb_enc": sdb_enc,
     "sdb_sign": sdb_sign,
     "sdb_signed": sdb_signed,
+}
+
+BATCH_UDFS = {
+    "sdb_mul": sdb_mul_batch,
+    "sdb_mul_plain": sdb_mul_plain_batch,
+    "sdb_add": sdb_add_batch,
+    "sdb_keyupdate": sdb_keyupdate_batch,
+    "sdb_enc": sdb_enc_batch,
+    "sdb_sign": sdb_sign_batch,
+    "sdb_signed": sdb_signed_batch,
 }
 
 AGGREGATE_UDFS = {
@@ -188,9 +322,13 @@ def register_sdb_udfs(registry: UDFRegistry) -> None:
     """Install the SDB UDF set into an engine's registry.
 
     This is the entire server-side footprint of SDB -- the engine itself is
-    unmodified (paper Section 2.2).
+    unmodified (paper Section 2.2).  Scalar UDFs are registered with their
+    vectorized batch forms so the columnar executor evaluates share
+    arithmetic one column at a time.
     """
     for name, func in SCALAR_UDFS.items():
         registry.register_scalar(name, func, replace=True)
+    for name, func in BATCH_UDFS.items():
+        registry.register_batch(name, func, replace=True)
     for name, cls in AGGREGATE_UDFS.items():
         registry.register_aggregate(name, cls(), replace=True)

@@ -105,11 +105,46 @@ def modinv(a: int, m: int) -> int:
     Raises :class:`ValueError` when ``gcd(a, m) != 1`` (the inverse does not
     exist); SDB's encryption function relies on item keys being units mod n,
     which key generation guarantees.
+
+    Dispatches to CPython's native ``pow(a, -1, m)`` (C bigint code) and
+    keeps the extended-Euclid fallback message for the error case.
     """
-    g, s, _ = egcd(a % m, m)
-    if g != 1:
-        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
-    return s % m
+    try:
+        return pow(a % m, -1, m)
+    except ValueError:
+        g, _, _ = egcd(a % m, m)
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})") from None
+
+
+def batch_modinv(values, m: int) -> list[int]:
+    """Invert many values modulo ``m`` with a single :func:`modinv` call.
+
+    Montgomery's batch-inversion trick: one pass of prefix products, one
+    modular inverse of the total, and one back-substitution pass -- ``3k``
+    multiplications instead of ``k`` extended-Euclid/``pow`` inversions.
+    This is the number-theoretic half of the columnar encrypt path
+    (:func:`repro.crypto.secret_sharing.encrypt_column`).
+
+    If any value is not a unit mod ``m``, falls back to per-value
+    inversion so the error names the offending element, matching the
+    scalar path.
+    """
+    values = list(values)
+    prefix = []
+    acc = 1
+    for v in values:
+        prefix.append(acc)
+        acc = acc * v % m
+    try:
+        inv = modinv(acc, m)
+    except ValueError:
+        # at least one non-unit: re-raise against the precise offender
+        return [modinv(v, m) for v in values]
+    out = [0] * len(values)
+    for i in range(len(values) - 1, -1, -1):
+        out[i] = prefix[i] * inv % m
+        inv = inv * values[i] % m
+    return out
 
 
 def gcd(a: int, b: int) -> int:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.crypto.prf import prf_int
 
@@ -64,17 +65,25 @@ class SIESCipher:
     row); any unique-per-row integer works.
     """
 
+    #: PRF input width for the nonce encoding (one source of truth for the
+    #: scalar and bulk paths)
+    _NONCE_BYTES = 16
+
     def __init__(self, key: SIESKey):
         self._key = key
+        # pad parameters are fixed per key; derive once so the scalar and
+        # bulk paths can never drift apart
+        self._pad_bits = max(key.modulus.bit_length() + 64, 128)
 
     @property
     def modulus(self) -> int:
         return self._key.modulus
 
     def _pad(self, nonce: int) -> int:
-        bits = max(self._key.modulus.bit_length() + 64, 128)
         return prf_int(
-            self._key.key, nonce.to_bytes(16, "big", signed=False), bits
+            self._key.key,
+            nonce.to_bytes(self._NONCE_BYTES, "big", signed=False),
+            self._pad_bits,
         ) % self._key.modulus
 
     def encrypt(self, plaintext: int, nonce: int) -> SIESCiphertext:
@@ -87,6 +96,41 @@ class SIESCipher:
 
     def decrypt(self, ciphertext: SIESCiphertext) -> int:
         return (ciphertext.value - self._pad(ciphertext.nonce)) % self._key.modulus
+
+    def encrypt_many(
+        self, plaintexts: Sequence[int], nonces: Sequence[int]
+    ) -> list[SIESCiphertext]:
+        """Encrypt a column of row ids in one pass (upload pipeline).
+
+        Same per-element semantics as :meth:`encrypt`, with the key
+        material, modulus and PRF parameters hoisted out of the loop so the
+        only per-row work is the PRF call and one modular addition.
+        """
+        modulus = self._key.modulus
+        key = self._key.key
+        bits = self._pad_bits
+        width = self._NONCE_BYTES
+        out = []
+        for plaintext, nonce in zip(plaintexts, nonces):
+            if not 0 <= plaintext < modulus:
+                raise ValueError("plaintext outside SIES modulus range")
+            pad = prf_int(key, nonce.to_bytes(width, "big", signed=False), bits)
+            out.append(
+                SIESCiphertext(value=(plaintext + pad) % modulus, nonce=nonce)
+            )
+        return out
+
+    def decrypt_many(self, ciphertexts: Sequence[SIESCiphertext]) -> list[int]:
+        """Decrypt a column of ciphertexts (inverse of :meth:`encrypt_many`)."""
+        modulus = self._key.modulus
+        key = self._key.key
+        bits = self._pad_bits
+        width = self._NONCE_BYTES
+        return [
+            (c.value - prf_int(key, c.nonce.to_bytes(width, "big", signed=False), bits))
+            % modulus
+            for c in ciphertexts
+        ]
 
     def add(self, a: SIESCiphertext, b: SIESCiphertext, nonce: int) -> SIESCiphertext:
         """Additive homomorphism: re-noised ciphertext of ``a + b``.

@@ -7,8 +7,10 @@ needs from the substrate:
 * a catalog of tables (:mod:`repro.engine.catalog`),
 * columnar storage (:mod:`repro.engine.table`),
 * a SQL executor with joins, grouping, sorting and subqueries
-  (:mod:`repro.engine.executor`),
-* an extensible scalar/aggregate UDF registry (:mod:`repro.engine.udf`).
+  (:mod:`repro.engine.executor`), including a columnar batch fast path
+  (:mod:`repro.engine.columnar`) for single-table pipelines,
+* an extensible scalar/aggregate UDF registry (:mod:`repro.engine.udf`)
+  with optional vectorized batch forms.
 
 Nothing in this package knows about encryption; SDB's UDFs are registered
 into it like any other user-defined function, which is the paper's central
@@ -17,6 +19,7 @@ set of SDB UDFs").
 """
 
 from repro.engine.catalog import Catalog
+from repro.engine.columnar import BatchScope, BatchUnsupported, ColumnBatch
 from repro.engine.executor import Engine
 from repro.engine.schema import ColumnSpec, DataType, Schema
 from repro.engine.table import Table
@@ -31,4 +34,7 @@ __all__ = [
     "DataType",
     "UDFRegistry",
     "AggregateUDF",
+    "ColumnBatch",
+    "BatchScope",
+    "BatchUnsupported",
 ]

@@ -1,0 +1,164 @@
+"""Columnar batch execution primitives.
+
+The row interpreter in :mod:`repro.engine.executor` pays a fixed price per
+row: a bindings dict, a :class:`RowScope`, an :class:`Evaluator` and one
+dynamic dispatch per AST node.  For the scan -> filter -> project ->
+aggregate pipelines that dominate SDB workloads (and every secure-UDF
+expression, which is just ring arithmetic over big integers) none of that
+per-row machinery is needed: the same expression applies to every row.
+
+This module provides the batch-side representation:
+
+* :class:`ColumnBatch` -- a schema plus parallel value vectors, convertible
+  to and from :class:`repro.engine.table.Table` without copying columns;
+* :class:`BatchScope` -- name resolution over column vectors with *lazy
+  selection*: filters narrow the scope to a set of row indices and columns
+  are compacted only when an expression actually reads them;
+* :exc:`BatchUnsupported` -- raised whenever a query shape falls outside
+  the batch path; the executor catches it and transparently re-runs the
+  query on the row interpreter, which remains the reference semantics.
+
+Columns are plain Python lists rather than ``array``/NumPy vectors on
+purpose: encrypted shares are 256..2048-bit integers that no fixed-width
+machine vector can hold, so the vectorization win here is architectural --
+one interpretation of the expression per *column* instead of per *cell* --
+plus batched number theory (:func:`repro.crypto.ntheory.batch_modinv`).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional, Sequence
+
+from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.table import Table
+
+
+class BatchUnsupported(Exception):
+    """The batch path cannot run this query shape; fall back to rows."""
+
+
+class ColumnBatch:
+    """A batch of rows in columnar form: names, specs and value vectors."""
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[list]):
+        if len(columns) != len(schema.columns):
+            raise ValueError(
+                f"schema has {len(schema.columns)} columns, data has {len(columns)}"
+            )
+        self.schema = schema
+        self.columns = list(columns)
+
+    @classmethod
+    def from_table(cls, table: Table) -> "ColumnBatch":
+        """Zero-copy view over a table's column vectors."""
+        return cls(table.schema, table.columns)
+
+    @classmethod
+    def from_columns(cls, names: Sequence[str], columns: Sequence[list]) -> "ColumnBatch":
+        """Build a batch from raw output columns, inferring specs."""
+        specs = tuple(
+            infer_column_spec(name, column) for name, column in zip(names, columns)
+        )
+        return cls(Schema(specs), list(columns))
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name: str) -> list:
+        return self.columns[self.schema.index_of(name)]
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        return ColumnBatch(
+            self.schema, [[col[i] for i in indices] for col in self.columns]
+        )
+
+    def to_table(self) -> Table:
+        """Materialize as an engine table (shares the column lists)."""
+        table = Table.__new__(Table)
+        table.schema = self.schema
+        table.columns = self.columns
+        return table
+
+
+class BatchScope:
+    """Column-vector name resolution with lazy, composable selection.
+
+    ``bindings`` maps ``binding -> {column name -> vector}`` over the *base*
+    vectors; ``indices`` (when set) is the current selection into them.
+    :meth:`lookup` compacts a column through the selection at most once --
+    repeated reads of the same column (projection after filtering on it)
+    hit the cache.
+    """
+
+    __slots__ = ("bindings", "length", "_indices", "_cache")
+
+    def __init__(
+        self,
+        bindings: dict,
+        length: int,
+        indices: Optional[list] = None,
+    ):
+        self.bindings = bindings
+        self._indices = indices
+        self._cache: dict = {}
+        self.length = length if indices is None else len(indices)
+
+    @classmethod
+    def for_table(cls, binding: str, table: Table) -> "BatchScope":
+        columns = dict(zip(table.schema.names, table.columns))
+        return cls({binding: columns}, table.num_rows)
+
+    def select(self, local_indices: list) -> "BatchScope":
+        """Narrow to the given row positions (relative to this scope)."""
+        if self._indices is None:
+            base = list(local_indices)
+        else:
+            indices = self._indices
+            base = [indices[i] for i in local_indices]
+        return BatchScope(self.bindings, len(base), indices=base)
+
+    def lookup(self, name: str, table: Optional[str] = None) -> list:
+        key = (table, name)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        column = self._lookup_base(name, table)
+        if self._indices is not None:
+            column = [column[i] for i in self._indices]
+        self._cache[key] = column
+        return column
+
+    def _lookup_base(self, name: str, table: Optional[str]) -> list:
+        if table is not None:
+            columns = self.bindings.get(table)
+            if columns is None or name not in columns:
+                raise BatchUnsupported(f"unknown column {table}.{name}")
+            return columns[name]
+        hits = [
+            columns[name] for columns in self.bindings.values() if name in columns
+        ]
+        if len(hits) != 1:
+            # unknown or ambiguous: the row path raises the proper error
+            raise BatchUnsupported(f"cannot resolve column {name!r}")
+        return hits[0]
+
+
+def infer_column_spec(name: str, values: Sequence) -> ColumnSpec:
+    """Infer a column spec from the first non-NULL value (row-path rules)."""
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool):
+            return ColumnSpec(name, DataType.BOOL)
+        if isinstance(v, int):
+            return ColumnSpec(name, DataType.INT)
+        if isinstance(v, float):
+            return ColumnSpec(name, DataType.DECIMAL, scale=2)
+        if isinstance(v, datetime.date):
+            return ColumnSpec(name, DataType.DATE)
+        return ColumnSpec(name, DataType.STRING)
+    return ColumnSpec(name, DataType.STRING)

@@ -12,16 +12,40 @@ The executor is deliberately engine-agnostic about *what* the values are:
 encrypted shares flow through scans, joins and group-bys exactly like plain
 values, and only UDFs interpret them.  That property is the architectural
 point of the paper (Section 2.2).
+
+Two execution paths share this pipeline:
+
+* the **row path** -- the reference interpreter described above;
+* the **batch path** -- a columnar fast path for single-table
+  scan -> filter -> project -> aggregate queries, which evaluates each
+  expression once per *column* through
+  :class:`~repro.engine.expressions.BatchEvaluator` instead of once per
+  row.  Any shape the batch path cannot handle (joins, subqueries,
+  intervals, unresolvable ORDER BY) falls back to the row path; any
+  *error* raised while batch-evaluating also falls back, so queries that
+  legitimately fail produce the row path's exception.  ``last_exec_path``
+  records which path produced the last top-level result.
 """
 
 from __future__ import annotations
 
-import datetime
 from typing import Optional, Sequence
 
 from repro.engine.catalog import Catalog
-from repro.engine.expressions import Evaluator, EvaluationError, RowScope, _MISSING
-from repro.engine.schema import ColumnSpec, DataType, Schema
+from repro.engine.columnar import (
+    BatchScope,
+    BatchUnsupported,
+    ColumnBatch,
+    infer_column_spec,
+)
+from repro.engine.expressions import (
+    BatchEvaluator,
+    Evaluator,
+    EvaluationError,
+    RowScope,
+    _MISSING,
+)
+from repro.engine.schema import Schema
 from repro.engine.table import Table
 from repro.engine.udf import UDFRegistry
 from repro.sql import ast
@@ -54,9 +78,19 @@ class _TrackingScope(RowScope):
 class Engine:
     """Executes :class:`repro.sql.ast.Select` queries against a catalog."""
 
-    def __init__(self, catalog: Catalog, udfs: Optional[UDFRegistry] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: Optional[UDFRegistry] = None,
+        batch_enabled: bool = True,
+    ):
         self.catalog = catalog
         self.udfs = udfs or UDFRegistry()
+        self.batch_enabled = batch_enabled
+        #: 'batch' | 'row' -- which path produced the last top-level result.
+        self.last_exec_path: Optional[str] = None
+        #: why the batch path was not used, for observability ('' = it was).
+        self.last_batch_fallback: str = ""
         self._subquery_cache: dict = {}
         self._scan_cache: dict = {}
 
@@ -211,6 +245,39 @@ class Engine:
     def _execute_select(
         self, query: ast.Select, outer_scope, preplanned=None, drop_conjunct=None
     ) -> Table:
+        if (
+            self.batch_enabled
+            and outer_scope is None
+            and preplanned is None
+            and drop_conjunct is None
+            and isinstance(query.from_clause, ast.TableRef)
+        ):
+            try:
+                result = self._execute_batch(query)
+            except BatchUnsupported as exc:
+                self.last_batch_fallback = f"unsupported: {exc}"
+            except Exception as exc:  # noqa: BLE001 -- row path re-raises
+                # Semantic errors (division by zero, type mismatches, ...)
+                # must surface from the reference interpreter; eager batch
+                # evaluation may also error where per-row short-circuiting
+                # would not, and the retry resolves both cases identically.
+                self.last_batch_fallback = f"error: {exc!r}"
+            else:
+                self.last_exec_path = "batch"
+                self.last_batch_fallback = ""
+                return result
+        elif outer_scope is None:
+            self.last_batch_fallback = (
+                "disabled" if not self.batch_enabled
+                else "shape: not a single-table query"
+            )
+        if outer_scope is None:
+            self.last_exec_path = "row"
+        return self._execute_select_rows(query, outer_scope, preplanned, drop_conjunct)
+
+    def _execute_select_rows(
+        self, query: ast.Select, outer_scope, preplanned=None, drop_conjunct=None
+    ) -> Table:
         if query.from_clause is None:
             rows = [({}, ())]
             binding_columns: dict[str, tuple[str, ...]] = {}
@@ -244,6 +311,10 @@ class Engine:
                 query, rows, binding_columns, outer_scope
             )
 
+        return self._finish(query, result_rows, contexts, names, outer_scope)
+
+    def _finish(self, query, result_rows, contexts, names, outer_scope) -> Table:
+        """Shared DISTINCT -> ORDER BY -> LIMIT -> schema tail of SELECT."""
         if query.distinct:
             seen = set()
             deduped, dedup_ctx = [], []
@@ -270,6 +341,184 @@ class Engine:
             )
         )
         return Table.from_rows(schema, result_rows)
+
+    # -- batch (columnar) pipeline -----------------------------------------
+
+    def _execute_batch(self, query: ast.Select) -> Table:
+        """Columnar scan -> filter -> project/aggregate over one table.
+
+        Raises :exc:`BatchUnsupported` for shapes the batch evaluator
+        cannot express; the caller falls back to the row path.
+        """
+        table_ref = query.from_clause
+        table = self.catalog.get(table_ref.name)
+        binding = table_ref.binding
+        scope = BatchScope.for_table(binding, table)
+
+        # WHERE: evaluate each conjunct as a mask and cascade the selection
+        # so later conjuncts only see surviving rows (the columnar analogue
+        # of the row path's per-row short-circuit across conjuncts).
+        for conjunct in _split_conjuncts(query.where):
+            if scope.length == 0:
+                break
+            mask = BatchEvaluator(self, scope).evaluate(conjunct)
+            if isinstance(mask, list):
+                selected = [i for i, m in enumerate(mask) if m is True]
+                if len(selected) < scope.length:
+                    scope = scope.select(selected)
+            elif mask is not True:
+                scope = scope.select([])
+
+        aggregates = self._collect_aggregates(query)
+        if aggregates or query.group_by:
+            result_rows, contexts, names = self._batch_grouped(
+                query, scope, aggregates
+            )
+            return self._finish(query, result_rows, contexts, names, None)
+        return self._batch_projected(query, scope, {binding: table.schema.names})
+
+    def _batch_projected(self, query, scope, binding_columns) -> Table:
+        """Columnar projection with DISTINCT/ORDER BY/LIMIT handled in place.
+
+        The row path carries a per-row scope into :meth:`_order` so ORDER BY
+        can reference arbitrary expressions; here those expressions are
+        evaluated as extra columns over the same filtered scope instead.
+        """
+        items = self._expand_stars(query.items, binding_columns)
+        names = self._output_names_from(items)
+        evaluator = BatchEvaluator(self, scope)
+        out_columns = [evaluator.column(item.expr) for item in items]
+
+        order_keys = []
+        if query.order_by:
+            alias_to_index = {name: i for i, name in enumerate(names)}
+            for order_item in query.order_by:
+                expr = order_item.expr
+                if (
+                    isinstance(expr, ast.Column)
+                    and expr.table is None
+                    and expr.name in alias_to_index
+                ):
+                    column = out_columns[alias_to_index[expr.name]]
+                elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    column = out_columns[expr.value - 1]  # ORDER BY ordinal
+                else:
+                    column = evaluator.column(expr)
+                order_keys.append((column, order_item.descending))
+
+        if query.distinct:
+            seen = set()
+            indices = []
+            for i in range(scope.length):
+                key = tuple(column[i] for column in out_columns)
+                if key not in seen:
+                    seen.add(key)
+                    indices.append(i)
+        else:
+            indices = list(range(scope.length))
+
+        for column, descending in reversed(order_keys):
+            indices.sort(
+                key=lambda i: (column[i] is None, column[i]), reverse=descending
+            )
+
+        if query.limit is not None:
+            indices = indices[: query.limit]
+
+        if order_keys or len(indices) != scope.length:
+            out_columns = [[col[i] for i in indices] for col in out_columns]
+        else:
+            # bare-column projections pass the catalog's (or the scope
+            # cache's) own list through; copy so the result table never
+            # aliases live storage -- the row path copies unconditionally,
+            # and DML must not retroactively mutate returned results
+            out_columns = [list(col) for col in out_columns]
+        batch = ColumnBatch.from_columns(names, out_columns)
+        return batch.to_table()
+
+    def _batch_grouped(self, query, scope, aggregates):
+        """Hash aggregation over precomputed key and argument vectors."""
+        group_exprs = list(query.group_by)
+        evaluator = BatchEvaluator(self, scope)
+        key_columns = [evaluator.column(g) for g in group_exprs]
+
+        agg_inputs = []
+        for node in aggregates:
+            if isinstance(node, ast.Aggregate):
+                agg_inputs.append(
+                    None if node.arg is None else evaluator.column(node.arg)
+                )
+            else:  # aggregate UDF: keep batch-constant args as scalars
+                agg_inputs.append([evaluator.evaluate(a) for a in node.args])
+
+        if group_exprs:
+            buckets: dict = {}
+            order_of_groups: list = []
+            for i in range(scope.length):
+                key = tuple(column[i] for column in key_columns)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = bucket = []
+                    order_of_groups.append(key)
+                bucket.append(i)
+        else:
+            # a global aggregate yields one row even over empty input
+            buckets = {(): list(range(scope.length))}
+            order_of_groups = [()]
+
+        names = self._output_names(query)
+        result_rows, contexts = [], []
+        for key in order_of_groups:
+            indices = buckets[key]
+            bound = dict(zip(group_exprs, key))
+            for node, inputs in zip(aggregates, agg_inputs):
+                bound[node] = self._fold_aggregate(node, inputs, indices)
+            scope_out = RowScope({}, outer=None)
+            evaluator_out = Evaluator(self, scope_out, bound=bound)
+            if query.having is not None and evaluator_out.evaluate(query.having) is not True:
+                continue
+            result_rows.append([evaluator_out.evaluate(item.expr) for item in query.items])
+            contexts.append((scope_out, bound))
+        return result_rows, contexts, names
+
+    def _fold_aggregate(self, node, inputs, indices):
+        """Aggregate one group from precomputed argument vectors."""
+        if isinstance(node, ast.Aggregate):
+            if node.func == "count" and node.arg is None:
+                return len(indices)
+            column = inputs
+            values = [column[i] for i in indices if column[i] is not None]
+            if node.distinct and node.func in ("count", "sum", "avg"):
+                # MIN/MAX fall through: DISTINCT cannot change their result
+                distinct = set(values)
+                if node.func == "count":
+                    return len(distinct)
+                if node.func == "sum":
+                    return sum(distinct) if distinct else None
+                return (sum(distinct) / len(distinct)) if distinct else None
+            if node.func == "count":
+                return len(values)
+            if not values:
+                return None
+            if node.func == "sum":
+                return sum(values)
+            if node.func == "avg":
+                return sum(values) / len(values)
+            if node.func == "min":
+                return min(values)
+            return max(values)
+        udf = self.udfs.aggregate(node.name)
+        folded = udf.fold(inputs, indices)
+        if folded is not NotImplemented:
+            return folded
+        state = udf.initial
+        step = udf.step
+        for i in indices:
+            state = step(
+                state,
+                *(arg[i] if isinstance(arg, list) else arg for arg in inputs),
+            )
+        return udf.finish(state)
 
     # -- FROM planning -----------------------------------------------------------
 
@@ -593,7 +842,8 @@ def _builtin_step(node: ast.Aggregate, state, evaluator: Evaluator):
     value = evaluator.evaluate(node.arg)
     if value is None:
         return state
-    if node.distinct:
+    if node.distinct and node.func in ("count", "sum", "avg"):
+        # MIN/MAX are insensitive to DISTINCT; they keep the plain state
         state["distinct"].add(value)
         return state
     if node.func == "count":
@@ -776,17 +1026,5 @@ def _greedy_order(planned, conjuncts) -> list:
     return order
 
 
-def _infer_spec(name: str, values) -> ColumnSpec:
-    for v in values:
-        if v is None:
-            continue
-        if isinstance(v, bool):
-            return ColumnSpec(name, DataType.BOOL)
-        if isinstance(v, int):
-            return ColumnSpec(name, DataType.INT)
-        if isinstance(v, float):
-            return ColumnSpec(name, DataType.DECIMAL, scale=2)
-        if isinstance(v, datetime.date):
-            return ColumnSpec(name, DataType.DATE)
-        return ColumnSpec(name, DataType.STRING)
-    return ColumnSpec(name, DataType.STRING)
+#: row-path alias for the shared inference rules in :mod:`repro.engine.columnar`
+_infer_spec = infer_column_spec

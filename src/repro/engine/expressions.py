@@ -9,14 +9,23 @@ Scalar UDF calls dispatch through the engine's :class:`UDFRegistry`;
 subqueries call back into the engine with the current scope as the outer
 environment (correlated subqueries read outer columns through the scope
 chain).
+
+:class:`BatchEvaluator` is the column-at-a-time twin of :class:`Evaluator`:
+it evaluates the same AST over a :class:`repro.engine.columnar.BatchScope`,
+returning one vector per expression instead of one value per row.  Shapes
+it cannot handle raise :exc:`~repro.engine.columnar.BatchUnsupported`, and
+the executor falls back to the row path, which stays the reference
+semantics.
 """
 
 from __future__ import annotations
 
 import datetime
+import itertools
 import re
 from typing import Optional
 
+from repro.engine.columnar import BatchScope, BatchUnsupported
 from repro.sql import ast
 
 
@@ -347,4 +356,338 @@ class Evaluator:
         ast.ScalarSubquery: _eval_scalar_subquery,
         ast.InSubquery: _eval_in_subquery,
         ast.Exists: _eval_exists,
+    }
+
+
+# -- batch (columnar) evaluation ----------------------------------------------
+#
+# Scalar kernels replicate the row evaluator's semantics exactly, including
+# NULL propagation, three-valued logic and the division-by-zero error.  The
+# one intentional difference is *eagerness*: AND/OR/CASE evaluate every
+# branch over the whole batch, where the row path short-circuits per row.
+# An expression that only errors on short-circuited rows therefore raises
+# here -- the executor catches any batch-path exception and re-runs on the
+# row path, so user-visible behavior is unchanged.
+
+
+def _k_add(a, b):
+    return None if a is None or b is None else a + b
+
+
+def _k_sub(a, b):
+    return None if a is None or b is None else a - b
+
+
+def _k_mul(a, b):
+    return None if a is None or b is None else a * b
+
+
+def _k_div(a, b):
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise EvaluationError("division by zero")
+    if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+        return a // b
+    return a / b
+
+
+def _k_concat(a, b):
+    return None if a is None or b is None else str(a) + str(b)
+
+
+def _k_eq(a, b):
+    return None if a is None or b is None else a == b
+
+
+def _k_ne(a, b):
+    return None if a is None or b is None else a != b
+
+
+def _k_lt(a, b):
+    return None if a is None or b is None else a < b
+
+
+def _k_le(a, b):
+    return None if a is None or b is None else a <= b
+
+
+def _k_gt(a, b):
+    return None if a is None or b is None else a > b
+
+
+def _k_ge(a, b):
+    return None if a is None or b is None else a >= b
+
+
+def _k_and(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return a and b
+
+
+def _k_or(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return a or b
+
+
+_BATCH_BINARY = {
+    "+": _k_add,
+    "-": _k_sub,
+    "*": _k_mul,
+    "/": _k_div,
+    "||": _k_concat,
+    "=": _k_eq,
+    "<>": _k_ne,
+    "<": _k_lt,
+    "<=": _k_le,
+    ">": _k_gt,
+    ">=": _k_ge,
+    "and": _k_and,
+    "or": _k_or,
+}
+
+
+class BatchEvaluator:
+    """Evaluates expressions over whole columns.
+
+    ``evaluate`` returns either a ``list`` (one value per row of the scope)
+    or a bare scalar, meaning the expression is constant over the batch;
+    ``column`` always materializes the vector.  Values themselves are never
+    lists, so the two cases are unambiguous.
+    """
+
+    __slots__ = ("_engine", "_scope")
+
+    def __init__(self, engine, scope: BatchScope):
+        self._engine = engine
+        self._scope = scope
+
+    def evaluate(self, expr: ast.Expr):
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise BatchUnsupported(f"no batch rule for {type(expr).__name__}")
+        return method(self, expr)
+
+    def column(self, expr: ast.Expr) -> list:
+        """Evaluate and broadcast constants to a full vector."""
+        out = self.evaluate(expr)
+        if isinstance(out, list):
+            return out
+        return [out] * self._scope.length
+
+    # -- combination helpers ------------------------------------------------
+
+    @staticmethod
+    def _map2(fn, left, right):
+        left_vec = isinstance(left, list)
+        right_vec = isinstance(right, list)
+        if left_vec and right_vec:
+            return [fn(a, b) for a, b in zip(left, right)]
+        if left_vec:
+            return [fn(a, right) for a in left]
+        if right_vec:
+            return [fn(left, b) for b in right]
+        return fn(left, right)
+
+    # -- leaves -------------------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal):
+        return expr.value
+
+    def _eval_column(self, expr: ast.Column):
+        return self._scope.lookup(expr.name, expr.table)
+
+    # -- operators ----------------------------------------------------------
+
+    def _eval_binary(self, expr: ast.BinaryOp):
+        # interval operands never reach here: ast.Interval dispatches to
+        # _eval_unsupported, so interval arithmetic falls back at that node
+        fn = _BATCH_BINARY.get(expr.op)
+        if fn is None:
+            raise BatchUnsupported(f"no batch rule for operator {expr.op!r}")
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+        return self._map2(fn, left, right)
+
+    def _eval_unary(self, expr: ast.UnaryOp):
+        value = self.evaluate(expr.operand)
+        if expr.op == "-":
+            fn = lambda v: None if v is None else -v  # noqa: E731
+        elif expr.op == "not":
+            fn = lambda v: None if v is None else not v  # noqa: E731
+        else:
+            raise BatchUnsupported(f"unary operator {expr.op!r}")
+        if isinstance(value, list):
+            return [fn(v) for v in value]
+        return fn(value)
+
+    # -- functions ----------------------------------------------------------
+
+    def _eval_func(self, expr: ast.FuncCall):
+        udfs = self._engine.udfs
+        if not udfs.has_batch(expr.name):
+            # Only register_batch entries promise per-row purity.  A plain
+            # scalar UDF may be stateful, and eager AND/OR/CASE evaluation
+            # would call it more often than the row path's short-circuit
+            # does -- a silent divergence, so take the row path instead.
+            raise BatchUnsupported(
+                f"scalar UDF {expr.name!r} has no batch form"
+            )
+        args = [self.evaluate(a) for a in expr.args]
+        return udfs.batch(expr.name)(self._scope.length, *args)
+
+    def _eval_case(self, expr: ast.CaseWhen):
+        conditions = [self.column(cond) for cond, _ in expr.branches]
+        results = [self.evaluate(result) for _, result in expr.branches]
+        default = (
+            self.evaluate(expr.default) if expr.default is not None else None
+        )
+        out = []
+        for i in range(self._scope.length):
+            value = default[i] if isinstance(default, list) else default
+            for cond, result in zip(conditions, results):
+                if cond[i] is True:
+                    value = result[i] if isinstance(result, list) else result
+                    break
+            out.append(value)
+        return out
+
+    def _eval_between(self, expr: ast.Between):
+        negated = expr.negated
+
+        def fn(s, lo, hi):
+            if s is None or lo is None or hi is None:
+                return None
+            result = lo <= s <= hi
+            return not result if negated else result
+
+        subject = self.evaluate(expr.subject)
+        low = self.evaluate(expr.low)
+        high = self.evaluate(expr.high)
+        if not any(isinstance(v, list) for v in (subject, low, high)):
+            return fn(subject, low, high)
+        # zip stops at the real vector(s); repeat() keeps batch-constant
+        # operands scalar instead of materializing constant columns
+        iters = (
+            v if isinstance(v, list) else itertools.repeat(v)
+            for v in (subject, low, high)
+        )
+        return [fn(s, lo, hi) for s, lo, hi in zip(*iters)]
+
+    def _eval_in_list(self, expr: ast.InList):
+        subject = self.evaluate(expr.subject)
+        items = [self.evaluate(item) for item in expr.items]
+        negated = expr.negated
+        if not any(isinstance(item, list) for item in items):
+            # constant item list: one membership set for the whole batch
+            present = {item for item in items if item is not None}
+            has_null = any(item is None for item in items)
+
+            def fn(s):
+                if s is None:
+                    return None
+                result = s in present
+                if not result and has_null:
+                    return None
+                return not result if negated else result
+
+            if isinstance(subject, list):
+                return [fn(s) for s in subject]
+            return fn(subject)
+        broadcast = self._scope.length
+        subject_vec = subject if isinstance(subject, list) else [subject] * broadcast
+        item_vecs = [
+            item if isinstance(item, list) else [item] * broadcast
+            for item in items
+        ]
+        out = []
+        for i, s in enumerate(subject_vec):
+            if s is None:
+                out.append(None)
+                continue
+            row_items = [vec[i] for vec in item_vecs]
+            result = s in [v for v in row_items if v is not None]
+            if not result and any(v is None for v in row_items):
+                out.append(None)
+                continue
+            out.append(not result if negated else result)
+        return out
+
+    def _eval_like(self, expr: ast.Like):
+        pattern = like_to_regex(expr.pattern)  # compiled once per batch
+        negated = expr.negated
+
+        def fn(s):
+            if s is None:
+                return None
+            result = bool(pattern.match(str(s)))
+            return not result if negated else result
+
+        subject = self.evaluate(expr.subject)
+        if isinstance(subject, list):
+            return [fn(s) for s in subject]
+        return fn(subject)
+
+    def _eval_is_null(self, expr: ast.IsNull):
+        subject = self.evaluate(expr.subject)
+        negated = expr.negated
+        if isinstance(subject, list):
+            if negated:
+                return [v is not None for v in subject]
+            return [v is None for v in subject]
+        return (subject is not None) if negated else (subject is None)
+
+    def _eval_extract(self, expr: ast.Extract):
+        unit = expr.unit
+        value = self.evaluate(expr.operand)
+        if isinstance(value, list):
+            return [None if v is None else getattr(v, unit) for v in value]
+        return None if value is None else getattr(value, unit)
+
+    def _eval_substring(self, expr: ast.Substring):
+        value = self.column(expr.operand)
+        start = self.column(expr.start)
+        length = self.column(expr.length) if expr.length is not None else None
+        out = []
+        for i, v in enumerate(value):
+            if v is None:
+                out.append(None)
+                continue
+            begin = max(int(start[i]) - 1, 0)
+            text = str(v)
+            if length is None:
+                out.append(text[begin:])
+            else:
+                out.append(text[begin : begin + int(length[i])])
+        return out
+
+    # -- unsupported shapes --------------------------------------------------
+
+    def _eval_unsupported(self, expr):
+        raise BatchUnsupported(f"{type(expr).__name__} requires the row path")
+
+    _DISPATCH = {
+        ast.Literal: _eval_literal,
+        ast.Column: _eval_column,
+        ast.BinaryOp: _eval_binary,
+        ast.UnaryOp: _eval_unary,
+        ast.FuncCall: _eval_func,
+        ast.CaseWhen: _eval_case,
+        ast.Between: _eval_between,
+        ast.InList: _eval_in_list,
+        ast.Like: _eval_like,
+        ast.IsNull: _eval_is_null,
+        ast.Extract: _eval_extract,
+        ast.Substring: _eval_substring,
+        ast.Interval: _eval_unsupported,
+        ast.Aggregate: _eval_unsupported,
+        ast.ScalarSubquery: _eval_unsupported,
+        ast.InSubquery: _eval_unsupported,
+        ast.Exists: _eval_unsupported,
     }

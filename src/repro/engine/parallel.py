@@ -176,12 +176,16 @@ class ParallelEngine:
         udfs: Optional[UDFRegistry] = None,
         num_partitions: int = 4,
         scheduler: Optional[TaskScheduler] = None,
+        batch_enabled: bool = True,
     ):
         self.catalog = catalog
         self.udfs = udfs or UDFRegistry()
         self.num_partitions = num_partitions
         self.scheduler = scheduler or TaskScheduler()
-        self._serial = Engine(catalog, self.udfs)
+        #: partition tasks and the merge engine inherit this flag, so every
+        #: eligible partial query runs on the columnar batch path.
+        self.batch_enabled = batch_enabled
+        self._serial = Engine(catalog, self.udfs, batch_enabled=batch_enabled)
         self.last_plan: Optional[ParallelPlan] = None
 
     # -- public surface ------------------------------------------------------
@@ -293,7 +297,8 @@ class ParallelEngine:
             def task():
                 catalog = Catalog()
                 catalog.create(binding, part)
-                return Engine(catalog, self.udfs).execute(partial)
+                engine = Engine(catalog, self.udfs, batch_enabled=self.batch_enabled)
+                return engine.execute(partial)
 
             return task
 
@@ -303,7 +308,10 @@ class ParallelEngine:
         union = _concat_tables(results)
         merge_catalog = Catalog()
         merge_catalog.create(_PARTIALS_TABLE, union)
-        out = Engine(merge_catalog, self.udfs).execute(merge)
+        merge_engine = Engine(
+            merge_catalog, self.udfs, batch_enabled=self.batch_enabled
+        )
+        out = merge_engine.execute(merge)
         self.last_plan = ParallelPlan(
             mode="parallel",
             reason="partial aggregation" if aggregates else "partitioned scan",

@@ -42,6 +42,16 @@ class Table:
                 col.append(value)
         return cls(schema, columns)
 
+    def to_batch(self):
+        """View this table as a :class:`~repro.engine.columnar.ColumnBatch`.
+
+        Zero-copy: the batch shares this table's column lists, which is safe
+        for query execution because scans never mutate tables.
+        """
+        from repro.engine.columnar import ColumnBatch
+
+        return ColumnBatch.from_table(self)
+
     # -- shape ----------------------------------------------------------------
 
     @property

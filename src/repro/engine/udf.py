@@ -5,6 +5,14 @@ easily support any other relational engine by implementing a set of UDFs
 that work with that particular system" (Section 2.2).  The engine calls
 scalar UDFs row-at-a-time from expressions and aggregate UDFs through the
 init/step/finish protocol from the grouping operator.
+
+The columnar batch path adds a second, optional calling convention: a
+*batch* UDF receives whole argument vectors (or scalars, for arguments
+that are constant over the batch) and returns one output vector.  A batch
+registration never changes semantics -- it must agree with the scalar UDF
+of the same name on every row -- it only removes the per-row call
+overhead.  Names without a batch registration are transparently mapped
+row-wise by the batch evaluator.
 """
 
 from __future__ import annotations
@@ -16,12 +24,26 @@ class UDFError(KeyError):
     """Unknown UDF name."""
 
 
+def rows_from_args(num_rows: int, args: tuple):
+    """Iterate per-row argument tuples from batch calling-convention args.
+
+    Each argument is a vector (list) or a batch-constant scalar; scalars
+    are broadcast.  This is the one place the batch convention's
+    "list means vector" rule is decoded for row-wise mapping.
+    """
+    vectors = [a if isinstance(a, list) else [a] * num_rows for a in args]
+    return zip(*vectors)
+
+
 class AggregateUDF:
     """Base class for aggregate UDFs.
 
     Subclasses implement ``step(state, *args) -> state`` and
     ``finish(state) -> value``; ``initial`` is the starting state.  The
     grouping operator drives one instance per group.
+
+    Subclasses may additionally implement :meth:`fold` to aggregate a whole
+    group in one call on the batch path.
     """
 
     initial = None
@@ -32,6 +54,17 @@ class AggregateUDF:
     def finish(self, state):
         return state
 
+    def fold(self, columns: list, indices: list):
+        """Vectorized whole-group aggregation (optional).
+
+        ``columns`` holds one entry per UDF argument -- a list indexed by
+        row position, or a bare scalar when the argument is constant over
+        the batch; ``indices`` selects the group's rows.  Return the
+        finished aggregate value, or ``NotImplemented`` to make the engine
+        fall back to the step/finish protocol.
+        """
+        return NotImplemented
+
 
 class UDFRegistry:
     """Named scalar and aggregate UDFs."""
@@ -39,6 +72,7 @@ class UDFRegistry:
     def __init__(self):
         self._scalar: dict[str, Callable] = {}
         self._aggregate: dict[str, AggregateUDF] = {}
+        self._batch: dict[str, Callable] = {}
 
     def register_scalar(self, name: str, func: Callable, replace: bool = False) -> None:
         key = name.lower()
@@ -64,11 +98,34 @@ class UDFRegistry:
         except KeyError:
             raise UDFError(f"unknown aggregate UDF {name!r}") from None
 
+    def register_batch(self, name: str, func: Callable, replace: bool = False) -> None:
+        """Register the vectorized form of an existing scalar UDF.
+
+        ``func`` is called as ``func(num_rows, *args)`` where each argument
+        is a vector (list) or a batch-constant scalar, and must return a
+        list of ``num_rows`` values identical to mapping the scalar UDF.
+        """
+        key = name.lower()
+        if key not in self._scalar:
+            raise UDFError(f"batch UDF {name!r} has no scalar counterpart")
+        if key in self._batch and not replace:
+            raise ValueError(f"batch UDF {name!r} already registered")
+        self._batch[key] = func
+
+    def batch(self, name: str) -> Callable:
+        try:
+            return self._batch[name.lower()]
+        except KeyError:
+            raise UDFError(f"unknown batch UDF {name!r}") from None
+
     def has_scalar(self, name: str) -> bool:
         return name.lower() in self._scalar
 
     def has_aggregate(self, name: str) -> bool:
         return name.lower() in self._aggregate
+
+    def has_batch(self, name: str) -> bool:
+        return name.lower() in self._batch
 
     def names(self) -> list[str]:
         return sorted(set(self._scalar) | set(self._aggregate))

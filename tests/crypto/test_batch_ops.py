@@ -1,0 +1,104 @@
+"""Vectorized crypto: batch inversion and bulk encrypt/decrypt paths.
+
+Every batch function must agree element-for-element with its scalar
+counterpart -- the batch forms exist to amortize cost (one modular inverse
+per column, hoisted key material), never to change semantics.
+"""
+
+import pytest
+
+from repro.crypto import ntheory
+from repro.crypto import secret_sharing as ss
+from repro.crypto.prf import seeded_rng
+from repro.crypto.sies import SIESCipher, SIESKey
+
+
+def test_batch_modinv_matches_scalar():
+    m = 2**61 - 1  # prime: everything nonzero is a unit
+    rng = seeded_rng(41)
+    values = [rng.randrange(1, m) for _ in range(257)]
+    assert ntheory.batch_modinv(values, m) == [ntheory.modinv(v, m) for v in values]
+
+
+def test_batch_modinv_composite_modulus():
+    m = 35
+    values = [1, 2, 3, 4, 6, 8, 9, 11, 34]  # all units mod 35
+    out = ntheory.batch_modinv(values, m)
+    for v, inv in zip(values, out):
+        assert v * inv % m == 1
+
+
+def test_batch_modinv_empty():
+    assert ntheory.batch_modinv([], 97) == []
+
+
+def test_batch_modinv_names_the_offender():
+    # 7 shares a factor with 35; the error must match the scalar path's
+    with pytest.raises(ValueError, match="7 has no inverse"):
+        ntheory.batch_modinv([2, 7, 3], 35)
+
+
+def test_modinv_zero_raises():
+    with pytest.raises(ValueError):
+        ntheory.modinv(0, 97)
+
+
+def test_item_keys_match_scalar(small_keys):
+    rng = seeded_rng(42)
+    ck = small_keys.random_column_key(rng)
+    row_ids = [small_keys.random_row_id(rng) for _ in range(50)]
+    assert ss.item_keys(small_keys, row_ids, ck) == [
+        ss.item_key(small_keys, r, ck) for r in row_ids
+    ]
+
+
+def test_encrypt_column_matches_scalar_path(small_keys):
+    rng = seeded_rng(43)
+    ck = small_keys.random_column_key(rng)
+    row_ids = [small_keys.random_row_id(rng) for _ in range(64)]
+    values = [rng.randrange(0, 2**24) for _ in range(64)]
+    column = ss.encrypt_column(small_keys, values, row_ids, ck)
+    scalar = [
+        ss.encrypt_value(small_keys, v, ss.item_key(small_keys, r, ck))
+        for v, r in zip(values, row_ids)
+    ]
+    assert column == scalar
+
+
+def test_column_round_trip(small_keys):
+    rng = seeded_rng(44)
+    ck = small_keys.random_column_key(rng)
+    row_ids = [small_keys.random_row_id(rng) for _ in range(128)]
+    values = [rng.randrange(0, 2**24) for _ in range(128)]
+    shares = ss.encrypt_column(small_keys, values, row_ids, ck)
+    recovered = ss.decrypt_column(small_keys, shares, row_ids, ck)
+    assert recovered == [v % small_keys.n for v in values]
+
+
+def test_paper_figure_round_trip(paper_figure_keys):
+    """The Figure 1 toy parameters survive the batch path too."""
+    keys = paper_figure_keys
+    ck = type(keys.random_column_key(seeded_rng(1)))(m=2, x=2)
+    row_ids = [1, 2, 3, 4]
+    values = [1, 2, 3, 4]
+    shares = ss.encrypt_column(keys, values, row_ids, ck)
+    assert ss.decrypt_column(keys, shares, row_ids, ck) == values
+
+
+def test_sies_many_matches_scalar():
+    key = SIESKey.generate(modulus=2**32, rng=seeded_rng(45))
+    cipher = SIESCipher(key)
+    rng = seeded_rng(46)
+    plaintexts = [rng.randrange(0, 2**32) for _ in range(100)]
+    nonces = list(range(100))
+    many = cipher.encrypt_many(plaintexts, nonces)
+    one_by_one = [cipher.encrypt(p, n) for p, n in zip(plaintexts, nonces)]
+    assert many == one_by_one
+    assert cipher.decrypt_many(many) == plaintexts
+
+
+def test_sies_encrypt_many_range_check():
+    key = SIESKey.generate(modulus=1000, rng=seeded_rng(47))
+    cipher = SIESCipher(key)
+    with pytest.raises(ValueError, match="outside SIES modulus"):
+        cipher.encrypt_many([1, 1000], [0, 1])
