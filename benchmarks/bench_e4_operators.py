@@ -134,7 +134,10 @@ def test_operator_summary_table(setup):
     ope = OPECipher(OPEKey(key=b"o" * 32, plaintext_bits=41))
 
     measurements = []
-    t, _ = time_call(lambda: [x * y for x, y in zip(setup["values_a"], setup["values_b"])], repeat=3)
+    t, _ = time_call(
+        lambda: [x * y for x, y in zip(setup["values_a"], setup["values_b"])],
+        repeat=3,
+    )
     measurements.append(("plaintext multiply", t / ROWS, "n/a"))
     t, _ = time_call(lambda: [udfs.sdb_mul(x, y, keys.n) for x, y in zip(a, b)], repeat=3)
     measurements.append(("sdb_mul (EE multiply)", t / ROWS, "share"))

@@ -12,10 +12,9 @@ from repro.core.channel import estimate_table_bytes
 from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
-from repro.workloads.tpch.loader import load_plain, load_encrypted
-from repro.workloads.tpch.dbgen import generate
 from repro.engine import Catalog, Table
-from repro.workloads.tpch.loader import plain_schema
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.loader import load_encrypted, load_plain, plain_schema
 
 
 def _deploy(scale_factor):

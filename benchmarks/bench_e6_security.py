@@ -16,8 +16,8 @@ from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.workloads.tpch.dbgen import generate
 from repro.workloads.tpch.loader import load_encrypted
-from repro.workloads.tpch.sensitivity import FINANCIAL_PROFILE
 from repro.workloads.tpch.schema import TABLES
+from repro.workloads.tpch.sensitivity import FINANCIAL_PROFILE
 
 
 @pytest.fixture(scope="module")

@@ -46,12 +46,14 @@ def test_modulus_size_ablation(bench_keys_256, bench_keys_1024, bench_keys_2048)
         (_, q), = params.q_by_source
 
         t_mul, _ = time_call(
-            lambda: [udfs.sdb_mul(x, y, keys.n) for x, y in zip(shares, shares)],
+            lambda shares=shares, n=keys.n: [
+                udfs.sdb_mul(x, y, n) for x, y in zip(shares, shares)
+            ],
             repeat=3,
         )
         t_ku, _ = time_call(
-            lambda: [
-                udfs.sdb_keyupdate(x, params.p, keys.n, se, q)
+            lambda shares=shares, s_shares=s_shares, p=params.p, q=q, n=keys.n: [
+                udfs.sdb_keyupdate(x, p, n, se, q)
                 for x, se in zip(shares, s_shares)
             ],
             repeat=1,

@@ -18,8 +18,8 @@ Run:  python examples/bank_dml_lifecycle.py
 import shutil
 import tempfile
 
+import repro.api as api
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
 from repro.core.security import CPAAttacker
 from repro.crypto.prf import seeded_rng
 from repro.storage import DurableServer
@@ -28,7 +28,9 @@ from repro.storage import DurableServer
 def main() -> None:
     state_dir = tempfile.mkdtemp(prefix="sdb-bank-")
     server = DurableServer(state_dir)
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(11))
+    conn = api.connect(server=server, modulus_bits=512, value_bits=64,
+                       rng=seeded_rng(11))
+    proxy = conn.proxy
 
     proxy.create_table(
         "accounts",
@@ -48,33 +50,42 @@ def main() -> None:
     )
     print(f"bank online; SP state under {state_dir}")
 
-    # -- everyday DML -------------------------------------------------------
-    proxy.execute("UPDATE accounts SET balance = balance + 250.00 WHERE acct = 1003")
-    proxy.execute("INSERT INTO accounts (acct, owner, balance) VALUES (1005, 'eve', 640.00)")
-    proxy.execute("DELETE FROM accounts WHERE acct = 1002")
+    # -- everyday DML through the session layer ------------------------------
+    cur = conn.cursor()
+    cur.execute("UPDATE accounts SET balance = balance + ? WHERE acct = ?",
+                [250.00, 1003])
+    cur.execute("INSERT INTO accounts (acct, owner, balance) VALUES (?, ?, ?)",
+                [1005, "eve", 640.00])
+    cur.execute("DELETE FROM accounts WHERE acct = ?", [1002])
     print(f"after DML, WAL holds {server.wal.seq} statements")
 
-    # -- an atomic transfer (debit + credit commit together) ------------------
-    proxy.execute("BEGIN")
-    proxy.execute("UPDATE accounts SET balance = balance - 500.00 WHERE acct = 1001")
-    proxy.execute("UPDATE accounts SET balance = balance + 500.00 WHERE acct = 1004")
-    proxy.execute("COMMIT")
-    print("transferred 500.00 from 1001 to 1004 atomically")
+    # -- an atomic transfer, executemany over one prepared UPDATE -------------
+    transfer = conn.prepare(
+        "UPDATE accounts SET balance = balance + ? WHERE acct = ?"
+    )
+    conn.begin()
+    cur.executemany(transfer, [[-500.00, 1001], [500.00, 1004]])
+    conn.commit()
+    print(f"transferred 500.00 from 1001 to 1004 atomically "
+          f"({cur.rowcount} rows touched)")
 
     # an aborted transaction leaves no trace, even across the WAL
-    proxy.execute("BEGIN")
-    proxy.execute("DELETE FROM accounts")  # fat-fingered!
-    proxy.execute("ROLLBACK")
-    count = proxy.query("SELECT COUNT(*) AS c FROM accounts").table.column("c")[0]
+    conn.begin()
+    cur.execute("DELETE FROM accounts")  # fat-fingered!
+    conn.rollback()
+    cur.execute("SELECT COUNT(*) AS c FROM accounts")
+    count = cur.fetchone()[0]
     print(f"rollback undid the accidental DELETE; {count} accounts remain")
 
     # -- crash & recovery ----------------------------------------------------
     server.close()
     recovered = DurableServer(state_dir)   # simulated restart
     proxy.server = recovered
+    conn = api.connect(proxy=proxy)        # fresh session over the new server
+    cur = conn.cursor()
     print(f"recovered SP replayed {recovered.recovered_statements} WAL statements")
-    result = proxy.query("SELECT acct, owner, balance FROM accounts ORDER BY acct")
-    print(result.table.pretty())
+    cur.execute("SELECT acct, owner, balance FROM accounts ORDER BY acct")
+    print(cur.fetch_table().pretty())
     recovered.checkpoint()
     print(f"checkpoint taken; WAL now holds {recovered.wal.seq} statements")
 
@@ -83,11 +94,13 @@ def main() -> None:
     attacker = CPAAttacker(recovered)
     attacker.snapshot()
     chosen = [5_000.00, 99.99 + 250.00]  # balances known to exist already
-    for i, balance in enumerate(chosen):
-        proxy.execute(
-            f"INSERT INTO accounts (acct, owner, balance) "
-            f"VALUES ({9000 + i}, 'mallory', {balance})"
-        )
+    open_account = conn.prepare(
+        "INSERT INTO accounts (acct, owner, balance) VALUES (?, ?, ?)"
+    )
+    cur.executemany(
+        open_account,
+        [[9000 + i, "mallory", balance] for i, balance in enumerate(chosen)],
+    )
     observed = attacker.observe_new_shares("accounts", "balance")
     print(f"attacker observed {len(observed)} fresh ciphertexts")
     matches = attacker.match_rows("accounts", "balance", observed)

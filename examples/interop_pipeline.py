@@ -10,11 +10,10 @@ client-side work.
 Run:  python examples/interop_pipeline.py
 """
 
+import repro.api as api
 from repro.baselines.cryptdb import CryptDBCapabilityModel
 from repro.baselines.monomi import MonomiPlanner
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
-from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.sql.parser import parse
 
@@ -47,21 +46,24 @@ ORDER BY net DESC
 
 
 def main() -> None:
-    server = SDBServer()
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(11))
-    proxy.create_table("sales", COLUMNS, ROWS,
-                       sensitive=["price", "qty", "rebate"], rng=seeded_rng(12))
+    conn = api.connect(modulus_bits=512, value_bits=64, rng=seeded_rng(11))
+    conn.proxy.create_table("sales", COLUMNS, ROWS,
+                            sensitive=["price", "qty", "rebate"],
+                            rng=seeded_rng(12))
 
-    result = proxy.query(QUERY)
+    cur = conn.execute(QUERY)
     print("SDB result (operators chained entirely at the SP):")
-    print(result.table.pretty())
+    print(cur.fetch_table().pretty())
     print("\noperator chain visible in the rewritten query:")
+    rewritten = cur.rewritten_sql
     for udf in ("sdb_mul(", "sdb_add(", "sdb_keyupdate(", "sdb_sign(",
                 "sdb_agg_sum(", "sdb_signed("):
-        print(f"  {udf:16s} x{result.rewritten_sql.count(udf)}")
+        print(f"  {udf:16s} x{rewritten.count(udf)}")
 
     tables = {"sales": COLUMNS}
-    sensitive = lambda t, c: c in ("price", "qty", "rebate")
+
+    def sensitive(t, c):
+        return c in ("price", "qty", "rebate")
     verdict = CryptDBCapabilityModel(tables, sensitive=sensitive).analyze(parse(QUERY))
     print(f"\nCryptDB native support for the same query: {verdict.supported}")
     for violation in verdict.violations[:4]:

@@ -11,12 +11,12 @@ import shutil
 import tempfile
 from pathlib import Path
 
+import repro.api as api
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.engine.parallel import FaultInjector, TaskScheduler
 from repro.storage import DiskCatalog, DurableServer, create_backup, restore_backup
-from repro.core.server import SDBServer
 
 ROWS = 3000
 
@@ -39,24 +39,28 @@ def main() -> None:
     scheduler = TaskScheduler(max_attempts=3, fault_injector=injector)
     server = SDBServer(parallel_partitions=6)
     server.engine.scheduler = scheduler
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(22))
-    load(proxy)
+    conn = api.connect(server=server, modulus_bits=512, value_bits=64,
+                       rng=seeded_rng(22))
+    load(conn.proxy)
 
-    result = proxy.query(
+    cur = conn.execute(
         "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue "
         "FROM orders GROUP BY region ORDER BY revenue DESC"
     )
+    table = cur.fetch_table()
     plan = server.engine.last_plan
     print(f"plan: {plan.mode} ({plan.reason}), {plan.partitions} partitions")
     print(f"tasks {scheduler.stats.tasks}, attempts {scheduler.stats.attempts}, "
           f"retries {scheduler.stats.retries} (two executors 'died' and were retried)")
-    print(result.table.pretty())
+    print(table.pretty())
 
     # -- backup / restore at the SP ------------------------------------------------
     live_dir = tempfile.mkdtemp(prefix="sdb-live-")
     backup_dir = Path(tempfile.mkdtemp(prefix="sdb-backup-")) / "nightly"
     durable = DurableServer(live_dir)
-    dproxy = SDBProxy(durable, modulus_bits=512, value_bits=64, rng=seeded_rng(22))
+    dconn = api.connect(server=durable, modulus_bits=512, value_bits=64,
+                        rng=seeded_rng(22))
+    dproxy = dconn.proxy
     load(dproxy)
     durable.checkpoint()
 
@@ -73,8 +77,10 @@ def main() -> None:
     restore_backup(backup_dir, DiskCatalog(Path(restored_dir) / "tables"))
     recovered = DurableServer(restored_dir)
     dproxy.server = recovered
-    check = dproxy.query("SELECT COUNT(*) AS n, SUM(amount) AS revenue FROM orders")
-    print(f"restored deployment answers: {check.table.to_dicts()[0]}")
+    check = dconn.execute(
+        "SELECT COUNT(*) AS n, SUM(amount) AS revenue FROM orders"
+    ).fetch_table()
+    print(f"restored deployment answers: {check.to_dicts()[0]}")
 
     recovered.close()
     shutil.rmtree(restored_dir)

@@ -7,8 +7,8 @@ the row id added for decryption.
 Run:  python examples/quickstart.py
 """
 
+import repro.api as api
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 
@@ -16,8 +16,11 @@ from repro.crypto.prf import seeded_rng
 def main() -> None:
     # the service provider: an unmodified engine + the SDB UDFs
     server = SDBServer()
-    # the data owner's proxy: key store, rewriter, decryptor
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(1))
+    # the data owner's session: proxy (key store, rewriter, decryptor)
+    # wrapped in a DB-API connection
+    conn = api.connect(server=server, modulus_bits=512, value_bits=64,
+                       rng=seeded_rng(1))
+    proxy = conn.proxy
 
     # -- demo step 1: choose sensitive columns and upload -------------------
     columns = [
@@ -39,16 +42,25 @@ def main() -> None:
     for name, value in zip(stored.schema.names, stored.row(0)):
         print(f"  {name:10s} = {str(value)[:60]}")
 
-    # -- demo step 2: query through the proxy -------------------------------
-    result = proxy.query("SELECT item, a * b AS c FROM t WHERE a * b > 20")
+    # -- demo step 2: query through a cursor --------------------------------
+    cur = conn.cursor()
+    cur.execute("SELECT item, a * b AS c FROM t WHERE a * b > ?", [20])
     print("\nrewritten query sent to the SP:")
-    print(" ", result.rewritten_sql[:200], "...")
-    print("\ndecrypted result:")
-    print(result.table.pretty())
+    print(" ", cur.rewritten_sql[:200], "...")
+    print("\ndecrypted result (streamed through the cursor):")
+    print(cur.fetch_table().pretty())
+    cost = cur.cost
     print("\ncost breakdown:",
-          f"client {result.cost.client_s * 1000:.2f} ms,",
-          f"server {result.cost.server_s * 1000:.2f} ms")
-    print("declared leakage:", list(result.leakage))
+          f"client {cost.client_s * 1000:.2f} ms,",
+          f"server {cost.server_s * 1000:.2f} ms")
+    print("declared leakage:", list(cur.leakage))
+
+    # re-executing with a different bound value reuses the cached plan:
+    # no re-parse, no re-rewrite -- just new deferred ring literals
+    cur.execute("SELECT item, a * b AS c FROM t WHERE a * b > ?", [6])
+    print("\nsame statement, new parameter (cache hit, "
+          f"rewrite {cur.cost.rewrite_s * 1000:.3f} ms):")
+    print(cur.fetch_table().pretty())
 
 
 if __name__ == "__main__":

@@ -10,8 +10,8 @@ Run:  python examples/remote_deployment.py
 
 import datetime
 
+import repro.api as api
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 from repro.net import RemoteServer, start_server
@@ -23,9 +23,11 @@ def main() -> None:
     net_server, _ = start_server(sdb_server=sdb_server)  # port 0 = pick free
     print(f"[MSP] sdb-server listening on 127.0.0.1:{net_server.port}")
 
-    # -- machine MDO: the data owner's proxy --------------------------------
+    # -- machine MDO: the data owner's session ------------------------------
     remote = RemoteServer.connect("127.0.0.1", net_server.port)
-    proxy = SDBProxy(remote, modulus_bits=512, value_bits=64, rng=seeded_rng(7))
+    conn = api.connect(server=remote, modulus_bits=512, value_bits=64,
+                       rng=seeded_rng(7))
+    proxy = conn.proxy
     print(f"[MDO] connected; ping -> {remote.ping()}")
 
     proxy.create_table(
@@ -54,26 +56,45 @@ def main() -> None:
     for share in stored.column("salary")[:3]:
         print(f"   {str(share)[:64]}...")
 
-    result = proxy.query(
+    cur = conn.cursor()
+    cur.execute(
         "SELECT team, COUNT(*) AS heads, SUM(salary) AS payroll "
         "FROM payroll GROUP BY team ORDER BY payroll DESC"
     )
     print("\n[MDO] decrypted result:")
-    print(result.table.pretty())
-    print(f"\n[MDO] client {result.cost.client_s * 1000:.1f} ms, "
-          f"server {result.cost.server_s * 1000:.1f} ms, "
+    print(cur.fetch_table().pretty())
+    cost = cur.cost
+    print(f"\n[MDO] client {cost.client_s * 1000:.1f} ms, "
+          f"server {cost.server_s * 1000:.1f} ms, "
           f"wire total {remote.bytes_sent} bytes sent")
+
+    # -- prepared statements amortize the wire itself -----------------------
+    # PREPARE ships the rewritten SQL once; each EXECUTE then carries only
+    # the parameter bindings (a handful of masked ring values).
+    threshold = conn.prepare(
+        "SELECT COUNT(*) AS senior FROM payroll WHERE salary > ?"
+    )
+    cur.execute(threshold, [3000.0])          # PREPARE + EXECUTE
+    first_cost = remote.bytes_sent
+    cur.fetchone()
+    for bound in (2500.0, 3500.0, 4000.0):    # EXECUTE only
+        cur.execute(threshold, [bound])
+        print(f"[MDO] salaries above {bound:7.2f}: {cur.fetchone()[0]}")
+    per_execute = (remote.bytes_sent - first_cost) // 3
+    print(f"[MDO] bytes per re-execution: ~{per_execute} "
+          "(the rewritten query never travels again)")
 
     # DML works over the wire too: the raise happens entirely at the SP.
     # (A flat raise stays at the column's decimal scale; `* 1.10` would
     # raise the share's scale to 4, and ring arithmetic cannot round back.)
-    outcome = proxy.execute(
-        "UPDATE payroll SET salary = salary + 300.00 WHERE team = 'database'"
+    cur.execute(
+        "UPDATE payroll SET salary = salary + ? WHERE team = ?",
+        [300.00, "database"],
     )
-    print(f"\n[MDO] flat raise for team database: {outcome.affected} rows, "
+    print(f"\n[MDO] flat raise for team database: {cur.rowcount} rows, "
           f"re-keyed at the SP")
-    after = proxy.query("SELECT SUM(salary) AS total FROM payroll")
-    print(f"[MDO] new total payroll: {after.table.column('total')[0]:.2f}")
+    cur.execute("SELECT SUM(salary) AS total FROM payroll")
+    print(f"[MDO] new total payroll: {cur.fetchone()[0]:.2f}")
 
     remote.close()
     net_server.shutdown()

@@ -11,9 +11,9 @@ three attackers of paper Section 2.3 against it:
 Run:  python examples/security_audit.py
 """
 
+import repro.api as api
 from repro.core import security
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 
@@ -23,12 +23,16 @@ ROWS = [(i, round(137.5 * i, 2)) for i in range(1, 201)]
 
 def main() -> None:
     server = SDBServer(instrument=True)  # the adversary taps this machine
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(3))
+    conn = api.connect(server=server, modulus_bits=512, value_bits=64,
+                       rng=seeded_rng(3))
+    proxy = conn.proxy
     proxy.create_table("accounts", COLUMNS, ROWS, sensitive=["balance"],
                        rng=seeded_rng(4))
 
-    proxy.query("SELECT SUM(balance) AS total FROM accounts")
-    proxy.query("SELECT account FROM accounts WHERE balance > 10000")
+    cur = conn.cursor()
+    cur.execute("SELECT SUM(balance) AS total FROM accounts").fetchall()
+    cur.execute("SELECT account FROM accounts WHERE balance > ?",
+                [10000]).fetchall()
 
     ring = [ValueType.decimal(2).encode(b) % proxy.store.keys.n for _, b in ROWS]
 

@@ -11,15 +11,14 @@ Run:  python examples/views_and_explain.py
 
 import datetime
 
+import repro.api as api
 from repro.core.meta import ValueType
-from repro.core.proxy import SDBProxy
-from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 
 
 def main() -> None:
-    server = SDBServer()
-    proxy = SDBProxy(server, modulus_bits=512, value_bits=64, rng=seeded_rng(33))
+    conn = api.connect(modulus_bits=512, value_bits=64, rng=seeded_rng(33))
+    proxy = conn.proxy
     proxy.create_table(
         "trades",
         [
@@ -49,9 +48,10 @@ def main() -> None:
         "desk_totals",
         "SELECT desk, SUM(notional) AS total FROM exposure GROUP BY desk",
     )
-    result = proxy.query("SELECT desk, total FROM desk_totals ORDER BY desk")
+    cur = conn.cursor()
+    cur.execute("SELECT desk, total FROM desk_totals ORDER BY desk")
     print("desk totals through two stacked views:")
-    print(result.table.pretty())
+    print(cur.fetch_table().pretty())
 
     # -- EXPLAIN: what will the SP see and learn? ------------------------------
     report = proxy.explain(
@@ -62,21 +62,18 @@ def main() -> None:
     print(report.pretty())
 
     # -- transactions wrap multi-statement changes ------------------------------
-    proxy.execute("BEGIN")
-    proxy.execute("UPDATE trades SET qty = qty * 2 WHERE desk = 'fx'")
-    proxy.execute("INSERT INTO trades (tid, desk, qty, price, tday) "
-                  "VALUES (6, 'fx', 10, 1.28, DATE '2024-03-04')")
-    proxy.execute("COMMIT")
-    after = proxy.query(
-        "SELECT SUM(qty) AS q FROM trades WHERE desk = 'fx'"
-    )
-    print(f"\nfx desk quantity after committed rebalance: "
-          f"{after.table.column('q')[0]}")
+    conn.begin()
+    cur.execute("UPDATE trades SET qty = qty * ? WHERE desk = ?", [2, "fx"])
+    cur.execute("INSERT INTO trades (tid, desk, qty, price, tday) "
+                "VALUES (6, 'fx', 10, 1.28, DATE '2024-03-04')")
+    conn.commit()
+    cur.execute("SELECT SUM(qty) AS q FROM trades WHERE desk = ?", ["fx"])
+    print(f"\nfx desk quantity after committed rebalance: {cur.fetchone()[0]}")
 
     # the view reflects the new data automatically (it is just SQL)
-    result = proxy.query("SELECT desk, total FROM desk_totals ORDER BY desk")
+    cur.execute("SELECT desk, total FROM desk_totals ORDER BY desk")
     print("\ndesk totals after the transaction:")
-    print(result.table.pretty())
+    print(cur.fetch_table().pretty())
 
 
 if __name__ == "__main__":

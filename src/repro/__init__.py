@@ -21,6 +21,7 @@ SP's relational engine), :mod:`repro.sql` (parser), :mod:`repro.net`
 :mod:`repro.cli` (tools).
 """
 
+from repro.api.connection import Connection, connect
 from repro.core.meta import SensitivityProfile, ValueType
 from repro.core.proxy import DMLResult, QueryResult, SDBProxy
 from repro.core.server import SDBServer
@@ -34,5 +35,7 @@ __all__ = [
     "DMLResult",
     "ValueType",
     "SensitivityProfile",
+    "connect",
+    "Connection",
     "__version__",
 ]

@@ -1,0 +1,254 @@
+"""Connections: session state, statement cache, transaction control.
+
+A :class:`Connection` wraps one :class:`~repro.core.proxy.SDBProxy` (and
+therefore one key store + one server, in-process or remote) and owns an LRU
+cache of prepared :class:`~repro.api.statement.Statement` objects keyed by
+SQL text.  Even applications that never call :meth:`Connection.prepare` get
+plan reuse: re-executing the same SQL string through any cursor hits the
+cache and skips parse + rewrite.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict, namedtuple
+from typing import Optional, Sequence
+
+from repro.api import exceptions as exc
+from repro.api.cursor import Cursor
+from repro.api.statement import Statement
+from repro.sql import ast
+
+CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize")
+
+
+class Connection:
+    """A PEP-249 connection over an SDB proxy."""
+
+    # exceptions as attributes (PEP-249 optional extension)
+    Warning = exc.Warning
+    Error = exc.Error
+    InterfaceError = exc.InterfaceError
+    DatabaseError = exc.DatabaseError
+    DataError = exc.DataError
+    OperationalError = exc.OperationalError
+    IntegrityError = exc.IntegrityError
+    InternalError = exc.InternalError
+    ProgrammingError = exc.ProgrammingError
+    NotSupportedError = exc.NotSupportedError
+
+    def __init__(self, proxy, statement_cache_size: int = 64):
+        if statement_cache_size < 1:
+            raise exc.InterfaceError("statement cache needs at least one slot")
+        self.proxy = proxy
+        self.closed = False
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache_size = statement_cache_size
+        self._cache: OrderedDict[str, Statement] = OrderedDict()
+        # weak: a cursor the application dropped must not be kept alive
+        # (with its buffered rows) just so close() can reach it
+        self._cursors: weakref.WeakSet = weakref.WeakSet()
+        self._in_txn = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self._in_txn:
+            # PEP-249: closing with work pending rolls it back; leaving the
+            # transaction open would also wedge the server's single-writer
+            # transaction slot for every other session
+            try:
+                self._txn("rollback")
+            except Exception:
+                pass  # server already gone
+            self._in_txn = False
+        for cursor in list(self._cursors):
+            cursor.close()
+        self._cursors.clear()
+        for statement in self._cache.values():
+            statement.close()
+        self._cache.clear()
+        self.closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise exc.InterfaceError("connection is closed")
+
+    # -- cursors / statements ------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        self._check_open()
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
+
+    def prepare(self, sql: str) -> Statement:
+        """Parse (and cache) ``sql`` as a prepared statement.
+
+        The first SELECT execution per parameter type signature also caches
+        the rewritten query and decryption plan; later executions only bind.
+        """
+        self._check_open()
+        try:
+            return self.statement(sql)
+        except exc.Error:
+            raise
+        except Exception as error:
+            raise exc.map_exception(error) from error
+
+    def statement(self, sql: str) -> Statement:
+        """LRU-cached Statement lookup (raw errors; used by the proxy shim)."""
+        cached = self._cache.get(sql)
+        if cached is not None and not cached.closed:
+            self._cache.move_to_end(sql)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        statement = Statement(self, sql)
+        self._cache[sql] = statement
+        while len(self._cache) > self._cache_size:
+            # eviction only drops the cache's reference: a statement the
+            # application still holds (conn.prepare) keeps working, and its
+            # server-side handles are released by its GC finalizer once the
+            # last reference is gone
+            self._cache.popitem(last=False)
+        return statement
+
+    def execute(self, sql, params: Sequence = ()) -> Cursor:
+        """Convenience: ``cursor().execute(sql, params)``."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql, seq_of_params) -> Cursor:
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            maxsize=self._cache_size,
+            currsize=len(self._cache),
+        )
+
+    def cached_statements(self) -> list[str]:
+        """Cached SQL texts in eviction order (least recent first)."""
+        return list(self._cache)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> None:
+        self._check_open()
+        self._txn("begin")
+        self._in_txn = True
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op outside one, per PEP-249)."""
+        self._check_open()
+        if not self._in_txn:
+            return
+        self._txn("commit")
+        self._in_txn = False
+
+    def rollback(self) -> None:
+        self._check_open()
+        if not self._in_txn:
+            return
+        self._txn("rollback")
+        self._in_txn = False
+
+    def _txn(self, kind: str) -> None:
+        try:
+            self.proxy.execute_statement(ast.TxnControl(kind=kind))
+        except exc.Error:
+            raise
+        except Exception as error:
+            raise exc.map_exception(error) from error
+
+    # -- compatibility shim (used by SDBProxy.query) -------------------------
+
+    def query(self, sql: str, params: Sequence = ()):
+        """Execute a SELECT and materialize the classic QueryResult.
+
+        Raises the pipeline's raw exceptions (ParseError, RewriteError...)
+        -- this is the back-compat surface behind ``SDBProxy.query``.
+        """
+        from repro.core.proxy import QueryResult
+
+        self._check_open()
+        statement = self.statement(sql)
+        if statement.kind != "select":
+            raise ValueError("query() runs SELECT statements only")
+        execution = statement.execute_select(tuple(params))
+        table = execution.fetch_rest()
+        return QueryResult(
+            table=table,
+            rewritten_sql=execution.rewritten_sql,
+            cost=execution.cost(),
+            leakage=execution.plan.leakage,
+            notes=execution.plan.notes,
+        )
+
+
+def connect(
+    proxy=None,
+    *,
+    server=None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    durable: Optional[str] = None,
+    modulus_bits: int = 1024,
+    value_bits: int = 64,
+    policy=None,
+    rng=None,
+    statement_cache_size: int = 64,
+) -> Connection:
+    """Open a session.
+
+    Exactly one deployment shape is chosen, in this order:
+
+    * ``proxy=...``        -- wrap an existing :class:`SDBProxy`;
+    * ``server=...``       -- wrap an existing server object (in-process
+      :class:`SDBServer`, :class:`DurableServer` or :class:`RemoteServer`);
+    * ``host=.../port=...``-- connect to a remote SP daemon;
+    * ``durable=DIR``      -- in-process SP persisted under ``DIR``;
+    * nothing              -- fresh in-memory SP.
+
+    When no proxy is supplied a new one is created, which draws fresh system
+    keys (``modulus_bits``/``value_bits``/``rng``).
+    """
+    if proxy is None:
+        from repro.core.proxy import SDBProxy
+
+        if server is None:
+            if host is not None or port is not None:
+                from repro.net.client import RemoteServer
+
+                server = RemoteServer.connect(host or "127.0.0.1", int(port))
+            elif durable is not None:
+                from repro.storage.durable import DurableServer
+
+                server = DurableServer(durable)
+            else:
+                from repro.core.server import SDBServer
+
+                server = SDBServer()
+        proxy = SDBProxy(
+            server,
+            modulus_bits=modulus_bits,
+            value_bits=value_bits,
+            policy=policy,
+            rng=rng,
+        )
+    elif server is not None or host is not None or durable is not None:
+        raise exc.InterfaceError(
+            "pass either an existing proxy or deployment parameters, not both"
+        )
+    return Connection(proxy, statement_cache_size=statement_cache_size)

@@ -1,0 +1,103 @@
+"""PEP-249-shaped exception hierarchy for the session layer.
+
+The core pipeline raises its own precise exceptions (``ParseError``,
+``RewriteError``, ``CatalogError``, ...).  The session layer maps them onto
+the DB-API hierarchy at the cursor boundary -- applications catch
+``ProgrammingError`` without knowing which pipeline stage failed -- while
+keeping the original exception as ``__cause__``.  The mapping is applied
+identically for in-process and remote deployments (the net client already
+reconstructs server-side exception types), so error paths are
+indistinguishable across the two.
+"""
+
+from __future__ import annotations
+
+
+class Warning(Exception):  # shadows the builtin: PEP-249 mandates the name
+    """Important non-fatal condition."""
+
+
+class Error(Exception):
+    """Base class of every session-layer error."""
+
+
+class InterfaceError(Error):
+    """Misuse of the session API itself (closed handles, bad arguments)."""
+
+
+class DatabaseError(Error):
+    """Base class for errors from the database pipeline."""
+
+
+class DataError(DatabaseError):
+    """A value could not be processed (bad encoding, domain overflow)."""
+
+
+class OperationalError(DatabaseError):
+    """The deployment misbehaved: connection loss, engine failure."""
+
+
+class IntegrityError(DatabaseError):
+    """Constraint violation (unused: the SQL dialect has no constraints)."""
+
+
+class InternalError(DatabaseError):
+    """The pipeline reached an inconsistent state."""
+
+
+class ProgrammingError(DatabaseError):
+    """Bad SQL, unknown table/column, parameter count mismatch."""
+
+
+class NotSupportedError(DatabaseError):
+    """The operation is outside SDB's secure operator suite."""
+
+
+def _mapping() -> list:
+    """(exception class, api class) pairs, most specific first."""
+    from repro.core.decryptor import DecryptionError
+    from repro.core.encryptor import UploadError
+    from repro.core.keystore import KeyStoreError
+    from repro.core.rewriter import RewriteError, UnsupportedQueryError
+    from repro.engine.catalog import CatalogError
+    from repro.engine.dml import DMLError
+    from repro.engine.executor import ExecutionError
+    from repro.engine.expressions import EvaluationError
+    from repro.engine.udf import UDFError
+    from repro.net.protocol import NetError
+    from repro.sql.lexer import LexError
+    from repro.sql.params import BindError
+    from repro.sql.parser import ParseError
+
+    return [
+        (UnsupportedQueryError, NotSupportedError),
+        (RewriteError, ProgrammingError),
+        (ParseError, ProgrammingError),
+        (LexError, ProgrammingError),
+        (BindError, ProgrammingError),
+        (KeyStoreError, ProgrammingError),
+        (CatalogError, ProgrammingError),
+        (UDFError, ProgrammingError),
+        (EvaluationError, ProgrammingError),
+        (DMLError, ProgrammingError),
+        (ExecutionError, OperationalError),
+        (DecryptionError, OperationalError),
+        (UploadError, DataError),
+        (OverflowError, DataError),
+        (NetError, OperationalError),
+        (ConnectionError, OperationalError),
+        (OSError, OperationalError),
+        (RuntimeError, OperationalError),
+    ]
+
+
+def map_exception(exc: BaseException) -> BaseException:
+    """The API exception for a pipeline error (``exc`` itself if unmapped)."""
+    if isinstance(exc, Error):
+        return exc
+    for source, target in _mapping():
+        if isinstance(exc, source):
+            mapped = target(str(exc))
+            mapped.__cause__ = exc
+            return mapped
+    return exc

@@ -1,0 +1,361 @@
+"""Prepared statements: the query pipeline as a first-class, cacheable value.
+
+A :class:`Statement` captures every stage of the proxy pipeline --
+
+    parse -> rewrite -> (decryption plan) -> execute -> decrypt
+
+-- so that the per-execution work of a repeated query collapses to binding
+parameters and running the already-rewritten query.  Concretely:
+
+* **parse** happens once, at construction;
+* **rewrite** happens once per parameter *type signature* (an ``int``
+  parameter and a ``decimal(2)`` parameter need different ring scales) and
+  is invalidated by :attr:`KeyStore.version` (table/view changes, key
+  rotation);
+* **bind** computes the rewritten query's deferred literals -- ring
+  encodings and token/key-inverse maskings recorded as
+  :class:`~repro.core.plan.ParamSlot` transforms -- a few modular
+  multiplications, not a re-rewrite;
+* **execute** submits through the prepared-statement surface of the server
+  (in-process or remote: both expose ``prepare_query`` /
+  ``execute_prepared`` / ``fetch_rows`` / ``close_*``), so a remote
+  deployment ships the rewritten SQL once and then only parameter bindings;
+* **decrypt** streams: results stay at the SP and are decrypted in
+  fetch-sized chunks as the application reads them.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.plan import RewrittenQuery
+from repro.core.rewriter import infer_param_type
+from repro.engine.table import Table
+from repro.sql import ast
+from repro.sql.params import BindError, bind_parameters, num_parameters
+from repro.sql.parser import parse_statement
+
+_KINDS = {
+    ast.Select: "select",
+    ast.Insert: "insert",
+    ast.Update: "update",
+    ast.Delete: "delete",
+    ast.TxnControl: "txn",
+}
+
+
+def _release_handles(server_handles: list) -> None:
+    """Close a statement's server-side handles (close() or GC finalizer)."""
+    for server, stmt_id in server_handles:
+        try:
+            server.close_prepared(stmt_id)
+        except Exception:
+            pass  # connection already torn down
+    server_handles.clear()
+
+
+def _release_result(handle: list) -> None:
+    """Close a server-side result set (close() or GC finalizer)."""
+    if handle:
+        server, result_id = handle
+        handle.clear()
+        try:
+            server.close_result(result_id)
+        except Exception:
+            pass  # connection already torn down
+
+
+@dataclass
+class _PlanVariant:
+    """One rewrite of a statement, specialized to a parameter signature."""
+
+    plan: RewrittenQuery
+    sql_text: str                  # rendered once; reused by results/channel
+    store_version: int
+    rewrite_s: float
+    stmt_id: Optional[int] = None  # server-side prepared handle
+    server_id: Optional[int] = None  # id() of the server holding stmt_id
+    charged: bool = False          # rewrite cost reported once, then amortized
+
+
+class Statement:
+    """A parsed (and, for SELECTs, rewritten) statement bound to a connection."""
+
+    #: plan variants held per statement; organic workloads can produce one
+    #: signature per float precision or string length, so the dict is an
+    #: LRU rather than unbounded (eviction also releases the variant's
+    #: server-side handle)
+    MAX_PLAN_VARIANTS = 8
+
+    def __init__(self, connection, sql: str):
+        self.connection = connection
+        self.sql = sql
+        t0 = time.perf_counter()
+        self.parsed = parse_statement(sql)
+        self.parse_s = time.perf_counter() - t0
+        self.kind = _KINDS[type(self.parsed)]
+        self.num_params = num_parameters(self.parsed)
+        self._variants: OrderedDict[tuple, _PlanVariant] = OrderedDict()
+        self._parse_charged = False  # parse cost reported on first execution
+        self.closed = False
+        # server-side prepared handles this statement owns, as mutable
+        # [server, stmt_id] pairs shared with a GC finalizer: a statement
+        # evicted from the connection's LRU cache stays usable for anyone
+        # still holding it, and its handles are released when it is
+        # garbage-collected (or close()d), never while in use
+        self._server_handles: list = []
+        self._finalizer = weakref.finalize(
+            self, _release_handles, self._server_handles
+        )
+
+    def __repr__(self) -> str:
+        return f"Statement({self.kind}, {self.num_params} params, {self.sql[:60]!r})"
+
+    @property
+    def proxy(self):
+        return self.connection.proxy
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release server-side prepared handles; the statement dies."""
+        if self.closed:
+            return
+        self.closed = True
+        _release_handles(self._server_handles)
+        self._variants.clear()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BindError("statement is closed")
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, params: Sequence = ()):
+        """Run with ``params`` bound; returns the execution handle.
+
+        SELECTs return a :class:`SelectExecution` (streaming); DML and
+        transaction control return the proxy's
+        :class:`~repro.core.proxy.DMLResult`.
+        """
+        self._check_open()
+        params = tuple(params)
+        if self.kind == "select":
+            return self.execute_select(params)
+        return self.execute_dml(params)
+
+    def execute_select(self, params: Sequence = ()) -> "SelectExecution":
+        self._check_open()
+        params = tuple(params)
+        if len(params) != self.num_params:
+            raise BindError(
+                f"statement expects {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        proxy = self.proxy
+        variant = self._variant_for(params)
+        t_bind = time.perf_counter()
+        literals = variant.plan.bind_slots(proxy.store.keys.n, params)
+        bind_s = time.perf_counter() - t_bind
+
+        t0 = time.perf_counter()
+        server = proxy.server
+        if variant.stmt_id is None or variant.server_id != id(server):
+            # in-process servers take the AST directly; remote ones render
+            # the SQL text once and ship it over the wire.  The server
+            # identity check re-prepares after a server swap (e.g. crash
+            # recovery replacing proxy.server) so a stale handle can never
+            # alias a fresh one.
+            variant.stmt_id = server.prepare_query(variant.plan.query)
+            variant.server_id = id(server)
+            self._server_handles.append([server, variant.stmt_id])
+        result_id, num_rows = server.execute_prepared(variant.stmt_id, literals)
+        server_s = time.perf_counter() - t0
+        proxy.channel.record_query(
+            f"EXECUTE s{variant.stmt_id} ({len(literals)} bound values)"
+        )
+
+        parse_s = 0.0 if self._parse_charged else self.parse_s
+        self._parse_charged = True
+        rewrite_s = bind_s  # binding is the per-execution remainder of rewriting
+        if not variant.charged:
+            variant.charged = True
+            rewrite_s += variant.rewrite_s
+        return SelectExecution(
+            statement=self,
+            variant=variant,
+            params=params,
+            result_id=result_id,
+            num_rows=num_rows,
+            parse_s=parse_s,
+            rewrite_s=rewrite_s,
+            server_s=server_s,
+        )
+
+    def execute_dml(self, params: Sequence = ()):
+        """Bind into the parsed AST and run the proxy's DML pipeline.
+
+        DML cannot cache its rewrite (INSERT draws fresh row ids, UPDATE
+        re-keys under per-statement masks), so only the parse is amortized.
+        """
+        self._check_open()
+        bound = bind_parameters(self.parsed, tuple(params))
+        result = self.proxy.execute_statement(bound)
+        self._parse_charged = True
+        if self.kind == "txn":
+            # keep the connection's transaction flag honest for SQL-level
+            # BEGIN/COMMIT/ROLLBACK, so Connection.commit() after a
+            # cursor-issued BEGIN actually commits instead of no-opping
+            self.connection._in_txn = bound.kind == "begin"
+        return result
+
+    # -- plan cache ---------------------------------------------------------
+
+    def _variant_for(self, params: tuple) -> _PlanVariant:
+        signature = tuple(infer_param_type(value) for value in params)
+        store = self.proxy.store
+        variant = self._variants.get(signature)
+        if variant is not None and variant.store_version == store.version:
+            self._variants.move_to_end(signature)
+            return variant
+        if variant is not None:
+            # key rotation / schema change: the cached rewrite embeds stale
+            # key-update parameters -- drop the server-side handle too
+            self._drop_variant_handle(variant)
+        t0 = time.perf_counter()
+        plan = self.proxy.rewriter.rewrite(self.parsed, param_types=signature)
+        if plan.param_slots and plan.leakage:
+            # honesty about amortization: the masks/tokens this rewrite drew
+            # are baked into the cached plan, so unlike string re-execution
+            # (fresh randomness per rewrite) the SP can correlate masked
+            # values ACROSS executions of this statement.  Declare it the
+            # way every other leakage source is declared.
+            plan.leakage = plan.leakage + (
+                "prepared: rewrite-time masks/tokens are reused across "
+                "executions of this plan",
+            )
+        sql_text = plan.sql
+        rewrite_s = time.perf_counter() - t0
+        variant = _PlanVariant(
+            plan=plan,
+            sql_text=sql_text,
+            store_version=store.version,
+            rewrite_s=rewrite_s,
+        )
+        self._variants[signature] = variant
+        while len(self._variants) > self.MAX_PLAN_VARIANTS:
+            _, evicted = self._variants.popitem(last=False)
+            self._drop_variant_handle(evicted)
+        self.proxy.channel.record_query(sql_text)
+        return variant
+
+    def _drop_variant_handle(self, variant: "_PlanVariant") -> None:
+        """Release a variant's server-side handle, if it still owns one.
+
+        The server-identity check matters: after a server swap, handle ids
+        restart and this stmt_id may now belong to someone else.
+        """
+        server = self.proxy.server
+        if variant.stmt_id is None or variant.server_id != id(server):
+            return
+        try:
+            server.close_prepared(variant.stmt_id)
+        except Exception:
+            pass
+        self._server_handles[:] = [
+            pair for pair in self._server_handles
+            if not (pair[0] is server and pair[1] == variant.stmt_id)
+        ]
+        variant.stmt_id = None
+        variant.server_id = None
+
+    @property
+    def plan_variants(self) -> int:
+        """How many specialized rewrites this statement holds (introspection)."""
+        return len(self._variants)
+
+
+@dataclass
+class SelectExecution:
+    """One execution of a prepared SELECT: a server-side streaming result."""
+
+    statement: Statement
+    variant: _PlanVariant
+    params: tuple
+    result_id: int
+    num_rows: int
+    parse_s: float = 0.0
+    rewrite_s: float = 0.0
+    server_s: float = 0.0
+    decrypt_s: float = 0.0
+    fetched: int = 0
+    closed: bool = False
+
+    def __post_init__(self):
+        # an abandoned execution (cursor dropped before exhausting or
+        # closing the result) must not pin its encrypted result at the SP
+        # forever: the finalizer releases the server-side result set when
+        # this object is garbage-collected
+        self._result_handle = [self.statement.proxy.server, self.result_id]
+        weakref.finalize(self, _release_result, self._result_handle)
+
+    @property
+    def plan(self) -> RewrittenQuery:
+        return self.variant.plan
+
+    @property
+    def rewritten_sql(self) -> str:
+        return self.variant.sql_text
+
+    def cost(self):
+        from repro.core.proxy import CostBreakdown
+
+        return CostBreakdown(
+            parse_s=self.parse_s,
+            rewrite_s=self.rewrite_s,
+            server_s=self.server_s,
+            decrypt_s=self.decrypt_s,
+        )
+
+    # -- streaming fetch ----------------------------------------------------
+
+    def fetch_chunk(self, count: Optional[int]) -> Table:
+        """Fetch and decrypt the next ``count`` rows (all when None)."""
+        proxy = self.statement.proxy
+        if self.closed:
+            return self._empty()
+        t0 = time.perf_counter()
+        chunk = proxy.server.fetch_rows(self.result_id, count)
+        self.server_s += time.perf_counter() - t0
+        proxy.channel.record_result(chunk)
+        t1 = time.perf_counter()
+        table = proxy._decryptor.decrypt(
+            chunk, self.plan.outputs, params=self.params
+        )
+        self.decrypt_s += time.perf_counter() - t1
+        self.fetched += table.num_rows
+        if count is None or table.num_rows < count or self.fetched >= self.num_rows:
+            self.close()
+        return table
+
+    def fetch_rest(self) -> Table:
+        return self.fetch_chunk(None)
+
+    def _empty(self) -> Table:
+        from repro.engine.schema import ColumnSpec, DataType, Schema
+
+        specs = tuple(
+            ColumnSpec(output.name, DataType.STRING)
+            for output in self.plan.outputs
+        )
+        return Table.empty(Schema(specs))
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        _release_result(self._result_handle)

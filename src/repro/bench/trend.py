@@ -1,0 +1,187 @@
+"""Bench-trend gate: diff fresh ``BENCH_*.json`` artefacts against baselines.
+
+Every benchmark writes a machine-readable artefact (see
+:func:`repro.bench.harness.write_bench_json`).  This module compares a
+directory of freshly produced artefacts against the baselines committed at
+the repo root and fails (exit code 1) when a timing metric regressed by
+more than the threshold -- the CI bench job runs it after the smoke pass,
+so a perf cliff shows up in the PR that caused it, not three PRs later.
+
+Comparison rules
+----------------
+
+* Only *metric* leaves are compared: numeric values whose key (or an
+  ancestor key) looks like a timing -- ``*_s``, ``*_seconds``, ``*_ms``,
+  ``*_us`` -- or a throughput -- ``*_per_sec``, ``speedup``.  Shape fields
+  (``rows``, ``modulus_bits``) and ``unix_time`` are ignored.
+* Timings regress when ``fresh > baseline * threshold``; throughputs when
+  ``fresh < baseline / threshold``.
+* Values below ``MIN_COMPARABLE`` (sub-microsecond noise) are skipped.
+* ``smoke`` artefacts are statistically meaningless, so smoke-vs-smoke
+  comparisons relax the threshold by ``smoke_relax`` and a mode mismatch
+  (smoke vs full) downgrades to a structural check: the fresh artefact
+  must still contain every metric key the baseline has.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+_METRIC_KEY = re.compile(r"(_s|_seconds|seconds|_ms|_us)$")
+_INVERSE_KEY = re.compile(r"(_per_sec|per_sec|speedup|_rate)$")
+_IGNORED = {"unix_time"}
+
+#: metrics smaller than this (in their own unit) are pure noise
+MIN_COMPARABLE = 1e-3
+
+
+def metric_leaves(payload, prefix: str = "", inherited: bool = False) -> dict:
+    """``{dotted.path: (value, inverse)}`` for every comparable metric."""
+    leaves: dict = {}
+    if not isinstance(payload, dict):
+        return leaves
+    for key, value in payload.items():
+        if key in _IGNORED:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        timing = inherited or bool(_METRIC_KEY.search(key))
+        inverse = bool(_INVERSE_KEY.search(key))
+        if isinstance(value, dict):
+            leaves.update(metric_leaves(value, path, timing))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if inverse:
+                leaves[path] = (float(value), True)
+            elif timing:
+                leaves[path] = (float(value), False)
+    return leaves
+
+
+@dataclass
+class Comparison:
+    """Outcome of one artefact pair."""
+
+    name: str
+    mode: str                      # 'numeric' | 'structural' | 'new'
+    regressions: list = field(default_factory=list)
+    missing: list = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions or self.missing)
+
+
+def compare_payloads(
+    baseline: dict,
+    fresh: dict,
+    threshold: float = 2.0,
+    smoke_relax: float = 2.0,
+) -> Comparison:
+    """Compare two artefact payloads under the rules above."""
+    name = fresh.get("bench", "?")
+    base_leaves = metric_leaves(baseline)
+    fresh_leaves = metric_leaves(fresh)
+
+    missing = sorted(set(base_leaves) - set(fresh_leaves))
+    if bool(baseline.get("smoke")) != bool(fresh.get("smoke")):
+        # numbers from different modes are not comparable; shape must hold
+        return Comparison(name=name, mode="structural", missing=missing)
+
+    effective = threshold * (smoke_relax if fresh.get("smoke") else 1.0)
+    result = Comparison(name=name, mode="numeric", missing=missing)
+    for path, (base_value, inverse) in base_leaves.items():
+        if path not in fresh_leaves:
+            continue
+        fresh_value = fresh_leaves[path][0]
+        if max(abs(base_value), abs(fresh_value)) < MIN_COMPARABLE:
+            continue
+        if base_value <= 0:
+            continue
+        result.compared += 1
+        if inverse:
+            if fresh_value < base_value / effective:
+                result.regressions.append(
+                    (path, base_value, fresh_value,
+                     f"dropped {base_value / max(fresh_value, 1e-12):.1f}x")
+                )
+        elif fresh_value > base_value * effective:
+            result.regressions.append(
+                (path, base_value, fresh_value,
+                 f"slower {fresh_value / base_value:.1f}x")
+            )
+    return result
+
+
+def compare_directories(
+    baseline_dir: str,
+    fresh_dir: str,
+    threshold: float = 2.0,
+    smoke_relax: float = 2.0,
+) -> list[Comparison]:
+    outcomes = []
+    for fresh_path in sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json"))):
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        base_path = os.path.join(baseline_dir, os.path.basename(fresh_path))
+        if not os.path.exists(base_path):
+            outcomes.append(
+                Comparison(name=fresh.get("bench", "?"), mode="new")
+            )
+            continue
+        with open(base_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        outcomes.append(
+            compare_payloads(baseline, fresh, threshold, smoke_relax)
+        )
+    return outcomes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trend",
+        description="fail CI when a BENCH_*.json metric regressed vs baseline",
+    )
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding committed baseline artefacts")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding the just-produced artefacts")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="regression factor that fails the gate")
+    parser.add_argument("--smoke-relax", type=float, default=2.0,
+                        help="extra factor applied when comparing smoke runs "
+                             "(their numbers are noisy by design)")
+    args = parser.parse_args(argv)
+
+    outcomes = compare_directories(
+        args.baseline_dir, args.fresh_dir, args.threshold, args.smoke_relax
+    )
+    if not outcomes:
+        print(f"bench-trend: no BENCH_*.json artefacts in {args.fresh_dir}")
+        return 1
+
+    failed = False
+    for outcome in outcomes:
+        if outcome.mode == "new":
+            print(f"  {outcome.name}: new benchmark (no baseline yet)")
+            continue
+        if outcome.failed:
+            failed = True
+            for path, base, fresh, detail in outcome.regressions:
+                print(f"  {outcome.name}: REGRESSION {path}: "
+                      f"{base:.6g} -> {fresh:.6g} ({detail})")
+            for path in outcome.missing:
+                print(f"  {outcome.name}: MISSING metric {path}")
+        else:
+            print(f"  {outcome.name}: ok ({outcome.mode}, "
+                  f"{outcome.compared} metrics compared)")
+    print("bench-trend:", "FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,20 +13,29 @@ client/server cost split.  Backslash commands inspect the deployment:
     \\rotate <table> <column>          re-key a column at the SP
     \\view <name> <sql>  create/replace a proxy-side view
     \\views              list views
+    \\prepare <name> <sql>     prepare a statement (use ? for parameters)
+    \\exec <name> [arg ...]    execute a prepared statement with arguments
+    \\execmany <name> <json>   execute a prepared DML once per JSON row
+    \\statements         prepared statements and the session cache counters
     \\rewrite on|off     toggle printing the rewritten SQL after queries
     \\quit               exit
 
-The shell is UI only; every capability it exposes is proxy API.
+The shell is UI only; every capability it exposes is session-layer
+(:mod:`repro.api`) or proxy API.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
+import json
+import re
 import sys
 from typing import Optional
 
+from repro.api.connection import Connection
 from repro.core.meta import ValueType
-from repro.core.proxy import DMLResult, QueryResult, SDBProxy
+from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
 from repro.crypto.prf import seeded_rng
 
@@ -93,8 +102,10 @@ class SDBShell:
 
     def __init__(self, proxy: SDBProxy):
         self.proxy = proxy
+        self.conn = Connection(proxy)
         self.show_rewrite = True
         self.done = False
+        self._prepared: dict = {}  # name -> Statement
 
     # -- line dispatch ------------------------------------------------------
 
@@ -105,12 +116,15 @@ class SDBShell:
         if line.startswith("\\"):
             return self._command(line)
         try:
-            result = self.proxy.execute(line)
+            cursor = self.conn.cursor()
+            cursor.execute(line)
         except Exception as exc:
             return f"error: {exc}"
-        if isinstance(result, QueryResult):
-            return self._render_query(result)
-        return self._render_dml(result)
+        # route the rendering by the *statement's* kind, not by sniffing
+        # the result object
+        if cursor.statement.kind == "select":
+            return self._render_select(cursor)
+        return self._render_dml(cursor)
 
     def _command(self, line: str) -> str:
         parts = line[1:].split(None, 1)
@@ -153,6 +167,14 @@ class SDBShell:
             return f"rewrite display {'on' if self.show_rewrite else 'off'}"
         if name == "upload":
             return self._upload(argument)
+        if name == "prepare":
+            return self._prepare(argument)
+        if name == "exec":
+            return self._exec(argument)
+        if name == "execmany":
+            return self._execmany(argument)
+        if name == "statements":
+            return self._render_statements()
         if name == "rotate":
             parts = argument.split()
             if len(parts) != 2:
@@ -181,26 +203,116 @@ class SDBShell:
             f"sensitive {sensitive or '[]'}"
         )
 
+    # -- prepared statements ---------------------------------------------------
+
+    def _prepare(self, argument: str) -> str:
+        parts = argument.split(None, 1)
+        if len(parts) != 2:
+            return "usage: \\prepare <name> <sql>"
+        name, sql = parts
+        try:
+            statement = self.conn.prepare(sql)
+        except Exception as exc:
+            return f"error: {exc}"
+        self._prepared[name] = statement
+        return (
+            f"prepared {name}: {statement.kind}, "
+            f"{statement.num_params} parameter(s)"
+        )
+
+    def _exec(self, argument: str) -> str:
+        parts = argument.split()
+        if not parts:
+            return "usage: \\exec <name> [arg ...]"
+        statement = self._prepared.get(parts[0])
+        if statement is None:
+            return f"error: no prepared statement {parts[0]!r} (see \\prepare)"
+        params = [self._parse_param(token) for token in parts[1:]]
+        try:
+            cursor = self.conn.cursor()
+            cursor.execute(statement, params)
+        except Exception as exc:
+            return f"error: {exc}"
+        if statement.kind == "select":
+            return self._render_select(cursor)
+        return self._render_dml(cursor)
+
+    def _execmany(self, argument: str) -> str:
+        parts = argument.split(None, 1)
+        if len(parts) != 2:
+            return "usage: \\execmany <name> <json array of parameter rows>"
+        statement = self._prepared.get(parts[0])
+        if statement is None:
+            return f"error: no prepared statement {parts[0]!r} (see \\prepare)"
+        try:
+            rows = json.loads(parts[1])
+            if not isinstance(rows, list) or not all(
+                isinstance(row, list) for row in rows
+            ):
+                return "error: expected a JSON array of parameter rows"
+            cursor = self.conn.cursor()
+            cursor.executemany(statement, rows)
+        except Exception as exc:
+            return f"error: {exc}"
+        return f"{cursor.rowcount} row(s) affected ({len(rows)} executions)"
+
+    DATE_ARG = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+    @classmethod
+    def _parse_param(cls, token: str):
+        """Shell argument -> parameter value (JSON scalar, ISO date or text).
+
+        Only dashed ISO dates count as dates: ``fromisoformat`` on 3.11+
+        also accepts compact forms like ``20250101``, which would silently
+        turn large integer arguments into dates.
+        """
+        if cls.DATE_ARG.match(token):
+            try:
+                return datetime.date.fromisoformat(token)
+            except ValueError:
+                pass
+        try:
+            value = json.loads(token)
+        except ValueError:
+            return token
+        if value is None or isinstance(value, (int, float, bool, str)):
+            return value  # '"123"' binds the string, bare 123 the int
+        return token
+
+    def _render_statements(self) -> str:
+        info = self.conn.cache_info()
+        lines = [
+            f"session cache: {info.hits} hits, {info.misses} misses, "
+            f"{info.currsize}/{info.maxsize} cached"
+        ]
+        for name, statement in sorted(self._prepared.items()):
+            lines.append(
+                f"  {name}: {statement.kind}, {statement.num_params} "
+                f"parameter(s), {statement.plan_variants} plan(s)"
+            )
+        return "\n".join(lines)
+
     # -- rendering ------------------------------------------------------------
 
-    def _render_query(self, result: QueryResult) -> str:
-        lines = [result.table.pretty()]
-        cost = result.cost
+    def _render_select(self, cursor) -> str:
+        table = cursor.fetch_table()
+        lines = [table.pretty()]
+        cost = cursor.cost
         lines.append(
-            f"({result.table.num_rows} rows; client "
+            f"({table.num_rows} rows; client "
             f"{cost.client_s * 1000:.1f} ms [parse {cost.parse_s * 1000:.1f}"
             f" + rewrite {cost.rewrite_s * 1000:.1f}"
             f" + decrypt {cost.decrypt_s * 1000:.1f}], server "
             f"{cost.server_s * 1000:.1f} ms)"
         )
         if self.show_rewrite:
-            lines.append(f"rewritten: {result.rewritten_sql}")
+            lines.append(f"rewritten: {cursor.rewritten_sql}")
         return "\n".join(lines)
 
-    def _render_dml(self, result: DMLResult) -> str:
-        lines = [f"{result.affected} row(s) affected"]
-        if self.show_rewrite:
-            lines.append(f"rewritten: {result.rewritten_sql}")
+    def _render_dml(self, cursor) -> str:
+        lines = [f"{cursor.rowcount} row(s) affected"]
+        if self.show_rewrite and cursor.rewritten_sql:
+            lines.append(f"rewritten: {cursor.rewritten_sql}")
         return "\n".join(lines)
 
     def _render_tables(self) -> str:

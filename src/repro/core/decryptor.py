@@ -17,7 +17,7 @@ import datetime
 from typing import Optional
 
 from repro.core.keystore import KeyStore
-from repro.core.plan import Const, OutputColumn, PlainSlot, PostOp, ShareSlot
+from repro.core.plan import Const, OutputColumn, ParamRef, PlainSlot, PostOp, ShareSlot
 from repro.crypto.encoding import decode_signed
 from repro.crypto.sies import SIESCipher, SIESCiphertext
 from repro.engine.schema import ColumnSpec, DataType, Schema
@@ -35,10 +35,18 @@ class Decryptor:
         self._store = store
         self._keys = store.keys
         self._sies = SIESCipher(store.sies_key)
+        self._params: tuple = ()
 
-    def decrypt(self, result: Table, outputs: tuple[OutputColumn, ...]) -> Table:
-        """Decode an encrypted result into the application-visible table."""
-        n = self._keys.n
+    def decrypt(
+        self, result: Table, outputs: tuple[OutputColumn, ...], params=()
+    ) -> Table:
+        """Decode an encrypted result into the application-visible table.
+
+        ``params`` is the bound parameter row for prepared statements whose
+        plan contains :class:`ParamRef` leaves (parameters folded into
+        proxy-side post arithmetic, e.g. a division by a parameter).
+        """
+        self._params = tuple(params)
         decoded_columns: list[list] = [[] for _ in outputs]
         for i in range(result.num_rows):
             row = result.row(i)
@@ -60,6 +68,17 @@ class Decryptor:
             return row[spec.index]
         if isinstance(spec, Const):
             return spec.value
+        if isinstance(spec, ParamRef):
+            try:
+                value = self._params[spec.param]
+            except IndexError:
+                raise DecryptionError(
+                    f"plan references parameter {spec.param} but only "
+                    f"{len(self._params)} were bound"
+                ) from None
+            if value is None:
+                return None
+            return -value if spec.negate else value
         if isinstance(spec, ShareSlot):
             return self._share_value(spec, row, rowid_cache)
         if isinstance(spec, PostOp):

@@ -30,6 +30,13 @@ class KeyStore:
         self.sies_key = sies_key
         self._tables: dict[str, TableMeta] = {}
         self._views: dict[str, str] = {}  # name -> defining SELECT text
+        #: monotone counter; any change that can invalidate a cached
+        #: rewrite plan (table/view registration, key rotation) bumps it,
+        #: and prepared statements re-rewrite when it moves
+        self.version = 0
+
+    def bump_version(self) -> None:
+        self.version += 1
 
     # -- registration -----------------------------------------------------
 
@@ -38,12 +45,14 @@ class KeyStore:
         if key in self._tables and not replace:
             raise KeyStoreError(f"table {meta.name!r} already registered")
         self._tables[key] = meta
+        self.bump_version()
 
     def drop_table(self, name: str) -> None:
         try:
             del self._tables[name.lower()]
         except KeyError:
             raise KeyStoreError(f"unknown table {name!r}") from None
+        self.bump_version()
 
     # -- lookup ------------------------------------------------------------
 
@@ -73,6 +82,7 @@ class KeyStore:
         if key in self._views and not replace:
             raise KeyStoreError(f"view {name!r} already registered")
         self._views[key] = sql
+        self.bump_version()
 
     def view(self, name: str) -> str:
         try:
@@ -88,6 +98,7 @@ class KeyStore:
             del self._views[name.lower()]
         except KeyError:
             raise KeyStoreError(f"unknown view {name!r}") from None
+        self.bump_version()
 
     def views(self) -> list[str]:
         return sorted(self._views)

@@ -61,7 +61,45 @@ class Const:
     value: object
 
 
-OutputSpec = Union[PlainSlot, ShareSlot, PostOp, Const]
+@dataclass(frozen=True)
+class ParamRef:
+    """A parameter folded into a proxy-side post expression.
+
+    The parameter never reaches the SP (exactly like :class:`Const` values
+    in the same position); the decryptor reads it from the bound parameter
+    row at decryption time.
+    """
+
+    param: int
+    negate: bool = False
+
+
+OutputSpec = Union[PlainSlot, ShareSlot, PostOp, Const, ParamRef]
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """How one rewritten-query placeholder derives from a parameter.
+
+    The rewriter folds constants into rewritten queries in masked or
+    ring-encoded form; a parameter in the same position defers exactly that
+    arithmetic.  At bind time the slot's literal is computed as::
+
+        ring = ring_encode(value, kind, scale, width)   # kind != None
+        literal = (-ring if negate else ring)           # factor is None
+        literal = factor * ring % n                     # factor set
+
+    ``kind=None`` is a passthrough slot: the raw value goes to the SP (the
+    marker sits in a plain position, where the string path would have sent
+    the literal in clear anyway).
+    """
+
+    param: int                     # index into the application's parameters
+    kind: Optional[str] = None     # ring encoding kind; None = passthrough
+    scale: int = 0
+    width: int = 0
+    factor: Optional[int] = None   # token/key inverse folded at rewrite time
+    negate: bool = False
 
 
 @dataclass(frozen=True)
@@ -80,10 +118,31 @@ class RewrittenQuery:
     outputs: tuple[OutputColumn, ...]     # in application order
     leakage: tuple[str, ...] = ()         # per-site leakage events
     notes: tuple[str, ...] = ()           # rewriting decisions worth surfacing
+    param_slots: tuple[ParamSlot, ...] = ()  # placeholder slots, in marker order
 
     @property
     def sql(self) -> str:
         return self.query.to_sql()
+
+    def bind_slots(self, n: int, values) -> list:
+        """Literal values for the query's markers given application ``values``.
+
+        ``n`` is the public modulus.  NULL parameters stay NULL (every SDB
+        UDF propagates NULL).
+        """
+        from repro.crypto.encoding import ring_encode
+
+        literals = []
+        for slot in self.param_slots:
+            value = values[slot.param]
+            if value is None or slot.kind is None:
+                literals.append(value)
+                continue
+            ring = ring_encode(value, slot.kind, slot.scale, slot.width)
+            if slot.negate:
+                ring = -ring
+            literals.append(ring if slot.factor is None else ring * slot.factor % n)
+        return literals
 
 
 @dataclass

@@ -32,7 +32,7 @@ from repro.crypto.sies import SIESKey
 from repro.engine.expressions import Evaluator, RowScope
 from repro.engine.table import Table
 from repro.sql import ast
-from repro.sql.parser import parse, parse_statement
+from repro.sql.parser import parse
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,7 @@ class SDBProxy:
         self.channel = Channel()
         self._decryptor = Decryptor(self.store)
         self._rng = rng
+        self._session = None  # lazily-created default repro.api Connection
 
     # -- uploads (demo step 1) ----------------------------------------------
 
@@ -141,7 +142,13 @@ class SDBProxy:
         at creation, not first use) and stored in the key store -- the SP
         never learns the view exists.
         """
+        from repro.core.rewriter import _reject_unbound_parameters
+
         parsed = parse(sql)
+        # a view definition with ? markers would capture whatever parameters
+        # the *outer* query binds -- reject at creation, like any other
+        # definition error
+        _reject_unbound_parameters(parsed)
         self.store.register_view(name, sql, replace=replace)
         try:
             self.rewriter.rewrite(parsed)
@@ -154,46 +161,57 @@ class SDBProxy:
 
     # -- queries (demo step 2) ------------------------------------------------
 
+    @property
+    def session(self):
+        """The proxy's default :class:`repro.api.Connection`.
+
+        ``query``/``execute`` route through it, so even string re-execution
+        benefits from the session layer's LRU statement cache; applications
+        wanting cursors, prepared statements or streaming fetch should open
+        their own connection with :func:`repro.api.connect`.
+        """
+        if self._session is None:
+            from repro.api.connection import Connection
+
+            self._session = Connection(self)
+        return self._session
+
     def query(self, sql: str) -> QueryResult:
-        """Parse, rewrite, submit, decrypt -- with a cost breakdown."""
-        t0 = time.perf_counter()
-        parsed = parse(sql)
-        t1 = time.perf_counter()
-        plan = self.rewriter.rewrite(parsed)
-        t2 = time.perf_counter()
-        self.channel.record_query(plan.sql)
-        encrypted_result = self.server.execute(plan.query)
-        self.channel.record_result(encrypted_result)
-        t3 = time.perf_counter()
-        table = self._decryptor.decrypt(encrypted_result, plan.outputs)
-        t4 = time.perf_counter()
-        return QueryResult(
-            table=table,
-            rewritten_sql=plan.sql,
-            cost=CostBreakdown(
-                parse_s=t1 - t0,
-                rewrite_s=t2 - t1,
-                server_s=t3 - t2,
-                decrypt_s=t4 - t3,
-            ),
-            leakage=plan.leakage,
-            notes=plan.notes,
-        )
+        """Parse, rewrite, submit, decrypt -- with a cost breakdown.
+
+        Thin shim over the session layer: the statement cache makes
+        repeated strings skip parse + rewrite, and the cost breakdown
+        reports only the work this call actually performed.
+        """
+        return self.session.query(sql)
 
     # -- DML -----------------------------------------------------------------
 
     def execute(self, sql: str) -> Union[QueryResult, DMLResult]:
         """Run any supported statement (SELECT, DML, BEGIN/COMMIT/ROLLBACK)."""
-        statement = parse_statement(sql)
-        if isinstance(statement, ast.Select):
+        statement = self.session.statement(sql)  # parse once, LRU-cached
+        if statement.kind == "select":
             return self.query(sql)
+        return self.execute_statement(statement.parsed)
+
+    def execute_statement(self, statement: ast.Statement) -> DMLResult:
+        """Run an already-parsed DML or transaction-control statement.
+
+        The session layer's prepared statements bind parameters into their
+        parsed AST and enter the pipeline here, skipping re-parse.
+        """
         if isinstance(statement, ast.TxnControl):
             return self._execute_txn(statement)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement)
         if isinstance(statement, ast.Update):
             return self._execute_dml(statement, self.rewriter.rewrite_update)
-        return self._execute_dml(statement, self.rewriter.rewrite_delete)
+        if isinstance(statement, ast.Delete):
+            return self._execute_dml(statement, self.rewriter.rewrite_delete)
+        raise TypeError(
+            f"execute_statement cannot run {type(statement).__name__}; "
+            "SELECTs go through query() or a session cursor"
+        )
 
     def _execute_txn(self, statement: ast.TxnControl) -> DMLResult:
         """Transaction control, mirrored in the key store's row counts.
@@ -240,6 +258,9 @@ class SDBProxy:
         the paper's chosen-plaintext (bank-account) attacker.
         """
         t0 = time.perf_counter()
+        from repro.core.rewriter import _reject_unbound_parameters
+
+        _reject_unbound_parameters(statement)
         if statement.table not in self.store:
             raise RewriteError(f"table {statement.table!r} is not uploaded")
         meta = self.store.table(statement.table)
@@ -399,6 +420,9 @@ class SDBProxy:
         t1 = time.perf_counter()
         if column_meta is not None:
             meta.columns[column] = dataclasses.replace(column_meta, key=new_key)
+        # cached rewrite plans embed key-update parameters derived from the
+        # old key; force prepared statements to re-rewrite
+        self.store.bump_version()
         return DMLResult(
             affected=affected,
             rewritten_sql=statement.to_sql(),

@@ -41,6 +41,8 @@ from repro.core.meta import TableMeta, ValueType
 from repro.core.plan import (
     Const,
     OutputColumn,
+    ParamRef,
+    ParamSlot,
     PlainSlot,
     PostOp,
     RewrittenQuery,
@@ -48,8 +50,8 @@ from repro.core.plan import (
 )
 from repro.core.protocols import ComparisonMode, ProtocolPolicy
 from repro.crypto import keyops, ntheory
-from repro.crypto.keys import ColumnKey
 from repro.crypto.keyops import KeyExpr
+from repro.crypto.keys import ColumnKey
 from repro.engine.expressions import Evaluator, EvaluationError, RowScope
 from repro.sql import ast
 
@@ -59,6 +61,45 @@ AUX_COLUMN = "__s"
 
 class RewriteError(ValueError):
     """The query cannot be rewritten (unknown table/column, misuse)."""
+
+
+@dataclass(frozen=True)
+class _SlotPlaceholder(ast.Placeholder):
+    """A placeholder already assigned a bind slot (rewriter-internal).
+
+    The rewriter renumbers every surviving marker into a slot of the plan's
+    ``param_slots``; this subclass distinguishes markers it has already
+    processed from application markers still carrying their original index.
+    """
+
+
+def _reject_unbound_parameters(statement) -> None:
+    """DML rewrites take fully-bound statements; markers must bind first.
+
+    SELECT plans keep markers (they become bind slots), but DML re-rewrites
+    per execution, so the session layer binds before rewriting.  A marker
+    arriving here means the caller skipped binding -- e.g.
+    ``proxy.execute("DELETE ... WHERE x = ?")`` with no way to pass values.
+    """
+    from repro.sql.params import num_parameters
+
+    count = num_parameters(statement)
+    if count:
+        raise RewriteError(
+            f"statement has {count} unbound parameter(s); execute it through "
+            "a repro.api cursor with a parameter row"
+        )
+
+
+def _param_of(node: ast.Expr):
+    """``(param_index, negated)`` when ``node`` is a (negated) marker."""
+    negated = False
+    while isinstance(node, ast.UnaryOp) and node.op == "-":
+        negated = not negated
+        node = node.operand
+    if isinstance(node, ast.Placeholder) and not isinstance(node, _SlotPlaceholder):
+        return node.index, negated
+    return None
 
 
 class UnsupportedQueryError(RewriteError):
@@ -218,19 +259,34 @@ class Rewriter:
         self._leakage: list[str] = []
         self._notes: list[str] = []
         self._hidden_counter = 0
+        self._param_types: tuple = ()
+        self._param_slots: list[ParamSlot] = []
 
     # -- entry point --------------------------------------------------------
 
-    def rewrite(self, query: ast.Select) -> RewrittenQuery:
+    def rewrite(self, query: ast.Select, param_types=()) -> RewrittenQuery:
+        """Rewrite ``query``; ``param_types`` declares placeholder vtypes.
+
+        A query may contain :class:`~repro.sql.ast.Placeholder` markers;
+        ``param_types[i]`` is the :class:`ValueType` marker ``i`` will be
+        bound with (the session layer infers it from the first bound value).
+        Markers rewrite like any non-constant insensitive operand -- they
+        survive into the rewritten query, typically inside an ``sdb_enc``
+        call that ring-encodes the eventual value at the SP.
+        """
         self._leakage = []
         self._notes = []
         self._hidden_counter = 0
+        self._param_types = tuple(param_types)
+        self._param_slots: list[ParamSlot] = []
         rewritten, outputs = self._rewrite_top(query)
+        rewritten = self._finalize_params(rewritten)
         return RewrittenQuery(
             query=rewritten,
             outputs=tuple(outputs),
             leakage=tuple(self._leakage),
             notes=tuple(self._notes),
+            param_slots=tuple(self._param_slots),
         )
 
     # -- views ----------------------------------------------------------------
@@ -271,6 +327,7 @@ class Rewriter:
         self._leakage = []
         self._notes = []
         self._hidden_counter = 0
+        _reject_unbound_parameters(statement)
         if statement.table not in self.store:
             raise RewriteError(f"table {statement.table!r} is not uploaded")
         meta = self.store.table(statement.table)
@@ -340,6 +397,7 @@ class Rewriter:
         self._leakage = []
         self._notes = []
         self._hidden_counter = 0
+        _reject_unbound_parameters(statement)
         if statement.table not in self.store:
             raise RewriteError(f"table {statement.table!r} is not uploaded")
         meta = self.store.table(statement.table)
@@ -921,6 +979,10 @@ class Rewriter:
                 vtype=vtype,
                 key=target,
             )
+        param = _param_of(rexpr.node)
+        if param is not None:
+            node = self._defer_param(param[0], vtype, vtype.scale, inv, param[1])
+            return RExpr(node=node, vtype=vtype, key=target)
         enc = self._enc_node(
             RExpr(node=rexpr.node, vtype=vtype), vtype.scale
         )
@@ -947,6 +1009,14 @@ class Rewriter:
 
         if isinstance(expr, ast.Literal):
             return RExpr(node=expr, vtype=_literal_vtype(expr.value))
+        if isinstance(expr, ast.Placeholder):
+            types = self._param_types
+            vtype = (
+                types[expr.index]
+                if expr.index < len(types) and types[expr.index] is not None
+                else ValueType.int_()
+            )
+            return RExpr(node=expr, vtype=vtype)
         if isinstance(expr, ast.Interval):
             return RExpr(node=expr, vtype=ValueType.int_())
         if isinstance(expr, ast.Column):
@@ -1057,6 +1127,23 @@ class Rewriter:
                     key=share.key,
                 )
             return self._mul_const(share, ring, scale)
+        param = _param_of(plain.node)
+        if param is not None:
+            # defer the constant-factor path: ring-encode at bind time
+            scale = plain.vtype.scale if plain.vtype.kind == "decimal" else 0
+            node = ast.FuncCall(
+                "sdb_mul_plain",
+                (
+                    share.node,
+                    self._defer_param(param[0], plain.vtype, scale, None, param[1]),
+                    ast.Literal(0),
+                    ast.Literal(self.keys.n),
+                ),
+            )
+            vtype = share.vtype
+            if scale or vtype.kind == "decimal":
+                vtype = ValueType.decimal(vtype.scale + scale)
+            return RExpr(node=node, vtype=vtype, key=share.key)
         # non-constant insensitive operand: scale it into the ring at the SP
         scale = plain.vtype.scale if plain.vtype.kind == "decimal" else 0
         node = ast.FuncCall(
@@ -1171,6 +1258,10 @@ class Rewriter:
                 return RExpr(
                     node=ast.Literal(ring * inv % self.keys.n), vtype=vtype, key=key
                 )
+            param = _param_of(plain.node)
+            if param is not None:
+                node = self._defer_param(param[0], vtype, scale, inv, param[1])
+                return RExpr(node=node, vtype=vtype, key=key)
             enc = self._enc_node(plain, scale)
             node = ast.FuncCall(
                 "sdb_mul_plain",
@@ -1196,6 +1287,18 @@ class Rewriter:
                 (
                     one_under_key.node,
                     ast.Literal(ring),
+                    ast.Literal(0),
+                    ast.Literal(self.keys.n),
+                ),
+            )
+            return RExpr(node=node, vtype=vtype, key=key)
+        param = _param_of(plain.node)
+        if param is not None:
+            node = ast.FuncCall(
+                "sdb_mul_plain",
+                (
+                    one_under_key.node,
+                    self._defer_param(param[0], vtype, scale, None, param[1]),
                     ast.Literal(0),
                     ast.Literal(self.keys.n),
                 ),
@@ -1415,6 +1518,10 @@ class Rewriter:
         constant = self._fold(expr)
         if constant is not _NOT_CONST:
             return Const(value=constant)
+        param = _param_of(expr)
+        if param is not None:
+            # like Const: the value stays at the proxy, read at decrypt time
+            return ParamRef(param=param[0], negate=param[1])
         rexpr = self._rewrite_expr(expr, scope)
         return self._leaf_spec(
             rexpr, self._hidden_name(), scope, phys_items, rowid_slots, grouped
@@ -1567,6 +1674,58 @@ class Rewriter:
             )
         return expr, None
 
+    # -- parameter slots --------------------------------------------------------------------------
+    #
+    # Wherever the constant paths above fold a literal proxy-side (ring
+    # encoding, token/key-inverse masking), a parameter marker defers that
+    # same arithmetic to bind time: the rewritten query keeps a marker and
+    # the plan records a ParamSlot describing the transform.  For a single
+    # execution the SP sees exactly what it would have seen had the value
+    # been inlined -- never the plaintext of a sensitive operand.  Across
+    # executions the comparison is weaker: a *cached* plan reuses the
+    # masks/tokens drawn during this rewrite, whereas re-rewriting a string
+    # draws fresh ones, so an SP correlating executions of one prepared
+    # plan learns e.g. ratios of masked differences.  The session layer
+    # declares this on every cached parameterized plan (see
+    # repro.api.statement), and re-masking at bind time is the noted
+    # follow-up that would close the gap.
+
+    def _defer_param(
+        self,
+        param_index: int,
+        vtype: ValueType,
+        scale: int,
+        factor: Optional[int],
+        negate: bool,
+    ) -> ast.Expr:
+        slot = len(self._param_slots)
+        self._param_slots.append(
+            ParamSlot(
+                param=param_index,
+                kind=vtype.kind,
+                scale=scale,
+                width=vtype.width,
+                factor=factor,
+                negate=negate,
+            )
+        )
+        return _SlotPlaceholder(index=slot)
+
+    def _finalize_params(self, node):
+        """Renumber surviving plain markers into passthrough slots."""
+        from repro.sql.params import transform_nodes
+
+        def leaf(sub):
+            if isinstance(sub, _SlotPlaceholder):
+                return sub
+            if isinstance(sub, ast.Placeholder):
+                slot = len(self._param_slots)
+                self._param_slots.append(ParamSlot(param=sub.index))
+                return _SlotPlaceholder(index=slot)
+            return None
+
+        return transform_nodes(node, leaf)
+
     # -- helpers ----------------------------------------------------------------------------------
 
     def _fold(self, expr: ast.Expr):
@@ -1581,7 +1740,9 @@ class Rewriter:
         if value is None:
             raise RewriteError("cannot ring-encode NULL")
         if vtype.kind in ("int", "decimal") or isinstance(value, (int, float)):
-            return round(float(value) * (10 ** scale)) if scale else int(round(value))
+            from repro.crypto.encoding import ring_encode
+
+            return ring_encode(value, "decimal" if scale else "int", scale)
         if vtype.kind == "date" or isinstance(value, datetime.date):
             from repro.crypto.encoding import encode_date
 
@@ -1630,6 +1791,18 @@ def _provably_positive(expr: ast.Expr) -> bool:
 
 
 _NOT_CONST = object()
+
+
+def infer_param_type(value) -> Optional[ValueType]:
+    """The :class:`ValueType` a parameter value binds as (None for NULL).
+
+    The session layer specializes a prepared statement's rewrite plan per
+    parameter *type signature*: the first execution with a new signature
+    rewrites once, later executions with same-typed values reuse the plan.
+    """
+    if value is None:
+        return None
+    return _literal_vtype(value)
 
 
 def _literal_vtype(value) -> ValueType:

@@ -10,9 +10,10 @@ memory-dump step and the security experiments.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.udfs import AGGREGATE_UDFS, SCALAR_UDFS, register_sdb_udfs
 from repro.engine import Catalog, Engine, Table
@@ -73,6 +74,10 @@ class SDBServer:
         # proxies from threads, and DML mutates tables in place
         self._lock = threading.RLock()
         self._undo: Optional[dict] = None  # table -> column snapshots
+        # prepared statements and open (streamable) result sets
+        self._prepared: dict[int, ast.Select] = {}
+        self._results: dict[int, list] = {}  # id -> [table, cursor offset]
+        self._handle_ids = itertools.count(1)
         if instrument:
             self._wrap_udfs()
 
@@ -109,6 +114,67 @@ class SDBServer:
                 statement = parse_statement(statement)
             self._remember_for_undo(statement.table)
             return self.engine.execute_dml(statement)
+
+    # -- prepared statements / streaming results ------------------------------
+    #
+    # The session layer (repro.api) prepares a rewritten query once and
+    # executes it many times with bound parameters; results stay at the SP
+    # and stream back in fetch-sized chunks so the proxy only decrypts what
+    # the application actually reads.  The same four entry points back the
+    # networked deployment's PREPARE / EXECUTE_PREPARED / FETCH / CLOSE ops.
+
+    def prepare_query(self, query) -> int:
+        """Register a (rewritten) SELECT; returns a statement handle."""
+        if isinstance(query, str):
+            from repro.sql.parser import parse
+
+            query = parse(query)
+        if not isinstance(query, ast.Select):
+            raise ValueError("prepare_query expects a SELECT")
+        with self._lock:
+            stmt_id = next(self._handle_ids)
+            self._prepared[stmt_id] = query
+            return stmt_id
+
+    def execute_prepared(self, stmt_id: int, params: Sequence = ()) -> tuple[int, int]:
+        """Bind ``params`` and run; returns ``(result_id, num_rows)``.
+
+        The result relation is retained server-side until fetched or
+        closed; ``fetch_rows`` streams it out in chunks.
+        """
+        from repro.sql.params import bind_parameters
+
+        with self._lock:
+            try:
+                query = self._prepared[stmt_id]
+            except KeyError:
+                raise KeyError(f"unknown prepared statement {stmt_id}") from None
+            bound = bind_parameters(query, params)
+            result = self.execute(bound)
+            result_id = next(self._handle_ids)
+            self._results[result_id] = [result, 0]
+            return result_id, result.num_rows
+
+    def fetch_rows(self, result_id: int, count: Optional[int] = None) -> Table:
+        """Next chunk of an open result (all remaining when ``count`` is None)."""
+        with self._lock:
+            try:
+                entry = self._results[result_id]
+            except KeyError:
+                raise KeyError(f"unknown result set {result_id}") from None
+            table, offset = entry
+            stop = None if count is None else offset + count
+            chunk = table.slice(offset, stop)
+            entry[1] = offset + chunk.num_rows
+            return chunk
+
+    def close_result(self, result_id: int) -> None:
+        with self._lock:
+            self._results.pop(result_id, None)
+
+    def close_prepared(self, stmt_id: int) -> None:
+        with self._lock:
+            self._prepared.pop(stmt_id, None)
 
     # -- transactions ---------------------------------------------------------
     #

@@ -90,6 +90,35 @@ def encode_string(value: str, width: int) -> int:
     return int.from_bytes(raw.ljust(width, b"\x00"), "big")
 
 
+def ring_encode(value, kind: str, scale: int = 0, width: int = 0) -> int:
+    """Encode ``value`` for the ring under a declared value kind.
+
+    The kind-dispatching front door to the per-type encoders above, used
+    when a prepared statement binds a parameter: the plan recorded
+    ``(kind, scale, width)`` at rewrite time and the actual value arrives
+    later, and the rewriter's constant path delegates here so bound
+    parameters stay bit-identical to inlined constants.
+
+    Deliberately NOT the same dispatch as :meth:`ValueType.encode`: that
+    one encodes *stored column values* whose declared type matches the
+    value (an int column truncates with ``int(value)``), while query
+    constants and parameters may be floats meeting an int context and must
+    round (``qty < 24.7`` means ``qty < 25`` after ``round``, matching the
+    pre-session-layer rewriter).  Merging the two would silently change
+    comparison semantics on one side or the other.
+    """
+    if kind in ("int", "decimal"):
+        return encode_decimal(value, scale) if scale else int(round(value))
+    if kind == "date":
+        return encode_date(value)
+    if kind == "string":
+        text = str(value)
+        return encode_string(text, width or max(len(text.encode("utf-8")), 1))
+    if kind == "bool":
+        return int(bool(value))
+    raise ValueError(f"cannot ring-encode kind {kind!r}")
+
+
 def decode_string(encoded: int, width: int) -> str:
     """Inverse of :func:`encode_string` (strips the zero padding)."""
     raw = int(encoded).to_bytes(width, "big")

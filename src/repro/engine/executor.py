@@ -419,7 +419,8 @@ class Engine:
 
         for column, descending in reversed(order_keys):
             indices.sort(
-                key=lambda i: (column[i] is None, column[i]), reverse=descending
+                key=lambda i, column=column: (column[i] is None, column[i]),
+                reverse=descending,
             )
 
         if query.limit is not None:
@@ -610,11 +611,12 @@ class Engine:
                 if None in key:
                     continue  # SQL: NULL = anything is never true
                 index.setdefault(key, []).append(bindings)
-            candidates = (
-                lambda key: () if None in key else index.get(key, ())
-            )
+            def candidates(key):
+                return () if None in key else index.get(key, ())
         else:
-            candidates = lambda key: right_rows
+            def candidates(key):
+                return right_rows
+
             left_exprs = []
 
         null_right = {

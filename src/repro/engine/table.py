@@ -7,7 +7,7 @@ queries from paying for untouched columns.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.engine.schema import ColumnSpec, DataType, Schema
 
@@ -89,6 +89,10 @@ class Table:
 
     def head(self, k: int) -> "Table":
         return Table(self.schema, [col[:k] for col in self.columns])
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Table":
+        """Contiguous row window ``[start, stop)`` (a fetch chunk)."""
+        return Table(self.schema, [col[start:stop] for col in self.columns])
 
     def select(self, names: Sequence[str]) -> "Table":
         specs = tuple(self.schema[name] for name in names)

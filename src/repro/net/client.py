@@ -19,6 +19,35 @@ from repro.net import protocol
 from repro.sql import ast
 
 
+def _server_exception_types() -> dict:
+    """Exception classes the SP may raise, keyed by type name.
+
+    The daemon tags every error response with the original type name
+    (``error_type``); re-raising the same class here makes remote error
+    paths indistinguishable from in-process ones -- the differential tests
+    pin this.
+    """
+    import builtins
+
+    from repro.engine.catalog import CatalogError
+    from repro.engine.dml import DMLError
+    from repro.engine.executor import ExecutionError
+    from repro.engine.expressions import EvaluationError
+    from repro.engine.udf import UDFError
+    from repro.sql.lexer import LexError
+    from repro.sql.params import BindError
+    from repro.sql.parser import ParseError
+
+    named = (
+        ParseError, LexError, BindError, ExecutionError, DMLError,
+        EvaluationError, CatalogError, UDFError,
+    )
+    registry = {cls.__name__: cls for cls in named}
+    for name in ("ValueError", "KeyError", "TypeError", "RuntimeError"):
+        registry[name] = getattr(builtins, name)
+    return registry
+
+
 class RemoteServer:
     """A proxy-side handle on a networked SP."""
 
@@ -51,6 +80,9 @@ class RemoteServer:
             response = protocol.recv_message(self._sock)
         self.bytes_received += len(repr(response))
         if "error" in response:
+            exc_type = _server_exception_types().get(response.get("error_type"))
+            if exc_type is not None:
+                raise exc_type(response.get("error_message", response["error"]))
             raise protocol.NetError(response["error"])
         return response["ok"]
 
@@ -112,3 +144,32 @@ class RemoteServer:
 
     def catalog_names(self) -> list[str]:
         return self._call("catalog")
+
+    # -- prepared statements / streaming fetch ---------------------------------
+    #
+    # PREPARE ships the (rewritten) SQL text once; EXECUTE_PREPARED then
+    # carries only the parameter bindings, and FETCH streams the encrypted
+    # result back chunk by chunk -- the wire never re-transmits the query.
+
+    def prepare_query(self, query) -> int:
+        sql = query if isinstance(query, str) else query.to_sql()
+        return int(self._call("prepare", sql=sql))
+
+    def execute_prepared(self, stmt_id: int, params=()) -> tuple[int, int]:
+        body = self._call(
+            "execute_prepared",
+            stmt=stmt_id,
+            params=[protocol.encode_value(p) for p in params],
+        )
+        return int(body["result"]), int(body["num_rows"])
+
+    def fetch_rows(self, result_id: int, count=None) -> Table:
+        return protocol.decode_value(
+            self._call("fetch", result=result_id, count=count)
+        )
+
+    def close_result(self, result_id: int) -> None:
+        self._call("close_result", result=result_id)
+
+    def close_prepared(self, stmt_id: int) -> None:
+        self._call("close_prepared", stmt=stmt_id)

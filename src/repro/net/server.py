@@ -21,6 +21,17 @@ from repro.sql.parser import parse_statement
 class _RequestHandler(socketserver.BaseRequestHandler):
     """One connected proxy; requests are handled sequentially per socket."""
 
+    def setup(self) -> None:
+        # handles created over this connection, released on disconnect
+        self._stmt_ids: set[int] = set()
+        self._result_ids: set[int] = set()
+
+    def finish(self) -> None:
+        for result_id in self._result_ids:
+            self._sdb.close_result(result_id)
+        for stmt_id in self._stmt_ids:
+            self._sdb.close_prepared(stmt_id)
+
     def handle(self) -> None:
         while True:
             try:
@@ -41,7 +52,13 @@ class _RequestHandler(socketserver.BaseRequestHandler):
                 raise protocol.NetError(f"unknown operation {op!r}")
             return {"ok": handler(request)}
         except Exception as exc:  # surface the failure to the caller
-            return {"error": f"{type(exc).__name__}: {exc}"}
+            # the type name lets the client re-raise the same exception
+            # class, so error paths look identical to in-process execution
+            return {
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__,
+                "error_message": str(exc),
+            }
 
     # -- operations ---------------------------------------------------------
 
@@ -100,6 +117,40 @@ class _RequestHandler(socketserver.BaseRequestHandler):
 
     def _op_catalog(self, request: dict):
         return self._sdb.catalog.names()
+
+    # -- prepared statements / streaming fetch --------------------------------
+
+    def _op_prepare(self, request: dict):
+        stmt_id = self._sdb.prepare_query(request["sql"])
+        self._stmt_ids.add(stmt_id)
+        return stmt_id
+
+    def _op_execute_prepared(self, request: dict):
+        params = [protocol.decode_value(p) for p in request.get("params", [])]
+        result_id, num_rows = self._sdb.execute_prepared(
+            int(request["stmt"]), params
+        )
+        self._result_ids.add(result_id)
+        return {"result": result_id, "num_rows": num_rows}
+
+    def _op_fetch(self, request: dict):
+        count = request.get("count")
+        chunk = self._sdb.fetch_rows(
+            int(request["result"]), None if count is None else int(count)
+        )
+        return protocol.encode_value(chunk)
+
+    def _op_close_result(self, request: dict):
+        result_id = int(request["result"])
+        self._sdb.close_result(result_id)
+        self._result_ids.discard(result_id)
+        return True
+
+    def _op_close_prepared(self, request: dict):
+        stmt_id = int(request["stmt"])
+        self._sdb.close_prepared(stmt_id)
+        self._stmt_ids.discard(stmt_id)
+        return True
 
 
 class SDBNetServer(socketserver.ThreadingTCPServer):

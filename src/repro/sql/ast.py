@@ -48,6 +48,26 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Placeholder(Expr):
+    """A ``?`` parameter marker (0-based ``index``; qmark paramstyle).
+
+    Placeholders survive rewriting: the proxy's rewriter routes them through
+    the same SP-side ``sdb_enc`` path it uses for any non-constant
+    insensitive operand, so a prepared statement's rewritten query still
+    contains the markers and binding a parameter set is a pure AST
+    substitution (:func:`repro.sql.params.bind_parameters`) -- no re-parse,
+    no re-rewrite.  ``to_sql`` renders the explicit 1-based form ``?N`` so a
+    rewritten query (where markers may appear out of order or more than
+    once) round-trips through the wire protocol unambiguously.
+    """
+
+    index: int
+
+    def to_sql(self) -> str:
+        return f"?{self.index + 1}"
+
+
+@dataclass(frozen=True)
 class Interval(Expr):
     """``INTERVAL '3' MONTH`` -- date arithmetic operand."""
 

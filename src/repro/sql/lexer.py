@@ -32,7 +32,7 @@ class LexError(ValueError):
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'param' | 'eof'
     text: str
     position: int
 
@@ -64,6 +64,15 @@ def _scan(sql: str) -> Iterator[Token]:
         if ch == "'":
             text, i = _scan_string(sql, i)
             yield Token("string", text, i)
+            continue
+        if ch == "?":
+            # parameter marker: bare ``?`` (positional) or explicit ``?N``
+            # (1-based), the form rewritten queries render
+            start = i
+            i += 1
+            while i < length and sql[i].isdigit():
+                i += 1
+            yield Token("param", sql[start:i], start)
             continue
         if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
             start = i

@@ -1,0 +1,112 @@
+"""Parameter markers: discovery and binding.
+
+A prepared statement's AST -- application-side *and* rewritten -- may
+contain :class:`~repro.sql.ast.Placeholder` nodes.  Binding a parameter row
+substitutes each marker with a :class:`~repro.sql.ast.Literal` carrying the
+supplied value.  The substitution is identity-preserving: subtrees without
+markers are returned unchanged (not copied), so binding a large rewritten
+query costs only the paths that actually lead to a marker.
+
+Both helpers walk dataclass AST nodes generically, so they cover every
+statement kind (and every future node type) without a per-node case table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+
+from repro.sql import ast
+
+#: Python types a parameter value may have (mirrors what Literal carries).
+BINDABLE_TYPES = (bool, int, float, str, datetime.date)
+
+
+class BindError(ValueError):
+    """Parameter count/type mismatch while binding a statement."""
+
+
+def _is_ast_node(obj) -> bool:
+    return dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+
+
+def walk_nodes(node):
+    """Yield ``node`` and every dataclass AST node reachable from it.
+
+    Unlike :func:`repro.sql.ast.walk` this descends into *everything*:
+    statements, FROM clauses, subqueries, INSERT value rows.
+    """
+    if _is_ast_node(node):
+        yield node
+        values = (getattr(node, f.name) for f in dataclasses.fields(node))
+    elif isinstance(node, (tuple, list)):
+        values = node
+    else:
+        return
+    for value in values:
+        yield from walk_nodes(value)
+
+
+def num_parameters(statement) -> int:
+    """Number of parameters a statement expects (max marker index + 1)."""
+    highest = -1
+    for node in walk_nodes(statement):
+        if isinstance(node, ast.Placeholder):
+            highest = max(highest, node.index)
+    return highest + 1
+
+
+def transform_nodes(node, leaf):
+    """Depth-first, identity-preserving AST rewrite.
+
+    ``leaf(node)`` returns a replacement node to stop descending, or None
+    to recurse into the children.  Untouched subtrees are returned as the
+    same objects, so a transform costs only the paths it actually changes.
+    Shared by parameter binding here and the rewriter's marker renumbering.
+    """
+    replaced = leaf(node)
+    if replaced is not None:
+        return replaced
+    if _is_ast_node(node):
+        changes = {}
+        for field in dataclasses.fields(node):
+            old = getattr(node, field.name)
+            new = transform_nodes(old, leaf)
+            if new is not old:
+                changes[field.name] = new
+        return dataclasses.replace(node, **changes) if changes else node
+    if isinstance(node, tuple):
+        items = [transform_nodes(item, leaf) for item in node]
+        if all(new is old for new, old in zip(items, node)):
+            return node
+        return tuple(items)
+    return node
+
+
+def bind_parameters(statement, values):
+    """Substitute every parameter marker with a literal from ``values``.
+
+    ``values`` is a sequence indexed by marker position (marker ``?1`` reads
+    ``values[0]``).  Raises :class:`BindError` when the count does not match
+    or a value has no SQL literal representation.
+    """
+    expected = num_parameters(statement)
+    values = tuple(values)
+    if len(values) != expected:
+        raise BindError(
+            f"statement expects {expected} parameter(s), got {len(values)}"
+        )
+    for value in values:
+        if value is not None and not isinstance(value, BINDABLE_TYPES):
+            raise BindError(
+                f"cannot bind {type(value).__name__} as a SQL parameter"
+            )
+    if not expected:
+        return statement
+
+    def leaf(node):
+        if isinstance(node, ast.Placeholder):
+            return ast.Literal(value=values[node.index])
+        return None
+
+    return transform_nodes(statement, leaf)

@@ -40,6 +40,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._param_seq = 0  # next positional index for a bare ``?``
 
     # -- token helpers ----------------------------------------------------
 
@@ -390,6 +391,20 @@ class _Parser:
         if token.kind == "string":
             self._advance()
             return ast.Literal(value=token.text)
+
+        if token.kind == "param":
+            self._advance()
+            if len(token.text) > 1:  # explicit 1-based ``?N``
+                index = int(token.text[1:]) - 1
+                if index < 0:
+                    raise ParseError(
+                        f"parameter markers are 1-based: {token.text!r} at "
+                        f"position {token.position}"
+                    )
+            else:  # bare ``?``: next positional slot
+                index = self._param_seq
+            self._param_seq = max(self._param_seq, index + 1)
+            return ast.Placeholder(index=index)
 
         if token.matches("keyword", "null"):
             self._advance()

@@ -1,0 +1,63 @@
+"""Fixtures for the session-layer suite.
+
+The ``deployment`` fixture is parametrized over the two deployment shapes
+-- in-process and remote TCP -- so every test in this package pins that the
+same Cursor API behaves identically against both (an acceptance criterion
+of the session-layer redesign).
+"""
+
+import datetime
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("dept", ValueType.string(8)),
+    ("sal", ValueType.decimal(2)),
+    ("hired", ValueType.date()),
+]
+
+ROWS = [
+    (1, "eng", 100.00, datetime.date(2020, 1, 15)),
+    (2, "ops", 80.50, datetime.date(2021, 6, 1)),
+    (3, "eng", 120.25, datetime.date(2019, 3, 15)),
+    (4, "sales", 95.00, datetime.date(2022, 11, 30)),
+    (5, "eng", 64.75, datetime.date(2023, 2, 2)),
+    (6, "ops", 110.00, datetime.date(2018, 8, 20)),
+]
+
+
+@pytest.fixture(params=["inprocess", "remote"])
+def deployment(request):
+    """(connection, sdb_server, teardown extras) for both deployment shapes."""
+    sdb_server = SDBServer()
+    net_server = None
+    if request.param == "remote":
+        from repro.net import RemoteServer, start_server
+
+        net_server, _ = start_server(sdb_server=sdb_server)
+        server = RemoteServer.connect("127.0.0.1", net_server.port)
+    else:
+        server = sdb_server
+    conn = api.connect(
+        server=server, modulus_bits=256, value_bits=64, rng=seeded_rng(501)
+    )
+    conn.proxy.create_table(
+        "pay", COLUMNS, ROWS, sensitive=["sal", "dept"], rng=seeded_rng(502)
+    )
+    yield conn, sdb_server
+    conn.close()
+    if net_server is not None:
+        server.close()
+        net_server.shutdown()
+        net_server.server_close()
+
+
+@pytest.fixture()
+def conn(deployment):
+    return deployment[0]

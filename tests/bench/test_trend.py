@@ -1,0 +1,122 @@
+"""The bench-trend gate: metric discovery, thresholds, CLI exit codes."""
+
+import json
+
+from repro.bench.trend import (
+    Comparison,
+    compare_directories,
+    compare_payloads,
+    main,
+    metric_leaves,
+)
+
+
+def _payload(**metrics):
+    return {"bench": "demo", "smoke": False, "unix_time": 1.0, **metrics}
+
+
+def test_metric_leaves_finds_timings_and_throughputs():
+    leaves = metric_leaves(
+        _payload(
+            row_seconds=1.5,
+            batch_rows_per_sec=100.0,
+            rows=500,                      # shape, not a metric
+            per_row_us={"sdb_mul": 13.8},  # inherits metric-ness from parent
+        )
+    )
+    assert leaves["row_seconds"] == (1.5, False)
+    assert leaves["batch_rows_per_sec"] == (100.0, True)
+    assert leaves["per_row_us.sdb_mul"] == (13.8, False)
+    assert "rows" not in leaves
+    assert "unix_time" not in leaves
+
+
+def test_no_regression_within_threshold():
+    base = _payload(run_seconds=1.0)
+    fresh = _payload(run_seconds=1.8)
+    assert not compare_payloads(base, fresh, threshold=2.0).failed
+
+
+def test_timing_regression_beyond_threshold_fails():
+    base = _payload(run_seconds=1.0)
+    fresh = _payload(run_seconds=2.5)
+    outcome = compare_payloads(base, fresh, threshold=2.0)
+    assert outcome.failed
+    path, old, new, detail = outcome.regressions[0]
+    assert path == "run_seconds" and "2.5x" in detail
+
+
+def test_throughput_drop_fails_inverted():
+    base = _payload(rows_per_sec=1000.0)
+    fresh = _payload(rows_per_sec=300.0)
+    assert compare_payloads(base, fresh, threshold=2.0).failed
+    improved = _payload(rows_per_sec=5000.0)
+    assert not compare_payloads(base, improved, threshold=2.0).failed
+
+
+def test_speedup_field_is_higher_is_better():
+    base = _payload(speedup=20.0)
+    fresh = _payload(speedup=4.0)
+    assert compare_payloads(base, fresh, threshold=2.0).failed
+    still_fine = _payload(speedup=11.0)
+    assert not compare_payloads(base, still_fine, threshold=2.0).failed
+
+
+def test_smoke_runs_get_relaxed_threshold():
+    base = {**_payload(run_seconds=1.0), "smoke": True}
+    fresh = {**_payload(run_seconds=3.0), "smoke": True}
+    assert not compare_payloads(base, fresh, 2.0, smoke_relax=2.0).failed
+    worse = {**_payload(run_seconds=5.0), "smoke": True}
+    assert compare_payloads(base, worse, 2.0, smoke_relax=2.0).failed
+
+
+def test_mode_mismatch_is_structural_only():
+    base = {**_payload(run_seconds=1.0), "smoke": True}
+    fresh = _payload(run_seconds=500.0)  # full run, numbers incomparable
+    outcome = compare_payloads(base, fresh)
+    assert outcome.mode == "structural"
+    assert not outcome.failed
+    gone = _payload(other_seconds=1.0)
+    assert compare_payloads(base, gone).missing == ["run_seconds"]
+
+
+def test_sub_noise_metrics_are_skipped():
+    base = _payload(per_row_us={"plaintext": 0.00007})
+    fresh = _payload(per_row_us={"plaintext": 0.0004})  # 5.7x but noise
+    assert not compare_payloads(base, fresh, threshold=2.0).failed
+
+
+def test_directory_comparison_and_cli(tmp_path):
+    baseline = tmp_path / "base"
+    produced = tmp_path / "fresh"
+    baseline.mkdir()
+    produced.mkdir()
+    (baseline / "BENCH_a.json").write_text(
+        json.dumps(_payload(run_seconds=1.0))
+    )
+    (produced / "BENCH_a.json").write_text(
+        json.dumps(_payload(run_seconds=1.1))
+    )
+    (produced / "BENCH_b.json").write_text(
+        json.dumps({**_payload(run_seconds=9.0), "bench": "b"})
+    )
+    outcomes = compare_directories(str(baseline), str(produced))
+    assert [o.mode for o in outcomes] == ["numeric", "new"]
+    assert main(["--baseline-dir", str(baseline),
+                 "--fresh-dir", str(produced)]) == 0
+
+    (produced / "BENCH_a.json").write_text(
+        json.dumps(_payload(run_seconds=9.0))
+    )
+    assert main(["--baseline-dir", str(baseline),
+                 "--fresh-dir", str(produced)]) == 1
+
+
+def test_cli_fails_on_empty_fresh_dir(tmp_path):
+    assert main(["--baseline-dir", str(tmp_path),
+                 "--fresh-dir", str(tmp_path)]) == 1
+
+
+def test_comparison_dataclass_failed_property():
+    assert not Comparison(name="x", mode="numeric").failed
+    assert Comparison(name="x", mode="numeric", missing=["m"]).failed

@@ -9,8 +9,8 @@ import random
 
 import pytest
 
-from repro.baselines.ope import OPECipher, OPEKey
 from repro.baselines.onion import det_encrypt
+from repro.baselines.ope import OPECipher, OPEKey
 from repro.core.attacks import (
     AttackReport,
     CorrelationProbe,

@@ -5,11 +5,11 @@ import pytest
 from repro.core.meta import ValueType
 from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
+from repro.crypto.encoding import decode_signed
 from repro.crypto.keyops import KeyExpr
 from repro.crypto.prf import seeded_rng
 from repro.crypto.secret_sharing import decrypt_value, item_key
 from repro.crypto.sies import SIESCipher
-from repro.crypto.encoding import decode_signed
 
 
 @pytest.fixture()

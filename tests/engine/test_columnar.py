@@ -13,9 +13,9 @@ import random
 import pytest
 
 from repro.core.udfs import register_sdb_udfs
+from repro.crypto import secret_sharing as ss
 from repro.crypto.keys import generate_system_keys
 from repro.crypto.prf import seeded_rng
-from repro.crypto import secret_sharing as ss
 from repro.engine import (
     Catalog,
     ColumnBatch,

@@ -94,7 +94,10 @@ def test_distinct(engine):
 
 
 def test_global_aggregates(engine):
-    t = engine.execute("SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) FROM emp")
+    t = engine.execute(
+        "SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) "
+        "FROM emp"
+    )
     row = t.row(0)
     assert row == (5, 400, 60, 100, 80.0)
 
@@ -117,7 +120,8 @@ def test_group_by_having(engine):
 
 def test_group_by_expression(engine):
     t = engine.execute(
-        "SELECT EXTRACT(YEAR FROM hired) AS y, COUNT(*) AS c FROM emp GROUP BY EXTRACT(YEAR FROM hired) ORDER BY y"
+        "SELECT EXTRACT(YEAR FROM hired) AS y, COUNT(*) AS c FROM emp "
+        "GROUP BY EXTRACT(YEAR FROM hired) ORDER BY y"
     )
     assert t.column("y") == [2018, 2019, 2020, 2021, 2022]
 

@@ -1,0 +1,167 @@
+"""Differential: a remote deployment must be indistinguishable in results
+AND in failures from the in-process one.
+
+Two identical deployments are built from the same seeds -- one proxy over
+an in-process SDBServer, one over a live TCP RemoteServer -- and a
+generated corpus of queries (plus hand-picked error cases) runs against
+both through the session layer.  Rows must match exactly; error cases must
+raise the same exception type with both deployments (the daemon tags error
+responses with the original exception class and the client re-raises it).
+"""
+
+import datetime
+import random
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.net import RemoteServer, start_server
+
+COLUMNS = [
+    ("k", ValueType.int_()),
+    ("grp", ValueType.string(6)),
+    ("amt", ValueType.decimal(2)),
+    ("qty", ValueType.int_()),
+    ("dt", ValueType.date()),
+]
+
+
+def _rows(n=18):
+    base = datetime.date(2021, 1, 1)
+    groups = ["red", "green", "blue"]
+    return [
+        (
+            i,
+            groups[i % 3],
+            round((i * 37.5) % 400 + 0.25, 2),
+            (i * 7) % 20 + 1,
+            base + datetime.timedelta(days=(i * 11) % 365),
+        )
+        for i in range(1, n + 1)
+    ]
+
+
+def _corpus():
+    """A generated corpus: templates x seeded random constants."""
+    rng = random.Random(77)
+    queries = []
+    templates = [
+        "SELECT k FROM t WHERE amt > {amt}",
+        "SELECT k FROM t WHERE amt > {amt} AND qty < {qty}",
+        "SELECT grp, COUNT(*) AS n FROM t WHERE amt < {amt} GROUP BY grp",
+        "SELECT grp, SUM(amt) AS s FROM t GROUP BY grp HAVING SUM(amt) > {amt}",
+        "SELECT SUM(amt * qty) AS rev FROM t WHERE qty BETWEEN {q1} AND {q2}",
+        "SELECT k, amt FROM t WHERE grp = '{grp}' ORDER BY amt DESC LIMIT 3",
+        "SELECT AVG(amt) AS a FROM t WHERE dt >= DATE '2021-{month:02d}-01'",
+        "SELECT COUNT(*) AS n FROM t WHERE amt > {amt} OR qty = {qty}",
+        "SELECT k FROM t WHERE qty IN ({q1}, {q2}, {q3})",
+        "SELECT MAX(amt) AS m, MIN(qty) AS q FROM t WHERE k <= {k}",
+    ]
+    for template in templates:
+        for _ in range(3):
+            queries.append(
+                template.format(
+                    amt=round(rng.uniform(10, 390), 2),
+                    qty=rng.randint(1, 20),
+                    q1=rng.randint(1, 8),
+                    q2=rng.randint(9, 20),
+                    q3=rng.randint(1, 20),
+                    grp=rng.choice(["red", "green", "blue"]),
+                    month=rng.randint(1, 12),
+                    k=rng.randint(2, 18),
+                )
+            )
+    return queries
+
+
+#: (sql, params) pairs that must fail identically in both deployments
+ERROR_CASES = [
+    ("SELEKT k FROM t", ()),                          # parse error
+    ("SELECT k FROM", ()),                            # parse error (truncated)
+    ("SELECT k FROM nowhere", ()),                    # unknown table
+    ("SELECT nope FROM t", ()),                       # unknown column
+    ("SELECT amt FROM t WHERE grp LIKE 'r%'", ()),    # fine: grp insensitive
+    ("SELECT amt FROM t WHERE amt LIKE 'r%'", ()),    # unsupported on share
+    ("SELECT amt / qty FROM t GROUP BY grp", ()),     # rewrite error
+    ("SELECT k FROM t WHERE amt > ?", (1.0, 2.0)),    # parameter mismatch
+    ("SELECT k FROM t WHERE amt > ?", ()),            # missing parameter
+]
+
+
+@pytest.fixture(scope="module")
+def twin_deployments():
+    def build(server):
+        conn = api.connect(
+            server=server, modulus_bits=256, value_bits=64, rng=seeded_rng(701)
+        )
+        conn.proxy.create_table(
+            "t", COLUMNS, _rows(), sensitive=["amt", "qty"], rng=seeded_rng(702)
+        )
+        return conn
+
+    local = build(SDBServer())
+    sdb = SDBServer()
+    net_server, _ = start_server(sdb_server=sdb)
+    remote_server = RemoteServer.connect("127.0.0.1", net_server.port)
+    remote = build(remote_server)
+    yield local, remote
+    local.close()
+    remote.close()
+    remote_server.close()
+    net_server.shutdown()
+    net_server.server_close()
+
+
+def test_generated_corpus_matches(twin_deployments):
+    local, remote = twin_deployments
+    for sql in _corpus():
+        local_rows = local.cursor().execute(sql).fetchall()
+        remote_rows = remote.cursor().execute(sql).fetchall()
+        assert local_rows == remote_rows, sql
+
+
+def test_parameterized_statements_match(twin_deployments):
+    local, remote = twin_deployments
+    sql = ("SELECT grp, SUM(amt * qty) AS rev FROM t "
+           "WHERE amt > ? AND qty < ? GROUP BY grp")
+    lst, rst = local.prepare(sql), remote.prepare(sql)
+    rng = random.Random(78)
+    for _ in range(6):
+        params = [round(rng.uniform(20, 350), 2), rng.randint(5, 20)]
+        assert (
+            local.cursor().execute(lst, params).fetchall()
+            == remote.cursor().execute(rst, params).fetchall()
+        ), params
+
+
+def test_error_paths_raise_identical_types(twin_deployments):
+    local, remote = twin_deployments
+    for sql, params in ERROR_CASES:
+        outcomes = []
+        for conn in (local, remote):
+            try:
+                rows = conn.cursor().execute(sql, params).fetchall()
+                outcomes.append(("ok", len(rows)))
+            except Exception as error:
+                outcomes.append(
+                    (type(error).__name__, type(error.__cause__).__name__
+                     if error.__cause__ else None)
+                )
+        assert outcomes[0] == outcomes[1], (sql, outcomes)
+
+
+def test_raw_proxy_errors_match_types(twin_deployments):
+    """Below the session layer: raw pipeline exceptions line up too."""
+    local, remote = twin_deployments
+    for sql in ("SELEKT 1", "SELECT zz FROM t", "SELECT k FROM nowhere"):
+        kinds = []
+        for conn in (local, remote):
+            try:
+                conn.proxy.query(sql)
+                kinds.append("ok")
+            except Exception as error:
+                kinds.append(type(error).__name__)
+        assert kinds[0] == kinds[1], (sql, kinds)

@@ -117,10 +117,24 @@ def test_drop_table_over_the_wire(deployment):
 
 
 def test_remote_error_propagates(deployment):
+    """SP-side failures re-raise as their original exception type.
+
+    The daemon tags error responses with the exception class name and the
+    client reconstructs it, so remote error paths match in-process ones;
+    ``NetError`` is reserved for protocol-level failures.
+    """
+    from repro.engine.catalog import CatalogError
+
     _, remote, _ = deployment
-    with pytest.raises(NetError) as excinfo:
+    with pytest.raises(CatalogError) as excinfo:
         remote.execute("SELECT x FROM missing_table")
     assert "missing_table" in str(excinfo.value)
+
+
+def test_unknown_error_type_falls_back_to_neterror(deployment):
+    _, remote, _ = deployment
+    with pytest.raises(NetError):
+        remote._call("no_such_operation")
 
 
 def test_wire_carries_no_sensitive_plaintext(deployment):

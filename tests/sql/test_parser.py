@@ -221,7 +221,8 @@ def test_errors():
 
 def test_roundtrip_to_sql_reparses():
     queries = [
-        "SELECT a, SUM(b * c) AS s FROM t WHERE a > 5 GROUP BY a HAVING SUM(b * c) > 2 ORDER BY s DESC LIMIT 3",
+        "SELECT a, SUM(b * c) AS s FROM t WHERE a > 5 GROUP BY a "
+        "HAVING SUM(b * c) > 2 ORDER BY s DESC LIMIT 3",
         "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z BETWEEN 1 AND 2",
         "SELECT CASE WHEN x = 1 THEN y ELSE 0 END FROM t",
         "SELECT a FROM t WHERE d < DATE '1995-03-15' AND s LIKE 'BUILDING%'",

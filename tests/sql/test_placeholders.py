@@ -1,0 +1,126 @@
+"""Parameter markers through the lexer, parser and binder."""
+
+import datetime
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.params import BindError, bind_parameters, num_parameters
+from repro.sql.parser import ParseError, parse, parse_statement
+
+
+def test_lexer_emits_param_tokens():
+    kinds = [t.kind for t in tokenize("SELECT ? , ?12")]
+    assert kinds == ["keyword", "param", "symbol", "param", "eof"]
+    texts = [t.text for t in tokenize("? ?3")]
+    assert texts == ["?", "?3", ""]
+
+
+def test_bare_markers_number_positionally():
+    query = parse("SELECT a FROM t WHERE a > ? AND b < ?")
+    markers = [
+        node for item in [query.where] for node in ast.walk(item)
+        if isinstance(node, ast.Placeholder)
+    ]
+    assert [m.index for m in markers] == [0, 1]
+
+
+def test_explicit_markers_are_one_based():
+    query = parse("SELECT a FROM t WHERE a > ?2 AND b < ?1")
+    assert num_parameters(query) == 2
+    markers = [
+        node for node in ast.walk(query.where)
+        if isinstance(node, ast.Placeholder)
+    ]
+    assert [m.index for m in markers] == [1, 0]
+
+
+def test_explicit_marker_zero_rejected():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t WHERE a = ?0")
+
+
+def test_marker_to_sql_round_trips():
+    query = parse("SELECT a FROM t WHERE a BETWEEN ? AND ?")
+    rendered = query.to_sql()
+    assert "?1" in rendered and "?2" in rendered
+    assert parse(rendered).to_sql() == rendered
+
+
+def test_markers_in_dml_statements():
+    insert = parse_statement("INSERT INTO t (a, b) VALUES (?, ?)")
+    assert num_parameters(insert) == 2
+    update = parse_statement("UPDATE t SET a = ? WHERE b = ?")
+    assert num_parameters(update) == 2
+    delete = parse_statement("DELETE FROM t WHERE a IN (?, ?, ?)")
+    assert num_parameters(delete) == 3
+
+
+def test_markers_inside_subqueries_are_counted():
+    query = parse(
+        "SELECT a FROM t WHERE a > (SELECT MAX(b) FROM u WHERE c = ?) "
+        "AND d = ?"
+    )
+    assert num_parameters(query) == 2
+
+
+def test_bind_substitutes_literals():
+    query = parse("SELECT a FROM t WHERE a > ? AND s = ?")
+    bound = bind_parameters(query, [10, "x"])
+    literals = [
+        node.value for node in ast.walk(bound.where)
+        if isinstance(node, ast.Literal)
+    ]
+    assert literals == [10, "x"]
+    assert num_parameters(bound) == 0
+
+
+def test_bind_is_identity_preserving():
+    query = parse("SELECT a, b + 1 AS c FROM t WHERE a > ?")
+    bound = bind_parameters(query, [5])
+    # untouched subtrees are shared, not copied
+    assert bound.items is query.items
+    assert bound.from_clause is query.from_clause
+    assert bound is not query
+
+
+def test_bind_without_markers_returns_same_object():
+    query = parse("SELECT a FROM t")
+    assert bind_parameters(query, []) is query
+
+
+def test_bind_count_mismatch():
+    query = parse("SELECT a FROM t WHERE a = ?")
+    with pytest.raises(BindError):
+        bind_parameters(query, [])
+    with pytest.raises(BindError):
+        bind_parameters(query, [1, 2])
+
+
+def test_bind_rejects_unrepresentable_values():
+    query = parse("SELECT a FROM t WHERE a = ?")
+    with pytest.raises(BindError):
+        bind_parameters(query, [object()])
+
+
+def test_bind_accepts_dates_and_none():
+    query = parse("SELECT a FROM t WHERE d >= ? AND e IS NULL OR f = ?")
+    bound = bind_parameters(query, [datetime.date(2024, 1, 31), None])
+    values = [
+        node.value for node in ast.walk(bound.where)
+        if isinstance(node, ast.Literal)
+    ]
+    assert datetime.date(2024, 1, 31) in values
+    assert None in values
+
+
+def test_same_marker_twice_binds_once():
+    query = parse("SELECT a FROM t WHERE a > ?1 AND b < ?1")
+    assert num_parameters(query) == 1
+    bound = bind_parameters(query, [7])
+    literals = [
+        node.value for node in ast.walk(bound.where)
+        if isinstance(node, ast.Literal)
+    ]
+    assert literals == [7, 7]
