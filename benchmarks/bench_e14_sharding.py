@@ -1,0 +1,183 @@
+"""E14 -- sharded cluster execution: scatter-gather over encrypted shards.
+
+The paper's architecture claims scalability by inheriting distributed
+execution from the underlying engine; PR 3 builds the sharded tier from
+first principles (``repro.cluster``).  This bench stands the claim up with
+a real cluster: four shard daemons in *separate interpreter processes*
+(:func:`repro.cluster.local.launch_local_shards`), a PRF-sharded Q6-style
+fact table, and a repeated encrypted aggregate.
+
+Measured claims:
+
+* the 4-shard scatter-gather aggregate is **>= 2x** faster than the
+  single-node serial engine (acceptance bar; asserted outside smoke mode
+  on hardware with >= 4 usable cores -- on fewer cores the shard
+  processes time-slice one CPU and no distributed system could show the
+  win, so the bench instead asserts that distribution overhead is bounded)
+  with **identical decrypted results** -- shares merge by ring addition,
+  so distribution changes where work runs, never the answer;
+* the leakage added by sharding is declared: the security audit's
+  :data:`~repro.core.security.DECLARED_LEAKAGE` names shard routing, and
+  :func:`~repro.core.security.shard_routing_leakage` quantifies it for
+  the live cluster.
+"""
+
+import datetime
+import os
+import time
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import (
+    ResultTable,
+    bench_smoke,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.cluster import launch_local_shards
+from repro.core import security
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+ROWS = smoke_scaled(3000, 300)
+MODULUS_BITS = smoke_scaled(512, 256)
+EXECUTIONS = smoke_scaled(5, 2)
+NUM_SHARDS = 4
+#: acceptance bar: 4 process-parallel shards vs the single-node serial engine
+MIN_SPEEDUP = 2.0
+#: the scatter must not cost more than this over serial, even on one core
+MAX_OVERHEAD_FACTOR = 1.6
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+SQL = (
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+    "WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' "
+    "AND l_quantity < 24"
+)
+
+COLUMNS = [
+    ("l_orderkey", ValueType.int_()),
+    ("l_shipdate", ValueType.date()),
+    ("l_extendedprice", ValueType.decimal(2)),
+    ("l_discount", ValueType.decimal(2)),
+    ("l_quantity", ValueType.int_()),
+]
+
+
+def _rows():
+    base = datetime.date(1994, 1, 1)
+    return [
+        (
+            i,
+            base + datetime.timedelta(days=(i * 17) % 720),
+            float((i * 37) % 90 + 10) + 0.99,
+            ((i * 7) % 9) / 100.0,
+            (i * 13) % 49 + 1,
+        )
+        for i in range(1, ROWS + 1)
+    ]
+
+
+def _load(conn, rows, shard_by=None):
+    conn.proxy.create_table(
+        "lineitem", COLUMNS, rows, sensitive=["l_extendedprice", "l_discount"],
+        rng=seeded_rng(141), shard_by=shard_by,
+    )
+
+
+def _run_queries(conn):
+    """Total wall clock and the last decrypted value over EXECUTIONS runs."""
+    value = None
+    start = time.perf_counter()
+    for _ in range(EXECUTIONS):
+        result = conn.proxy.query(SQL)
+        value = next(iter(result.table.rows()))[0]
+    return time.perf_counter() - start, value
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _rows()
+
+
+def test_scatter_gather_speedup(workload):
+    table = ResultTable(
+        "E14: 4-shard scatter-gather vs single-node serial (Q6-style)",
+        ["deployment", "s/query", "revenue", "route"],
+    )
+    report = {"rows": ROWS, "modulus_bits": MODULUS_BITS,
+              "executions": EXECUTIONS, "num_shards": NUM_SHARDS}
+
+    serial_conn = api.connect(
+        server=SDBServer(), modulus_bits=MODULUS_BITS, value_bits=64,
+        rng=seeded_rng(140),
+    )
+    _load(serial_conn, workload)
+    _run_queries(serial_conn)  # warm the statement cache
+    serial_s, serial_value = _run_queries(serial_conn)
+    table.add("single-node serial", serial_s / EXECUTIONS, serial_value, "local")
+    report["serial_query_s"] = serial_s / EXECUTIONS
+
+    with launch_local_shards(NUM_SHARDS) as shards:
+        coordinator = shards.coordinator()
+        try:
+            cluster_conn = api.connect(
+                server=coordinator, modulus_bits=MODULUS_BITS, value_bits=64,
+                rng=seeded_rng(150),
+            )
+            _load(cluster_conn, workload, shard_by="l_orderkey")
+            _run_queries(cluster_conn)  # warm per-shard prepared plans
+            cluster_s, cluster_value = _run_queries(cluster_conn)
+            route = coordinator.last_scatter
+            counts = [
+                status["tables"]["lineitem"]
+                for status in coordinator.shard_status()
+            ]
+            audit = security.shard_routing_leakage(coordinator)
+            cluster_conn.close()
+        finally:
+            coordinator.close()
+
+    table.add(
+        f"{NUM_SHARDS}-shard scatter-gather", cluster_s / EXECUTIONS,
+        cluster_value, route.mode,
+    )
+    report["cluster_query_s"] = cluster_s / EXECUTIONS
+    speedup = serial_s / cluster_s
+    cores = _usable_cores()
+    report["speedup"] = speedup
+    report["usable_cores"] = cores
+    table.note(f"speedup: {speedup:.2f}x on {cores} usable core(s) "
+               f"(bar: >= {MIN_SPEEDUP}x on >= {NUM_SHARDS} cores)")
+    table.note(f"per-shard cardinalities (declared leakage): {counts}")
+    for entry in audit:
+        table.note(entry)
+    table.emit()
+    write_bench_json("e14_sharding", {**table.to_dict(), **report})
+
+    # identical decrypted results: distribution never changes the answer
+    assert cluster_value == pytest.approx(serial_value, rel=1e-9)
+    assert route.mode == "scatter" and route.shards == NUM_SHARDS
+    assert sum(counts) == ROWS
+    # the audit names shard routing as declared leakage, and quantifies it
+    assert any("shard-routing" in entry for entry in security.DECLARED_LEAKAGE)
+    assert audit and "lineitem" in audit[0]
+    if not bench_smoke():
+        # even with every shard time-slicing one CPU, scatter-gather must
+        # stay work-conserving: wire + merge overhead is bounded
+        assert cluster_s <= serial_s * MAX_OVERHEAD_FACTOR, (
+            f"scatter overhead {cluster_s / serial_s:.2f}x over serial"
+        )
+        if cores >= NUM_SHARDS:
+            assert speedup >= MIN_SPEEDUP, (
+                f"4-shard scatter-gather only {speedup:.2f}x over serial "
+                f"on {cores} cores"
+            )

@@ -19,7 +19,7 @@ from repro.api.cursor import Cursor
 from repro.api.statement import Statement
 from repro.sql import ast
 
-CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize")
+CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize evictions")
 
 
 class Connection:
@@ -44,6 +44,7 @@ class Connection:
         self.closed = False
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self._cache_size = statement_cache_size
         self._cache: OrderedDict[str, Statement] = OrderedDict()
         # weak: a cursor the application dropped must not be kept alive
@@ -71,6 +72,14 @@ class Connection:
         for statement in self._cache.values():
             statement.close()
         self._cache.clear()
+        cluster = getattr(self, "_owned_cluster", None)
+        if cluster is not None:
+            # connect(shards=...) built this coordinator (scatter pool,
+            # possibly remote shard sockets); release it with the session
+            try:
+                cluster.close()
+            except Exception:
+                pass
         self.closed = True
 
     def __enter__(self) -> "Connection":
@@ -121,6 +130,7 @@ class Connection:
             # server-side handles are released by its GC finalizer once the
             # last reference is gone
             self._cache.popitem(last=False)
+            self.cache_evictions += 1
         return statement
 
     def execute(self, sql, params: Sequence = ()) -> Cursor:
@@ -136,6 +146,7 @@ class Connection:
             misses=self.cache_misses,
             maxsize=self._cache_size,
             currsize=len(self._cache),
+            evictions=self.cache_evictions,
         )
 
     def cached_statements(self) -> list[str]:
@@ -192,9 +203,34 @@ class Connection:
             table=table,
             rewritten_sql=execution.rewritten_sql,
             cost=execution.cost(),
-            leakage=execution.plan.leakage,
+            leakage=execution.plan.leakage + execution.scatter_leakage,
             notes=execution.plan.notes,
         )
+
+
+def _build_cluster(shards):
+    """A :class:`~repro.cluster.Coordinator` from a ``shards=`` spec."""
+    from repro.cluster import Coordinator
+
+    if isinstance(shards, int):
+        from repro.core.server import SDBServer
+
+        backends = [SDBServer(shard_id=i) for i in range(shards)]
+    else:
+        backends = []
+        for spec in shards:
+            if isinstance(spec, str):
+                from repro.net.client import RemoteServer
+
+                shard_host, _, shard_port = spec.partition(":")
+                backends.append(
+                    RemoteServer.connect(
+                        shard_host or "127.0.0.1", int(shard_port or 9753)
+                    )
+                )
+            else:
+                backends.append(spec)  # an already-built server object
+    return Coordinator(backends)
 
 
 def connect(
@@ -204,6 +240,7 @@ def connect(
     host: Optional[str] = None,
     port: Optional[int] = None,
     durable: Optional[str] = None,
+    shards=None,
     modulus_bits: int = 1024,
     value_bits: int = 64,
     policy=None,
@@ -216,7 +253,12 @@ def connect(
 
     * ``proxy=...``        -- wrap an existing :class:`SDBProxy`;
     * ``server=...``       -- wrap an existing server object (in-process
-      :class:`SDBServer`, :class:`DurableServer` or :class:`RemoteServer`);
+      :class:`SDBServer`, :class:`DurableServer`, :class:`RemoteServer`
+      or a cluster :class:`~repro.cluster.Coordinator`);
+    * ``shards=...``       -- a sharded cluster: an int (that many
+      in-process shard servers) or a list of ``"host:port"`` strings /
+      server objects, wrapped in a :class:`~repro.cluster.Coordinator`
+      whose first entry is the primary shard;
     * ``host=.../port=...``-- connect to a remote SP daemon;
     * ``durable=DIR``      -- in-process SP persisted under ``DIR``;
     * nothing              -- fresh in-memory SP.
@@ -224,11 +266,19 @@ def connect(
     When no proxy is supplied a new one is created, which draws fresh system
     keys (``modulus_bits``/``value_bits``/``rng``).
     """
+    owned_cluster = None
     if proxy is None:
         from repro.core.proxy import SDBProxy
 
         if server is None:
-            if host is not None or port is not None:
+            if shards is not None:
+                if host is not None or port is not None or durable is not None:
+                    raise exc.InterfaceError(
+                        "shards= is its own deployment shape; do not combine "
+                        "it with host/port/durable"
+                    )
+                server = owned_cluster = _build_cluster(shards)
+            elif host is not None or port is not None:
                 from repro.net.client import RemoteServer
 
                 server = RemoteServer.connect(host or "127.0.0.1", int(port))
@@ -240,6 +290,10 @@ def connect(
                 from repro.core.server import SDBServer
 
                 server = SDBServer()
+        elif shards is not None:
+            raise exc.InterfaceError(
+                "pass either server= or shards=, not both"
+            )
         proxy = SDBProxy(
             server,
             modulus_bits=modulus_bits,
@@ -247,8 +301,13 @@ def connect(
             policy=policy,
             rng=rng,
         )
-    elif server is not None or host is not None or durable is not None:
+    elif (
+        server is not None or host is not None or durable is not None
+        or shards is not None
+    ):
         raise exc.InterfaceError(
             "pass either an existing proxy or deployment parameters, not both"
         )
-    return Connection(proxy, statement_cache_size=statement_cache_size)
+    connection = Connection(proxy, statement_cache_size=statement_cache_size)
+    connection._owned_cluster = owned_cluster
+    return connection

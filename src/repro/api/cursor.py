@@ -101,7 +101,8 @@ class Cursor:
             self.statement = statement
             if statement.kind == "select":
                 raise exc.ProgrammingError(
-                    "executemany is for DML; iterate execute() for queries"
+                    f"executemany cannot run a {statement.kind} statement; "
+                    "iterate execute() for queries"
                 )
             total = 0
             last = None
@@ -123,10 +124,27 @@ class Cursor:
             raise exc.InterfaceError("no result set (execute a SELECT first)")
         return self._execution
 
+    @staticmethod
+    def _fetch_mapped(fetch, *args):
+        """Run a fetch step, mapping pipeline errors like execute() does.
+
+        Pipelined results evaluate rows at FETCH time, so runtime errors
+        (division by zero, ...) that used to surface inside execute() now
+        surface here -- they must land in the same PEP-249 hierarchy.
+        """
+        try:
+            return fetch(*args)
+        except exc.Error:
+            raise
+        except Exception as error:
+            raise exc.map_exception(error) from error
+
     def _refill(self, want: int) -> None:
         execution = self._require_results()
         while len(self._buffer) < want and not execution.closed:
-            chunk = execution.fetch_chunk(max(self.arraysize, want))
+            chunk = self._fetch_mapped(
+                execution.fetch_chunk, max(self.arraysize, want)
+            )
             self._schema = chunk.schema
             if chunk.num_rows == 0:
                 break
@@ -149,7 +167,7 @@ class Cursor:
         rows = list(self._buffer)
         self._buffer.clear()
         if not execution.closed:
-            rest = execution.fetch_rest()
+            rest = self._fetch_mapped(execution.fetch_rest)
             self._schema = rest.schema
             rows.extend(rest.rows())
         return rows
@@ -163,7 +181,11 @@ class Cursor:
         """
         self._check_open()
         execution = self._require_results()
-        table = execution.fetch_rest() if not execution.closed else None
+        table = (
+            self._fetch_mapped(execution.fetch_rest)
+            if not execution.closed
+            else None
+        )
         if table is not None:
             self._schema = table.schema
         if self._buffer:
@@ -220,7 +242,7 @@ class Cursor:
     @property
     def leakage(self) -> tuple:
         if self._execution is not None:
-            return self._execution.plan.leakage
+            return self._execution.plan.leakage + self._execution.scatter_leakage
         if self._dml_result is not None:
             return self._dml_result.leakage
         return ()

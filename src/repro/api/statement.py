@@ -45,6 +45,7 @@ _KINDS = {
     ast.Update: "update",
     ast.Delete: "delete",
     ast.TxnControl: "txn",
+    ast.CreateTable: "create",
 }
 
 
@@ -101,6 +102,9 @@ class Statement:
         self.num_params = num_parameters(self.parsed)
         self._variants: OrderedDict[tuple, _PlanVariant] = OrderedDict()
         self._parse_charged = False  # parse cost reported on first execution
+        self.executions = 0
+        #: monotonic timestamp of the last execution (None: never executed)
+        self.last_used_at: Optional[float] = None
         self.closed = False
         # server-side prepared handles this statement owns, as mutable
         # [server, stmt_id] pairs shared with a GC finalizer: a statement
@@ -148,6 +152,26 @@ class Statement:
             return self.execute_select(params)
         return self.execute_dml(params)
 
+    def _mark_used(self) -> None:
+        self.executions += 1
+        self.last_used_at = time.monotonic()
+
+    def signatures(self) -> list[str]:
+        """Rendered parameter type signatures of the cached plan variants."""
+        def fmt(vtype) -> str:
+            if vtype is None:
+                return "null"
+            if vtype.kind == "decimal":
+                return f"decimal({vtype.scale})"
+            if vtype.kind == "string":
+                return f"string({vtype.width})"
+            return vtype.kind
+
+        return [
+            "(" + ", ".join(fmt(v) for v in signature) + ")"
+            for signature in self._variants
+        ]
+
     def execute_select(self, params: Sequence = ()) -> "SelectExecution":
         self._check_open()
         params = tuple(params)
@@ -175,6 +199,12 @@ class Statement:
             self._server_handles.append([server, variant.stmt_id])
         result_id, num_rows = server.execute_prepared(variant.stmt_id, literals)
         server_s = time.perf_counter() - t0
+        self._mark_used()
+        # cluster deployments report how the query was routed (and what the
+        # routing itself leaked); read it keyed by our result id so a
+        # concurrent session's route can never be attributed to this one
+        reporter = getattr(server, "scatter_report", None)
+        scatter = reporter(result_id) if callable(reporter) else None
         proxy.channel.record_query(
             f"EXECUTE s{variant.stmt_id} ({len(literals)} bound values)"
         )
@@ -194,6 +224,7 @@ class Statement:
             parse_s=parse_s,
             rewrite_s=rewrite_s,
             server_s=server_s,
+            scatter_leakage=tuple(scatter.leakage) if scatter else (),
         )
 
     def execute_dml(self, params: Sequence = ()):
@@ -206,6 +237,7 @@ class Statement:
         bound = bind_parameters(self.parsed, tuple(params))
         result = self.proxy.execute_statement(bound)
         self._parse_charged = True
+        self._mark_used()
         if self.kind == "txn":
             # keep the connection's transaction flag honest for SQL-level
             # BEGIN/COMMIT/ROLLBACK, so Connection.commit() after a
@@ -294,6 +326,8 @@ class SelectExecution:
     decrypt_s: float = 0.0
     fetched: int = 0
     closed: bool = False
+    #: routing leakage reported by a cluster coordinator for this execution
+    scatter_leakage: tuple = ()
 
     def __post_init__(self):
         # an abandoned execution (cursor dropped before exhausting or
@@ -338,7 +372,13 @@ class SelectExecution:
         )
         self.decrypt_s += time.perf_counter() - t1
         self.fetched += table.num_rows
-        if count is None or table.num_rows < count or self.fetched >= self.num_rows:
+        if (
+            count is None
+            or table.num_rows < count
+            # num_rows is -1 for pipelined results: the total is unknown
+            # until a short (or empty) chunk marks the end of the scan
+            or (self.num_rows >= 0 and self.fetched >= self.num_rows)
+        ):
             self.close()
         return table
 

@@ -22,6 +22,8 @@ def main(argv: Optional[list] = None) -> int:
                         help="persist tables and WAL under DIR")
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="partition-parallel execution over N partitions")
+    parser.add_argument("--shard-id", type=int, default=None, metavar="I",
+                        help="identity within a sharded cluster (see repro.cluster)")
     args = parser.parse_args(argv)
 
     if args.durable:
@@ -30,15 +32,20 @@ def main(argv: Optional[list] = None) -> int:
         sdb_server = DurableServer(args.durable)
         if sdb_server.recovered_statements:
             print(f"recovered {sdb_server.recovered_statements} WAL statements")
+        if args.shard_id is not None:  # else keep any recovered identity
+            sdb_server.shard_id = args.shard_id
     else:
         from repro.core.server import SDBServer
 
-        sdb_server = SDBServer(parallel_partitions=args.parallel)
+        sdb_server = SDBServer(
+            parallel_partitions=args.parallel, shard_id=args.shard_id
+        )
 
     from repro.net.server import SDBNetServer
 
     server = SDBNetServer((args.host, args.port), sdb_server=sdb_server)
-    print(f"sdb-server listening on {args.host}:{server.port}")
+    shard = "" if args.shard_id is None else f" (shard {args.shard_id})"
+    print(f"sdb-server listening on {args.host}:{server.port}{shard}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -17,6 +17,9 @@ client/server cost split.  Backslash commands inspect the deployment:
     \\exec <name> [arg ...]    execute a prepared statement with arguments
     \\execmany <name> <json>   execute a prepared DML once per JSON row
     \\statements         prepared statements and the session cache counters
+                        (hits/misses/evictions; per statement: plans,
+                        parameter type signatures, last-used)
+    \\shards             per-shard status of a cluster deployment
     \\rewrite on|off     toggle printing the rewritten SQL after queries
     \\quit               exit
 
@@ -175,6 +178,8 @@ class SDBShell:
             return self._execmany(argument)
         if name == "statements":
             return self._render_statements()
+        if name == "shards":
+            return self._render_shards()
         if name == "rotate":
             parts = argument.split()
             if len(parts) != 2:
@@ -280,15 +285,49 @@ class SDBShell:
         return token
 
     def _render_statements(self) -> str:
+        import time as _time
+
         info = self.conn.cache_info()
         lines = [
             f"session cache: {info.hits} hits, {info.misses} misses, "
-            f"{info.currsize}/{info.maxsize} cached"
+            f"{info.evictions} evictions, {info.currsize}/{info.maxsize} cached"
         ]
+        now = _time.monotonic()
         for name, statement in sorted(self._prepared.items()):
+            if statement.last_used_at is None:
+                used = "never used"
+            else:
+                used = f"last used {now - statement.last_used_at:.1f}s ago"
+            signatures = statement.signatures()
+            sig = f", signatures {'; '.join(signatures)}" if signatures else ""
             lines.append(
                 f"  {name}: {statement.kind}, {statement.num_params} "
-                f"parameter(s), {statement.plan_variants} plan(s)"
+                f"parameter(s), {statement.plan_variants} plan(s), "
+                f"{statement.executions} execution(s), {used}{sig}"
+            )
+        return "\n".join(lines)
+
+    def _render_shards(self) -> str:
+        status_fn = getattr(self.proxy.server, "shard_status", None)
+        if not callable(status_fn):
+            return "(not a cluster deployment; see repro.cluster)"
+        statuses = status_fn()
+        if isinstance(statuses, dict):  # a bare shard, not a coordinator
+            return "(not a cluster deployment; see repro.cluster)"
+        lines = [f"cluster: {len(statuses)} shard(s)"]
+        for status in statuses:
+            tables = status.get("tables", {})
+            placements = status.get("placements", {})
+            parts = []
+            for table, rows in sorted(tables.items()):
+                placed = placements.get(table)
+                by = f" by {placed['shard_by']}" if placed else ""
+                parts.append(f"{table}={rows} rows{by}")
+            role = " primary" if status.get("primary") else ""
+            backend = status.get("backend", "?")
+            lines.append(
+                f"  shard {status.get('shard_id')}{role} [{backend}]: "
+                + (", ".join(parts) if parts else "(empty)")
             )
         return "\n".join(lines)
 
@@ -361,7 +400,19 @@ class SDBShell:
 
 def build_proxy(args) -> SDBProxy:
     """Assemble the deployment the flags describe."""
-    if args.connect:
+    if getattr(args, "shards", None):
+        if args.connect or args.durable:
+            raise SystemExit(
+                "--shards is its own deployment shape; "
+                "do not combine it with --connect/--durable"
+            )
+        from repro.api.connection import _build_cluster
+
+        spec = args.shards
+        server = _build_cluster(
+            int(spec) if spec.isdigit() else spec.split(",")
+        )
+    elif args.connect:
         from repro.net import RemoteServer
 
         host, _, port = args.connect.partition(":")
@@ -378,7 +429,12 @@ def build_proxy(args) -> SDBProxy:
         from repro.workloads.tpch.loader import load_encrypted
 
         data = generate(scale_factor=args.tpch, seed=args.seed)
-        load_encrypted(proxy, data, rng=seeded_rng(args.seed))
+        shard_by = None
+        if getattr(args, "shards", None):
+            from repro.workloads.tpch.loader import DEFAULT_SHARD_COLUMNS
+
+            shard_by = DEFAULT_SHARD_COLUMNS
+        load_encrypted(proxy, data, rng=seeded_rng(args.seed), shard_by=shard_by)
     return proxy
 
 
@@ -388,6 +444,10 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--connect", metavar="HOST:PORT",
                         help="use a remote SP (sdb-server) instead of in-process")
+    parser.add_argument("--shards", metavar="N|HOST:PORT,...",
+                        help="sharded cluster: a shard count (in-process) or "
+                             "comma-separated daemon endpoints; the first "
+                             "entry is the primary shard")
     parser.add_argument("--durable", metavar="DIR",
                         help="in-process SP with disk persistence under DIR")
     parser.add_argument("--tpch", type=float, metavar="SF",

@@ -1,0 +1,36 @@
+"""Sharded cluster execution: scatter-gather over encrypted shards.
+
+The paper's architecture inherits distributed execution from the
+underlying engine (Section 2.2); this package builds that tier from first
+principles on top of the existing single-node substrate:
+
+* :class:`~repro.cluster.coordinator.Coordinator` -- a data-owner-side
+  scatter-gather executor that presents the :class:`SDBServer` surface to
+  the proxy while hash-partitioning encrypted tables across N shard
+  backends (in-process servers or ``sdb-server`` daemons over
+  :mod:`repro.net`);
+* :mod:`~repro.cluster.router` -- PRF row routing: the shard a row lands
+  on is a keyed PRF of its shard-key plaintext, computed at the proxy, so
+  no service provider ever learns the key value -- only the bucket;
+* :mod:`~repro.cluster.local` -- subprocess shard daemons for benches and
+  demos (separate interpreters, so scatter really runs in parallel).
+
+Because sensitive cells are secret shares in a ring, a partial
+``sdb_agg_sum`` computed on one shard is itself a valid share: merging
+shards is just more ring addition, the same property that powers the
+thread-parallel engine (:mod:`repro.engine.partial`).
+"""
+
+from repro.cluster.coordinator import Coordinator, Placement, ScatterReport, ShardError
+from repro.cluster.local import LocalShardCluster, launch_local_shards
+from repro.cluster.router import shard_bucket
+
+__all__ = [
+    "Coordinator",
+    "LocalShardCluster",
+    "Placement",
+    "ScatterReport",
+    "ShardError",
+    "launch_local_shards",
+    "shard_bucket",
+]

@@ -1,0 +1,689 @@
+"""The scatter-gather coordinator: one logical SP made of N shard backends.
+
+The coordinator lives on the data owner's side of the trust boundary (it
+is constructed by the application next to the proxy) but holds **no key
+material**: everything it touches is already encrypted, and everything it
+ships to a shard is exactly what a single-node deployment would have
+shipped to its one SP.  It presents the :class:`~repro.core.server.SDBServer`
+surface, so ``SDBProxy(Coordinator([...]))`` -- and therefore the whole
+session layer -- works unchanged on a cluster.
+
+Execution routes one of three ways, recorded in :attr:`last_scatter`:
+
+* **primary** -- the query touches no sharded table; it runs verbatim on
+  the designated primary shard (``shards[0]``), which holds every
+  unsharded relation.
+* **scatter** -- the query is partial/merge-splittable (same eligibility
+  as the thread-parallel engine, :mod:`repro.engine.partial`) over one
+  sharded table: each shard runs the partial over its bucket slice, and
+  the coordinator merges the union of partials with a local engine.
+  Secret shares merge by ring addition, so the gather step needs no keys.
+* **fallback** -- anything else (joins, subqueries, DISTINCT aggregates):
+  the sharded tables are gathered shard-by-shard and materialized on the
+  primary under reserved names, the query's table references are rebound,
+  and the primary executes it serially.  Correctness therefore never
+  depends on the cluster path; sharding is purely an optimization.
+
+Prepared statements cache their route and, when every parameter binds
+inside the partial query, per-shard prepared handles -- an execute then
+ships only parameter bindings to each shard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.server import _MaterializedResult
+from repro.core.udfs import register_sdb_udfs
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Engine
+from repro.engine.partial import (
+    PARTIALS_TABLE,
+    SplitPlan,
+    concat_tables,
+    ineligibility,
+    plan_split,
+)
+from repro.engine.table import Table
+from repro.engine.udf import UDFRegistry
+from repro.sql import ast
+from repro.sql.params import (
+    bind_parameters,
+    num_parameters,
+    transform_nodes,
+    walk_nodes,
+)
+from repro.sql.parser import parse
+
+#: Primary-shard name under which a sharded table is materialized for
+#: fallback queries (dropped whenever DML invalidates the copy).
+MATERIALIZED_PREFIX = "__cluster_full__"
+
+#: Per-statement temporary name for full-table copies broadcast to every
+#: shard so a scattered DML's subqueries see whole tables, not slices.
+BROADCAST_PREFIX = "__cluster_bcast__"
+
+
+class ShardError(RuntimeError):
+    """Cluster misconfiguration or an unroutable request."""
+
+
+@dataclass
+class Placement:
+    """Where one table lives."""
+
+    table: str
+    shard_column: Optional[str]  # None: resident on the primary shard only
+
+    @property
+    def sharded(self) -> bool:
+        return self.shard_column is not None
+
+
+@dataclass(frozen=True)
+class ScatterReport:
+    """How the last query was routed (and what that route leaked)."""
+
+    mode: str  # 'scatter' | 'primary' | 'fallback'
+    shards: int
+    reason: str
+    leakage: tuple = ()
+
+
+def referenced_tables(statement) -> list[str]:
+    """Every table name a statement references, subqueries included."""
+    names: list[str] = []
+    for node in walk_nodes(statement):
+        if isinstance(node, ast.TableRef) and node.name.lower() not in names:
+            names.append(node.name.lower())
+    return names
+
+
+def rename_tables(statement, mapping: dict):
+    """Rebind table references to new names, preserving column bindings.
+
+    The original binding (alias or bare name) is pinned as an explicit
+    alias, so ``lineitem.l_price`` keeps resolving after ``lineitem``
+    becomes ``__cluster_full__lineitem``.
+    """
+
+    def leaf(node):
+        if isinstance(node, ast.TableRef) and node.name.lower() in mapping:
+            return ast.TableRef(
+                name=mapping[node.name.lower()], alias=node.binding
+            )
+        return None
+
+    return transform_nodes(statement, leaf)
+
+
+class _ClusterStatement:
+    """A coordinator-side prepared SELECT with a cached scatter plan."""
+
+    def __init__(self, query: ast.Select):
+        self.query = query
+        self.route: Optional[tuple] = None
+        self.split: Optional[SplitPlan] = None
+        #: every parameter marker binds inside the partial query, so an
+        #: execution forwards bindings straight to per-shard handles
+        self.forwardable = False
+        self.shard_handles: Optional[list[int]] = None
+
+    def execute(self, coordinator: "Coordinator", params: tuple) -> Table:
+        if self.route is None:
+            self.route = coordinator._classify(self.query)
+            if self.route[0] == "scatter":
+                self.split = plan_split(self.query, coordinator.udfs)
+                total = num_parameters(self.query)
+                self.forwardable = (
+                    num_parameters(self.split.partial) == total
+                    and num_parameters(self.split.merge) == 0
+                )
+        if self.route[0] == "scatter" and self.forwardable:
+            if self.shard_handles is None:
+                self.shard_handles = [
+                    shard.prepare_query(self.split.partial)
+                    for shard in coordinator.shards
+                ]
+            partials = coordinator._scatter_prepared(self.shard_handles, params)
+            out = coordinator._merge(self.split.merge, partials)
+            coordinator._note_scatter(self.query, self.split)
+            return out
+        bound = bind_parameters(self.query, params)
+        return coordinator._run(bound, self.route)
+
+    def close(self, coordinator: "Coordinator") -> None:
+        if self.shard_handles is None:
+            return
+        for shard, handle in zip(coordinator.shards, self.shard_handles):
+            try:
+                shard.close_prepared(handle)
+            except Exception:
+                pass  # shard already gone
+        self.shard_handles = None
+
+
+class Coordinator:
+    """Scatter-gather executor over ``shards`` (SDBServer-compatible)."""
+
+    def __init__(self, shards: Sequence):
+        if not shards:
+            raise ShardError("a cluster needs at least one shard backend")
+        self.shards = list(shards)
+        self.udfs = UDFRegistry()
+        register_sdb_udfs(self.udfs)
+        self._placements: dict[str, Placement] = {}
+        self._materialized: set[str] = set()
+        self._prepared: dict[int, _ClusterStatement] = {}
+        self._results: dict[int, _MaterializedResult] = {}
+        #: per-result routing reports: the session layer attributes scatter
+        #: leakage to the execution that caused it, not to whichever query
+        #: a concurrent session ran last (last_scatter is a global)
+        self._scatter_by_result: dict[int, ScatterReport] = {}
+        self._handle_ids = itertools.count(1)
+        self._lock = threading.RLock()
+        # persistent scatter pool (threads start lazily on first use): the
+        # prepared hot path must not pay thread creation per execution
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, len(self.shards)),
+            thread_name_prefix="sdb-scatter",
+        )
+        self.last_scatter: Optional[ScatterReport] = None
+        self._bootstrap_placements()
+
+    def _bootstrap_placements(self) -> None:
+        """Rebuild the placement map from what the shards already hold.
+
+        A coordinator attached to already-loaded shard daemons (a second
+        shell session, a restarted application) must route exactly like
+        the one that did the loading: sharded tables are recovered from
+        the placement metadata every SHARD_STORE recorded, and whatever
+        else the primary holds is primary-resident.
+        """
+        statuses = [shard.shard_status() for shard in self.shards]
+        for status in statuses:
+            for name, placed in status.get("placements", {}).items():
+                self._placements[name.lower()] = Placement(
+                    name.lower(), (placed.get("shard_by") or "").lower() or None
+                )
+        for name in statuses[0].get("tables", {}):
+            key = name.lower()
+            if key.startswith(MATERIALIZED_PREFIX):
+                self._materialized.add(key[len(MATERIALIZED_PREFIX):])
+                continue
+            self._placements.setdefault(key, Placement(key, None))
+
+    @property
+    def primary(self):
+        """The designated primary shard (unsharded tables, fallback host)."""
+        return self.shards[0]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def close(self) -> None:
+        """Release the scatter pool and any remote shard connections."""
+        self._pool.shutdown(wait=False)
+        for shard in self.shards:
+            closer = getattr(shard, "close", None)
+            if callable(closer):
+                closer()
+
+    # -- placement / storage -------------------------------------------------
+
+    def shard_column(self, name: str) -> Optional[str]:
+        """The shard-key column of ``name`` (None when primary-resident)."""
+        placement = self._placements.get(name.lower())
+        return placement.shard_column if placement is not None else None
+
+    def placements(self) -> dict[str, Placement]:
+        return dict(self._placements)
+
+    def store_table(self, name: str, table: Table, replace: bool = False) -> None:
+        """Store an unsharded table, resident on the primary shard."""
+        with self._lock:
+            previous = self._placements.get(name.lower())
+            self.primary.store_table(name, table, replace=replace)
+            if previous is not None and previous.sharded:
+                # re-created as primary-resident: remove the old slices so
+                # they cannot shadow a later sharded re-creation
+                for shard in self.shards[1:]:
+                    try:
+                        shard.drop_table(name)
+                    except Exception:
+                        pass
+            self._placements[name.lower()] = Placement(name.lower(), None)
+            self._invalidate_materialized(name)
+
+    def store_sharded(
+        self,
+        name: str,
+        table: Table,
+        shard_column: str,
+        buckets: Sequence[int],
+        replace: bool = False,
+    ) -> None:
+        """Hash-partition encrypted rows across every shard.
+
+        ``buckets`` holds one PRF bucket per row, computed by the proxy
+        from shard-key *plaintext* before encryption; this side only ever
+        sees ``bucket mod num_shards``.
+        """
+        buckets = list(buckets)
+        if len(buckets) != table.num_rows:
+            raise ShardError(
+                f"bucket count {len(buckets)} != row count {table.num_rows}"
+            )
+        with self._lock:
+            groups: list[list[int]] = [[] for _ in range(self.num_shards)]
+            for row_index, bucket in enumerate(buckets):
+                groups[bucket % self.num_shards].append(row_index)
+            for index, (shard, indices) in enumerate(zip(self.shards, groups)):
+                shard.shard_store(
+                    name,
+                    table.take(indices),
+                    placement={
+                        "index": index,
+                        "of": self.num_shards,
+                        "shard_by": shard_column.lower(),
+                    },
+                    replace=replace,
+                )
+            self._placements[name.lower()] = Placement(
+                name.lower(), shard_column.lower()
+            )
+            self._invalidate_materialized(name)
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            placement = self._placements.pop(name.lower(), None)
+            self._invalidate_materialized(name)
+            if placement is not None and placement.sharded:
+                for shard in self.shards:
+                    shard.drop_table(name)
+            else:
+                # unknown tables raise the primary's CatalogError, exactly
+                # like a single-node deployment
+                self.primary.drop_table(name)
+
+    # -- queries -------------------------------------------------------------
+
+    def execute(self, query) -> Table:
+        """Run a (rewritten) query, routed per :attr:`last_scatter`."""
+        if isinstance(query, str):
+            query = parse(query)
+        with self._lock:
+            return self._run(query, self._classify(query))
+
+    def _classify(self, query: ast.Select) -> tuple:
+        referenced = referenced_tables(query)
+        sharded = tuple(
+            name
+            for name in referenced
+            if (p := self._placements.get(name)) is not None and p.sharded
+        )
+        if not sharded:
+            return ("primary", None)
+        reason = ineligibility(
+            query, self.udfs, lambda n: n.lower() in self._placements
+        )
+        if reason is None and len(sharded) == 1:
+            return ("scatter", None)
+        return ("fallback", sharded)
+
+    def _run(self, query: ast.Select, route: tuple) -> Table:
+        kind, extra = route
+        if kind == "primary":
+            self.last_scatter = ScatterReport(
+                mode="primary",
+                shards=1,
+                reason="no sharded table referenced",
+            )
+            return self.primary.execute(query)
+        if kind == "scatter":
+            split = plan_split(query, self.udfs)
+            partials = self._scatter(split.partial)
+            out = self._merge(split.merge, partials)
+            self._note_scatter(query, split)
+            return out
+        return self._run_fallback(query, extra)
+
+    def _scatter(self, partial: ast.Select) -> list[Table]:
+        if self.num_shards == 1:
+            return [self.shards[0].execute_partial(partial)]
+        return list(
+            self._pool.map(lambda shard: shard.execute_partial(partial), self.shards)
+        )
+
+    def _scatter_prepared(self, handles: list[int], params: Sequence) -> list[Table]:
+        def run(pair):
+            shard, handle = pair
+            result_id, _ = shard.execute_prepared(handle, list(params))
+            try:
+                return shard.fetch_rows(result_id, None)
+            finally:
+                try:
+                    shard.close_result(result_id)
+                except Exception:
+                    pass
+        pairs = list(zip(self.shards, handles))
+        if len(pairs) == 1:
+            return [run(pairs[0])]
+        return list(self._pool.map(run, pairs))
+
+    def _merge(self, merge_query: ast.Select, partials: list[Table]) -> Table:
+        union = concat_tables(partials)
+        catalog = Catalog()
+        catalog.create(PARTIALS_TABLE, union)
+        return Engine(catalog, self.udfs).execute(merge_query)
+
+    def _note_scatter(self, query: ast.Select, split: SplitPlan) -> None:
+        table_name = query.from_clause.name.lower()
+        self.last_scatter = ScatterReport(
+            mode="scatter",
+            shards=self.num_shards,
+            reason=f"partial {split.kind} over {self.num_shards} shard(s)",
+            leakage=(
+                f"cluster: each shard sees the partial query over its PRF "
+                f"bucket slice of {table_name!r} (per-shard cardinalities)",
+            ),
+        )
+
+    def _run_fallback(self, query: ast.Select, sharded_names: tuple) -> Table:
+        mapping = {name: self._materialize(name) for name in sharded_names}
+        renamed = rename_tables(query, mapping)
+        gathered = ", ".join(sorted(sharded_names))
+        self.last_scatter = ScatterReport(
+            mode="fallback",
+            shards=self.num_shards,
+            reason=(
+                "non-shardable query; gathered "
+                f"{gathered} to the primary shard"
+            ),
+            leakage=tuple(
+                f"cluster: full (encrypted) copy of {name!r} broadcast to "
+                "the primary shard for this query"
+                for name in sorted(sharded_names)
+            ),
+        )
+        return self.primary.execute(renamed)
+
+    def _materialize(self, name: str) -> str:
+        """Gather every slice of ``name`` onto the primary; cached until DML.
+
+        The cache is validated against the primary's live catalog, not just
+        this coordinator's memory: another coordinator's DML invalidation
+        drops the shared copy, and trusting a local flag would point the
+        fallback query at a table that no longer exists.
+        """
+        full_name = MATERIALIZED_PREFIX + name.lower()
+        if name.lower() in self._materialized:
+            if full_name in self._primary_table_names():
+                return full_name
+            self._materialized.discard(name.lower())
+        slices = list(
+            self._pool.map(lambda shard: shard.shard_dump(name), self.shards)
+        )
+        self.primary.store_table(full_name, concat_tables(slices), replace=True)
+        self._materialized.add(name.lower())
+        return full_name
+
+    def _primary_table_names(self) -> set:
+        names_fn = getattr(self.primary, "catalog_names", None)
+        if callable(names_fn):  # remote primary: the CATALOG wire op
+            return set(names_fn())
+        return set(self.primary.catalog.names())
+
+    def _invalidate_materialized(self, name: str) -> None:
+        # drop unconditionally, not gated on this coordinator's own cache
+        # set: another coordinator attached to the same shards may have
+        # materialized the copy, and a stale one silently serves pre-DML
+        # results to its fallback queries
+        self._materialized.discard(name.lower())
+        try:
+            self.primary.drop_table(MATERIALIZED_PREFIX + name.lower())
+        except Exception:
+            pass  # no cached copy anywhere (or already dropped)
+
+    # -- DML -----------------------------------------------------------------
+
+    def execute_dml(self, statement) -> int:
+        """Route DML: primary tables go to the primary, sharded ones scatter.
+
+        Subqueries inside a WHERE must see *whole* tables, never a shard's
+        slice: sharded tables read by a primary-routed statement are
+        materialized like the SELECT fallback, and a scattered UPDATE/
+        DELETE that reads any table broadcasts full copies to every shard
+        for the duration of the statement.  Sharded INSERTs need PRF
+        buckets (the proxy computes them from plaintext), so they arrive
+        through :meth:`insert_routed` instead.
+        """
+        if isinstance(statement, str):
+            from repro.sql.parser import parse_statement
+
+            statement = parse_statement(statement)
+        with self._lock:
+            target = statement.table.lower()
+            placement = self._placements.get(target)
+            # tables the statement *reads* (subquery TableRefs; the DML
+            # target itself is a plain name field, not a TableRef)
+            read_refs = referenced_tables(statement)
+            if placement is None or not placement.sharded:
+                sharded_refs = tuple(
+                    name for name in read_refs
+                    if (p := self._placements.get(name)) is not None
+                    and p.sharded
+                )
+                if sharded_refs:
+                    statement = rename_tables(
+                        statement,
+                        {name: self._materialize(name) for name in sharded_refs},
+                    )
+                affected = self.primary.execute_dml(statement)
+                self._invalidate_materialized(target)
+                return affected
+            if isinstance(statement, ast.Insert):
+                raise ShardError(
+                    f"INSERT into sharded table {statement.table!r} must be "
+                    "routed by the proxy (insert_routed)"
+                )
+            # UPDATE / DELETE scatter to every slice; counts sum
+            if read_refs:
+                affected = self._scatter_dml_with_reads(statement, read_refs)
+            else:
+                affected = sum(
+                    self._pool.map(
+                        lambda shard: shard.execute_dml(statement), self.shards
+                    )
+                )
+            self._invalidate_materialized(target)
+            return affected
+
+    def _scatter_dml_with_reads(self, statement, read_refs: list[str]) -> int:
+        """Scatter DML whose WHERE reads other tables (or the target itself).
+
+        Every shard evaluates subqueries against broadcast *full* copies
+        (gathered for sharded tables, the primary's relation otherwise),
+        so shard-local slices never change the statement's semantics.
+        The copies are per-statement temporaries, dropped afterwards.
+        """
+        mapping = {}
+        try:
+            for name in read_refs:
+                placement = self._placements.get(name)
+                if placement is not None and placement.sharded:
+                    slices = list(
+                        self._pool.map(
+                            lambda shard, n=name: shard.shard_dump(n),
+                            self.shards,
+                        )
+                    )
+                    full = concat_tables(slices)
+                else:
+                    full = self.primary.shard_dump(name)
+                temp = BROADCAST_PREFIX + name
+                for shard in self.shards:
+                    shard.store_table(temp, full, replace=True)
+                mapping[name] = temp
+            renamed = rename_tables(statement, mapping)
+            return sum(
+                self._pool.map(
+                    lambda shard: shard.execute_dml(renamed), self.shards
+                )
+            )
+        finally:
+            for temp in mapping.values():
+                for shard in self.shards:
+                    try:
+                        shard.drop_table(temp)
+                    except Exception:
+                        pass
+
+    def insert_routed(self, statement: ast.Insert, buckets: Sequence[int]) -> int:
+        """Scatter encrypted INSERT rows by their precomputed PRF buckets."""
+        buckets = list(buckets)
+        if len(buckets) != len(statement.rows):
+            raise ShardError(
+                f"bucket count {len(buckets)} != row count {len(statement.rows)}"
+            )
+        with self._lock:
+            placement = self._placements.get(statement.table.lower())
+            if placement is None or not placement.sharded:
+                raise ShardError(
+                    f"table {statement.table!r} is not sharded; "
+                    "use execute_dml"
+                )
+            groups: list[list] = [[] for _ in range(self.num_shards)]
+            for row, bucket in zip(statement.rows, buckets):
+                groups[bucket % self.num_shards].append(row)
+            affected = 0
+            for shard, rows in zip(self.shards, groups):
+                if not rows:
+                    continue
+                affected += shard.execute_dml(
+                    ast.Insert(
+                        table=statement.table,
+                        columns=statement.columns,
+                        rows=tuple(rows),
+                    )
+                )
+            self._invalidate_materialized(statement.table)
+            return affected
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> None:
+        with self._lock:
+            started = []
+            try:
+                for shard in self.shards:
+                    shard.begin()
+                    started.append(shard)
+            except Exception:
+                for shard in started:
+                    try:
+                        shard.rollback()
+                    except Exception:
+                        pass
+                raise
+
+    def commit(self) -> None:
+        with self._lock:
+            self._broadcast_txn("commit")
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._broadcast_txn("rollback")
+            # slices were restored underneath any materialized copies
+            for name in list(self._materialized):
+                self._invalidate_materialized(name)
+
+    def _broadcast_txn(self, action: str) -> None:
+        first_error = None
+        for shard in self.shards:
+            try:
+                getattr(shard, action)()
+            except Exception as exc:
+                first_error = first_error or exc
+        if first_error is not None:
+            raise first_error
+
+    # -- prepared statements / streaming fetch ---------------------------------
+
+    def prepare_query(self, query) -> int:
+        if isinstance(query, str):
+            query = parse(query)
+        if not isinstance(query, ast.Select):
+            raise ValueError("prepare_query expects a SELECT")
+        with self._lock:
+            stmt_id = next(self._handle_ids)
+            self._prepared[stmt_id] = _ClusterStatement(query)
+            return stmt_id
+
+    def execute_prepared(self, stmt_id: int, params: Sequence = ()) -> tuple[int, int]:
+        with self._lock:
+            try:
+                statement = self._prepared[stmt_id]
+            except KeyError:
+                raise KeyError(f"unknown prepared statement {stmt_id}") from None
+            table = statement.execute(self, tuple(params))
+            result_id = next(self._handle_ids)
+            self._results[result_id] = _MaterializedResult(table)
+            if self.last_scatter is not None:
+                self._scatter_by_result[result_id] = self.last_scatter
+            return result_id, table.num_rows
+
+    def scatter_report(self, result_id: int) -> Optional[ScatterReport]:
+        """The routing report of the execution that produced ``result_id``."""
+        with self._lock:
+            return self._scatter_by_result.get(result_id)
+
+    def fetch_rows(self, result_id: int, count: Optional[int] = None) -> Table:
+        with self._lock:
+            try:
+                entry = self._results[result_id]
+            except KeyError:
+                raise KeyError(f"unknown result set {result_id}") from None
+            return entry.fetch(count)
+
+    def close_result(self, result_id: int) -> None:
+        with self._lock:
+            self._results.pop(result_id, None)
+            self._scatter_by_result.pop(result_id, None)
+
+    def close_prepared(self, stmt_id: int) -> None:
+        with self._lock:
+            statement = self._prepared.pop(stmt_id, None)
+            if statement is not None:
+                statement.close(self)
+
+    # -- introspection ---------------------------------------------------------
+
+    def shard_status(self) -> list[dict]:
+        """Live per-shard status (the shell's ``\\shards`` view).
+
+        Coordinator-internal temporaries (fallback materializations,
+        per-statement broadcast copies) are filtered out: they are cache
+        state, not relations an operator placed.
+        """
+        internal = (MATERIALIZED_PREFIX, BROADCAST_PREFIX)
+        with self._lock:
+            out = []
+            for index, shard in enumerate(self.shards):
+                status = dict(shard.shard_status())
+                status["tables"] = {
+                    name: count
+                    for name, count in status.get("tables", {}).items()
+                    if not name.startswith(internal)
+                }
+                if status.get("shard_id") is None:
+                    status["shard_id"] = index
+                status["backend"] = type(shard).__name__
+                status["primary"] = index == 0
+                out.append(status)
+            return out

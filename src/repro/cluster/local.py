@@ -1,0 +1,100 @@
+"""Subprocess shard daemons: real parallelism for benches and demos.
+
+In-process shards (plain :class:`SDBServer` instances) exercise every
+cluster code path but share one interpreter, so a scatter's partial
+queries serialize on the GIL.  This helper launches each shard as its own
+``sdb-server`` daemon (``python -m repro.cli.server --shard-id I``) on an
+ephemeral port: four shards then really are four interpreters, and a
+scatter-gather aggregate runs its ring arithmetic four-way parallel --
+the configuration ``benchmarks/bench_e14_sharding.py`` measures.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+_LISTEN = re.compile(r"listening on ([^\s:]+):(\d+)")
+
+
+class LocalShardCluster:
+    """A set of shard daemons owned by this process."""
+
+    def __init__(self, processes: list, endpoints: list[tuple[str, int]]):
+        self.processes = processes
+        self.endpoints = endpoints
+
+    def connect(self) -> list:
+        """Fresh :class:`~repro.net.client.RemoteServer` handles, in order."""
+        from repro.net.client import RemoteServer
+
+        return [RemoteServer.connect(host, port) for host, port in self.endpoints]
+
+    def coordinator(self):
+        """A :class:`~repro.cluster.Coordinator` over fresh connections."""
+        from repro.cluster.coordinator import Coordinator
+
+        return Coordinator(self.connect())
+
+    def close(self) -> None:
+        for proc in self.processes:
+            proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        self.processes = []
+
+    def __enter__(self) -> "LocalShardCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def launch_local_shards(count: int, host: str = "127.0.0.1") -> LocalShardCluster:
+    """Start ``count`` shard daemons on ephemeral ports and wait for them.
+
+    Each daemon announces ``sdb-server listening on HOST:PORT`` on stdout;
+    the call returns once every port is known.  The caller owns shutdown
+    (use the context manager or :meth:`LocalShardCluster.close`).
+    """
+    if count < 1:
+        raise ValueError("need at least one shard")
+    env = dict(os.environ)
+    source_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+    processes = []
+    try:
+        for index in range(count):
+            processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.cli.server",
+                        "--host", host, "--port", "0",
+                        "--shard-id", str(index),
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                    env=env,
+                )
+            )
+        endpoints = []
+        for proc in processes:
+            line = proc.stdout.readline()
+            match = _LISTEN.search(line or "")
+            if match is None:
+                rest = (line or "") + (proc.stdout.read() or "")
+                raise RuntimeError(f"shard daemon failed to start: {rest!r}")
+            endpoints.append((match.group(1), int(match.group(2))))
+    except Exception:
+        for proc in processes:
+            proc.terminate()
+        raise
+    return LocalShardCluster(processes, endpoints)

@@ -1,0 +1,63 @@
+"""PRF row routing: which shard holds a row, without telling the shard why.
+
+Placement must be *deterministic* (INSERTs land where the upload put equal
+keys), *balanced* (buckets spread uniformly), and *oblivious to the
+service providers* (a shard learns which rows it holds -- unavoidable --
+but nothing about the shard-key values that put them there).  A keyed PRF
+over the shard-key plaintext gives all three: the key lives in the data
+owner's key store next to the column keys, the PRF is evaluated at the
+proxy before encryption, and the SP-visible placement is
+``bucket mod num_shards``.
+
+What the SPs *do* learn is declared, like every other leakage in this
+reproduction: co-residency of equal shard-key values and per-shard
+cardinalities (see ``repro.core.security.DECLARED_LEAKAGE``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+
+from repro.crypto.prf import derive_key, prf_int
+
+#: Width of the routing PRF output.  Buckets are reduced modulo the shard
+#: count, so the width just has to dwarf any realistic cluster size.
+BUCKET_BITS = 64
+
+
+def canonical_bytes(value) -> bytes:
+    """A type-stable byte encoding of one shard-key value.
+
+    Two Python spellings of the same logical value (``1`` vs ``True``,
+    ``decimal.Decimal("1.50")`` vs ``1.5``) must route identically, and two
+    different values must never collide structurally, so each encoding is
+    prefixed with a type tag.
+    """
+    if value is None:
+        return b"n:"
+    if isinstance(value, bool):
+        return b"i:1" if value else b"i:0"
+    if isinstance(value, int):
+        return b"i:%d" % value
+    if isinstance(value, (float, decimal.Decimal)):
+        as_decimal = decimal.Decimal(str(value)).normalize()
+        if as_decimal == as_decimal.to_integral_value():
+            return b"i:%d" % int(as_decimal)
+        return b"d:" + str(as_decimal).encode("utf-8")
+    if isinstance(value, datetime.date):
+        return b"t:" + value.isoformat().encode("utf-8")
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    raise TypeError(f"cannot route a {type(value).__name__} shard-key value")
+
+
+def shard_bucket(routing_key: bytes, table: str, column: str, value) -> int:
+    """The routing bucket for one row (a ``BUCKET_BITS``-bit integer).
+
+    The per-``(table, column)`` subkey means renaming or re-sharding a
+    table draws an independent permutation, and equal values in different
+    tables do not visibly co-locate.
+    """
+    subkey = derive_key(routing_key, f"shard:{table.lower()}.{column.lower()}")
+    return prf_int(subkey, canonical_bytes(value), BUCKET_BITS)

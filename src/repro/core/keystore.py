@@ -25,9 +25,22 @@ class KeyStoreError(KeyError):
 class KeyStore:
     """Column keys and table metadata for one data owner."""
 
-    def __init__(self, keys: SystemKeys, sies_key: SIESKey):
+    def __init__(
+        self,
+        keys: SystemKeys,
+        sies_key: SIESKey,
+        routing_key: Optional[bytes] = None,
+    ):
         self.keys = keys
         self.sies_key = sies_key
+        #: secret PRF key for cluster shard routing: the bucket a row lands
+        #: on is a PRF of its shard-key plaintext under this key, so the
+        #: service providers see placement but never the key values
+        if routing_key is None:
+            import secrets
+
+            routing_key = secrets.token_bytes(32)
+        self.routing_key = routing_key
         self._tables: dict[str, TableMeta] = {}
         self._views: dict[str, str] = {}  # name -> defining SELECT text
         #: monotone counter; any change that can invalidate a cached
@@ -138,6 +151,7 @@ class KeyStore:
                 "key": self.sies_key.key.hex(),
                 "modulus": self.sies_key.modulus,
             },
+            "routing_key": self.routing_key.hex(),
             "tables": {
                 name: _table_to_dict(meta) for name, meta in self._tables.items()
             },
@@ -161,7 +175,11 @@ class KeyStore:
             key=bytes.fromhex(data["sies"]["key"]),
             modulus=int(data["sies"]["modulus"]),
         )
-        store = cls(keys, sies)
+        routing = data.get("routing_key")
+        store = cls(
+            keys, sies,
+            routing_key=bytes.fromhex(routing) if routing else None,
+        )
         for name, table in data["tables"].items():
             store.register_table(_table_from_dict(name, table))
         for name, sql in data.get("views", {}).items():

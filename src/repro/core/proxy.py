@@ -95,7 +95,11 @@ class SDBProxy:
             modulus_bits=modulus_bits, value_bits=value_bits, rng=rng
         )
         sies_key = SIESKey.generate(keys.n, rng=rng)
-        self.store = KeyStore(keys, sies_key)
+        self.store = KeyStore(
+            keys,
+            sies_key,
+            routing_key=rng.randbytes(32) if rng is not None else None,
+        )
         self.policy = policy or ProtocolPolicy()
         self.rewriter = Rewriter(self.store, policy=self.policy, rng=rng)
         self.server = server
@@ -114,8 +118,38 @@ class SDBProxy:
         sensitive: Iterable[str] = (),
         rng=None,
         replace: bool = False,
+        shard_by: Optional[str] = None,
     ) -> None:
-        """Encrypt and upload a table."""
+        """Encrypt and upload a table.
+
+        ``shard_by`` hash-partitions the table across a cluster
+        (:class:`~repro.cluster.Coordinator` server): each row's shard is
+        a keyed PRF of its ``shard_by`` plaintext, computed *here* with
+        the key store's routing key, so no service provider ever sees the
+        key value -- only which bucket the row landed in.
+        """
+        if shard_by is not None:
+            # function-local: core must stay importable without the
+            # cluster package (which itself builds on repro.core.server)
+            from repro.cluster.router import shard_bucket
+
+            if not hasattr(self.server, "store_sharded"):
+                raise RewriteError(
+                    "shard_by requires a cluster coordinator server "
+                    "(see repro.cluster)"
+                )
+            names = [c for c, _ in columns]
+            if shard_by not in names:
+                raise RewriteError(
+                    f"shard column {shard_by!r} is not in the schema"
+                )
+            rows = [tuple(row) for row in rows]
+            shard_index = names.index(shard_by)
+            buckets = [
+                shard_bucket(self.store.routing_key, name, shard_by,
+                             row[shard_index])
+                for row in rows
+            ]
         meta, encrypted = encrypt_table(
             self.store.keys,
             self.store.sies_key,
@@ -127,7 +161,13 @@ class SDBProxy:
         )
         self.store.register_table(meta, replace=replace)
         self.channel.record_upload(name, encrypted)
-        self.server.store_table(name, encrypted, replace=replace)
+        if shard_by is not None:
+            self.server.store_sharded(
+                name, encrypted, shard_column=shard_by, buckets=buckets,
+                replace=replace,
+            )
+        else:
+            self.server.store_table(name, encrypted, replace=replace)
 
     def drop_table(self, name: str) -> None:
         self.store.drop_table(name)
@@ -202,6 +242,8 @@ class SDBProxy:
         """
         if isinstance(statement, ast.TxnControl):
             return self._execute_txn(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create(statement)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement)
         if isinstance(statement, ast.Update):
@@ -248,6 +290,61 @@ class SDBProxy:
             ),
             leakage=(),
             notes=(f"transaction {statement.kind}",),
+        )
+
+    def _execute_create(self, statement: ast.CreateTable) -> DMLResult:
+        """DDL: ``CREATE TABLE ... [SHARD BY (col)]`` as an empty upload.
+
+        The statement never reaches the SP as text; the proxy registers
+        the schema, draws column keys for ENCRYPTED columns, and uploads
+        an empty (sharded, if asked) relation.  INSERTs then encrypt --
+        and, for sharded tables, PRF-route -- through the usual pipeline.
+        """
+        t0 = time.perf_counter()
+        builders = {
+            "int": lambda arg: ValueType.int_(),
+            "decimal": lambda arg: ValueType.decimal(2 if arg is None else arg),
+            "date": lambda arg: ValueType.date(),
+            "string": lambda arg: ValueType.string(32 if arg is None else arg),
+            "bool": lambda arg: ValueType.bool_(),
+        }
+        columns = [
+            (col.name, builders[col.type_name](col.arg))
+            for col in statement.columns
+        ]
+        sensitive = [col.name for col in statement.columns if col.encrypted]
+        t1 = time.perf_counter()
+        self.create_table(
+            statement.table,
+            columns,
+            rows=[],
+            sensitive=sensitive,
+            rng=self._rng,
+            shard_by=statement.shard_by,
+        )
+        t2 = time.perf_counter()
+        leakage = tuple(
+            f"create: schema of insensitive column {col.name!r}"
+            for col in statement.columns
+            if not col.encrypted
+        )
+        notes = [
+            f"created table {statement.table} "
+            f"({len(sensitive)} encrypted column(s))"
+        ]
+        if statement.shard_by:
+            notes.append(
+                f"sharded by PRF({statement.shard_by}) across "
+                f"{getattr(self.server, 'num_shards', 1)} shard(s)"
+            )
+        return DMLResult(
+            affected=0,
+            rewritten_sql="-- CREATE TABLE runs at the proxy (encrypted upload)",
+            cost=CostBreakdown(
+                parse_s=t1 - t0, rewrite_s=0.0, server_s=t2 - t1, decrypt_s=0.0
+            ),
+            leakage=leakage,
+            notes=tuple(notes),
         )
 
     def _execute_insert(self, statement: ast.Insert) -> DMLResult:
@@ -305,7 +402,29 @@ class SDBProxy:
         )
         t2 = time.perf_counter()
         self.channel.record_query(rewritten.to_sql())
-        affected = self.server.execute_dml(rewritten)
+        shard_leakage = ()
+        shard_column = getattr(self.server, "shard_column", None)
+        shard_col = (
+            shard_column(statement.table) if callable(shard_column) else None
+        )
+        if shard_col is not None:
+            # cluster deployment, sharded table: route each encrypted row
+            # by the PRF bucket of its (plaintext) shard-key value
+            from repro.cluster.router import shard_bucket
+
+            shard_index = names.index(shard_col)
+            buckets = [
+                shard_bucket(self.store.routing_key, statement.table,
+                             shard_col, row[shard_index])
+                for row in plain_rows
+            ]
+            affected = self.server.insert_routed(rewritten, buckets)
+            shard_leakage = (
+                f"shard: PRF bucket of {shard_col!r} routes each row "
+                "(SP learns the shard, not the value)",
+            )
+        else:
+            affected = self.server.execute_dml(rewritten)
         t3 = time.perf_counter()
         meta.num_rows += affected
         insensitive = [
@@ -314,7 +433,7 @@ class SDBProxy:
         leakage = tuple(
             f"insert: plaintext of insensitive column {name!r}"
             for name in insensitive
-        ) + (f"insert: row count {affected}",)
+        ) + (f"insert: row count {affected}",) + shard_leakage
         return DMLResult(
             affected=affected,
             rewritten_sql=rewritten.to_sql(),

@@ -29,6 +29,26 @@ from repro.engine.schema import DataType
 from repro.engine.table import Table
 
 
+#: The scheme's *declared* leakage surface, in one auditable place.  Every
+#: entry is inherent to the design (and therefore reported to the data
+#: owner), not an implementation defect; the audit functions below quantify
+#: each of them against a live deployment.
+DECLARED_LEAKAGE = (
+    "zero-values: the encryption of 0 is 0 under every item key, so an SP "
+    "observer learns which sensitive cells are exactly zero "
+    "(see zero_value_cells)",
+    "comparison-signs: masked comparison UDFs reveal the sign bit of each "
+    "comparison, by construction (see QRAttacker.DECLARED_LEAKAGE_UDFS)",
+    "shard-routing: in a cluster deployment, the PRF bucket of each row's "
+    "shard-key value is visible as its shard assignment -- the SPs learn "
+    "the shard-key column name, co-residency of equal shard keys and "
+    "per-shard cardinalities, never the key values or the routing PRF key "
+    "(see shard_routing_leakage)",
+    "prepared-statements: cached rewrite plans reuse their rewrite-time "
+    "masks/tokens across executions (declared per-plan as 'prepared:')",
+)
+
+
 @dataclass(frozen=True)
 class PlaintextHit:
     table: str
@@ -122,6 +142,32 @@ def share_uniformity(server: SDBServer, n: int) -> UniformityReport:
         top_bit_fraction=top,
         distinct_fraction=distinct,
     )
+
+
+def shard_routing_leakage(coordinator) -> list[str]:
+    """Quantify the declared shard-routing leakage of a cluster.
+
+    For every sharded table, report exactly what the shard SPs jointly
+    observe from placement: the shard-key *column name* (shipped in the
+    SHARD_STORE placement metadata so a restarted/reattached coordinator
+    can rebuild routing -- and visible in the stored schema anyway, like
+    every column name), per-shard cardinalities, and the co-residency of
+    rows with equal shard-key values.  What the SPs never see: the PRF
+    routing key and the shard-key *values* behind the buckets.  The
+    returned entries mirror the style of per-query leakage declarations.
+    """
+    entries = []
+    statuses = coordinator.shard_status()
+    for name, placement in sorted(coordinator.placements().items()):
+        if not placement.sharded:
+            continue
+        counts = [status["tables"].get(name, 0) for status in statuses]
+        entries.append(
+            f"shard-routing: {name!r} placed by PRF bucket of "
+            f"{placement.shard_column!r} (column name visible to the SPs); "
+            f"per-shard cardinalities visible to the SPs: {counts}"
+        )
+    return entries
 
 
 class CPAAttacker:

@@ -35,6 +35,53 @@ class Transcript:
         self.udf_values.clear()
 
 
+class _MaterializedResult:
+    """An open result backed by a fully computed table (the general case)."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.offset = 0
+
+    def fetch(self, count: Optional[int]) -> Table:
+        stop = None if count is None else self.offset + count
+        chunk = self.table.slice(self.offset, stop)
+        self.offset += chunk.num_rows
+        return chunk
+
+
+class _StreamingResult:
+    """An open result backed by a row generator (pipelined execution).
+
+    Rows are produced by the engine only as the client fetches them: a
+    ``fetch_rows(id, 10)`` on a million-row scan evaluates exactly the
+    rows needed to emit ten outputs.  Chunk schemas are inferred per chunk
+    with the same rules the materializing path applies to whole results.
+    """
+
+    def __init__(self, names: Sequence[str], rows):
+        self._names = list(names)
+        self._rows = rows
+
+    def fetch(self, count: Optional[int]) -> Table:
+        from repro.engine.columnar import infer_column_spec
+        from repro.engine.schema import Schema
+
+        out = []
+        if count is None:
+            out = list(self._rows)
+        elif count > 0:  # count=0 is an empty chunk, like slice(o, o)
+            for row in self._rows:
+                out.append(row)
+                if len(out) >= count:
+                    break
+        columns = [[row[i] for row in out] for i in range(len(self._names))]
+        specs = tuple(
+            infer_column_spec(name, column)
+            for name, column in zip(self._names, columns)
+        )
+        return Table(Schema(specs), columns)
+
+
 class SDBServer:
     """A relational engine with the SDB UDF set installed.
 
@@ -49,7 +96,13 @@ class SDBServer:
         instrument: bool = False,
         udf_sample_limit: int = 10000,
         parallel_partitions: int = 0,
+        shard_id: Optional[int] = None,
     ):
+        #: identity within a sharded cluster (None for standalone servers);
+        #: assigned at construction or by the coordinator's first shard_store
+        self.shard_id = shard_id
+        #: per-table placement metadata recorded by SHARD_STORE ops
+        self.shard_placements: dict[str, dict] = {}
         self.catalog = Catalog()
         self.udfs = UDFRegistry()
         register_sdb_udfs(self.udfs)
@@ -76,7 +129,8 @@ class SDBServer:
         self._undo: Optional[dict] = None  # table -> column snapshots
         # prepared statements and open (streamable) result sets
         self._prepared: dict[int, ast.Select] = {}
-        self._results: dict[int, list] = {}  # id -> [table, cursor offset]
+        #: open result sets: materialized tables or pipelined row generators
+        self._results: dict[int, object] = {}
         self._handle_ids = itertools.count(1)
         if instrument:
             self._wrap_udfs()
@@ -85,9 +139,59 @@ class SDBServer:
 
     def store_table(self, name: str, table: Table, replace: bool = False) -> None:
         self.catalog.create(name, table, replace=replace)
+        # a plain store is placement-less: re-creating a once-sharded table
+        # must not leave stale slice metadata behind (SHARD_STORE re-adds it)
+        self.shard_placements.pop(name.lower(), None)
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
+        self.shard_placements.pop(name.lower(), None)
+
+    # -- shard surface (SHARD_* wire ops; coordinator-facing) ------------------
+    #
+    # A shard is just an SDBServer that also remembers *why* it holds each
+    # relation (its slice index and shard column within a cluster
+    # placement -- metadata a reattaching coordinator rebuilds routing
+    # from).  The shard never sees the routing PRF key or any shard-key
+    # plaintext: the coordinator ships pre-partitioned encrypted slices,
+    # so a shard learns which rows landed on it and which column routed
+    # them -- exactly the declared PRF-bucket leakage.
+
+    def shard_store(
+        self,
+        name: str,
+        table: Table,
+        placement: Optional[dict] = None,
+        replace: bool = False,
+    ) -> int:
+        """Store one placement slice; returns its row count."""
+        self.store_table(name, table, replace=replace)
+        if placement:
+            self.shard_placements[name.lower()] = dict(placement)
+            if self.shard_id is None and "index" in placement:
+                self.shard_id = int(placement["index"])
+        return table.num_rows
+
+    def shard_dump(self, name: str) -> Table:
+        """The stored relation, schema-exact (gather for fallback queries)."""
+        return self.catalog.get(name)
+
+    def shard_status(self) -> dict:
+        """Identity and holdings, as reported over the SHARD_STATUS op."""
+        return {
+            "shard_id": self.shard_id,
+            "tables": {
+                name: self.catalog.get(name).num_rows
+                for name in self.catalog.names()
+            },
+            "placements": {
+                name: dict(p) for name, p in self.shard_placements.items()
+            },
+        }
+
+    def execute_partial(self, query) -> Table:
+        """Run one scatter partial query (same trust surface as execute)."""
+        return self.execute(query)
 
     # -- query processing --------------------------------------------------------
 
@@ -139,8 +243,14 @@ class SDBServer:
     def execute_prepared(self, stmt_id: int, params: Sequence = ()) -> tuple[int, int]:
         """Bind ``params`` and run; returns ``(result_id, num_rows)``.
 
-        The result relation is retained server-side until fetched or
-        closed; ``fetch_rows`` streams it out in chunks.
+        The result stays server-side until fetched or closed;
+        ``fetch_rows`` streams it out in chunks.  Streamable queries
+        (single-table scan/filter/project shapes, see
+        :meth:`~repro.engine.executor.Engine.execute_iter`) are *pipelined*:
+        rows are produced only as they are fetched, so ``num_rows`` comes
+        back as ``-1`` (unknown until the scan is drained).  Everything
+        else -- and every instrumented server, whose transcript is defined
+        over whole results -- materializes as before.
         """
         from repro.sql.params import bind_parameters
 
@@ -150,9 +260,16 @@ class SDBServer:
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
             bound = bind_parameters(query, params)
-            result = self.execute(bound)
             result_id = next(self._handle_ids)
-            self._results[result_id] = [result, 0]
+            if not self._instrument:
+                execute_iter = getattr(self.engine, "execute_iter", None)
+                pipeline = None if execute_iter is None else execute_iter(bound)
+                if pipeline is not None:
+                    names, rows = pipeline
+                    self._results[result_id] = _StreamingResult(names, rows)
+                    return result_id, -1
+            result = self.execute(bound)
+            self._results[result_id] = _MaterializedResult(result)
             return result_id, result.num_rows
 
     def fetch_rows(self, result_id: int, count: Optional[int] = None) -> Table:
@@ -162,11 +279,7 @@ class SDBServer:
                 entry = self._results[result_id]
             except KeyError:
                 raise KeyError(f"unknown result set {result_id}") from None
-            table, offset = entry
-            stop = None if count is None else offset + count
-            chunk = table.slice(offset, stop)
-            entry[1] = offset + chunk.num_rows
-            return chunk
+            return entry.fetch(count)
 
     def close_result(self, result_id: int) -> None:
         with self._lock:

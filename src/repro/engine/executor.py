@@ -29,6 +29,7 @@ Two execution paths share this pipeline:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Sequence
 
 from repro.engine.catalog import Catalog
@@ -104,6 +105,90 @@ class Engine:
             self._subquery_cache = {}
             self._scan_cache = {}
         return self._execute_select(query, outer_scope)
+
+    #: rows per pipelined-execution segment (see :meth:`execute_iter`);
+    #: matches the session layer's default ``cursor.arraysize``
+    stream_segment_rows = 256
+
+    def execute_iter(self, query):
+        """A ``(output_names, row_iterator)`` pair for streamable queries.
+
+        Returns None when the query is not streamable.  Streamable shapes
+        are single-table scan -> filter -> project pipelines (no
+        aggregates, grouping, ordering, DISTINCT or subqueries; LIMIT is
+        honored by stopping the scan early).  The iterator is *pipelined*
+        at :attr:`stream_segment_rows` granularity: the scan is evaluated
+        one segment at a time, only as the consumer pulls rows, and each
+        segment runs through the normal execution pipeline -- columnar
+        batch path included -- so streaming costs no per-row throughput.
+
+        The column lists are snapshotted (cell references only) up front:
+        the result reflects the table as of execution time, exactly like
+        the materializing path, even if DML or a key rotation lands
+        between the execution and a later fetch.
+        """
+        if isinstance(query, str):
+            query = parse(query)
+        if not isinstance(query.from_clause, ast.TableRef):
+            return None
+        if (
+            query.group_by
+            or query.order_by
+            or query.having is not None
+            or query.distinct
+        ):
+            return None
+        roots = [item.expr for item in query.items]
+        if query.where is not None:
+            roots.append(query.where)
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(
+                    node,
+                    (ast.Aggregate, ast.ScalarSubquery, ast.InSubquery, ast.Exists),
+                ):
+                    return None
+                if isinstance(node, ast.FuncCall) and self.udfs.has_aggregate(
+                    node.name
+                ):
+                    return None
+        table = self.catalog.get(query.from_clause.name)
+        binding = query.from_clause.name
+        names = table.schema.names
+        items = self._expand_stars(
+            query.items, {query.from_clause.binding: names}
+        )
+        out_names = self._output_names_from(items)
+        columns = [list(column) for column in table.columns]
+        total = len(columns[0]) if columns else 0
+        schema = table.schema
+        limit = query.limit
+        segment_query = query if limit is None else dataclasses.replace(
+            query, limit=None
+        )
+        segment_rows = max(1, int(self.stream_segment_rows))
+
+        def rows():
+            if limit is not None and limit <= 0:
+                return
+            produced = 0
+            for start in range(0, total, segment_rows):
+                segment = Table(
+                    schema,
+                    [column[start:start + segment_rows] for column in columns],
+                )
+                catalog = Catalog()
+                catalog.create(binding, segment)
+                engine = Engine(
+                    catalog, self.udfs, batch_enabled=self.batch_enabled
+                )
+                for row in engine.execute(segment_query).rows():
+                    yield list(row)
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+
+        return out_names, rows()
 
     def execute_dml(self, statement) -> int:
         """Run an INSERT/UPDATE/DELETE (SQL text or AST); returns row count."""

@@ -12,38 +12,45 @@ parallel-execution, and scalability" from the underlying Spark SQL engine
   query per partition plus a merge query over the union of partials --
   the same two-phase shape Spark SQL plans for distributed aggregates.
 
-Eligibility is conservative: single-table queries whose aggregates are
-built-ins (``SUM/COUNT/MIN/MAX/AVG``, non-DISTINCT) or the share-sum UDF
-``sdb_agg_sum``.  Everything else transparently falls back to the serial
-engine -- correctness never depends on the parallel path.
-
-Shares flow through partials untouched: a partial ``sdb_agg_sum`` of a
-key-aligned column is itself a key-aligned share, so the merge re-sum is
-just more ring addition.  Data interoperability is what makes encrypted
-partial aggregation work at all.
+The split planning itself lives in :mod:`repro.engine.partial`, shared
+with the sharded cluster executor (:mod:`repro.cluster`): partitions on a
+thread pool and encrypted shards on separate service providers merge with
+the same partial/merge pair.  Eligibility is conservative; everything else
+transparently falls back to the serial engine -- correctness never depends
+on the parallel path.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Engine
-from repro.engine.schema import ColumnSpec, Schema
+from repro.engine.partial import (
+    PARTIALS_TABLE as _PARTIALS_TABLE,
+    RE_AGGREGABLE_UDFS,
+    concat_tables,
+    ineligibility,
+    plan_split,
+)
 from repro.engine.table import Table
 from repro.engine.udf import UDFRegistry
 from repro.sql import ast
 from repro.sql.parser import parse
 
-#: Aggregate UDFs whose partial outputs merge by re-applying the same UDF
-#: to the partial column (first argument replaced, the rest kept verbatim).
-RE_AGGREGABLE_UDFS = frozenset({"sdb_agg_sum"})
-
-_PARTIALS_TABLE = "__partials"
+__all__ = [
+    "RE_AGGREGABLE_UDFS",
+    "FaultInjector",
+    "ParallelEngine",
+    "ParallelPlan",
+    "TaskFailure",
+    "TaskScheduler",
+    "TaskStats",
+    "partition_table",
+]
 
 
 class TaskFailure(RuntimeError):
@@ -193,7 +200,7 @@ class ParallelEngine:
     def execute(self, query) -> Table:
         if isinstance(query, str):
             query = parse(query)
-        reason = self._ineligibility(query)
+        reason = ineligibility(query, self.udfs, self.catalog)
         if reason is not None:
             self.last_plan = ParallelPlan(mode="serial", reason=reason)
             return self._serial.execute(query)
@@ -202,95 +209,12 @@ class ParallelEngine:
     def execute_dml(self, statement) -> int:
         return self._serial.execute_dml(statement)
 
-    # -- eligibility ---------------------------------------------------------------
-
-    def _ineligibility(self, query: ast.Select) -> Optional[str]:
-        """None when the query can run partition-parallel, else the reason."""
-        if not isinstance(query.from_clause, ast.TableRef):
-            return "FROM is not a single base table"
-        if query.from_clause.name not in self.catalog:
-            return "unknown table (serial path reports the error)"
-        roots = [item.expr for item in query.items]
-        roots += [e for e in (query.where, query.having) if e is not None]
-        roots += [g for g in query.group_by]
-        roots += [o.expr for o in query.order_by]
-        for root in roots:
-            for node in ast.walk(root):
-                if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
-                    return "contains a subquery"
-        aggregates = self._collect_aggregates(query)
-        for node in aggregates:
-            if isinstance(node, ast.Aggregate):
-                if node.distinct:
-                    return "DISTINCT aggregates do not merge"
-            elif isinstance(node, ast.FuncCall):
-                if node.name.lower() not in RE_AGGREGABLE_UDFS:
-                    return f"aggregate UDF {node.name!r} is not re-aggregable"
-                if not node.args or not all(
-                    isinstance(a, ast.Literal) for a in node.args[1:]
-                ):
-                    return "aggregate UDF has non-literal auxiliary arguments"
-        if aggregates and query.distinct:
-            return "SELECT DISTINCT with aggregates"
-        if not aggregates and query.group_by:
-            return "GROUP BY without aggregates"
-        if not aggregates and not self._order_by_resolvable(query):
-            return "ORDER BY expression is not a select output"
-        return None
-
-    @staticmethod
-    def _order_by_resolvable(query: ast.Select) -> bool:
-        """Scan-case merge can only sort by select outputs or ordinals."""
-        if not query.order_by:
-            return True
-        output_names = set()
-        for item in query.items:
-            if item.alias:
-                output_names.add(item.alias)
-            elif isinstance(item.expr, ast.Column):
-                output_names.add(item.expr.name)
-            elif isinstance(item.expr, ast.Star):
-                return all(
-                    isinstance(o.expr, ast.Literal) for o in query.order_by
-                )
-        for order_item in query.order_by:
-            expr = _strip_table(order_item.expr)
-            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                continue
-            if isinstance(expr, ast.Column) and expr.name in output_names:
-                continue
-            return False
-        return True
-
-    def _collect_aggregates(self, query: ast.Select) -> list:
-        roots = [item.expr for item in query.items]
-        if query.having is not None:
-            roots.append(query.having)
-        roots.extend(o.expr for o in query.order_by)
-        found, seen = [], set()
-        for root in roots:
-            for node in ast.walk(root):
-                if node in seen:
-                    continue
-                if isinstance(node, ast.Aggregate) or (
-                    isinstance(node, ast.FuncCall)
-                    and self.udfs.has_aggregate(node.name)
-                ):
-                    seen.add(node)
-                    found.append(node)
-        return found
-
     # -- parallel execution ------------------------------------------------------------
 
     def _execute_parallel(self, query: ast.Select) -> Table:
         table = self.catalog.get(query.from_clause.name)
         partitions = partition_table(table, self.num_partitions)
-        aggregates = self._collect_aggregates(query)
-        if aggregates:
-            partial, merge = self._plan_aggregate(query, aggregates)
-        else:
-            partial, merge = self._plan_scan(query)
-
+        split = plan_split(query, self.udfs)
         binding = query.from_clause.name
 
         def make_task(part: Table):
@@ -298,233 +222,27 @@ class ParallelEngine:
                 catalog = Catalog()
                 catalog.create(binding, part)
                 engine = Engine(catalog, self.udfs, batch_enabled=self.batch_enabled)
-                return engine.execute(partial)
+                return engine.execute(split.partial)
 
             return task
 
         results = self.scheduler.run(
             "partial", [make_task(part) for part in partitions]
         )
-        union = _concat_tables(results)
+        union = concat_tables(results)
         merge_catalog = Catalog()
         merge_catalog.create(_PARTIALS_TABLE, union)
         merge_engine = Engine(
             merge_catalog, self.udfs, batch_enabled=self.batch_enabled
         )
-        out = merge_engine.execute(merge)
+        out = merge_engine.execute(split.merge)
         self.last_plan = ParallelPlan(
             mode="parallel",
-            reason="partial aggregation" if aggregates else "partitioned scan",
+            reason=(
+                "partial aggregation"
+                if split.kind == "aggregate"
+                else "partitioned scan"
+            ),
             partitions=len(partitions),
         )
         return out
-
-    # -- planning: scans -----------------------------------------------------------
-
-    def _plan_scan(self, query: ast.Select) -> tuple[ast.Select, ast.Select]:
-        """Filter+project runs per partition; ORDER/LIMIT/DISTINCT merge."""
-        partial = dataclasses.replace(
-            query, order_by=(), limit=None, distinct=query.distinct
-        )
-        merge = ast.Select(
-            items=(ast.SelectItem(expr=ast.Star()),),
-            from_clause=ast.TableRef(name=_PARTIALS_TABLE),
-            order_by=self._rebind_order_by(query),
-            limit=query.limit,
-            distinct=query.distinct,
-        )
-        return partial, merge
-
-    def _rebind_order_by(self, query: ast.Select) -> tuple:
-        """ORDER BY items for the merge query.
-
-        Aliases and ordinals pass through; a bare column that is itself a
-        select item passes through; anything else was filtered out during
-        eligibility via :meth:`_order_by_resolvable`.
-        """
-        return tuple(
-            ast.OrderItem(expr=_strip_table(o.expr), descending=o.descending)
-            for o in query.order_by
-        )
-
-    # -- planning: aggregates ------------------------------------------------------
-
-    def _plan_aggregate(self, query, aggregates) -> tuple[ast.Select, ast.Select]:
-        partial_items: list[ast.SelectItem] = []
-        replacements: dict[ast.Expr, ast.Expr] = {}
-
-        for i, key in enumerate(query.group_by):
-            name = f"__g{i}"
-            partial_items.append(ast.SelectItem(expr=key, alias=name))
-            replacements[key] = ast.Column(name)
-
-        for j, node in enumerate(aggregates):
-            name = f"__a{j}"
-            if isinstance(node, ast.FuncCall):  # re-aggregable UDF
-                partial_items.append(ast.SelectItem(expr=node, alias=name))
-                replacements[node] = ast.FuncCall(
-                    node.name, (ast.Column(name),) + tuple(node.args[1:])
-                )
-                continue
-            if node.func == "avg":
-                sum_name, count_name = f"{name}_s", f"{name}_c"
-                partial_items.append(
-                    ast.SelectItem(
-                        expr=ast.Aggregate(func="sum", arg=node.arg), alias=sum_name
-                    )
-                )
-                partial_items.append(
-                    ast.SelectItem(
-                        expr=ast.Aggregate(func="count", arg=node.arg),
-                        alias=count_name,
-                    )
-                )
-                replacements[node] = ast.BinaryOp(
-                    op="/",
-                    left=ast.Aggregate(func="sum", arg=ast.Column(sum_name)),
-                    right=ast.Aggregate(func="sum", arg=ast.Column(count_name)),
-                )
-                continue
-            partial_items.append(ast.SelectItem(expr=node, alias=name))
-            merge_func = "sum" if node.func == "count" else node.func
-            replacements[node] = ast.Aggregate(
-                func=merge_func, arg=ast.Column(name)
-            )
-
-        partial = ast.Select(
-            items=tuple(partial_items),
-            from_clause=query.from_clause,
-            where=query.where,
-            group_by=query.group_by,
-        )
-        merge = ast.Select(
-            items=tuple(
-                ast.SelectItem(
-                    expr=_replace(item.expr, replacements),
-                    alias=item.alias or _output_name(item.expr, i),
-                )
-                for i, item in enumerate(query.items)
-            ),
-            from_clause=ast.TableRef(name=_PARTIALS_TABLE),
-            group_by=tuple(
-                ast.Column(f"__g{i}") for i in range(len(query.group_by))
-            ),
-            having=(
-                _replace(query.having, replacements)
-                if query.having is not None
-                else None
-            ),
-            order_by=tuple(
-                ast.OrderItem(
-                    expr=_replace(_strip_table(o.expr), replacements),
-                    descending=o.descending,
-                )
-                for o in query.order_by
-            ),
-            limit=query.limit,
-        )
-        return partial, merge
-
-
-# -- AST surgery -----------------------------------------------------------------
-
-
-def _output_name(expr: ast.Expr, index: int) -> str:
-    """The name the serial engine would give this unaliased output.
-
-    The merge query rewrites expressions (``city`` becomes ``__g0``), so
-    the original name must be pinned as an explicit alias to keep the
-    result schema identical to serial execution.
-    """
-    if isinstance(expr, ast.Column):
-        return expr.name
-    if isinstance(expr, ast.Aggregate):
-        return expr.func
-    return f"_col{index}"
-
-
-def _replace(expr: ast.Expr, mapping: dict) -> ast.Expr:
-    """Rebuild ``expr`` substituting every subtree found in ``mapping``."""
-    if expr in mapping:
-        return mapping[expr]
-    if isinstance(expr, ast.BinaryOp):
-        return ast.BinaryOp(
-            op=expr.op,
-            left=_replace(expr.left, mapping),
-            right=_replace(expr.right, mapping),
-        )
-    if isinstance(expr, ast.UnaryOp):
-        return ast.UnaryOp(op=expr.op, operand=_replace(expr.operand, mapping))
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(
-            expr.name, tuple(_replace(a, mapping) for a in expr.args)
-        )
-    if isinstance(expr, ast.CaseWhen):
-        return ast.CaseWhen(
-            branches=tuple(
-                (_replace(c, mapping), _replace(r, mapping))
-                for c, r in expr.branches
-            ),
-            default=(
-                _replace(expr.default, mapping)
-                if expr.default is not None
-                else None
-            ),
-        )
-    if isinstance(expr, ast.Between):
-        return ast.Between(
-            subject=_replace(expr.subject, mapping),
-            low=_replace(expr.low, mapping),
-            high=_replace(expr.high, mapping),
-            negated=expr.negated,
-        )
-    if isinstance(expr, ast.InList):
-        return ast.InList(
-            subject=_replace(expr.subject, mapping),
-            items=tuple(_replace(i, mapping) for i in expr.items),
-            negated=expr.negated,
-        )
-    if isinstance(expr, (ast.Like, ast.IsNull)):
-        return dataclasses.replace(expr, subject=_replace(expr.subject, mapping))
-    if isinstance(expr, ast.Extract):
-        return ast.Extract(unit=expr.unit, operand=_replace(expr.operand, mapping))
-    if isinstance(expr, ast.Substring):
-        return ast.Substring(
-            operand=_replace(expr.operand, mapping),
-            start=_replace(expr.start, mapping),
-            length=(
-                _replace(expr.length, mapping)
-                if expr.length is not None
-                else None
-            ),
-        )
-    return expr
-
-
-def _strip_table(expr: ast.Expr) -> ast.Expr:
-    """Drop table qualifiers: partial outputs are unqualified columns."""
-    if isinstance(expr, ast.Column) and expr.table is not None:
-        return ast.Column(expr.name)
-    return expr
-
-
-def _concat_tables(tables: list[Table]) -> Table:
-    """Union-all partition results, re-inferring NULL-only column specs."""
-    first = tables[0]
-    width = first.num_columns
-    columns: list[list] = [[] for _ in range(width)]
-    for table in tables:
-        if table.num_columns != width:
-            raise ValueError("partition results have diverging widths")
-        for i in range(width):
-            columns[i].extend(table.columns[i])
-    specs = []
-    for i, base_spec in enumerate(first.schema.columns):
-        spec = base_spec
-        for table in tables:
-            candidate = table.schema.columns[i]
-            if any(v is not None for v in table.columns[i]):
-                spec = candidate
-                break
-        specs.append(ColumnSpec(base_spec.name, spec.dtype, spec.scale))
-    return Table(Schema(tuple(specs)), columns)

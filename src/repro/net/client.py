@@ -145,6 +145,31 @@ class RemoteServer:
     def catalog_names(self) -> list[str]:
         return self._call("catalog")
 
+    # -- SHARD_* operations (used by the cluster coordinator) -------------------
+
+    def shard_status(self) -> dict:
+        return self._call("shard_status")
+
+    def shard_store(
+        self, name: str, table: Table, placement=None, replace: bool = False
+    ) -> int:
+        return int(
+            self._call(
+                "shard_store",
+                name=name,
+                table=protocol.encode_value(table),
+                placement=placement,
+                replace=replace,
+            )
+        )
+
+    def shard_dump(self, name: str) -> Table:
+        return protocol.decode_value(self._call("shard_dump", name=name))
+
+    def execute_partial(self, query) -> Table:
+        sql = query if isinstance(query, str) else query.to_sql()
+        return protocol.decode_value(self._call("shard_partial", sql=sql))
+
     # -- prepared statements / streaming fetch ---------------------------------
     #
     # PREPARE ships the (rewritten) SQL text once; EXECUTE_PREPARED then

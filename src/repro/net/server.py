@@ -118,6 +118,32 @@ class _RequestHandler(socketserver.BaseRequestHandler):
     def _op_catalog(self, request: dict):
         return self._sdb.catalog.names()
 
+    # -- SHARD_* operations (cluster coordinator traffic) ----------------------
+    #
+    # A shard daemon is an ordinary SP daemon that additionally accepts
+    # placement-tagged stores, partial queries from a scatter, status
+    # probes and schema-exact dumps (the gather side of the fallback
+    # materialization).  It still never sees keys, plaintext of sensitive
+    # values, or the routing PRF -- only which slice it was handed.
+
+    def _op_shard_status(self, request: dict):
+        return self._sdb.shard_status()
+
+    def _op_shard_store(self, request: dict):
+        table = protocol.decode_value(request["table"])
+        return self._sdb.shard_store(
+            request["name"],
+            table,
+            placement=request.get("placement"),
+            replace=bool(request.get("replace")),
+        )
+
+    def _op_shard_dump(self, request: dict):
+        return protocol.encode_value(self._sdb.shard_dump(request["name"]))
+
+    def _op_shard_partial(self, request: dict):
+        return protocol.encode_value(self._sdb.execute_partial(request["sql"]))
+
     # -- prepared statements / streaming fetch --------------------------------
 
     def _op_prepare(self, request: dict):

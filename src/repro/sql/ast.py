@@ -445,8 +445,53 @@ class TxnControl:
         return self.kind.upper()
 
 
+# --------------------------------------------------------------------------
+# DDL statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a ``CREATE TABLE``: name, type, sensitivity choice."""
+
+    name: str
+    type_name: str  # 'int' | 'decimal' | 'date' | 'string' | 'bool'
+    arg: Optional[int] = None  # scale (DECIMAL) or byte width (STRING)
+    encrypted: bool = False
+
+    _TYPE_SQL = {
+        "int": "INT", "decimal": "DECIMAL", "date": "DATE",
+        "string": "STRING", "bool": "BOOL",
+    }
+
+    def to_sql(self) -> str:
+        type_sql = self._TYPE_SQL[self.type_name]
+        if self.arg is not None:
+            type_sql += f"({self.arg})"
+        suffix = " ENCRYPTED" if self.encrypted else ""
+        return f"{self.name} {type_sql}{suffix}"
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE t (col type [ENCRYPTED], ...) [SHARD BY (col)]``.
+
+    DDL never reaches the SP as text: the proxy turns it into an encrypted
+    (possibly shard-routed) upload, exactly like the client-API path.
+    """
+
+    table: str
+    columns: tuple[ColumnDef, ...]
+    shard_by: Optional[str] = None
+
+    def to_sql(self) -> str:
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        shard = f" SHARD BY ({self.shard_by})" if self.shard_by else ""
+        return f"CREATE TABLE {self.table} ({cols}){shard}"
+
+
 #: Any parsable statement.
-Statement = Union[Select, Insert, Update, Delete, TxnControl]
+Statement = Union[Select, Insert, Update, Delete, TxnControl, CreateTable]
 
 
 COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}

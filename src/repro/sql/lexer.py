@@ -18,6 +18,7 @@ KEYWORDS = {
     "avg", "min", "max", "true", "false", "cross",
     "insert", "into", "values", "update", "set", "delete",
     "begin", "commit", "rollback", "transaction",
+    "create", "table", "shard", "encrypted",
 }
 
 SYMBOLS = (

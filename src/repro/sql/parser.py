@@ -89,6 +89,8 @@ class _Parser:
             return self.parse_update()
         if self._check("keyword", "delete"):
             return self.parse_delete()
+        if self._check("keyword", "create"):
+            return self.parse_create()
         if self._check("keyword", "begin"):
             self._advance()
             self._accept("keyword", "transaction")
@@ -135,6 +137,69 @@ class _Parser:
             values.append(self.parse_expr())
         self._expect("symbol", ")")
         return tuple(values)
+
+    #: accepted type spellings -> canonical ColumnDef.type_name
+    _COLUMN_TYPES = {
+        "int": "int", "integer": "int",
+        "decimal": "decimal", "numeric": "decimal",
+        "date": "date",
+        "string": "string", "varchar": "string", "char": "string",
+        "text": "string",
+        "bool": "bool", "boolean": "bool",
+    }
+
+    def parse_create(self) -> ast.CreateTable:
+        """``CREATE TABLE t (col TYPE [ENCRYPTED], ...) [SHARD BY (col)]``."""
+        self._expect("keyword", "create")
+        self._expect("keyword", "table")
+        table = self._expect_name()
+        self._expect("symbol", "(")
+        columns = [self._parse_column_def()]
+        while self._accept("symbol", ","):
+            columns.append(self._parse_column_def())
+        self._expect("symbol", ")")
+        shard_by = None
+        if self._accept("keyword", "shard"):
+            self._expect("keyword", "by")
+            self._expect("symbol", "(")
+            shard_by = self._expect_name()
+            self._expect("symbol", ")")
+            if shard_by not in {c.name for c in columns}:
+                raise ParseError(
+                    f"SHARD BY column {shard_by!r} is not defined by the table"
+                )
+        return ast.CreateTable(
+            table=table, columns=tuple(columns), shard_by=shard_by
+        )
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_name()
+        token = self._current
+        if token.kind not in ("ident", "keyword"):
+            raise ParseError(
+                f"expected a column type, got {token.text!r} at position "
+                f"{token.position}"
+            )
+        type_name = self._COLUMN_TYPES.get(token.text)
+        if type_name is None:
+            raise ParseError(
+                f"unknown column type {token.text!r} at position {token.position}"
+            )
+        self._advance()
+        arg = None
+        if self._accept("symbol", "("):
+            number = self._expect("number")
+            try:
+                arg = int(number.text)
+            except ValueError:
+                raise ParseError(
+                    f"type argument must be an integer, got {number.text!r}"
+                ) from None
+            self._expect("symbol", ")")
+        encrypted = bool(self._accept("keyword", "encrypted"))
+        return ast.ColumnDef(
+            name=name, type_name=type_name, arg=arg, encrypted=encrypted
+        )
 
     def parse_update(self) -> ast.Update:
         self._expect("keyword", "update")

@@ -34,6 +34,7 @@ class DurableServer(SDBServer):
         self.wal = WriteAheadLog(self.directory / "wal.log")
         self._dirty: set[str] = set()
         self._recover()
+        self._load_placements()
 
     # -- recovery ------------------------------------------------------------
 
@@ -81,12 +82,50 @@ class DurableServer(SDBServer):
         super().store_table(name, table, replace=replace)
         self.disk.save(name, table)
         self._dirty.discard(name.lower())
+        self._save_placements()
 
     def drop_table(self, name: str) -> None:
         super().drop_table(name)
         if name.lower() in self.disk:
             self.disk.delete(name)
         self._dirty.discard(name.lower())
+        self._save_placements()
+
+    # -- shard surface, made durable -----------------------------------------------
+    #
+    # A restarted shard daemon recovers its table slices from disk; the
+    # placement metadata recorded by SHARD_STORE must survive with them,
+    # or a reattaching coordinator would classify the table as
+    # primary-resident and silently query one shard's slice.
+
+    def shard_store(self, name, table, placement=None, replace=False) -> int:
+        count = super().shard_store(
+            name, table, placement=placement, replace=replace
+        )
+        self._save_placements()
+        return count
+
+    def _placements_path(self) -> Path:
+        return self.directory / "placements.json"
+
+    def _save_placements(self) -> None:
+        import json
+
+        payload = {"shard_id": self.shard_id, "tables": self.shard_placements}
+        self._placements_path().write_text(json.dumps(payload))
+
+    def _load_placements(self) -> None:
+        import json
+
+        path = self._placements_path()
+        if not path.exists():
+            return
+        payload = json.loads(path.read_text())
+        if self.shard_id is None and payload.get("shard_id") is not None:
+            self.shard_id = int(payload["shard_id"])
+        self.shard_placements.update(
+            {name.lower(): dict(p) for name, p in payload["tables"].items()}
+        )
 
     def execute_dml(self, statement) -> int:
         if isinstance(statement, str):

@@ -38,13 +38,28 @@ def load_plain(data: dict) -> Engine:
     return Engine(catalog)
 
 
+#: Natural shard keys for a clustered TPC-H load: the two big fact tables
+#: partition by their join keys; dimension tables stay primary-resident.
+DEFAULT_SHARD_COLUMNS = {
+    "lineitem": "l_orderkey",
+    "orders": "o_orderkey",
+}
+
+
 def load_encrypted(
     proxy: SDBProxy,
     data: dict,
     profile: SensitivityProfile = FINANCIAL_PROFILE,
     rng=None,
+    shard_by: Optional[dict] = None,
 ) -> None:
-    """Encrypt and upload generated TPC-H data through the proxy."""
+    """Encrypt and upload generated TPC-H data through the proxy.
+
+    ``shard_by`` maps table name -> shard-key column for cluster
+    deployments (tables not in the map stay on the primary shard);
+    pass :data:`DEFAULT_SHARD_COLUMNS` for a sensible split.
+    """
+    shard_by = shard_by or {}
     for table, rows in data.items():
         proxy.create_table(
             table,
@@ -52,6 +67,7 @@ def load_encrypted(
             rows,
             sensitive=sensitive_columns(profile, table, TABLES[table]),
             rng=rng,
+            shard_by=shard_by.get(table),
         )
 
 

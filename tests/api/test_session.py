@@ -68,11 +68,17 @@ def test_streaming_fetches_in_chunks(conn):
 def test_rowcount_and_description(conn):
     cur = conn.cursor()
     cur.execute("SELECT id, dept, sal, hired FROM pay")
-    assert cur.rowcount == 6
+    # plain scans are pipelined: the server produces rows as they are
+    # fetched, so the cardinality is unknown up front (PEP-249: -1)
+    assert cur.rowcount == -1
     names = [d[0] for d in cur.description]
     codes = [d[1] for d in cur.description]
     assert names == ["id", "dept", "sal", "hired"]
     assert codes == ["INT", "STRING", "DECIMAL", "DATE"]
+    assert len(cur.fetchall()) == 6
+    # aggregates materialize server-side, so their rowcount is exact
+    cur.execute("SELECT dept, COUNT(*) AS n FROM pay GROUP BY dept")
+    assert cur.rowcount == 3
 
 
 def test_sensitive_aggregation_decrypts(conn):
@@ -183,6 +189,15 @@ def test_parameterized_update_on_sensitive_column(conn):
     assert cur.rowcount == 1
     cur.execute("SELECT sal FROM pay WHERE id = 1")
     assert cur.fetchone() == (110.0,)
+
+
+def test_executemany_on_a_query_names_the_kind(deployment):
+    """Pinned across in-process and net deployments (same exception type)."""
+    conn, _ = deployment
+    cur = conn.cursor()
+    with pytest.raises(api.exceptions.ProgrammingError) as excinfo:
+        cur.executemany("SELECT id FROM pay WHERE id = ?", [[1], [2]])
+    assert "select statement" in str(excinfo.value)
 
 
 def test_executemany_sums_rowcount(conn):

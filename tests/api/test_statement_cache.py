@@ -27,7 +27,7 @@ def conn():
 
 def test_hit_and_miss_counters(conn):
     cur = conn.cursor()
-    assert conn.cache_info() == (0, 0, 3, 0)
+    assert conn.cache_info() == (0, 0, 3, 0, 0)
     cur.execute("SELECT id FROM t WHERE v > 20").fetchall()
     assert conn.cache_info().misses == 1
     assert conn.cache_info().hits == 0

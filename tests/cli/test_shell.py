@@ -173,3 +173,63 @@ def test_main_wires_tpch(tmp_path):
     proxy = build_proxy(Args)
     out = SDBShell(proxy).execute_line("SELECT COUNT(*) AS c FROM region")
     assert "5" in out
+
+
+@pytest.fixture()
+def cluster_shell():
+    from repro.cluster import Coordinator
+
+    coordinator = Coordinator([SDBServer(shard_id=i) for i in range(3)])
+    proxy = SDBProxy(coordinator, modulus_bits=256, value_bits=64,
+                     rng=seeded_rng(73))
+    proxy.create_table(
+        "pay",
+        [("id", ValueType.int_()), ("salary", ValueType.decimal(2))],
+        [(i, 100.0 + i) for i in range(1, 13)],
+        sensitive=["salary"],
+        rng=seeded_rng(74),
+        shard_by="id",
+    )
+    return SDBShell(proxy)
+
+
+def test_shards_command_lists_cluster(cluster_shell):
+    out = cluster_shell.execute_line("\\shards")
+    assert "cluster: 3 shard(s)" in out
+    assert "shard 0 primary" in out
+    assert "by id" in out
+    assert out.count("pay=") == 3
+
+
+def test_shards_command_without_cluster(shell):
+    assert "not a cluster" in shell.execute_line("\\shards")
+
+
+def test_cluster_shell_query_and_ddl(cluster_shell):
+    out = cluster_shell.execute_line("SELECT SUM(salary) AS t FROM pay")
+    assert "1278" in out
+    out = cluster_shell.execute_line(
+        "CREATE TABLE notes (k INT, body STRING(16) ENCRYPTED) SHARD BY (k)"
+    )
+    assert "0 row(s) affected" in out
+    out = cluster_shell.execute_line("\\shards")
+    assert "notes=0 rows by k" in out
+
+
+def test_statements_shows_cache_metrics(shell):
+    shell.execute_line("\\prepare q SELECT id FROM pay WHERE salary > ?")
+    out = shell.execute_line("\\statements")
+    assert "0 evictions" in out
+    assert "never used" in out
+    shell.execute_line("\\exec q 90")
+    out = shell.execute_line("\\statements")
+    assert "1 execution(s)" in out
+    assert "last used" in out
+    assert "signatures (int)" in out
+
+
+def test_shards_flag_rejects_conflicting_deployments():
+    from repro.cli.shell import main
+
+    with pytest.raises(SystemExit, match="deployment shape"):
+        main(["--shards", "2", "--durable", "/tmp/nope"])

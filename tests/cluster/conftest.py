@@ -1,0 +1,56 @@
+"""Fixtures for the cluster suite: matched single-node and 4-shard setups."""
+
+import datetime
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("region", ValueType.string(8)),
+    ("amount", ValueType.decimal(2)),
+    ("day", ValueType.date()),
+]
+
+REGIONS = ["east", "west", "north", "south"]
+
+ROWS = [
+    (
+        i,
+        REGIONS[i % 4],
+        float((i * 37) % 500) + 0.25,
+        datetime.date(2024, 1, 1) + datetime.timedelta(days=i % 90),
+    )
+    for i in range(1, 61)
+]
+
+
+def load_pay(conn, shard_by=None):
+    conn.proxy.create_table(
+        "pay", COLUMNS, ROWS, sensitive=["amount"],
+        rng=seeded_rng(7), shard_by=shard_by,
+    )
+
+
+@pytest.fixture()
+def single():
+    """A plain single-node deployment over the same data (ground truth)."""
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64, rng=seeded_rng(5)
+    )
+    load_pay(conn)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture()
+def cluster():
+    """(connection, coordinator) over four in-process shards."""
+    conn = api.connect(shards=4, modulus_bits=256, value_bits=64, rng=seeded_rng(6))
+    load_pay(conn, shard_by="id")
+    yield conn, conn.proxy.server
+    conn.close()

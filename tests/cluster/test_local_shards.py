@@ -1,0 +1,35 @@
+"""Subprocess shard daemons end to end (the bench_e14 configuration)."""
+
+import repro.api as api
+from repro.cluster import launch_local_shards
+from repro.core.meta import ValueType
+from repro.crypto.prf import seeded_rng
+
+
+def test_subprocess_shards_scatter_gather():
+    with launch_local_shards(2) as shards:
+        assert len(shards.endpoints) == 2
+        coordinator = shards.coordinator()
+        try:
+            conn = api.connect(
+                server=coordinator, modulus_bits=256, value_bits=64,
+                rng=seeded_rng(41),
+            )
+            conn.proxy.create_table(
+                "t",
+                [("k", ValueType.int_()), ("v", ValueType.decimal(2))],
+                [(i, float(i)) for i in range(1, 21)],
+                sensitive=["v"],
+                rng=seeded_rng(42),
+                shard_by="k",
+            )
+            statuses = coordinator.shard_status()
+            assert [s["shard_id"] for s in statuses] == [0, 1]
+            assert sum(s["tables"]["t"] for s in statuses) == 20
+            cur = conn.cursor()
+            cur.execute("SELECT SUM(v) AS s FROM t")
+            assert cur.fetchall() == [(210.0,)]
+            assert coordinator.last_scatter.mode == "scatter"
+            conn.close()
+        finally:
+            coordinator.close()

@@ -1,0 +1,44 @@
+"""PRF shard routing: determinism, type stability, independence."""
+
+import datetime
+import decimal
+
+from repro.cluster.router import canonical_bytes, shard_bucket
+
+KEY = b"k" * 32
+
+
+def test_bucket_is_deterministic():
+    assert shard_bucket(KEY, "t", "c", 42) == shard_bucket(KEY, "t", "c", 42)
+
+
+def test_equal_logical_values_route_together():
+    base = shard_bucket(KEY, "t", "c", 1)
+    assert shard_bucket(KEY, "t", "c", 1.0) == base
+    assert shard_bucket(KEY, "t", "c", decimal.Decimal("1.0")) == base
+    assert shard_bucket(KEY, "t", "c", True) == base
+
+
+def test_distinct_values_route_apart():
+    buckets = {shard_bucket(KEY, "t", "c", i) % 64 for i in range(256)}
+    # 256 values over 64 buckets: a broken PRF would collapse to a few
+    assert len(buckets) > 48
+
+
+def test_table_and_column_give_independent_permutations():
+    assert shard_bucket(KEY, "a", "c", 7) != shard_bucket(KEY, "b", "c", 7)
+    assert shard_bucket(KEY, "t", "x", 7) != shard_bucket(KEY, "t", "y", 7)
+
+
+def test_key_gives_independent_permutation():
+    assert shard_bucket(KEY, "t", "c", 7) != shard_bucket(b"j" * 32, "t", "c", 7)
+
+
+def test_canonical_bytes_type_tags():
+    assert canonical_bytes(None) == b"n:"
+    assert canonical_bytes(12) == b"i:12"
+    assert canonical_bytes("12") == b"s:12"
+    assert canonical_bytes(1.5) == b"d:1.5"
+    assert canonical_bytes(datetime.date(2024, 1, 31)) == b"t:2024-01-31"
+    # a string can never collide with an int's encoding structurally
+    assert canonical_bytes("i:12") != canonical_bytes(12)
