@@ -1,0 +1,114 @@
+"""One session driver for ``bench_e15_concurrency.py`` (runs as a subprocess).
+
+Each worker is a full client process: it derives the *same* system keys as
+the loader (deterministic seeded RNG -- the same mechanism a second shell
+session uses to reattach to running shard daemons), re-uploads the
+identical encrypted table (idempotent: same seeds produce the same
+ciphertexts), prepares the workload statement, and then runs timed rounds
+on command:
+
+    READY                     -> worker is warmed and waiting
+    GO\\n   (on stdin)         -> one timed round; prints a JSON result line
+    EXIT\\n (on stdin)         -> clean shutdown
+
+The parent orders the GOs: one worker at a time for the serialized
+baseline, all at once for the concurrent measurement.
+"""
+
+import datetime
+import json
+import sys
+import time
+
+
+def build_rows(count):
+    base = datetime.date(1994, 1, 1)
+    return [
+        (
+            i,
+            base + datetime.timedelta(days=(i * 17) % 720),
+            float((i * 37) % 90 + 10) + 0.99,
+            (i * 13) % 49 + 1,
+        )
+        for i in range(1, count + 1)
+    ]
+
+
+SQL = (
+    "SELECT l_orderkey, l_extendedprice FROM lineitem "
+    "WHERE l_quantity < ? ORDER BY l_orderkey"
+)
+
+
+def load(conn, rows):
+    from repro.core.meta import ValueType
+    from repro.crypto.prf import seeded_rng
+
+    conn.proxy.create_table(
+        "lineitem",
+        [
+            ("l_orderkey", ValueType.int_()),
+            ("l_shipdate", ValueType.date()),
+            ("l_extendedprice", ValueType.decimal(2)),
+            ("l_quantity", ValueType.int_()),
+        ],
+        rows,
+        sensitive=["l_extendedprice"],
+        rng=seeded_rng(151),
+        shard_by="l_orderkey",
+        replace=True,
+    )
+
+
+def main() -> None:
+    import repro.api as api
+    from repro.crypto.prf import seeded_rng
+
+    ports = [int(p) for p in sys.argv[1].split(",")]
+    modulus_bits = int(sys.argv[2])
+    row_count = int(sys.argv[3])
+    executions = int(sys.argv[4])
+
+    conn = api.connect(
+        shards=[f"127.0.0.1:{port}" for port in ports],
+        modulus_bits=modulus_bits,
+        value_bits=64,
+        rng=seeded_rng(150),  # same seed as the loader: identical keys
+    )
+    load(conn, build_rows(row_count))
+    statement = conn.prepare(SQL)
+    cursor = conn.cursor()
+
+    def round_once():
+        total = 0.0
+        fetched = 0
+        cursor.execute(statement, [25])
+        for _key, price in cursor.fetchall():
+            total += price
+            fetched += 1
+        return fetched, round(total, 2)
+
+    round_once()  # warm: route classification, per-shard prepared handles
+    print("READY", flush=True)
+    for line in sys.stdin:
+        command = line.strip()
+        if command == "EXIT":
+            break
+        if command != "GO":
+            continue
+        start = time.perf_counter()
+        fetched = checksum = None
+        for _ in range(executions):
+            fetched, checksum = round_once()
+        elapsed = time.perf_counter() - start
+        print(
+            json.dumps(
+                {"elapsed": elapsed, "rows": fetched, "checksum": checksum}
+            ),
+            flush=True,
+        )
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

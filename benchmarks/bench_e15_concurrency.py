@@ -1,0 +1,205 @@
+"""E15 -- session concurrency: 4 concurrent read sessions vs serialized.
+
+The concurrency redesign replaced the per-server global statement lock
+with explicit sessions: a readers-writer execution lock (reads overlap,
+DML is exclusive), a session-keyed dispatch pool in the net daemon, and a
+coordinator that scatters *different sessions'* partials over the shard
+pool concurrently.  This bench stands that up end to end: four shard
+daemons (separate interpreter processes) and four fully independent
+client *session processes* (same deterministic keys -- the reattach
+mechanism) running a prepared, decrypt-heavy scan workload.
+
+Measured claims:
+
+* running the four sessions **concurrently** yields **>= 2x** the
+  aggregate throughput of running exactly the same sessions one after
+  the other (acceptance bar; asserted outside smoke mode on >= 4 usable
+  cores -- on fewer cores everything time-slices and the bench instead
+  asserts the concurrency machinery costs bounded overhead);
+* every session, in both phases, decrypts the **identical** result
+  (checksummed row sums): concurrency changes when work runs, never what
+  any session observes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import (
+    ResultTable,
+    bench_smoke,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.cluster import launch_local_shards
+from repro.crypto.prf import seeded_rng
+
+ROWS = smoke_scaled(1200, 200)
+MODULUS_BITS = 256
+EXECUTIONS = smoke_scaled(6, 2)
+SESSIONS = 4
+NUM_SHARDS = 4
+#: acceptance bar: 4 concurrent sessions vs the same sessions serialized
+MIN_SPEEDUP = 2.0
+#: concurrency must not cost more than this over serialized, even on 1 core
+MAX_OVERHEAD_FACTOR = 1.6
+
+WORKER = Path(__file__).with_name("_e15_worker.py")
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+class Worker:
+    """One session subprocess, driven over stdin/stdout."""
+
+    def __init__(self, ports):
+        env = dict(os.environ)
+        source_root = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, str(WORKER),
+                ",".join(str(p) for p in ports),
+                str(MODULUS_BITS), str(ROWS), str(EXECUTIONS),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def wait_ready(self) -> None:
+        line = self.process.stdout.readline().strip()
+        if line != "READY":
+            raise RuntimeError(
+                f"worker failed to start: {line!r}\n"
+                + (self.process.stderr.read() or "")
+            )
+
+    def go(self) -> None:
+        self.process.stdin.write("GO\n")
+        self.process.stdin.flush()
+
+    def result(self) -> dict:
+        line = self.process.stdout.readline().strip()
+        if not line:
+            raise RuntimeError(
+                "worker died: " + (self.process.stderr.read() or "")
+            )
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self.process.stdin.write("EXIT\n")
+            self.process.stdin.flush()
+        except OSError:
+            pass
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+
+
+def test_concurrent_sessions_throughput():
+    table = ResultTable(
+        "E15: 4 concurrent sessions vs serialized (4-shard cluster)",
+        ["phase", "wall s", "sum of session s", "rows/session"],
+    )
+    report = {
+        "rows": ROWS, "modulus_bits": MODULUS_BITS,
+        "executions": EXECUTIONS, "sessions": SESSIONS,
+        "num_shards": NUM_SHARDS,
+    }
+
+    with launch_local_shards(NUM_SHARDS) as shards:
+        ports = [port for _host, port in shards.endpoints]
+        # the loader seeds the cluster (workers re-derive the same keys)
+        loader = api.connect(
+            shards=[f"127.0.0.1:{p}" for p in ports],
+            modulus_bits=MODULUS_BITS, value_bits=64, rng=seeded_rng(150),
+        )
+        sys.path.insert(0, str(WORKER.parent))
+        try:
+            import _e15_worker as worker_mod
+
+            worker_mod.load(loader, worker_mod.build_rows(ROWS))
+        finally:
+            sys.path.pop(0)
+
+        workers = []
+        try:
+            for _ in range(SESSIONS):
+                worker = Worker(ports)
+                workers.append(worker)
+                # serialize startup: uploads are idempotent but must not
+                # interleave with another worker's warm-up execution
+                worker.wait_ready()
+
+            # phase 1: serialized -- one session at a time, summed
+            serial_results = []
+            serial_s = 0.0
+            for worker in workers:
+                worker.go()
+                result = worker.result()
+                serial_results.append(result)
+                serial_s += result["elapsed"]
+
+            # phase 2: concurrent -- all sessions at once, wall clock
+            start = time.perf_counter()
+            for worker in workers:
+                worker.go()
+            concurrent_results = [worker.result() for worker in workers]
+            concurrent_s = time.perf_counter() - start
+        finally:
+            for worker in workers:
+                worker.close()
+            loader.close()
+
+    checksums = {r["checksum"] for r in serial_results + concurrent_results}
+    rows_fetched = {r["rows"] for r in serial_results + concurrent_results}
+    speedup = serial_s / concurrent_s
+    cores = _usable_cores()
+
+    table.add("serialized", serial_s, serial_s, sorted(rows_fetched)[0])
+    table.add(
+        "concurrent", concurrent_s,
+        sum(r["elapsed"] for r in concurrent_results), sorted(rows_fetched)[0],
+    )
+    table.note(f"aggregate speedup: {speedup:.2f}x on {cores} usable core(s) "
+               f"(bar: >= {MIN_SPEEDUP}x on >= {NUM_SHARDS} cores)")
+    table.note(f"checksums identical across phases: {sorted(checksums)}")
+    table.emit()
+    report.update(
+        serial_s=serial_s, concurrent_s=concurrent_s, speedup=speedup,
+        usable_cores=cores,
+    )
+    write_bench_json("e15_concurrency", {**table.to_dict(), **report})
+
+    # identical results: concurrency never changes what a session decrypts
+    assert len(checksums) == 1 and len(rows_fetched) == 1
+    assert sorted(rows_fetched)[0] > 0
+    if not bench_smoke():
+        # concurrency machinery must stay work-conserving even time-sliced
+        assert concurrent_s <= serial_s * MAX_OVERHEAD_FACTOR, (
+            f"concurrency overhead {concurrent_s / serial_s:.2f}x"
+        )
+        if cores >= NUM_SHARDS:
+            assert speedup >= MIN_SPEEDUP, (
+                f"4 concurrent sessions only {speedup:.2f}x over serialized "
+                f"on {cores} cores"
+            )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

@@ -39,8 +39,24 @@ Highlights:
   once and EXECUTE carries only bindings.
 * Every connection has an LRU statement cache (``cache_info()``), so even
   plain string re-execution skips parse + rewrite.
+* Every deployment shape satisfies the typed :class:`~repro.api.backend.Backend`
+  protocol, and every connection owns an
+  :class:`~repro.api.backend.ExecutionContext` (session id, snapshot
+  epoch, statement-cache handle, leakage accumulator) -- the explicit
+  session model that replaced the per-server global lock.  Read-only
+  statements from different sessions execute concurrently; DML/DDL runs
+  exclusively and bumps the snapshot epoch.
+* The same session surface exists in ``async``/``await`` form:
+  ``repro.api.aio`` (``aconnect() -> AsyncConnection -> AsyncCursor``),
+  differentially pinned row-for-row against this module.
 """
 
+from repro.api.backend import (
+    Backend,
+    ClusterBackend,
+    ExecutionContext,
+    ShardBackend,
+)
 from repro.api.connection import CacheInfo, Connection, connect
 from repro.api.cursor import Cursor
 from repro.api.exceptions import (
@@ -69,6 +85,10 @@ __all__ = [
     "Statement",
     "SelectExecution",
     "CacheInfo",
+    "Backend",
+    "ShardBackend",
+    "ClusterBackend",
+    "ExecutionContext",
     "apilevel",
     "threadsafety",
     "paramstyle",

@@ -15,6 +15,7 @@ from collections import OrderedDict, namedtuple
 from typing import Optional, Sequence
 
 from repro.api import exceptions as exc
+from repro.api.backend import ExecutionContext
 from repro.api.cursor import Cursor
 from repro.api.statement import Statement
 from repro.sql import ast
@@ -51,6 +52,17 @@ class Connection:
         # (with its buffered rows) just so close() can reach it
         self._cursors: weakref.WeakSet = weakref.WeakSet()
         self._in_txn = False
+        #: this session's execution context: identity, last observed
+        #: snapshot epoch, statement-cache handle, leakage accumulator.
+        #: Threaded through cursor -> statement -> proxy; the session id
+        #: also tags wire requests so a networked SP keys its dispatch
+        #: (and per-session statistics) by session.
+        self.context = ExecutionContext(statements=self._cache)
+        remote_session = getattr(proxy.server, "session_id", None)
+        if remote_session is not None:
+            # a wire client allocated its own session identity; adopt it
+            # so client- and server-side views of the session line up
+            self.context.session_id = remote_session
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -177,7 +189,9 @@ class Connection:
 
     def _txn(self, kind: str) -> None:
         try:
-            self.proxy.execute_statement(ast.TxnControl(kind=kind))
+            self.proxy.execute_statement(
+                ast.TxnControl(kind=kind), context=self.context
+            )
         except exc.Error:
             raise
         except Exception as error:

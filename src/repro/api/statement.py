@@ -181,6 +181,7 @@ class Statement:
                 f"got {len(params)}"
             )
         proxy = self.proxy
+        context = self.connection.context
         variant = self._variant_for(params)
         t_bind = time.perf_counter()
         literals = variant.plan.bind_slots(proxy.store.keys.n, params)
@@ -194,12 +195,21 @@ class Statement:
             # identity check re-prepares after a server swap (e.g. crash
             # recovery replacing proxy.server) so a stale handle can never
             # alias a fresh one.
-            variant.stmt_id = server.prepare_query(variant.plan.query)
+            variant.stmt_id = server.prepare_query(
+                variant.plan.query, session=context.session_id
+            )
             variant.server_id = id(server)
             self._server_handles.append([server, variant.stmt_id])
-        result_id, num_rows = server.execute_prepared(variant.stmt_id, literals)
+        result_id, num_rows = server.execute_prepared(
+            variant.stmt_id, literals, session=context.session_id
+        )
         server_s = time.perf_counter() - t0
         self._mark_used()
+        # snapshot-epoch observation: in-process backends expose the epoch
+        # as a plain attribute; wire backends make it an explicit call, so
+        # the opportunistic read stays free of extra round trips
+        epoch = getattr(server, "epoch", None)
+        context.observe_epoch(epoch if isinstance(epoch, int) else None)
         # cluster deployments report how the query was routed (and what the
         # routing itself leaked); read it keyed by our result id so a
         # concurrent session's route can never be attributed to this one
@@ -215,6 +225,9 @@ class Statement:
         if not variant.charged:
             variant.charged = True
             rewrite_s += variant.rewrite_s
+        context.record_statement(
+            variant.plan.leakage + (tuple(scatter.leakage) if scatter else ())
+        )
         return SelectExecution(
             statement=self,
             variant=variant,
@@ -235,9 +248,13 @@ class Statement:
         """
         self._check_open()
         bound = bind_parameters(self.parsed, tuple(params))
-        result = self.proxy.execute_statement(bound)
+        context = self.connection.context
+        result = self.proxy.execute_statement(bound, context=context)
         self._parse_charged = True
         self._mark_used()
+        context.record_statement(result.leakage)
+        epoch = getattr(self.proxy.server, "epoch", None)
+        context.observe_epoch(epoch if isinstance(epoch, int) else None)
         if self.kind == "txn":
             # keep the connection's transaction flag honest for SQL-level
             # BEGIN/COMMIT/ROLLBACK, so Connection.commit() after a

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.server import _MaterializedResult
+from repro.core.sync import ReadWriteLock
 from repro.core.udfs import register_sdb_udfs
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Engine
@@ -46,7 +47,10 @@ from repro.engine.partial import (
     SplitPlan,
     concat_tables,
     ineligibility,
+    merge_order_resolvable,
+    plan_group_pushdown,
     plan_split,
+    strip_table,
 )
 from repro.engine.table import Table
 from repro.engine.udf import UDFRegistry
@@ -132,39 +136,58 @@ class _ClusterStatement:
         #: execution forwards bindings straight to per-shard handles
         self.forwardable = False
         self.shard_handles: Optional[list[int]] = None
+        # plan/handle initialization is once-per-statement; concurrent
+        # sessions executing the same prepared handle must not race it
+        self._plan_lock = threading.Lock()
 
-    def execute(self, coordinator: "Coordinator", params: tuple) -> Table:
-        if self.route is None:
-            self.route = coordinator._classify(self.query)
-            if self.route[0] == "scatter":
-                self.split = plan_split(self.query, coordinator.udfs)
-                total = num_parameters(self.query)
-                self.forwardable = (
-                    num_parameters(self.split.partial) == total
-                    and num_parameters(self.split.merge) == 0
-                )
-        if self.route[0] == "scatter" and self.forwardable:
-            if self.shard_handles is None:
+    def execute(
+        self, coordinator: "Coordinator", params: tuple
+    ) -> tuple[Table, "ScatterReport"]:
+        with self._plan_lock:
+            if self.route is None:
+                self.route = coordinator._classify(self.query)
+                if self.route[0] == "scatter":
+                    self.split = coordinator._plan_scatter(
+                        self.query, self.route
+                    )
+                    total = num_parameters(self.query)
+                    self.forwardable = (
+                        num_parameters(self.split.partial) == total
+                        and num_parameters(self.split.merge) == 0
+                    )
+            if (
+                self.route[0] == "scatter"
+                and self.forwardable
+                and self.shard_handles is None
+            ):
                 self.shard_handles = [
                     shard.prepare_query(self.split.partial)
                     for shard in coordinator.shards
                 ]
-            partials = coordinator._scatter_prepared(self.shard_handles, params)
+            # snapshot under the lock: a concurrent close_prepared nulls
+            # shard_handles, and an in-flight execute must fail with the
+            # server's typed unknown-statement error, never a TypeError
+            handles = self.shard_handles
+        if self.route[0] == "scatter" and self.forwardable:
+            partials = coordinator._scatter_prepared(handles, params)
             out = coordinator._merge(self.split.merge, partials)
-            coordinator._note_scatter(self.query, self.split)
-            return out
+            report = coordinator._scatter_report_for(
+                self.query, self.split, self.route
+            )
+            return out, report
         bound = bind_parameters(self.query, params)
         return coordinator._run(bound, self.route)
 
     def close(self, coordinator: "Coordinator") -> None:
-        if self.shard_handles is None:
+        with self._plan_lock:  # serialize against in-flight planning
+            handles, self.shard_handles = self.shard_handles, None
+        if handles is None:
             return
-        for shard, handle in zip(coordinator.shards, self.shard_handles):
+        for shard, handle in zip(coordinator.shards, handles):
             try:
                 shard.close_prepared(handle)
             except Exception:
                 pass  # shard already gone
-        self.shard_handles = None
 
 
 class Coordinator:
@@ -185,15 +208,34 @@ class Coordinator:
         #: a concurrent session ran last (last_scatter is a global)
         self._scatter_by_result: dict[int, ScatterReport] = {}
         self._handle_ids = itertools.count(1)
-        self._lock = threading.RLock()
+        # Readers-writer execution lock: read-only statements (scatter,
+        # primary, fallback SELECTs) from *different sessions* run
+        # concurrently against the shards; DML/DDL/transaction control
+        # takes the write side exclusively and bumps the cluster epoch.
+        self._lock = ReadWriteLock()
+        #: cluster-level snapshot epoch (bumped by every routed mutation)
+        self._epoch = 0
+        # fast mutex for handle tables (never held across shard calls)
+        self._state_lock = threading.Lock()
+        # serializes fallback materialization (a read-path operation that
+        # writes a cache table on the primary shard); concurrent readers
+        # needing the same gather must not duplicate it
+        self._mat_lock = threading.Lock()
         # persistent scatter pool (threads start lazily on first use): the
-        # prepared hot path must not pay thread creation per execution
+        # prepared hot path must not pay thread creation per execution,
+        # and concurrent sessions need enough workers to keep every shard
+        # busy while another session's scatter is in flight
         self._pool = ThreadPoolExecutor(
-            max_workers=max(2, len(self.shards)),
+            max_workers=max(4, 2 * len(self.shards)),
             thread_name_prefix="sdb-scatter",
         )
         self.last_scatter: Optional[ScatterReport] = None
         self._bootstrap_placements()
+
+    @property
+    def epoch(self) -> int:
+        """Cluster snapshot epoch (advanced by every routed mutation)."""
+        return self._epoch
 
     def _bootstrap_placements(self) -> None:
         """Rebuild the placement map from what the shards already hold.
@@ -246,7 +288,8 @@ class Coordinator:
 
     def store_table(self, name: str, table: Table, replace: bool = False) -> None:
         """Store an unsharded table, resident on the primary shard."""
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             previous = self._placements.get(name.lower())
             self.primary.store_table(name, table, replace=replace)
             if previous is not None and previous.sharded:
@@ -279,7 +322,8 @@ class Coordinator:
             raise ShardError(
                 f"bucket count {len(buckets)} != row count {table.num_rows}"
             )
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             groups: list[list[int]] = [[] for _ in range(self.num_shards)]
             for row_index, bucket in enumerate(buckets):
                 groups[bucket % self.num_shards].append(row_index)
@@ -300,7 +344,8 @@ class Coordinator:
             self._invalidate_materialized(name)
 
     def drop_table(self, name: str) -> None:
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             placement = self._placements.pop(name.lower(), None)
             self._invalidate_materialized(name)
             if placement is not None and placement.sharded:
@@ -313,12 +358,18 @@ class Coordinator:
 
     # -- queries -------------------------------------------------------------
 
-    def execute(self, query) -> Table:
-        """Run a (rewritten) query, routed per :attr:`last_scatter`."""
+    def execute(self, query, session=None) -> Table:
+        """Run a (rewritten) query, routed per :attr:`last_scatter`.
+
+        Read-only: takes the shared side of the execution lock, so
+        different sessions scatter over the shards concurrently.
+        """
         if isinstance(query, str):
             query = parse(query)
-        with self._lock:
-            return self._run(query, self._classify(query))
+        with self._lock.read_locked():
+            table, report = self._run(query, self._classify(query))
+            self.last_scatter = report
+            return table
 
     def _classify(self, query: ast.Select) -> tuple:
         referenced = referenced_tables(query)
@@ -329,28 +380,40 @@ class Coordinator:
         )
         if not sharded:
             return ("primary", None)
-        reason = ineligibility(
-            query, self.udfs, lambda n: n.lower() in self._placements
-        )
-        if reason is None and len(sharded) == 1:
-            return ("scatter", None)
+        if len(sharded) == 1:
+            if self._group_pushdown_ok(query, sharded[0]):
+                # the group key IS the shard key: every group lives wholly
+                # on one shard, so shard-local GROUP BY results are final
+                # and the coordinator skips the re-group
+                return ("scatter", "pushdown")
+            reason = ineligibility(
+                query, self.udfs, lambda n: n.lower() in self._placements
+            )
+            if reason is None:
+                return ("scatter", None)
         return ("fallback", sharded)
 
-    def _run(self, query: ast.Select, route: tuple) -> Table:
+    def _plan_scatter(self, query: ast.Select, route: tuple) -> SplitPlan:
+        if route[1] == "pushdown":
+            return plan_group_pushdown(query)
+        return plan_split(query, self.udfs)
+
+    def _run(
+        self, query: ast.Select, route: tuple
+    ) -> tuple[Table, ScatterReport]:
         kind, extra = route
         if kind == "primary":
-            self.last_scatter = ScatterReport(
+            report = ScatterReport(
                 mode="primary",
                 shards=1,
                 reason="no sharded table referenced",
             )
-            return self.primary.execute(query)
+            return self.primary.execute(query), report
         if kind == "scatter":
-            split = plan_split(query, self.udfs)
+            split = self._plan_scatter(query, route)
             partials = self._scatter(split.partial)
             out = self._merge(split.merge, partials)
-            self._note_scatter(query, split)
-            return out
+            return out, self._scatter_report_for(query, split, route)
         return self._run_fallback(query, extra)
 
     def _scatter(self, partial: ast.Select) -> list[Table]:
@@ -382,23 +445,78 @@ class Coordinator:
         catalog.create(PARTIALS_TABLE, union)
         return Engine(catalog, self.udfs).execute(merge_query)
 
-    def _note_scatter(self, query: ast.Select, split: SplitPlan) -> None:
+    def _group_pushdown_ok(self, query: ast.Select, sharded_name: str) -> bool:
+        """Whether shard-local GROUP BY results are final for ``query``.
+
+        True when the single GROUP BY key is a bare column that *is* the
+        shard key of the one sharded table the query scans: the PRF routes
+        equal key values to the same shard, so no group spans shards and
+        per-shard grouped results concatenate into the global answer
+        (ORDER BY / LIMIT still merge coordinator-side, so the ordering
+        must be resolvable against the select outputs).  This route skips
+        the coordinator re-group entirely -- and it also covers shapes the
+        generic partial/merge planner must refuse, e.g. DISTINCT
+        aggregates, because nothing is re-aggregated.
+        """
+        if not isinstance(query.from_clause, ast.TableRef):
+            return False
+        if query.from_clause.name.lower() != sharded_name:
+            return False
+        placement = self._placements.get(sharded_name)
+        if placement is None or not placement.sharded:
+            return False
+        if query.distinct:
+            # SELECT DISTINCT dedups across *groups*; shard-local results
+            # cannot see a duplicate row produced by another shard's group
+            return False
+        if len(query.group_by) != 1:
+            return False
+        key = strip_table(query.group_by[0])
+        if not isinstance(key, ast.Column):
+            return False
+        if key.name.lower() != placement.shard_column:
+            return False
+        # no subqueries anywhere (they could read other, unsliced tables)
+        roots = [item.expr for item in query.items]
+        roots += [e for e in (query.where, query.having) if e is not None]
+        roots += list(query.group_by)
+        roots += [o.expr for o in query.order_by]
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(
+                    node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)
+                ):
+                    return False
+        return merge_order_resolvable(query)
+
+    def _scatter_report_for(
+        self, query: ast.Select, split: SplitPlan, route: tuple
+    ) -> ScatterReport:
         table_name = query.from_clause.name.lower()
-        self.last_scatter = ScatterReport(
+        if route[1] == "pushdown":
+            reason = (
+                f"shard-local GROUP BY pushdown (group key is the shard key) "
+                f"over {self.num_shards} shard(s)"
+            )
+        else:
+            reason = f"partial {split.kind} over {self.num_shards} shard(s)"
+        return ScatterReport(
             mode="scatter",
             shards=self.num_shards,
-            reason=f"partial {split.kind} over {self.num_shards} shard(s)",
+            reason=reason,
             leakage=(
                 f"cluster: each shard sees the partial query over its PRF "
                 f"bucket slice of {table_name!r} (per-shard cardinalities)",
             ),
         )
 
-    def _run_fallback(self, query: ast.Select, sharded_names: tuple) -> Table:
+    def _run_fallback(
+        self, query: ast.Select, sharded_names: tuple
+    ) -> tuple[Table, ScatterReport]:
         mapping = {name: self._materialize(name) for name in sharded_names}
         renamed = rename_tables(query, mapping)
         gathered = ", ".join(sorted(sharded_names))
-        self.last_scatter = ScatterReport(
+        report = ScatterReport(
             mode="fallback",
             shards=self.num_shards,
             reason=(
@@ -411,7 +529,7 @@ class Coordinator:
                 for name in sorted(sharded_names)
             ),
         )
-        return self.primary.execute(renamed)
+        return self.primary.execute(renamed), report
 
     def _materialize(self, name: str) -> str:
         """Gather every slice of ``name`` onto the primary; cached until DML.
@@ -422,16 +540,24 @@ class Coordinator:
         fallback query at a table that no longer exists.
         """
         full_name = MATERIALIZED_PREFIX + name.lower()
-        if name.lower() in self._materialized:
-            if full_name in self._primary_table_names():
-                return full_name
-            self._materialized.discard(name.lower())
-        slices = list(
-            self._pool.map(lambda shard: shard.shard_dump(name), self.shards)
-        )
-        self.primary.store_table(full_name, concat_tables(slices), replace=True)
-        self._materialized.add(name.lower())
-        return full_name
+        # materialization is a read-path operation (fallback queries run
+        # under the shared lock side) that writes a cache relation on the
+        # primary; its own mutex keeps concurrent readers from gathering
+        # the same table twice, and the write lock's exclusion against all
+        # readers keeps DML invalidation race-free against it
+        with self._mat_lock:
+            if name.lower() in self._materialized:
+                if full_name in self._primary_table_names():
+                    return full_name
+                self._materialized.discard(name.lower())
+            slices = list(
+                self._pool.map(lambda shard: shard.shard_dump(name), self.shards)
+            )
+            self.primary.store_table(
+                full_name, concat_tables(slices), replace=True
+            )
+            self._materialized.add(name.lower())
+            return full_name
 
     def _primary_table_names(self) -> set:
         names_fn = getattr(self.primary, "catalog_names", None)
@@ -452,7 +578,7 @@ class Coordinator:
 
     # -- DML -----------------------------------------------------------------
 
-    def execute_dml(self, statement) -> int:
+    def execute_dml(self, statement, session=None) -> int:
         """Route DML: primary tables go to the primary, sharded ones scatter.
 
         Subqueries inside a WHERE must see *whole* tables, never a shard's
@@ -467,7 +593,8 @@ class Coordinator:
             from repro.sql.parser import parse_statement
 
             statement = parse_statement(statement)
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             target = statement.table.lower()
             placement = self._placements.get(target)
             # tables the statement *reads* (subquery TableRefs; the DML
@@ -551,7 +678,8 @@ class Coordinator:
             raise ShardError(
                 f"bucket count {len(buckets)} != row count {len(statement.rows)}"
             )
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             placement = self._placements.get(statement.table.lower())
             if placement is None or not placement.sharded:
                 raise ShardError(
@@ -578,7 +706,7 @@ class Coordinator:
     # -- transactions ---------------------------------------------------------
 
     def begin(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
             started = []
             try:
                 for shard in self.shards:
@@ -593,11 +721,12 @@ class Coordinator:
                 raise
 
     def commit(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
             self._broadcast_txn("commit")
 
     def rollback(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
+            self._epoch += 1
             self._broadcast_txn("rollback")
             # slices were restored underneath any materialized copies
             for name in list(self._materialized):
@@ -615,52 +744,66 @@ class Coordinator:
 
     # -- prepared statements / streaming fetch ---------------------------------
 
-    def prepare_query(self, query) -> int:
+    def prepare_query(self, query, session=None) -> int:
         if isinstance(query, str):
             query = parse(query)
         if not isinstance(query, ast.Select):
             raise ValueError("prepare_query expects a SELECT")
-        with self._lock:
+        with self._state_lock:
             stmt_id = next(self._handle_ids)
             self._prepared[stmt_id] = _ClusterStatement(query)
             return stmt_id
 
-    def execute_prepared(self, stmt_id: int, params: Sequence = ()) -> tuple[int, int]:
-        with self._lock:
+    def execute_prepared(
+        self, stmt_id: int, params: Sequence = (), session=None
+    ) -> tuple[int, int]:
+        """Execute a prepared SELECT; read-only against the cluster.
+
+        The scatter itself runs under the shared side of the execution
+        lock, so prepared executions from different sessions overlap on
+        the shard pool; each execution's routing report is recorded per
+        result id (never via the racy ``last_scatter`` global).
+        """
+        with self._state_lock:
             try:
                 statement = self._prepared[stmt_id]
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
-            table = statement.execute(self, tuple(params))
+        with self._lock.read_locked():
+            table, report = statement.execute(self, tuple(params))
+        with self._state_lock:
             result_id = next(self._handle_ids)
             self._results[result_id] = _MaterializedResult(table)
-            if self.last_scatter is not None:
-                self._scatter_by_result[result_id] = self.last_scatter
-            return result_id, table.num_rows
+            if report is not None:
+                self._scatter_by_result[result_id] = report
+        self.last_scatter = report
+        return result_id, table.num_rows
 
     def scatter_report(self, result_id: int) -> Optional[ScatterReport]:
         """The routing report of the execution that produced ``result_id``."""
-        with self._lock:
+        with self._state_lock:
             return self._scatter_by_result.get(result_id)
 
     def fetch_rows(self, result_id: int, count: Optional[int] = None) -> Table:
-        with self._lock:
+        with self._state_lock:
             try:
                 entry = self._results[result_id]
             except KeyError:
                 raise KeyError(f"unknown result set {result_id}") from None
-            return entry.fetch(count)
+        # materialized results fetch lock-free: the table was computed
+        # atomically at execute time and belongs to one session
+        return entry.fetch(count)
 
     def close_result(self, result_id: int) -> None:
-        with self._lock:
+        with self._state_lock:
             self._results.pop(result_id, None)
             self._scatter_by_result.pop(result_id, None)
 
     def close_prepared(self, stmt_id: int) -> None:
-        with self._lock:
+        with self._state_lock:
             statement = self._prepared.pop(stmt_id, None)
-            if statement is not None:
-                statement.close(self)
+        if statement is not None:
+            statement.close(self)
 
     # -- introspection ---------------------------------------------------------
 
@@ -672,7 +815,7 @@ class Coordinator:
         state, not relations an operator placed.
         """
         internal = (MATERIALIZED_PREFIX, BROADCAST_PREFIX)
-        with self._lock:
+        with self._lock.read_locked():
             out = []
             for index, shard in enumerate(self.shards):
                 status = dict(shard.shard_status())

@@ -15,6 +15,7 @@ step 2 (parse + rewrite + decrypt vs. server execution).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
@@ -107,6 +108,10 @@ class SDBProxy:
         self._decryptor = Decryptor(self.store)
         self._rng = rng
         self._session = None  # lazily-created default repro.api Connection
+        # concurrent sessions share this proxy: serialize the mutable
+        # bookkeeping (key-store row counts, transaction snapshots) that
+        # DML statements update outside the server's own locking
+        self._meta_lock = threading.RLock()
 
     # -- uploads (demo step 1) ----------------------------------------------
 
@@ -234,22 +239,33 @@ class SDBProxy:
             return self.query(sql)
         return self.execute_statement(statement.parsed)
 
-    def execute_statement(self, statement: ast.Statement) -> DMLResult:
+    def execute_statement(
+        self, statement: ast.Statement, context=None
+    ) -> DMLResult:
         """Run an already-parsed DML or transaction-control statement.
 
         The session layer's prepared statements bind parameters into their
         parsed AST and enter the pipeline here, skipping re-parse.
+        ``context`` is the calling session's
+        :class:`~repro.api.backend.ExecutionContext`; its session id tags
+        the server submission so a concurrent backend attributes the work
+        (and its per-session statistics) correctly.
         """
+        session = context.session_id if context is not None else None
         if isinstance(statement, ast.TxnControl):
             return self._execute_txn(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create(statement)
         if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement)
+            return self._execute_insert(statement, session=session)
         if isinstance(statement, ast.Update):
-            return self._execute_dml(statement, self.rewriter.rewrite_update)
+            return self._execute_dml(
+                statement, self.rewriter.rewrite_update, session=session
+            )
         if isinstance(statement, ast.Delete):
-            return self._execute_dml(statement, self.rewriter.rewrite_delete)
+            return self._execute_dml(
+                statement, self.rewriter.rewrite_delete, session=session
+            )
         raise TypeError(
             f"execute_statement cannot run {type(statement).__name__}; "
             "SELECTs go through query() or a session cursor"
@@ -263,23 +279,24 @@ class SDBProxy:
         and deletes are rolled back.
         """
         t0 = time.perf_counter()
-        if statement.kind == "begin":
-            self.server.begin()
-            self._txn_row_counts = {
-                name: self.store.table(name).num_rows
-                for name in self.store.tables()
-            }
-        elif statement.kind == "commit":
-            self.server.commit()
-            self._txn_row_counts = None
-        else:
-            self.server.rollback()
-            saved = getattr(self, "_txn_row_counts", None)
-            if saved:
-                for name, count in saved.items():
-                    if name in self.store:
-                        self.store.table(name).num_rows = count
-            self._txn_row_counts = None
+        with self._meta_lock:
+            if statement.kind == "begin":
+                self.server.begin()
+                self._txn_row_counts = {
+                    name: self.store.table(name).num_rows
+                    for name in self.store.tables()
+                }
+            elif statement.kind == "commit":
+                self.server.commit()
+                self._txn_row_counts = None
+            else:
+                self.server.rollback()
+                saved = getattr(self, "_txn_row_counts", None)
+                if saved:
+                    for name, count in saved.items():
+                        if name in self.store:
+                            self.store.table(name).num_rows = count
+                self._txn_row_counts = None
         t1 = time.perf_counter()
         self.channel.record_query(statement.to_sql())
         return DMLResult(
@@ -347,7 +364,7 @@ class SDBProxy:
             notes=tuple(notes),
         )
 
-    def _execute_insert(self, statement: ast.Insert) -> DMLResult:
+    def _execute_insert(self, statement: ast.Insert, session=None) -> DMLResult:
         """Encrypt the VALUES rows locally and submit an encrypted INSERT.
 
         Each inserted row gets a fresh random row id, so two inserts of the
@@ -424,9 +441,10 @@ class SDBProxy:
                 "(SP learns the shard, not the value)",
             )
         else:
-            affected = self.server.execute_dml(rewritten)
+            affected = self.server.execute_dml(rewritten, session=session)
         t3 = time.perf_counter()
-        meta.num_rows += affected
+        with self._meta_lock:
+            meta.num_rows += affected
         insensitive = [
             c.name for c in meta.columns.values() if not c.sensitive
         ]
@@ -444,16 +462,17 @@ class SDBProxy:
             notes=("values encrypted at the proxy with fresh row ids",),
         )
 
-    def _execute_dml(self, statement, rewrite) -> DMLResult:
+    def _execute_dml(self, statement, rewrite, session=None) -> DMLResult:
         t0 = time.perf_counter()
         plan = rewrite(statement)
         t1 = time.perf_counter()
         self.channel.record_query(plan.sql)
-        affected = self.server.execute_dml(plan.statement)
+        affected = self.server.execute_dml(plan.statement, session=session)
         t2 = time.perf_counter()
         meta = self.store.table(statement.table)
         if isinstance(statement, ast.Delete):
-            meta.num_rows -= affected
+            with self._meta_lock:
+                meta.num_rows -= affected
         return DMLResult(
             affected=affected,
             rewritten_sql=plan.sql,

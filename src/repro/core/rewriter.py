@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -243,6 +245,24 @@ def _column_rexpr(binding: str, meta) -> RExpr:
     return RExpr(node=node, vtype=meta.vtype)
 
 
+def _serialized(method):
+    """Serialize an entry point on the rewriter's lock.
+
+    The rewriter keeps per-rewrite scratch state (leakage, notes, param
+    slots, hidden-name counter) on ``self``; concurrent sessions sharing
+    one proxy must not interleave rewrites.  The lock is re-entrant and
+    held only for the rewrite itself -- plans are cached per statement, so
+    it is never on the per-execution hot path.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._rewrite_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class Rewriter:
     """Rewrites application queries for one key store."""
 
@@ -261,9 +281,11 @@ class Rewriter:
         self._hidden_counter = 0
         self._param_types: tuple = ()
         self._param_slots: list[ParamSlot] = []
+        self._rewrite_lock = threading.RLock()
 
     # -- entry point --------------------------------------------------------
 
+    @_serialized
     def rewrite(self, query: ast.Select, param_types=()) -> RewrittenQuery:
         """Rewrite ``query``; ``param_types`` declares placeholder vtypes.
 
@@ -305,6 +327,7 @@ class Rewriter:
 
     # -- DML -----------------------------------------------------------------
 
+    @_serialized
     def rewrite_update(self, statement: ast.Update):
         """Rewrite an UPDATE so it runs entirely at the SP.
 
@@ -390,6 +413,7 @@ class Rewriter:
             notes=tuple(self._notes),
         )
 
+    @_serialized
     def rewrite_delete(self, statement: ast.Delete):
         """Rewrite a DELETE's predicate; row removal itself is public."""
         from repro.core.plan import RewrittenDML

@@ -12,13 +12,30 @@ from __future__ import annotations
 
 import itertools
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.core.sync import ReadWriteLock
 from repro.core.udfs import AGGREGATE_UDFS, SCALAR_UDFS, register_sdb_udfs
 from repro.engine import Catalog, Engine, Table
 from repro.engine.udf import UDFRegistry, rows_from_args
 from repro.sql import ast
+
+
+class StaleSnapshotError(RuntimeError):
+    """A pipelined result set outlived the snapshot it was opened against.
+
+    Generator-backed (streaming) results snapshot their source columns at
+    execute time, so ordinary DML landing between fetches cannot corrupt
+    them (pinned by the streaming tests).  What a snapshot *cannot*
+    survive is its provenance being rewritten wholesale: a transaction
+    rollback restoring the table, or the table being dropped/re-created.
+    Fetching from a streaming result after such an invalidation raises
+    this error instead of silently serving rows from a state that no
+    longer (officially) ever existed.  The session layer maps it onto
+    ``repro.api.OperationalError``; materialized results are immune.
+    """
 
 
 @dataclass
@@ -41,12 +58,17 @@ class _MaterializedResult:
     def __init__(self, table: Table):
         self.table = table
         self.offset = 0
+        # a result normally belongs to one session, but nothing stops two
+        # wire requests from fetching the same result id; the old global
+        # server lock serialized that, so the per-result lock keeps it safe
+        self._fetch_lock = threading.Lock()
 
     def fetch(self, count: Optional[int]) -> Table:
-        stop = None if count is None else self.offset + count
-        chunk = self.table.slice(self.offset, stop)
-        self.offset += chunk.num_rows
-        return chunk
+        with self._fetch_lock:
+            stop = None if count is None else self.offset + count
+            chunk = self.table.slice(self.offset, stop)
+            self.offset += chunk.num_rows
+            return chunk
 
 
 class _StreamingResult:
@@ -58,11 +80,21 @@ class _StreamingResult:
     with the same rules the materializing path applies to whole results.
     """
 
-    def __init__(self, names: Sequence[str], rows):
+    def __init__(self, names: Sequence[str], rows, source: str = "", version: int = 0):
         self._names = list(names)
         self._rows = rows
+        #: source table and its snapshot version at open (stale-read guard)
+        self.source = source
+        self.version = version
+        # concurrent fetches of one result id must not race the generator
+        # ("generator already executing"); the old global lock prevented it
+        self._fetch_lock = threading.Lock()
 
     def fetch(self, count: Optional[int]) -> Table:
+        with self._fetch_lock:
+            return self._fetch_locked(count)
+
+    def _fetch_locked(self, count: Optional[int]) -> Table:
         from repro.engine.columnar import infer_column_spec
         from repro.engine.schema import Schema
 
@@ -123,29 +155,103 @@ class SDBServer:
         self.transcript = Transcript()
         self._instrument = instrument
         self._udf_sample_limit = udf_sample_limit
-        # one statement at a time: the networked deployment serves several
-        # proxies from threads, and DML mutates tables in place
-        self._lock = threading.RLock()
+        # Readers-writer execution lock: read-only statements against the
+        # current snapshot epoch run concurrently; DML/DDL/rollback take
+        # the write side exclusively and bump the epoch.  Instrumented
+        # servers still serialize everything -- their transcript ordering
+        # is part of the observable.
+        self._lock = ReadWriteLock()
+        #: monotonically increasing data version; bumped by every mutation
+        self._epoch = 0
+        #: per-table snapshot versions, bumped only when a snapshot taken
+        #: earlier can no longer be served honestly (rollback restore,
+        #: drop, re-create) -- ordinary DML keeps snapshots valid
+        self._table_versions: dict[str, int] = {}
+        # fast mutex for handle tables and other micro-state (never held
+        # across engine execution)
+        self._state_lock = threading.Lock()
         self._undo: Optional[dict] = None  # table -> column snapshots
         # prepared statements and open (streamable) result sets
         self._prepared: dict[int, ast.Select] = {}
         #: open result sets: materialized tables or pipelined row generators
         self._results: dict[int, object] = {}
         self._handle_ids = itertools.count(1)
+        #: per-session statement counters, keyed by the ExecutionContext /
+        #: wire session id that submitted the work (None: anonymous).
+        #: LRU-bounded: a long-lived daemon serving many short-lived
+        #: connections must not grow one entry per historical session.
+        self.session_stats: "OrderedDict" = OrderedDict()
+        self.session_stats_limit = 512
         if instrument:
             self._wrap_udfs()
+
+    # -- snapshot epochs / sessions ---------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current snapshot epoch (bumped by every data mutation)."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        # only ever called with the write side held
+        self._epoch += 1
+
+    def _invalidate_snapshots(self, name: str) -> None:
+        """Mark open streaming snapshots of ``name`` as unservable."""
+        key = name.lower()
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+
+    def _table_version(self, name: str) -> int:
+        return self._table_versions.get(name.lower(), 0)
+
+    def _note_session(self, session, kind: str) -> None:
+        if session is None:
+            return
+        with self._state_lock:
+            stats = self.session_stats.setdefault(
+                session, {"reads": 0, "writes": 0}
+            )
+            stats[kind] += 1
+            self.session_stats.move_to_end(session)
+            while len(self.session_stats) > self.session_stats_limit:
+                self.session_stats.popitem(last=False)
+
+    def session_stats_snapshot(self) -> dict:
+        """A consistent copy of the per-session counters (wire-safe)."""
+        with self._state_lock:
+            return {
+                key: dict(stats) for key, stats in self.session_stats.items()
+            }
+
+    def _read_side(self):
+        """The lock guard for read-only statements.
+
+        Instrumented servers run exclusively even for reads: the
+        transcript is an ordered record of what an SP-resident attacker
+        observes, and interleaved appends would scramble it.
+        """
+        if self._instrument:
+            return self._lock.write_locked()
+        return self._lock.read_locked()
 
     # -- storage -----------------------------------------------------------
 
     def store_table(self, name: str, table: Table, replace: bool = False) -> None:
-        self.catalog.create(name, table, replace=replace)
-        # a plain store is placement-less: re-creating a once-sharded table
-        # must not leave stale slice metadata behind (SHARD_STORE re-adds it)
-        self.shard_placements.pop(name.lower(), None)
+        with self._lock.write_locked():
+            self.catalog.create(name, table, replace=replace)
+            # a plain store is placement-less: re-creating a once-sharded
+            # table must not leave stale slice metadata behind (SHARD_STORE
+            # re-adds it)
+            self.shard_placements.pop(name.lower(), None)
+            self._bump_epoch()
+            self._invalidate_snapshots(name)
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop(name)
-        self.shard_placements.pop(name.lower(), None)
+        with self._lock.write_locked():
+            self.catalog.drop(name)
+            self.shard_placements.pop(name.lower(), None)
+            self._bump_epoch()
+            self._invalidate_snapshots(name)
 
     # -- shard surface (SHARD_* wire ops; coordinator-facing) ------------------
     #
@@ -165,39 +271,48 @@ class SDBServer:
         replace: bool = False,
     ) -> int:
         """Store one placement slice; returns its row count."""
-        self.store_table(name, table, replace=replace)
-        if placement:
-            self.shard_placements[name.lower()] = dict(placement)
-            if self.shard_id is None and "index" in placement:
-                self.shard_id = int(placement["index"])
-        return table.num_rows
+        with self._lock.write_locked():
+            self.store_table(name, table, replace=replace)
+            if placement:
+                self.shard_placements[name.lower()] = dict(placement)
+                if self.shard_id is None and "index" in placement:
+                    self.shard_id = int(placement["index"])
+            return table.num_rows
 
     def shard_dump(self, name: str) -> Table:
         """The stored relation, schema-exact (gather for fallback queries)."""
-        return self.catalog.get(name)
+        with self._lock.read_locked():
+            return self.catalog.get(name)
 
     def shard_status(self) -> dict:
         """Identity and holdings, as reported over the SHARD_STATUS op."""
-        return {
-            "shard_id": self.shard_id,
-            "tables": {
-                name: self.catalog.get(name).num_rows
-                for name in self.catalog.names()
-            },
-            "placements": {
-                name: dict(p) for name, p in self.shard_placements.items()
-            },
-        }
+        with self._lock.read_locked():
+            return {
+                "shard_id": self.shard_id,
+                "tables": {
+                    name: self.catalog.get(name).num_rows
+                    for name in self.catalog.names()
+                },
+                "placements": {
+                    name: dict(p) for name, p in self.shard_placements.items()
+                },
+            }
 
-    def execute_partial(self, query) -> Table:
+    def execute_partial(self, query, session=None) -> Table:
         """Run one scatter partial query (same trust surface as execute)."""
-        return self.execute(query)
+        return self.execute(query, session=session)
 
     # -- query processing --------------------------------------------------------
 
-    def execute(self, query) -> Table:
-        """Run a (rewritten) query.  The SP never sees keys or plaintext."""
-        with self._lock:
+    def execute(self, query, session=None) -> Table:
+        """Run a (rewritten) query.  The SP never sees keys or plaintext.
+
+        Read-only: takes the shared side of the execution lock, so
+        statements from different sessions run concurrently against the
+        current snapshot epoch.
+        """
+        self._note_session(session, "reads")
+        with self._read_side():
             if self._instrument:
                 sql = query if isinstance(query, str) else query.to_sql()
                 self.transcript.queries.append(sql)
@@ -206,18 +321,28 @@ class SDBServer:
                 self.transcript.results.append(result)
             return result
 
-    def execute_dml(self, statement) -> int:
-        """Run a (rewritten) INSERT/UPDATE/DELETE; returns affected rows."""
-        with self._lock:
-            if self._instrument:
-                sql = statement if isinstance(statement, str) else statement.to_sql()
-                self.transcript.queries.append(sql)
-            if isinstance(statement, str):
-                from repro.sql.parser import parse_statement
+    def execute_dml(self, statement, session=None) -> int:
+        """Run a (rewritten) INSERT/UPDATE/DELETE; returns affected rows.
 
-                statement = parse_statement(statement)
+        Takes the exclusive side of the execution lock and bumps the
+        snapshot epoch: open pipelined result sets from earlier epochs
+        fail fast (:class:`StaleSnapshotError`) instead of mixing state.
+        """
+        self._note_session(session, "writes")
+        sql = None
+        if self._instrument:
+            sql = statement if isinstance(statement, str) else statement.to_sql()
+        if isinstance(statement, str):
+            from repro.sql.parser import parse_statement
+
+            statement = parse_statement(statement)
+        with self._lock.write_locked():
+            if self._instrument:
+                self.transcript.queries.append(sql)
             self._remember_for_undo(statement.table)
-            return self.engine.execute_dml(statement)
+            affected = self.engine.execute_dml(statement)
+            self._bump_epoch()
+            return affected
 
     # -- prepared statements / streaming results ------------------------------
     #
@@ -227,7 +352,7 @@ class SDBServer:
     # the application actually reads.  The same four entry points back the
     # networked deployment's PREPARE / EXECUTE_PREPARED / FETCH / CLOSE ops.
 
-    def prepare_query(self, query) -> int:
+    def prepare_query(self, query, session=None) -> int:
         """Register a (rewritten) SELECT; returns a statement handle."""
         if isinstance(query, str):
             from repro.sql.parser import parse
@@ -235,12 +360,14 @@ class SDBServer:
             query = parse(query)
         if not isinstance(query, ast.Select):
             raise ValueError("prepare_query expects a SELECT")
-        with self._lock:
+        with self._state_lock:
             stmt_id = next(self._handle_ids)
             self._prepared[stmt_id] = query
             return stmt_id
 
-    def execute_prepared(self, stmt_id: int, params: Sequence = ()) -> tuple[int, int]:
+    def execute_prepared(
+        self, stmt_id: int, params: Sequence = (), session=None
+    ) -> tuple[int, int]:
         """Bind ``params`` and run; returns ``(result_id, num_rows)``.
 
         The result stays server-side until fetched or closed;
@@ -254,39 +381,72 @@ class SDBServer:
         """
         from repro.sql.params import bind_parameters
 
-        with self._lock:
+        with self._state_lock:
             try:
                 query = self._prepared[stmt_id]
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
-            bound = bind_parameters(query, params)
+        bound = bind_parameters(query, params)
+        if not self._instrument:
+            execute_iter = getattr(self.engine, "execute_iter", None)
+            if execute_iter is not None:
+                # open the pipeline under the read side: the snapshot of
+                # the column lists must not interleave with a writer, and
+                # the epoch it is tagged with must match that snapshot
+                self._note_session(session, "reads")
+                with self._read_side():
+                    pipeline = execute_iter(bound)
+                    if pipeline is not None:
+                        names, rows = pipeline
+                        source = bound.from_clause.name.lower()
+                        entry = _StreamingResult(
+                            names, rows, source=source,
+                            version=self._table_version(source),
+                        )
+                        with self._state_lock:
+                            result_id = next(self._handle_ids)
+                            self._results[result_id] = entry
+                        return result_id, -1
+                session = None  # already counted above
+        result = self.execute(bound, session=session)
+        with self._state_lock:
             result_id = next(self._handle_ids)
-            if not self._instrument:
-                execute_iter = getattr(self.engine, "execute_iter", None)
-                pipeline = None if execute_iter is None else execute_iter(bound)
-                if pipeline is not None:
-                    names, rows = pipeline
-                    self._results[result_id] = _StreamingResult(names, rows)
-                    return result_id, -1
-            result = self.execute(bound)
             self._results[result_id] = _MaterializedResult(result)
-            return result_id, result.num_rows
+        return result_id, result.num_rows
 
     def fetch_rows(self, result_id: int, count: Optional[int] = None) -> Table:
-        """Next chunk of an open result (all remaining when ``count`` is None)."""
-        with self._lock:
+        """Next chunk of an open result (all remaining when ``count`` is None).
+
+        Pipelined results evaluate rows *here*, under the read side of the
+        execution lock, against the snapshot taken at execute time.
+        Ordinary DML keeps that snapshot valid (the column lists were
+        copied); a rollback restore or a drop/re-create of the source
+        table does not, and such a fetch raises
+        :class:`StaleSnapshotError` instead of mixing epochs.
+        Materialized results were computed atomically and fetch lock-free.
+        """
+        with self._state_lock:
             try:
                 entry = self._results[result_id]
             except KeyError:
                 raise KeyError(f"unknown result set {result_id}") from None
-            return entry.fetch(count)
+        if isinstance(entry, _StreamingResult):
+            with self._read_side():
+                if entry.version != self._table_version(entry.source):
+                    raise StaleSnapshotError(
+                        f"pipelined result {result_id} over {entry.source!r} "
+                        "was invalidated by a rollback or table re-creation; "
+                        "re-execute the statement"
+                    )
+                return entry.fetch(count)
+        return entry.fetch(count)
 
     def close_result(self, result_id: int) -> None:
-        with self._lock:
+        with self._state_lock:
             self._results.pop(result_id, None)
 
     def close_prepared(self, stmt_id: int) -> None:
-        with self._lock:
+        with self._state_lock:
             self._prepared.pop(stmt_id, None)
 
     # -- transactions ---------------------------------------------------------
@@ -298,19 +458,19 @@ class SDBServer:
     # time under the server lock, so this is serializable trivially.
 
     def begin(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
             if getattr(self, "_undo", None) is not None:
                 raise RuntimeError("transaction already in progress")
             self._undo = {}
 
     def commit(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
             if getattr(self, "_undo", None) is None:
                 raise RuntimeError("no transaction in progress")
             self._undo = None
 
     def rollback(self) -> None:
-        with self._lock:
+        with self._lock.write_locked():
             undo = getattr(self, "_undo", None)
             if undo is None:
                 raise RuntimeError("no transaction in progress")
@@ -321,7 +481,12 @@ class SDBServer:
                         self.catalog.drop(name)
                 elif name in self.catalog:
                     self.catalog.get(name).columns = columns
+                # the restore rewrote this table wholesale: a pipelined
+                # result opened mid-transaction would otherwise serve rows
+                # that were rolled back -- invalidate its snapshot
+                self._invalidate_snapshots(name)
             self._undo = None
+            self._bump_epoch()
 
     @property
     def in_transaction(self) -> bool:

@@ -1,0 +1,110 @@
+"""Readers-writer synchronization for the execution tier.
+
+The concurrency redesign replaces the per-server global ``RLock`` (one
+statement at a time, sessions serialized) with a readers-writer scheme:
+read-only statements against the current snapshot epoch run concurrently,
+while DML/DDL take the write side, run exclusively, and bump the epoch.
+
+:class:`ReadWriteLock` is writer-preferring (a waiting writer blocks new
+readers, so a steady stream of reads cannot starve DML) and re-entrant on
+the write side; a thread holding the write lock may also re-acquire the
+read side, which keeps composite operations (a DML routine calling a
+read-locked helper on the same server) deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    * any number of threads may hold the read side at once;
+    * the write side is exclusive against readers and other writers;
+    * write acquisition is re-entrant, and a write holder may take the
+      read side (counted as a nested write hold);
+    * read -> write upgrades are not supported and will deadlock -- the
+      callers in this codebase never nest that way.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # thread ident of the write holder
+        self._write_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:  # write holder reading its own snapshot
+                self._write_depth += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by a non-holder")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def write_held(self) -> bool:
+        """Whether the calling thread currently holds the write side."""
+        return self._writer == threading.get_ident()

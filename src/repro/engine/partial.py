@@ -35,6 +35,16 @@ from repro.sql import ast
 #: to the partial column (first argument replaced, the rest kept verbatim).
 RE_AGGREGABLE_UDFS = frozenset({"sdb_agg_sum"})
 
+#: Secure MIN/MAX: ``sdb_agg_min/max(token, share)`` keeps the payload
+#: share of the extreme order token.  A slice's winner re-merges by
+#: comparing winners: the partial emits both the winning *token* (a plain
+#: ``MIN``/``MAX`` over the token expression -- every slice evaluates the
+#: same rewritten query, so tokens share one mask and stay comparable)
+#: and the winning *share* (the UDF itself; shares are pre-aligned to a
+#: row-independent key, so any slice's winner decrypts), and the merge
+#: re-applies the UDF over the two partial columns.
+EXTREME_UDFS = frozenset({"sdb_agg_min", "sdb_agg_max"})
+
 #: Name bound to the union of partial results in the merge query.
 PARTIALS_TABLE = "__partials"
 
@@ -82,9 +92,13 @@ def ineligibility(
             if node.distinct:
                 return "DISTINCT aggregates do not merge"
         elif isinstance(node, ast.FuncCall):
-            if node.name.lower() not in RE_AGGREGABLE_UDFS:
+            name = node.name.lower()
+            if name in EXTREME_UDFS:
+                if len(node.args) != 2:
+                    return "extreme aggregate UDF needs (token, share) args"
+            elif name not in RE_AGGREGABLE_UDFS:
                 return f"aggregate UDF {node.name!r} is not re-aggregable"
-            if not node.args or not all(
+            elif not node.args or not all(
                 isinstance(a, ast.Literal) for a in node.args[1:]
             ):
                 return "aggregate UDF has non-literal auxiliary arguments"
@@ -124,6 +138,32 @@ def plan_split(query: ast.Select, udfs: UDFRegistry) -> SplitPlan:
         return SplitPlan(partial=partial, merge=merge, kind="aggregate")
     partial, merge = _plan_scan(query)
     return SplitPlan(partial=partial, merge=merge, kind="scan")
+
+
+def plan_group_pushdown(query: ast.Select) -> SplitPlan:
+    """Partial/merge pair when per-slice grouped results are already final.
+
+    The caller guarantees no group spans two slices (e.g. the cluster
+    coordinator proves the GROUP BY key is the shard key, so the routing
+    PRF co-locates each group).  The partial is the original query minus
+    ORDER BY / LIMIT (HAVING stays slice-local: each group is complete on
+    its slice); the merge is a plain concat with the ordering and limit
+    re-applied -- no re-grouping, no re-aggregation.  ORDER BY must be
+    resolvable against the select outputs (:func:`merge_order_resolvable`).
+    """
+    partial = dataclasses.replace(query, order_by=(), limit=None)
+    merge = ast.Select(
+        items=(ast.SelectItem(expr=ast.Star()),),
+        from_clause=ast.TableRef(name=PARTIALS_TABLE),
+        order_by=_rebind_order_by(query),
+        limit=query.limit,
+    )
+    return SplitPlan(partial=partial, merge=merge, kind="group-pushdown")
+
+
+def merge_order_resolvable(query: ast.Select) -> bool:
+    """Whether a concat-style merge can re-apply the query's ORDER BY."""
+    return _order_by_resolvable(query)
 
 
 def _order_by_resolvable(query: ast.Select) -> bool:
@@ -195,6 +235,22 @@ def _plan_aggregate(query, aggregates) -> tuple[ast.Select, ast.Select]:
 
     for j, node in enumerate(aggregates):
         name = f"__a{j}"
+        if isinstance(node, ast.FuncCall) and node.name.lower() in EXTREME_UDFS:
+            # secure MIN/MAX: partial = (winning token, winning share);
+            # merge re-runs the UDF over the per-slice winners
+            token_name = f"{name}_t"
+            builtin = "min" if node.name.lower() == "sdb_agg_min" else "max"
+            partial_items.append(
+                ast.SelectItem(
+                    expr=ast.Aggregate(func=builtin, arg=node.args[0]),
+                    alias=token_name,
+                )
+            )
+            partial_items.append(ast.SelectItem(expr=node, alias=name))
+            replacements[node] = ast.FuncCall(
+                node.name, (ast.Column(token_name), ast.Column(name))
+            )
+            continue
         if isinstance(node, ast.FuncCall):  # re-aggregable UDF
             partial_items.append(ast.SelectItem(expr=node, alias=name))
             replacements[node] = ast.FuncCall(

@@ -11,6 +11,7 @@ gives the paper's two-machine deployment with no proxy changes.
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
 
@@ -29,6 +30,7 @@ def _server_exception_types() -> dict:
     """
     import builtins
 
+    from repro.core.server import StaleSnapshotError
     from repro.engine.catalog import CatalogError
     from repro.engine.dml import DMLError
     from repro.engine.executor import ExecutionError
@@ -40,7 +42,7 @@ def _server_exception_types() -> dict:
 
     named = (
         ParseError, LexError, BindError, ExecutionError, DMLError,
-        EvaluationError, CatalogError, UDFError,
+        EvaluationError, CatalogError, UDFError, StaleSnapshotError,
     )
     registry = {cls.__name__: cls for cls in named}
     for name in ("ValueError", "KeyError", "TypeError", "RuntimeError"):
@@ -49,11 +51,25 @@ def _server_exception_types() -> dict:
 
 
 class RemoteServer:
-    """A proxy-side handle on a networked SP."""
+    """A proxy-side handle on a networked SP.
 
-    def __init__(self, sock: socket.socket):
+    Every request carries a request ``id`` and this client's ``session``
+    tag, so the daemon dispatches it on its session-keyed pool: two
+    RemoteServers against the same daemon execute concurrently (subject
+    to the server's readers-writer lock), where the legacy protocol
+    serialized them behind one global statement lock.  This client keeps
+    one request in flight at a time; the asyncio tier's wire client
+    pipelines.
+    """
+
+    def __init__(self, sock: socket.socket, session_id=None):
+        from repro.api.backend import next_session_id
+
         self._sock = sock
         self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        #: wire session identity (defaults to a fresh ExecutionContext id)
+        self.session_id = session_id if session_id is not None else next_session_id()
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -73,11 +89,19 @@ class RemoteServer:
 
     # -- request plumbing -----------------------------------------------------
 
-    def _call(self, op: str, **args):
+    def _call(self, op: str, session=None, **args):
         request = {"op": op, **args}
         with self._lock:
+            request_id = next(self._request_ids)
+            request["id"] = request_id
+            request["session"] = self.session_id if session is None else session
             self.bytes_sent += protocol.send_message(self._sock, request)
             response = protocol.recv_message(self._sock)
+        if response.get("id") not in (None, request_id):
+            raise protocol.NetError(
+                f"out-of-order response: expected {request_id}, "
+                f"got {response.get('id')}"
+            )
         self.bytes_received += len(repr(response))
         if "error" in response:
             exc_type = _server_exception_types().get(response.get("error_type"))
@@ -102,11 +126,13 @@ class RemoteServer:
     def drop_table(self, name: str) -> None:
         self._call("drop_table", name=name)
 
-    def execute(self, query) -> Table:
+    def execute(self, query, session=None) -> Table:
         sql = query if isinstance(query, str) else query.to_sql()
-        return protocol.decode_value(self._call("execute", sql=sql))
+        return protocol.decode_value(
+            self._call("execute", sql=sql, session=session)
+        )
 
-    def execute_dml(self, statement) -> int:
+    def execute_dml(self, statement, session=None) -> int:
         """Submit DML.
 
         INSERTs go as structured rows (their literals include SIES
@@ -129,9 +155,10 @@ class RemoteServer:
                 name=statement.table,
                 columns=list(statement.columns or ()),
                 rows=rows,
+                session=session,
             )
         sql = statement if isinstance(statement, str) else statement.to_sql()
-        return self._call("execute_dml", sql=sql)
+        return self._call("execute_dml", sql=sql, session=session)
 
     def begin(self) -> None:
         self._call("txn", action="begin")
@@ -144,6 +171,20 @@ class RemoteServer:
 
     def catalog_names(self) -> list[str]:
         return self._call("catalog")
+
+    def session_stats(self) -> dict:
+        """Per-session statement counters, as recorded by the daemon."""
+        return self._call("session_stats")
+
+    def epoch(self) -> int:
+        """The daemon's current snapshot epoch (one round trip).
+
+        Deliberately a method, not a property: the session layer snapshots
+        ``server.epoch`` opportunistically after executions when it is a
+        plain attribute, and a property here would turn that into a wire
+        round trip per statement.
+        """
+        return int(self._call("epoch"))
 
     # -- SHARD_* operations (used by the cluster coordinator) -------------------
 
@@ -166,9 +207,11 @@ class RemoteServer:
     def shard_dump(self, name: str) -> Table:
         return protocol.decode_value(self._call("shard_dump", name=name))
 
-    def execute_partial(self, query) -> Table:
+    def execute_partial(self, query, session=None) -> Table:
         sql = query if isinstance(query, str) else query.to_sql()
-        return protocol.decode_value(self._call("shard_partial", sql=sql))
+        return protocol.decode_value(
+            self._call("shard_partial", sql=sql, session=session)
+        )
 
     # -- prepared statements / streaming fetch ---------------------------------
     #
@@ -176,15 +219,18 @@ class RemoteServer:
     # carries only the parameter bindings, and FETCH streams the encrypted
     # result back chunk by chunk -- the wire never re-transmits the query.
 
-    def prepare_query(self, query) -> int:
+    def prepare_query(self, query, session=None) -> int:
         sql = query if isinstance(query, str) else query.to_sql()
-        return int(self._call("prepare", sql=sql))
+        return int(self._call("prepare", sql=sql, session=session))
 
-    def execute_prepared(self, stmt_id: int, params=()) -> tuple[int, int]:
+    def execute_prepared(
+        self, stmt_id: int, params=(), session=None
+    ) -> tuple[int, int]:
         body = self._call(
             "execute_prepared",
             stmt=stmt_id,
             params=[protocol.encode_value(p) for p in params],
+            session=session,
         )
         return int(body["result"]), int(body["num_rows"])
 

@@ -1,32 +1,56 @@
 """The SP as a network daemon (the demo's machine ``MSP``).
 
-Wraps an :class:`repro.core.server.SDBServer` behind a threaded TCP
-listener speaking the :mod:`repro.net.protocol` frame format.  The daemon
-is exactly as trusted as the in-process server -- i.e. not at all: it only
+Wraps an :class:`repro.core.server.SDBServer` behind a TCP listener
+speaking the :mod:`repro.net.protocol` frame format.  The daemon is
+exactly as trusted as the in-process server -- i.e. not at all: it only
 ever sees encrypted uploads and rewritten queries.
+
+Concurrency model: every connected client gets a reader thread, but the
+*work* runs on one shared thread pool keyed by **session**.  A request
+carrying a request ``id`` (and optionally a ``session`` tag -- the wire
+form of the client's :class:`~repro.api.backend.ExecutionContext` id) is
+dispatched to the pool; requests of the same session execute in submission
+order, while different sessions run concurrently -- the underlying
+:class:`SDBServer` readers-writer lock then lets read-only statements
+overlap and serializes mutations.  Responses echo the request ``id`` and
+may return out of order, which is what lets a pipelining client (the
+asyncio tier) keep several requests in flight on one socket.  Requests
+without an ``id`` are handled inline on the reader thread, exactly like
+the pre-session protocol (legacy clients keep working unchanged).
 """
 
 from __future__ import annotations
 
 import socketserver
 import threading
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Optional
 
 from repro.core.server import SDBServer
 from repro.net import protocol
 from repro.sql import ast
-from repro.sql.parser import parse_statement
 
 
 class _RequestHandler(socketserver.BaseRequestHandler):
-    """One connected proxy; requests are handled sequentially per socket."""
+    """One connected client; work is dispatched to the session pool."""
 
     def setup(self) -> None:
         # handles created over this connection, released on disconnect
         self._stmt_ids: set[int] = set()
         self._result_ids: set[int] = set()
+        # pool tasks still in flight for this connection
+        self._pending: set[Future] = set()
+        self._pending_lock = threading.Lock()
+        # one frame on the wire at a time, even with out-of-order responses
+        self._send_lock = threading.Lock()
 
     def finish(self) -> None:
+        # drain in-flight work before releasing its handles: a task may
+        # still be fetching from a result set this loop would close
+        with self._pending_lock:
+            pending = list(self._pending)
+        if pending:
+            wait(pending)
         for result_id in self._result_ids:
             self._sdb.close_result(result_id)
         for stmt_id in self._stmt_ids:
@@ -38,11 +62,43 @@ class _RequestHandler(socketserver.BaseRequestHandler):
                 request = protocol.recv_message(self.request)
             except protocol.NetError:
                 return  # peer closed the connection
+            request_id = request.get("id")
+            if request_id is None:
+                # legacy one-at-a-time path: dispatch inline, respond now
+                response = self._dispatch(request)
+                if not self._send(response):
+                    return
+                continue
+            self._submit(request, request_id)
+
+    def _submit(self, request: dict, request_id) -> None:
+        session_key = request.get("session")
+        if session_key is None:
+            session_key = f"conn-{id(self)}"
+        else:
+            session_key = f"session-{session_key}"
+
+        def task():
             response = self._dispatch(request)
-            try:
+            response["id"] = request_id
+            self._send(response)
+
+        future = self.server.submit_session_task(session_key, task)
+        with self._pending_lock:
+            self._pending.add(future)
+        future.add_done_callback(self._forget)
+
+    def _forget(self, future: Future) -> None:
+        with self._pending_lock:
+            self._pending.discard(future)
+
+    def _send(self, response: dict) -> bool:
+        try:
+            with self._send_lock:
                 protocol.send_message(self.request, response)
-            except OSError:
-                return
+            return True
+        except OSError:
+            return False
 
     def _dispatch(self, request: dict) -> dict:
         try:
@@ -66,6 +122,10 @@ class _RequestHandler(socketserver.BaseRequestHandler):
     def _sdb(self) -> SDBServer:
         return self.server.sdb_server
 
+    @staticmethod
+    def _session_of(request: dict):
+        return request.get("session")
+
     def _op_ping(self, request: dict):
         return "pong"
 
@@ -81,11 +141,15 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         return True
 
     def _op_execute(self, request: dict):
-        result = self._sdb.execute(request["sql"])
+        result = self._sdb.execute(
+            request["sql"], session=self._session_of(request)
+        )
         return protocol.encode_value(result)
 
     def _op_execute_dml(self, request: dict):
-        return self._sdb.execute_dml(request["sql"])
+        return self._sdb.execute_dml(
+            request["sql"], session=self._session_of(request)
+        )
 
     def _op_insert_rows(self, request: dict):
         """Structured INSERT: rows whose cells cannot render as SQL text
@@ -101,7 +165,9 @@ class _RequestHandler(socketserver.BaseRequestHandler):
                 tuple(ast.Literal(cell) for cell in row) for row in rows
             ),
         )
-        return self._sdb.execute_dml(statement)
+        return self._sdb.execute_dml(
+            statement, session=self._session_of(request)
+        )
 
     def _op_txn(self, request: dict):
         op = request["action"]
@@ -117,6 +183,16 @@ class _RequestHandler(socketserver.BaseRequestHandler):
 
     def _op_catalog(self, request: dict):
         return self._sdb.catalog.names()
+
+    def _op_session_stats(self, request: dict):
+        """Per-session statement counters (ExecutionContext observability)."""
+        return {
+            str(key): stats
+            for key, stats in self._sdb.session_stats_snapshot().items()
+        }
+
+    def _op_epoch(self, request: dict):
+        return self._sdb.epoch
 
     # -- SHARD_* operations (cluster coordinator traffic) ----------------------
     #
@@ -142,19 +218,25 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         return protocol.encode_value(self._sdb.shard_dump(request["name"]))
 
     def _op_shard_partial(self, request: dict):
-        return protocol.encode_value(self._sdb.execute_partial(request["sql"]))
+        return protocol.encode_value(
+            self._sdb.execute_partial(
+                request["sql"], session=self._session_of(request)
+            )
+        )
 
     # -- prepared statements / streaming fetch --------------------------------
 
     def _op_prepare(self, request: dict):
-        stmt_id = self._sdb.prepare_query(request["sql"])
+        stmt_id = self._sdb.prepare_query(
+            request["sql"], session=self._session_of(request)
+        )
         self._stmt_ids.add(stmt_id)
         return stmt_id
 
     def _op_execute_prepared(self, request: dict):
         params = [protocol.decode_value(p) for p in request.get("params", [])]
         result_id, num_rows = self._sdb.execute_prepared(
-            int(request["stmt"]), params
+            int(request["stmt"]), params, session=self._session_of(request)
         )
         self._result_ids.add(result_id)
         return {"result": result_id, "num_rows": num_rows}
@@ -180,14 +262,74 @@ class _RequestHandler(socketserver.BaseRequestHandler):
 
 
 class SDBNetServer(socketserver.ThreadingTCPServer):
-    """TCP daemon owning one :class:`SDBServer` instance."""
+    """TCP daemon owning one :class:`SDBServer` instance.
+
+    Request execution runs on :attr:`executor`, a shared pool keyed by
+    session: one session's requests execute in order, different sessions
+    in parallel (bounded by ``max_workers``).
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address=("127.0.0.1", 0), sdb_server: Optional[SDBServer] = None):
+    def __init__(
+        self,
+        address=("127.0.0.1", 0),
+        sdb_server: Optional[SDBServer] = None,
+        max_workers: int = 8,
+    ):
         super().__init__(address, _RequestHandler)
         self.sdb_server = sdb_server or SDBServer()
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sdb-session"
+        )
+        self._tails: dict[str, Future] = {}
+        self._tails_lock = threading.Lock()
+
+    def submit_session_task(self, session_key: str, fn) -> Future:
+        """Queue ``fn`` behind the session's previous request.
+
+        Per-session FIFO ordering comes from chaining on the session's
+        current tail future: the new task enters the pool only once its
+        predecessor has *completed* (via ``add_done_callback``), so a
+        deeply pipelining session queues behind itself without ever
+        parking a worker thread -- the pool's workers stay available to
+        every other session.
+        """
+        future: Future = Future()
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                future.set_result(fn())
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        def enqueue(_previous=None) -> None:
+            try:
+                self.executor.submit(run)
+            except RuntimeError as exc:  # pool shut down mid-flight
+                if not future.done():
+                    future.set_exception(exc)
+
+        with self._tails_lock:
+            previous = self._tails.get(session_key)
+            self._tails[session_key] = future
+            if len(self._tails) > 128:
+                for key in [k for k, f in self._tails.items() if f.done()]:
+                    if self._tails[key].done():
+                        del self._tails[key]
+        if previous is None:
+            enqueue()
+        else:
+            # fires immediately when the predecessor is already done
+            previous.add_done_callback(enqueue)
+        return future
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.executor.shutdown(wait=False)
 
     @property
     def port(self) -> int:
@@ -198,13 +340,14 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     sdb_server: Optional[SDBServer] = None,
+    max_workers: int = 8,
 ) -> tuple[SDBNetServer, threading.Thread]:
     """Start a daemon thread serving on ``(host, port)``.
 
     ``port=0`` picks a free port (read it back from ``server.port``).
     The caller owns shutdown: ``server.shutdown(); server.server_close()``.
     """
-    server = SDBNetServer((host, port), sdb_server=sdb_server)
+    server = SDBNetServer((host, port), sdb_server=sdb_server, max_workers=max_workers)
     thread = threading.Thread(
         target=server.serve_forever, name="sdb-sp", daemon=True
     )

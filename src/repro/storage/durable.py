@@ -79,17 +79,19 @@ class DurableServer(SDBServer):
     # -- SDBServer surface, made durable ------------------------------------------
 
     def store_table(self, name: str, table: Table, replace: bool = False) -> None:
-        super().store_table(name, table, replace=replace)
-        self.disk.save(name, table)
-        self._dirty.discard(name.lower())
-        self._save_placements()
+        with self._lock.write_locked():
+            super().store_table(name, table, replace=replace)
+            self.disk.save(name, table)
+            self._dirty.discard(name.lower())
+            self._save_placements()
 
     def drop_table(self, name: str) -> None:
-        super().drop_table(name)
-        if name.lower() in self.disk:
-            self.disk.delete(name)
-        self._dirty.discard(name.lower())
-        self._save_placements()
+        with self._lock.write_locked():
+            super().drop_table(name)
+            if name.lower() in self.disk:
+                self.disk.delete(name)
+            self._dirty.discard(name.lower())
+            self._save_placements()
 
     # -- shard surface, made durable -----------------------------------------------
     #
@@ -99,11 +101,12 @@ class DurableServer(SDBServer):
     # primary-resident and silently query one shard's slice.
 
     def shard_store(self, name, table, placement=None, replace=False) -> int:
-        count = super().shard_store(
-            name, table, placement=placement, replace=replace
-        )
-        self._save_placements()
-        return count
+        with self._lock.write_locked():
+            count = super().shard_store(
+                name, table, placement=placement, replace=replace
+            )
+            self._save_placements()
+            return count
 
     def _placements_path(self) -> Path:
         return self.directory / "placements.json"
@@ -127,35 +130,44 @@ class DurableServer(SDBServer):
             {name.lower(): dict(p) for name, p in payload["tables"].items()}
         )
 
-    def execute_dml(self, statement) -> int:
+    def execute_dml(self, statement, session=None) -> int:
         if isinstance(statement, str):
             from repro.sql.parser import parse_statement
 
             statement = parse_statement(statement)
-        self.wal.append(statement)  # write-ahead: log first, apply second
-        affected = super().execute_dml(statement)
-        self._dirty.add(statement.table.lower())
-        return affected
+        with self._lock.write_locked():
+            self.wal.append(statement)  # write-ahead: log first, apply second
+            affected = super().execute_dml(statement, session=session)
+            self._dirty.add(statement.table.lower())
+            return affected
 
     # -- transactions -------------------------------------------------------------------
+
+    # Every WAL append happens under the server's exclusive write lock
+    # (re-entrant, so the nested super() call is fine): with concurrent
+    # sessions, an append outside the lock could record statements in a
+    # different order than they applied, and replay would diverge.
 
     def begin(self) -> None:
         from repro.sql import ast
 
-        super().begin()
-        self.wal.append(ast.TxnControl(kind="begin"))
+        with self._lock.write_locked():
+            super().begin()
+            self.wal.append(ast.TxnControl(kind="begin"))
 
     def commit(self) -> None:
         from repro.sql import ast
 
-        super().commit()
-        self.wal.append(ast.TxnControl(kind="commit"))
+        with self._lock.write_locked():
+            super().commit()
+            self.wal.append(ast.TxnControl(kind="commit"))
 
     def rollback(self) -> None:
         from repro.sql import ast
 
-        super().rollback()
-        self.wal.append(ast.TxnControl(kind="rollback"))
+        with self._lock.write_locked():
+            super().rollback()
+            self.wal.append(ast.TxnControl(kind="rollback"))
 
     # -- checkpointing -----------------------------------------------------------------
 

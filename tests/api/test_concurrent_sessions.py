@@ -1,0 +1,203 @@
+"""Concurrency stress: mixed reads + INSERTs across sessions.
+
+Four sessions share one proxy (one key store, one backend) and hammer it
+with a mixed workload -- TPC-H-style aggregates and point reads over a
+static ``orders`` table interleaved with INSERTs into a shared ``ledger``
+-- on a 1-shard (plain in-process server) and a 4-shard (cluster
+coordinator) deployment, threaded and async.  Every read must return
+exactly what serial execution returns, and the final ledger state must be
+the union of every session's inserts: the readers-writer redesign may
+reorder *who runs when*, never *what anything observes*.
+"""
+
+import asyncio
+import datetime
+import threading
+
+import pytest
+
+import repro.api as api
+import repro.api.aio as aio
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+SESSIONS = 4
+ROUNDS = 5
+
+REGIONS = ["east", "west", "north", "south"]
+
+ORDER_COLUMNS = [
+    ("id", ValueType.int_()),
+    ("region", ValueType.string(8)),
+    ("amount", ValueType.decimal(2)),
+    ("day", ValueType.date()),
+]
+
+ORDER_ROWS = [
+    (
+        i,
+        REGIONS[i % 4],
+        float((i * 37) % 500) + 0.25,
+        datetime.date(2024, 1, 1) + datetime.timedelta(days=i % 90),
+    )
+    for i in range(1, 61)
+]
+
+LEDGER_COLUMNS = [
+    ("sid", ValueType.int_()),
+    ("seq", ValueType.int_()),
+    ("amount", ValueType.decimal(2)),
+]
+
+READS = [
+    ("SELECT region, SUM(amount) AS t, COUNT(*) AS n FROM orders "
+     "GROUP BY region ORDER BY region", ()),
+    ("SELECT COUNT(*) AS c FROM orders WHERE amount > ?", (200.0,)),
+    ("SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM orders", ()),
+    ("SELECT id FROM orders WHERE id BETWEEN 5 AND 12 ORDER BY id", ()),
+]
+
+
+def _build_proxy(shards: int):
+    """A loaded deployment: static ``orders`` + empty shared ``ledger``."""
+    if shards > 1:
+        conn = api.connect(
+            shards=shards, modulus_bits=256, value_bits=64, rng=seeded_rng(91)
+        )
+        shard_by = "id"
+        ledger_shard_by = "sid"
+    else:
+        conn = api.connect(
+            server=SDBServer(), modulus_bits=256, value_bits=64,
+            rng=seeded_rng(91),
+        )
+        shard_by = ledger_shard_by = None
+    proxy = conn.proxy
+    proxy.create_table(
+        "orders", ORDER_COLUMNS, ORDER_ROWS, sensitive=["amount"],
+        rng=seeded_rng(92), shard_by=shard_by,
+    )
+    proxy.create_table(
+        "ledger", LEDGER_COLUMNS, [], sensitive=["amount"],
+        rng=seeded_rng(93), shard_by=ledger_shard_by,
+    )
+    return conn, proxy
+
+
+def _serial_expectations(proxy):
+    """What every read must return, computed by serial execution."""
+    conn = api.Connection(proxy)
+    expected = []
+    for sql, params in READS:
+        expected.append(conn.cursor().execute(sql, params).fetchall())
+    return expected
+
+
+def _session_workload(connection, session_index: int, expected):
+    """One session's mixed rounds; returns the mismatches it saw."""
+    errors = []
+    cursor = connection.cursor()
+    for round_no in range(ROUNDS):
+        for (sql, params), want in zip(READS, expected):
+            got = cursor.execute(sql, params).fetchall()
+            if got != want:
+                errors.append((sql, want, got))
+        cursor.execute(
+            "INSERT INTO ledger (sid, seq, amount) VALUES (?, ?, ?)",
+            [session_index, round_no, float(session_index * 100 + round_no)],
+        )
+    return errors
+
+
+def _expected_ledger():
+    return sorted(
+        (s, r, float(s * 100 + r))
+        for s in range(SESSIONS)
+        for r in range(ROUNDS)
+    )
+
+
+def _verify_final_state(proxy, expected):
+    conn = api.Connection(proxy)
+    rows = conn.cursor().execute(
+        "SELECT sid, seq, amount FROM ledger"
+    ).fetchall()
+    assert sorted(rows) == _expected_ledger()
+    # reads on the static table are *still* exactly the serial answer
+    for (sql, params), want in zip(READS, expected):
+        assert conn.cursor().execute(sql, params).fetchall() == want
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_threaded_sessions_match_serial(shards):
+    owner, proxy = _build_proxy(shards)
+    try:
+        expected = _serial_expectations(proxy)
+        sessions = [api.Connection(proxy) for _ in range(SESSIONS)]
+        failures: list = []
+        barrier = threading.Barrier(SESSIONS)
+
+        def run(index: int, connection):
+            try:
+                barrier.wait(timeout=30)
+                failures.extend(
+                    _session_workload(connection, index, expected)
+                )
+            except Exception as error:  # pragma: no cover - failure report
+                failures.append(("exception", repr(error), None))
+
+        threads = [
+            threading.Thread(target=run, args=(i, conn), daemon=True)
+            for i, conn in enumerate(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads), "deadlock"
+        assert failures == []
+        _verify_final_state(proxy, expected)
+    finally:
+        owner.close()
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_async_sessions_match_serial(shards):
+    owner, proxy = _build_proxy(shards)
+    try:
+        expected = _serial_expectations(proxy)
+
+        async def one_session(index: int):
+            connection = await aio.aconnect(proxy=proxy)
+            try:
+                errors = []
+                cursor = connection.cursor()
+                for round_no in range(ROUNDS):
+                    for (sql, params), want in zip(READS, expected):
+                        await cursor.execute(sql, params)
+                        got = await cursor.fetchall()
+                        if got != want:
+                            errors.append((sql, want, got))
+                    await cursor.execute(
+                        "INSERT INTO ledger (sid, seq, amount) "
+                        "VALUES (?, ?, ?)",
+                        [index, round_no, float(index * 100 + round_no)],
+                    )
+                return errors
+            finally:
+                # closes this session (cursors, statements, its worker);
+                # the shared proxy and its backend stay up
+                await connection.close()
+
+        async def main():
+            results = await asyncio.gather(
+                *[one_session(i) for i in range(SESSIONS)]
+            )
+            return [error for errors in results for error in errors]
+
+        failures = asyncio.run(main())
+        assert failures == []
+        _verify_final_state(proxy, expected)
+    finally:
+        owner.close()

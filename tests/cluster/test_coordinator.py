@@ -66,6 +66,10 @@ def test_shard_placement_metadata_recorded(cluster):
     "SELECT region, SUM(amount) AS t, COUNT(*) AS n, AVG(amount) AS a "
     "FROM pay GROUP BY region ORDER BY region",
     "SELECT MIN(id) AS lo, MAX(id) AS hi FROM pay",
+    # MIN/MAX over a *sensitive* column rewrites to sdb_agg_min/max, whose
+    # partials re-merge by comparing per-shard (token, share) winners
+    "SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM pay",
+    "SELECT MIN(amount) AS lo FROM pay WHERE id <= 40",
     "SELECT id, amount FROM pay WHERE id BETWEEN 5 AND 25 ORDER BY id",
     "SELECT id FROM pay WHERE region = 'east' ORDER BY id DESC LIMIT 4",
 ])
@@ -84,9 +88,6 @@ def test_scatter_matches_single_node(single, cluster, sql):
     # subquery
     "SELECT COUNT(*) AS n FROM pay WHERE amount > "
     "(SELECT AVG(amount) FROM pay)",
-    # MIN/MAX over a *sensitive* column rewrites to sdb_agg_min/max,
-    # whose partials are not re-aggregable -- conservatively gathered
-    "SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM pay",
 ])
 def test_fallback_matches_single_node(single, cluster, sql):
     conn, coord = cluster

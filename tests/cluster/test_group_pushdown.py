@@ -1,0 +1,119 @@
+"""Shard-local GROUP BY pushdown: group key == shard key.
+
+When the single GROUP BY key is the shard key, the routing PRF already
+co-located every group on one shard, so per-shard grouped results are
+final: the coordinator concatenates (re-applying only ORDER BY/LIMIT)
+instead of re-grouping -- and shapes the generic partial/merge planner
+must refuse (DISTINCT aggregates) scatter too.  Each query is pinned
+identical against the same deployment with pushdown disabled, which
+routes through the generic scatter or the gather-and-materialize
+fallback -- the reference semantics.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.crypto.prf import seeded_rng
+from tests.cluster.conftest import load_pay
+
+
+@pytest.fixture()
+def keyed_cluster():
+    """A 4-shard cluster with ``pay`` sharded by its ``region`` column."""
+    conn = api.connect(shards=4, modulus_bits=256, value_bits=64,
+                       rng=seeded_rng(61))
+    load_pay(conn, shard_by="region")
+    yield conn, conn.proxy.server
+    conn.close()
+
+
+PUSHDOWN_QUERIES = [
+    "SELECT region, SUM(amount) AS t FROM pay GROUP BY region ORDER BY region",
+    "SELECT region, COUNT(*) AS n, AVG(amount) AS a FROM pay "
+    "GROUP BY region ORDER BY region",
+    "SELECT region, MIN(amount) AS lo, MAX(amount) AS hi FROM pay "
+    "GROUP BY region ORDER BY region",
+    # HAVING is shard-local: every group is complete on its shard
+    "SELECT region, SUM(amount) AS t FROM pay GROUP BY region "
+    "HAVING COUNT(*) > 2 ORDER BY region",
+    # LIMIT re-applies at the merge, after the global ORDER BY
+    "SELECT region, COUNT(*) AS n FROM pay GROUP BY region "
+    "ORDER BY region LIMIT 2",
+    # DISTINCT aggregate: the generic partial/merge planner must refuse
+    # this, but shard-local groups make it scatterable anyway
+    "SELECT region, COUNT(DISTINCT id) AS n FROM pay GROUP BY region "
+    "ORDER BY region",
+    # bare dedup: GROUP BY without aggregates
+    "SELECT region FROM pay GROUP BY region ORDER BY region",
+]
+
+
+def _reference_rows(proxy, coord, sql):
+    """The same query with pushdown disabled (generic scatter/fallback).
+
+    A fresh Connection re-prepares the statement, so the coordinator
+    re-classifies the route instead of reusing the cached plan.
+    """
+    original = coord._group_pushdown_ok
+    coord._group_pushdown_ok = lambda *args, **kwargs: False
+    try:
+        conn = api.Connection(proxy)
+        rows = conn.cursor().execute(sql).fetchall()
+        route = coord.last_scatter
+        return rows, route
+    finally:
+        coord._group_pushdown_ok = original
+
+
+@pytest.mark.parametrize("sql", PUSHDOWN_QUERIES)
+def test_pushdown_matches_reference_path(keyed_cluster, sql):
+    conn, coord = keyed_cluster
+    got = conn.cursor().execute(sql).fetchall()
+    assert coord.last_scatter.mode == "scatter"
+    assert "pushdown" in coord.last_scatter.reason
+    assert coord.last_scatter.shards == 4
+
+    reference, route = _reference_rows(conn.proxy, coord, sql)
+    assert "pushdown" not in route.reason
+    assert got == reference
+
+
+def test_distinct_aggregate_only_scatters_via_pushdown(keyed_cluster):
+    """Without pushdown, a DISTINCT aggregate must gather-and-materialize."""
+    conn, coord = keyed_cluster
+    sql = ("SELECT region, COUNT(DISTINCT id) AS n FROM pay "
+           "GROUP BY region ORDER BY region")
+    conn.cursor().execute(sql).fetchall()
+    assert "pushdown" in coord.last_scatter.reason
+    _, route = _reference_rows(conn.proxy, coord, sql)
+    assert route.mode == "fallback"
+
+
+def test_select_distinct_is_not_pushed_down(keyed_cluster):
+    """DISTINCT dedups across groups; shard-local results cannot."""
+    conn, coord = keyed_cluster
+    sql = ("SELECT DISTINCT COUNT(*) AS n FROM pay GROUP BY region")
+    rows = conn.cursor().execute(sql).fetchall()
+    assert "pushdown" not in coord.last_scatter.reason
+    # every region has exactly 15 of the 60 rows: serial answer is one row
+    assert rows == [(15,)]
+
+
+def test_pushdown_requires_the_shard_key(keyed_cluster):
+    """Grouping by a non-shard-key column keeps the generic routes."""
+    conn, coord = keyed_cluster
+    conn.cursor().execute(
+        "SELECT id, SUM(amount) AS t FROM pay GROUP BY id ORDER BY id"
+    ).fetchall()
+    assert "pushdown" not in coord.last_scatter.reason
+
+
+def test_pushdown_skips_unresolvable_order(keyed_cluster):
+    """ORDER BY an expression that is not an output cannot merge-concat."""
+    conn, coord = keyed_cluster
+    rows = conn.cursor().execute(
+        "SELECT region, COUNT(*) AS n FROM pay GROUP BY region "
+        "ORDER BY COUNT(*) DESC, region"
+    ).fetchall()
+    assert "pushdown" not in coord.last_scatter.reason
+    assert rows  # still answered via a generic route

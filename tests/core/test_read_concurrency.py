@@ -1,0 +1,111 @@
+"""The read path holds no global per-server lock.
+
+The acceptance proof for the readers-writer redesign: two sessions are
+*inside the engine at the same time* -- a probe UDF makes each SELECT
+block on a barrier that only releases when both executions have entered.
+Under the old per-statement ``RLock`` the second execution could never
+enter while the first was parked, and the barrier would time out.
+The write side stays exclusive: a DML issued while a reader is parked in
+the engine must not apply until the reader has left.
+"""
+
+import threading
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+BARRIER_TIMEOUT = 20.0
+
+
+@pytest.fixture()
+def deployment():
+    server = SDBServer()
+    conn = api.connect(
+        server=server, modulus_bits=256, value_bits=64, rng=seeded_rng(41)
+    )
+    conn.proxy.create_table(
+        "t",
+        [("k", ValueType.int_()), ("v", ValueType.int_())],
+        [(i, i * 10) for i in range(1, 9)],
+        rng=seeded_rng(42),
+    )
+    yield conn, server
+    conn.close()
+
+
+def test_two_reads_run_concurrently(deployment):
+    conn, server = deployment
+    rendezvous = threading.Barrier(2)
+
+    def probe(value):
+        # both SELECTs must be inside the engine for either to proceed
+        rendezvous.wait(timeout=BARRIER_TIMEOUT)
+        return value
+
+    server.udfs.register_scalar("probe", probe)
+
+    results: dict = {}
+
+    def reader(name: str):
+        # straight at the server surface: rewritten queries arrive here,
+        # and here is where the old global lock serialized them
+        table = server.execute("SELECT SUM(probe(v)) AS s FROM t")
+        results[name] = list(table.rows())
+
+    threads = [
+        threading.Thread(target=reader, args=(f"r{i}",), daemon=True)
+        for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=BARRIER_TIMEOUT + 10)
+    assert not any(thread.is_alive() for thread in threads), (
+        "readers serialized: the global per-server lock is back"
+    )
+    expected = [(sum(i * 10 for i in range(1, 9)),)]
+    assert results == {"r0": expected, "r1": expected}
+    assert server.session_stats == {}  # anonymous submissions
+
+
+def test_writes_stay_exclusive_against_readers(deployment):
+    conn, server = deployment
+    reader_inside = threading.Event()
+    release_reader = threading.Event()
+    observed: dict = {}
+
+    def probe(value):
+        reader_inside.set()
+        assert release_reader.wait(timeout=BARRIER_TIMEOUT)
+        return value
+
+    server.udfs.register_scalar("probe", probe)
+
+    def reader():
+        table = server.execute("SELECT COUNT(probe(v)) AS n FROM t")
+        observed["rows"] = list(table.rows())
+
+    def writer():
+        observed["affected"] = server.execute_dml("DELETE FROM t WHERE k > 0")
+        observed["write_done_at_epoch"] = server.epoch
+
+    reader_thread = threading.Thread(target=reader, daemon=True)
+    reader_thread.start()
+    assert reader_inside.wait(timeout=BARRIER_TIMEOUT)
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    # the writer must be parked behind the in-engine reader
+    writer_thread.join(timeout=0.5)
+    assert writer_thread.is_alive(), "DML ran while a reader was in the engine"
+    release_reader.set()
+    reader_thread.join(timeout=BARRIER_TIMEOUT)
+    writer_thread.join(timeout=BARRIER_TIMEOUT)
+    assert not reader_thread.is_alive() and not writer_thread.is_alive()
+    # the reader saw the pre-DML table; the write then applied exclusively
+    assert observed["rows"] == [(8,)]
+    assert observed["affected"] == 8
+    assert list(server.execute("SELECT COUNT(*) AS n FROM t").rows()) == [(0,)]

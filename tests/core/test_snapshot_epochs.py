@@ -1,0 +1,122 @@
+"""Snapshot semantics of pipelined result sets under mutation.
+
+A generator-backed (streaming) result opened before a mutation must
+either keep serving its execute-time snapshot or raise a typed error --
+never silently mix epochs.  The contract, pinned here:
+
+* ordinary DML (INSERT/UPDATE/DELETE) between fetches: the snapshot is
+  kept (see also ``test_streaming_results.py``);
+* a transaction **rollback** restoring the source table, or the table
+  being **dropped/re-created**: the snapshot's provenance is gone, and
+  the fetch raises :class:`~repro.core.server.StaleSnapshotError` --
+  surfaced by the session layer as ``repro.api.OperationalError``.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer, StaleSnapshotError
+from repro.crypto.prf import seeded_rng
+
+
+@pytest.fixture(params=["inprocess", "remote"])
+def deployment(request):
+    sdb_server = SDBServer()
+    net_server = None
+    if request.param == "remote":
+        from repro.net import RemoteServer, start_server
+
+        net_server, _ = start_server(sdb_server=sdb_server)
+        server = RemoteServer.connect("127.0.0.1", net_server.port)
+    else:
+        server = sdb_server
+    conn = api.connect(
+        server=server, modulus_bits=256, value_bits=64, rng=seeded_rng(81)
+    )
+    conn.proxy.create_table(
+        "t",
+        [("k", ValueType.int_()), ("v", ValueType.int_())],
+        [(i, i * 10) for i in range(1, 21)],
+        rng=seeded_rng(82),
+    )
+    yield conn, sdb_server
+    conn.close()
+    if net_server is not None:
+        server.close()
+        net_server.shutdown()
+        net_server.server_close()
+
+
+def test_dml_between_fetches_keeps_the_snapshot(deployment):
+    """INSERT/DELETE after EXECUTE do not disturb an open pipelined scan."""
+    conn, _ = deployment
+    cur = conn.cursor()
+    cur.arraysize = 4
+    cur.execute("SELECT k FROM t")
+    first = [cur.fetchone() for _ in range(4)]
+    conn.execute("INSERT INTO t (k, v) VALUES (777, 7770)")
+    conn.execute("DELETE FROM t WHERE k <= 2")
+    rest = cur.fetchall()
+    assert [r[0] for r in first + rest] == list(range(1, 21))
+
+
+def test_rollback_invalidates_open_pipelined_results(deployment):
+    """A result opened mid-transaction cannot serve rolled-back rows."""
+    conn, _ = deployment
+    conn.begin()
+    conn.execute("INSERT INTO t (k, v) VALUES (777, 7770)")
+    cur = conn.cursor()
+    cur.arraysize = 4
+    cur.execute("SELECT k FROM t")
+    assert cur.fetchone() == (1,)  # streaming before the rollback is fine
+    conn.rollback()
+    with pytest.raises(api.OperationalError) as excinfo:
+        cur.fetchall()
+    assert "re-execute" in str(excinfo.value)
+
+
+def test_table_recreation_invalidates_open_pipelined_results(deployment):
+    conn, _ = deployment
+    cur = conn.cursor()
+    cur.execute("SELECT k FROM t")
+    conn.proxy.create_table(
+        "t",
+        [("k", ValueType.int_()), ("v", ValueType.int_())],
+        [(100, 1000)],
+        rng=seeded_rng(83),
+        replace=True,
+    )
+    with pytest.raises(api.OperationalError):
+        cur.fetchall()
+
+
+def test_materialized_results_are_immune(deployment):
+    """Aggregates computed at execute time survive any later mutation."""
+    conn, _ = deployment
+    cur = conn.cursor()
+    cur.execute("SELECT SUM(v) AS s FROM t")  # materializes server-side
+    conn.begin()
+    conn.execute("DELETE FROM t WHERE k > 0")
+    conn.rollback()
+    assert cur.fetchone() == (sum(i * 10 for i in range(1, 21)),)
+
+
+def test_server_level_error_type():
+    """The raw server raises the typed error (wire clients re-raise it)."""
+    server = SDBServer()
+    conn = api.connect(
+        server=server, modulus_bits=256, value_bits=64, rng=seeded_rng(84)
+    )
+    conn.proxy.create_table(
+        "t", [("k", ValueType.int_())], [(1,), (2,)], rng=seeded_rng(85)
+    )
+    stmt_id = server.prepare_query("SELECT k FROM t")
+    result_id, num_rows = server.execute_prepared(stmt_id)
+    assert num_rows == -1  # pipelined
+    server.begin()
+    server.execute_dml("DELETE FROM t WHERE k = 1")
+    server.rollback()
+    with pytest.raises(StaleSnapshotError):
+        server.fetch_rows(result_id, 1)
+    conn.close()
