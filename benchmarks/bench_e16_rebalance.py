@@ -1,0 +1,188 @@
+"""E16 -- elastic resharding: query throughput during a live 2 -> 4 grow.
+
+Elastic topology changes are only useful if the cluster keeps serving
+while buckets migrate.  This bench stands the claim up on one dataset and
+two identical 2-shard clusters:
+
+* **quiesced** -- queries run on a stable cluster (steady-state
+  throughput), then the same cluster migrates 2 -> 4 with no concurrent
+  load (pure migration cost);
+* **live** -- the second cluster migrates 2 -> 4 *while* a session
+  hammers the same prepared query.
+
+Measured claims:
+
+* every phase decrypts the **identical** result (checksummed), before,
+  during and after the migration, on both clusters;
+* query throughput during the live migration stays within a bounded
+  factor of steady state (copy passes run under the shared lock side;
+  only the final settle + commit is exclusive) -- asserted outside smoke
+  mode;
+* the migration itself completes and re-keys every moved row.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import (
+    ResultTable,
+    bench_smoke,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.core.meta import ValueType
+from repro.crypto.prf import seeded_rng
+
+ROWS = smoke_scaled(1500, 150)
+MODULUS_BITS = 256
+#: queries during the live migration may not fall below this fraction of
+#: steady-state throughput (single interpreter: migration crypto competes
+#: for the GIL, so the bound is deliberately loose)
+MIN_THROUGHPUT_FRACTION = 0.10
+QUERY = "SELECT COUNT(*), SUM(amount) FROM pay WHERE amount > ?"
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("region", ValueType.string(8)),
+    ("amount", ValueType.decimal(2)),
+]
+
+
+def build_rows(count):
+    return [
+        (i, ["east", "west", "north", "south"][i % 4],
+         float((i * 37) % 500) + 0.25)
+        for i in range(1, count + 1)
+    ]
+
+
+def build_cluster(seed):
+    conn = api.connect(
+        shards=2, modulus_bits=MODULUS_BITS, value_bits=64,
+        rng=seeded_rng(seed),
+    )
+    conn.proxy.create_table(
+        "pay", COLUMNS, build_rows(ROWS), sensitive=["amount"],
+        rng=seeded_rng(seed + 1), shard_by="id",
+    )
+    return conn
+
+
+def checksum(cursor_row):
+    count, total = cursor_row
+    return (count, round(total, 2))
+
+
+def run_queries(conn, seconds, stop=None):
+    """Execute the prepared query in a loop; returns (executions, checksums)."""
+    cursor = conn.cursor()
+    statement = conn.prepare(QUERY)
+    executions = 0
+    sums = set()
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        if stop is not None and stop.is_set():
+            break
+        cursor.execute(statement, (100,))
+        sums.add(checksum(cursor.fetchone()))
+        executions += 1
+    return executions, sums
+
+
+def test_rebalance_throughput():
+    table = ResultTable(
+        "E16: query throughput during a live 2 -> 4 rebalance",
+        ["phase", "queries", "window s", "queries/s"],
+    )
+    report = {"rows": ROWS, "modulus_bits": MODULUS_BITS}
+    window_s = smoke_scaled(2.0, 0.4)
+
+    # -- quiesced cluster: steady state, then an unloaded migration --------
+    quiesced = build_cluster(seed=160)
+    steady_n, steady_sums = run_queries(quiesced, window_s)
+    steady_tput = steady_n / window_s
+    t0 = time.perf_counter()
+    quiesced_report = quiesced.rebalance(4)
+    quiesced_migration_s = time.perf_counter() - t0
+    after_n, after_sums = run_queries(quiesced, window_s)
+    after_tput = after_n / window_s
+
+    # -- live cluster: the same migration under continuous query load ------
+    live = build_cluster(seed=170)
+    driver_done = threading.Event()
+    migration: dict = {}
+
+    def migrate():
+        t_start = time.perf_counter()
+        migration["report"] = live.rebalance(4)
+        migration["elapsed"] = time.perf_counter() - t_start
+        driver_done.set()
+
+    session = api.connect(proxy=live.proxy)
+    thread = threading.Thread(target=migrate)
+    live_n = 0
+    live_sums = set()
+    thread.start()
+    t_live = time.perf_counter()
+    try:
+        cursor = session.cursor()
+        statement = session.prepare(QUERY)
+        while not driver_done.is_set():
+            cursor.execute(statement, (100,))
+            live_sums.add(checksum(cursor.fetchone()))
+            live_n += 1
+    finally:
+        thread.join(timeout=300)
+    live_window_s = time.perf_counter() - t_live
+    live_tput = live_n / live_window_s if live_window_s else 0.0
+    post_n, post_sums = run_queries(live, window_s)
+
+    table.add("steady state (2 shards)", steady_n, window_s, f"{steady_tput:.1f}")
+    table.add(
+        "during live migration", live_n, live_window_s, f"{live_tput:.1f}"
+    )
+    table.add("after migration (4 shards)", after_n, window_s, f"{after_tput:.1f}")
+    degradation = live_tput / steady_tput if steady_tput else 1.0
+    table.note(
+        f"throughput during migration: {degradation:.2f}x of steady state "
+        f"(bar: >= {MIN_THROUGHPUT_FRACTION}x)"
+    )
+    table.note(
+        f"quiesced migration: {quiesced_migration_s:.2f}s; live migration: "
+        f"{migration.get('elapsed', 0.0):.2f}s; "
+        f"{migration['report'].rows_moved} row(s) re-keyed+moved live"
+    )
+    all_sums = steady_sums | after_sums | live_sums | post_sums
+    table.note(f"checksums identical across phases/clusters: {sorted(all_sums)}")
+    table.emit()
+
+    report.update(
+        steady_tput=steady_tput,
+        live_tput=live_tput,
+        after_tput=after_tput,
+        degradation=degradation,
+        quiesced_migration_s=quiesced_migration_s,
+        live_migration_s=migration.get("elapsed", 0.0),
+        rows_moved_live=migration["report"].rows_moved,
+        rows_moved_quiesced=quiesced_report.rows_moved,
+    )
+    write_bench_json("e16_rebalance", {**table.to_dict(), **report})
+
+    # identical answers everywhere: before/during/after, both clusters
+    assert len(all_sums) == 1, sorted(all_sums)
+    assert migration["report"].new_count == 4
+    assert migration["report"].rows_moved > 0
+    assert live_n > 0  # the cluster really served during the migration
+    if not bench_smoke():
+        assert live_tput >= steady_tput * MIN_THROUGHPUT_FRACTION, (
+            f"throughput collapsed to {degradation:.2f}x during migration"
+        )
+    for conn in (session, live, quiesced):
+        conn.close()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

@@ -103,6 +103,31 @@ class ShardBackend(Backend, Protocol):
 
     def execute_partial(self, query): ...
 
+    # -- elastic resharding (bucket-chunk migration; see cluster.rebalance) ----
+
+    def shard_migrate_extract(
+        self,
+        name: str,
+        num_chunks: int,
+        chunk: int,
+        old_modulus: int,
+        new_modulus: int,
+    ): ...
+
+    def shard_migrate_stage(self, name: str, table, placement=None) -> int: ...
+
+    def shard_migrate_unstage(
+        self, name: str, num_chunks: int, chunk: int
+    ) -> int: ...
+
+    def shard_migrate_promote(self, name: str, placement=None) -> int: ...
+
+    def shard_migrate_purge(
+        self, name: str, modulus: int, keep_index: int, placement=None
+    ) -> int: ...
+
+    def shard_migrate_abort(self, name: str) -> bool: ...
+
 
 @runtime_checkable
 class ClusterBackend(Backend, Protocol):
@@ -125,6 +150,21 @@ class ClusterBackend(Backend, Protocol):
     def insert_routed(self, statement, buckets: Sequence[int]) -> int: ...
 
     def scatter_report(self, result_id: int): ...
+
+    # -- elastic resharding (driven by repro.cluster.rebalance) -----------------
+
+    @property
+    def topology(self): ...
+
+    def begin_rebalance(self, plan, incoming: Sequence = ()): ...
+
+    def migration_pending(self) -> tuple: ...
+
+    def copy_chunk(self, table: str, chunk: int, rekey) -> int: ...
+
+    def commit_rebalance(self, rekey, on_step=None): ...
+
+    def recover_rebalance(self) -> str: ...
 
 
 @dataclass

@@ -165,6 +165,30 @@ class Connection:
         """Cached SQL texts in eviction order (least recent first)."""
         return list(self._cache)
 
+    # -- elastic resharding ---------------------------------------------------
+
+    def rebalance(self, target_count: int, *, endpoints=None, **options):
+        """Grow or shrink this session's cluster to ``target_count`` shards.
+
+        Online: other sessions keep executing while encrypted buckets
+        stream between shards, re-keyed in flight.  ``endpoints`` supplies
+        ``"host:port"`` daemons (or server objects) when growing a remote
+        cluster.  The per-rebalance leakage report (reassignment
+        cardinalities) is recorded on this session's context and returned
+        as part of the :class:`~repro.cluster.rebalance.RebalanceReport`.
+        """
+        self._check_open()
+        try:
+            report = self.proxy.rebalance(
+                target_count, endpoints=endpoints, **options
+            )
+        except exc.Error:
+            raise
+        except Exception as error:
+            raise exc.map_exception(error) from error
+        self.context.record_statement(report.leakage)
+        return report
+
     # -- transactions --------------------------------------------------------
 
     def begin(self) -> None:

@@ -59,7 +59,7 @@ def _mapping() -> list:
     from repro.core.encryptor import UploadError
     from repro.core.keystore import KeyStoreError
     from repro.core.rewriter import RewriteError, UnsupportedQueryError
-    from repro.core.server import StaleSnapshotError
+    from repro.core.server import ServerBusyError, StaleSnapshotError
     from repro.engine.catalog import CatalogError
     from repro.engine.dml import DMLError
     from repro.engine.executor import ExecutionError
@@ -81,6 +81,7 @@ def _mapping() -> list:
         (UDFError, ProgrammingError),
         (EvaluationError, ProgrammingError),
         (DMLError, ProgrammingError),
+        (ServerBusyError, OperationalError),
         (StaleSnapshotError, OperationalError),
         (ExecutionError, OperationalError),
         (DecryptionError, OperationalError),

@@ -46,6 +46,7 @@ _KINDS = {
     ast.Delete: "delete",
     ast.TxnControl: "txn",
     ast.CreateTable: "create",
+    ast.AlterCluster: "alter",
 }
 
 
@@ -182,28 +183,34 @@ class Statement:
             )
         proxy = self.proxy
         context = self.connection.context
-        variant = self._variant_for(params)
-        t_bind = time.perf_counter()
-        literals = variant.plan.bind_slots(proxy.store.keys.n, params)
-        bind_s = time.perf_counter() - t_bind
+        # plan validation through server execution holds the shared side
+        # of the proxy's key-epoch lock: the plan embeds the column keys
+        # it was rewritten under, and a key rotation (exclusive side)
+        # re-keying the stored shares in between would make the result
+        # undecryptable.  Reads from different sessions still overlap.
+        with proxy._key_lock.read_locked():
+            variant = self._variant_for(params)
+            t_bind = time.perf_counter()
+            literals = variant.plan.bind_slots(proxy.store.keys.n, params)
+            bind_s = time.perf_counter() - t_bind
 
-        t0 = time.perf_counter()
-        server = proxy.server
-        if variant.stmt_id is None or variant.server_id != id(server):
-            # in-process servers take the AST directly; remote ones render
-            # the SQL text once and ship it over the wire.  The server
-            # identity check re-prepares after a server swap (e.g. crash
-            # recovery replacing proxy.server) so a stale handle can never
-            # alias a fresh one.
-            variant.stmt_id = server.prepare_query(
-                variant.plan.query, session=context.session_id
+            t0 = time.perf_counter()
+            server = proxy.server
+            if variant.stmt_id is None or variant.server_id != id(server):
+                # in-process servers take the AST directly; remote ones
+                # render the SQL text once and ship it over the wire.  The
+                # server identity check re-prepares after a server swap
+                # (e.g. crash recovery replacing proxy.server) so a stale
+                # handle can never alias a fresh one.
+                variant.stmt_id = server.prepare_query(
+                    variant.plan.query, session=context.session_id
+                )
+                variant.server_id = id(server)
+                self._server_handles.append([server, variant.stmt_id])
+            result_id, num_rows = server.execute_prepared(
+                variant.stmt_id, literals, session=context.session_id
             )
-            variant.server_id = id(server)
-            self._server_handles.append([server, variant.stmt_id])
-        result_id, num_rows = server.execute_prepared(
-            variant.stmt_id, literals, session=context.session_id
-        )
-        server_s = time.perf_counter() - t0
+            server_s = time.perf_counter() - t0
         self._mark_used()
         # snapshot-epoch observation: in-process backends expose the epoch
         # as a plain attribute; wire backends make it an explicit call, so

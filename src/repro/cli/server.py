@@ -24,6 +24,9 @@ def main(argv: Optional[list] = None) -> int:
                         help="partition-parallel execution over N partitions")
     parser.add_argument("--shard-id", type=int, default=None, metavar="I",
                         help="identity within a sharded cluster (see repro.cluster)")
+    parser.add_argument("--max-session-queue", type=int, default=64, metavar="N",
+                        help="admission control: max in-flight requests per "
+                             "session before replying 'server busy' (0: off)")
     args = parser.parse_args(argv)
 
     if args.durable:
@@ -43,7 +46,10 @@ def main(argv: Optional[list] = None) -> int:
 
     from repro.net.server import SDBNetServer
 
-    server = SDBNetServer((args.host, args.port), sdb_server=sdb_server)
+    server = SDBNetServer(
+        (args.host, args.port), sdb_server=sdb_server,
+        max_session_queue=args.max_session_queue,
+    )
     shard = "" if args.shard_id is None else f" (shard {args.shard_id})"
     print(f"sdb-server listening on {args.host}:{server.port}{shard}", flush=True)
     try:

@@ -20,6 +20,9 @@ client/server cost split.  Backslash commands inspect the deployment:
                         (hits/misses/evictions; per statement: plans,
                         parameter type signatures, last-used)
     \\shards             per-shard status of a cluster deployment
+    \\rebalance <n> [host:port,...]   grow/shrink the cluster to n shards
+                        online (encrypted buckets migrate re-keyed; SQL
+                        equivalent: ALTER CLUSTER ADD/REMOVE SHARD)
     \\rewrite on|off     toggle printing the rewritten SQL after queries
     \\quit               exit
 
@@ -180,6 +183,8 @@ class SDBShell:
             return self._render_statements()
         if name == "shards":
             return self._render_shards()
+        if name == "rebalance":
+            return self._rebalance(argument)
         if name == "rotate":
             parts = argument.split()
             if len(parts) != 2:
@@ -305,6 +310,28 @@ class SDBShell:
                 f"parameter(s), {statement.plan_variants} plan(s), "
                 f"{statement.executions} execution(s), {used}{sig}"
             )
+        return "\n".join(lines)
+
+    def _rebalance(self, argument: str) -> str:
+        parts = argument.split()
+        if not parts or not parts[0].isdigit():
+            return "usage: \\rebalance <target shard count> [host:port,...]"
+        target = int(parts[0])
+        endpoints = parts[1].split(",") if len(parts) > 1 else None
+        if not hasattr(self.proxy.server, "num_shards"):
+            return "(not a cluster deployment; see repro.cluster)"
+        try:
+            report = self.conn.rebalance(target, endpoints=endpoints)
+        except Exception as exc:
+            return f"error: {exc}"
+        lines = [
+            f"topology epoch {report.epoch}: {report.old_count} -> "
+            f"{report.new_count} shard(s); {report.rows_moved} row(s) "
+            f"migrated (re-keyed in flight), {report.rekeyed_columns} "
+            f"column key(s) rotated in {report.elapsed_s:.2f}s"
+        ]
+        for entry in report.leakage:
+            lines.append(f"  leakage: {entry}")
         return "\n".join(lines)
 
     def _render_shards(self) -> str:

@@ -13,7 +13,11 @@ principles on top of the existing single-node substrate:
   on is a keyed PRF of its shard-key plaintext, computed at the proxy, so
   no service provider ever learns the key value -- only the bucket;
 * :mod:`~repro.cluster.local` -- subprocess shard daemons for benches and
-  demos (separate interpreters, so scatter really runs in parallel).
+  demos (separate interpreters, so scatter really runs in parallel);
+* :mod:`~repro.cluster.rebalance` -- elastic resharding: online shard
+  topology changes (grow/shrink) that stream re-keyed encrypted rows
+  shard to shard via the key-update protocol, with a crash-safe commit
+  record (old topology wins until it exists).
 
 Because sensitive cells are secret shares in a ring, a partial
 ``sdb_agg_sum`` computed on one shard is itself a valid share: merging
@@ -23,14 +27,26 @@ thread-parallel engine (:mod:`repro.engine.partial`).
 
 from repro.cluster.coordinator import Coordinator, Placement, ScatterReport, ShardError
 from repro.cluster.local import LocalShardCluster, launch_local_shards
+from repro.cluster.rebalance import (
+    RebalanceError,
+    RebalancePlan,
+    RebalanceReport,
+    ShardTopology,
+    rebalance_cluster,
+)
 from repro.cluster.router import shard_bucket
 
 __all__ = [
     "Coordinator",
     "LocalShardCluster",
     "Placement",
+    "RebalanceError",
+    "RebalancePlan",
+    "RebalanceReport",
     "ScatterReport",
     "ShardError",
+    "ShardTopology",
     "launch_local_shards",
+    "rebalance_cluster",
     "shard_bucket",
 ]

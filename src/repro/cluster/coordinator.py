@@ -34,10 +34,22 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.server import _MaterializedResult
+from repro.cluster.rebalance import (
+    ClusterMigration,
+    RebalancePlan,
+    ShardTopology,
+)
+from repro.cluster.router import routing_residue, shard_of_residue
+from repro.core.server import (
+    BUCKET_COLUMN,
+    MIGRATION_STAGING_PREFIX,
+    ServerBusyError,
+    _MaterializedResult,
+)
 from repro.core.sync import ReadWriteLock
 from repro.core.udfs import register_sdb_udfs
 from repro.engine.catalog import Catalog
@@ -70,6 +82,24 @@ MATERIALIZED_PREFIX = "__cluster_full__"
 #: Per-statement temporary name for full-table copies broadcast to every
 #: shard so a scattered DML's subqueries see whole tables, not slices.
 BROADCAST_PREFIX = "__cluster_bcast__"
+
+#: Primary-shard relation recording the committed topology (epoch, count).
+TOPOLOGY_TABLE = "__cluster_topology__"
+
+#: Primary-shard relation recording an in-flight rebalance commit: once it
+#: exists, the new topology wins and recovery rolls the commit *forward*;
+#: until it exists, the old topology wins and staging is discarded.
+COMMIT_TABLE = "__cluster_commit__"
+
+#: Table-name prefixes that are coordinator/migration machinery, never
+#: operator-placed relations.
+INTERNAL_PREFIXES = (
+    MATERIALIZED_PREFIX,
+    BROADCAST_PREFIX,
+    MIGRATION_STAGING_PREFIX,
+    TOPOLOGY_TABLE,
+    COMMIT_TABLE,
+)
 
 
 class ShardError(RuntimeError):
@@ -135,7 +165,12 @@ class _ClusterStatement:
         #: every parameter marker binds inside the partial query, so an
         #: execution forwards bindings straight to per-shard handles
         self.forwardable = False
-        self.shard_handles: Optional[list[int]] = None
+        #: per-shard prepared handles as (shard, handle) pairs -- pinned
+        #: to the backends that issued them, so a topology change can
+        #: never alias a stale handle onto a different shard
+        self.shard_handles: Optional[list[tuple]] = None
+        #: topology epoch the route/handles were planned against
+        self.topology_epoch: Optional[int] = None
         # plan/handle initialization is once-per-statement; concurrent
         # sessions executing the same prepared handle must not race it
         self._plan_lock = threading.Lock()
@@ -144,7 +179,17 @@ class _ClusterStatement:
         self, coordinator: "Coordinator", params: tuple
     ) -> tuple[Table, "ScatterReport"]:
         with self._plan_lock:
+            epoch = coordinator.topology.epoch
+            if self.route is not None and self.topology_epoch != epoch:
+                # the cluster was resharded under this statement: the
+                # cached route scatters over a shard set that no longer
+                # exists -- drop handles and re-plan against the new one
+                self._release_handles()
+                self.route = None
+                self.split = None
+                self.forwardable = False
             if self.route is None:
+                self.topology_epoch = epoch
                 self.route = coordinator._classify(self.query)
                 if self.route[0] == "scatter":
                     self.split = coordinator._plan_scatter(
@@ -161,7 +206,7 @@ class _ClusterStatement:
                 and self.shard_handles is None
             ):
                 self.shard_handles = [
-                    shard.prepare_query(self.split.partial)
+                    (shard, shard.prepare_query(self.split.partial))
                     for shard in coordinator.shards
                 ]
             # snapshot under the lock: a concurrent close_prepared nulls
@@ -178,25 +223,36 @@ class _ClusterStatement:
         bound = bind_parameters(self.query, params)
         return coordinator._run(bound, self.route)
 
-    def close(self, coordinator: "Coordinator") -> None:
-        with self._plan_lock:  # serialize against in-flight planning
-            handles, self.shard_handles = self.shard_handles, None
-        if handles is None:
-            return
-        for shard, handle in zip(coordinator.shards, handles):
+    def _release_handles(self) -> None:
+        handles, self.shard_handles = self.shard_handles, None
+        for shard, handle in handles or ():
             try:
                 shard.close_prepared(handle)
             except Exception:
                 pass  # shard already gone
 
+    def close(self, coordinator: "Coordinator") -> None:
+        with self._plan_lock:  # serialize against in-flight planning
+            self._release_handles()
+
 
 class Coordinator:
     """Scatter-gather executor over ``shards`` (SDBServer-compatible)."""
 
-    def __init__(self, shards: Sequence):
+    def __init__(self, shards: Sequence, max_session_inflight: int = 32):
         if not shards:
             raise ShardError("a cluster needs at least one shard backend")
         self.shards = list(shards)
+        #: the *committed* cluster shape; rows route by
+        #: ``residue mod topology.shard_count`` and every committed
+        #: rebalance bumps the epoch (persisted on the primary shard)
+        self.topology = ShardTopology(epoch=0, shard_count=len(self.shards))
+        #: in-flight rebalance (None outside a migration)
+        self._migration: Optional[ClusterMigration] = None
+        #: admission control: per-session statements currently in flight;
+        #: overflow raises ServerBusyError instead of queueing unboundedly
+        self.max_session_inflight = max_session_inflight
+        self._inflight: dict = {}
         self.udfs = UDFRegistry()
         register_sdb_udfs(self.udfs)
         self._placements: dict[str, Placement] = {}
@@ -231,6 +287,7 @@ class Coordinator:
         )
         self.last_scatter: Optional[ScatterReport] = None
         self._bootstrap_placements()
+        self._bootstrap_topology()
 
     @property
     def epoch(self) -> int:
@@ -249,6 +306,8 @@ class Coordinator:
         statuses = [shard.shard_status() for shard in self.shards]
         for status in statuses:
             for name, placed in status.get("placements", {}).items():
+                if name.lower().startswith(INTERNAL_PREFIXES):
+                    continue
                 self._placements[name.lower()] = Placement(
                     name.lower(), (placed.get("shard_by") or "").lower() or None
                 )
@@ -257,7 +316,137 @@ class Coordinator:
             if key.startswith(MATERIALIZED_PREFIX):
                 self._materialized.add(key[len(MATERIALIZED_PREFIX):])
                 continue
+            if key.startswith(INTERNAL_PREFIXES):
+                continue
             self._placements.setdefault(key, Placement(key, None))
+
+    def _bootstrap_topology(self) -> None:
+        """Adopt the committed topology and finish or undo a crashed rebalance.
+
+        The primary's :data:`TOPOLOGY_TABLE` names the committed shape.  A
+        surviving :data:`COMMIT_TABLE` means a rebalance crashed *after*
+        its commit record: the new topology already won, so the commit is
+        rolled forward (idempotent promote + purge).  Any orphan staging
+        relations without a commit record belong to a rebalance that never
+        committed: the old topology wins and they are dropped.
+        """
+        names = self._primary_table_names()
+        # adopt the persisted shape *before* any roll-forward: the commit
+        # completion bumps from the adopted epoch, so a recovered epoch
+        # stays monotone across coordinator generations
+        if TOPOLOGY_TABLE in names:
+            record = self.primary.shard_dump(TOPOLOGY_TABLE)
+            if record.num_rows:
+                epoch = int(record.column("epoch")[-1])
+                count = int(record.column("shard_count")[-1])
+                if count > len(self.shards):
+                    raise ShardError(
+                        f"committed topology has {count} shard(s) but only "
+                        f"{len(self.shards)} backend(s) were supplied"
+                    )
+                self.topology = ShardTopology(epoch=epoch, shard_count=count)
+        if COMMIT_TABLE in names:
+            self._roll_forward_commit()
+        # drop orphan staging left by an uncommitted, crashed rebalance
+        for index, shard in enumerate(self.shards):
+            status = shard.shard_status()
+            for name in list(status.get("tables", {})):
+                if name.lower().startswith(MIGRATION_STAGING_PREFIX):
+                    base = name[len(MIGRATION_STAGING_PREFIX):]
+                    try:
+                        shard.shard_migrate_abort(base)
+                    except Exception:
+                        pass  # unreachable shard; staging is inert anyway
+
+    def _roll_forward_commit(self) -> None:
+        """Complete a rebalance whose commit record exists (idempotent)."""
+        record = self.primary.shard_dump(COMMIT_TABLE)
+        if record.num_rows == 0:
+            self.primary.drop_table(COMMIT_TABLE)
+            return
+        old_n = int(record.column("old_n")[0])
+        new_n = int(record.column("new_n")[0])
+        if new_n > len(self.shards):
+            raise ShardError(
+                f"crashed rebalance committed to {new_n} shard(s) but only "
+                f"{len(self.shards)} backend(s) were supplied"
+            )
+        tables = {
+            str(name).lower(): (str(shard_by).lower() or None)
+            for name, shard_by in zip(
+                record.column("name"), record.column("shard_by")
+            )
+            if str(name)  # skip the no-sharded-tables sentinel row
+        }
+        self._complete_commit(tables, old_n, new_n)
+
+    def _complete_commit(
+        self, tables: dict, old_n: int, new_n: int, on_step=None
+    ) -> None:
+        """Promote staging, purge movers, persist the new topology.
+
+        Every step is idempotent, so this may be re-driven any number of
+        times after a crash: promotion deduplicates staged rows by their
+        row-id ciphertexts, and the purge keeps exactly the rows the new
+        modulus places here.
+        """
+        def step(label: str) -> None:
+            if on_step is not None:
+                on_step(label)
+
+        for table, shard_by in tables.items():
+            for index in range(new_n):
+                step(f"commit:promote:{table}:{index}")
+                placement = {
+                    "index": index, "of": new_n, "shard_by": shard_by or "",
+                }
+                self.shards[index].shard_migrate_promote(
+                    table, placement=placement
+                )
+            for index in range(max(old_n, new_n)):
+                step(f"commit:purge:{table}:{index}")
+                placement = None
+                if index < new_n:
+                    placement = {
+                        "index": index, "of": new_n,
+                        "shard_by": shard_by or "",
+                    }
+                self.shards[index].shard_migrate_purge(
+                    table, new_n, index, placement=placement
+                )
+            self._placements[table] = Placement(table, shard_by)
+        step("commit:finish")
+        epoch = self.topology.epoch + 1
+        self._store_topology(epoch, new_n)
+        try:
+            self.primary.drop_table(COMMIT_TABLE)
+        except Exception:
+            pass  # already dropped by a previous recovery pass
+        removed = self.shards[new_n:] if new_n < len(self.shards) else []
+        self.shards = self.shards[:new_n] if new_n < len(self.shards) else self.shards
+        self.topology = ShardTopology(epoch=epoch, shard_count=new_n)
+        for backend in removed:
+            closer = getattr(backend, "close", None)
+            if callable(closer):
+                try:
+                    closer()
+                except Exception:
+                    pass
+
+    def _store_topology(self, epoch: int, shard_count: int) -> None:
+        from repro.engine.schema import ColumnSpec, DataType, Schema
+
+        schema = Schema(
+            (
+                ColumnSpec("epoch", DataType.INT),
+                ColumnSpec("shard_count", DataType.INT),
+            )
+        )
+        self.primary.store_table(
+            TOPOLOGY_TABLE,
+            Table(schema, [[epoch], [shard_count]]),
+            replace=True,
+        )
 
     @property
     def primary(self):
@@ -266,7 +455,8 @@ class Coordinator:
 
     @property
     def num_shards(self) -> int:
-        return len(self.shards)
+        """The *committed* shard count (mid-migration: the old topology)."""
+        return self.topology.shard_count
 
     def close(self) -> None:
         """Release the scatter pool and any remote shard connections."""
@@ -323,17 +513,30 @@ class Coordinator:
                 f"bucket count {len(buckets)} != row count {table.num_rows}"
             )
         with self._lock.write_locked():
+            if self._migration is not None:
+                raise ShardError(
+                    "cannot upload a sharded table while a rebalance is in "
+                    "progress"
+                )
             self._epoch += 1
-            groups: list[list[int]] = [[] for _ in range(self.num_shards)]
-            for row_index, bucket in enumerate(buckets):
-                groups[bucket % self.num_shards].append(row_index)
-            for index, (shard, indices) in enumerate(zip(self.shards, groups)):
+            # the stored slice carries each row's routing residue in the
+            # hidden __bucket column: elastic resharding selects movers
+            # shard-side from it, without the routing PRF key
+            residues = [routing_residue(bucket) for bucket in buckets]
+            stored = self._with_bucket_column(table, residues)
+            count = self.num_shards
+            groups: list[list[int]] = [[] for _ in range(count)]
+            for row_index, residue in enumerate(residues):
+                groups[shard_of_residue(residue, count)].append(row_index)
+            for index, (shard, indices) in enumerate(
+                zip(self.shards[:count], groups)
+            ):
                 shard.shard_store(
                     name,
-                    table.take(indices),
+                    stored.take(indices),
                     placement={
                         "index": index,
-                        "of": self.num_shards,
+                        "of": count,
                         "shard_by": shard_column.lower(),
                     },
                     replace=replace,
@@ -343,10 +546,31 @@ class Coordinator:
             )
             self._invalidate_materialized(name)
 
+    @staticmethod
+    def _with_bucket_column(table: Table, residues: Sequence[int]) -> Table:
+        from repro.engine.schema import ColumnSpec, DataType
+
+        if BUCKET_COLUMN in table.schema.names:
+            return table
+        return table.with_column(
+            ColumnSpec(BUCKET_COLUMN, DataType.INT), list(residues)
+        )
+
     def drop_table(self, name: str) -> None:
         with self._lock.write_locked():
             self._epoch += 1
             placement = self._placements.pop(name.lower(), None)
+            if self._migration is not None:
+                # a dropped table has nothing left to migrate
+                # (_state_lock: migration_pending iterates these dicts)
+                with self._state_lock:
+                    self._migration.tables.pop(name.lower(), None)
+                    self._migration.pending.pop(name.lower(), None)
+                for shard in self.shards:
+                    try:
+                        shard.shard_migrate_abort(name)
+                    except Exception:
+                        pass
             self._invalidate_materialized(name)
             if placement is not None and placement.sharded:
                 for shard in self.shards:
@@ -358,6 +582,43 @@ class Coordinator:
 
     # -- queries -------------------------------------------------------------
 
+    @contextmanager
+    def _admit(self, session):
+        """Admission-control guard: bounded per-session in-flight work.
+
+        A session may have at most :attr:`max_session_inflight` statements
+        in flight on this coordinator; the overflow statement fails fast
+        with :class:`ServerBusyError` (mapped to
+        ``api.OperationalError("server busy ...")``) instead of growing
+        the scatter pool's queue without bound.
+        """
+        if session is None or self.max_session_inflight <= 0:
+            yield
+            return
+        with self._state_lock:
+            count = self._inflight.get(session, 0)
+            if count >= self.max_session_inflight:
+                raise ServerBusyError(
+                    f"server busy: session {session} already has "
+                    f"{count} statement(s) in flight "
+                    f"(limit {self.max_session_inflight})"
+                )
+            self._inflight[session] = count + 1
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                remaining = self._inflight.get(session, 1) - 1
+                if remaining <= 0:
+                    self._inflight.pop(session, None)
+                else:
+                    self._inflight[session] = remaining
+
+    def session_inflight(self) -> dict:
+        """Current per-session in-flight counts (observability/tests)."""
+        with self._state_lock:
+            return dict(self._inflight)
+
     def execute(self, query, session=None) -> Table:
         """Run a (rewritten) query, routed per :attr:`last_scatter`.
 
@@ -366,7 +627,7 @@ class Coordinator:
         """
         if isinstance(query, str):
             query = parse(query)
-        with self._lock.read_locked():
+        with self._admit(session), self._lock.read_locked():
             table, report = self._run(query, self._classify(query))
             self.last_scatter = report
             return table
@@ -417,13 +678,18 @@ class Coordinator:
         return self._run_fallback(query, extra)
 
     def _scatter(self, partial: ast.Select) -> list[Table]:
-        if self.num_shards == 1:
+        # mid-migration the scatter set is the union of old and incoming
+        # shards (incoming live slices are empty until the commit), so
+        # every row is seen exactly once regardless of migration progress
+        if len(self.shards) == 1:
             return [self.shards[0].execute_partial(partial)]
         return list(
             self._pool.map(lambda shard: shard.execute_partial(partial), self.shards)
         )
 
-    def _scatter_prepared(self, handles: list[int], params: Sequence) -> list[Table]:
+    def _scatter_prepared(
+        self, handles: list[tuple], params: Sequence
+    ) -> list[Table]:
         def run(pair):
             shard, handle = pair
             result_id, _ = shard.execute_prepared(handle, list(params))
@@ -434,7 +700,7 @@ class Coordinator:
                     shard.close_result(result_id)
                 except Exception:
                     pass
-        pairs = list(zip(self.shards, handles))
+        pairs = list(handles)
         if len(pairs) == 1:
             return [run(pairs[0])]
         return list(self._pool.map(run, pairs))
@@ -493,16 +759,17 @@ class Coordinator:
         self, query: ast.Select, split: SplitPlan, route: tuple
     ) -> ScatterReport:
         table_name = query.from_clause.name.lower()
+        scattered = len(self.shards)
         if route[1] == "pushdown":
             reason = (
                 f"shard-local GROUP BY pushdown (group key is the shard key) "
-                f"over {self.num_shards} shard(s)"
+                f"over {scattered} shard(s)"
             )
         else:
-            reason = f"partial {split.kind} over {self.num_shards} shard(s)"
+            reason = f"partial {split.kind} over {scattered} shard(s)"
         return ScatterReport(
             mode="scatter",
-            shards=self.num_shards,
+            shards=scattered,
             reason=reason,
             leakage=(
                 f"cluster: each shard sees the partial query over its PRF "
@@ -593,10 +860,16 @@ class Coordinator:
             from repro.sql.parser import parse_statement
 
             statement = parse_statement(statement)
-        with self._lock.write_locked():
+        with self._admit(session), self._lock.write_locked():
             self._epoch += 1
             target = statement.table.lower()
             placement = self._placements.get(target)
+            if self._migration is not None and target in self._migration.tables:
+                # an UPDATE/DELETE may change or remove mover rows that a
+                # copy pass already staged: every chunk re-copies
+                # (_state_lock: migration_pending iterates these sets)
+                with self._state_lock:
+                    self._migration.mark_all_dirty(target)
             # tables the statement *reads* (subquery TableRefs; the DML
             # target itself is a plain name field, not a TableRef)
             read_refs = referenced_tables(statement)
@@ -680,23 +953,40 @@ class Coordinator:
             )
         with self._lock.write_locked():
             self._epoch += 1
-            placement = self._placements.get(statement.table.lower())
+            target = statement.table.lower()
+            placement = self._placements.get(target)
             if placement is None or not placement.sharded:
                 raise ShardError(
                     f"table {statement.table!r} is not sharded; "
                     "use execute_dml"
                 )
-            groups: list[list] = [[] for _ in range(self.num_shards)]
-            for row, bucket in zip(statement.rows, buckets):
-                groups[bucket % self.num_shards].append(row)
+            residues = [routing_residue(bucket) for bucket in buckets]
+            # rows land on the *committed* topology (the old one, mid-
+            # migration); chunks an insert touches go back on the pending
+            # list so the migration re-copies them before it commits
+            if self._migration is not None and target in self._migration.tables:
+                # _state_lock: the driver's migration_pending() iterates
+                # these sets without holding the execution lock
+                with self._state_lock:
+                    self._migration.mark_dirty(
+                        target,
+                        {self._migration.plan.chunk_of(r) for r in residues},
+                    )
+            count = self.num_shards
+            columns = tuple(statement.columns or ()) + (BUCKET_COLUMN,)
+            groups: list[list] = [[] for _ in range(count)]
+            for row, residue in zip(statement.rows, residues):
+                groups[shard_of_residue(residue, count)].append(
+                    tuple(row) + (ast.Literal(residue),)
+                )
             affected = 0
-            for shard, rows in zip(self.shards, groups):
+            for shard, rows in zip(self.shards[:count], groups):
                 if not rows:
                     continue
                 affected += shard.execute_dml(
                     ast.Insert(
                         table=statement.table,
-                        columns=statement.columns,
+                        columns=columns,
                         rows=tuple(rows),
                     )
                 )
@@ -731,6 +1021,12 @@ class Coordinator:
             # slices were restored underneath any materialized copies
             for name in list(self._materialized):
                 self._invalidate_materialized(name)
+            if self._migration is not None:
+                # the restore may have resurrected/undone mover rows on
+                # any slice: every migrating table re-copies from scratch
+                with self._state_lock:
+                    for table in self._migration.tables:
+                        self._migration.mark_all_dirty(table)
 
     def _broadcast_txn(self, action: str) -> None:
         first_error = None
@@ -769,7 +1065,7 @@ class Coordinator:
                 statement = self._prepared[stmt_id]
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
-        with self._lock.read_locked():
+        with self._admit(session), self._lock.read_locked():
             table, report = statement.execute(self, tuple(params))
         with self._state_lock:
             result_id = next(self._handle_ids)
@@ -805,6 +1101,260 @@ class Coordinator:
         if statement is not None:
             statement.close(self)
 
+    # -- elastic resharding (driven by repro.cluster.rebalance) -----------------
+    #
+    # The coordinator owns the mechanics -- topology state, staging,
+    # commit record, recovery -- while the driver
+    # (:func:`repro.cluster.rebalance.rebalance_cluster`) owns policy and
+    # the DO-side re-keying callback (the coordinator itself holds no key
+    # material, so it cannot re-key rows; it is handed re-keyed slices).
+
+    def begin_rebalance(self, plan: RebalancePlan, incoming: Sequence = ()):
+        """Open a migration: attach incoming backends, init pending chunks."""
+        with self._lock.write_locked():
+            if self._migration is not None:
+                raise ShardError("a rebalance is already in progress")
+            if plan.old_count != self.num_shards:
+                raise ShardError(
+                    f"plan starts from {plan.old_count} shard(s) but the "
+                    f"cluster has {self.num_shards}"
+                )
+            incoming_count = 0
+            if plan.new_count > self.num_shards:
+                needed = plan.new_count - len(self.shards)
+                if len(incoming) < needed:
+                    raise ShardError(
+                        f"growing to {plan.new_count} shard(s) needs "
+                        f"{needed} new backend(s), got {len(incoming)}"
+                    )
+                joining = list(incoming)[:needed]
+                # incoming shards need (empty) live slices of every
+                # sharded table so scatter partials run everywhere from
+                # the first moment they are part of the cluster; dump the
+                # primary's slice once per table (schema only -- the rows
+                # are dropped) rather than once per incoming backend
+                empties = {
+                    name: self.shards[0].shard_dump(name).take([])
+                    for name, placement in self._placements.items()
+                    if placement.sharded
+                }
+                for offset, backend in enumerate(joining):
+                    index = len(self.shards) + offset
+                    for name, empty in empties.items():
+                        backend.shard_store(
+                            name,
+                            empty,
+                            placement={
+                                "index": index,
+                                "of": plan.new_count,
+                                "shard_by": self._placements[name].shard_column
+                                or "",
+                            },
+                            replace=True,
+                        )
+                self.shards.extend(joining)
+                incoming_count = needed
+            migration = ClusterMigration(plan=plan, incoming=incoming_count)
+            moved = set(plan.moved_chunks())
+            for name, placement in self._placements.items():
+                if placement.sharded:
+                    migration.tables[name] = placement.shard_column
+                    migration.pending[name] = set(moved)
+            self._migration = migration
+            return migration
+
+    def migration_pending(self) -> tuple:
+        """(table, chunk) pairs still needing a copy pass (dirty included)."""
+        with self._state_lock:
+            if self._migration is None:
+                return ()
+            return tuple(
+                sorted(
+                    (table, chunk)
+                    for table, chunks in self._migration.pending.items()
+                    for chunk in chunks
+                )
+            )
+
+    def copy_chunk(self, table: str, chunk: int, rekey) -> int:
+        """Copy one chunk's movers into destination staging, re-keyed.
+
+        Runs under the *shared* side of the execution lock: concurrent
+        reads proceed, while writers (which would dirty the chunk under
+        our feet) are excluded for the duration of the copy.  ``rekey``
+        is the DO-side callback ``(table_name, slice) -> re-keyed slice``.
+        """
+        table = table.lower()
+        with self._lock.read_locked():
+            migration = self._migration
+            if migration is None or table not in migration.tables:
+                return 0
+            plan = migration.plan
+            # a re-copied (dirty) chunk replaces whatever it staged before
+            for shard in self.shards[: plan.new_count]:
+                shard.shard_migrate_unstage(table, plan.num_chunks, chunk)
+            migration.clear_chunk_moves(table, chunk)
+            shard_by = migration.tables[table]
+            moved = 0
+            for src in range(plan.old_count):
+                movers = self.shards[src].shard_migrate_extract(
+                    table, plan.num_chunks, chunk,
+                    plan.old_count, plan.new_count,
+                )
+                if movers.num_rows == 0:
+                    continue
+                rekeyed = rekey(table, movers)
+                residues = rekeyed.column(BUCKET_COLUMN)
+                groups: dict[int, list] = {}
+                for i, residue in enumerate(residues):
+                    dst = shard_of_residue(residue, plan.new_count)
+                    groups.setdefault(dst, []).append(i)
+                for dst, indices in sorted(groups.items()):
+                    self.shards[dst].shard_migrate_stage(
+                        table,
+                        rekeyed.take(indices),
+                        placement={
+                            "index": dst,
+                            "of": plan.new_count,
+                            "shard_by": shard_by or "",
+                        },
+                    )
+                    migration.record_move(table, chunk, src, dst, len(indices))
+                    moved += len(indices)
+            with self._state_lock:
+                pending = migration.pending.get(table)
+                if pending is not None:
+                    pending.discard(chunk)
+            return moved
+
+    def commit_rebalance(self, rekey, on_step=None) -> ClusterMigration:
+        """Settle dirty chunks, write the commit record, flip the topology.
+
+        Exclusive: sessions queue behind the write lock for the duration
+        of the final settle + promote/purge (copy passes already moved the
+        bulk).  Once the commit record is written the new topology wins --
+        a crash after that point is rolled *forward* by recovery.
+        """
+        def step(label: str) -> None:
+            if on_step is not None:
+                on_step(label)
+
+        with self._lock.write_locked():
+            migration = self._migration
+            if migration is None:
+                raise ShardError("no rebalance in progress")
+            plan = migration.plan
+            # final settle: chunks dirtied by concurrent writes re-copy
+            # here, under exclusion, so staging is exact at the record
+            while True:
+                pending = self.migration_pending()
+                if not pending:
+                    break
+                for table, chunk in pending:
+                    step(f"settle:{table}:{chunk}")
+                    self.copy_chunk(table, chunk, rekey)
+            step("commit:record")
+            self._store_commit_record(migration)
+            tables = dict(migration.tables)
+            self._complete_commit(
+                tables, plan.old_count, plan.new_count, on_step=on_step
+            )
+            self._migration = None
+            self._epoch += 1
+            for name in list(self._materialized):
+                self._invalidate_materialized(name)
+            return migration
+
+    def recover_rebalance(self) -> str:
+        """Resolve an interrupted rebalance; returns 'forward' | 'back' | 'none'.
+
+        *With* a commit record (or an already-persisted new topology), the
+        commit is completed -- the new topology wins.  *Without* one, the
+        old topology wins: staging is dropped and incoming backends are
+        detached.  Also runs implicitly when a fresh coordinator attaches
+        to shards left behind by a crashed one.
+        """
+        with self._lock.write_locked():
+            migration, self._migration = self._migration, None
+            names = self._primary_table_names()
+            if COMMIT_TABLE in names:
+                self._roll_forward_commit()
+                self._epoch += 1
+                return "forward"
+            if (
+                migration is not None
+                and TOPOLOGY_TABLE in names
+                and self._committed_count() == migration.plan.new_count
+            ):
+                # crashed in the tiny window after the record was consumed:
+                # the new topology is already persisted and complete
+                self.topology = ShardTopology(
+                    epoch=self.topology.epoch, shard_count=self._committed_count()
+                )
+                self._epoch += 1
+                return "forward"
+            tables = (
+                list(migration.tables)
+                if migration is not None
+                else [n for n, p in self._placements.items() if p.sharded]
+            )
+            for shard in self.shards:
+                for table in tables:
+                    try:
+                        shard.shard_migrate_abort(table)
+                    except Exception:
+                        pass  # unreachable shard; staging is inert
+            if migration is not None and migration.incoming:
+                keep = len(self.shards) - migration.incoming
+                detached, self.shards = self.shards[keep:], self.shards[:keep]
+                for backend in detached:
+                    for table in tables:
+                        try:
+                            backend.drop_table(table)
+                        except Exception:
+                            pass
+                    closer = getattr(backend, "close", None)
+                    if callable(closer):
+                        try:
+                            closer()
+                        except Exception:
+                            pass
+            self._epoch += 1
+            return "back" if migration is not None else "none"
+
+    def _committed_count(self) -> int:
+        record = self.primary.shard_dump(TOPOLOGY_TABLE)
+        if record.num_rows == 0:
+            return self.topology.shard_count
+        return int(record.column("shard_count")[-1])
+
+    def _store_commit_record(self, migration: ClusterMigration) -> None:
+        from repro.engine.schema import ColumnSpec, DataType, Schema
+
+        plan = migration.plan
+        schema = Schema(
+            (
+                ColumnSpec("name", DataType.STRING),
+                ColumnSpec("shard_by", DataType.STRING),
+                ColumnSpec("old_n", DataType.INT),
+                ColumnSpec("new_n", DataType.INT),
+                ColumnSpec("num_chunks", DataType.INT),
+            )
+        )
+        names = sorted(migration.tables)
+        if not names:
+            # no sharded tables: the record still has to carry the target
+            # shape, or recovery could not flip the topology
+            names = [""]
+        columns = [
+            list(names),
+            [migration.tables.get(name) or "" for name in names],
+            [plan.old_count] * len(names),
+            [plan.new_count] * len(names),
+            [plan.num_chunks] * len(names),
+        ]
+        self.primary.store_table(COMMIT_TABLE, Table(schema, columns), replace=True)
+
     # -- introspection ---------------------------------------------------------
 
     def shard_status(self) -> list[dict]:
@@ -814,7 +1364,7 @@ class Coordinator:
         per-statement broadcast copies) are filtered out: they are cache
         state, not relations an operator placed.
         """
-        internal = (MATERIALIZED_PREFIX, BROADCAST_PREFIX)
+        internal = INTERNAL_PREFIXES
         with self._lock.read_locked():
             out = []
             for index, shard in enumerate(self.shards):

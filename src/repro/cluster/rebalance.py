@@ -1,0 +1,450 @@
+"""Elastic resharding: online shard-topology changes via key update.
+
+A live cluster grows or shrinks without ever decrypting a row and without
+stopping sessions.  The moving parts:
+
+* :class:`ShardTopology` -- the *committed* shape of the cluster (shard
+  count + monotone topology epoch), owned by the coordinator and persisted
+  on the primary shard, so a reattaching coordinator routes exactly like
+  the one that committed it.
+* :class:`RebalancePlan` -- which routing-residue chunks move when the
+  shard count changes from ``old_count`` to ``new_count``.  Rows route by
+  ``residue mod count`` (``repro.cluster.router``), so the movers are
+  exactly the residues whose assignment differs between the two moduli;
+  they are migrated in ``num_chunks`` bucket-sized chunks
+  (``chunk = residue mod num_chunks``), and a whole residue class -- i.e.
+  every row sharing a shard-key value -- always moves atomically.
+* :class:`RowRekeyer` -- the DO-side in-flight re-keying.  Every migrated
+  row gets a **fresh row id**: its shares are re-encrypted with
+  :func:`repro.crypto.keyops.reshard_update_factor` (the key-update
+  protocol at per-row granularity, column keys unchanged) and its hidden
+  ``__rowid``/``__s`` cells are rebuilt for the new id.  Decryption stays
+  consistent at every intermediate state -- the column keys never change
+  mid-flight -- while the destination shard's ciphertexts are unlinkable
+  to (and not replayable from) the source shard's.
+* :func:`rebalance_cluster` -- the migration driver.  Copy passes stream
+  re-keyed movers into invisible staging relations under the readers side
+  of the coordinator lock (sessions keep executing); concurrent writes
+  mark their chunks dirty and are re-copied; the commit runs exclusively:
+  it writes the commit record, promotes staging into the live slices,
+  purges movers from the sources, and persists the bumped topology epoch.
+  **Old topology wins until the commit record exists; after it, recovery
+  rolls the commit forward** -- both directions are idempotent
+  (promotion deduplicates by row-id ciphertext, purge is a pure function
+  of stored residues).
+
+After the data moves, the driver optionally rotates every sensitive
+column key (and the auxiliary key) of each migrated table through the
+classic SP-side key-update protocol
+(:func:`repro.crypto.keyops.key_update_params` via
+``SDBProxy.rotate_column_key``), so ciphertexts captured from the old
+topology are rejected wholesale by the new key material.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.router import ROUTING_SPACE
+from repro.core.encryptor import AUX_COLUMN, ROWID_COLUMN, _random_nonce
+from repro.core.keystore import KeyStore
+from repro.crypto.keyops import reshard_update_factor
+from repro.crypto.sies import SIESCipher
+from repro.engine.table import Table
+
+#: Default number of migration chunks (``residue mod num_chunks``).  Small
+#: enough that per-chunk overhead is negligible, large enough that the
+#: exclusive commit step only ever has a few dirty chunks to settle.
+DEFAULT_NUM_CHUNKS = 16
+
+
+class RebalanceError(RuntimeError):
+    """Invalid topology change or a failed/conflicting migration."""
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The committed cluster shape: shard count + monotone epoch."""
+
+    epoch: int
+    shard_count: int
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """Which residue chunks move when the shard count changes.
+
+    Placement is ``residue mod count`` over the stored routing residues
+    (``0 <= residue < ROUTING_SPACE``), so the plan is a pure function of
+    the two counts: residue ``r`` moves iff ``r % old != r % new``, from
+    shard ``r % old`` to shard ``r % new``.  Chunks group residues by
+    ``r % num_chunks``; since equal shard-key values share a residue, a
+    chunk move never splits a key's rows across topologies.
+    """
+
+    old_count: int
+    new_count: int
+    num_chunks: int = DEFAULT_NUM_CHUNKS
+
+    def __post_init__(self):
+        if self.old_count < 1 or self.new_count < 1:
+            raise RebalanceError("shard counts must be positive")
+        if self.old_count == self.new_count:
+            raise RebalanceError("rebalance needs a different shard count")
+        if not 1 <= self.num_chunks <= ROUTING_SPACE:
+            raise RebalanceError(
+                f"num_chunks must be in [1, {ROUTING_SPACE}]"
+            )
+
+    def residue_moves(self, residue: int) -> bool:
+        return residue % self.old_count != residue % self.new_count
+
+    def chunk_of(self, residue: int) -> int:
+        return residue % self.num_chunks
+
+    def moved_chunks(self) -> tuple:
+        """Chunks containing at least one moving residue (usually all)."""
+        moved = set()
+        for residue in range(ROUTING_SPACE):
+            if self.residue_moves(residue):
+                moved.add(self.chunk_of(residue))
+            if len(moved) == self.num_chunks:
+                break
+        return tuple(sorted(moved))
+
+    def moving_fraction(self) -> float:
+        """Fraction of the residue space that changes shards."""
+        moving = sum(
+            1 for residue in range(ROUTING_SPACE) if self.residue_moves(residue)
+        )
+        return moving / ROUTING_SPACE
+
+
+@dataclass
+class ClusterMigration:
+    """Coordinator-held state of one in-flight rebalance.
+
+    ``pending`` maps each migrating table to the chunks still needing a
+    copy pass; concurrent writes re-add the chunks they touch (the copy
+    that already ran staged stale rows, which the re-copy replaces).
+    """
+
+    plan: RebalancePlan
+    #: migrating table -> its shard column (placement metadata for staging)
+    tables: dict = field(default_factory=dict)
+    pending: dict = field(default_factory=dict)
+    #: (table, chunk, src, dst) -> rows staged; a re-copied (dirty) chunk
+    #: *replaces* its entries, so the totals reflect what actually moved
+    moves: dict = field(default_factory=dict)
+    #: backends appended to the cluster for the duration (grow only)
+    incoming: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def mark_dirty(self, table: str, chunks) -> None:
+        if table in self.pending:
+            self.pending[table].update(
+                c for c in chunks if c in self._moved_set()
+            )
+
+    def mark_all_dirty(self, table: str) -> None:
+        if table in self.pending:
+            self.pending[table] = set(self._moved_set())
+
+    def _moved_set(self) -> set:
+        cached = getattr(self, "_moved_cache", None)
+        if cached is None:
+            cached = set(self.plan.moved_chunks())
+            self._moved_cache = cached
+        return cached
+
+    def record_move(
+        self, table: str, chunk: int, src: int, dst: int, rows: int
+    ) -> None:
+        if rows:
+            self.moves[(table, chunk, src, dst)] = rows
+
+    def clear_chunk_moves(self, table: str, chunk: int) -> None:
+        for key in [
+            k for k in self.moves if k[0] == table and k[1] == chunk
+        ]:
+            del self.moves[key]
+
+    def aggregated_moves(self) -> dict:
+        """(table, src, dst) -> total rows, summed over chunks."""
+        out: dict = {}
+        for (table, _chunk, src, dst), rows in self.moves.items():
+            key = (table, src, dst)
+            out[key] = out.get(key, 0) + rows
+        return out
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one committed rebalance did -- and what doing it leaked."""
+
+    old_count: int
+    new_count: int
+    epoch: int
+    num_chunks: int
+    #: (table, src, dst) -> migrated row count
+    moves: tuple
+    rows_moved: int
+    rekeyed_columns: int
+    elapsed_s: float
+    leakage: tuple = ()
+    notes: tuple = ()
+
+    def moves_by_table(self) -> dict:
+        out: dict = {}
+        for (table, src, dst), rows in self.moves:
+            out.setdefault(table, []).append((src, dst, rows))
+        return out
+
+
+class RowRekeyer:
+    """Re-keys migrated rows in flight (DO side; needs the key store).
+
+    For each row: draw a fresh row id, multiply every sensitive share by
+    :func:`~repro.crypto.keyops.reshard_update_factor` (same column key,
+    new row id), rebuild the auxiliary ``__s`` cell the same way, and
+    re-encrypt the hidden ``__rowid`` under SIES with a fresh nonce.  The
+    routing residue is untouched -- the row still routes by the same
+    shard-key PRF bucket -- and insensitive cells pass through unchanged.
+    """
+
+    def __init__(self, store: KeyStore, rng=None):
+        self._store = store
+        self._keys = store.keys
+        self._cipher = SIESCipher(store.sies_key)
+        self._rng = rng
+        self.rows_rekeyed = 0
+
+    def rekey_slice(self, table_name: str, slice_table: Table) -> Table:
+        if slice_table.num_rows == 0:
+            return slice_table
+        meta = self._store.table(table_name)
+        keys = self._keys
+        names = slice_table.schema.names
+        old_ids = self._cipher.decrypt_many(slice_table.column(ROWID_COLUMN))
+        new_ids = [keys.random_row_id(self._rng) for _ in old_ids]
+        columns = []
+        for name, column in zip(names, slice_table.columns):
+            if name == ROWID_COLUMN:
+                columns.append(
+                    [
+                        self._cipher.encrypt(
+                            new_id % self._cipher.modulus,
+                            _random_nonce(self._rng),
+                        )
+                        for new_id in new_ids
+                    ]
+                )
+                continue
+            if name == AUX_COLUMN:
+                key = meta.aux_key
+            else:
+                column_meta = meta.columns.get(name)
+                key = (
+                    column_meta.key
+                    if column_meta is not None and column_meta.sensitive
+                    else None
+                )
+            if key is None:
+                columns.append(column)
+                continue
+            columns.append(
+                [
+                    None
+                    if share is None
+                    else share
+                    * reshard_update_factor(keys, key, old_id, new_id)
+                    % keys.n
+                    for share, old_id, new_id in zip(column, old_ids, new_ids)
+                ]
+            )
+        self.rows_rekeyed += slice_table.num_rows
+        return Table(slice_table.schema, columns)
+
+
+def build_backends(reference, count: int, endpoints: Optional[Sequence] = None):
+    """Backends for a growing cluster.
+
+    ``endpoints`` ("host:port" strings or already-built server objects)
+    take precedence; otherwise in-process shards matching the reference
+    backend's class are created.  Remote clusters cannot invent daemons,
+    so growing one without endpoints is an error.
+    """
+    if endpoints:
+        built = []
+        for spec in endpoints:
+            if isinstance(spec, str):
+                from repro.net.client import RemoteServer
+
+                host, _, port = spec.partition(":")
+                built.append(
+                    RemoteServer.connect(host or "127.0.0.1", int(port or 9753))
+                )
+            else:
+                built.append(spec)
+        if len(built) < count:
+            raise RebalanceError(
+                f"need {count} new shard backend(s), got {len(built)}"
+            )
+        return built[:count]
+    from repro.core.server import SDBServer
+
+    if not isinstance(reference, SDBServer):
+        raise RebalanceError(
+            "growing a remote cluster needs explicit shard endpoints "
+            "(pass endpoints=['host:port', ...])"
+        )
+    return [SDBServer() for _ in range(count)]
+
+
+def rebalance_cluster(
+    proxy,
+    target_count: int,
+    *,
+    endpoints: Optional[Sequence] = None,
+    num_chunks: int = DEFAULT_NUM_CHUNKS,
+    rekey_columns: bool = True,
+    copy_passes: int = 3,
+    on_step: Optional[Callable] = None,
+    rng=None,
+) -> RebalanceReport:
+    """Grow or shrink ``proxy``'s cluster to ``target_count`` shards, live.
+
+    Sessions keep executing throughout: copy passes run under the shared
+    side of the coordinator lock, only the final settle + commit is
+    exclusive.  On any failure the migration is recovered -- rolled back
+    if the commit record was never written, rolled forward if it was.
+
+    ``on_step`` (when given) is called with a step label before each
+    migration step; the crash tests use it as a failpoint.
+    """
+    coordinator = proxy.server
+    if not hasattr(coordinator, "begin_rebalance"):
+        raise RebalanceError(
+            "rebalance requires a cluster coordinator server "
+            "(see repro.cluster)"
+        )
+    old_count = coordinator.num_shards
+    started = time.monotonic()
+    if target_count == old_count:
+        return RebalanceReport(
+            old_count=old_count,
+            new_count=target_count,
+            epoch=coordinator.topology.epoch,
+            num_chunks=num_chunks,
+            moves=(),
+            rows_moved=0,
+            rekeyed_columns=0,
+            elapsed_s=0.0,
+            notes=("topology unchanged",),
+        )
+    plan = RebalancePlan(
+        old_count=old_count, new_count=target_count, num_chunks=num_chunks
+    )
+    incoming = ()
+    if target_count > old_count:
+        incoming = build_backends(
+            coordinator.shards[0], target_count - old_count, endpoints
+        )
+    rekeyer = RowRekeyer(proxy.store, rng=rng if rng is not None else proxy._rng)
+
+    def step(label: str) -> None:
+        if on_step is not None:
+            on_step(label)
+
+    coordinator.begin_rebalance(plan, incoming=incoming)
+    try:
+        # copy passes: stream re-keyed movers into staging while sessions
+        # keep reading and writing; writes dirty their chunks, so loop a
+        # few passes to shrink the exclusive settle work, then commit.
+        for _ in range(max(1, copy_passes)):
+            pending = coordinator.migration_pending()
+            if not pending:
+                break
+            for table, chunk in pending:
+                step(f"copy:{table}:{chunk}")
+                coordinator.copy_chunk(table, chunk, rekeyer.rekey_slice)
+        step("commit")
+        migration = coordinator.commit_rebalance(
+            rekeyer.rekey_slice, on_step=on_step
+        )
+    except Exception:
+        # roll back -- unless the commit record was already written, in
+        # which case recovery completes the commit (new topology wins)
+        coordinator.recover_rebalance()
+        raise
+    # every cached plan carries routes/handles of the old topology
+    proxy.store.advance_routing_epoch()
+
+    rekeyed_columns = 0
+    if rekey_columns:
+        # classic key-update rotation (key_update_params + sdb_keyupdate):
+        # old-topology ciphertexts become undecryptable wholesale, so a
+        # snapshot taken from a decommissioned shard is rejected
+        for table in sorted(migration.tables):
+            meta = proxy.store.table(table)
+            for column in meta.sensitive_columns():
+                step(f"rekey:{table}:{column}")
+                proxy.rotate_column_key(table, column)
+                rekeyed_columns += 1
+            step(f"rekey:{table}:__s")
+            proxy.rotate_aux_key(table)
+            rekeyed_columns += 1
+
+    aggregated = migration.aggregated_moves()
+    moves = tuple(sorted(aggregated.items()))
+    rows_moved = sum(aggregated.values())
+    leakage = rebalance_leakage(plan, aggregated)
+    notes = (
+        f"topology epoch {coordinator.topology.epoch}: "
+        f"{old_count} -> {target_count} shard(s), "
+        f"{rows_moved} row(s) re-keyed and migrated in "
+        f"{plan.num_chunks} chunk(s)",
+    )
+    if rekey_columns and rekeyed_columns:
+        notes = notes + (
+            f"{rekeyed_columns} column key(s) rotated at the SPs "
+            "(old-topology ciphertexts rejected)",
+        )
+    return RebalanceReport(
+        old_count=old_count,
+        new_count=target_count,
+        epoch=coordinator.topology.epoch,
+        num_chunks=plan.num_chunks,
+        moves=moves,
+        rows_moved=rows_moved,
+        rekeyed_columns=rekeyed_columns,
+        elapsed_s=time.monotonic() - started,
+        leakage=leakage,
+        notes=notes,
+    )
+
+
+def rebalance_leakage(plan: RebalancePlan, moves: dict) -> tuple:
+    """The declared leakage of one topology change.
+
+    A rebalance reveals, to the service providers jointly, the
+    bucket -> shard reassignment cardinalities: how many rows each shard
+    handed each other shard, per table.  (Which rows moved was already
+    determined by the stored routing residues, themselves declared.)
+    """
+    entries = [
+        "rebalance: shard count change "
+        f"{plan.old_count} -> {plan.new_count} visible to every SP; "
+        f"~{plan.moving_fraction():.0%} of the residue space reassigned",
+    ]
+    by_table: dict = {}
+    for (table, src, dst), rows in sorted(moves.items()):
+        by_table.setdefault(table, []).append(f"{src}->{dst}: {rows} rows")
+    for table, entries_for in by_table.items():
+        entries.append(
+            f"rebalance: {table!r} reassignment cardinalities visible to "
+            f"the SPs ({', '.join(entries_for)})"
+        )
+    return tuple(entries)

@@ -25,6 +25,33 @@ from repro.crypto.prf import derive_key, prf_int
 #: count, so the width just has to dwarf any realistic cluster size.
 BUCKET_BITS = 64
 
+#: Size of the *stored* routing space.  Shards persist each row's routing
+#: residue ``bucket mod ROUTING_SPACE`` in the hidden ``__bucket`` column so
+#: that elastic resharding can select movers shard-side without the routing
+#: PRF key.  27720 = lcm(1..12): for any shard count that divides it (every
+#: count up to 12), ``residue mod num_shards == bucket mod num_shards``, so
+#: placement is identical to routing on the full bucket; larger clusters
+#: stay deterministic and near-uniform.  The residue is declared leakage
+#: (``repro.core.security.DECLARED_LEAKAGE``): it refines per-shard
+#: co-residency into 27720 co-residency classes, still never the shard-key
+#: values or the PRF key.
+ROUTING_SPACE = 27720
+
+#: Hidden column storing each row's routing residue on shard slices.
+BUCKET_COLUMN = "__bucket"
+
+
+def routing_residue(bucket: int) -> int:
+    """The stored residue of one PRF bucket (see :data:`ROUTING_SPACE`)."""
+    return bucket % ROUTING_SPACE
+
+
+def shard_of_residue(residue: int, num_shards: int) -> int:
+    """Which shard of an ``num_shards`` topology holds ``residue``."""
+    if num_shards < 1:
+        raise ValueError("a topology needs at least one shard")
+    return residue % num_shards
+
 
 def canonical_bytes(value) -> bytes:
     """A type-stable byte encoding of one shard-key value.

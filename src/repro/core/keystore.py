@@ -41,6 +41,12 @@ class KeyStore:
 
             routing_key = secrets.token_bytes(32)
         self.routing_key = routing_key
+        #: routing-key version: bumped by every committed topology change
+        #: (elastic resharding).  The PRF key itself is stable -- a
+        #: rebalance re-partitions the *same* bucket space -- but cached
+        #: plans, per-shard prepared handles and leakage accounting are all
+        #: keyed to the epoch of the topology they were built against.
+        self.routing_epoch = 0
         self._tables: dict[str, TableMeta] = {}
         self._views: dict[str, str] = {}  # name -> defining SELECT text
         #: monotone counter; any change that can invalidate a cached
@@ -50,6 +56,17 @@ class KeyStore:
 
     def bump_version(self) -> None:
         self.version += 1
+
+    def advance_routing_epoch(self) -> int:
+        """Record a committed shard-topology change.
+
+        Also bumps :attr:`version`: every cached rewrite plan carries
+        per-shard prepared handles and scatter routes that the old topology
+        issued, and must re-prepare against the new one.
+        """
+        self.routing_epoch += 1
+        self.bump_version()
+        return self.routing_epoch
 
     # -- registration -----------------------------------------------------
 
@@ -152,6 +169,7 @@ class KeyStore:
                 "modulus": self.sies_key.modulus,
             },
             "routing_key": self.routing_key.hex(),
+            "routing_epoch": self.routing_epoch,
             "tables": {
                 name: _table_to_dict(meta) for name, meta in self._tables.items()
             },
@@ -180,6 +198,7 @@ class KeyStore:
             keys, sies,
             routing_key=bytes.fromhex(routing) if routing else None,
         )
+        store.routing_epoch = int(data.get("routing_epoch", 0))
         for name, table in data["tables"].items():
             store.register_table(_table_from_dict(name, table))
         for name, sql in data.get("views", {}).items():

@@ -112,6 +112,16 @@ class SDBProxy:
         # bookkeeping (key-store row counts, transaction snapshots) that
         # DML statements update outside the server's own locking
         self._meta_lock = threading.RLock()
+        # key-epoch lock: a SELECT's cached plan embeds the column keys it
+        # was rewritten under, so plan validation + server execution must
+        # not interleave with a key rotation re-keying the stored shares.
+        # Readers-writer keeps PR 4's read concurrency: SELECT executions
+        # share, rotations (rare, administrative or rebalance-driven) are
+        # exclusive.  Lock order where both are held: _key_lock, then
+        # _meta_lock.
+        from repro.core.sync import ReadWriteLock
+
+        self._key_lock = ReadWriteLock()
 
     # -- uploads (demo step 1) ----------------------------------------------
 
@@ -256,6 +266,8 @@ class SDBProxy:
             return self._execute_txn(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create(statement)
+        if isinstance(statement, ast.AlterCluster):
+            return self._execute_alter(statement)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, session=session)
         if isinstance(statement, ast.Update):
@@ -364,6 +376,66 @@ class SDBProxy:
             notes=tuple(notes),
         )
 
+    # -- elastic resharding ----------------------------------------------------
+
+    def rebalance(self, target_count: int, *, endpoints=None, **options):
+        """Grow or shrink the cluster to ``target_count`` shards, online.
+
+        Drives :func:`repro.cluster.rebalance.rebalance_cluster`: migrated
+        rows are re-keyed in flight (fresh row ids via the key-update
+        protocol), the commit record makes the change crash-safe, and by
+        default every sensitive column of each migrated table is rotated
+        to fresh keys afterwards so old-topology ciphertexts are rejected.
+        Returns the :class:`~repro.cluster.rebalance.RebalanceReport`.
+        """
+        # function-local: core must stay importable without the cluster
+        # package (which itself builds on repro.core.server)
+        from repro.cluster.rebalance import rebalance_cluster
+
+        return rebalance_cluster(
+            self, target_count, endpoints=endpoints, **options
+        )
+
+    def _execute_alter(self, statement: ast.AlterCluster) -> DMLResult:
+        """``ALTER CLUSTER ADD SHARD ['host:port']`` / ``REMOVE SHARD``.
+
+        Like CREATE TABLE, cluster DDL never reaches a service provider as
+        text: the proxy resolves it into a topology change one shard up or
+        down and drives the online migration.
+        """
+        current = getattr(self.server, "num_shards", None)
+        if current is None:
+            raise RewriteError(
+                "ALTER CLUSTER requires a cluster coordinator server "
+                "(see repro.cluster)"
+            )
+        if statement.action == "add":
+            target = current + 1
+            endpoints = [statement.endpoint] if statement.endpoint else None
+        else:
+            if current <= 1:
+                raise RewriteError(
+                    "cannot remove the last shard (it is the primary)"
+                )
+            target = current - 1
+            endpoints = None
+        t0 = time.perf_counter()
+        report = self.rebalance(target, endpoints=endpoints)
+        t1 = time.perf_counter()
+        self.channel.record_query(statement.to_sql())
+        return DMLResult(
+            affected=report.rows_moved,
+            rewritten_sql=(
+                "-- ALTER CLUSTER runs at the proxy "
+                "(online re-keyed bucket migration)"
+            ),
+            cost=CostBreakdown(
+                parse_s=0.0, rewrite_s=0.0, server_s=t1 - t0, decrypt_s=0.0
+            ),
+            leakage=report.leakage,
+            notes=report.notes,
+        )
+
     def _execute_insert(self, statement: ast.Insert, session=None) -> DMLResult:
         """Encrypt the VALUES rows locally and submit an encrypted INSERT.
 
@@ -407,43 +479,49 @@ class SDBProxy:
                 )
             )
         t1 = time.perf_counter()
-        encrypted = encrypt_rows(
-            self.store.keys, self.store.sies_key, meta, plain_rows, rng=self._rng
-        )
-        rewritten = ast.Insert(
-            table=statement.table,
-            columns=tuple(names) + (ROWID_COLUMN, AUX_COLUMN),
-            rows=tuple(
-                tuple(ast.Literal(cell) for cell in row) for row in encrypted
-            ),
-        )
-        t2 = time.perf_counter()
-        self.channel.record_query(rewritten.to_sql())
-        shard_leakage = ()
-        shard_column = getattr(self.server, "shard_column", None)
-        shard_col = (
-            shard_column(statement.table) if callable(shard_column) else None
-        )
-        if shard_col is not None:
-            # cluster deployment, sharded table: route each encrypted row
-            # by the PRF bucket of its (plaintext) shard-key value
-            from repro.cluster.router import shard_bucket
-
-            shard_index = names.index(shard_col)
-            buckets = [
-                shard_bucket(self.store.routing_key, statement.table,
-                             shard_col, row[shard_index])
-                for row in plain_rows
-            ]
-            affected = self.server.insert_routed(rewritten, buckets)
-            shard_leakage = (
-                f"shard: PRF bucket of {shard_col!r} routes each row "
-                "(SP learns the shard, not the value)",
-            )
-        else:
-            affected = self.server.execute_dml(rewritten, session=session)
-        t3 = time.perf_counter()
+        # encryption through submission holds the proxy meta lock: a
+        # concurrent key rotation (administrative or rebalance-driven)
+        # must never land between drawing shares under the current column
+        # keys and the server applying them -- rows encrypted under a key
+        # that was already rotated away would be undecryptable
         with self._meta_lock:
+            encrypted = encrypt_rows(
+                self.store.keys, self.store.sies_key, meta, plain_rows,
+                rng=self._rng,
+            )
+            rewritten = ast.Insert(
+                table=statement.table,
+                columns=tuple(names) + (ROWID_COLUMN, AUX_COLUMN),
+                rows=tuple(
+                    tuple(ast.Literal(cell) for cell in row) for row in encrypted
+                ),
+            )
+            t2 = time.perf_counter()
+            self.channel.record_query(rewritten.to_sql())
+            shard_leakage = ()
+            shard_column = getattr(self.server, "shard_column", None)
+            shard_col = (
+                shard_column(statement.table) if callable(shard_column) else None
+            )
+            if shard_col is not None:
+                # cluster deployment, sharded table: route each encrypted
+                # row by the PRF bucket of its (plaintext) shard-key value
+                from repro.cluster.router import shard_bucket
+
+                shard_index = names.index(shard_col)
+                buckets = [
+                    shard_bucket(self.store.routing_key, statement.table,
+                                 shard_col, row[shard_index])
+                    for row in plain_rows
+                ]
+                affected = self.server.insert_routed(rewritten, buckets)
+                shard_leakage = (
+                    f"shard: PRF bucket of {shard_col!r} routes each row "
+                    "(SP learns the shard, not the value)",
+                )
+            else:
+                affected = self.server.execute_dml(rewritten, session=session)
+            t3 = time.perf_counter()
             meta.num_rows += affected
         insensitive = [
             c.name for c in meta.columns.values() if not c.sensitive
@@ -464,10 +542,14 @@ class SDBProxy:
 
     def _execute_dml(self, statement, rewrite, session=None) -> DMLResult:
         t0 = time.perf_counter()
-        plan = rewrite(statement)
-        t1 = time.perf_counter()
-        self.channel.record_query(plan.sql)
-        affected = self.server.execute_dml(plan.statement, session=session)
+        # rewrite + submit under the meta lock: the rewritten statement
+        # embeds masks and key-update parameters derived from the current
+        # column keys, so a concurrent rotation must not land in between
+        with self._meta_lock:
+            plan = rewrite(statement)
+            t1 = time.perf_counter()
+            self.channel.record_query(plan.sql)
+            affected = self.server.execute_dml(plan.statement, session=session)
         t2 = time.perf_counter()
         meta = self.store.table(statement.table)
         if isinstance(statement, ast.Delete):
@@ -530,8 +612,11 @@ class SDBProxy:
             KeyExpr.from_column_key(new_key, table),
             {table: meta.aux_key},
         )
-        result = self._apply_rotation(meta, "__s", None, new_key, params)
-        meta.aux_key = new_key
+        # lock order: key-epoch write, then meta (both re-entrant) -- the
+        # SP update and both key swaps form one atomic step
+        with self._key_lock.write_locked(), self._meta_lock:
+            result = self._apply_rotation(meta, "__s", None, new_key, params)
+            meta.aux_key = new_key
         return result
 
     def _apply_rotation(self, meta, column, column_meta, new_key, params) -> DMLResult:
@@ -554,13 +639,23 @@ class SDBProxy:
         )
         t0 = time.perf_counter()
         self.channel.record_query(statement.to_sql())
-        affected = self.server.execute_dml(statement)
+        # the SP-side update and the key-store swap are one atomic step
+        # w.r.t. any statement that uses the current keys: the exclusive
+        # key-epoch side fences off in-flight SELECT executions (whose
+        # plans embed the retiring keys), the meta lock fences DML
+        # encryption/rewriting -- without this, a concurrent INSERT could
+        # ship shares drawn under the key being retired, and a concurrent
+        # SELECT could decrypt re-keyed shares with its stale plan
+        with self._key_lock.write_locked(), self._meta_lock:
+            affected = self.server.execute_dml(statement)
+            if column_meta is not None:
+                meta.columns[column] = dataclasses.replace(
+                    column_meta, key=new_key
+                )
+            # cached rewrite plans embed key-update parameters derived
+            # from the old key; force prepared statements to re-rewrite
+            self.store.bump_version()
         t1 = time.perf_counter()
-        if column_meta is not None:
-            meta.columns[column] = dataclasses.replace(column_meta, key=new_key)
-        # cached rewrite plans embed key-update parameters derived from the
-        # old key; force prepared statements to re-rewrite
-        self.store.bump_version()
         return DMLResult(
             affected=affected,
             rewritten_sql=statement.to_sql(),

@@ -44,6 +44,16 @@ DECLARED_LEAKAGE = (
     "the shard-key column name, co-residency of equal shard keys and "
     "per-shard cardinalities, never the key values or the routing PRF key "
     "(see shard_routing_leakage)",
+    "routing-residues: shard slices store each row's routing residue "
+    "(bucket mod 27720, the hidden __bucket column) so elastic resharding "
+    "can select movers shard-side -- this refines per-shard co-residency "
+    "into residue-class co-residency, still never the shard-key values or "
+    "the PRF key (see repro.cluster.router.ROUTING_SPACE)",
+    "rebalance: an online topology change reveals the shard-count change "
+    "and the bucket->shard reassignment cardinalities (how many rows each "
+    "shard handed each other shard, per table); migrated rows are re-keyed "
+    "in flight, so the SPs cannot link a moved ciphertext to its source "
+    "(see rebalance_leakage and RebalanceReport.leakage)",
     "prepared-statements: cached rewrite plans reuse their rewrite-time "
     "masks/tokens across executions (declared per-plan as 'prepared:')",
 )
@@ -158,16 +168,44 @@ def shard_routing_leakage(coordinator) -> list[str]:
     """
     entries = []
     statuses = coordinator.shard_status()
+    topology = getattr(coordinator, "topology", None)
     for name, placement in sorted(coordinator.placements().items()):
         if not placement.sharded:
             continue
         counts = [status["tables"].get(name, 0) for status in statuses]
+        suffix = ""
+        if topology is not None:
+            suffix = (
+                f"; topology epoch {topology.epoch} "
+                f"({topology.shard_count} shard(s)"
+                + (
+                    " -- every epoch bump revealed a bucket->shard "
+                    "reassignment)"
+                    if topology.epoch
+                    else ")"
+                )
+            )
         entries.append(
             f"shard-routing: {name!r} placed by PRF bucket of "
             f"{placement.shard_column!r} (column name visible to the SPs); "
-            f"per-shard cardinalities visible to the SPs: {counts}"
+            f"per-shard cardinalities visible to the SPs: {counts}{suffix}"
         )
     return entries
+
+
+def rebalance_leakage(plan, moves: dict) -> list:
+    """Quantify the declared leakage of one elastic rebalance.
+
+    Thin re-export of :func:`repro.cluster.rebalance.rebalance_leakage`
+    so the security audit surface stays in one module: the SPs jointly
+    learn the shard-count change and per-table reassignment cardinalities
+    -- never which shard-key values sat behind the moved buckets, and
+    (because movers are re-keyed in flight) not even which destination
+    ciphertext corresponds to which source ciphertext.
+    """
+    from repro.cluster.rebalance import rebalance_leakage as _impl
+
+    return list(_impl(plan, moves))
 
 
 class CPAAttacker:

@@ -23,6 +23,27 @@ from repro.engine.udf import UDFRegistry, rows_from_args
 from repro.sql import ast
 
 
+#: Shard-side staging relation for an in-flight topology migration: rows
+#: re-keyed for the *new* topology accumulate here, invisible to queries,
+#: until the rebalance commit record promotes them into the live slice.
+MIGRATION_STAGING_PREFIX = "__reshard__"
+
+#: Hidden column storing each row's routing residue on cluster shard
+#: slices (written by the coordinator; see ``repro.cluster.router``).
+BUCKET_COLUMN = "__bucket"
+
+
+class ServerBusyError(RuntimeError):
+    """Admission control rejected the request: the session pool is full.
+
+    Raised instead of queueing unboundedly when a session already has its
+    maximum number of statements in flight (net daemon dispatch queues,
+    coordinator scatter admission).  The session layer maps it onto
+    ``repro.api.OperationalError`` -- a client sees "server busy" and may
+    retry; the server never grows an unbounded thread or queue backlog.
+    """
+
+
 class StaleSnapshotError(RuntimeError):
     """A pipelined result set outlived the snapshot it was opened against.
 
@@ -301,6 +322,188 @@ class SDBServer:
     def execute_partial(self, query, session=None) -> Table:
         """Run one scatter partial query (same trust surface as execute)."""
         return self.execute(query, session=session)
+
+    # -- shard migration (SHARD_MIGRATE_* wire ops; elastic resharding) --------
+    #
+    # During an elastic rebalance the coordinator streams bucket chunks
+    # shard -> shard: the source shard *extracts* movers (selected purely
+    # by their stored routing residues -- the shard still never sees the
+    # PRF key or any shard-key value), the DO re-keys them in flight, and
+    # the destination shard *stages* them in an invisible relation.  The
+    # commit record then *promotes* staged rows into the live slice and
+    # *purges* movers from the sources.  Promote is idempotent (staged
+    # rows carry fresh, unique row-id ciphertexts and are deduplicated
+    # against the live slice), and purge is a pure function of stored
+    # residues, so a crashed commit can be re-driven safely.
+
+    def _staging_name(self, name: str) -> str:
+        return MIGRATION_STAGING_PREFIX + name.lower()
+
+    def _routing_residues(self, name: str, table: Table) -> list:
+        if BUCKET_COLUMN not in table.schema.names:
+            raise ValueError(
+                f"table {name!r} stores no routing residues "
+                f"({BUCKET_COLUMN}); it cannot be migrated"
+            )
+        residues = table.column(BUCKET_COLUMN)
+        if any(not isinstance(residue, int) for residue in residues):
+            raise ValueError(
+                f"table {name!r} has rows without a routing residue"
+            )
+        return residues
+
+    def shard_migrate_extract(
+        self,
+        name: str,
+        num_chunks: int,
+        chunk: int,
+        old_modulus: int,
+        new_modulus: int,
+    ) -> Table:
+        """The chunk's movers: rows this slice loses under the new modulus.
+
+        Selected entirely from stored residues: ``residue % num_chunks ==
+        chunk`` and the old/new shard assignments differ.  Read-only -- the
+        rows stay live here until the commit purge.
+        """
+        with self._lock.read_locked():
+            table = self.catalog.get(name)
+            residues = self._routing_residues(name, table)
+            indices = [
+                i
+                for i, residue in enumerate(residues)
+                if residue % num_chunks == chunk
+                and residue % new_modulus != residue % old_modulus
+            ]
+            return table.take(indices)
+
+    def shard_migrate_stage(
+        self, name: str, table: Table, placement: Optional[dict] = None
+    ) -> int:
+        """Append re-keyed mover rows to the staging relation; returns its size."""
+        staging = self._staging_name(name)
+        with self._lock.write_locked():
+            if staging in self.catalog:
+                existing = self.catalog.get(staging)
+                columns = [
+                    list(old) + list(new)
+                    for old, new in zip(existing.columns, table.columns)
+                ]
+                table = Table(existing.schema, columns)
+                if placement is None:
+                    placement = self.shard_placements.get(staging)
+            self.shard_store(
+                name=staging, table=table, placement=placement, replace=True
+            )
+            return table.num_rows
+
+    def shard_migrate_unstage(self, name: str, num_chunks: int, chunk: int) -> int:
+        """Drop one chunk's staged rows (the chunk went dirty; it re-copies)."""
+        staging = self._staging_name(name)
+        with self._lock.write_locked():
+            if staging not in self.catalog:
+                return 0
+            table = self.catalog.get(staging)
+            residues = self._routing_residues(staging, table)
+            keep = [
+                i
+                for i, residue in enumerate(residues)
+                if residue % num_chunks != chunk
+            ]
+            removed = table.num_rows - len(keep)
+            if removed:
+                placement = self.shard_placements.get(staging)
+                self.shard_store(
+                    staging, table.take(keep), placement=placement, replace=True
+                )
+            return removed
+
+    def shard_migrate_promote(
+        self, name: str, placement: Optional[dict] = None
+    ) -> int:
+        """Merge staged rows into the live slice (idempotent); returns count.
+
+        Staged rows are deduplicated against the live slice by their
+        row-id ciphertexts (fresh and unique per re-keyed row), so a
+        commit that crashed between promote and the staging drop can be
+        promoted again without duplicating rows.
+        """
+        from repro.core.encryptor import ROWID_COLUMN
+
+        staging = self._staging_name(name)
+        with self._lock.write_locked():
+            if staging not in self.catalog:
+                if placement and name.lower() in self.catalog:
+                    # re-driven commit: staging already promoted; still
+                    # refresh the slice's placement for the new topology
+                    self.shard_placements[name.lower()] = dict(placement)
+                return 0
+            staged = self.catalog.get(staging)
+            if name.lower() in self.catalog:
+                live = self.catalog.get(name)
+                seen = {
+                    (c.value, c.nonce) for c in live.column(ROWID_COLUMN)
+                }
+                fresh = [
+                    i
+                    for i, c in enumerate(staged.column(ROWID_COLUMN))
+                    if (c.value, c.nonce) not in seen
+                ]
+                additions = staged.take(fresh)
+                columns = [
+                    list(old) + list(new)
+                    for old, new in zip(live.columns, additions.columns)
+                ]
+                merged = Table(live.schema, columns)
+                promoted = additions.num_rows
+            else:
+                merged = staged
+                promoted = staged.num_rows
+            if placement is None:
+                placement = self.shard_placements.get(name.lower())
+            self.shard_store(name, merged, placement=placement, replace=True)
+            self.drop_table(staging)
+            return promoted
+
+    def shard_migrate_purge(
+        self,
+        name: str,
+        modulus: int,
+        keep_index: int,
+        placement: Optional[dict] = None,
+    ) -> int:
+        """Delete rows the new topology places elsewhere; returns the count.
+
+        A pure function of stored residues (idempotent): keep exactly the
+        rows with ``residue % modulus == keep_index``.
+        """
+        with self._lock.write_locked():
+            if name.lower() not in self.catalog:
+                return 0
+            table = self.catalog.get(name)
+            residues = self._routing_residues(name, table)
+            keep = [
+                i
+                for i, residue in enumerate(residues)
+                if residue % modulus == keep_index
+            ]
+            removed = table.num_rows - len(keep)
+            if placement is None:
+                placement = self.shard_placements.get(name.lower())
+            if removed or placement is not None:
+                self.shard_store(
+                    name, table.take(keep), placement=placement, replace=True
+                )
+            return removed
+
+    def shard_migrate_abort(self, name: str) -> bool:
+        """Drop the staging relation, if any (rebalance rolled back)."""
+        staging = self._staging_name(name)
+        with self._lock.write_locked():
+            if staging not in self.catalog:
+                return False
+            self.drop_table(staging)
+            return True
 
     # -- query processing --------------------------------------------------------
 

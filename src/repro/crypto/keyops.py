@@ -156,6 +156,34 @@ def key_update_params(
     return KeyUpdateParams(p=p, q_by_source=tuple(q_by_source))
 
 
+def reshard_update_factor(
+    keys: SystemKeys, ck: ColumnKey, old_row_id: int, new_row_id: int
+) -> int:
+    """Multiplier re-encrypting one share from ``old_row_id`` to ``new_row_id``.
+
+    This is the key-update protocol of :func:`key_update_params` applied at
+    per-row granularity with the *column key held fixed*: instead of moving
+    a whole column from ``<m, x>`` to ``<m', x'>`` under the same row ids,
+    it moves one item from ``vk = m * g**(r*x)`` to ``vk' = m * g**(r'*x)``
+    under a refreshed row id.  Writing both updates as a change of the item
+    key's exponent, the correction term is
+
+        ``share' = share * g**((r - r') * x)  (exponent mod phi(n))``
+
+    so ``share' = v * vk'^-1`` decrypts with the unchanged column key and
+    the *new* row id.  Elastic resharding uses this to re-randomize every
+    migrated row in flight: the destination shard's ciphertexts are
+    unlinkable to (and not replayable from) the source shard's, because the
+    source's shares are bound to row ids that no longer exist.
+
+    Only the DO can evaluate this (it needs ``g``, ``phi`` and the column
+    key); the SP-side variant for whole columns remains
+    :func:`key_update_params` + ``sdb_keyupdate``.
+    """
+    delta = ((old_row_id - new_row_id) * ck.x) % keys.phi
+    return pow(keys.g, delta, keys.n)
+
+
 def aux_column_key(keys: SystemKeys, rng=None) -> ColumnKey:
     """Column key for an auxiliary ``S`` column.
 

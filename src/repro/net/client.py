@@ -30,7 +30,7 @@ def _server_exception_types() -> dict:
     """
     import builtins
 
-    from repro.core.server import StaleSnapshotError
+    from repro.core.server import ServerBusyError, StaleSnapshotError
     from repro.engine.catalog import CatalogError
     from repro.engine.dml import DMLError
     from repro.engine.executor import ExecutionError
@@ -43,6 +43,7 @@ def _server_exception_types() -> dict:
     named = (
         ParseError, LexError, BindError, ExecutionError, DMLError,
         EvaluationError, CatalogError, UDFError, StaleSnapshotError,
+        ServerBusyError,
     )
     registry = {cls.__name__: cls for cls in named}
     for name in ("ValueError", "KeyError", "TypeError", "RuntimeError"):
@@ -212,6 +213,68 @@ class RemoteServer:
         return protocol.decode_value(
             self._call("shard_partial", sql=sql, session=session)
         )
+
+    # -- SHARD_MIGRATE_* operations (elastic resharding) -------------------------
+
+    def shard_migrate_extract(
+        self,
+        name: str,
+        num_chunks: int,
+        chunk: int,
+        old_modulus: int,
+        new_modulus: int,
+    ) -> Table:
+        return protocol.decode_value(
+            self._call(
+                "shard_migrate_extract",
+                name=name,
+                num_chunks=num_chunks,
+                chunk=chunk,
+                old_modulus=old_modulus,
+                new_modulus=new_modulus,
+            )
+        )
+
+    def shard_migrate_stage(
+        self, name: str, table: Table, placement=None
+    ) -> int:
+        return int(
+            self._call(
+                "shard_migrate_stage",
+                name=name,
+                table=protocol.encode_value(table),
+                placement=placement,
+            )
+        )
+
+    def shard_migrate_unstage(self, name: str, num_chunks: int, chunk: int) -> int:
+        return int(
+            self._call(
+                "shard_migrate_unstage",
+                name=name, num_chunks=num_chunks, chunk=chunk,
+            )
+        )
+
+    def shard_migrate_promote(self, name: str, placement=None) -> int:
+        return int(
+            self._call(
+                "shard_migrate_promote", name=name, placement=placement
+            )
+        )
+
+    def shard_migrate_purge(
+        self, name: str, modulus: int, keep_index: int, placement=None
+    ) -> int:
+        return int(
+            self._call(
+                "shard_migrate_purge",
+                name=name, modulus=modulus, keep_index=keep_index,
+                placement=placement,
+            )
+        )
+
+    def shard_migrate_abort(self, name: str) -> bool:
+        return bool(self._call("shard_migrate_abort", name=name))
 
     # -- prepared statements / streaming fetch ---------------------------------
     #

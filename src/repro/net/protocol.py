@@ -18,6 +18,15 @@ value                  encoding
 
 Shares are arbitrary-precision integers; Python's ``json`` round-trips
 those exactly, so no tagging is needed for them.
+
+Operation families (dispatched by ``op`` in :mod:`repro.net.server`):
+core statements (``execute`` / ``execute_dml`` / ``insert_rows`` /
+``txn``), storage (``store_table`` / ``drop_table`` / ``catalog``),
+prepared statements (``prepare`` / ``execute_prepared`` / ``fetch`` /
+``close_*``), cluster slices (``shard_status`` / ``shard_store`` /
+``shard_dump`` / ``shard_partial``) and elastic resharding
+(``shard_migrate_extract`` / ``_stage`` / ``_unstage`` / ``_promote`` /
+``_purge`` / ``_abort`` -- see :mod:`repro.cluster.rebalance`).
 """
 
 from __future__ import annotations

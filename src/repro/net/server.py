@@ -78,6 +78,21 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         else:
             session_key = f"session-{session_key}"
 
+        # admission control: a session's dispatch queue is bounded; the
+        # overflow request is answered immediately with a typed busy
+        # error instead of growing the backlog without limit
+        if not self.server.admit_session_request(session_key):
+            self._send({
+                "id": request_id,
+                "error": "ServerBusyError: server busy",
+                "error_type": "ServerBusyError",
+                "error_message": (
+                    "server busy: session queue full "
+                    f"(limit {self.server.max_session_queue})"
+                ),
+            })
+            return
+
         def task():
             response = self._dispatch(request)
             response["id"] = request_id
@@ -87,6 +102,9 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         with self._pending_lock:
             self._pending.add(future)
         future.add_done_callback(self._forget)
+        future.add_done_callback(
+            lambda _f, key=session_key: self.server.release_session_request(key)
+        )
 
     def _forget(self, future: Future) -> None:
         with self._pending_lock:
@@ -224,6 +242,52 @@ class _RequestHandler(socketserver.BaseRequestHandler):
             )
         )
 
+    # -- SHARD_MIGRATE_* operations (elastic resharding) -----------------------
+    #
+    # The coordinator streams bucket chunks shard -> shard during an
+    # online topology change: extract movers (selected by stored routing
+    # residues), stage re-keyed rows invisibly, then promote/purge at the
+    # commit record.  The daemon still never sees keys or plaintext --
+    # staged rows arrive exactly as encrypted as stored ones.
+
+    def _op_shard_migrate_extract(self, request: dict):
+        return protocol.encode_value(
+            self._sdb.shard_migrate_extract(
+                request["name"],
+                int(request["num_chunks"]),
+                int(request["chunk"]),
+                int(request["old_modulus"]),
+                int(request["new_modulus"]),
+            )
+        )
+
+    def _op_shard_migrate_stage(self, request: dict):
+        table = protocol.decode_value(request["table"])
+        return self._sdb.shard_migrate_stage(
+            request["name"], table, placement=request.get("placement")
+        )
+
+    def _op_shard_migrate_unstage(self, request: dict):
+        return self._sdb.shard_migrate_unstage(
+            request["name"], int(request["num_chunks"]), int(request["chunk"])
+        )
+
+    def _op_shard_migrate_promote(self, request: dict):
+        return self._sdb.shard_migrate_promote(
+            request["name"], placement=request.get("placement")
+        )
+
+    def _op_shard_migrate_purge(self, request: dict):
+        return self._sdb.shard_migrate_purge(
+            request["name"],
+            int(request["modulus"]),
+            int(request["keep_index"]),
+            placement=request.get("placement"),
+        )
+
+    def _op_shard_migrate_abort(self, request: dict):
+        return self._sdb.shard_migrate_abort(request["name"])
+
     # -- prepared statements / streaming fetch --------------------------------
 
     def _op_prepare(self, request: dict):
@@ -277,14 +341,38 @@ class SDBNetServer(socketserver.ThreadingTCPServer):
         address=("127.0.0.1", 0),
         sdb_server: Optional[SDBServer] = None,
         max_workers: int = 8,
+        max_session_queue: int = 64,
     ):
         super().__init__(address, _RequestHandler)
         self.sdb_server = sdb_server or SDBServer()
         self.executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sdb-session"
         )
+        #: admission control: max requests a session may have queued or
+        #: running at once (<= 0 disables the bound)
+        self.max_session_queue = max_session_queue
+        self._session_pending: dict[str, int] = {}
         self._tails: dict[str, Future] = {}
         self._tails_lock = threading.Lock()
+
+    def admit_session_request(self, session_key: str) -> bool:
+        """Reserve one slot on the session's bounded dispatch queue."""
+        if self.max_session_queue <= 0:
+            return True
+        with self._tails_lock:
+            count = self._session_pending.get(session_key, 0)
+            if count >= self.max_session_queue:
+                return False
+            self._session_pending[session_key] = count + 1
+            return True
+
+    def release_session_request(self, session_key: str) -> None:
+        with self._tails_lock:
+            count = self._session_pending.get(session_key, 1) - 1
+            if count <= 0:
+                self._session_pending.pop(session_key, None)
+            else:
+                self._session_pending[session_key] = count
 
     def submit_session_task(self, session_key: str, fn) -> Future:
         """Queue ``fn`` behind the session's previous request.
@@ -341,13 +429,17 @@ def start_server(
     port: int = 0,
     sdb_server: Optional[SDBServer] = None,
     max_workers: int = 8,
+    max_session_queue: int = 64,
 ) -> tuple[SDBNetServer, threading.Thread]:
     """Start a daemon thread serving on ``(host, port)``.
 
     ``port=0`` picks a free port (read it back from ``server.port``).
     The caller owns shutdown: ``server.shutdown(); server.server_close()``.
     """
-    server = SDBNetServer((host, port), sdb_server=sdb_server, max_workers=max_workers)
+    server = SDBNetServer(
+        (host, port), sdb_server=sdb_server, max_workers=max_workers,
+        max_session_queue=max_session_queue,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="sdb-sp", daemon=True
     )

@@ -490,8 +490,30 @@ class CreateTable:
         return f"CREATE TABLE {self.table} ({cols}){shard}"
 
 
+@dataclass(frozen=True)
+class AlterCluster:
+    """``ALTER CLUSTER ADD SHARD ['host:port']`` / ``ALTER CLUSTER REMOVE SHARD``.
+
+    Cluster DDL never reaches a service provider as text: the proxy turns
+    it into a topology change driven through the rebalance protocol
+    (:mod:`repro.cluster.rebalance`).  ``endpoint`` names a remote shard
+    daemon to add; ``None`` grows with an in-process shard backend.
+    """
+
+    action: str  # 'add' | 'remove'
+    endpoint: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.action == "add":
+            suffix = f" '{self.endpoint}'" if self.endpoint else ""
+            return f"ALTER CLUSTER ADD SHARD{suffix}"
+        return "ALTER CLUSTER REMOVE SHARD"
+
+
 #: Any parsable statement.
-Statement = Union[Select, Insert, Update, Delete, TxnControl, CreateTable]
+Statement = Union[
+    Select, Insert, Update, Delete, TxnControl, CreateTable, AlterCluster
+]
 
 
 COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}

@@ -19,6 +19,7 @@ KEYWORDS = {
     "insert", "into", "values", "update", "set", "delete",
     "begin", "commit", "rollback", "transaction",
     "create", "table", "shard", "encrypted",
+    "alter", "cluster",
 }
 
 SYMBOLS = (

@@ -91,6 +91,8 @@ class _Parser:
             return self.parse_delete()
         if self._check("keyword", "create"):
             return self.parse_create()
+        if self._check("keyword", "alter"):
+            return self.parse_alter()
         if self._check("keyword", "begin"):
             self._advance()
             self._accept("keyword", "transaction")
@@ -171,6 +173,26 @@ class _Parser:
         return ast.CreateTable(
             table=table, columns=tuple(columns), shard_by=shard_by
         )
+
+    def parse_alter(self) -> ast.AlterCluster:
+        """``ALTER CLUSTER ADD SHARD ['host:port']`` / ``REMOVE SHARD``."""
+        self._expect("keyword", "alter")
+        self._expect("keyword", "cluster")
+        # ADD/REMOVE are not reserved words (columns may use them), so they
+        # arrive as identifiers and are matched by text
+        token = self._current
+        action = token.text if token.kind in ("ident", "keyword") else None
+        if action not in ("add", "remove"):
+            raise ParseError(
+                f"expected ADD SHARD or REMOVE SHARD, got {token.text!r} at "
+                f"position {token.position}"
+            )
+        self._advance()
+        self._expect("keyword", "shard")
+        endpoint = None
+        if action == "add" and self._check("string"):
+            endpoint = self._advance().text
+        return ast.AlterCluster(action=action, endpoint=endpoint)
 
     def _parse_column_def(self) -> ast.ColumnDef:
         name = self._expect_name()

@@ -1,0 +1,262 @@
+"""Crash and abort mid-migration: the cluster is always correct.
+
+The rebalance protocol's contract: **the old topology wins until the
+commit record exists; after it, the new topology wins** -- and either way
+all 22 TPC-H queries keep matching the 1-shard oracle.  Three failure
+modes are exercised:
+
+* the coordinator dies between chunk copies (no commit record): a fresh
+  coordinator attaches to the old shards, drops orphan staging, serves
+  the old topology;
+* the coordinator dies mid-commit (record written, purge half-done): a
+  fresh coordinator rolls the commit *forward* and serves the new
+  topology;
+* a shard daemon is killed under the migration: the driver aborts, the
+  surviving old topology keeps serving.
+
+Plus the full acceptance scenario: 2 -> 4 while a concurrent session
+streams INSERTs, identical to the 1-shard oracle and a from-scratch
+4-shard cluster on every TPC-H query.
+"""
+
+import threading
+
+import pytest
+
+import repro.api as api
+from repro.cluster import Coordinator, launch_local_shards
+from repro.cluster.rebalance import RebalancePlan, RowRekeyer, ShardTopology
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.loader import DEFAULT_SHARD_COLUMNS, load_encrypted
+from repro.workloads.tpch.queries import QUERIES
+
+SCALE_FACTOR = 0.0004
+SEED = 19920101
+
+#: held out of the initial load and streamed in concurrently (acceptance)
+HELD_OUT_LINEITEMS = 40
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=SCALE_FACTOR, seed=SEED)
+
+
+def _connect_cluster(data, num_shards, rng_seed, trim_lineitem=0):
+    conn = api.connect(
+        shards=num_shards, modulus_bits=256, value_bits=64,
+        rng=seeded_rng(rng_seed),
+    )
+    loaded = dict(data)
+    if trim_lineitem:
+        loaded["lineitem"] = data["lineitem"][:-trim_lineitem]
+    load_encrypted(
+        conn.proxy, loaded, rng=seeded_rng(rng_seed + 1),
+        shard_by=DEFAULT_SHARD_COLUMNS,
+    )
+    return conn
+
+
+@pytest.fixture(scope="module")
+def oracle(data):
+    conn = _connect_cluster(data, 1, rng_seed=101)
+    yield conn
+    conn.close()
+
+
+def _normalize(table, ordered):
+    rows = [
+        tuple(round(v, 4) if isinstance(v, float) else v for v in row)
+        for row in table.rows()
+    ]
+    return rows if ordered else sorted(rows, key=repr)
+
+
+def _answers(conn):
+    out = {}
+    for number in range(1, 23):
+        sql = QUERIES[number]
+        out[number] = _normalize(
+            conn.proxy.query(sql).table, "ORDER BY" in sql.upper()
+        )
+    return out
+
+
+def _assert_matches(got: dict, want: dict):
+    for number in range(1, 23):
+        rows_got, rows_want = got[number], want[number]
+        assert len(rows_got) == len(rows_want), f"Q{number} cardinality"
+        for row_got, row_want in zip(rows_got, rows_want):
+            for value_got, value_want in zip(row_got, row_want):
+                if isinstance(value_want, float) or isinstance(value_got, float):
+                    assert value_got == pytest.approx(
+                        value_want, rel=1e-6, abs=1e-6
+                    ), f"Q{number}: {row_got} != {row_want}"
+                else:
+                    assert value_got == value_want, (
+                        f"Q{number}: {row_got} != {row_want}"
+                    )
+
+
+@pytest.fixture(scope="module")
+def oracle_answers(oracle):
+    return _answers(oracle)
+
+
+def test_coordinator_crash_between_chunk_copies_old_topology_wins(
+    data, oracle_answers
+):
+    conn = _connect_cluster(data, 2, rng_seed=301)
+    coordinator = conn.proxy.server
+    old_backends = list(coordinator.shards)
+    incoming = [SDBServer() for _ in range(2)]
+    plan = RebalancePlan(old_count=2, new_count=4, num_chunks=8)
+    rekeyer = RowRekeyer(conn.proxy.store, rng=seeded_rng(5))
+    coordinator.begin_rebalance(plan, incoming=incoming)
+    pending = coordinator.migration_pending()
+    assert pending
+    # copy some chunks, then "crash" (abandon the coordinator object; the
+    # staged rows and the incoming shards' empty slices survive on disk)
+    for table, chunk in pending[: max(1, len(pending) // 2)]:
+        coordinator.copy_chunk(table, chunk, rekeyer.rekey_slice)
+
+    # a fresh coordinator reattaches to the *old* backends: no commit
+    # record was ever written, so the old topology wins and orphan
+    # staging is discarded
+    fresh = Coordinator(old_backends)
+    assert fresh.topology == ShardTopology(epoch=0, shard_count=2)
+    statuses = fresh.shard_status()
+    assert all(
+        not name.startswith("__reshard__")
+        for status in statuses
+        for name in status["tables"]
+    )
+    conn.proxy.server = fresh
+    _assert_matches(_answers(conn), oracle_answers)
+
+    # the interrupted rebalance can simply be retried to completion
+    report = conn.rebalance(4, rekey_columns=False)
+    assert report.new_count == 4
+    _assert_matches(_answers(conn), oracle_answers)
+    conn.close()
+
+
+def test_coordinator_crash_mid_commit_new_topology_wins(data, oracle_answers):
+    conn = _connect_cluster(data, 2, rng_seed=401)
+    coordinator = conn.proxy.server
+    incoming = [SDBServer() for _ in range(2)]
+    all_backends = list(coordinator.shards) + incoming
+    plan = RebalancePlan(old_count=2, new_count=4, num_chunks=8)
+    rekeyer = RowRekeyer(conn.proxy.store, rng=seeded_rng(5))
+    coordinator.begin_rebalance(plan, incoming=incoming)
+    for table, chunk in coordinator.migration_pending():
+        coordinator.copy_chunk(table, chunk, rekeyer.rekey_slice)
+
+    class Crash(RuntimeError):
+        pass
+
+    purges = []
+
+    def failpoint(label):
+        if label.startswith("commit:purge:"):
+            purges.append(label)
+            if len(purges) == 2:
+                raise Crash(label)  # die with the purge half-applied
+
+    with pytest.raises(Crash):
+        coordinator.commit_rebalance(rekeyer.rekey_slice, on_step=failpoint)
+
+    # the commit record exists: a fresh coordinator attaching to all four
+    # backends rolls the commit forward -- the new topology wins
+    fresh = Coordinator(all_backends)
+    assert fresh.topology == ShardTopology(epoch=1, shard_count=4)
+    counts = [
+        status["tables"].get("lineitem", 0)
+        for status in fresh.shard_status()
+    ]
+    assert len(counts) == 4 and sum(1 for c in counts if c) >= 3
+    conn.proxy.server = fresh
+    conn.proxy.store.advance_routing_epoch()
+    _assert_matches(_answers(conn), oracle_answers)
+    conn.close()
+
+
+@pytest.mark.slow
+def test_shard_daemon_killed_mid_migration_aborts_cleanly(data, oracle_answers):
+    with launch_local_shards(4) as shards:
+        endpoints = [f"{host}:{port}" for host, port in shards.endpoints]
+        conn = api.connect(
+            shards=endpoints[:2], modulus_bits=256, value_bits=64,
+            rng=seeded_rng(501),
+        )
+        load_encrypted(
+            conn.proxy, data, rng=seeded_rng(502),
+            shard_by=DEFAULT_SHARD_COLUMNS,
+        )
+        copies = []
+
+        def kill_incoming(label):
+            if label.startswith("copy:"):
+                copies.append(label)
+                if len(copies) == 3:
+                    for process in shards.processes[2:]:
+                        process.kill()
+
+        with pytest.raises(api.Error):
+            conn.rebalance(4, endpoints=endpoints[2:], on_step=kill_incoming)
+
+        # the old topology survived the abort and still serves everything
+        coordinator = conn.proxy.server
+        assert coordinator.num_shards == 2
+        assert len(coordinator.shards) == 2
+        _assert_matches(_answers(conn), oracle_answers)
+        conn.close()
+
+
+@pytest.mark.slow
+def test_rebalance_under_concurrent_tpch_insert_stream(data, oracle_answers):
+    """Acceptance: 2 -> 4 under a concurrent INSERT stream, oracle-identical."""
+    held_out = data["lineitem"][-HELD_OUT_LINEITEMS:]
+    conn = _connect_cluster(
+        data, 2, rng_seed=601, trim_lineitem=HELD_OUT_LINEITEMS
+    )
+    inserter = api.connect(proxy=conn.proxy)
+    placeholders = ",".join("?" * len(held_out[0]))
+    insert_sql = f"INSERT INTO lineitem VALUES ({placeholders})"
+    errors = []
+
+    def stream():
+        cursor = inserter.cursor()
+        try:
+            for row in held_out:
+                cursor.execute(insert_sql, row)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    thread = threading.Thread(target=stream)
+    thread.start()
+    try:
+        report = conn.rebalance(4)
+    finally:
+        thread.join(timeout=120)
+    assert not errors
+    assert not thread.is_alive()
+    assert report.new_count == 4 and report.rows_moved > 0
+
+    answers = _answers(conn)
+    _assert_matches(answers, oracle_answers)
+
+    scratch = _connect_cluster(data, 4, rng_seed=701)
+    _assert_matches(answers, _answers(scratch))
+
+    # no row lost or duplicated across the migration + insert interleaving
+    counts = [
+        status["tables"].get("lineitem", 0)
+        for status in conn.proxy.server.shard_status()
+    ]
+    assert sum(counts) == len(data["lineitem"])
+    scratch.close()
+    inserter.close()
+    conn.close()
