@@ -130,6 +130,21 @@ class AsyncCursor:
     def notes(self):
         return self._cursor.notes
 
+    @property
+    def report(self):
+        """Unified :class:`~repro.api.report.QueryReport` for the last execution."""
+        return self._cursor.report
+
+    @property
+    def plan(self):
+        """Plan tree from the last ``EXPLAIN``/:meth:`explain` (or None)."""
+        return self._cursor.plan
+
+    async def explain(self, operation=None):
+        """Plan tree for ``operation`` (or the last EXPLAIN); never executes."""
+        op = operation.statement if isinstance(operation, AsyncStatement) else operation
+        return await self._connection._run(self._cursor.explain, op)
+
     # -- execution -----------------------------------------------------------
 
     async def execute(self, operation, params: Sequence = ()) -> "AsyncCursor":

@@ -99,7 +99,12 @@ class ShardBackend(Backend, Protocol):
         self, name: str, table, placement=None, replace: bool = False
     ) -> int: ...
 
-    def shard_dump(self, name: str): ...
+    def shard_dump(
+        self, name: str, offset: Optional[int] = None,
+        count: Optional[int] = None,
+    ): ...
+
+    def append_table(self, name: str, table) -> int: ...
 
     def execute_partial(self, query): ...
 

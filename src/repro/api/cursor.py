@@ -32,6 +32,8 @@ class Cursor:
         self._dml_result = None
         self._buffer: deque = deque()
         self._schema = None  # schema of the last decrypted chunk
+        self._static_rows = False  # buffer holds pre-rendered rows (EXPLAIN)
+        self._plan = None  # PlanNode from the last EXPLAIN on this cursor
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -61,6 +63,8 @@ class Cursor:
         self._dml_result = None
         self._buffer.clear()
         self._schema = None
+        self._static_rows = False
+        self._plan = None
         self.description = None
         self.rowcount = -1
 
@@ -80,6 +84,9 @@ class Cursor:
                 self._execution = statement.execute_select(params)
                 self.rowcount = self._execution.num_rows
                 self.description = _describe(self._execution.plan)
+            elif statement.kind == "explain":
+                self._plan = statement.execute_explain()
+                self._load_plan_rows(self._plan)
             else:
                 self._dml_result = statement.execute_dml(params)
                 self.rowcount = self._dml_result.affected
@@ -99,7 +106,7 @@ class Cursor:
             else:
                 statement = self.connection.statement(operation)
             self.statement = statement
-            if statement.kind == "select":
+            if statement.kind in ("select", "explain"):
                 raise exc.ProgrammingError(
                     f"executemany cannot run a {statement.kind} statement; "
                     "iterate execute() for queries"
@@ -116,6 +123,17 @@ class Cursor:
         except Exception as error:
             raise exc.map_exception(error) from error
         return self
+
+    def _load_plan_rows(self, tree) -> None:
+        """Expose an EXPLAIN plan tree as a one-column static result set."""
+        from repro.engine.schema import ColumnSpec, DataType, Schema
+
+        lines = tree.explain().split("\n")
+        self._buffer.extend((line,) for line in lines)
+        self._static_rows = True
+        self._schema = Schema((ColumnSpec("plan", DataType.STRING),))
+        self.rowcount = len(lines)
+        self.description = (("plan", "STRING", None, None, None, None, None),)
 
     # -- fetch --------------------------------------------------------------
 
@@ -140,6 +158,8 @@ class Cursor:
             raise exc.map_exception(error) from error
 
     def _refill(self, want: int) -> None:
+        if self._static_rows:
+            return  # EXPLAIN rows are fully buffered at execute time
         execution = self._require_results()
         while len(self._buffer) < want and not execution.closed:
             chunk = self._fetch_mapped(
@@ -163,6 +183,10 @@ class Cursor:
 
     def fetchall(self) -> list:
         self._check_open()
+        if self._static_rows:
+            rows = list(self._buffer)
+            self._buffer.clear()
+            return rows
         execution = self._require_results()
         rows = list(self._buffer)
         self._buffer.clear()
@@ -180,6 +204,12 @@ class Cursor:
         by ``fetchone``/``fetchmany`` are included, so mixing is safe.
         """
         self._check_open()
+        if self._static_rows:
+            from repro.engine.table import Table
+
+            rows = list(self._buffer)
+            self._buffer.clear()
+            return Table.from_rows(self._schema, rows)
         execution = self._require_results()
         table = (
             self._fetch_mapped(execution.fetch_rest)
@@ -222,9 +252,88 @@ class Cursor:
 
     # -- SDB extensions ------------------------------------------------------
 
+    def explain(self, operation=None):
+        """The structured plan tree, without executing anything.
+
+        With ``operation`` (SQL text or a prepared Statement), plan it
+        directly; with no argument, return the tree from the last
+        ``EXPLAIN`` executed on this cursor.  Either way the result is the
+        same :class:`~repro.engine.planner.PlanNode` the ``EXPLAIN``
+        statement and the shell's ``\\explain`` render -- one plan object,
+        three surfaces.
+        """
+        self._check_open()
+        if operation is None:
+            if self._plan is None:
+                raise exc.InterfaceError(
+                    "no plan: execute an EXPLAIN first, or pass a statement"
+                )
+            return self._plan
+        try:
+            from repro.core.explain import plan as build_plan
+
+            source = (
+                operation.parsed
+                if isinstance(operation, Statement)
+                else operation
+            )
+            self._plan = build_plan(self.connection.proxy, source)
+        except exc.Error:
+            raise
+        except Exception as error:
+            raise exc.map_exception(error) from error
+        return self._plan
+
+    @property
+    def plan(self):
+        """Plan tree from the last ``EXPLAIN``/:meth:`explain` (or None)."""
+        return self._plan
+
+    @property
+    def report(self):
+        """Unified :class:`~repro.api.report.QueryReport` for the last execution.
+
+        Folds the legacy per-attribute telemetry (``cost``,
+        ``rewritten_sql``, ``leakage``, ``notes``), the cluster scatter
+        report, and the engine's batch/row execution path into one frozen
+        value.  Built on access from the retained execution handle, so it
+        survives streaming fetches; None before any execution.
+        """
+        from repro.api.report import QueryReport
+
+        if self._execution is not None:
+            execution = self._execution
+            engine = getattr(self.connection.proxy.server, "engine", None)
+            return QueryReport(
+                kind="select",
+                rewritten_sql=execution.rewritten_sql,
+                cost=execution.cost(),
+                leakage=execution.plan.leakage + execution.scatter_leakage,
+                notes=execution.plan.notes,
+                scatter=execution.scatter,
+                exec_path=getattr(engine, "last_exec_path", None),
+                batch_fallback=getattr(engine, "last_batch_fallback", None),
+            )
+        if self._dml_result is not None:
+            result = self._dml_result
+            return QueryReport(
+                kind=self.statement.kind if self.statement else "dml",
+                rewritten_sql=result.rewritten_sql,
+                cost=result.cost,
+                leakage=tuple(result.leakage),
+                notes=tuple(result.notes),
+            )
+        return None
+
+    # The attribute quartet below predates QueryReport.  Each is a
+    # deprecated alias kept for compatibility; prefer ``cursor.report``.
+
     @property
     def cost(self):
-        """Per-execution :class:`~repro.core.proxy.CostBreakdown` so far."""
+        """Per-execution :class:`~repro.core.proxy.CostBreakdown` so far.
+
+        Deprecated alias: prefer ``cursor.report.cost``.
+        """
         if self._execution is not None:
             return self._execution.cost()
         if self._dml_result is not None:
@@ -233,6 +342,7 @@ class Cursor:
 
     @property
     def rewritten_sql(self) -> Optional[str]:
+        """Deprecated alias: prefer ``cursor.report.rewritten_sql``."""
         if self._execution is not None:
             return self._execution.rewritten_sql
         if self._dml_result is not None:
@@ -241,6 +351,7 @@ class Cursor:
 
     @property
     def leakage(self) -> tuple:
+        """Deprecated alias: prefer ``cursor.report.leakage``."""
         if self._execution is not None:
             return self._execution.plan.leakage + self._execution.scatter_leakage
         if self._dml_result is not None:
@@ -249,6 +360,7 @@ class Cursor:
 
     @property
     def notes(self) -> tuple:
+        """Deprecated alias: prefer ``cursor.report.notes``."""
         if self._execution is not None:
             return self._execution.plan.notes
         if self._dml_result is not None:

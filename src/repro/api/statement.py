@@ -47,6 +47,7 @@ _KINDS = {
     ast.TxnControl: "txn",
     ast.CreateTable: "create",
     ast.AlterCluster: "alter",
+    ast.Explain: "explain",
 }
 
 
@@ -151,7 +152,26 @@ class Statement:
         params = tuple(params)
         if self.kind == "select":
             return self.execute_select(params)
+        if self.kind == "explain":
+            return self.execute_explain()
         return self.execute_dml(params)
+
+    def execute_explain(self):
+        """Build the plan tree for an ``EXPLAIN <stmt>`` without executing.
+
+        Returns the :class:`~repro.engine.planner.PlanNode` root.  The
+        inner statement is rewritten (SELECT/UPDATE/DELETE) or described
+        (INSERT/control) but never sent for execution, so EXPLAIN has no
+        observable effect at the service provider beyond the routing probe
+        a cluster coordinator answers locally.
+        """
+        self._check_open()
+        from repro.core.explain import plan as build_plan
+
+        tree = build_plan(self.proxy, self.parsed)
+        self._parse_charged = True
+        self._mark_used()
+        return tree
 
     def _mark_used(self) -> None:
         self.executions += 1
@@ -191,7 +211,11 @@ class Statement:
         with proxy._key_lock.read_locked():
             variant = self._variant_for(params)
             t_bind = time.perf_counter()
-            literals = variant.plan.bind_slots(proxy.store.keys.n, params)
+            # mask-deferred plans re-draw their comparison masks / tokens
+            # here, so consecutive binds are unlinkable on the wire
+            literals = variant.plan.bind_slots(
+                proxy.store.keys.n, params, rng=proxy.rewriter.rng
+            )
             bind_s = time.perf_counter() - t_bind
 
             t0 = time.perf_counter()
@@ -244,6 +268,7 @@ class Statement:
             parse_s=parse_s,
             rewrite_s=rewrite_s,
             server_s=server_s,
+            scatter=scatter,
             scatter_leakage=tuple(scatter.leakage) if scatter else (),
         )
 
@@ -284,16 +309,27 @@ class Statement:
             self._drop_variant_handle(variant)
         t0 = time.perf_counter()
         plan = self.proxy.rewriter.rewrite(self.parsed, param_types=signature)
-        if plan.param_slots and plan.leakage:
-            # honesty about amortization: the masks/tokens this rewrite drew
-            # are baked into the cached plan, so unlike string re-execution
-            # (fresh randomness per rewrite) the SP can correlate masked
-            # values ACROSS executions of this statement.  Declare it the
-            # way every other leakage source is declared.
-            plan.leakage = plan.leakage + (
-                "prepared: rewrite-time masks/tokens are reused across "
-                "executions of this plan",
-            )
+        # bind-time re-masking: mask/token literals become extra bind
+        # markers, re-drawn per execution, so caching this plan does not
+        # let the SP correlate masked values across executions
+        plan = plan.defer_masks()
+        if self.num_params and plan.leakage:
+            # what caching still leaks: the SP sees the same prepared
+            # handle (same plan shape, same slot positions) per execution,
+            # so executions of one statement remain linkable as such even
+            # though their masked literals are fresh.  Declare it the way
+            # every other leakage source is declared.
+            if plan.masks_deferred or not plan.mask_sites:
+                plan.leakage = plan.leakage + (
+                    "prepared: executions share one plan shape (linkable "
+                    "by statement handle); masks/tokens are re-drawn per "
+                    "bind",
+                )
+            else:
+                plan.leakage = plan.leakage + (
+                    "prepared: rewrite-time masks/tokens are reused across "
+                    "executions of this plan",
+                )
         sql_text = plan.sql
         rewrite_s = time.perf_counter() - t0
         variant = _PlanVariant(
@@ -350,6 +386,8 @@ class SelectExecution:
     decrypt_s: float = 0.0
     fetched: int = 0
     closed: bool = False
+    #: full routing report from a cluster coordinator (None on single SP)
+    scatter: Optional[object] = None
     #: routing leakage reported by a cluster coordinator for this execution
     scatter_leakage: tuple = ()
 

@@ -7,7 +7,8 @@ client/server cost split.  Backslash commands inspect the deployment:
     \\help               this text
     \\tables             uploaded tables and their sensitive columns
     \\keystore           key store size and contents summary (demo step 1)
-    \\explain <sql>      rewrite without executing
+    \\explain <sql>      plan tree + rewrite without executing
+                        (``EXPLAIN <sql>`` as a statement shows the same tree)
     \\upload <csv> <table> [col,col]   encrypt+upload a CSV (demo step 1);
                         the optional list names the sensitive columns
     \\rotate <table> <column>          re-key a column at the SP
@@ -130,6 +131,8 @@ class SDBShell:
         # the result object
         if cursor.statement.kind == "select":
             return self._render_select(cursor)
+        if cursor.statement.kind == "explain":
+            return "\n".join(row[0] for row in cursor.fetchall())
         return self._render_dml(cursor)
 
     def _command(self, line: str) -> str:
@@ -165,9 +168,13 @@ class SDBShell:
             if not argument:
                 return "usage: \\explain <sql>"
             try:
-                return self.proxy.explain(argument).pretty()
+                # the plan tree (same object EXPLAIN <sql> and
+                # Cursor.explain return), then the rewrite detail view
+                tree = self.proxy.plan(argument)
+                report = self.proxy.explain(argument)
             except Exception as exc:
                 return f"error: {exc}"
+            return tree.explain() + "\n\n" + report.pretty()
         if name == "rewrite":
             self.show_rewrite = argument.strip().lower() != "off"
             return f"rewrite display {'on' if self.show_rewrite else 'off'}"

@@ -8,7 +8,7 @@ shipped to its one SP.  It presents the :class:`~repro.core.server.SDBServer`
 surface, so ``SDBProxy(Coordinator([...]))`` -- and therefore the whole
 session layer -- works unchanged on a cluster.
 
-Execution routes one of three ways, recorded in :attr:`last_scatter`:
+Execution routes one of four ways, recorded in :attr:`last_scatter`:
 
 * **primary** -- the query touches no sharded table; it runs verbatim on
   the designated primary shard (``shards[0]``), which holds every
@@ -18,7 +18,12 @@ Execution routes one of three ways, recorded in :attr:`last_scatter`:
   sharded table: each shard runs the partial over its bucket slice, and
   the coordinator merges the union of partials with a local engine.
   Secret shares merge by ring addition, so the gather step needs no keys.
-* **fallback** -- anything else (joins, subqueries, DISTINCT aggregates):
+* **coshard** -- a splittable *join* whose sharded tables are provably
+  co-located (equi-joined on their shard keys through one colocation
+  group): each shard joins its slices locally against broadcast copies of
+  the unsharded tables, and partials ring-merge exactly like scatter.
+* **fallback** -- anything else (non-co-located joins, subqueries,
+  DISTINCT aggregates):
   the sharded tables are gathered shard-by-shard and materialized on the
   primary under reserved names, the query's table references are rebound,
   and the primary executes it serially.  Correctness therefore never
@@ -43,6 +48,7 @@ from repro.cluster.rebalance import (
     RebalancePlan,
     ShardTopology,
 )
+from repro.cluster.planner import build_route_plan, choose_coshard_or_fallback
 from repro.cluster.router import routing_residue, shard_of_residue
 from repro.core.server import (
     BUCKET_COLUMN,
@@ -57,8 +63,10 @@ from repro.engine.executor import Engine
 from repro.engine.partial import (
     PARTIALS_TABLE,
     SplitPlan,
+    base_table_refs,
     concat_tables,
     ineligibility,
+    join_conditions,
     merge_order_resolvable,
     plan_group_pushdown,
     plan_split,
@@ -83,6 +91,17 @@ MATERIALIZED_PREFIX = "__cluster_full__"
 #: shard so a scattered DML's subqueries see whole tables, not slices.
 BROADCAST_PREFIX = "__cluster_bcast__"
 
+#: Per-shard broadcast cache for co-sharded joins: full (encrypted) copies
+#: of every unsharded table a co-shard route reads, stored on *every*
+#: shard under this prefix and invalidated whenever DML touches the
+#: source relation.
+COSHARD_PREFIX = "__cluster_dim__"
+
+#: Row budget per gather/broadcast wire frame: ``shard_dump`` windows of
+#: this many rows stream a materialization chunk by chunk, so neither the
+#: coordinator nor a single protocol frame ever holds a whole large slice.
+GATHER_CHUNK_ROWS = 4096
+
 #: Primary-shard relation recording the committed topology (epoch, count).
 TOPOLOGY_TABLE = "__cluster_topology__"
 
@@ -96,6 +115,7 @@ COMMIT_TABLE = "__cluster_commit__"
 INTERNAL_PREFIXES = (
     MATERIALIZED_PREFIX,
     BROADCAST_PREFIX,
+    COSHARD_PREFIX,
     MIGRATION_STAGING_PREFIX,
     TOPOLOGY_TABLE,
     COMMIT_TABLE,
@@ -106,12 +126,31 @@ class ShardError(RuntimeError):
     """Cluster misconfiguration or an unroutable request."""
 
 
+def _gather_chunks(source, name: str, offset: int = 0):
+    """Yield ``GATHER_CHUNK_ROWS``-row windows of ``name`` from ``source``.
+
+    Ends after the first short window (which may be empty when the table
+    length is an exact multiple of the chunk size -- callers treat a
+    zero-row non-first chunk as the end marker).
+    """
+    while True:
+        chunk = source.shard_dump(name, offset=offset, count=GATHER_CHUNK_ROWS)
+        yield chunk
+        if chunk.num_rows < GATHER_CHUNK_ROWS:
+            return
+        offset += chunk.num_rows
+
+
 @dataclass
 class Placement:
     """Where one table lives."""
 
     table: str
     shard_column: Optional[str]  # None: resident on the primary shard only
+    #: colocation group: tables sharing a group route shard-key values
+    #: through one PRF subkey, so equal values co-locate across tables
+    #: (the property co-sharded joins rely on)
+    colocate: Optional[str] = None
 
     @property
     def sharded(self) -> bool:
@@ -122,10 +161,25 @@ class Placement:
 class ScatterReport:
     """How the last query was routed (and what that route leaked)."""
 
-    mode: str  # 'scatter' | 'primary' | 'fallback'
+    mode: str  # 'scatter' | 'coshard' | 'primary' | 'fallback'
     shards: int
     reason: str
     leakage: tuple = ()
+
+
+@dataclass(frozen=True)
+class CoshardInfo:
+    """The co-shardability proof behind a ``('coshard', info)`` route.
+
+    ``sharded`` joined shard-locally over co-located slices; ``dims``
+    (unsharded tables) broadcast in full to every shard; ``group`` the
+    colocation group backing the proof (None when a single sharded table
+    -- possibly self-joined -- needs no cross-table colocation).
+    """
+
+    sharded: tuple
+    dims: tuple
+    group: Optional[str] = None
 
 
 def referenced_tables(statement) -> list[str]:
@@ -191,7 +245,7 @@ class _ClusterStatement:
             if self.route is None:
                 self.topology_epoch = epoch
                 self.route = coordinator._classify(self.query)
-                if self.route[0] == "scatter":
+                if self.route[0] in ("scatter", "coshard"):
                     self.split = coordinator._plan_scatter(
                         self.query, self.route
                     )
@@ -201,7 +255,7 @@ class _ClusterStatement:
                         and num_parameters(self.split.merge) == 0
                     )
             if (
-                self.route[0] == "scatter"
+                self.route[0] in ("scatter", "coshard")
                 and self.forwardable
                 and self.shard_handles is None
             ):
@@ -213,12 +267,19 @@ class _ClusterStatement:
             # shard_handles, and an in-flight execute must fail with the
             # server's typed unknown-statement error, never a TypeError
             handles = self.shard_handles
-        if self.route[0] == "scatter" and self.forwardable:
+        if self.route[0] in ("scatter", "coshard") and self.forwardable:
+            if self.route[0] == "coshard":
+                # handles bind at execute time, so a refreshed broadcast
+                # copy (same name, new rows) is picked up transparently
+                coordinator._ensure_broadcasts(self.route[1].dims)
             partials = coordinator._scatter_prepared(handles, params)
             out = coordinator._merge(self.split.merge, partials)
-            report = coordinator._scatter_report_for(
-                self.query, self.split, self.route
-            )
+            if self.route[0] == "coshard":
+                report = coordinator._coshard_report(self.split, self.route[1])
+            else:
+                report = coordinator._scatter_report_for(
+                    self.query, self.split, self.route
+                )
             return out, report
         bound = bind_parameters(self.query, params)
         return coordinator._run(bound, self.route)
@@ -257,6 +318,11 @@ class Coordinator:
         register_sdb_udfs(self.udfs)
         self._placements: dict[str, Placement] = {}
         self._materialized: set[str] = set()
+        #: unsharded tables currently broadcast to every shard (co-shard
+        #: dim cache, see COSHARD_PREFIX)
+        self._broadcast: set[str] = set()
+        #: (epoch, {table: rows}) cost-model cardinality cache
+        self._card_cache: Optional[tuple] = None
         self._prepared: dict[int, _ClusterStatement] = {}
         self._results: dict[int, _MaterializedResult] = {}
         #: per-result routing reports: the session layer attributes scatter
@@ -309,7 +375,9 @@ class Coordinator:
                 if name.lower().startswith(INTERNAL_PREFIXES):
                     continue
                 self._placements[name.lower()] = Placement(
-                    name.lower(), (placed.get("shard_by") or "").lower() or None
+                    name.lower(),
+                    (placed.get("shard_by") or "").lower() or None,
+                    (placed.get("colocate") or "").lower() or None,
                 )
         for name in statuses[0].get("tables", {}):
             key = name.lower()
@@ -395,10 +463,12 @@ class Coordinator:
                 on_step(label)
 
         for table, shard_by in tables.items():
+            colocate = self._colocate_of(table)
             for index in range(new_n):
                 step(f"commit:promote:{table}:{index}")
                 placement = {
                     "index": index, "of": new_n, "shard_by": shard_by or "",
+                    "colocate": colocate,
                 }
                 self.shards[index].shard_migrate_promote(
                     table, placement=placement
@@ -410,11 +480,14 @@ class Coordinator:
                     placement = {
                         "index": index, "of": new_n,
                         "shard_by": shard_by or "",
+                        "colocate": colocate,
                     }
                 self.shards[index].shard_migrate_purge(
                     table, new_n, index, placement=placement
                 )
-            self._placements[table] = Placement(table, shard_by)
+            self._placements[table] = Placement(
+                table, shard_by, colocate or None
+            )
         step("commit:finish")
         epoch = self.topology.epoch + 1
         self._store_topology(epoch, new_n)
@@ -473,6 +546,15 @@ class Coordinator:
         placement = self._placements.get(name.lower())
         return placement.shard_column if placement is not None else None
 
+    def shard_colocation(self, name: str) -> Optional[str]:
+        """The colocation group of ``name`` (None when ungrouped)."""
+        placement = self._placements.get(name.lower())
+        return placement.colocate if placement is not None else None
+
+    def _colocate_of(self, table: str) -> str:
+        placement = self._placements.get(table.lower())
+        return (placement.colocate or "") if placement is not None else ""
+
     def placements(self) -> dict[str, Placement]:
         return dict(self._placements)
 
@@ -500,12 +582,15 @@ class Coordinator:
         shard_column: str,
         buckets: Sequence[int],
         replace: bool = False,
+        colocate: Optional[str] = None,
     ) -> None:
         """Hash-partition encrypted rows across every shard.
 
         ``buckets`` holds one PRF bucket per row, computed by the proxy
         from shard-key *plaintext* before encryption; this side only ever
-        sees ``bucket mod num_shards``.
+        sees ``bucket mod num_shards``.  ``colocate`` names the table's
+        colocation group (tables in one group share a routing subkey, so
+        equal shard-key values land on the same shard across tables).
         """
         buckets = list(buckets)
         if len(buckets) != table.num_rows:
@@ -538,11 +623,13 @@ class Coordinator:
                         "index": index,
                         "of": count,
                         "shard_by": shard_column.lower(),
+                        "colocate": (colocate or "").lower(),
                     },
                     replace=replace,
                 )
             self._placements[name.lower()] = Placement(
-                name.lower(), shard_column.lower()
+                name.lower(), shard_column.lower(),
+                (colocate or "").lower() or None,
             )
             self._invalidate_materialized(name)
 
@@ -652,12 +739,62 @@ class Coordinator:
             )
             if reason is None:
                 return ("scatter", None)
+        coshard = self._coshard_info(query)
+        if coshard is not None:
+            # provably co-shardable; let the cost model decide whether the
+            # shard-local join actually beats gathering (a tiny fact table
+            # against a huge broadcast dim is cheaper to gather)
+            choice = choose_coshard_or_fallback(
+                coshard, self._cardinalities(), len(self.shards)
+            )
+            if choice.route == "coshard":
+                return ("coshard", coshard)
         return ("fallback", sharded)
+
+    def _cardinalities(self) -> dict:
+        """Total row count per table, summed over the shards.
+
+        Cached per cluster snapshot epoch: any routed mutation bumps
+        :attr:`epoch`, so the cache can never serve counts from before the
+        last write this coordinator saw.  Remote clusters pay one
+        ``shard_status`` round per shard per epoch, not per query.
+        """
+        with self._state_lock:
+            cached = self._card_cache
+            if cached is not None and cached[0] == self._epoch:
+                return cached[1]
+        statuses = [shard.shard_status() for shard in self.shards]
+        cards: dict = {}
+        for status in statuses:
+            for name, rows in status.get("tables", {}).items():
+                key = name.lower()
+                if key.startswith(INTERNAL_PREFIXES):
+                    continue
+                cards[key] = cards.get(key, 0) + int(rows)
+        with self._state_lock:
+            self._card_cache = (self._epoch, cards)
+        return cards
+
+    def explain_route(self, query) -> "PlanNode":
+        """The plan tree for ``query``'s route, without executing it."""
+        if isinstance(query, str):
+            query = parse(query)
+        return build_route_plan(self, query, self._classify(query))
 
     def _plan_scatter(self, query: ast.Select, route: tuple) -> SplitPlan:
         if route[1] == "pushdown":
             return plan_group_pushdown(query)
-        return plan_split(query, self.udfs)
+        split = plan_split(query, self.udfs)
+        if route[0] == "coshard" and route[1].dims:
+            # the partial joins each shard's co-located slices against
+            # broadcast full copies of the unsharded tables
+            mapping = {name: COSHARD_PREFIX + name for name in route[1].dims}
+            split = SplitPlan(
+                partial=rename_tables(split.partial, mapping),
+                merge=split.merge,
+                kind=split.kind,
+            )
+        return split
 
     def _run(
         self, query: ast.Select, route: tuple
@@ -675,6 +812,12 @@ class Coordinator:
             partials = self._scatter(split.partial)
             out = self._merge(split.merge, partials)
             return out, self._scatter_report_for(query, split, route)
+        if kind == "coshard":
+            split = self._plan_scatter(query, route)
+            self._ensure_broadcasts(extra.dims)
+            partials = self._scatter(split.partial)
+            out = self._merge(split.merge, partials)
+            return out, self._coshard_report(split, extra)
         return self._run_fallback(query, extra)
 
     def _scatter(self, partial: ast.Select) -> list[Table]:
@@ -755,6 +898,219 @@ class Coordinator:
                     return False
         return merge_order_resolvable(query)
 
+    # -- co-sharded joins ------------------------------------------------------
+
+    def _coshard_info(self, query: ast.Select) -> Optional[CoshardInfo]:
+        """Prove ``query``'s join runs shard-local; None when it cannot.
+
+        The proof: the FROM clause is an inner/cross join tree of base
+        tables, the query partial/merge-splits, and every *sharded* table
+        reference is connected to every other by equi-join edges on the
+        respective shard-key columns -- with all of them routed through
+        one colocation group, so equal shard-key values provably share a
+        shard.  Unsharded tables are broadcast in full, so each shard's
+        join over (its co-located slices x broadcast dims) partitions the
+        global join exactly.
+
+        LEFT joins are refused outright: a preserved row on the broadcast
+        side would NULL-extend once per shard, and proving which side is
+        preserved buys little over the fallback.
+        """
+        refs = base_table_refs(query.from_clause)
+        if refs is None or len(refs) < 2:
+            return None
+        stack = [query.from_clause]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Join):
+                if node.kind not in ("inner", "cross"):
+                    return None
+                stack.extend((node.left, node.right))
+        reason = ineligibility(
+            query,
+            self.udfs,
+            lambda n: n.lower() in self._placements,
+            multi_table=True,
+        )
+        if reason is not None:
+            return None
+        bindings: dict[str, str] = {}
+        sharded_bindings: dict[str, Placement] = {}
+        dims: list[str] = []
+        for ref in refs:
+            binding = ref.binding.lower()
+            table = ref.name.lower()
+            bindings[binding] = table
+            placement = self._placements.get(table)
+            if placement is not None and placement.sharded:
+                sharded_bindings[binding] = placement
+            elif table not in dims:
+                dims.append(table)
+        if not sharded_bindings:
+            return None  # unreachable from _classify (a sharded ref exists)
+        tables = {p.table for p in sharded_bindings.values()}
+        group = None
+        if len(tables) > 1:
+            groups = {p.colocate for p in sharded_bindings.values()}
+            group = groups.pop() if len(groups) == 1 else None
+            if group is None:
+                # different (or no) colocation groups: equal shard-key
+                # values route through independent PRF subkeys and may
+                # land on different shards
+                return None
+        if len(sharded_bindings) > 1 and not self._coshard_connected(
+            query, sharded_bindings
+        ):
+            return None
+        return CoshardInfo(
+            sharded=tuple(sorted(tables)), dims=tuple(dims), group=group
+        )
+
+    def _coshard_connected(
+        self, query: ast.Select, sharded_bindings: dict
+    ) -> bool:
+        """Union-find: shard-key equi-edges connect every sharded binding."""
+        parent = {binding: binding for binding in sharded_bindings}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        roots = list(join_conditions(query.from_clause))
+        if query.where is not None:
+            roots.append(query.where)
+        conjuncts = []
+        while roots:
+            node = roots.pop()
+            if isinstance(node, ast.BinaryOp) and node.op == "and":
+                roots.extend((node.left, node.right))
+            else:
+                conjuncts.append(node)
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            left = self._shard_key_binding(conjunct.left, sharded_bindings)
+            right = self._shard_key_binding(conjunct.right, sharded_bindings)
+            if left is not None and right is not None and left != right:
+                parent[find(left)] = find(right)
+        return len({find(binding) for binding in sharded_bindings}) == 1
+
+    @staticmethod
+    def _shard_key_binding(
+        expr: ast.Expr, sharded_bindings: dict
+    ) -> Optional[str]:
+        """The sharded binding whose shard-key column ``expr`` is, else None.
+
+        Rewritten equalities compare *tokens*: both sides of one ``=``
+        share a single mask, so token equality is plaintext equality, and
+        the token expression keeps its subject as the first argument of
+        ``sdb_keyupdate`` / ``sdb_mul_plain`` / ``sdb_enc`` (the last is
+        the deterministic ring encoding an insensitive join key gets) --
+        peel those down to the base column.
+        """
+        while (
+            isinstance(expr, ast.FuncCall)
+            and expr.name.lower() in ("sdb_keyupdate", "sdb_mul_plain", "sdb_enc")
+            and expr.args
+        ):
+            expr = expr.args[0]
+        if not isinstance(expr, ast.Column):
+            return None
+        name = expr.name.lower()
+        if expr.table is not None:
+            binding = expr.table.lower()
+            placement = sharded_bindings.get(binding)
+            if placement is not None and placement.shard_column == name:
+                return binding
+            return None
+        # bare column: a valid query binds it to the unique table holding
+        # that name, so a name matching exactly one sharded binding's
+        # shard key is that binding (two matches = ambiguous, and the
+        # shards would reject the query anyway)
+        matches = [
+            binding
+            for binding, placement in sharded_bindings.items()
+            if placement.shard_column == name
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def _ensure_broadcasts(self, dims: tuple) -> None:
+        """Broadcast full copies of unsharded ``dims`` to every shard.
+
+        Cached until DML touches a source table.  Like fallback
+        materialization, the cache is validated against the shards' live
+        catalogs, so another coordinator's invalidation is honored.
+        """
+        if not dims:
+            return
+        with self._mat_lock:
+            for name in dims:
+                target = COSHARD_PREFIX + name.lower()
+                if name.lower() in self._broadcast and all(
+                    target in self._shard_table_names(shard)
+                    for shard in self.shards
+                ):
+                    continue
+                # stream the dim table chunk by chunk: each window ships to
+                # every shard (in parallel) before the next is fetched, so
+                # the coordinator holds one bounded chunk at a time
+                first = True
+                for chunk in _gather_chunks(self.primary, name):
+                    if not first and not chunk.num_rows:
+                        break
+                    replace = first
+
+                    def ship(shard, c=chunk, replace=replace):
+                        # per-shard copy: in-process shards would otherwise
+                        # alias one Table object and appends would double up
+                        copy = c.slice(0)
+                        if replace:
+                            shard.store_table(target, copy, replace=True)
+                        else:
+                            shard.append_table(target, copy)
+
+                    list(self._pool.map(ship, self.shards))
+                    first = False
+                self._broadcast.add(name.lower())
+
+    @staticmethod
+    def _shard_table_names(shard) -> set:
+        names_fn = getattr(shard, "catalog_names", None)
+        if callable(names_fn):  # remote shard: the CATALOG wire op
+            return set(names_fn())
+        return set(shard.catalog.names())
+
+    def _coshard_report(
+        self, split: SplitPlan, info: CoshardInfo
+    ) -> ScatterReport:
+        joined = ", ".join(info.sharded)
+        scattered = len(self.shards)
+        leakage = [
+            f"cluster: each shard sees the partial join over its "
+            f"co-located slices of {joined} (per-shard cardinalities)",
+        ]
+        if info.group:
+            leakage.append(
+                f"cluster: colocation group {info.group!r} reveals "
+                "cross-table co-residency of equal shard-key values"
+            )
+        for name in info.dims:
+            leakage.append(
+                f"cluster: full (encrypted) copy of {name!r} broadcast to "
+                "every shard for this join"
+            )
+        return ScatterReport(
+            mode="coshard",
+            shards=scattered,
+            reason=(
+                f"co-sharded join: partial {split.kind} over {scattered} "
+                f"shard(s), {joined} joined shard-locally"
+            ),
+            leakage=tuple(leakage),
+        )
+
     def _scatter_report_for(
         self, query: ast.Select, split: SplitPlan, route: tuple
     ) -> ScatterReport:
@@ -817,12 +1173,34 @@ class Coordinator:
                 if full_name in self._primary_table_names():
                     return full_name
                 self._materialized.discard(name.lower())
-            slices = list(
-                self._pool.map(lambda shard: shard.shard_dump(name), self.shards)
+            # streamed gather: fetch every shard's first window in parallel
+            # (small tables -- the common case -- finish in that one round
+            # trip per shard, exactly like the old whole-slice gather), then
+            # drain any longer slice chunk by chunk so the coordinator and
+            # each wire frame hold at most GATHER_CHUNK_ROWS rows
+            heads = list(
+                self._pool.map(
+                    lambda shard: shard.shard_dump(
+                        name, offset=0, count=GATHER_CHUNK_ROWS
+                    ),
+                    self.shards,
+                )
             )
-            self.primary.store_table(
-                full_name, concat_tables(slices), replace=True
-            )
+            stored = False
+            for shard, head in zip(self.shards, heads):
+                if not stored:
+                    # first chunk carries the schema even when empty
+                    self.primary.store_table(full_name, head, replace=True)
+                    stored = True
+                elif head.num_rows:
+                    self.primary.append_table(full_name, head)
+                if head.num_rows == GATHER_CHUNK_ROWS:
+                    for chunk in _gather_chunks(
+                        shard, name, offset=head.num_rows
+                    ):
+                        if not chunk.num_rows:
+                            break
+                        self.primary.append_table(full_name, chunk)
             self._materialized.add(name.lower())
             return full_name
 
@@ -842,6 +1220,12 @@ class Coordinator:
             self.primary.drop_table(MATERIALIZED_PREFIX + name.lower())
         except Exception:
             pass  # no cached copy anywhere (or already dropped)
+        self._broadcast.discard(name.lower())
+        for shard in self.shards:
+            try:
+                shard.drop_table(COSHARD_PREFIX + name.lower())
+            except Exception:
+                pass  # no broadcast copy here (or already dropped)
 
     # -- DML -----------------------------------------------------------------
 
@@ -1018,8 +1402,8 @@ class Coordinator:
         with self._lock.write_locked():
             self._epoch += 1
             self._broadcast_txn("rollback")
-            # slices were restored underneath any materialized copies
-            for name in list(self._materialized):
+            # slices were restored underneath any materialized/broadcast copies
+            for name in set(self._materialized) | set(self._broadcast):
                 self._invalidate_materialized(name)
             if self._migration is not None:
                 # the restore may have resurrected/undone mover rows on
@@ -1149,6 +1533,7 @@ class Coordinator:
                                 "of": plan.new_count,
                                 "shard_by": self._placements[name].shard_column
                                 or "",
+                                "colocate": self._colocate_of(name),
                             },
                             replace=True,
                         )
@@ -1217,6 +1602,7 @@ class Coordinator:
                             "index": dst,
                             "of": plan.new_count,
                             "shard_by": shard_by or "",
+                            "colocate": self._colocate_of(table),
                         },
                     )
                     migration.record_move(table, chunk, src, dst, len(indices))

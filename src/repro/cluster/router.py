@@ -79,12 +79,26 @@ def canonical_bytes(value) -> bytes:
     raise TypeError(f"cannot route a {type(value).__name__} shard-key value")
 
 
-def shard_bucket(routing_key: bytes, table: str, column: str, value) -> int:
+def shard_bucket(
+    routing_key: bytes, table: str, column: str, value, group: str = None
+) -> int:
     """The routing bucket for one row (a ``BUCKET_BITS``-bit integer).
 
     The per-``(table, column)`` subkey means renaming or re-sharding a
     table draws an independent permutation, and equal values in different
     tables do not visibly co-locate.
+
+    ``group`` names a *colocation group*: tables sharded into the same
+    group share one subkey, so equal shard-key values land on the same
+    shard across those tables -- the property that lets a co-sharded join
+    run entirely shard-local.  The price is declared leakage: within a
+    group, cross-table co-residency of equal shard-key values becomes
+    visible to the SPs.
     """
-    subkey = derive_key(routing_key, f"shard:{table.lower()}.{column.lower()}")
+    if group is not None:
+        subkey = derive_key(routing_key, f"shard-group:{group.lower()}")
+    else:
+        subkey = derive_key(
+            routing_key, f"shard:{table.lower()}.{column.lower()}"
+        )
     return prf_int(subkey, canonical_bytes(value), BUCKET_BITS)

@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.plan import Const, PlainSlot, PostOp, ShareSlot
+from repro.engine.planner import PlanNode
 from repro.sql import ast
+from repro.sql.params import num_parameters
 from repro.sql.parser import parse_statement
 
 
@@ -97,6 +99,98 @@ def explain(proxy, sql: str) -> ExplainReport:
         outputs=(),
         leakage=plan.leakage,
         notes=plan.notes,
+    )
+
+
+def plan(proxy, statement) -> PlanNode:
+    """The structured plan tree for a statement, without executing it.
+
+    ``statement`` is SQL text or a parsed AST; an ``EXPLAIN`` wrapper is
+    unwrapped.  The tree combines the proxy's rewrite (with its declared
+    leakage and notes) and the backend's routing decision -- a cluster
+    coordinator contributes its scatter/coshard/gather subtree through
+    ``explain_route``; single-SP backends report one execute node.  Plans
+    describe operator shapes only: the single place data-derived content
+    may appear is an explicitly declared leakage line.
+    """
+    if isinstance(statement, str):
+        statement = parse_statement(statement)
+    if isinstance(statement, ast.Explain):
+        statement = statement.statement
+
+    if isinstance(statement, ast.Select):
+        markers = num_parameters(statement)
+        rewritten = proxy.rewriter.rewrite(
+            statement, param_types=(None,) * markers
+        )
+        props = {"outputs": len(rewritten.outputs)}
+        if markers:
+            props["params"] = markers
+        rewrite_node = PlanNode(
+            op="rewrite",
+            detail="sensitive operations become SDB UDF calls over shares",
+            props=props,
+            leakage=rewritten.leakage,
+            notes=rewritten.notes,
+        )
+        return PlanNode(
+            op="select",
+            detail="proxy rewrite, then routed execution",
+            children=(rewrite_node, _route_node(proxy, rewritten.query)),
+        )
+
+    if isinstance(statement, ast.Insert):
+        meta = proxy.store.table(statement.table)
+        sensitive = [c.name for c in meta.columns.values() if c.sensitive]
+        return PlanNode(
+            op="insert",
+            detail=f"encrypt at the proxy, route rows into {statement.table}",
+            props={"rows": len(statement.rows)},
+            leakage=tuple(
+                f"insert: plaintext of insensitive column {c.name!r}"
+                for c in meta.columns.values()
+                if not c.sensitive
+            ),
+            notes=(
+                f"sensitive columns encrypted at the proxy: {sensitive}",
+                "each row gets a fresh random row id (CPA resistance)",
+            ),
+        )
+
+    if isinstance(statement, (ast.Update, ast.Delete)):
+        rewrite = (
+            proxy.rewriter.rewrite_update
+            if isinstance(statement, ast.Update)
+            else proxy.rewriter.rewrite_delete
+        )
+        rewritten = rewrite(statement)
+        kind = type(statement).__name__.lower()
+        return PlanNode(
+            op=kind,
+            detail=f"rewritten {kind.upper()} on {statement.table}, "
+            "predicate evaluated over shares at the SP",
+            leakage=rewritten.leakage,
+            notes=rewritten.notes,
+        )
+
+    # control statements (BEGIN/COMMIT/ROLLBACK, DDL): nothing to plan
+    kind = type(statement).__name__.lower()
+    return PlanNode(
+        op=kind,
+        detail="control statement; executes directly",
+    )
+
+
+def _route_node(proxy, rewritten_query) -> PlanNode:
+    """How the backend will route the rewritten query."""
+    server = proxy.server
+    explain_fn = getattr(server, "explain_route", None)
+    if callable(explain_fn):  # a cluster coordinator
+        return explain_fn(rewritten_query)
+    return PlanNode(
+        op="execute",
+        detail="single service provider runs the rewritten query",
+        props={"backend": type(server).__name__},
     )
 
 

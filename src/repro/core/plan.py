@@ -92,6 +92,14 @@ class ParamSlot:
     ``kind=None`` is a passthrough slot: the raw value goes to the SP (the
     marker sits in a plain position, where the string path would have sent
     the literal in clear anyway).
+
+    A slot whose ``factor`` came from a rewrite-time random draw (a token
+    inverse) additionally names its :class:`MaskSite` via ``mask_site`` /
+    ``mask_member``: once the plan's masks are deferred
+    (:meth:`RewrittenQuery.defer_masks`), the factor is recomputed from a
+    fresh draw on every bind instead of reusing the rewrite-time one.
+    ``param == MASK_PARAM`` marks a pure mask slot carrying no application
+    value at all -- its literal *is* the recomputed mask material.
     """
 
     param: int                     # index into the application's parameters
@@ -100,6 +108,48 @@ class ParamSlot:
     width: int = 0
     factor: Optional[int] = None   # token/key inverse folded at rewrite time
     negate: bool = False
+    mask_site: Optional[int] = None   # index into RewrittenQuery.mask_sites
+    mask_member: int = 0              # member within that site
+
+
+#: Sentinel ``ParamSlot.param`` for slots that carry mask material only.
+MASK_PARAM = -1
+
+
+class MaskSite:
+    """One rewrite-time random draw and every plan literal derived from it.
+
+    The rewriter draws fresh randomness per site -- a comparison mask
+    ``rho`` or an equality-token unit ``m`` -- and folds values derived
+    from it (key-update ``p``/``q`` coefficients, token inverses) into the
+    rewritten query as literals.  A :class:`MaskSite` records the draw
+    procedure and, per emitted literal, a recompute function, so a cached
+    plan can re-draw the site's randomness at bind time
+    (:meth:`RewrittenQuery.defer_masks` / :meth:`RewrittenQuery.bind_slots`)
+    instead of reusing one mask across executions.
+
+    A site whose draw turns out to be *decryption-relevant* -- a token key
+    recorded in a :class:`ShareSlot`, or a token share later key-updated by
+    a closure that captured it as a fixed source -- is ``pinned`` by the
+    rewriter: pinned sites keep their rewrite-time draw and are excluded
+    from deferral.
+    """
+
+    __slots__ = ("kind", "draw", "members", "index", "pinned")
+
+    def __init__(self, kind: str, draw, index: int = 0):
+        self.kind = kind          # 'sign-mask' | 'token'
+        self.draw = draw          # rng -> fresh randomness
+        self.index = index        # position in RewrittenQuery.mask_sites
+        self.pinned = False       # keep the rewrite-time draw forever
+        #: ``(literal_node_or_None, fresh -> int)`` pairs.  A ``None`` node
+        #: backs a ParamSlot factor override rather than a query literal.
+        self.members: list = []
+
+    def add(self, node, compute) -> int:
+        """Register one derived value; returns its member index."""
+        self.members.append((node, compute))
+        return len(self.members) - 1
 
 
 @dataclass(frozen=True)
@@ -119,21 +169,89 @@ class RewrittenQuery:
     leakage: tuple[str, ...] = ()         # per-site leakage events
     notes: tuple[str, ...] = ()           # rewriting decisions worth surfacing
     param_slots: tuple[ParamSlot, ...] = ()  # placeholder slots, in marker order
+    mask_sites: tuple = ()                # MaskSite records, re-drawable
+    masks_deferred: bool = False          # masks re-drawn per bind_slots call
 
     @property
     def sql(self) -> str:
         return self.query.to_sql()
 
-    def bind_slots(self, n: int, values) -> list:
+    def defer_masks(self) -> "RewrittenQuery":
+        """Turn rewrite-time mask literals into per-execution parameters.
+
+        Every literal a :class:`MaskSite` emitted is replaced with a fresh
+        parameter marker backed by a mask-only :class:`ParamSlot`;
+        :meth:`bind_slots` then re-draws each site's randomness per call.
+        The transformed query is wire-identical in shape (same markers for
+        application parameters, extra markers for mask material), so
+        server-side prepared handles stay valid across executions.
+        """
+        if self.masks_deferred or not any(
+            site.members and not site.pinned for site in self.mask_sites
+        ):
+            return self
+        import dataclasses as _dc
+
+        from repro.sql.params import transform_nodes
+
+        slots = list(self.param_slots)
+        replacements: dict[int, ast.Expr] = {}
+        for site_index, site in enumerate(self.mask_sites):
+            if site.pinned:
+                continue
+            for member_index, (node, _compute) in enumerate(site.members):
+                if node is None:
+                    continue  # a ParamSlot factor override, not a literal
+                marker = len(slots)
+                slots.append(
+                    ParamSlot(
+                        param=MASK_PARAM,
+                        mask_site=site_index,
+                        mask_member=member_index,
+                    )
+                )
+                replacements[id(node)] = ast.Placeholder(index=marker)
+
+        def leaf(sub):
+            return replacements.get(id(sub))
+
+        return _dc.replace(
+            self,
+            query=transform_nodes(self.query, leaf),
+            param_slots=tuple(slots),
+            masks_deferred=True,
+        )
+
+    def bind_slots(self, n: int, values, rng=None) -> list:
         """Literal values for the query's markers given application ``values``.
 
         ``n`` is the public modulus.  NULL parameters stay NULL (every SDB
-        UDF propagates NULL).
+        UDF propagates NULL).  A plan with deferred masks
+        (:meth:`defer_masks`) additionally needs ``rng``: each
+        :class:`MaskSite` re-draws its randomness once per call, so two
+        binds of the same values produce unlinkable wire literals.
         """
         from repro.crypto.encoding import ring_encode
 
+        draws = None
+        if self.masks_deferred:
+            if rng is None:
+                raise ValueError(
+                    "binding a mask-deferred plan needs an rng to re-draw "
+                    "its mask sites"
+                )
+            draws = [
+                None if site.pinned else site.draw(rng)
+                for site in self.mask_sites
+            ]
         literals = []
         for slot in self.param_slots:
+            if slot.param == MASK_PARAM:
+                compute = self.mask_sites[slot.mask_site].members[
+                    slot.mask_member
+                ][1]
+                literals.append(compute(draws[slot.mask_site]) % n)
+                continue
             value = values[slot.param]
             if value is None or slot.kind is None:
                 literals.append(value)
@@ -141,7 +259,17 @@ class RewrittenQuery:
             ring = ring_encode(value, slot.kind, slot.scale, slot.width)
             if slot.negate:
                 ring = -ring
-            literals.append(ring if slot.factor is None else ring * slot.factor % n)
+            factor = slot.factor
+            if (
+                draws is not None
+                and slot.mask_site is not None
+                and draws[slot.mask_site] is not None
+            ):
+                compute = self.mask_sites[slot.mask_site].members[
+                    slot.mask_member
+                ][1]
+                factor = compute(draws[slot.mask_site])
+            literals.append(ring if factor is None else ring * factor % n)
         return literals
 
 

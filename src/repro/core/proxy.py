@@ -134,6 +134,7 @@ class SDBProxy:
         rng=None,
         replace: bool = False,
         shard_by: Optional[str] = None,
+        colocate: Optional[str] = None,
     ) -> None:
         """Encrypt and upload a table.
 
@@ -142,7 +143,14 @@ class SDBProxy:
         a keyed PRF of its ``shard_by`` plaintext, computed *here* with
         the key store's routing key, so no service provider ever sees the
         key value -- only which bucket the row landed in.
+
+        ``colocate`` names a colocation group: tables sharded into the
+        same group route equal shard-key values to the same shard, which
+        lets a join on those keys run entirely shard-local (declared
+        leakage: cross-table co-residency within the group).
         """
+        if colocate is not None and shard_by is None:
+            raise RewriteError("colocate requires shard_by")
         if shard_by is not None:
             # function-local: core must stay importable without the
             # cluster package (which itself builds on repro.core.server)
@@ -162,7 +170,7 @@ class SDBProxy:
             shard_index = names.index(shard_by)
             buckets = [
                 shard_bucket(self.store.routing_key, name, shard_by,
-                             row[shard_index])
+                             row[shard_index], group=colocate)
                 for row in rows
             ]
         meta, encrypted = encrypt_table(
@@ -179,7 +187,7 @@ class SDBProxy:
         if shard_by is not None:
             self.server.store_sharded(
                 name, encrypted, shard_column=shard_by, buckets=buckets,
-                replace=replace,
+                replace=replace, colocate=colocate,
             )
         else:
             self.server.store_table(name, encrypted, replace=replace)
@@ -508,10 +516,15 @@ class SDBProxy:
                 # row by the PRF bucket of its (plaintext) shard-key value
                 from repro.cluster.router import shard_bucket
 
+                colocation = getattr(self.server, "shard_colocation", None)
+                group = (
+                    colocation(statement.table) if callable(colocation)
+                    else None
+                )
                 shard_index = names.index(shard_col)
                 buckets = [
                     shard_bucket(self.store.routing_key, statement.table,
-                                 shard_col, row[shard_index])
+                                 shard_col, row[shard_index], group=group)
                     for row in plain_rows
                 ]
                 affected = self.server.insert_routed(rewritten, buckets)
@@ -676,6 +689,12 @@ class SDBProxy:
         from repro.core.explain import explain
 
         return explain(self, sql)
+
+    def plan(self, sql: str):
+        """The structured plan tree for ``sql`` (rewrite + routing), unexecuted."""
+        from repro.core.explain import plan
+
+        return plan(self, sql)
 
     # -- key store inspection (demo step 1) --------------------------------------
 

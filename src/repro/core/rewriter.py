@@ -42,6 +42,7 @@ from repro.core.keystore import KeyStore
 from repro.core.meta import TableMeta, ValueType
 from repro.core.plan import (
     Const,
+    MaskSite,
     OutputColumn,
     ParamRef,
     ParamSlot,
@@ -281,6 +282,8 @@ class Rewriter:
         self._hidden_counter = 0
         self._param_types: tuple = ()
         self._param_slots: list[ParamSlot] = []
+        self._mask_sites: list[MaskSite] = []
+        self._token_sites_by_m: dict[int, MaskSite] = {}
         self._rewrite_lock = threading.RLock()
 
     # -- entry point --------------------------------------------------------
@@ -301,14 +304,18 @@ class Rewriter:
         self._hidden_counter = 0
         self._param_types = tuple(param_types)
         self._param_slots: list[ParamSlot] = []
+        self._mask_sites = []
+        self._token_sites_by_m = {}
         rewritten, outputs = self._rewrite_top(query)
         rewritten = self._finalize_params(rewritten)
+        self._pin_output_token_sites(outputs)
         return RewrittenQuery(
             query=rewritten,
             outputs=tuple(outputs),
             leakage=tuple(self._leakage),
             notes=tuple(self._notes),
             param_slots=tuple(self._param_slots),
+            mask_sites=tuple(self._mask_sites),
         )
 
     # -- views ----------------------------------------------------------------
@@ -686,8 +693,14 @@ class Rewriter:
         return tuple(out)
 
     def _order_token(self, rexpr: RExpr, scope: Scope) -> RExpr:
-        rho = self.policy.random_mask(self.keys, self.rng)
-        masked = self._keyupdate(rexpr, keyops.reveal_key(self.keys, rho), scope)
+        mask_site = self._new_sign_mask_site()
+        rho = mask_site.draw(self.rng)
+        masked = self._keyupdate(
+            rexpr,
+            keyops.reveal_key(self.keys, rho),
+            scope,
+            remask=(mask_site, self._reveal_target),
+        )
         self._leak("order_token", "ORDER BY on sensitive expression")
         node = ast.FuncCall(
             "sdb_signed", (masked.node, ast.Literal(self.keys.n))
@@ -862,11 +875,14 @@ class Rewriter:
                 items=tuple(i.node for i in items),
                 negated=expr.negated,
             )
-        token_m = self._fresh_token_m()
+        mask_site = self._new_token_site()
+        token_m = self._draw_token(mask_site)
         self._leak("token", f"IN-list membership: {expr.subject.to_sql()}")
-        subject_token = self._as_token(subject, token_m, scope)
+        subject_token = self._as_token(subject, token_m, scope, site=mask_site)
         item_tokens = tuple(
-            self._as_token(i, token_m, scope, as_vtype=subject.vtype).node
+            self._as_token(
+                i, token_m, scope, as_vtype=subject.vtype, site=mask_site
+            ).node
             for i in items
         )
         return ast.InList(
@@ -904,14 +920,15 @@ class Rewriter:
                 subject=subject.node, query=inner_select, negated=expr.negated
             )
 
-        token_m = self._fresh_token_m()
+        mask_site = self._new_token_site()
+        token_m = self._draw_token(mask_site)
         self._leak("token", f"IN-subquery membership: {expr.subject.to_sql()}")
         share_vtype = (subject if subject.is_share else inner_rexpr).vtype
         subject_token = self._as_token(
-            subject, token_m, scope, as_vtype=share_vtype
+            subject, token_m, scope, as_vtype=share_vtype, site=mask_site
         )
         inner_token = self._as_token(
-            inner_rexpr, token_m, inner_scope, as_vtype=share_vtype
+            inner_rexpr, token_m, inner_scope, as_vtype=share_vtype, site=mask_site
         )
         inner_select = ast.Select(
             items=(ast.SelectItem(expr=inner_token.node, alias="v"),),
@@ -954,15 +971,22 @@ class Rewriter:
             raise UnsupportedQueryError(f"cannot order-compare: {site}")
 
         diff = self._sub(l, r, scope)
-        rho = self.policy.random_mask(self.keys, self.rng)
-        masked = self._keyupdate(diff, keyops.reveal_key(self.keys, rho), scope)
+        mask_site = self._new_sign_mask_site()
+        rho = mask_site.draw(self.rng)
+        masked = self._keyupdate(
+            diff,
+            keyops.reveal_key(self.keys, rho),
+            scope,
+            remask=(mask_site, self._reveal_target),
+        )
         self._leak("compare", f"comparison sign: {site}")
         sign = ast.FuncCall("sdb_sign", (masked.node, ast.Literal(self.keys.n)))
         return ast.BinaryOp(op=op, left=sign, right=ast.Literal(0))
 
     def _equality_tokens(self, l: RExpr, r: RExpr, scope: Scope, site: str):
         """Tokenize both sides of an equality with aligned encodings."""
-        token_m = self._fresh_token_m()
+        mask_site = self._new_token_site()
+        token_m = self._draw_token(mask_site)
         self._leak("token", f"equality: {site}")
         if l.vtype.kind == "string" or r.vtype.kind == "string":
             if l.is_share and r.is_share and l.vtype.width != r.vtype.width:
@@ -971,58 +995,134 @@ class Rewriter:
                     f"({l.vtype.width} vs {r.vtype.width}): {site}"
                 )
             width = (l.vtype if l.is_share else r.vtype).width
-            lt = self._as_token(l, token_m, scope, as_vtype=ValueType.string(width))
-            rt = self._as_token(r, token_m, scope, as_vtype=ValueType.string(width))
+            wide = ValueType.string(width)
+            lt = self._as_token(l, token_m, scope, as_vtype=wide, site=mask_site)
+            rt = self._as_token(r, token_m, scope, as_vtype=wide, site=mask_site)
             return lt, rt
         if l.vtype.is_numeric and r.vtype.is_numeric:
             scale = max(l.vtype.scale, r.vtype.scale)
             l = self._rescale(l, scale)
             r = self._rescale(r, scale)
             as_vtype = ValueType.decimal(scale) if scale else ValueType.int_()
-            lt = self._as_token(l, token_m, scope, as_vtype=as_vtype)
-            rt = self._as_token(r, token_m, scope, as_vtype=as_vtype)
+            lt = self._as_token(l, token_m, scope, as_vtype=as_vtype, site=mask_site)
+            rt = self._as_token(r, token_m, scope, as_vtype=as_vtype, site=mask_site)
             return lt, rt
-        lt = self._as_token(l, token_m, scope)
-        rt = self._as_token(r, token_m, scope)
+        lt = self._as_token(l, token_m, scope, site=mask_site)
+        rt = self._as_token(r, token_m, scope, site=mask_site)
         return lt, rt
 
     def _as_token(
-        self, rexpr: RExpr, token_m: int, scope: Scope, as_vtype: ValueType = None
+        self,
+        rexpr: RExpr,
+        token_m: int,
+        scope: Scope,
+        as_vtype: ValueType = None,
+        site: Optional[MaskSite] = None,
     ) -> RExpr:
-        """Re-encrypt (or encode) a value under the token key ``<m, 0>``."""
+        """Re-encrypt (or encode) a value under the token key ``<m, 0>``.
+
+        When ``site`` is given, every literal this emits is registered with
+        the mask site so a cached plan can re-draw ``token_m`` per bind.
+        """
+        n = self.keys.n
         target = KeyExpr.make(token_m)
         if rexpr.is_share:
-            return self._keyupdate(rexpr, target, scope)
+            remask = None if site is None else (site, self._token_target)
+            return self._keyupdate(rexpr, target, scope, remask=remask)
         vtype = as_vtype or rexpr.vtype
-        inv = ntheory.modinv(token_m, self.keys.n)
+        inv = ntheory.modinv(token_m, n)
         constant = self._fold(rexpr.node)
         if constant is not _NOT_CONST:
             ring = self._ring(constant, vtype, vtype.scale)
-            return RExpr(
-                node=ast.Literal(ring * inv % self.keys.n),
-                vtype=vtype,
-                key=target,
-            )
+            node = ast.Literal(ring * inv % n)
+            if site is not None:
+                site.add(
+                    node,
+                    lambda fresh, _r=ring: _r * ntheory.modinv(fresh, n) % n,
+                )
+            return RExpr(node=node, vtype=vtype, key=target)
         param = _param_of(rexpr.node)
         if param is not None:
-            node = self._defer_param(param[0], vtype, vtype.scale, inv, param[1])
+            node = self._defer_param(
+                param[0], vtype, vtype.scale, inv, param[1], site=site
+            )
             return RExpr(node=node, vtype=vtype, key=target)
         enc = self._enc_node(
             RExpr(node=rexpr.node, vtype=vtype), vtype.scale
         )
+        inv_node = ast.Literal(inv)
+        if site is not None:
+            site.add(inv_node, lambda fresh: ntheory.modinv(fresh, n))
         node = ast.FuncCall(
             "sdb_mul_plain",
-            (enc, ast.Literal(inv), ast.Literal(0), ast.Literal(self.keys.n)),
+            (enc, inv_node, ast.Literal(0), ast.Literal(n)),
         )
         return RExpr(node=node, vtype=vtype, key=target)
 
     def _tokenize(self, rexpr: RExpr, scope: Scope, site: str) -> RExpr:
-        token_m = self._fresh_token_m()
+        mask_site = self._new_token_site()
+        token_m = self._draw_token(mask_site)
         self._leak("token", site)
-        return self._as_token(rexpr, token_m, scope)
+        return self._as_token(rexpr, token_m, scope, site=mask_site)
 
     def _fresh_token_m(self) -> int:
         return ntheory.random_unit(self.keys.n, self.rng)
+
+    # -- mask sites (bind-time re-masking of cached plans) -------------------
+
+    def _new_token_site(self) -> MaskSite:
+        """A fresh token-draw site (equality / membership / DISTINCT)."""
+        n = self.keys.n
+        site = MaskSite(
+            "token",
+            lambda rng: ntheory.random_unit(n, rng),
+            index=len(self._mask_sites),
+        )
+        self._mask_sites.append(site)
+        return site
+
+    def _new_sign_mask_site(self) -> MaskSite:
+        """A fresh comparison-mask site (sign / order protocols)."""
+        site = MaskSite(
+            "sign-mask",
+            lambda rng: self.policy.random_mask(self.keys, rng),
+            index=len(self._mask_sites),
+        )
+        self._mask_sites.append(site)
+        return site
+
+    def _token_target(self, fresh: int) -> KeyExpr:
+        return KeyExpr.make(fresh)
+
+    def _reveal_target(self, fresh: int) -> KeyExpr:
+        return keyops.reveal_key(self.keys, fresh)
+
+    def _draw_token(self, site: MaskSite) -> int:
+        """Draw a token unit and remember which site produced it.
+
+        The registry lets the rewriter notice when that token key later
+        becomes decryption-relevant (an output ShareSlot key, or the fixed
+        source of a chained key update) and pin the site.
+        """
+        token_m = site.draw(self.rng)
+        self._token_sites_by_m[token_m % self.keys.n] = site
+        return token_m
+
+    def _pin_output_token_sites(self, outputs) -> None:
+        """Pin token sites whose keys the decryption plan recorded."""
+
+        def walk(spec):
+            if isinstance(spec, ShareSlot):
+                site = self._token_sites_by_m.get(spec.key.m % self.keys.n)
+                if site is not None:
+                    site.pinned = True
+            elif isinstance(spec, PostOp):
+                walk(spec.left)
+                if spec.right is not None:
+                    walk(spec.right)
+
+        for output in outputs:
+            walk(output.spec)
 
     # -- arithmetic on shares -------------------------------------------------------------
 
@@ -1351,9 +1451,23 @@ class Rewriter:
 
     # -- key update --------------------------------------------------------------------------
 
-    def _keyupdate(self, rexpr: RExpr, target: KeyExpr, scope: Scope) -> RExpr:
+    def _keyupdate(
+        self, rexpr: RExpr, target: KeyExpr, scope: Scope, remask=None
+    ) -> RExpr:
+        """Re-encrypt ``rexpr`` to ``target`` via ``sdb_keyupdate``.
+
+        ``remask`` is ``(site, target_of)`` for updates whose target derives
+        from a mask-site draw (``target_of(fresh)`` rebuilds it): the
+        emitted ``p``/``q`` literals register with the site so a cached
+        plan recomputes them from a fresh draw per bind.
+        """
         if rexpr.key == target:
             return rexpr
+        src_site = self._token_sites_by_m.get(rexpr.key.m % self.keys.n)
+        if src_site is not None:
+            # this update's p/q coefficients capture the token key as a
+            # fixed source; the site can no longer re-draw per bind
+            src_site.pinned = True
         current_terms = rexpr.key.term_map()
         target_terms = target.term_map()
         helper_keys = {}
@@ -1363,10 +1477,32 @@ class Rewriter:
         params = keyops.key_update_params(
             self.keys, rexpr.key, target, helper_keys
         )
-        args = [rexpr.node, ast.Literal(params.p), ast.Literal(self.keys.n)]
+        p_node = ast.Literal(params.p)
+        args = [rexpr.node, p_node, ast.Literal(self.keys.n)]
+        q_nodes = []
         for source, q in params.q_by_source:
+            q_node = ast.Literal(q)
             args.append(scope.handle(source).s_expr)
-            args.append(ast.Literal(q))
+            args.append(q_node)
+            q_nodes.append((source, q_node))
+        if remask is not None:
+            site, target_of = remask
+            keys, src_key = self.keys, rexpr.key
+            helpers = dict(helper_keys)
+
+            def fresh_params(fresh):
+                return keyops.key_update_params(
+                    keys, src_key, target_of(fresh), helpers
+                )
+
+            site.add(p_node, lambda fresh: fresh_params(fresh).p)
+            for source, q_node in q_nodes:
+                site.add(
+                    q_node,
+                    lambda fresh, _s=source: dict(
+                        fresh_params(fresh).q_by_source
+                    )[_s],
+                )
         node = ast.FuncCall("sdb_keyupdate", tuple(args))
         return RExpr(node=node, vtype=rexpr.vtype, key=target)
 
@@ -1420,9 +1556,13 @@ class Rewriter:
             return RExpr(node=node, vtype=arg.vtype, key=target)
 
         if expr.func in ("min", "max"):
-            rho = self.policy.random_mask(self.keys, self.rng)
+            mask_site = self._new_sign_mask_site()
+            rho = mask_site.draw(self.rng)
             masked = self._keyupdate(
-                arg, keyops.reveal_key(self.keys, rho), scope
+                arg,
+                keyops.reveal_key(self.keys, rho),
+                scope,
+                remask=(mask_site, self._reveal_target),
             )
             self._leak("order_token", f"{expr.func.upper()}: {expr.arg.to_sql()}")
             token = ast.FuncCall(
@@ -1706,13 +1846,12 @@ class Rewriter:
     # the plan records a ParamSlot describing the transform.  For a single
     # execution the SP sees exactly what it would have seen had the value
     # been inlined -- never the plaintext of a sensitive operand.  Across
-    # executions the comparison is weaker: a *cached* plan reuses the
-    # masks/tokens drawn during this rewrite, whereas re-rewriting a string
-    # draws fresh ones, so an SP correlating executions of one prepared
-    # plan learns e.g. ratios of masked differences.  The session layer
-    # declares this on every cached parameterized plan (see
-    # repro.api.statement), and re-masking at bind time is the noted
-    # follow-up that would close the gap.
+    # executions, freshness comes from the plan's MaskSites: every
+    # comparison mask and token drawn during this rewrite is recorded with
+    # recompute closures, so the session layer defers them into extra bind
+    # markers (RewrittenQuery.defer_masks) and re-draws them per execution.
+    # Two binds of one cached plan therefore put unlinkable literals on the
+    # wire, exactly as if the string had been re-rewritten.
 
     def _defer_param(
         self,
@@ -1721,8 +1860,18 @@ class Rewriter:
         scale: int,
         factor: Optional[int],
         negate: bool,
+        site: Optional[MaskSite] = None,
     ) -> ast.Expr:
         slot = len(self._param_slots)
+        mask_site = mask_member = None
+        if site is not None and factor is not None:
+            # the factor is this site's token inverse: once the plan's
+            # masks are deferred, it is recomputed from the fresh draw
+            n = self.keys.n
+            mask_site = site.index
+            mask_member = site.add(
+                None, lambda fresh: ntheory.modinv(fresh, n)
+            )
         self._param_slots.append(
             ParamSlot(
                 param=param_index,
@@ -1731,6 +1880,8 @@ class Rewriter:
                 width=vtype.width,
                 factor=factor,
                 negate=negate,
+                mask_site=mask_site,
+                mask_member=mask_member if mask_member is not None else 0,
             )
         )
         return _SlotPlaceholder(index=slot)

@@ -300,10 +300,44 @@ class SDBServer:
                     self.shard_id = int(placement["index"])
             return table.num_rows
 
-    def shard_dump(self, name: str) -> Table:
-        """The stored relation, schema-exact (gather for fallback queries)."""
+    def shard_dump(
+        self,
+        name: str,
+        offset: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> Table:
+        """The stored relation, schema-exact (gather for fallback queries).
+
+        With ``offset``/``count`` this returns one contiguous row window
+        ``[offset, offset + count)``, letting the coordinator stream a
+        gather in bounded chunks instead of materializing the whole slice
+        in one frame.  ``offset=None`` keeps the legacy whole-table form
+        (a zero-copy handle when called in-process).
+        """
         with self._lock.read_locked():
-            return self.catalog.get(name)
+            table = self.catalog.get(name)
+            if offset is None:
+                return table
+            stop = table.num_rows if count is None else offset + count
+            return table.slice(offset, stop)
+
+    def append_table(self, name: str, table: Table) -> int:
+        """Append rows to a stored relation, creating it when absent.
+
+        The receive side of a chunked gather: the first chunk arrives via
+        ``store_table(replace=True)``, subsequent chunks via this append.
+        Placement metadata is left untouched -- appending to a gather
+        target never changes why a shard holds the base relation.
+        """
+        with self._lock.write_locked():
+            if name not in self.catalog:
+                self.catalog.create(name, table)
+                appended = table.num_rows
+            else:
+                appended = self.catalog.get(name).append_rows(table.rows())
+            self._bump_epoch()
+            self._invalidate_snapshots(name)
+            return appended
 
     def shard_status(self) -> dict:
         """Identity and holdings, as reported over the SHARD_STATUS op."""

@@ -88,32 +88,59 @@ class BatchScope:
     """Column-vector name resolution with lazy, composable selection.
 
     ``bindings`` maps ``binding -> {column name -> vector}`` over the *base*
-    vectors; ``indices`` (when set) is the current selection into them.
+    vectors.  Selection takes one of two shapes:
+
+    * ``indices`` -- one shared row-index vector (the single-table filter
+      case, where every binding's base vectors are parallel);
+    * ``by_binding`` -- one row-index vector *per binding*, all of the same
+      output length (the join case: output row ``i`` combines base row
+      ``by_binding[b][i]`` of each joined binding ``b``).
+
     :meth:`lookup` compacts a column through the selection at most once --
     repeated reads of the same column (projection after filtering on it)
     hit the cache.
     """
 
-    __slots__ = ("bindings", "length", "_indices", "_cache")
+    __slots__ = ("bindings", "length", "_indices", "_by_binding", "_cache")
 
     def __init__(
         self,
         bindings: dict,
         length: int,
         indices: Optional[list] = None,
+        by_binding: Optional[dict] = None,
     ):
         self.bindings = bindings
         self._indices = indices
+        self._by_binding = by_binding
         self._cache: dict = {}
-        self.length = length if indices is None else len(indices)
+        if by_binding is not None:
+            self.length = length
+        else:
+            self.length = length if indices is None else len(indices)
 
     @classmethod
     def for_table(cls, binding: str, table: Table) -> "BatchScope":
         columns = dict(zip(table.schema.names, table.columns))
         return cls({binding: columns}, table.num_rows)
 
+    @classmethod
+    def joined(
+        cls, bindings: dict, by_binding: dict, length: int
+    ) -> "BatchScope":
+        """A scope combining several bindings via per-binding row vectors."""
+        return cls(bindings, length, by_binding=by_binding)
+
     def select(self, local_indices: list) -> "BatchScope":
         """Narrow to the given row positions (relative to this scope)."""
+        if self._by_binding is not None:
+            narrowed = {
+                binding: [rows[i] for i in local_indices]
+                for binding, rows in self._by_binding.items()
+            }
+            return BatchScope(
+                self.bindings, len(local_indices), by_binding=narrowed
+            )
         if self._indices is None:
             base = list(local_indices)
         else:
@@ -121,25 +148,40 @@ class BatchScope:
             base = [indices[i] for i in local_indices]
         return BatchScope(self.bindings, len(base), indices=base)
 
+    def base_rows(self, binding: str) -> list:
+        """Base-table row indices of the current selection for ``binding``."""
+        if binding not in self.bindings:
+            raise BatchUnsupported(f"unknown binding {binding!r}")
+        if self._by_binding is not None:
+            return self._by_binding[binding]
+        if self._indices is not None:
+            return self._indices
+        return list(range(self.length))
+
     def lookup(self, name: str, table: Optional[str] = None) -> list:
         key = (table, name)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        column = self._lookup_base(name, table)
-        if self._indices is not None:
+        binding, column = self._lookup_base(name, table)
+        if self._by_binding is not None:
+            rows = self._by_binding[binding]
+            column = [column[i] for i in rows]
+        elif self._indices is not None:
             column = [column[i] for i in self._indices]
         self._cache[key] = column
         return column
 
-    def _lookup_base(self, name: str, table: Optional[str]) -> list:
+    def _lookup_base(self, name: str, table: Optional[str]) -> tuple:
         if table is not None:
             columns = self.bindings.get(table)
             if columns is None or name not in columns:
                 raise BatchUnsupported(f"unknown column {table}.{name}")
-            return columns[name]
+            return table, columns[name]
         hits = [
-            columns[name] for columns in self.bindings.values() if name in columns
+            (binding, columns[name])
+            for binding, columns in self.bindings.items()
+            if name in columns
         ]
         if len(hits) != 1:
             # unknown or ambiguous: the row path raises the proper error

@@ -335,7 +335,7 @@ class Engine:
             and outer_scope is None
             and preplanned is None
             and drop_conjunct is None
-            and isinstance(query.from_clause, ast.TableRef)
+            and query.from_clause is not None
         ):
             try:
                 result = self._execute_batch(query)
@@ -354,7 +354,7 @@ class Engine:
         elif outer_scope is None:
             self.last_batch_fallback = (
                 "disabled" if not self.batch_enabled
-                else "shape: not a single-table query"
+                else "shape: no FROM clause"
             )
         if outer_scope is None:
             self.last_exec_path = "row"
@@ -430,20 +430,43 @@ class Engine:
     # -- batch (columnar) pipeline -----------------------------------------
 
     def _execute_batch(self, query: ast.Select) -> Table:
-        """Columnar scan -> filter -> project/aggregate over one table.
+        """Columnar scan -> filter -> join -> project/aggregate.
 
-        Raises :exc:`BatchUnsupported` for shapes the batch evaluator
-        cannot express; the caller falls back to the row path.
+        Single-table queries run the fused filter pipeline directly; an
+        inner/cross join tree of base tables additionally hash-joins the
+        per-table filtered scopes over selection vectors (the columnar
+        analogue of the row path's greedy-ordered hash joins).  Raises
+        :exc:`BatchUnsupported` for shapes the batch evaluator cannot
+        express; the caller falls back to the row path.
         """
-        table_ref = query.from_clause
-        table = self.catalog.get(table_ref.name)
-        binding = table_ref.binding
-        scope = BatchScope.for_table(binding, table)
+        refs, on_conjuncts = _batch_join_tree(query.from_clause)
+        conjuncts = on_conjuncts + _split_conjuncts(query.where)
+        conjuncts = conjuncts + _hoist_common_or_equalities(conjuncts)
+        if len(refs) == 1 and not on_conjuncts:
+            table_ref = refs[0]
+            table = self.catalog.get(table_ref.name)
+            binding = table_ref.binding
+            binding_columns = {binding: table.schema.names}
+            scope = self._batch_filter(
+                BatchScope.for_table(binding, table), conjuncts
+            )
+        else:
+            scope, binding_columns = self._batch_join(refs, conjuncts)
 
-        # WHERE: evaluate each conjunct as a mask and cascade the selection
-        # so later conjuncts only see surviving rows (the columnar analogue
-        # of the row path's per-row short-circuit across conjuncts).
-        for conjunct in _split_conjuncts(query.where):
+        aggregates = self._collect_aggregates(query)
+        if aggregates or query.group_by:
+            result_rows, contexts, names = self._batch_grouped(
+                query, scope, aggregates
+            )
+            return self._finish(query, result_rows, contexts, names, None)
+        return self._batch_projected(query, scope, binding_columns)
+
+    def _batch_filter(self, scope, conjuncts):
+        """Fused conjunct pipeline: evaluate each conjunct as a mask and
+        cascade the selection so later conjuncts only see surviving rows
+        (the columnar analogue of the row path's per-row short-circuit
+        across conjuncts)."""
+        for conjunct in conjuncts:
             if scope.length == 0:
                 break
             mask = BatchEvaluator(self, scope).evaluate(conjunct)
@@ -453,14 +476,94 @@ class Engine:
                     scope = scope.select(selected)
             elif mask is not True:
                 scope = scope.select([])
+        return scope
 
-        aggregates = self._collect_aggregates(query)
-        if aggregates or query.group_by:
-            result_rows, contexts, names = self._batch_grouped(
-                query, scope, aggregates
+    def _batch_join(self, refs, conjuncts):
+        """Greedy-ordered columnar hash joins over filtered per-table scopes.
+
+        Conjuncts resolvable from a single table are pushed below the join
+        (filtering that table's scope before any keys are built); equi
+        conjuncts spanning the joined prefix and the next table become hash
+        keys, exactly like the row path's planner; whatever remains filters
+        the joined scope at the end.
+        """
+        binding_names: dict[str, tuple] = {}
+        for ref in refs:
+            if ref.binding in binding_names:
+                raise BatchUnsupported(f"duplicate binding {ref.binding!r}")
+            binding_names[ref.binding] = self.catalog.get(ref.name).schema.names
+
+        local: dict[str, list] = {binding: [] for binding in binding_names}
+        join_conjuncts = []
+        for conjunct in conjuncts:
+            owners = _expr_bindings(conjunct, binding_names)
+            if owners is not None and len(owners) == 1:
+                local[next(iter(owners))].append(conjunct)
+            else:
+                join_conjuncts.append(conjunct)
+
+        scopes = {}
+        for ref in refs:
+            scope = BatchScope.for_table(
+                ref.binding, self.catalog.get(ref.name)
             )
-            return self._finish(query, result_rows, contexts, names, None)
-        return self._batch_projected(query, scope, {binding: table.schema.names})
+            scopes[ref.binding] = self._batch_filter(scope, local[ref.binding])
+
+        planned = [(None, {ref.binding: binding_names[ref.binding]}) for ref in refs]
+        order = _greedy_order(planned, join_conjuncts)
+        first = refs[order[0]].binding
+        current = scopes[first]
+        current_columns = {first: binding_names[first]}
+        available = list(join_conjuncts)
+        for idx in order[1:]:
+            binding = refs[idx].binding
+            right_columns = {binding: binding_names[binding]}
+            equi, available = _extract_equi(
+                available, current_columns, right_columns
+            )
+            current = self._batch_hash_join(current, scopes[binding], equi)
+            current_columns.update(right_columns)
+        current = self._batch_filter(current, available)
+        return current, current_columns
+
+    def _batch_hash_join(self, left, right, equi):
+        """Inner hash join of two batch scopes into one per-binding-indexed
+        scope; NULL keys never match.  Without equi keys this is the cross
+        product (mirroring the row path)."""
+        if equi:
+            left_eval = BatchEvaluator(self, left)
+            right_eval = BatchEvaluator(self, right)
+            left_keys = [left_eval.column(l) for l, _ in equi]
+            right_keys = [right_eval.column(r) for _, r in equi]
+            index: dict = {}
+            for j in range(right.length):
+                key = tuple(column[j] for column in right_keys)
+                if None in key:
+                    continue  # SQL: NULL = anything is never true
+                index.setdefault(key, []).append(j)
+            left_pos: list = []
+            right_pos: list = []
+            for i in range(left.length):
+                key = tuple(column[i] for column in left_keys)
+                if None in key:
+                    continue
+                for j in index.get(key, ()):
+                    left_pos.append(i)
+                    right_pos.append(j)
+        else:
+            left_pos = [i for i in range(left.length) for _ in range(right.length)]
+            right_pos = list(range(right.length)) * left.length
+
+        by_binding = {}
+        for binding in left.bindings:
+            rows = left.base_rows(binding)
+            by_binding[binding] = [rows[i] for i in left_pos]
+        for binding in right.bindings:
+            rows = right.base_rows(binding)
+            by_binding[binding] = [rows[j] for j in right_pos]
+        return BatchScope.joined(
+            {**left.bindings, **right.bindings}, by_binding, len(left_pos)
+        )
 
     def _batch_projected(self, query, scope, binding_columns) -> Table:
         """Columnar projection with DISTINCT/ORDER BY/LIMIT handled in place.
@@ -1005,6 +1108,27 @@ def _hoist_common_or_equalities(conjuncts: list) -> list:
         if common:
             hoisted.extend(common)
     return hoisted
+
+
+def _batch_join_tree(texpr) -> tuple:
+    """Flatten an inner/cross join tree of base tables for the batch path.
+
+    Returns ``(refs, on_conjuncts)``.  Inner-join ON conditions join the
+    global conjunct pool: for inner joins, filtering the re-ordered product
+    by the pooled conjuncts is equivalent to the structured evaluation.
+    LEFT joins and derived tables raise :exc:`BatchUnsupported` (padding
+    semantics and subquery scopes stay on the reference row path).
+    """
+    if isinstance(texpr, ast.TableRef):
+        return [texpr], []
+    if isinstance(texpr, ast.Join) and texpr.kind in ("inner", "cross"):
+        left_refs, left_on = _batch_join_tree(texpr.left)
+        right_refs, right_on = _batch_join_tree(texpr.right)
+        conjuncts = left_on + right_on
+        if texpr.condition is not None:
+            conjuncts = conjuncts + _split_conjuncts(texpr.condition)
+        return left_refs + right_refs, conjuncts
+    raise BatchUnsupported(f"FROM shape: {type(texpr).__name__}")
 
 
 def _flatten_cross(texpr) -> list:

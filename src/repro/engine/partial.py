@@ -49,6 +49,41 @@ EXTREME_UDFS = frozenset({"sdb_agg_min", "sdb_agg_max"})
 PARTIALS_TABLE = "__partials"
 
 
+def base_table_refs(from_clause) -> Optional[list]:
+    """The base :class:`~repro.sql.ast.TableRef` leaves of a FROM tree.
+
+    Returns the refs in syntactic order when the FROM clause is a single
+    base table or a join tree whose every leaf is a base table; ``None``
+    when any leaf is a derived table (subquery in FROM).
+    """
+    refs: list = []
+
+    def walk(node) -> bool:
+        if isinstance(node, ast.TableRef):
+            refs.append(node)
+            return True
+        if isinstance(node, ast.Join):
+            return walk(node.left) and walk(node.right)
+        return False
+
+    return refs if walk(from_clause) else None
+
+
+def join_conditions(from_clause) -> list:
+    """Every join ON condition in a FROM tree (empty for cross joins)."""
+    conditions: list = []
+
+    def walk(node) -> None:
+        if isinstance(node, ast.Join):
+            walk(node.left)
+            walk(node.right)
+            if node.condition is not None:
+                conditions.append(node.condition)
+
+    walk(from_clause)
+    return conditions
+
+
 @dataclass(frozen=True)
 class SplitPlan:
     """A partial query (per slice) and a merge query (over the union)."""
@@ -62,26 +97,36 @@ def ineligibility(
     query: ast.Select,
     udfs: UDFRegistry,
     has_table: Union[Callable[[str], bool], object],
+    multi_table: bool = False,
 ) -> Optional[str]:
     """None when the query can run partial+merge, else the reason.
 
     ``has_table`` is either a callable or a container deciding whether the
     FROM table is known to the caller (catalog, shard placement map, ...);
     unknown tables stay serial so the reference path reports the error.
+
+    ``multi_table`` admits join trees of base tables.  The split itself
+    copies the FROM clause verbatim into the partial, so the *caller* must
+    prove per-slice joins are exact (e.g. the cluster coordinator's
+    co-shard proof: co-located slices plus broadcast copies of every
+    unsharded table).
     """
-    if not isinstance(query.from_clause, ast.TableRef):
+    refs = base_table_refs(query.from_clause)
+    if refs is None:
+        return "FROM contains a derived table"
+    if not multi_table and len(refs) != 1:
         return "FROM is not a single base table"
-    known = (
-        has_table(query.from_clause.name)
-        if callable(has_table)
-        else query.from_clause.name in has_table
-    )
-    if not known:
-        return "unknown table (serial path reports the error)"
+    for ref in refs:
+        known = (
+            has_table(ref.name) if callable(has_table) else ref.name in has_table
+        )
+        if not known:
+            return "unknown table (serial path reports the error)"
     roots = [item.expr for item in query.items]
     roots += [e for e in (query.where, query.having) if e is not None]
     roots += [g for g in query.group_by]
     roots += [o.expr for o in query.order_by]
+    roots += join_conditions(query.from_clause)
     for root in roots:
         for node in ast.walk(root):
             if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):

@@ -1,0 +1,98 @@
+"""Structured query plans: a nestable operator tree with leakage annotations.
+
+Every EXPLAIN surface -- ``EXPLAIN <stmt>`` in SQL, ``Cursor.explain()``,
+the shell's ``\\explain`` -- returns the same :class:`PlanNode` tree, so
+applications, tests and humans all read one description of what the
+deployment is about to do.  A node describes an *operator shape* (scatter,
+co-sharded join, gather, merge, ...), never plaintext: the only data-derived
+content a plan may carry is what the node's ``leakage`` tuple explicitly
+declares, mirroring how every other leakage source in the system is
+surfaced.
+
+The tree is plain data (``to_dict``/``from_dict`` round-trip through JSON)
+so a coordinator can build it on one side of a wire and a client can render
+it on the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator of a query plan.
+
+    ``op`` is a short machine-readable operator name (``'coshard-join'``,
+    ``'scatter'``, ``'gather'``, ``'merge'``, ...); ``detail`` a one-line
+    human description; ``props`` small scalar properties (cardinalities,
+    shard counts, cost estimates); ``leakage`` what executing this operator
+    discloses to the service providers; ``notes`` advisory remarks that are
+    neither structure nor leakage.
+    """
+
+    op: str
+    detail: str = ""
+    props: dict = field(default_factory=dict)
+    children: tuple = ()
+    leakage: tuple = ()
+    notes: tuple = ()
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the subtree as indented text, one operator per line."""
+        pad = "  " * indent
+        head = f"{pad}{self.op}"
+        if self.detail:
+            head += f": {self.detail}"
+        if self.props:
+            rendered = ", ".join(
+                f"{key}={self.props[key]}" for key in sorted(self.props)
+            )
+            head += f"  [{rendered}]"
+        lines = [head]
+        lines.extend(f"{pad}  ! leakage: {item}" for item in self.leakage)
+        lines.extend(f"{pad}  - {note}" for note in self.notes)
+        lines.extend(child.explain(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def find(self, op: str) -> list["PlanNode"]:
+        """All nodes (preorder) whose ``op`` matches -- test/tooling helper."""
+        found = [self] if self.op == op else []
+        for child in self.children:
+            found.extend(child.find(op))
+        return found
+
+    def all_leakage(self) -> tuple:
+        """Every declared leakage line in the subtree, preorder."""
+        out = list(self.leakage)
+        for child in self.children:
+            out.extend(child.all_leakage())
+        return tuple(out)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe description (wire transport, snapshots)."""
+        out: dict = {"op": self.op}
+        if self.detail:
+            out["detail"] = self.detail
+        if self.props:
+            out["props"] = dict(self.props)
+        if self.leakage:
+            out["leakage"] = list(self.leakage)
+        if self.notes:
+            out["notes"] = list(self.notes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanNode":
+        return cls(
+            op=data["op"],
+            detail=data.get("detail", ""),
+            props=dict(data.get("props", {})),
+            children=tuple(
+                cls.from_dict(child) for child in data.get("children", ())
+            ),
+            leakage=tuple(data.get("leakage", ())),
+            notes=tuple(data.get("notes", ())),
+        )

@@ -205,8 +205,21 @@ class RemoteServer:
             )
         )
 
-    def shard_dump(self, name: str) -> Table:
-        return protocol.decode_value(self._call("shard_dump", name=name))
+    def shard_dump(
+        self, name: str, offset=None, count=None
+    ) -> Table:
+        return protocol.decode_value(
+            self._call("shard_dump", name=name, offset=offset, count=count)
+        )
+
+    def append_table(self, name: str, table: Table) -> int:
+        return int(
+            self._call(
+                "append_table",
+                name=name,
+                table=protocol.encode_value(table),
+            )
+        )
 
     def execute_partial(self, query, session=None) -> Table:
         sql = query if isinstance(query, str) else query.to_sql()

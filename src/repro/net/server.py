@@ -233,7 +233,19 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         )
 
     def _op_shard_dump(self, request: dict):
-        return protocol.encode_value(self._sdb.shard_dump(request["name"]))
+        offset = request.get("offset")
+        count = request.get("count")
+        return protocol.encode_value(
+            self._sdb.shard_dump(
+                request["name"],
+                offset=None if offset is None else int(offset),
+                count=None if count is None else int(count),
+            )
+        )
+
+    def _op_append_table(self, request: dict):
+        table = protocol.decode_value(request["table"])
+        return self._sdb.append_table(request["name"], table)
 
     def _op_shard_partial(self, request: dict):
         return protocol.encode_value(

@@ -510,9 +510,31 @@ class AlterCluster:
         return "ALTER CLUSTER REMOVE SHARD"
 
 
+# --------------------------------------------------------------------------
+# Introspection statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <statement>`` -- describe the plan without executing.
+
+    The wrapped statement is parsed normally; the session layer answers
+    with a :class:`~repro.engine.planner.PlanNode` tree instead of running
+    it, so an EXPLAIN never contacts a service provider beyond (cached)
+    catalog metadata.
+    """
+
+    statement: "Statement"
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.statement.to_sql()}"
+
+
 #: Any parsable statement.
 Statement = Union[
-    Select, Insert, Update, Delete, TxnControl, CreateTable, AlterCluster
+    Select, Insert, Update, Delete, TxnControl, CreateTable, AlterCluster,
+    Explain,
 ]
 
 

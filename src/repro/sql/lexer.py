@@ -20,6 +20,7 @@ KEYWORDS = {
     "begin", "commit", "rollback", "transaction",
     "create", "table", "shard", "encrypted",
     "alter", "cluster",
+    "explain",
 }
 
 SYMBOLS = (

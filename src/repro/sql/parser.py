@@ -81,6 +81,12 @@ class _Parser:
     # -- statements --------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
+        if self._check("keyword", "explain"):
+            self._advance()
+            inner = self.parse_statement()
+            if isinstance(inner, ast.Explain):
+                raise ParseError("EXPLAIN cannot be nested")
+            return ast.Explain(statement=inner)
         if self._check("keyword", "select"):
             return self.parse_select()
         if self._check("keyword", "insert"):

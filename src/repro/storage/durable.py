@@ -85,6 +85,13 @@ class DurableServer(SDBServer):
             self._dirty.discard(name.lower())
             self._save_placements()
 
+    def append_table(self, name: str, table: Table) -> int:
+        with self._lock.write_locked():
+            appended = super().append_table(name, table)
+            self.disk.save(name, self.catalog.get(name))
+            self._dirty.discard(name.lower())
+            return appended
+
     def drop_table(self, name: str) -> None:
         with self._lock.write_locked():
             super().drop_table(name)

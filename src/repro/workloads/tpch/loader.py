@@ -45,6 +45,14 @@ DEFAULT_SHARD_COLUMNS = {
     "orders": "o_orderkey",
 }
 
+#: Default colocation groups: orders and lineitem shard by the same join
+#: key, so routing them through one group subkey co-locates each order
+#: with its line items -- the layout co-sharded joins run shard-local on.
+DEFAULT_COLOCATION = {
+    "lineitem": "orderkey",
+    "orders": "orderkey",
+}
+
 
 def load_encrypted(
     proxy: SDBProxy,
@@ -52,22 +60,32 @@ def load_encrypted(
     profile: SensitivityProfile = FINANCIAL_PROFILE,
     rng=None,
     shard_by: Optional[dict] = None,
+    colocate: Optional[dict] = None,
 ) -> None:
     """Encrypt and upload generated TPC-H data through the proxy.
 
     ``shard_by`` maps table name -> shard-key column for cluster
     deployments (tables not in the map stay on the primary shard);
     pass :data:`DEFAULT_SHARD_COLUMNS` for a sensible split.
+    ``colocate`` maps table name -> colocation group (defaults to
+    :data:`DEFAULT_COLOCATION`, restricted to the tables actually
+    sharded); pass ``{}`` to shard without colocation.
     """
     shard_by = shard_by or {}
+    if colocate is None:
+        colocate = DEFAULT_COLOCATION
     for table, rows in data.items():
+        sharded_column = shard_by.get(table)
         proxy.create_table(
             table,
             TABLES[table],
             rows,
             sensitive=sensitive_columns(profile, table, TABLES[table]),
             rng=rng,
-            shard_by=shard_by.get(table),
+            shard_by=sharded_column,
+            colocate=(
+                colocate.get(table) if sharded_column is not None else None
+            ),
         )
 
 

@@ -188,6 +188,61 @@ def test_parameterized_plan_declares_mask_reuse(conn):
     assert not any(entry.startswith("prepared:") for entry in cur.leakage)
 
 
+def test_rebinding_remasks_the_wire_literals(conn):
+    """Two binds of one cached plan must be unlinkable at the SP.
+
+    Deferred mask sites re-draw their comparison masks / equality tokens
+    per bind, so even identical parameter values produce different wire
+    literals -- while the decrypted answers stay identical."""
+    server = conn.proxy.server
+    seen = []
+    original = server.execute_prepared
+
+    def spy(stmt_id, literals, **kwargs):
+        seen.append(tuple(literals))
+        return original(stmt_id, literals, **kwargs)
+
+    server.execute_prepared = spy
+    try:
+        cur = conn.cursor()
+        for sql in ("SELECT id FROM t WHERE v > ?",
+                    "SELECT id FROM t WHERE v = ?"):
+            seen.clear()
+            st = conn.prepare(sql)
+            first = cur.execute(st, [30.0]).fetchall()
+            second = cur.execute(st, [30.0]).fetchall()
+            assert first == second
+            assert st.plan_variants == 1  # one cached plan, re-bound
+            assert len(seen) == 2
+            assert seen[0] != seen[1], f"binds of {sql!r} are linkable"
+    finally:
+        server.execute_prepared = original
+
+
+def test_parameterless_cached_plans_remask_too(conn):
+    """String re-execution of an unparameterized sensitive query reuses the
+    cached plan -- its masks must still differ between executions."""
+    server = conn.proxy.server
+    seen = []
+    original = server.execute_prepared
+
+    def spy(stmt_id, literals, **kwargs):
+        seen.append(tuple(literals))
+        return original(stmt_id, literals, **kwargs)
+
+    server.execute_prepared = spy
+    try:
+        cur = conn.cursor()
+        first = cur.execute("SELECT id FROM t WHERE v > 30").fetchall()
+        second = cur.execute("SELECT id FROM t WHERE v > 30").fetchall()
+    finally:
+        server.execute_prepared = original
+    assert first == second
+    assert conn.cache_info().hits >= 1
+    assert len(seen) == 2
+    assert seen[0] and seen[0] != seen[1]
+
+
 def test_abandoned_result_sets_are_released_on_gc(conn):
     """A cursor dropped mid-fetch must not pin its encrypted result at the
     SP: the execution's finalizer closes the server-side result set."""

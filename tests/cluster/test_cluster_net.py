@@ -65,11 +65,22 @@ def test_scatter_aggregate_over_wire(net_cluster):
     assert coord.last_scatter.mode == "scatter"
 
 
-def test_fallback_gather_over_wire(net_cluster):
+def test_coshard_self_join_over_wire(net_cluster):
     conn, coord = net_cluster
     cur = conn.cursor()
     cur.execute("SELECT COUNT(*) AS n FROM t a, t b WHERE a.k = b.k")
     assert cur.fetchall() == [(len(ROWS),)]
+    # a self-join on the shard key runs shard-local, no gather needed
+    assert coord.last_scatter.mode == "coshard"
+
+
+def test_fallback_gather_over_wire(net_cluster):
+    conn, coord = net_cluster
+    cur = conn.cursor()
+    # joining off the shard key cannot be co-sharded: rows gather to the
+    # primary shard over the SHARD_DUMP op and the join runs there
+    cur.execute("SELECT COUNT(*) AS n FROM t a, t b WHERE a.grp = b.grp")
+    assert cur.fetchall() == [(300,)]
     assert coord.last_scatter.mode == "fallback"
 
 

@@ -81,8 +81,8 @@ def test_scatter_matches_single_node(single, cluster, sql):
 
 
 @pytest.mark.parametrize("sql", [
-    # self join: not a single-table shape
-    "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id",
+    # self join off the shard key (the + 0 defeats the equi-edge)
+    "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id + 0",
     # DISTINCT aggregate: partials do not merge
     "SELECT COUNT(DISTINCT region) AS n FROM pay",
     # subquery
@@ -93,6 +93,15 @@ def test_fallback_matches_single_node(single, cluster, sql):
     conn, coord = cluster
     assert normalized(rows_of(conn, sql)) == normalized(rows_of(single, sql))
     assert coord.last_scatter.mode == "fallback"
+
+
+def test_coshard_self_join_matches_single_node(single, cluster):
+    """A self-join on the shard key runs shard-local, never gathered."""
+    sql = "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id"
+    conn, coord = cluster
+    assert normalized(rows_of(conn, sql)) == normalized(rows_of(single, sql))
+    assert coord.last_scatter.mode == "coshard"
+    assert (MATERIALIZED_PREFIX + "pay") not in coord.primary.catalog
 
 
 def test_primary_route_for_unsharded_tables(cluster):
@@ -108,7 +117,7 @@ def test_primary_route_for_unsharded_tables(cluster):
 
 def test_fallback_materialization_is_cached_and_invalidated(cluster):
     conn, coord = cluster
-    sql = "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id"
+    sql = "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id + 0"
     assert rows_of(conn, sql) == [(60,)]
     primary = coord.primary
     assert (MATERIALIZED_PREFIX + "pay") in primary.catalog
@@ -433,7 +442,7 @@ def test_scattered_dml_with_unsharded_subquery(single, cluster):
 def test_cross_coordinator_dml_invalidates_materialization(cluster):
     """Coordinator B's DML must not leave A's cached gather copy stale."""
     conn, coord = cluster
-    join = "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id"
+    join = "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id + 0"
     assert rows_of(conn, join) == [(60,)]  # A caches the gathered copy
     second = Coordinator(coord.shards)  # another session, same shards
     from repro.sql.parser import parse_statement
@@ -444,7 +453,9 @@ def test_cross_coordinator_dml_invalidates_materialization(cluster):
 
 def test_shard_status_hides_internal_temporaries(cluster):
     conn, coord = cluster
-    rows_of(conn, "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id")
+    rows_of(
+        conn, "SELECT COUNT(*) AS n FROM pay a, pay b WHERE a.id = b.id + 0"
+    )
     assert (MATERIALIZED_PREFIX + "pay") in coord.primary.catalog
     for status in coord.shard_status():
         assert not any(name.startswith("__cluster") for name in status["tables"])

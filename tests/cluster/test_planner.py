@@ -1,0 +1,84 @@
+"""Unit tests for the cost-based coshard-vs-gather decision.
+
+One case per (sharding shape, cardinality profile): the model only has to
+order two concrete alternatives, and these pin which way it falls for the
+shapes the differential suite executes end to end.
+"""
+
+import pytest
+
+from repro.cluster.coordinator import CoshardInfo
+from repro.cluster.planner import (
+    COMPUTE_WEIGHT,
+    NETWORK_WEIGHT,
+    choose_coshard_or_fallback,
+)
+
+
+def choice(sharded, dims, cards, n):
+    info = CoshardInfo(sharded=tuple(sharded), dims=tuple(dims), group="g")
+    return choose_coshard_or_fallback(info, cards, n)
+
+
+def test_both_sharded_no_dims_always_coshard():
+    # nothing to broadcast: the shard-local join moves zero rows
+    got = choice(
+        ["customer", "orders"], [],
+        {"customer": 10_000, "orders": 50_000}, n=4,
+    )
+    assert got.route == "coshard"
+    assert got.coshard_cost < got.fallback_cost
+
+
+def test_self_join_single_sharded_table_coshard():
+    got = choice(["pay"], [], {"pay": 5_000}, n=8)
+    assert got.route == "coshard"
+
+
+def test_tiny_dim_large_fact_coshard():
+    got = choice(
+        ["lineitem"], ["nation"],
+        {"lineitem": 100_000, "nation": 25}, n=4,
+    )
+    assert got.route == "coshard"
+
+
+def test_huge_dim_tiny_fact_gathers():
+    # broadcasting the dim to N-1 shards dwarfs gathering the fact
+    got = choice(
+        ["fact"], ["dim"], {"fact": 100, "dim": 100_000}, n=4
+    )
+    assert got.route == "fallback"
+    assert "gather is cheaper" in got.reason
+
+
+def test_unknown_cardinalities_default_to_coshard():
+    # unknown tables count as 0 rows, biasing toward the parallel route
+    got = choice(["a", "b"], ["d"], {}, n=4)
+    assert got.route == "coshard"
+    assert got.coshard_cost == got.fallback_cost == 0.0
+
+
+def test_single_shard_tie_prefers_coshard():
+    # n=1: no network either way, identical compute -- tie goes coshard
+    got = choice(["fact"], ["dim"], {"fact": 500, "dim": 500}, n=1)
+    assert got.route == "coshard"
+    assert got.coshard_cost == got.fallback_cost
+
+
+def test_costs_match_documented_model():
+    n, fact, dim = 4, 8_000, 1_000
+    got = choice(["fact"], ["dim"], {"fact": fact, "dim": dim}, n=n)
+    assert got.coshard_cost == pytest.approx(
+        NETWORK_WEIGHT * dim * (n - 1) + COMPUTE_WEIGHT * (fact / n + dim)
+    )
+    assert got.fallback_cost == pytest.approx(
+        NETWORK_WEIGHT * fact * (n - 1) / n + COMPUTE_WEIGHT * (fact + dim)
+    )
+
+
+def test_shard_count_flips_the_decision():
+    # the same tables: broadcast is free-ish on 2 shards, ruinous on 16
+    cards = {"fact": 20_000, "dim": 4_000}
+    assert choice(["fact"], ["dim"], cards, n=2).route == "coshard"
+    assert choice(["fact"], ["dim"], cards, n=16).route == "fallback"

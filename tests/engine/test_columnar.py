@@ -59,12 +59,12 @@ def test_differential_batch_vs_row(engines):
         sql = generator.query()
         expected = list(row_engine.execute(sql).rows())
         actual = list(batch_engine.execute(sql).rows())
-        single_table = " t1, t2 " not in sql
         if batch_engine.last_exec_path == "batch":
             batch_hits += 1
-        elif single_table:
-            # every single-table generated query must take the batch path;
-            # a silent fallback here would mask batch-evaluator breakage
+        else:
+            # every generated query -- single-table or inner join -- must
+            # take the batch path; a silent fallback here would mask
+            # batch-evaluator breakage
             mismatches.append((i, sql, "fell back", batch_engine.last_batch_fallback))
             continue
         if actual != expected:
@@ -73,11 +73,31 @@ def test_differential_batch_vs_row(engines):
     assert batch_hits > 0
 
 
-def test_join_falls_back_to_row_path(engines):
-    _, batch_engine = engines
-    batch_engine.execute("SELECT t1.a, t2.y FROM t1, t2 WHERE t1.a = t2.x")
+def test_join_runs_on_batch_path(engines):
+    row_engine, batch_engine = engines
+    for sql in [
+        "SELECT t1.a, t2.y FROM t1, t2 WHERE t1.a = t2.x",
+        "SELECT t1.c, COUNT(*) AS n FROM t1, t2 "
+        "WHERE t1.a = t2.x AND t2.y IS NOT NULL GROUP BY t1.c ORDER BY t1.c",
+        "SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.x AND t2.y > 0 ORDER BY t1.a",
+        "SELECT t1.a, t2.x FROM t1 CROSS JOIN t2 "
+        "WHERE t1.a IS NOT NULL ORDER BY t1.a, t2.x LIMIT 9",
+    ]:
+        assert list(batch_engine.execute(sql).rows()) == list(
+            row_engine.execute(sql).rows()
+        ), sql
+        assert batch_engine.last_exec_path == "batch", (
+            sql, batch_engine.last_batch_fallback
+        )
+
+
+def test_left_join_falls_back_to_row_path(engines):
+    row_engine, batch_engine = engines
+    sql = "SELECT t1.a, t2.y FROM t1 LEFT JOIN t2 ON t1.a = t2.x"
+    expected = list(row_engine.execute(sql).rows())
+    assert list(batch_engine.execute(sql).rows()) == expected
     assert batch_engine.last_exec_path == "row"
-    assert "single-table" in batch_engine.last_batch_fallback
+    assert "unsupported" in batch_engine.last_batch_fallback
 
 
 def test_subquery_falls_back_to_row_path(engines):
