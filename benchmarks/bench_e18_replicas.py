@@ -1,0 +1,211 @@
+"""E18 -- replica read scale-out: throughput with 1 vs 3 members per shard.
+
+A :class:`~repro.cluster.replica.ShardGroup` spreads reads across its
+healthy members by weighted round-robin, so a shard served by three
+replicas should sustain roughly three times the read load of the same
+shard served by one.  In this single-process harness the engine itself
+runs under the GIL, so raw CPU does not scale with replica count; what
+*does* scale is per-SP service capacity.  Each member is therefore
+wrapped in a :class:`_ServicedBackend` that serializes its calls behind
+a per-member lock and charges a fixed service time per operation -- the
+standard model of an SP that serves one request at a time.  Read
+throughput is then capacity-bound exactly as in a real deployment, and
+the replica win is measured, not simulated away.
+
+Measured claims:
+
+* with concurrent reader sessions, 3-member groups sustain >= 2x the
+  read throughput of singleton groups (asserted on >= 4 cores outside
+  smoke mode; elsewhere the overhead must stay bounded -- replicated
+  reads may not fall below half of the singleton rate);
+* every query on both clusters decrypts the **identical** result
+  (checksummed across every thread and both topologies);
+* the per-member read counters confirm the fan-out really spread the
+  load (no member served everything).
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import (
+    ResultTable,
+    bench_smoke,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.cluster import Coordinator, ShardGroup
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+#: small on purpose: per-query engine CPU must stay well under the
+#: modeled SP service time, or the GIL (not SP capacity) sets the ceiling
+ROWS = smoke_scaled(60, 40)
+MODULUS_BITS = 256
+NUM_SHARDS = 2
+READERS = 12
+#: fixed per-operation service time charged by every member (seconds)
+SERVICE_S = 0.05
+MIN_SPEEDUP = 2.0
+#: smoke / small-host floor: replication overhead must stay bounded
+MIN_FRACTION = 0.5
+QUERY = "SELECT COUNT(*), SUM(amount) FROM pay WHERE amount > ?"
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("region", ValueType.string(8)),
+    ("amount", ValueType.decimal(2)),
+]
+
+
+class _ServicedBackend:
+    """One-request-at-a-time service wrapper around an ``SDBServer``.
+
+    Serializes every forwarded call behind a per-member lock and sleeps
+    ``SERVICE_S`` inside it, so a member's throughput is capped at
+    ``1 / SERVICE_S`` operations per second no matter how many sessions
+    hammer it.  ``sleep`` releases the GIL, so distinct members serve
+    concurrently -- capacity adds per member, which is precisely the
+    read-scale-out claim under test.
+    """
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.ops = 0
+        self._service = threading.Lock()
+
+    def __getattr__(self, attr):
+        target = getattr(self.backend, attr)
+        if not callable(target) or attr == "close":
+            return target
+
+        def serviced(*args, **kwargs):
+            with self._service:
+                self.ops += 1
+                time.sleep(SERVICE_S)
+            return target(*args, **kwargs)
+
+        serviced.__name__ = attr
+        return serviced
+
+
+def build_cluster(members_per_shard, seed):
+    groups = [
+        ShardGroup(
+            [_ServicedBackend(SDBServer(shard_id=g)) for _ in range(members_per_shard)]
+        )
+        for g in range(NUM_SHARDS)
+    ]
+    conn = api.connect(
+        server=Coordinator(groups), modulus_bits=MODULUS_BITS,
+        value_bits=64, rng=seeded_rng(seed),
+    )
+    conn.proxy.create_table(
+        "pay", COLUMNS,
+        [
+            (i, ["east", "west", "north", "south"][i % 4],
+             float((i * 37) % 500) + 0.25)
+            for i in range(1, ROWS + 1)
+        ],
+        sensitive=["amount"], rng=seeded_rng(seed + 1), shard_by="id",
+    )
+    return conn, groups
+
+
+def run_readers(conn, window_s):
+    """READERS concurrent sessions loop the prepared query; returns
+    (total executions, set of checksums)."""
+    totals = [0] * READERS
+    sums: set = set()
+    stop = time.perf_counter() + window_s
+
+    def reader(slot):
+        session = api.connect(proxy=conn.proxy)
+        cursor = session.cursor()
+        statement = session.prepare(QUERY)
+        local: set = set()
+        while time.perf_counter() < stop:
+            cursor.execute(statement, (100,))
+            count, total = cursor.fetchone()
+            local.add((count, round(total, 2)))
+            totals[slot] += 1
+        sums.update(local)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    return sum(totals), sums
+
+
+def test_replica_read_scaleout():
+    table = ResultTable(
+        "E18: read throughput, 1 vs 3 members per shard "
+        f"({READERS} reader sessions, {SERVICE_S * 1000:.0f}ms/op SPs)",
+        ["topology", "queries", "window s", "queries/s"],
+    )
+    window_s = smoke_scaled(4.0, 0.8)
+
+    single, single_groups = build_cluster(members_per_shard=1, seed=180)
+    single_n, single_sums = run_readers(single, window_s)
+    single_tput = single_n / window_s
+
+    triple, triple_groups = build_cluster(members_per_shard=3, seed=190)
+    triple_n, triple_sums = run_readers(triple, window_s)
+    triple_tput = triple_n / window_s
+
+    table.add("1 member/shard", single_n, window_s, f"{single_tput:.1f}")
+    table.add("3 members/shard", triple_n, window_s, f"{triple_tput:.1f}")
+    speedup = triple_tput / single_tput if single_tput else 0.0
+    table.note(f"replicated read throughput: {speedup:.2f}x of singleton")
+    spread = [
+        [member.backend.ops for member in group.members]
+        for group in triple_groups
+    ]
+    table.note(f"per-member ops on the 3-member cluster: {spread}")
+    all_sums = single_sums | triple_sums
+    table.note(f"checksums identical across topologies: {sorted(all_sums)}")
+    table.emit()
+
+    write_bench_json(
+        "e18_replicas",
+        {
+            **table.to_dict(),
+            "rows": ROWS,
+            "num_shards": NUM_SHARDS,
+            "readers": READERS,
+            "service_s": SERVICE_S,
+            "single_tput": single_tput,
+            "triple_tput": triple_tput,
+            "speedup": speedup,
+            "member_ops": spread,
+        },
+    )
+
+    # identical decrypted answers on both topologies, from every thread
+    assert len(all_sums) == 1, sorted(all_sums)
+    assert single_n > 0 and triple_n > 0
+    # the WRR really spread reads: every member served some
+    for group_spread in spread:
+        assert all(ops > 0 for ops in group_spread), group_spread
+    if not bench_smoke() and (os.cpu_count() or 1) >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"3 members served only {speedup:.2f}x the singleton rate"
+        )
+    else:
+        assert triple_tput >= single_tput * MIN_FRACTION, (
+            f"replicated reads collapsed to {speedup:.2f}x"
+        )
+    for conn in (single, triple):
+        conn.close()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

@@ -69,6 +69,7 @@ from repro.api.exceptions import (
     NotSupportedError,
     OperationalError,
     ProgrammingError,
+    ShardUnavailableError,
     Warning,
 )
 from repro.api.statement import SelectExecution, Statement
@@ -102,4 +103,5 @@ __all__ = [
     "InternalError",
     "ProgrammingError",
     "NotSupportedError",
+    "ShardUnavailableError",
 ]

@@ -246,29 +246,54 @@ class Connection:
         )
 
 
-def _build_cluster(shards):
-    """A :class:`~repro.cluster.Coordinator` from a ``shards=`` spec."""
-    from repro.cluster import Coordinator
-
-    if isinstance(shards, int):
+def _build_backend(spec, shard_id: int):
+    """One shard backend from a spec entry (str endpoint / server / None)."""
+    if spec is None:
         from repro.core.server import SDBServer
 
-        backends = [SDBServer(shard_id=i) for i in range(shards)]
-    else:
-        backends = []
-        for spec in shards:
-            if isinstance(spec, str):
-                from repro.net.client import RemoteServer
+        return SDBServer(shard_id=shard_id)
+    if isinstance(spec, str):
+        from repro.net.client import RemoteServer
 
-                shard_host, _, shard_port = spec.partition(":")
-                backends.append(
-                    RemoteServer.connect(
-                        shard_host or "127.0.0.1", int(shard_port or 9753)
-                    )
-                )
-            else:
-                backends.append(spec)  # an already-built server object
-    return Coordinator(backends)
+        shard_host, _, shard_port = spec.partition(":")
+        return RemoteServer.connect(
+            shard_host or "127.0.0.1", int(shard_port or 9753)
+        )
+    return spec  # an already-built server object
+
+
+def _build_cluster(shards, replicas: int = 0, weights=None):
+    """A :class:`~repro.cluster.Coordinator` from a ``shards=`` spec.
+
+    ``replicas`` > 0 wraps every shard in a
+    :class:`~repro.cluster.ShardGroup` of ``1 + replicas`` members (the
+    extra members are fresh in-process servers unless the spec entry is
+    itself a list/tuple naming every member explicitly).  A list spec
+    whose entries are lists/tuples always builds replica groups, one group
+    per entry.
+    """
+    from repro.cluster import Coordinator, ShardGroup
+
+    if isinstance(shards, int):
+        specs: list = [None] * shards
+    else:
+        specs = list(shards)
+    grouped = replicas > 0 or any(
+        isinstance(spec, (list, tuple)) for spec in specs
+    )
+    backends = []
+    for index, spec in enumerate(specs):
+        if not grouped:
+            backends.append(_build_backend(spec, index))
+            continue
+        if isinstance(spec, (list, tuple)):
+            members = [_build_backend(m, index) for m in spec]
+        else:
+            members = [_build_backend(spec, index)]
+        while len(members) < 1 + max(0, replicas):
+            members.append(_build_backend(None, index))
+        backends.append(ShardGroup(members))
+    return Coordinator(backends, weights=weights)
 
 
 def connect(
@@ -279,6 +304,8 @@ def connect(
     port: Optional[int] = None,
     durable: Optional[str] = None,
     shards=None,
+    replicas: int = 0,
+    weights=None,
     modulus_bits: int = 1024,
     value_bits: int = 64,
     policy=None,
@@ -296,7 +323,11 @@ def connect(
     * ``shards=...``       -- a sharded cluster: an int (that many
       in-process shard servers) or a list of ``"host:port"`` strings /
       server objects, wrapped in a :class:`~repro.cluster.Coordinator`
-      whose first entry is the primary shard;
+      whose first entry is the primary shard.  ``replicas=N`` gives every
+      shard N synchronous replicas (reads fan out across them; a dead
+      primary fails over automatically); a list-of-lists spec names each
+      replica group's members explicitly.  ``weights=`` skews row
+      placement toward higher-capacity shards;
     * ``host=.../port=...``-- connect to a remote SP daemon;
     * ``durable=DIR``      -- in-process SP persisted under ``DIR``;
     * nothing              -- fresh in-memory SP.
@@ -315,7 +346,11 @@ def connect(
                         "shards= is its own deployment shape; do not combine "
                         "it with host/port/durable"
                     )
-                server = owned_cluster = _build_cluster(shards)
+                if replicas < 0:
+                    raise exc.InterfaceError("replicas= cannot be negative")
+                server = owned_cluster = _build_cluster(
+                    shards, replicas=replicas, weights=weights
+                )
             elif host is not None or port is not None:
                 from repro.net.client import RemoteServer
 
@@ -331,6 +366,10 @@ def connect(
         elif shards is not None:
             raise exc.InterfaceError(
                 "pass either server= or shards=, not both"
+            )
+        if shards is None and (replicas or weights):
+            raise exc.InterfaceError(
+                "replicas=/weights= only apply to the shards= deployment shape"
             )
         proxy = SDBProxy(
             server,

@@ -313,6 +313,9 @@ class Cursor:
                 scatter=execution.scatter,
                 exec_path=getattr(engine, "last_exec_path", None),
                 batch_fallback=getattr(engine, "last_batch_fallback", None),
+                failover=tuple(
+                    getattr(execution.scatter, "failover", ()) or ()
+                ),
             )
         if self._dml_result is not None:
             result = self._dml_result

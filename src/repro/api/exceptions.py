@@ -53,6 +53,18 @@ class NotSupportedError(DatabaseError):
     """The operation is outside SDB's secure operator suite."""
 
 
+class ShardUnavailableError(OperationalError):
+    """A shard (or an entire replica group) cannot serve the request.
+
+    Raised by the net client when a transport fails mid-call (connection
+    refused, reset, or closed by the peer) and by the cluster tier when a
+    replica group has no live member left.  Single-member transport
+    failures inside a replica group are *not* surfaced: the group evicts
+    the dead member, promotes a caught-up replica, and retries -- callers
+    only see this error when no replica can serve.
+    """
+
+
 def _mapping() -> list:
     """(exception class, api class) pairs, most specific first."""
     from repro.core.decryptor import DecryptionError

@@ -37,6 +37,9 @@ class QueryReport:
     scatter: Optional[object] = None  # ScatterReport
     exec_path: Optional[str] = None   # 'batch' | 'row' | None (unknown)
     batch_fallback: Optional[str] = None
+    #: replica failover events (suspect/evict/promote) absorbed by this
+    #: execution's transparent retry -- empty on a healthy cluster
+    failover: tuple = ()
 
     @property
     def scatter_leakage(self) -> tuple:
@@ -52,6 +55,9 @@ class QueryReport:
                 f"route: {self.scatter.mode} over {self.scatter.shards} "
                 f"shard(s) ({self.scatter.reason})"
             )
+        if self.failover:
+            lines.append("failover events:")
+            lines.extend(f"  - {event}" for event in self.failover)
         if self.exec_path:
             path = self.exec_path
             if self.batch_fallback:

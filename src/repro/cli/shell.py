@@ -21,6 +21,7 @@ client/server cost split.  Backslash commands inspect the deployment:
                         (hits/misses/evictions; per statement: plans,
                         parameter type signatures, last-used)
     \\shards             per-shard status of a cluster deployment
+    \\replicas           per-shard replica health and failover history
     \\rebalance <n> [host:port,...]   grow/shrink the cluster to n shards
                         online (encrypted buckets migrate re-keyed; SQL
                         equivalent: ALTER CLUSTER ADD/REMOVE SHARD)
@@ -190,6 +191,8 @@ class SDBShell:
             return self._render_statements()
         if name == "shards":
             return self._render_shards()
+        if name == "replicas":
+            return self._render_replicas()
         if name == "rebalance":
             return self._rebalance(argument)
         if name == "rotate":
@@ -363,6 +366,35 @@ class SDBShell:
                 f"  shard {status.get('shard_id')}{role} [{backend}]: "
                 + (", ".join(parts) if parts else "(empty)")
             )
+        return "\n".join(lines)
+
+    def _render_replicas(self) -> str:
+        status_fn = getattr(self.proxy.server, "replica_status", None)
+        if not callable(status_fn):
+            return "(not a cluster deployment; see repro.cluster)"
+        statuses = status_fn()
+        lines = [f"cluster: {len(statuses)} replica group(s)"]
+        for status in statuses:
+            members = status.get("members", [])
+            parts = []
+            for member in members:
+                marker = (
+                    "*" if member["ordinal"] == status.get("primary_ordinal")
+                    else " "
+                )
+                parts.append(
+                    f"{marker}replica{member['ordinal']}"
+                    f"[{member.get('backend', '?')}]"
+                    f"={member['state']} w{member.get('weight', 1)}"
+                )
+            lines.append(
+                f"  group {status.get('group')}: " + ", ".join(parts)
+            )
+        failover = getattr(self.proxy.server, "failover", None)
+        events = list(getattr(failover, "events", ()) or ())
+        if events:
+            lines.append("failover history:")
+            lines.extend(f"  - {event}" for event in events)
         return "\n".join(lines)
 
     # -- rendering ------------------------------------------------------------

@@ -15,9 +15,17 @@ principles on top of the existing single-node substrate:
 * :mod:`~repro.cluster.local` -- subprocess shard daemons for benches and
   demos (separate interpreters, so scatter really runs in parallel);
 * :mod:`~repro.cluster.rebalance` -- elastic resharding: online shard
-  topology changes (grow/shrink) that stream re-keyed encrypted rows
-  shard to shard via the key-update protocol, with a crash-safe commit
-  record (old topology wins until it exists).
+  topology changes (grow/shrink/reweight) that stream re-keyed encrypted
+  rows shard to shard via the key-update protocol, with a crash-safe
+  commit record (old topology wins until it exists);
+* :mod:`~repro.cluster.replica` -- per-shard replica sets
+  (:class:`ShardGroup`): synchronous write fan-out, weighted read
+  scale-out, and online replica catch-up via the streaming-copy path;
+* :mod:`~repro.cluster.failover` -- failure detection and the durable
+  promotion record that lets a restarted coordinator adopt promoted
+  primaries;
+* :mod:`~repro.cluster.faults` -- deterministic fault injection
+  (kill/drop/delay) for the crash suites and failover demos.
 
 Because sensitive cells are secret shares in a ring, a partial
 ``sdb_agg_sum`` computed on one shard is itself a valid share: merging
@@ -26,27 +34,46 @@ thread-parallel engine (:mod:`repro.engine.partial`).
 """
 
 from repro.cluster.coordinator import Coordinator, Placement, ScatterReport, ShardError
+from repro.cluster.failover import (
+    REPLICAS_TABLE,
+    FailoverEvent,
+    FailoverManager,
+    FailureDetector,
+)
+from repro.cluster.faults import FaultInjector, FaultyBackend
 from repro.cluster.local import LocalShardCluster, launch_local_shards
 from repro.cluster.rebalance import (
+    RateLimiter,
     RebalanceError,
     RebalancePlan,
     RebalanceReport,
     ShardTopology,
     rebalance_cluster,
 )
-from repro.cluster.router import shard_bucket
+from repro.cluster.replica import ShardGroup
+from repro.cluster.router import ShardMap, shard_bucket, shard_map_for
 
 __all__ = [
     "Coordinator",
+    "FailoverEvent",
+    "FailoverManager",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultyBackend",
     "LocalShardCluster",
     "Placement",
+    "REPLICAS_TABLE",
+    "RateLimiter",
     "RebalanceError",
     "RebalancePlan",
     "RebalanceReport",
     "ScatterReport",
     "ShardError",
+    "ShardGroup",
+    "ShardMap",
     "ShardTopology",
     "launch_local_shards",
     "rebalance_cluster",
     "shard_bucket",
+    "shard_map_for",
 ]

@@ -40,16 +40,24 @@ import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional, Sequence
 
+from repro.api.exceptions import ShardUnavailableError
+from repro.cluster.failover import (
+    REPLICAS_TABLE,
+    FailoverManager,
+    parse_replicas_record,
+    replicas_record,
+)
 from repro.cluster.rebalance import (
     ClusterMigration,
     RebalancePlan,
     ShardTopology,
 )
 from repro.cluster.planner import build_route_plan, choose_coshard_or_fallback
-from repro.cluster.router import routing_residue, shard_of_residue
+from repro.cluster.replica import ShardGroup
+from repro.cluster.router import routing_residue
 from repro.core.server import (
     BUCKET_COLUMN,
     MIGRATION_STAGING_PREFIX,
@@ -119,6 +127,7 @@ INTERNAL_PREFIXES = (
     MIGRATION_STAGING_PREFIX,
     TOPOLOGY_TABLE,
     COMMIT_TABLE,
+    REPLICAS_TABLE,
 )
 
 
@@ -165,6 +174,9 @@ class ScatterReport:
     shards: int
     reason: str
     leakage: tuple = ()
+    #: replica failover events (suspect/evict/promote) observed while this
+    #: query executed -- the events the query's transparent retry absorbed
+    failover: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -180,6 +192,18 @@ class CoshardInfo:
     sharded: tuple
     dims: tuple
     group: Optional[str] = None
+
+
+def _parse_weights(raw) -> tuple:
+    """Decode a persisted ``"w0,w1,..."`` weight string ('' = uniform)."""
+    text = str(raw or "").strip()
+    if not text:
+        return ()
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _weights_str(weights) -> str:
+    return ",".join(str(int(w)) for w in (weights or ()))
 
 
 def referenced_tables(statement) -> list[str]:
@@ -300,14 +324,33 @@ class _ClusterStatement:
 class Coordinator:
     """Scatter-gather executor over ``shards`` (SDBServer-compatible)."""
 
-    def __init__(self, shards: Sequence, max_session_inflight: int = 32):
+    def __init__(
+        self,
+        shards: Sequence,
+        max_session_inflight: int = 32,
+        weights: Optional[Sequence[int]] = None,
+    ):
         if not shards:
             raise ShardError("a cluster needs at least one shard backend")
         self.shards = list(shards)
-        #: the *committed* cluster shape; rows route by
-        #: ``residue mod topology.shard_count`` and every committed
-        #: rebalance bumps the epoch (persisted on the primary shard)
-        self.topology = ShardTopology(epoch=0, shard_count=len(self.shards))
+        weights = tuple(int(w) for w in (weights or ()))
+        if weights and len(weights) != len(self.shards):
+            raise ShardError(
+                f"{len(weights)} weight(s) for {len(self.shards)} shard(s)"
+            )
+        #: the *committed* cluster shape; rows route by the topology's
+        #: (possibly weighted) residue map and every committed rebalance
+        #: bumps the epoch (persisted on the primary shard)
+        self.topology = ShardTopology(
+            epoch=0, shard_count=len(self.shards), weights=weights
+        )
+        #: replica failover bookkeeping, shared by every ShardGroup shard;
+        #: promotions persist through ``_persist_replicas`` so a restarted
+        #: coordinator adopts the promoted member, not the dead original
+        self.failover = FailoverManager(persist=self._persist_replicas)
+        for index, shard in enumerate(self.shards):
+            if isinstance(shard, ShardGroup):
+                shard.attach(self.failover, index)
         #: in-flight rebalance (None outside a migration)
         self._migration: Optional[ClusterMigration] = None
         #: admission control: per-session statements currently in flight;
@@ -346,14 +389,22 @@ class Coordinator:
         # persistent scatter pool (threads start lazily on first use): the
         # prepared hot path must not pay thread creation per execution,
         # and concurrent sessions need enough workers to keep every shard
-        # busy while another session's scatter is in flight
+        # busy while another session's scatter is in flight.  Sized by
+        # *members*, not groups: a replicated shard spreads reads over
+        # all its replicas, and a pool sized to the group count would
+        # cap in-flight requests below the cluster's service capacity
+        member_count = sum(
+            len(shard.members) if isinstance(shard, ShardGroup) else 1
+            for shard in self.shards
+        )
         self._pool = ThreadPoolExecutor(
-            max_workers=max(4, 2 * len(self.shards)),
+            max_workers=max(4, 2 * member_count),
             thread_name_prefix="sdb-scatter",
         )
         self.last_scatter: Optional[ScatterReport] = None
         self._bootstrap_placements()
         self._bootstrap_topology()
+        self._bootstrap_replicas()
 
     @property
     def epoch(self) -> int:
@@ -412,7 +463,12 @@ class Coordinator:
                         f"committed topology has {count} shard(s) but only "
                         f"{len(self.shards)} backend(s) were supplied"
                     )
-                self.topology = ShardTopology(epoch=epoch, shard_count=count)
+                weights: tuple = ()
+                if "weights" in record.schema.names:
+                    weights = _parse_weights(record.column("weights")[-1])
+                self.topology = ShardTopology(
+                    epoch=epoch, shard_count=count, weights=weights
+                )
         if COMMIT_TABLE in names:
             self._roll_forward_commit()
         # drop orphan staging left by an uncommitted, crashed rebalance
@@ -446,10 +502,14 @@ class Coordinator:
             )
             if str(name)  # skip the no-sharded-tables sentinel row
         }
-        self._complete_commit(tables, old_n, new_n)
+        new_weights: tuple = ()
+        if "new_weights" in record.schema.names:
+            new_weights = _parse_weights(record.column("new_weights")[0])
+        self._complete_commit(tables, old_n, new_n, new_weights=new_weights)
 
     def _complete_commit(
-        self, tables: dict, old_n: int, new_n: int, on_step=None
+        self, tables: dict, old_n: int, new_n: int, on_step=None,
+        new_weights: tuple = (),
     ) -> None:
         """Promote staging, purge movers, persist the new topology.
 
@@ -483,21 +543,25 @@ class Coordinator:
                         "colocate": colocate,
                     }
                 self.shards[index].shard_migrate_purge(
-                    table, new_n, index, placement=placement
+                    table, new_n, index, placement=placement,
+                    weights=new_weights or None,
                 )
             self._placements[table] = Placement(
                 table, shard_by, colocate or None
             )
         step("commit:finish")
         epoch = self.topology.epoch + 1
-        self._store_topology(epoch, new_n)
+        new_weights = tuple(new_weights or ())
+        self._store_topology(epoch, new_n, new_weights)
         try:
             self.primary.drop_table(COMMIT_TABLE)
         except Exception:
             pass  # already dropped by a previous recovery pass
         removed = self.shards[new_n:] if new_n < len(self.shards) else []
         self.shards = self.shards[:new_n] if new_n < len(self.shards) else self.shards
-        self.topology = ShardTopology(epoch=epoch, shard_count=new_n)
+        self.topology = ShardTopology(
+            epoch=epoch, shard_count=new_n, weights=new_weights
+        )
         for backend in removed:
             closer = getattr(backend, "close", None)
             if callable(closer):
@@ -506,20 +570,90 @@ class Coordinator:
                 except Exception:
                     pass
 
-    def _store_topology(self, epoch: int, shard_count: int) -> None:
+    def _store_topology(
+        self, epoch: int, shard_count: int, weights: tuple = ()
+    ) -> None:
         from repro.engine.schema import ColumnSpec, DataType, Schema
 
         schema = Schema(
             (
                 ColumnSpec("epoch", DataType.INT),
                 ColumnSpec("shard_count", DataType.INT),
+                ColumnSpec("weights", DataType.STRING),
             )
         )
         self.primary.store_table(
             TOPOLOGY_TABLE,
-            Table(schema, [[epoch], [shard_count]]),
+            Table(schema, [[epoch], [shard_count], [_weights_str(weights)]]),
             replace=True,
         )
+
+    # -- replica sets --------------------------------------------------------
+
+    def _replica_groups(self) -> list[tuple]:
+        return [
+            (index, shard)
+            for index, shard in enumerate(self.shards)
+            if isinstance(shard, ShardGroup)
+        ]
+
+    def _persist_replicas(self) -> None:
+        """Durably record which member leads each replica group.
+
+        Called by the failover manager after every promotion: a restarted
+        coordinator must adopt the *promoted* primaries (the dead original
+        may hold a stale, pre-failover slice if it ever comes back).
+        """
+        groups = self._replica_groups()
+        if not groups:
+            return
+        primaries = {
+            index: group.replica_status()["primary_ordinal"]
+            for index, group in groups
+        }
+        self.primary.store_table(
+            REPLICAS_TABLE,
+            replicas_record(primaries, self.failover.generation),
+            replace=True,
+        )
+
+    def _bootstrap_replicas(self) -> None:
+        """Adopt persisted replica promotions (the durable failover record)."""
+        groups = self._replica_groups()
+        if not groups:
+            return
+        if REPLICAS_TABLE not in self._primary_table_names():
+            return
+        record = self.primary.shard_dump(REPLICAS_TABLE)
+        primaries, generation = parse_replicas_record(record)
+        self.failover.adopt_generation(generation)
+        for index, group in groups:
+            ordinal = primaries.get(index, 0)
+            if ordinal:
+                group.adopt_primary(ordinal)
+
+    def replica_status(self) -> list:
+        """Per-shard replica health (probes every member's liveness)."""
+        status = []
+        for index, shard in enumerate(self.shards):
+            if isinstance(shard, ShardGroup):
+                status.append(shard.check_health())
+            else:
+                status.append(
+                    {
+                        "group": index,
+                        "primary_ordinal": 0,
+                        "members": [
+                            {
+                                "ordinal": 0,
+                                "state": "healthy",
+                                "weight": 1,
+                                "backend": type(shard).__name__,
+                            }
+                        ],
+                    }
+                )
+        return status
 
     @property
     def primary(self):
@@ -610,9 +744,10 @@ class Coordinator:
             residues = [routing_residue(bucket) for bucket in buckets]
             stored = self._with_bucket_column(table, residues)
             count = self.num_shards
+            placement_map = self.topology.placement_map
             groups: list[list[int]] = [[] for _ in range(count)]
             for row_index, residue in enumerate(residues):
-                groups[shard_of_residue(residue, count)].append(row_index)
+                groups[placement_map.shard_of(residue)].append(row_index)
             for index, (shard, indices) in enumerate(
                 zip(self.shards[:count], groups)
             ):
@@ -715,9 +850,30 @@ class Coordinator:
         if isinstance(query, str):
             query = parse(query)
         with self._admit(session), self._lock.read_locked():
+            mark = self.failover.mark()
             table, report = self._run(query, self._classify(query))
-            self.last_scatter = report
+            self.last_scatter = self._with_failover(report, mark)
             return table
+
+    def _with_failover(
+        self, report: ScatterReport, mark: int
+    ) -> ScatterReport:
+        """Attach failover events that fired while this query executed.
+
+        Promotions and evictions are *declared leakage*: the SPs (and any
+        network observer) learn which replica died and who took over, so
+        the events ride the report into ``cursor.leakage``.
+        """
+        events = self.failover.events_since(mark)
+        if not events:
+            return report
+        lines = tuple(str(event) for event in events)
+        return dc_replace(
+            report,
+            failover=report.failover + lines,
+            leakage=report.leakage
+            + tuple(f"cluster: failover: {line}" for line in lines),
+        )
 
     def _classify(self, query: ast.Select) -> tuple:
         referenced = referenced_tables(query)
@@ -833,7 +989,7 @@ class Coordinator:
     def _scatter_prepared(
         self, handles: list[tuple], params: Sequence
     ) -> list[Table]:
-        def run(pair):
+        def run_once(pair):
             shard, handle = pair
             result_id, _ = shard.execute_prepared(handle, list(params))
             try:
@@ -843,6 +999,17 @@ class Coordinator:
                     shard.close_result(result_id)
                 except Exception:
                     pass
+
+        def run(pair):
+            try:
+                return run_once(pair)
+            except ShardUnavailableError:
+                # a replica died mid-fetch and its group promoted a
+                # survivor: one transparent retry re-executes against the
+                # promoted member (a bare backend that is truly gone fails
+                # again and the typed error surfaces to the caller)
+                return run_once(pair)
+
         pairs = list(handles)
         if len(pairs) == 1:
             return [run(pairs[0])]
@@ -1357,10 +1524,11 @@ class Coordinator:
                         {self._migration.plan.chunk_of(r) for r in residues},
                     )
             count = self.num_shards
+            placement_map = self.topology.placement_map
             columns = tuple(statement.columns or ()) + (BUCKET_COLUMN,)
             groups: list[list] = [[] for _ in range(count)]
             for row, residue in zip(statement.rows, residues):
-                groups[shard_of_residue(residue, count)].append(
+                groups[placement_map.shard_of(residue)].append(
                     tuple(row) + (ast.Literal(residue),)
                 )
             affected = 0
@@ -1450,7 +1618,10 @@ class Coordinator:
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
         with self._admit(session), self._lock.read_locked():
+            mark = self.failover.mark()
             table, report = statement.execute(self, tuple(params))
+            if report is not None:
+                report = self._with_failover(report, mark)
         with self._state_lock:
             result_id = next(self._handle_ids)
             self._results[result_id] = _MaterializedResult(table)
@@ -1503,6 +1674,11 @@ class Coordinator:
                     f"plan starts from {plan.old_count} shard(s) but the "
                     f"cluster has {self.num_shards}"
                 )
+            if tuple(plan.old_weights) != tuple(self.topology.weights):
+                raise ShardError(
+                    f"plan starts from weights {tuple(plan.old_weights)} but "
+                    f"the committed topology has {tuple(self.topology.weights)}"
+                )
             incoming_count = 0
             if plan.new_count > self.num_shards:
                 needed = plan.new_count - len(self.shards)
@@ -1536,6 +1712,11 @@ class Coordinator:
                                 "colocate": self._colocate_of(name),
                             },
                             replace=True,
+                        )
+                for offset, backend in enumerate(joining):
+                    if isinstance(backend, ShardGroup):
+                        backend.attach(
+                            self.failover, len(self.shards) + offset
                         )
                 self.shards.extend(joining)
                 incoming_count = needed
@@ -1585,14 +1766,17 @@ class Coordinator:
                 movers = self.shards[src].shard_migrate_extract(
                     table, plan.num_chunks, chunk,
                     plan.old_count, plan.new_count,
+                    old_weights=plan.old_weights or None,
+                    new_weights=plan.new_weights or None,
                 )
                 if movers.num_rows == 0:
                     continue
                 rekeyed = rekey(table, movers)
                 residues = rekeyed.column(BUCKET_COLUMN)
+                new_map = plan.new_map
                 groups: dict[int, list] = {}
                 for i, residue in enumerate(residues):
-                    dst = shard_of_residue(residue, plan.new_count)
+                    dst = new_map.shard_of(residue)
                     groups.setdefault(dst, []).append(i)
                 for dst, indices in sorted(groups.items()):
                     self.shards[dst].shard_migrate_stage(
@@ -1643,7 +1827,8 @@ class Coordinator:
             self._store_commit_record(migration)
             tables = dict(migration.tables)
             self._complete_commit(
-                tables, plan.old_count, plan.new_count, on_step=on_step
+                tables, plan.old_count, plan.new_count, on_step=on_step,
+                new_weights=plan.new_weights,
             )
             self._migration = None
             self._epoch += 1
@@ -1675,7 +1860,9 @@ class Coordinator:
                 # crashed in the tiny window after the record was consumed:
                 # the new topology is already persisted and complete
                 self.topology = ShardTopology(
-                    epoch=self.topology.epoch, shard_count=self._committed_count()
+                    epoch=self.topology.epoch,
+                    shard_count=self._committed_count(),
+                    weights=self._committed_weights(),
                 )
                 self._epoch += 1
                 return "forward"
@@ -1714,6 +1901,12 @@ class Coordinator:
             return self.topology.shard_count
         return int(record.column("shard_count")[-1])
 
+    def _committed_weights(self) -> tuple:
+        record = self.primary.shard_dump(TOPOLOGY_TABLE)
+        if record.num_rows == 0 or "weights" not in record.schema.names:
+            return self.topology.weights
+        return _parse_weights(record.column("weights")[-1])
+
     def _store_commit_record(self, migration: ClusterMigration) -> None:
         from repro.engine.schema import ColumnSpec, DataType, Schema
 
@@ -1725,6 +1918,7 @@ class Coordinator:
                 ColumnSpec("old_n", DataType.INT),
                 ColumnSpec("new_n", DataType.INT),
                 ColumnSpec("num_chunks", DataType.INT),
+                ColumnSpec("new_weights", DataType.STRING),
             )
         )
         names = sorted(migration.tables)
@@ -1738,6 +1932,7 @@ class Coordinator:
             [plan.old_count] * len(names),
             [plan.new_count] * len(names),
             [plan.num_chunks] * len(names),
+            [_weights_str(plan.new_weights)] * len(names),
         ]
         self.primary.store_table(COMMIT_TABLE, Table(schema, columns), replace=True)
 

@@ -1,0 +1,195 @@
+"""Failure detection, replica promotion, and its durable record.
+
+The replication tier (:mod:`repro.cluster.replica`) keeps the mechanics
+of *serving* through failures; this module keeps the *decisions*:
+
+* :class:`FailureDetector` -- turns one observed transport error into a
+  verdict.  A member that fails a call is SUSPECT, not dead: the detector
+  probes it (``ping``) and only a failed probe -- or repeated transient
+  strikes -- confirms DOWN.  This keeps a single dropped request from
+  evicting a healthy replica.
+* :class:`FailoverManager` -- the shared event log and promotion
+  authority for every replica group in one cluster.  Promotions bump a
+  monotone *generation* and trigger the persistence callback, so the
+  promoted topology outlives the coordinator that performed it.
+* The durable record -- one row per replica group in the internal
+  :data:`REPLICAS_TABLE` relation, written *through* shard 0's replica
+  group (so the record itself is replicated): which ordinal is primary
+  and under which generation.  A freshly attached coordinator adopts the
+  highest-generation record it can read, exactly like the topology
+  record of an elastic reshard (``__cluster_topology__``).
+
+Promotion is idempotent by construction: every healthy member received
+every committed write synchronously (a member that misses a write is
+evicted on the spot), so "promote" only ever *selects* a caught-up
+member -- it never moves data, and re-running it after a crash selects
+the same member again.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Shard-0 relation recording, per replica group, the promoted primary
+#: ordinal and the promotion generation (monotone across coordinator
+#: restarts).  Written through the replica group, so it survives the
+#: death that caused the promotion.
+REPLICAS_TABLE = "__cluster_replicas__"
+
+# -- member states (strings, not an Enum: they travel in status dicts) --------
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+SYNCING = "syncing"
+DOWN = "down"
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One observed failure-handling step, in occurrence order."""
+
+    kind: str  # 'suspect' | 'evict' | 'promote' | 'join' | 'sync-abort'
+    group: int  # coordinator shard index (-1: standalone group)
+    ordinal: int  # member ordinal within its group
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"shard{self.group}/replica{self.ordinal}"
+        return f"{self.kind} {where}" + (f": {self.detail}" if self.detail else "")
+
+
+class FailureDetector:
+    """Confirm or clear a suspected member with an active probe.
+
+    ``max_strikes`` bounds tolerance for *transient* faults: a member
+    whose probe succeeds stays in rotation, but after ``max_strikes``
+    failed calls it is declared DOWN anyway (a flapping replica is worse
+    than a dead one).
+    """
+
+    def __init__(self, max_strikes: int = 3, ping_timeout: float = 2.0):
+        self.max_strikes = max_strikes
+        self.ping_timeout = ping_timeout
+        self._strikes: dict = {}
+        self._lock = threading.Lock()
+
+    def confirm_down(self, key, member) -> bool:
+        """True when ``member`` (which just failed a call) is really down."""
+        probe = getattr(member, "ping", None)
+        if not callable(probe):
+            return True  # nothing to probe with: believe the failure
+        try:
+            alive = bool(probe())
+        except Exception:
+            alive = False
+        if not alive:
+            with self._lock:
+                self._strikes.pop(key, None)
+            return True
+        with self._lock:
+            strikes = self._strikes.get(key, 0) + 1
+            self._strikes[key] = strikes
+            if strikes >= self.max_strikes:
+                del self._strikes[key]
+                return True
+        return False
+
+    def clear(self, key) -> None:
+        """Forget strikes after a successful call (the member recovered)."""
+        with self._lock:
+            self._strikes.pop(key, None)
+
+
+class FailoverManager:
+    """Shared promotion authority + event log for one cluster's groups."""
+
+    def __init__(
+        self,
+        detector: Optional[FailureDetector] = None,
+        persist: Optional[Callable[[], None]] = None,
+    ):
+        self.detector = detector if detector is not None else FailureDetector()
+        self._persist = persist
+        self._lock = threading.RLock()
+        self.events: list[FailoverEvent] = []
+        #: monotone promotion generation (persisted; survives restarts)
+        self.generation = 0
+
+    def mark(self) -> int:
+        """A position in the event log (see :meth:`events_since`)."""
+        with self._lock:
+            return len(self.events)
+
+    def events_since(self, mark: int) -> tuple:
+        with self._lock:
+            return tuple(self.events[mark:])
+
+    def record(
+        self, kind: str, group: int, ordinal: int, detail: str = ""
+    ) -> FailoverEvent:
+        event = FailoverEvent(kind, group, ordinal, detail)
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def promote(self, group: int, ordinal: int, detail: str = "") -> FailoverEvent:
+        """Record a promotion, bump the generation, persist the record."""
+        with self._lock:
+            self.generation += 1
+            event = self.record("promote", group, ordinal, detail)
+        if self._persist is not None:
+            try:
+                self._persist()
+            except Exception:
+                # persistence is best-effort mid-failure (the record's
+                # group may itself be degraded); the next promotion or
+                # coordinator restart re-persists from live state
+                pass
+        return event
+
+    def adopt_generation(self, generation: int) -> None:
+        """Raise the generation floor from a recovered durable record."""
+        with self._lock:
+            self.generation = max(self.generation, int(generation))
+
+
+def replicas_record(primaries: dict, generation: int):
+    """The durable :data:`REPLICAS_TABLE` relation for ``primaries``.
+
+    ``primaries`` maps coordinator shard index -> promoted primary
+    ordinal; every row carries the same ``generation``.
+    """
+    from repro.engine.schema import ColumnSpec, DataType, Schema
+    from repro.engine.table import Table
+
+    schema = Schema(
+        (
+            ColumnSpec("group_index", DataType.INT),
+            ColumnSpec("primary_ordinal", DataType.INT),
+            ColumnSpec("generation", DataType.INT),
+        )
+    )
+    groups = sorted(primaries)
+    return Table(
+        schema,
+        [
+            [int(g) for g in groups],
+            [int(primaries[g]) for g in groups],
+            [int(generation)] * len(groups),
+        ],
+    )
+
+
+def parse_replicas_record(table) -> tuple[dict, int]:
+    """(primaries, generation) from a :data:`REPLICAS_TABLE` relation."""
+    if table.num_rows == 0:
+        return {}, 0
+    primaries = {
+        int(group): int(ordinal)
+        for group, ordinal in zip(
+            table.column("group_index"), table.column("primary_ordinal")
+        )
+    }
+    generation = max(int(g) for g in table.column("generation"))
+    return primaries, generation

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the cluster tier.
+
+The crash suites need to kill a primary *between two specific backend
+calls*, drop exactly one request, or slow a replica down -- reliably,
+in-process, without real sockets.  A :class:`FaultInjector` is a registry
+of named fault points; :meth:`FaultInjector.wrap` returns a
+:class:`FaultyBackend` that forwards every method call to the real
+backend after consulting the injector:
+
+    injector = FaultInjector()
+    backend = injector.wrap(SDBServer(shard_id=0), "shard0.primary")
+    ...
+    injector.kill("shard0.primary")        # every later call raises
+    injector.drop_next("shard0.replica1", "execute_partial")
+    injector.delay("shard0.replica1", 0.05)
+
+A killed or dropped call raises :class:`~repro.api.exceptions.\
+ShardUnavailableError` -- the same typed error a real dead socket
+produces (see ``repro.net.client``) -- so the replication tier cannot
+tell an injected fault from a genuine one.  ``on_op`` observers fire
+*before* the fault check with the qualified label ``"<name>.<op>"``,
+which is how tests trigger a kill at an exact operation boundary
+("kill the primary the moment it starts streaming chunk 3").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.exceptions import ShardUnavailableError
+
+#: Backend attributes that are forwarded without a fault check: killing a
+#: backend must not break introspection (``shard_status`` of *other*
+#: members) or teardown.
+_EXEMPT_OPS = frozenset({"close"})
+
+
+class FaultInjector:
+    """A shared registry of kill / drop / delay fault points."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._killed: set[str] = set()
+        self._drops: dict[tuple, int] = {}
+        self._delays: dict[str, float] = {}
+        #: Observers called as ``hook(label)`` before every forwarded op,
+        #: where ``label`` is ``"<backend-name>.<op>"``.  Hooks may call
+        #: back into the injector (e.g. ``kill``) to arm a fault mid-run.
+        self.on_op: list = []
+        #: Every op label forwarded so far, in order (test introspection).
+        self.log: list[str] = []
+
+    def wrap(self, backend, name: str) -> "FaultyBackend":
+        """A fault-checking proxy around ``backend`` registered as ``name``."""
+        return FaultyBackend(backend, name, self)
+
+    # -- arming faults ---------------------------------------------------------
+
+    def kill(self, name: str) -> None:
+        """Every subsequent call on ``name`` fails like a dead socket."""
+        with self._lock:
+            self._killed.add(name)
+
+    def revive(self, name: str) -> None:
+        with self._lock:
+            self._killed.discard(name)
+
+    def is_killed(self, name: str) -> bool:
+        with self._lock:
+            return name in self._killed
+
+    def drop_next(self, name: str, op: str, count: int = 1) -> None:
+        """Fail the next ``count`` calls of ``op`` on ``name``, then heal."""
+        with self._lock:
+            key = (name, op)
+            self._drops[key] = self._drops.get(key, 0) + count
+
+    def delay(self, name: str, seconds: float) -> None:
+        """Sleep ``seconds`` before every call on ``name`` (0 clears)."""
+        with self._lock:
+            if seconds > 0:
+                self._delays[name] = seconds
+            else:
+                self._delays.pop(name, None)
+
+    # -- the check every forwarded call passes through -------------------------
+
+    def check(self, name: str, op: str) -> None:
+        label = f"{name}.{op}"
+        for hook in list(self.on_op):
+            hook(label)
+        with self._lock:
+            self.log.append(label)
+            delay = self._delays.get(name, 0.0)
+            if name in self._killed:
+                raise ShardUnavailableError(
+                    f"injected fault: backend {name!r} is down"
+                )
+            key = (name, op)
+            remaining = self._drops.get(key, 0)
+            if remaining > 0:
+                if remaining == 1:
+                    del self._drops[key]
+                else:
+                    self._drops[key] = remaining - 1
+                raise ShardUnavailableError(
+                    f"injected fault: dropped {label!r}"
+                )
+        if delay:
+            time.sleep(delay)
+
+
+class FaultyBackend:
+    """A transparent, fault-checking wrapper around any backend.
+
+    Forwards attribute access to the wrapped backend; callables are
+    wrapped so the injector's :meth:`~FaultInjector.check` runs first.
+    The wrapper is duck-type equivalent to what it wraps, so it can stand
+    anywhere an ``SDBServer`` / ``RemoteServer`` / ``ShardGroup`` member
+    can.
+    """
+
+    def __init__(self, backend, name: str, injector: FaultInjector):
+        self.backend = backend
+        self.name = name
+        self.injector = injector
+
+    def __getattr__(self, attr: str):
+        target = getattr(self.backend, attr)
+        if not callable(target):
+            return target
+        if attr in _EXEMPT_OPS:
+            return target
+
+        def forwarded(*args, **kwargs):
+            self.injector.check(self.name, attr)
+            return target(*args, **kwargs)
+
+        forwarded.__name__ = attr
+        return forwarded
+
+    def __repr__(self) -> str:
+        status = "down" if self.injector.is_killed(self.name) else "up"
+        return f"<FaultyBackend {self.name} ({status}) around {self.backend!r}>"

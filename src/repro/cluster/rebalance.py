@@ -43,11 +43,13 @@ topology are rejected wholesale by the new key material.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Optional, Sequence
 
-from repro.cluster.router import ROUTING_SPACE
+from repro.cluster.router import ROUTING_SPACE, shard_map_for
 from repro.core.encryptor import AUX_COLUMN, ROWID_COLUMN, _random_nonce
 from repro.core.keystore import KeyStore
 from repro.crypto.keyops import reshard_update_factor
@@ -66,10 +68,23 @@ class RebalanceError(RuntimeError):
 
 @dataclass(frozen=True)
 class ShardTopology:
-    """The committed cluster shape: shard count + monotone epoch."""
+    """The committed cluster shape: shard count + weights + monotone epoch.
+
+    ``weights`` is empty for a uniform topology (placement is
+    ``residue % shard_count``, exactly as before weighted topologies
+    existed) or one positive integer per shard: placement then follows
+    the deterministic weighted map of
+    :func:`repro.cluster.router.shard_map_for`.
+    """
 
     epoch: int
     shard_count: int
+    weights: tuple = ()
+
+    @cached_property
+    def placement_map(self):
+        """The residue -> shard map this topology routes by."""
+        return shard_map_for(self.shard_count, self.weights)
 
 
 @dataclass(frozen=True)
@@ -87,18 +102,52 @@ class RebalancePlan:
     old_count: int
     new_count: int
     num_chunks: int = DEFAULT_NUM_CHUNKS
+    #: per-shard capacities of the two topologies (empty = uniform); a
+    #: plan with weights moves exactly the residues whose weighted-map
+    #: assignment differs, which also makes *reweighting* at a constant
+    #: shard count a valid plan
+    old_weights: tuple = ()
+    new_weights: tuple = ()
 
     def __post_init__(self):
+        object.__setattr__(self, "old_weights", tuple(self.old_weights or ()))
+        object.__setattr__(self, "new_weights", tuple(self.new_weights or ()))
         if self.old_count < 1 or self.new_count < 1:
             raise RebalanceError("shard counts must be positive")
-        if self.old_count == self.new_count:
-            raise RebalanceError("rebalance needs a different shard count")
+        for weights, count, side in (
+            (self.old_weights, self.old_count, "old"),
+            (self.new_weights, self.new_count, "new"),
+        ):
+            if weights and len(weights) != count:
+                raise RebalanceError(
+                    f"{side} topology has {count} shard(s) but "
+                    f"{len(weights)} weight(s)"
+                )
+        if (
+            self.old_count == self.new_count
+            and self.old_weights == self.new_weights
+        ):
+            raise RebalanceError(
+                "rebalance needs a different shard count or different weights"
+            )
         if not 1 <= self.num_chunks <= ROUTING_SPACE:
             raise RebalanceError(
                 f"num_chunks must be in [1, {ROUTING_SPACE}]"
             )
 
+    @cached_property
+    def old_map(self):
+        return shard_map_for(self.old_count, self.old_weights)
+
+    @cached_property
+    def new_map(self):
+        return shard_map_for(self.new_count, self.new_weights)
+
     def residue_moves(self, residue: int) -> bool:
+        if self.old_weights or self.new_weights:
+            return self.old_map.shard_of(residue) != self.new_map.shard_of(
+                residue
+            )
         return residue % self.old_count != residue % self.new_count
 
     def chunk_of(self, residue: int) -> int:
@@ -120,6 +169,57 @@ class RebalancePlan:
             1 for residue in range(ROUTING_SPACE) if self.residue_moves(residue)
         )
         return moving / ROUTING_SPACE
+
+
+class RateLimiter:
+    """Token-bucket pacing for background copy work (rows per second).
+
+    Both the rebalance copy passes and replica catch-up
+    (:meth:`repro.cluster.replica.ShardGroup.add_replica`) run under the
+    *shared* side of the coordinator lock -- they never block foreground
+    queries outright, but an unthrottled copy loop still competes for the
+    shards' CPU and the wire.  Charging each copied window against a rate
+    cap makes the copier yield between windows, bounding its share:
+
+        limiter = RateLimiter(max_rows_per_s=50_000)
+        ...
+        limiter.charge(chunk.num_rows)   # sleeps when over budget
+
+    A ``max_rows_per_s`` of ``None`` (or <= 0) disables pacing; ``charge``
+    is then free.  The bucket allows a one-second burst so small copies
+    never sleep at all.
+    """
+
+    def __init__(self, max_rows_per_s: Optional[float] = None):
+        self.max_rows_per_s = (
+            float(max_rows_per_s)
+            if max_rows_per_s is not None and max_rows_per_s > 0
+            else None
+        )
+        self._lock = threading.Lock()
+        self._debt = 0.0  # rows charged but not yet paid for by elapsed time
+        self._last = time.monotonic()
+        self.slept_s = 0.0
+
+    def charge(self, rows: int) -> float:
+        """Account ``rows`` of copy work; sleep if over the rate. Returns
+        the seconds slept (0.0 when under budget or unthrottled)."""
+        if self.max_rows_per_s is None or rows <= 0:
+            return 0.0
+        with self._lock:
+            now = time.monotonic()
+            self._debt = max(
+                0.0, self._debt - (now - self._last) * self.max_rows_per_s
+            )
+            self._last = now
+            self._debt += rows
+            # leave a one-second burst allowance in the bucket
+            over = self._debt - self.max_rows_per_s
+            pause = over / self.max_rows_per_s if over > 0 else 0.0
+        if pause > 0:
+            time.sleep(pause)
+            self.slept_s += pause
+        return pause
 
 
 @dataclass
@@ -311,15 +411,26 @@ def rebalance_cluster(
     num_chunks: int = DEFAULT_NUM_CHUNKS,
     rekey_columns: bool = True,
     copy_passes: int = 3,
+    weights: Optional[Sequence] = None,
+    max_rows_per_s: Optional[float] = None,
     on_step: Optional[Callable] = None,
     rng=None,
 ) -> RebalanceReport:
-    """Grow or shrink ``proxy``'s cluster to ``target_count`` shards, live.
+    """Grow, shrink, or reweight ``proxy``'s cluster to ``target_count``
+    shards, live.
 
     Sessions keep executing throughout: copy passes run under the shared
     side of the coordinator lock, only the final settle + commit is
     exclusive.  On any failure the migration is recovered -- rolled back
     if the commit record was never written, rolled forward if it was.
+
+    ``weights`` (one positive integer per target shard) commits a
+    *weighted* topology: heterogeneous shards receive residue shares
+    proportional to their capacity, and a weight change alone (same
+    count) is a valid rebalance.  ``max_rows_per_s`` rate-caps the
+    background copy passes (see :class:`RateLimiter`) so a rebalance
+    does not starve foreground queries; the exclusive settle inside the
+    commit is never throttled.
 
     ``on_step`` (when given) is called with a step label before each
     migration step; the crash tests use it as a failpoint.
@@ -331,8 +442,10 @@ def rebalance_cluster(
             "(see repro.cluster)"
         )
     old_count = coordinator.num_shards
+    old_weights = tuple(getattr(coordinator.topology, "weights", ()) or ())
+    new_weights = tuple(weights or ())
     started = time.monotonic()
-    if target_count == old_count:
+    if target_count == old_count and new_weights == old_weights:
         return RebalanceReport(
             old_count=old_count,
             new_count=target_count,
@@ -345,7 +458,11 @@ def rebalance_cluster(
             notes=("topology unchanged",),
         )
     plan = RebalancePlan(
-        old_count=old_count, new_count=target_count, num_chunks=num_chunks
+        old_count=old_count,
+        new_count=target_count,
+        num_chunks=num_chunks,
+        old_weights=old_weights,
+        new_weights=new_weights,
     )
     incoming = ()
     if target_count > old_count:
@@ -358,18 +475,25 @@ def rebalance_cluster(
         if on_step is not None:
             on_step(label)
 
+    limiter = RateLimiter(max_rows_per_s)
     coordinator.begin_rebalance(plan, incoming=incoming)
     try:
         # copy passes: stream re-keyed movers into staging while sessions
         # keep reading and writing; writes dirty their chunks, so loop a
         # few passes to shrink the exclusive settle work, then commit.
+        # Each copied chunk is charged against the rate cap, so a capped
+        # rebalance yields between chunk windows instead of monopolizing
+        # the shards.
         for _ in range(max(1, copy_passes)):
             pending = coordinator.migration_pending()
             if not pending:
                 break
             for table, chunk in pending:
                 step(f"copy:{table}:{chunk}")
-                coordinator.copy_chunk(table, chunk, rekeyer.rekey_slice)
+                moved = coordinator.copy_chunk(
+                    table, chunk, rekeyer.rekey_slice
+                )
+                limiter.charge(moved)
         step("commit")
         migration = coordinator.commit_rebalance(
             rekeyer.rekey_slice, on_step=on_step
@@ -412,6 +536,19 @@ def rebalance_cluster(
             f"{rekeyed_columns} column key(s) rotated at the SPs "
             "(old-topology ciphertexts rejected)",
         )
+    if new_weights:
+        notes = notes + (
+            "weighted topology: residue shares "
+            + ", ".join(
+                f"shard{i}={plan.new_map.share_of(i):.0%}"
+                for i in range(target_count)
+            ),
+        )
+    if limiter.max_rows_per_s is not None:
+        notes = notes + (
+            f"copy passes rate-capped at {limiter.max_rows_per_s:.0f} "
+            f"rows/s (slept {limiter.slept_s:.2f}s)",
+        )
     return RebalanceReport(
         old_count=old_count,
         new_count=target_count,
@@ -439,6 +576,12 @@ def rebalance_leakage(plan: RebalancePlan, moves: dict) -> tuple:
         f"{plan.old_count} -> {plan.new_count} visible to every SP; "
         f"~{plan.moving_fraction():.0%} of the residue space reassigned",
     ]
+    if plan.new_weights:
+        entries.append(
+            "rebalance: per-shard capacity weights "
+            f"{tuple(plan.new_weights)} visible to every SP "
+            "(relative shard sizing, never row contents)"
+        )
     by_table: dict = {}
     for (table, src, dst), rows in sorted(moves.items()):
         by_table.setdefault(table, []).append(f"{src}->{dst}: {rows} rows")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import datetime
 import decimal
+from dataclasses import dataclass
 
 from repro.crypto.prf import derive_key, prf_int
 
@@ -51,6 +52,83 @@ def shard_of_residue(residue: int, num_shards: int) -> int:
     if num_shards < 1:
         raise ValueError("a topology needs at least one shard")
     return residue % num_shards
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """A full residue -> shard assignment for one topology.
+
+    The uniform map is exactly ``residue % num_shards`` -- byte-for-byte
+    the placement every earlier topology used, so uniform clusters are
+    unaffected.  A *weighted* map assigns each residue by smooth weighted
+    round-robin over integer capacities, giving every shard a share of the
+    27720 residue classes proportional to its weight while keeping the
+    assignment deterministic (both sides of the wire can rebuild it from
+    the weight tuple alone -- maps never travel, weights do).
+    """
+
+    assignments: tuple
+
+    def __post_init__(self):
+        if len(self.assignments) != ROUTING_SPACE:
+            raise ValueError(
+                f"a shard map covers all {ROUTING_SPACE} residues"
+            )
+
+    @classmethod
+    def uniform(cls, num_shards: int) -> "ShardMap":
+        if num_shards < 1:
+            raise ValueError("a topology needs at least one shard")
+        return cls(tuple(r % num_shards for r in range(ROUTING_SPACE)))
+
+    @classmethod
+    def from_weights(cls, weights) -> "ShardMap":
+        weights = tuple(int(w) for w in weights)
+        if not weights:
+            raise ValueError("a weighted topology needs at least one shard")
+        if any(w < 1 for w in weights):
+            raise ValueError("shard weights must be positive integers")
+        if len(set(weights)) == 1:
+            return cls.uniform(len(weights))
+        total = sum(weights)
+        current = [0] * len(weights)
+        assignments = []
+        for _ in range(ROUTING_SPACE):
+            for index, weight in enumerate(weights):
+                current[index] += weight
+            best = max(range(len(weights)), key=lambda i: (current[i], -i))
+            current[best] -= total
+            assignments.append(best)
+        return cls(tuple(assignments))
+
+    @property
+    def num_shards(self) -> int:
+        return max(self.assignments) + 1
+
+    def shard_of(self, residue: int) -> int:
+        return self.assignments[residue % ROUTING_SPACE]
+
+    def share_of(self, index: int) -> float:
+        """Fraction of the residue space assigned to shard ``index``."""
+        return self.assignments.count(index) / ROUTING_SPACE
+
+
+def shard_map_for(num_shards: int, weights=None) -> ShardMap:
+    """The placement map for a topology (uniform unless weighted).
+
+    ``weights`` of length ``num_shards`` selects a weighted map; an empty
+    or ``None`` weights tuple means uniform.  This is the one place both
+    the coordinator and the shard-side migration ops derive placement
+    from, so the two can never disagree.
+    """
+    if not weights:
+        return ShardMap.uniform(num_shards)
+    weights = tuple(int(w) for w in weights)
+    if len(weights) != num_shards:
+        raise ValueError(
+            f"got {len(weights)} weights for {num_shards} shard(s)"
+        )
+    return ShardMap.from_weights(weights)
 
 
 def canonical_bytes(value) -> bytes:

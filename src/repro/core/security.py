@@ -56,6 +56,23 @@ DECLARED_LEAKAGE = (
     "(see rebalance_leakage and RebalanceReport.leakage)",
     "prepared-statements: cached rewrite plans reuse their rewrite-time "
     "masks/tokens across executions (declared per-plan as 'prepared:')",
+    "replica-placement: with replicas=N every member of a shard's replica "
+    "group stores the identical encrypted slice, so each replica SP "
+    "observes everything its primary observes (placement, cardinalities, "
+    "residue co-residency) -- replication multiplies observers, not "
+    "leakage classes; per-shard weights skew cardinalities visibly "
+    "(see replication_leakage)",
+    "replica-health: failure detection pings and health probes reveal "
+    "liveness and probe timing of every member to the coordinator's "
+    "network path; a promotion reveals which member died and which "
+    "replica took over, and is persisted in the __cluster_replicas__ "
+    "record on the primary shard (see FailoverManager.events and the "
+    "'cluster: failover:' entries on QueryReport.leakage)",
+    "replica-sync: a joining replica's catch-up streams every table's "
+    "slice through the coordinator (windowed shard dumps), revealing to "
+    "the new SP the same slice contents plus the copy-pass timing/row "
+    "counts; throttled passes additionally reveal the configured rate cap "
+    "(see ShardGroup.add_replica)",
 )
 
 
@@ -189,6 +206,45 @@ def shard_routing_leakage(coordinator) -> list[str]:
             f"shard-routing: {name!r} placed by PRF bucket of "
             f"{placement.shard_column!r} (column name visible to the SPs); "
             f"per-shard cardinalities visible to the SPs: {counts}{suffix}"
+        )
+    return entries
+
+
+def replication_leakage(coordinator) -> list[str]:
+    """Quantify the declared replication leakage of a cluster.
+
+    For every replica group, report what replication itself discloses:
+    how many SPs hold each shard's slice (each replica sees exactly what
+    its primary sees -- more observers, same leakage classes), the
+    current member health states, and every recorded failover event
+    (which member died, who was promoted, under which generation).  The
+    entries mirror the style of per-query leakage declarations.
+    """
+    entries = []
+    status_fn = getattr(coordinator, "replica_status", None)
+    if not callable(status_fn):
+        return entries
+    for status in status_fn():
+        members = status.get("members", ())
+        if len(members) <= 1:
+            continue
+        states = ", ".join(
+            f"replica{m['ordinal']}={m['state']}" for m in members
+        )
+        entries.append(
+            f"replica-placement: shard {status['group']} slice held by "
+            f"{len(members)} SP(s) (primary ordinal "
+            f"{status['primary_ordinal']}); health visible to the "
+            f"coordinator: {states}"
+        )
+    failover = getattr(coordinator, "failover", None)
+    for event in getattr(failover, "events", ()) or ():
+        entries.append(f"replica-health: failover event observed: {event}")
+    weights = tuple(getattr(getattr(coordinator, "topology", None), "weights", ()) or ())
+    if weights:
+        entries.append(
+            f"replica-placement: per-shard capacity weights {weights} "
+            "visible as skewed per-shard cardinalities"
         )
     return entries
 

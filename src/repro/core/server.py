@@ -353,6 +353,25 @@ class SDBServer:
                 },
             }
 
+    def ping(self) -> bool:
+        """Liveness probe -- same surface as the remote client's PING op,
+        so failure detectors treat in-process and wire backends alike."""
+        return True
+
+    def catalog_names(self) -> list:
+        """Stored relation names (the CATALOG wire op, in-process)."""
+        with self._lock.read_locked():
+            return list(self.catalog.names())
+
+    def health(self) -> dict:
+        """Cheap liveness + progress summary for replica health checks."""
+        with self._lock.read_locked():
+            return {
+                "shard_id": self.shard_id,
+                "epoch": self._epoch,
+                "tables": len(self.catalog.names()),
+            }
+
     def execute_partial(self, query, session=None) -> Table:
         """Run one scatter partial query (same trust surface as execute)."""
         return self.execute(query, session=session)
@@ -393,13 +412,22 @@ class SDBServer:
         chunk: int,
         old_modulus: int,
         new_modulus: int,
+        old_weights=None,
+        new_weights=None,
     ) -> Table:
-        """The chunk's movers: rows this slice loses under the new modulus.
+        """The chunk's movers: rows this slice loses under the new topology.
 
         Selected entirely from stored residues: ``residue % num_chunks ==
-        chunk`` and the old/new shard assignments differ.  Read-only -- the
+        chunk`` and the old/new shard assignments differ.  Weighted
+        topologies ship their small weight tuples instead of full maps --
+        both sides rebuild the identical deterministic map from them
+        (:func:`repro.cluster.router.shard_map_for`).  Read-only -- the
         rows stay live here until the commit purge.
         """
+        from repro.cluster.router import shard_map_for
+
+        old_map = shard_map_for(old_modulus, old_weights)
+        new_map = shard_map_for(new_modulus, new_weights)
         with self._lock.read_locked():
             table = self.catalog.get(name)
             residues = self._routing_residues(name, table)
@@ -407,7 +435,7 @@ class SDBServer:
                 i
                 for i, residue in enumerate(residues)
                 if residue % num_chunks == chunk
-                and residue % new_modulus != residue % old_modulus
+                and new_map.shard_of(residue) != old_map.shard_of(residue)
             ]
             return table.take(indices)
 
@@ -505,12 +533,17 @@ class SDBServer:
         modulus: int,
         keep_index: int,
         placement: Optional[dict] = None,
+        weights=None,
     ) -> int:
         """Delete rows the new topology places elsewhere; returns the count.
 
         A pure function of stored residues (idempotent): keep exactly the
-        rows with ``residue % modulus == keep_index``.
+        rows the (possibly weighted) new topology assigns to
+        ``keep_index``.
         """
+        from repro.cluster.router import shard_map_for
+
+        keep_map = shard_map_for(modulus, weights)
         with self._lock.write_locked():
             if name.lower() not in self.catalog:
                 return 0
@@ -519,7 +552,7 @@ class SDBServer:
             keep = [
                 i
                 for i, residue in enumerate(residues)
-                if residue % modulus == keep_index
+                if keep_map.shard_of(residue) == keep_index
             ]
             removed = table.num_rows - len(keep)
             if placement is None:

@@ -14,7 +14,9 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 
+from repro.api.exceptions import ShardUnavailableError
 from repro.engine.table import Table
 from repro.net import protocol
 from repro.sql import ast
@@ -73,13 +75,42 @@ class RemoteServer:
         self.session_id = session_id if session_id is not None else next_session_id()
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._dead = False
+        try:
+            self.endpoint = "%s:%d" % sock.getpeername()[:2]
+        except OSError:
+            self.endpoint = "<unknown>"
 
     @classmethod
-    def connect(cls, host: str, port: int, timeout: float = 10.0) -> "RemoteServer":
-        sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retries: int = 0,
+        backoff: float = 0.2,
+    ) -> "RemoteServer":
+        """Connect, optionally retrying with exponential backoff.
+
+        ``retries`` extra attempts are made after the first failure,
+        sleeping ``backoff * 2**attempt`` seconds between them; the final
+        failure surfaces as :class:`ShardUnavailableError`.
+        """
+        last: Exception | None = None
+        for attempt in range(max(0, retries) + 1):
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                return cls(sock)
+            except OSError as exc:
+                last = exc
+                if attempt < retries:
+                    time.sleep(backoff * (2**attempt))
+        raise ShardUnavailableError(
+            f"cannot connect to {host}:{port}: {last}"
+        ) from last
 
     def close(self) -> None:
+        self._dead = True
         self._sock.close()
 
     def __enter__(self) -> "RemoteServer":
@@ -93,11 +124,29 @@ class RemoteServer:
     def _call(self, op: str, session=None, **args):
         request = {"op": op, **args}
         with self._lock:
+            if self._dead:
+                raise ShardUnavailableError(
+                    f"connection to {self.endpoint} is closed"
+                )
             request_id = next(self._request_ids)
             request["id"] = request_id
             request["session"] = self.session_id if session is None else session
-            self.bytes_sent += protocol.send_message(self._sock, request)
-            response = protocol.recv_message(self._sock)
+            try:
+                self.bytes_sent += protocol.send_message(self._sock, request)
+                response = protocol.recv_message(self._sock)
+            except (OSError, protocol.NetError) as exc:
+                # Transport loss mid-call: the frame stream is unusable
+                # (a reply may be half-read), so poison the handle -- every
+                # later call fast-fails with the same typed error instead
+                # of a raw OSError.
+                self._dead = True
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                raise ShardUnavailableError(
+                    f"lost connection to {self.endpoint} during {op!r}: {exc}"
+                ) from exc
         if response.get("id") not in (None, request_id):
             raise protocol.NetError(
                 f"out-of-order response: expected {request_id}, "
@@ -115,6 +164,10 @@ class RemoteServer:
 
     def ping(self) -> bool:
         return self._call("ping") == "pong"
+
+    def health(self) -> dict:
+        """One-round-trip liveness + catch-up probe (failure detector food)."""
+        return self._call("health")
 
     def store_table(self, name: str, table: Table, replace: bool = False) -> None:
         self._call(
@@ -236,6 +289,8 @@ class RemoteServer:
         chunk: int,
         old_modulus: int,
         new_modulus: int,
+        old_weights=None,
+        new_weights=None,
     ) -> Table:
         return protocol.decode_value(
             self._call(
@@ -245,6 +300,8 @@ class RemoteServer:
                 chunk=chunk,
                 old_modulus=old_modulus,
                 new_modulus=new_modulus,
+                old_weights=list(old_weights) if old_weights else None,
+                new_weights=list(new_weights) if new_weights else None,
             )
         )
 
@@ -276,13 +333,14 @@ class RemoteServer:
         )
 
     def shard_migrate_purge(
-        self, name: str, modulus: int, keep_index: int, placement=None
+        self, name: str, modulus: int, keep_index: int, placement=None, weights=None
     ) -> int:
         return int(
             self._call(
                 "shard_migrate_purge",
                 name=name, modulus=modulus, keep_index=keep_index,
                 placement=placement,
+                weights=list(weights) if weights else None,
             )
         )
 

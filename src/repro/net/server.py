@@ -147,6 +147,10 @@ class _RequestHandler(socketserver.BaseRequestHandler):
     def _op_ping(self, request: dict):
         return "pong"
 
+    def _op_health(self, request: dict):
+        """Liveness + catch-up probe (replica failure detection)."""
+        return self._sdb.health()
+
     def _op_store_table(self, request: dict):
         table = protocol.decode_value(request["table"])
         self._sdb.store_table(
@@ -270,6 +274,8 @@ class _RequestHandler(socketserver.BaseRequestHandler):
                 int(request["chunk"]),
                 int(request["old_modulus"]),
                 int(request["new_modulus"]),
+                old_weights=request.get("old_weights"),
+                new_weights=request.get("new_weights"),
             )
         )
 
@@ -295,6 +301,7 @@ class _RequestHandler(socketserver.BaseRequestHandler):
             int(request["modulus"]),
             int(request["keep_index"]),
             placement=request.get("placement"),
+            weights=request.get("weights"),
         )
 
     def _op_shard_migrate_abort(self, request: dict):
