@@ -1,0 +1,103 @@
+"""One OLTP session driver for ``bench_e19_tpcc.py`` (runs as a subprocess).
+
+Each worker is a full client process over the shared shard daemons: it
+re-derives the loader's keys (deterministic seeds, the reattach
+mechanism), re-uploads the identical initial state (idempotent), claims
+a process-unique wire session id, and builds the *same* global schedule
+as every other worker -- then runs only its own partition of it:
+
+    READY                     -> worker is warmed and waiting
+    GO <phase>\\n  (on stdin)  -> run this worker's schedule slice for
+                                 that phase; prints a JSON result line
+    EXIT\\n        (on stdin)  -> clean shutdown
+
+Phases use disjoint order-id ranges (``o_id_base``), so the serialized
+and the concurrent phase insert non-colliding keys and each phase's
+checksum delta independently equals the schedule's expected effect.
+"""
+
+import json
+import sys
+import time
+
+SEED = 190
+SCHEDULE_SEED = 1919
+
+
+def build_data(warehouses, districts, customers, items):
+    from repro.workloads import tpcc
+
+    return tpcc.generate(
+        warehouses=warehouses, districts=districts,
+        customers=customers, items=items,
+    )
+
+
+def load(conn, data):
+    from repro.crypto.prf import seeded_rng
+    from repro.workloads import tpcc
+
+    tpcc.load_encrypted(
+        conn.proxy, data, rng=seeded_rng(SEED + 1), shard=True, replace=True
+    )
+
+
+def main() -> None:
+    import repro.api as api
+    from repro.crypto.prf import seeded_rng
+    from repro.workloads import tpcc
+
+    ports = [int(p) for p in sys.argv[1].split(",")]
+    modulus_bits = int(sys.argv[2])
+    warehouses, districts, customers, items = map(int, sys.argv[3:7])
+    sessions = int(sys.argv[7])
+    transactions = int(sys.argv[8])
+    worker_index = int(sys.argv[9])
+
+    conn = api.connect(
+        shards=[f"127.0.0.1:{port}" for port in ports],
+        modulus_bits=modulus_bits,
+        value_bits=64,
+        rng=seeded_rng(SEED),  # same seed as the loader: identical keys
+    )
+    data = build_data(warehouses, districts, customers, items)
+    load(conn, data)
+    # wire transactions are keyed by session id, and every client process
+    # allocates ids from its own counter -- claim a process-unique range
+    conn.context.session_id = 1000 * (worker_index + 1)
+    # reattached clients share the loader's seed (same keys, idempotent
+    # upload) but must not share its encryption stream: diverge before
+    # inserting so row identities stay unique across workers
+    conn.proxy.reseed(seeded_rng(SEED * 100 + worker_index + 1))
+
+    def schedule_for(phase: int):
+        return tpcc.build_schedule(
+            data, sessions=sessions, transactions=transactions,
+            seed=SCHEDULE_SEED, partition="warehouse",
+            o_id_base=phase * transactions,
+        )[worker_index]
+
+    # warm route classification and statement plans without mutating:
+    # an opened-then-rolled-back transaction leaves no trace
+    conn.begin()
+    conn.rollback()
+    tpcc.checksum(conn)
+
+    print("READY", flush=True)
+    for line in sys.stdin:
+        command = line.strip()
+        if command == "EXIT":
+            break
+        if not command.startswith("GO"):
+            continue
+        phase = int(command.split()[1])
+        txns = schedule_for(phase)
+        start = time.perf_counter()
+        result = tpcc.run_session(conn, txns)
+        elapsed = time.perf_counter() - start
+        print(json.dumps({"elapsed": elapsed, **result}), flush=True)
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

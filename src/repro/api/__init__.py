@@ -70,6 +70,7 @@ from repro.api.exceptions import (
     OperationalError,
     ProgrammingError,
     ShardUnavailableError,
+    TransactionConflict,
     Warning,
 )
 from repro.api.statement import SelectExecution, Statement
@@ -104,4 +105,5 @@ __all__ = [
     "ProgrammingError",
     "NotSupportedError",
     "ShardUnavailableError",
+    "TransactionConflict",
 ]

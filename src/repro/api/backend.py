@@ -67,12 +67,16 @@ class Backend(Protocol):
     def execute_dml(self, statement) -> int: ...
 
     # -- transactions ----------------------------------------------------------
+    #
+    # Session-scoped (see repro.core.txn): ``session`` is the
+    # ExecutionContext / wire session id whose write set the call
+    # addresses; None is the legacy anonymous (server-global) form.
 
-    def begin(self) -> None: ...
+    def begin(self, session=None) -> None: ...
 
-    def commit(self) -> None: ...
+    def commit(self, session=None) -> None: ...
 
-    def rollback(self) -> None: ...
+    def rollback(self, session=None) -> None: ...
 
     # -- prepared statements / streaming fetch ----------------------------------
 
@@ -152,7 +156,9 @@ class ClusterBackend(Backend, Protocol):
         replace: bool = False,
     ) -> None: ...
 
-    def insert_routed(self, statement, buckets: Sequence[int]) -> int: ...
+    def insert_routed(
+        self, statement, buckets: Sequence[int], session=None
+    ) -> int: ...
 
     def scatter_report(self, result_id: int): ...
 

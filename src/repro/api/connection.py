@@ -197,11 +197,22 @@ class Connection:
         self._in_txn = True
 
     def commit(self) -> None:
-        """Commit the open transaction (no-op outside one, per PEP-249)."""
+        """Commit the open transaction (no-op outside one, per PEP-249).
+
+        A first-updater-wins validation failure surfaces as
+        :class:`~repro.api.exceptions.TransactionConflict`; the server
+        already discarded the write set, so the connection leaves the
+        transaction either way and the application may simply retry
+        from :meth:`begin`.
+        """
         self._check_open()
         if not self._in_txn:
             return
-        self._txn("commit")
+        try:
+            self._txn("commit")
+        except exc.TransactionConflict:
+            self._in_txn = False  # the server rolled the transaction back
+            raise
         self._in_txn = False
 
     def rollback(self) -> None:

@@ -53,6 +53,17 @@ class NotSupportedError(DatabaseError):
     """The operation is outside SDB's secure operator suite."""
 
 
+class TransactionConflict(OperationalError):
+    """First-updater-wins validation failed at COMMIT.
+
+    Another session committed a change to a row (or table) this
+    transaction also wrote, so the whole transaction rolled back at the
+    server; nothing was applied.  The statement sequence is safe to
+    retry from BEGIN -- the canonical OLTP response (the TPC-C workload
+    driver does exactly that).
+    """
+
+
 class ShardUnavailableError(OperationalError):
     """A shard (or an entire replica group) cannot serve the request.
 
@@ -72,6 +83,11 @@ def _mapping() -> list:
     from repro.core.keystore import KeyStoreError
     from repro.core.rewriter import RewriteError, UnsupportedQueryError
     from repro.core.server import ServerBusyError, StaleSnapshotError
+    from repro.core.txn import (
+        TransactionConflictError,
+        TransactionError,
+        TransactionStateError,
+    )
     from repro.engine.catalog import CatalogError
     from repro.engine.dml import DMLError
     from repro.engine.executor import ExecutionError
@@ -93,6 +109,9 @@ def _mapping() -> list:
         (UDFError, ProgrammingError),
         (EvaluationError, ProgrammingError),
         (DMLError, ProgrammingError),
+        (TransactionConflictError, TransactionConflict),
+        (TransactionStateError, ProgrammingError),
+        (TransactionError, OperationalError),
         (ServerBusyError, OperationalError),
         (StaleSnapshotError, OperationalError),
         (ExecutionError, OperationalError),

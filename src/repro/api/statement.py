@@ -281,7 +281,16 @@ class Statement:
         self._check_open()
         bound = bind_parameters(self.parsed, tuple(params))
         context = self.connection.context
-        result = self.proxy.execute_statement(bound, context=context)
+        from repro.core.txn import TransactionConflictError
+
+        try:
+            result = self.proxy.execute_statement(bound, context=context)
+        except TransactionConflictError:
+            if self.kind == "txn" and bound.kind == "commit":
+                # the server rolled the transaction back on conflict; the
+                # connection must not believe one is still open
+                self.connection._in_txn = False
+            raise
         self._parse_charged = True
         self._mark_used()
         context.record_statement(result.leakage)

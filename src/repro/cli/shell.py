@@ -25,6 +25,9 @@ client/server cost split.  Backslash commands inspect the deployment:
     \\rebalance <n> [host:port,...]   grow/shrink the cluster to n shards
                         online (encrypted buckets migrate re-keyed; SQL
                         equivalent: ALTER CLUSTER ADD/REMOVE SHARD)
+    \\begin              start a transaction (prompt becomes ``sdb*>``)
+    \\commit             commit it (conflicts roll back and report)
+    \\rollback           discard it
     \\rewrite on|off     toggle printing the rewritten SQL after queries
     \\quit               exit
 
@@ -107,6 +110,8 @@ class SDBShell:
     """
 
     PROMPT = "sdb> "
+    #: prompt while a transaction is open: uncommitted work is pending
+    TXN_PROMPT = "sdb*> "
 
     def __init__(self, proxy: SDBProxy):
         self.proxy = proxy
@@ -176,6 +181,8 @@ class SDBShell:
             except Exception as exc:
                 return f"error: {exc}"
             return tree.explain() + "\n\n" + report.pretty()
+        if name in ("begin", "commit", "rollback"):
+            return self._txn(name)
         if name == "rewrite":
             self.show_rewrite = argument.strip().lower() != "off"
             return f"rewrite display {'on' if self.show_rewrite else 'off'}"
@@ -205,6 +212,26 @@ class SDBShell:
                 return f"error: {exc}"
             return f"{result.affected} share(s) re-keyed at the SP"
         return f"unknown command \\{name} (try \\help)"
+
+    @property
+    def prompt(self) -> str:
+        """The REPL prompt -- starred while a transaction is open."""
+        return self.TXN_PROMPT if self.conn._in_txn else self.PROMPT
+
+    def _txn(self, action: str) -> str:
+        if action != "begin" and not self.conn._in_txn:
+            # Connection.commit()/rollback() are PEP-249 no-ops here;
+            # the console should say so instead of claiming a commit
+            return "no transaction in progress"
+        try:
+            getattr(self.conn, action)()
+        except Exception as exc:
+            return f"error: {exc}"
+        if action == "begin":
+            return "transaction started"
+        if action == "commit":
+            return "transaction committed"
+        return "transaction rolled back"
 
     def _upload(self, argument: str) -> str:
         parts = argument.split()
@@ -454,7 +481,7 @@ class SDBShell:
         stdout = stdout or sys.stdout
         stdout.write("SDB shell -- \\help for commands\n")
         while not self.done:
-            stdout.write(self.PROMPT)
+            stdout.write(self.prompt)
             stdout.flush()
             line = stdin.readline()
             if not line:

@@ -64,7 +64,14 @@ from repro.core.server import (
     ServerBusyError,
     _MaterializedResult,
 )
+from repro.cluster.txn import (
+    TXN_COMMIT_PREFIX,
+    TXN_STAGING_PREFIX,
+    commit_cluster,
+    recover_cluster_txns,
+)
 from repro.core.sync import ReadWriteLock
+from repro.core.txn import TransactionStateError
 from repro.core.udfs import register_sdb_udfs
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Engine
@@ -128,6 +135,8 @@ INTERNAL_PREFIXES = (
     TOPOLOGY_TABLE,
     COMMIT_TABLE,
     REPLICAS_TABLE,
+    TXN_STAGING_PREFIX,
+    TXN_COMMIT_PREFIX,
 )
 
 
@@ -254,7 +263,7 @@ class _ClusterStatement:
         self._plan_lock = threading.Lock()
 
     def execute(
-        self, coordinator: "Coordinator", params: tuple
+        self, coordinator: "Coordinator", params: tuple, session=None
     ) -> tuple[Table, "ScatterReport"]:
         with self._plan_lock:
             epoch = coordinator.topology.epoch
@@ -296,7 +305,9 @@ class _ClusterStatement:
                 # handles bind at execute time, so a refreshed broadcast
                 # copy (same name, new rows) is picked up transparently
                 coordinator._ensure_broadcasts(self.route[1].dims)
-            partials = coordinator._scatter_prepared(handles, params)
+            partials = coordinator._scatter_prepared(
+                handles, params, session=session
+            )
             out = coordinator._merge(self.split.merge, partials)
             if self.route[0] == "coshard":
                 report = coordinator._coshard_report(self.split, self.route[1])
@@ -306,7 +317,7 @@ class _ClusterStatement:
                 )
             return out, report
         bound = bind_parameters(self.query, params)
-        return coordinator._run(bound, self.route)
+        return coordinator._run(bound, self.route, session=session)
 
     def _release_handles(self) -> None:
         handles, self.shard_handles = self.shard_handles, None
@@ -357,6 +368,12 @@ class Coordinator:
         #: overflow raises ServerBusyError instead of queueing unboundedly
         self.max_session_inflight = max_session_inflight
         self._inflight: dict = {}
+        #: open cluster transactions: session -> tables its DML wrote
+        #: (the post-commit invalidation set); mutated under the write lock
+        self._txn_sessions: dict = {}
+        #: the last 2PC commit's report (token / tables / per-shard
+        #: write-set cardinalities -- the declared transaction leakage)
+        self.last_txn_commit: Optional[dict] = None
         self.udfs = UDFRegistry()
         register_sdb_udfs(self.udfs)
         self._placements: dict[str, Placement] = {}
@@ -405,6 +422,10 @@ class Coordinator:
         self._bootstrap_placements()
         self._bootstrap_topology()
         self._bootstrap_replicas()
+        # finish or undo cluster transactions a crashed coordinator left
+        # mid-2PC: a surviving commit record rolls forward, orphan staging
+        # without one is discarded (presumed abort)
+        recover_cluster_txns(self)
 
     @property
     def epoch(self) -> int:
@@ -851,7 +872,9 @@ class Coordinator:
             query = parse(query)
         with self._admit(session), self._lock.read_locked():
             mark = self.failover.mark()
-            table, report = self._run(query, self._classify(query))
+            table, report = self._run(
+                query, self._classify(query), session=session
+            )
             self.last_scatter = self._with_failover(report, mark)
             return table
 
@@ -953,8 +976,12 @@ class Coordinator:
         return split
 
     def _run(
-        self, query: ast.Select, route: tuple
+        self, query: ast.Select, route: tuple, session=None
     ) -> tuple[Table, ScatterReport]:
+        # ``session`` rides to the shards so a reader inside its own
+        # transaction sees that transaction's write set (each shard keys
+        # the overlay engine by session); every other session's reads hit
+        # only committed state
         kind, extra = route
         if kind == "primary":
             report = ScatterReport(
@@ -962,36 +989,41 @@ class Coordinator:
                 shards=1,
                 reason="no sharded table referenced",
             )
-            return self.primary.execute(query), report
+            return self.primary.execute(query, session=session), report
         if kind == "scatter":
             split = self._plan_scatter(query, route)
-            partials = self._scatter(split.partial)
+            partials = self._scatter(split.partial, session=session)
             out = self._merge(split.merge, partials)
             return out, self._scatter_report_for(query, split, route)
         if kind == "coshard":
             split = self._plan_scatter(query, route)
             self._ensure_broadcasts(extra.dims)
-            partials = self._scatter(split.partial)
+            partials = self._scatter(split.partial, session=session)
             out = self._merge(split.merge, partials)
             return out, self._coshard_report(split, extra)
-        return self._run_fallback(query, extra)
+        return self._run_fallback(query, extra, session=session)
 
-    def _scatter(self, partial: ast.Select) -> list[Table]:
+    def _scatter(self, partial: ast.Select, session=None) -> list[Table]:
         # mid-migration the scatter set is the union of old and incoming
         # shards (incoming live slices are empty until the commit), so
         # every row is seen exactly once regardless of migration progress
         if len(self.shards) == 1:
-            return [self.shards[0].execute_partial(partial)]
+            return [self.shards[0].execute_partial(partial, session=session)]
         return list(
-            self._pool.map(lambda shard: shard.execute_partial(partial), self.shards)
+            self._pool.map(
+                lambda shard: shard.execute_partial(partial, session=session),
+                self.shards,
+            )
         )
 
     def _scatter_prepared(
-        self, handles: list[tuple], params: Sequence
+        self, handles: list[tuple], params: Sequence, session=None
     ) -> list[Table]:
         def run_once(pair):
             shard, handle = pair
-            result_id, _ = shard.execute_prepared(handle, list(params))
+            result_id, _ = shard.execute_prepared(
+                handle, list(params), session=session
+            )
             try:
                 return shard.fetch_rows(result_id, None)
             finally:
@@ -1301,8 +1333,11 @@ class Coordinator:
         )
 
     def _run_fallback(
-        self, query: ast.Select, sharded_names: tuple
+        self, query: ast.Select, sharded_names: tuple, session=None
     ) -> tuple[Table, ScatterReport]:
+        # NB: the materialized copies gather *committed* slices, so a
+        # fallback query inside a transaction reads committed state for
+        # sharded tables (primary-resident tables still see the overlay)
         mapping = {name: self._materialize(name) for name in sharded_names}
         renamed = rename_tables(query, mapping)
         gathered = ", ".join(sorted(sharded_names))
@@ -1319,7 +1354,7 @@ class Coordinator:
                 for name in sorted(sharded_names)
             ),
         )
-        return self.primary.execute(renamed), report
+        return self.primary.execute(renamed, session=session), report
 
     def _materialize(self, name: str) -> str:
         """Gather every slice of ``name`` onto the primary; cached until DML.
@@ -1412,13 +1447,20 @@ class Coordinator:
 
             statement = parse_statement(statement)
         with self._admit(session), self._lock.write_locked():
-            self._epoch += 1
             target = statement.table.lower()
             placement = self._placements.get(target)
-            if self._migration is not None and target in self._migration.tables:
+            txn_key = self._txn_key(session)
+            in_txn = txn_key in self._txn_sessions
+            if (
+                not in_txn
+                and self._migration is not None
+                and target in self._migration.tables
+            ):
                 # an UPDATE/DELETE may change or remove mover rows that a
                 # copy pass already staged: every chunk re-copies
-                # (_state_lock: migration_pending iterates these sets)
+                # (_state_lock: migration_pending iterates these sets).
+                # In-transaction DML defers this to commit -- the slices
+                # only change when the write set folds in.
                 with self._state_lock:
                     self._migration.mark_all_dirty(target)
             # tables the statement *reads* (subquery TableRefs; the DML
@@ -1435,8 +1477,14 @@ class Coordinator:
                         statement,
                         {name: self._materialize(name) for name in sharded_refs},
                     )
-                affected = self.primary.execute_dml(statement)
-                self._invalidate_materialized(target)
+                affected = self.primary.execute_dml(statement, session=session)
+                if in_txn:
+                    self._txn_sessions[txn_key].add(target)
+                else:
+                    # epoch bumps only after the apply succeeded: a failed
+                    # statement changes nothing, so open snapshots stay valid
+                    self._epoch += 1
+                    self._invalidate_materialized(target)
                 return affected
             if isinstance(statement, ast.Insert):
                 raise ShardError(
@@ -1444,18 +1492,37 @@ class Coordinator:
                     "routed by the proxy (insert_routed)"
                 )
             # UPDATE / DELETE scatter to every slice; counts sum
-            if read_refs:
-                affected = self._scatter_dml_with_reads(statement, read_refs)
-            else:
-                affected = sum(
-                    self._pool.map(
-                        lambda shard: shard.execute_dml(statement), self.shards
+            try:
+                if read_refs:
+                    affected = self._scatter_dml_with_reads(
+                        statement, read_refs, session=session
                     )
-                )
-            self._invalidate_materialized(target)
+                else:
+                    affected = sum(
+                        self._pool.map(
+                            lambda shard: shard.execute_dml(
+                                statement, session=session
+                            ),
+                            self.shards,
+                        )
+                    )
+            except Exception:
+                if not in_txn:
+                    # some slices may have applied before the failure:
+                    # cached copies can no longer be trusted
+                    self._epoch += 1
+                    self._invalidate_materialized(target)
+                raise
+            if in_txn:
+                self._txn_sessions[txn_key].add(target)
+            else:
+                self._epoch += 1
+                self._invalidate_materialized(target)
             return affected
 
-    def _scatter_dml_with_reads(self, statement, read_refs: list[str]) -> int:
+    def _scatter_dml_with_reads(
+        self, statement, read_refs: list[str], session=None
+    ) -> int:
         """Scatter DML whose WHERE reads other tables (or the target itself).
 
         Every shard evaluates subqueries against broadcast *full* copies
@@ -1484,7 +1551,8 @@ class Coordinator:
             renamed = rename_tables(statement, mapping)
             return sum(
                 self._pool.map(
-                    lambda shard: shard.execute_dml(renamed), self.shards
+                    lambda shard: shard.execute_dml(renamed, session=session),
+                    self.shards,
                 )
             )
         finally:
@@ -1495,7 +1563,9 @@ class Coordinator:
                     except Exception:
                         pass
 
-    def insert_routed(self, statement: ast.Insert, buckets: Sequence[int]) -> int:
+    def insert_routed(
+        self, statement: ast.Insert, buckets: Sequence[int], session=None
+    ) -> int:
         """Scatter encrypted INSERT rows by their precomputed PRF buckets."""
         buckets = list(buckets)
         if len(buckets) != len(statement.rows):
@@ -1503,7 +1573,6 @@ class Coordinator:
                 f"bucket count {len(buckets)} != row count {len(statement.rows)}"
             )
         with self._lock.write_locked():
-            self._epoch += 1
             target = statement.table.lower()
             placement = self._placements.get(target)
             if placement is None or not placement.sharded:
@@ -1511,11 +1580,18 @@ class Coordinator:
                     f"table {statement.table!r} is not sharded; "
                     "use execute_dml"
                 )
+            txn_key = self._txn_key(session)
+            in_txn = txn_key in self._txn_sessions
             residues = [routing_residue(bucket) for bucket in buckets]
             # rows land on the *committed* topology (the old one, mid-
             # migration); chunks an insert touches go back on the pending
-            # list so the migration re-copies them before it commits
-            if self._migration is not None and target in self._migration.tables:
+            # list so the migration re-copies them before it commits.
+            # In-transaction inserts defer this to commit time.
+            if (
+                not in_txn
+                and self._migration is not None
+                and target in self._migration.tables
+            ):
                 # _state_lock: the driver's migration_pending() iterates
                 # these sets without holding the execution lock
                 with self._state_lock:
@@ -1532,59 +1608,120 @@ class Coordinator:
                     tuple(row) + (ast.Literal(residue),)
                 )
             affected = 0
-            for shard, rows in zip(self.shards[:count], groups):
-                if not rows:
-                    continue
-                affected += shard.execute_dml(
-                    ast.Insert(
-                        table=statement.table,
-                        columns=columns,
-                        rows=tuple(rows),
+            try:
+                for shard, rows in zip(self.shards[:count], groups):
+                    if not rows:
+                        continue
+                    affected += shard.execute_dml(
+                        ast.Insert(
+                            table=statement.table,
+                            columns=columns,
+                            rows=tuple(rows),
+                        ),
+                        session=session,
                     )
-                )
-            self._invalidate_materialized(statement.table)
+            except Exception:
+                if not in_txn and affected:
+                    # earlier shards already appended: cached copies and
+                    # open snapshots must not survive a half-routed insert
+                    self._epoch += 1
+                    self._invalidate_materialized(statement.table)
+                raise
+            if in_txn:
+                self._txn_sessions[txn_key].add(target)
+            else:
+                # epoch bumps only after every routed slice applied
+                self._epoch += 1
+                self._invalidate_materialized(statement.table)
             return affected
 
     # -- transactions ---------------------------------------------------------
+    #
+    # A cluster transaction is the union of per-shard write sets for one
+    # session: BEGIN broadcasts so every shard opens the session's
+    # overlay, in-flight DML routes normally (carrying the session), and
+    # COMMIT runs two-phase commit (repro.cluster.txn) so the fold-in is
+    # all-or-none across shards even if the coordinator dies mid-commit.
 
-    def begin(self) -> None:
+    def _txn_key(self, session):
+        """The tracking key ``session`` addresses (anonymous claims all).
+
+        Mirrors the per-shard manager: a legacy anonymous transaction
+        (begun with no session) governs every session's statements, so a
+        session without its own transaction resolves to it.
+        """
+        if session not in self._txn_sessions and None in self._txn_sessions:
+            return None
+        return session
+
+    def begin(self, session=None) -> None:
         with self._lock.write_locked():
+            if (
+                session in self._txn_sessions
+                or None in self._txn_sessions
+                or (session is None and self._txn_sessions)
+            ):
+                raise TransactionStateError("transaction already in progress")
             started = []
             try:
                 for shard in self.shards:
-                    shard.begin()
+                    shard.begin(session=session)
                     started.append(shard)
             except Exception:
                 for shard in started:
                     try:
-                        shard.rollback()
+                        shard.rollback(session=session)
                     except Exception:
                         pass
                 raise
+            self._txn_sessions[session] = set()
 
-    def commit(self) -> None:
+    def commit(self, session=None, on_step=None) -> None:
         with self._lock.write_locked():
-            self._broadcast_txn("commit")
-
-    def rollback(self) -> None:
-        with self._lock.write_locked():
+            key = self._txn_key(session)
+            if key not in self._txn_sessions:
+                raise TransactionStateError("no transaction in progress")
+            try:
+                report = commit_cluster(self, session, on_step=on_step)
+            except Exception:
+                # a failure after prepare may have left the commit record
+                # (and partially finalized shards) behind for recovery to
+                # roll forward, so no cache over the written tables can
+                # be trusted any more
+                written = self._txn_sessions.pop(key, set())
+                self._epoch += 1
+                for name in written:
+                    self._invalidate_materialized(name)
+                raise
+            written = self._txn_sessions.pop(key, set())
+            self.last_txn_commit = report
+            if not report["tables"]:
+                return
             self._epoch += 1
-            self._broadcast_txn("rollback")
-            # slices were restored underneath any materialized/broadcast copies
-            for name in set(self._materialized) | set(self._broadcast):
+            for name in set(report["tables"]) | written:
                 self._invalidate_materialized(name)
-            if self._migration is not None:
-                # the restore may have resurrected/undone mover rows on
-                # any slice: every migrating table re-copies from scratch
-                with self._state_lock:
-                    for table in self._migration.tables:
-                        self._migration.mark_all_dirty(table)
+                if (
+                    self._migration is not None
+                    and name in self._migration.tables
+                ):
+                    # committed rows changed the slices under the copy
+                    # passes: every chunk of the table re-copies
+                    with self._state_lock:
+                        self._migration.mark_all_dirty(name)
 
-    def _broadcast_txn(self, action: str) -> None:
+    def rollback(self, session=None) -> None:
+        with self._lock.write_locked():
+            self._txn_sessions.pop(self._txn_key(session), None)
+            self._epoch += 1
+            self._broadcast_txn("rollback", session=session)
+            # committed state never changed (the write sets were private
+            # overlays), so materialized/broadcast caches stay valid
+
+    def _broadcast_txn(self, action: str, session=None) -> None:
         first_error = None
         for shard in self.shards:
             try:
-                getattr(shard, action)()
+                getattr(shard, action)(session=session)
             except Exception as exc:
                 first_error = first_error or exc
         if first_error is not None:
@@ -1619,7 +1756,9 @@ class Coordinator:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
         with self._admit(session), self._lock.read_locked():
             mark = self.failover.mark()
-            table, report = statement.execute(self, tuple(params))
+            table, report = statement.execute(
+                self, tuple(params), session=session
+            )
             if report is not None:
                 report = self._with_failover(report, mark)
         with self._state_lock:

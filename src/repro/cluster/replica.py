@@ -68,6 +68,9 @@ _WRITE_OPS = frozenset(
         "begin",
         "commit",
         "rollback",
+        "txn_prepare",
+        "txn_finalize",
+        "txn_discard",
         "shard_migrate_stage",
         "shard_migrate_unstage",
         "shard_migrate_promote",
@@ -421,14 +424,25 @@ class ShardGroup:
             "shard_store", name, table, placement=placement, replace=replace
         )
 
-    def begin(self):
-        return self._write("begin")
+    def begin(self, session=None):
+        return self._write("begin", session=session)
 
-    def commit(self):
-        return self._write("commit")
+    def commit(self, session=None):
+        return self._write("commit", session=session)
 
-    def rollback(self):
-        return self._write("rollback")
+    def rollback(self, session=None):
+        return self._write("rollback", session=session)
+
+    # 2PC fan-out: every member stages/applies/discards the same delta,
+    # so a promoted replica's catalog already holds the decided state
+    def txn_prepare(self, token, session=None):
+        return self._write("txn_prepare", token, session=session)
+
+    def txn_finalize(self, token):
+        return self._write("txn_finalize", token)
+
+    def txn_discard(self, token=None):
+        return self._write("txn_discard", token)
 
     def shard_migrate_stage(self, name, table, placement=None):
         return self._write(

@@ -109,9 +109,13 @@ class SDBProxy:
         self._rng = rng
         self._session = None  # lazily-created default repro.api Connection
         # concurrent sessions share this proxy: serialize the mutable
-        # bookkeeping (key-store row counts, transaction snapshots) that
+        # bookkeeping (key-store row counts, transaction deltas) that
         # DML statements update outside the server's own locking
         self._meta_lock = threading.RLock()
+        #: per-session num_rows deltas of open transactions: session key ->
+        #: {table: net inserted-minus-deleted rows}; reverted on rollback
+        #: or commit conflict, dropped on commit
+        self._txn_deltas: dict = {}
         # key-epoch lock: a SELECT's cached plan embeds the column keys it
         # was rewritten under, so plan validation + server execution must
         # not interleave with a key rotation re-keying the stored shares.
@@ -122,6 +126,21 @@ class SDBProxy:
         from repro.core.sync import ReadWriteLock
 
         self._key_lock = ReadWriteLock()
+
+    def reseed(self, rng) -> None:
+        """Swap the randomness used for *future* encryptions.
+
+        Reattaching clients derive identical keys from identical seeds,
+        which also leaves their encryption streams in lock-step: two such
+        clients would mint the same hidden ``__rowid`` for their i-th
+        inserted rows, and row identity must be unique cluster-wide
+        (colliding ids make a commit upsert overwrite a foreign row).
+        After attaching, every client that intends to *write* must
+        diverge its stream with a client-unique rng.  Keys are untouched:
+        everything already uploaded still decrypts.
+        """
+        self._rng = rng
+        self.rewriter.rng = rng
 
     # -- uploads (demo step 1) ----------------------------------------------
 
@@ -271,7 +290,7 @@ class SDBProxy:
         """
         session = context.session_id if context is not None else None
         if isinstance(statement, ast.TxnControl):
-            return self._execute_txn(statement)
+            return self._execute_txn(statement, session=session)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create(statement)
         if isinstance(statement, ast.AlterCluster):
@@ -291,32 +310,35 @@ class SDBProxy:
             "SELECTs go through query() or a session cursor"
         )
 
-    def _execute_txn(self, statement: ast.TxnControl) -> DMLResult:
+    def _execute_txn(
+        self, statement: ast.TxnControl, session=None
+    ) -> DMLResult:
         """Transaction control, mirrored in the key store's row counts.
 
-        The SP owns the data-side undo; the proxy only has to keep its
+        The SP owns the data-side write sets (per session -- see
+        :mod:`repro.core.txn`); the proxy only has to keep its
         ``num_rows`` bookkeeping consistent when a transaction's inserts
-        and deletes are rolled back.
+        and deletes are rolled back or discarded by a commit conflict.
         """
+        from repro.core.txn import TransactionError
+
         t0 = time.perf_counter()
         with self._meta_lock:
             if statement.kind == "begin":
-                self.server.begin()
-                self._txn_row_counts = {
-                    name: self.store.table(name).num_rows
-                    for name in self.store.tables()
-                }
+                self.server.begin(session=session)
+                self._txn_deltas[session] = {}
             elif statement.kind == "commit":
-                self.server.commit()
-                self._txn_row_counts = None
+                try:
+                    self.server.commit(session=session)
+                except TransactionError:
+                    # conflict (or no transaction): the write set is gone
+                    # either way -- undo this session's row-count deltas
+                    self._revert_txn_deltas(session)
+                    raise
+                self._txn_deltas.pop(session, None)
             else:
-                self.server.rollback()
-                saved = getattr(self, "_txn_row_counts", None)
-                if saved:
-                    for name, count in saved.items():
-                        if name in self.store:
-                            self.store.table(name).num_rows = count
-                self._txn_row_counts = None
+                self.server.rollback(session=session)
+                self._revert_txn_deltas(session)
         t1 = time.perf_counter()
         self.channel.record_query(statement.to_sql())
         return DMLResult(
@@ -328,6 +350,22 @@ class SDBProxy:
             leakage=(),
             notes=(f"transaction {statement.kind}",),
         )
+
+    def _note_txn_delta(self, session, table: str, delta: int) -> None:
+        # caller holds _meta_lock
+        entry = self._txn_deltas.get(session)
+        if entry is not None and delta:
+            key = table.lower()
+            entry[key] = entry.get(key, 0) + delta
+
+    def _revert_txn_deltas(self, session) -> None:
+        # caller holds _meta_lock
+        deltas = self._txn_deltas.pop(session, None)
+        if not deltas:
+            return
+        for name, delta in deltas.items():
+            if name in self.store:
+                self.store.table(name).num_rows -= delta
 
     def _execute_create(self, statement: ast.CreateTable) -> DMLResult:
         """DDL: ``CREATE TABLE ... [SHARD BY (col)]`` as an empty upload.
@@ -527,7 +565,9 @@ class SDBProxy:
                                  shard_col, row[shard_index], group=group)
                     for row in plain_rows
                 ]
-                affected = self.server.insert_routed(rewritten, buckets)
+                affected = self.server.insert_routed(
+                    rewritten, buckets, session=session
+                )
                 shard_leakage = (
                     f"shard: PRF bucket of {shard_col!r} routes each row "
                     "(SP learns the shard, not the value)",
@@ -536,6 +576,7 @@ class SDBProxy:
                 affected = self.server.execute_dml(rewritten, session=session)
             t3 = time.perf_counter()
             meta.num_rows += affected
+            self._note_txn_delta(session, statement.table, affected)
         insensitive = [
             c.name for c in meta.columns.values() if not c.sensitive
         ]
@@ -568,6 +609,7 @@ class SDBProxy:
         if isinstance(statement, ast.Delete):
             with self._meta_lock:
                 meta.num_rows -= affected
+                self._note_txn_delta(session, statement.table, -affected)
         return DMLResult(
             affected=affected,
             rewritten_sql=plan.sql,

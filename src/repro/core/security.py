@@ -73,6 +73,13 @@ DECLARED_LEAKAGE = (
     "the new SP the same slice contents plus the copy-pass timing/row "
     "counts; throttled passes additionally reveal the configured rate cap "
     "(see ShardGroup.add_replica)",
+    "transactions: a cluster COMMIT stages each shard's write set as "
+    "hidden __txnstage__ tables before the commit record lands, so every "
+    "shard SP learns which of its tables the transaction wrote and the "
+    "per-table write-set cardinalities (inserted/updated/deleted row "
+    "counts), plus commit timing relative to other sessions; staged rows "
+    "are ordinary encrypted rows, so values stay hidden (see "
+    "Coordinator.last_txn_commit['cardinalities'])",
 )
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.sync import ReadWriteLock
+from repro.core.txn import TransactionManager, _row_key
 from repro.core.udfs import AGGREGATE_UDFS, SCALAR_UDFS, register_sdb_udfs
 from repro.engine import Catalog, Engine, Table
 from repro.engine.udf import UDFRegistry, rows_from_args
@@ -191,7 +192,9 @@ class SDBServer:
         # fast mutex for handle tables and other micro-state (never held
         # across engine execution)
         self._state_lock = threading.Lock()
-        self._undo: Optional[dict] = None  # table -> column snapshots
+        #: per-session MVCC transactions (write sets, conflict validation,
+        #: 2PC staging) -- see :mod:`repro.core.txn`
+        self.txns = TransactionManager(self)
         # prepared statements and open (streamable) result sets
         self._prepared: dict[int, ast.Select] = {}
         #: open result sets: materialized tables or pipelined row generators
@@ -266,6 +269,7 @@ class SDBServer:
             self.shard_placements.pop(name.lower(), None)
             self._bump_epoch()
             self._invalidate_snapshots(name)
+            self.txns.note_table_replaced(name)
 
     def drop_table(self, name: str) -> None:
         with self._lock.write_locked():
@@ -273,6 +277,7 @@ class SDBServer:
             self.shard_placements.pop(name.lower(), None)
             self._bump_epoch()
             self._invalidate_snapshots(name)
+            self.txns.note_table_replaced(name)
 
     # -- shard surface (SHARD_* wire ops; coordinator-facing) ------------------
     #
@@ -337,6 +342,7 @@ class SDBServer:
                 appended = self.catalog.get(name).append_rows(table.rows())
             self._bump_epoch()
             self._invalidate_snapshots(name)
+            self.txns.note_table_replaced(name)
             return appended
 
     def shard_status(self) -> dict:
@@ -579,14 +585,18 @@ class SDBServer:
 
         Read-only: takes the shared side of the execution lock, so
         statements from different sessions run concurrently against the
-        current snapshot epoch.
+        current snapshot epoch.  A session with an open transaction
+        reads through its write-set overlay (read-your-writes); every
+        other session sees only committed state.
         """
         self._note_session(session, "reads")
         with self._read_side():
             if self._instrument:
                 sql = query if isinstance(query, str) else query.to_sql()
                 self.transcript.queries.append(sql)
-            result = self.engine.execute(query)
+            txn = self.txns.get(session)
+            engine = self.engine if txn is None else txn.engine
+            result = engine.execute(query)
             if self._instrument:
                 self.transcript.results.append(result)
             return result
@@ -594,9 +604,13 @@ class SDBServer:
     def execute_dml(self, statement, session=None) -> int:
         """Run a (rewritten) INSERT/UPDATE/DELETE; returns affected rows.
 
-        Takes the exclusive side of the execution lock and bumps the
-        snapshot epoch: open pipelined result sets from earlier epochs
-        fail fast (:class:`StaleSnapshotError`) instead of mixing state.
+        Autocommit statements take the exclusive side of the execution
+        lock, apply, and bump the snapshot epoch -- the bump happens
+        only after a *successful* apply, so a failing statement leaves
+        open pipelined result sets valid.  Inside a transaction the
+        statement lands in the session's private write set under the
+        *shared* lock side: an in-flight writer never blocks readers
+        (or other writers) on other sessions.
         """
         self._note_session(session, "writes")
         sql = None
@@ -606,13 +620,60 @@ class SDBServer:
             from repro.sql.parser import parse_statement
 
             statement = parse_statement(statement)
+        with self._read_side():
+            txn = self.txns.get(session)
+            if txn is not None:
+                if self._instrument:
+                    self.transcript.queries.append(sql)
+                return txn.apply(statement)
         with self._lock.write_locked():
+            txn = self.txns.get(session)  # re-check: BEGIN may have raced
+            if txn is not None:
+                if self._instrument:
+                    self.transcript.queries.append(sql)
+                return txn.apply(statement)
             if self._instrument:
                 self.transcript.queries.append(sql)
-            self._remember_for_undo(statement.table)
-            affected = self.engine.execute_dml(statement)
+            self.txns.check_indoubt(statement.table)
+            affected = self._autocommit_dml(statement)
             self._bump_epoch()
             return affected
+
+    def _autocommit_dml(self, statement) -> int:
+        """Apply one autocommit statement and record its write-log entry.
+
+        The write log is what lets an open transaction detect that a
+        plain (non-transactional) writer touched its rows: autocommit
+        UPDATE/DELETE log the affected row-id keys, INSERT logs an empty
+        entry (fresh rows conflict with nobody), and tables without row
+        identity log a wholesale entry that conflicts with everything.
+        """
+        from repro.core.encryptor import ROWID_COLUMN
+        from repro.engine.dml import execute_dml as run_dml
+
+        if not self.txns.any_active:
+            # common non-transactional path: nobody is validating, so
+            # skip the bookkeeping entirely
+            return self.engine.execute_dml(statement)
+        name = statement.table.lower()
+        table = self.catalog.get(name) if name in self.catalog else None
+        keyed = (
+            table is not None and ROWID_COLUMN in table.schema.names
+        )
+        pre_cells = None
+        if keyed and not isinstance(statement, ast.Insert):
+            pre_cells = list(table.column(ROWID_COLUMN))
+        indices: list[int] = []
+        affected = run_dml(self.engine, statement, affected_indices=indices)
+        keys: Optional[frozenset] = None
+        if keyed:
+            if isinstance(statement, ast.Insert):
+                keys = frozenset()
+            else:
+                touched = {_row_key(pre_cells[i]) for i in indices}
+                keys = None if None in touched else frozenset(touched)
+        self.txns.note_autocommit(name, keys)
+        return affected
 
     # -- prepared statements / streaming results ------------------------------
     #
@@ -658,15 +719,17 @@ class SDBServer:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
         bound = bind_parameters(query, params)
         if not self._instrument:
-            execute_iter = getattr(self.engine, "execute_iter", None)
+            txn = self.txns.get(session)
+            engine = self.engine if txn is None else txn.engine
+            execute_iter = getattr(engine, "execute_iter", None)
             if execute_iter is not None:
                 # open the pipeline under the read side: the snapshot of
                 # the column lists must not interleave with a writer, and
                 # the epoch it is tagged with must match that snapshot
-                self._note_session(session, "reads")
                 with self._read_side():
                     pipeline = execute_iter(bound)
                     if pipeline is not None:
+                        self._note_session(session, "reads")
                         names, rows = pipeline
                         source = bound.from_clause.name.lower()
                         entry = _StreamingResult(
@@ -677,7 +740,8 @@ class SDBServer:
                             result_id = next(self._handle_ids)
                             self._results[result_id] = entry
                         return result_id, -1
-                session = None  # already counted above
+        # the session must survive to ``execute``: it selects the
+        # transaction overlay engine, not just the stats bucket
         result = self.execute(bound, session=session)
         with self._state_lock:
             result_id = next(self._handle_ids)
@@ -721,59 +785,54 @@ class SDBServer:
 
     # -- transactions ---------------------------------------------------------
     #
-    # Single-writer transactions with table-granular undo: the first
-    # mutation of each table inside a transaction snapshots its columns;
-    # ROLLBACK restores the snapshots, COMMIT discards them.  Queries always
-    # see the current (uncommitted) state -- the engine is one writer at a
-    # time under the server lock, so this is serializable trivially.
+    # Per-session MVCC transactions (see repro.core.txn): BEGIN opens a
+    # private write set for the session, statements apply to it under the
+    # shared lock side, readers on other sessions keep seeing committed
+    # state, and COMMIT validates first-updater-wins before folding the
+    # delta into the catalog.  ``session=None`` is the legacy anonymous
+    # transaction, which still claims the whole server.
 
-    def begin(self) -> None:
+    def begin(self, session=None) -> None:
         with self._lock.write_locked():
-            if getattr(self, "_undo", None) is not None:
-                raise RuntimeError("transaction already in progress")
-            self._undo = {}
+            self.txns.begin(session)
 
-    def commit(self) -> None:
+    def commit(self, session=None) -> None:
         with self._lock.write_locked():
-            if getattr(self, "_undo", None) is None:
-                raise RuntimeError("no transaction in progress")
-            self._undo = None
+            self.txns.commit(session)
 
-    def rollback(self) -> None:
+    def rollback(self, session=None) -> None:
         with self._lock.write_locked():
-            undo = getattr(self, "_undo", None)
-            if undo is None:
-                raise RuntimeError("no transaction in progress")
-            for name, columns in undo.items():
-                if columns is None:
-                    # table did not exist when first touched: drop it
-                    if name in self.catalog:
-                        self.catalog.drop(name)
-                elif name in self.catalog:
-                    self.catalog.get(name).columns = columns
-                # the restore rewrote this table wholesale: a pipelined
-                # result opened mid-transaction would otherwise serve rows
-                # that were rolled back -- invalidate its snapshot
-                self._invalidate_snapshots(name)
-            self._undo = None
-            self._bump_epoch()
+            self.txns.rollback(session)
 
     @property
     def in_transaction(self) -> bool:
-        return getattr(self, "_undo", None) is not None
+        return self.txns.any_active
 
-    def _remember_for_undo(self, table_name: str) -> None:
-        undo = getattr(self, "_undo", None)
-        if undo is None:
-            return
-        key = table_name.lower()
-        if key in undo:
-            return
-        if key in self.catalog:
-            table = self.catalog.get(key)
-            undo[key] = [list(column) for column in table.columns]
-        else:
-            undo[key] = None
+    def _log_commit(self, txn) -> None:
+        """Durability hook: called with the write lock held, after a
+        transaction's delta was folded into the catalog.  The durable
+        subclass writes the transaction's redo log to the WAL here."""
+
+    # -- cluster atomic commit (TXN_* wire ops; see repro.cluster.txn) --------
+    #
+    # Two-phase commit building blocks.  Prepare validates the session's
+    # write set and stages its delta in hidden catalog relations under a
+    # coordinator-chosen token; finalize applies a staged delta
+    # idempotently; discard drops it.  Either side can be re-driven
+    # after a crash, which is what makes the coordinator's commit-record
+    # recovery (roll forward or discard) safe.
+
+    def txn_prepare(self, token: str, session=None) -> dict:
+        with self._lock.write_locked():
+            return self.txns.prepare(session, token)
+
+    def txn_finalize(self, token: str) -> int:
+        with self._lock.write_locked():
+            return self.txns.finalize(token)
+
+    def txn_discard(self, token=None) -> int:
+        with self._lock.write_locked():
+            return self.txns.discard(token)
 
     # -- attacker surface ------------------------------------------------------------
 

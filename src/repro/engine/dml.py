@@ -18,18 +18,26 @@ class DMLError(ValueError):
     """Semantically invalid DML (bad table/column, width mismatch)."""
 
 
-def execute_dml(engine, statement: ast.Statement) -> int:
-    """Run one DML statement; returns the number of affected rows."""
+def execute_dml(engine, statement: ast.Statement, affected_indices=None) -> int:
+    """Run one DML statement; returns the number of affected rows.
+
+    When ``affected_indices`` is a list it receives the row indices the
+    statement touched: post-append positions for INSERT, pre-mutation
+    positions for UPDATE and DELETE (for DELETE the rows are gone by the
+    time the call returns, so callers wanting row identity must snapshot
+    the relevant column *before* executing).  The transaction layer uses
+    this to map statements onto row-id write sets.
+    """
     if isinstance(statement, ast.Insert):
-        return _insert(engine, statement)
+        return _insert(engine, statement, affected_indices)
     if isinstance(statement, ast.Update):
-        return _update(engine, statement)
+        return _update(engine, statement, affected_indices)
     if isinstance(statement, ast.Delete):
-        return _delete(engine, statement)
+        return _delete(engine, statement, affected_indices)
     raise DMLError(f"not a DML statement: {type(statement).__name__}")
 
 
-def _insert(engine, statement: ast.Insert) -> int:
+def _insert(engine, statement: ast.Insert, affected_indices=None) -> int:
     table = _get_table(engine.catalog, statement.table)
     names = list(table.schema.names)
     if statement.columns is not None:
@@ -57,10 +65,14 @@ def _insert(engine, statement: ast.Insert) -> int:
                 for name in names
             )
         )
-    return table.append_rows(rows)
+    before = table.num_rows
+    appended = table.append_rows(rows)
+    if affected_indices is not None:
+        affected_indices.extend(range(before, before + appended))
+    return appended
 
 
-def _update(engine, statement: ast.Update) -> int:
+def _update(engine, statement: ast.Update, affected_indices=None) -> int:
     table = _get_table(engine.catalog, statement.table)
     names = set(table.schema.names)
     for assignment in statement.assignments:
@@ -87,13 +99,17 @@ def _update(engine, statement: ast.Update) -> int:
     for i, new_values in updates:
         for assignment, value in zip(statement.assignments, new_values):
             table.set_cell(assignment.column, i, value)
+    if affected_indices is not None:
+        affected_indices.extend(i for i, _ in updates)
     return affected
 
 
-def _delete(engine, statement: ast.Delete) -> int:
+def _delete(engine, statement: ast.Delete, affected_indices=None) -> int:
     table = _get_table(engine.catalog, statement.table)
     if statement.where is None:
         removed = table.num_rows
+        if affected_indices is not None:
+            affected_indices.extend(range(removed))
         table.keep_rows([False] * removed)
         return removed
     binding = statement.table
@@ -103,6 +119,8 @@ def _delete(engine, statement: ast.Delete) -> int:
         scope = RowScope({binding: dict(zip(column_names, table.row(i)))})
         evaluator = Evaluator(engine, scope)
         mask.append(evaluator.evaluate(statement.where) is not True)
+    if affected_indices is not None:
+        affected_indices.extend(i for i, keep in enumerate(mask) if not keep)
     return table.keep_rows(mask)
 
 

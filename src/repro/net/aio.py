@@ -207,14 +207,14 @@ class AsyncRemoteServer:
         sql = statement if isinstance(statement, str) else statement.to_sql()
         return await self._call("execute_dml", sql=sql, session=session)
 
-    async def begin(self) -> None:
-        await self._call("txn", action="begin")
+    async def begin(self, session=None) -> None:
+        await self._call("txn", action="begin", session=session)
 
-    async def commit(self) -> None:
-        await self._call("txn", action="commit")
+    async def commit(self, session=None) -> None:
+        await self._call("txn", action="commit", session=session)
 
-    async def rollback(self) -> None:
-        await self._call("txn", action="rollback")
+    async def rollback(self, session=None) -> None:
+        await self._call("txn", action="rollback", session=session)
 
     async def catalog_names(self) -> list[str]:
         return await self._call("catalog")
@@ -308,14 +308,14 @@ class _SyncBridge:
     def execute_dml(self, statement, session=None) -> int:
         return self._run(self._remote.execute_dml(statement, session=session))
 
-    def begin(self) -> None:
-        self._run(self._remote.begin())
+    def begin(self, session=None) -> None:
+        self._run(self._remote.begin(session=session))
 
-    def commit(self) -> None:
-        self._run(self._remote.commit())
+    def commit(self, session=None) -> None:
+        self._run(self._remote.commit(session=session))
 
-    def rollback(self) -> None:
-        self._run(self._remote.rollback())
+    def rollback(self, session=None) -> None:
+        self._run(self._remote.rollback(session=session))
 
     def catalog_names(self) -> list[str]:
         return self._run(self._remote.catalog_names())

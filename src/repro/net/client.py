@@ -33,6 +33,11 @@ def _server_exception_types() -> dict:
     import builtins
 
     from repro.core.server import ServerBusyError, StaleSnapshotError
+    from repro.core.txn import (
+        TransactionConflictError,
+        TransactionError,
+        TransactionStateError,
+    )
     from repro.engine.catalog import CatalogError
     from repro.engine.dml import DMLError
     from repro.engine.executor import ExecutionError
@@ -45,7 +50,8 @@ def _server_exception_types() -> dict:
     named = (
         ParseError, LexError, BindError, ExecutionError, DMLError,
         EvaluationError, CatalogError, UDFError, StaleSnapshotError,
-        ServerBusyError,
+        ServerBusyError, TransactionConflictError, TransactionStateError,
+        TransactionError,
     )
     registry = {cls.__name__: cls for cls in named}
     for name in ("ValueError", "KeyError", "TypeError", "RuntimeError"):
@@ -214,14 +220,24 @@ class RemoteServer:
         sql = statement if isinstance(statement, str) else statement.to_sql()
         return self._call("execute_dml", sql=sql, session=session)
 
-    def begin(self) -> None:
-        self._call("txn", action="begin")
+    def begin(self, session=None) -> None:
+        self._call("txn", action="begin", session=session)
 
-    def commit(self) -> None:
-        self._call("txn", action="commit")
+    def commit(self, session=None) -> None:
+        self._call("txn", action="commit", session=session)
 
-    def rollback(self) -> None:
-        self._call("txn", action="rollback")
+    def rollback(self, session=None) -> None:
+        self._call("txn", action="rollback", session=session)
+
+    def txn_prepare(self, token: str, session=None) -> dict:
+        """Stage the session's write set under ``token`` (2PC phase one)."""
+        return self._call("txn_prepare", token=token, session=session)
+
+    def txn_finalize(self, token: str) -> int:
+        return self._call("txn_finalize", token=token)
+
+    def txn_discard(self, token=None) -> int:
+        return self._call("txn_discard", token=token)
 
     def catalog_names(self) -> list[str]:
         return self._call("catalog")

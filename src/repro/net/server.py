@@ -193,15 +193,28 @@ class _RequestHandler(socketserver.BaseRequestHandler):
 
     def _op_txn(self, request: dict):
         op = request["action"]
+        session = self._session_of(request)
         if op == "begin":
-            self._sdb.begin()
+            self._sdb.begin(session=session)
         elif op == "commit":
-            self._sdb.commit()
+            self._sdb.commit(session=session)
         elif op == "rollback":
-            self._sdb.rollback()
+            self._sdb.rollback(session=session)
         else:
             raise protocol.NetError(f"unknown transaction op {op!r}")
         return True
+
+    def _op_txn_prepare(self, request: dict):
+        """Stage this session's write set under a token (2PC phase one)."""
+        return self._sdb.txn_prepare(
+            request["token"], session=self._session_of(request)
+        )
+
+    def _op_txn_finalize(self, request: dict):
+        return self._sdb.txn_finalize(request["token"])
+
+    def _op_txn_discard(self, request: dict):
+        return self._sdb.txn_discard(request.get("token"))
 
     def _op_catalog(self, request: dict):
         return self._sdb.catalog.names()

@@ -142,7 +142,16 @@ class DurableServer(SDBServer):
             from repro.sql.parser import parse_statement
 
             statement = parse_statement(statement)
+        if self.txns.get(session) is not None:
+            # in-transaction: the statement lands in the session's
+            # private write set only; it reaches the WAL at commit time
+            # as part of one contiguous BEGIN/redo/COMMIT block (see
+            # _log_commit), so an uncommitted or rolled-back transaction
+            # never touches the log at all
+            return super().execute_dml(statement, session=session)
         with self._lock.write_locked():
+            if self.txns.get(session) is not None:  # BEGIN raced in
+                return super().execute_dml(statement, session=session)
             self.wal.append(statement)  # write-ahead: log first, apply second
             affected = super().execute_dml(statement, session=session)
             self._dirty.add(statement.table.lower())
@@ -155,26 +164,26 @@ class DurableServer(SDBServer):
     # sessions, an append outside the lock could record statements in a
     # different order than they applied, and replay would diverge.
 
-    def begin(self) -> None:
+    def _log_commit(self, txn) -> None:
+        """Write a committed transaction's redo log as one WAL block.
+
+        Called by the transaction manager with the write lock held, right
+        after the write set's delta folded into the catalog: concurrent
+        sessions' transactions land in the log whole, in commit order, so
+        recovery replays each atomically at its COMMIT marker.  (Replay
+        re-executes the statements; for the phantom cases snapshot
+        isolation permits this matches commit-order serial execution,
+        which is also how the pinned recovery tests define the oracle.)
+        """
         from repro.sql import ast
 
-        with self._lock.write_locked():
-            super().begin()
-            self.wal.append(ast.TxnControl(kind="begin"))
-
-    def commit(self) -> None:
-        from repro.sql import ast
-
-        with self._lock.write_locked():
-            super().commit()
-            self.wal.append(ast.TxnControl(kind="commit"))
-
-    def rollback(self) -> None:
-        from repro.sql import ast
-
-        with self._lock.write_locked():
-            super().rollback()
-            self.wal.append(ast.TxnControl(kind="rollback"))
+        if not txn.redo:
+            return
+        self.wal.append(ast.TxnControl(kind="begin"))
+        for statement in txn.redo:
+            self.wal.append(statement)
+            self._dirty.add(statement.table.lower())
+        self.wal.append(ast.TxnControl(kind="commit"))
 
     # -- checkpointing -----------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""TPC-C-style OLTP substrate.
+
+Where :mod:`repro.workloads.tpch` checks the paper's *analytics* claim
+(all 22 read queries), this package drives the transaction tier: a
+NewOrder/Payment mix over encrypted rows, run under per-session MVCC
+transactions with retry-from-BEGIN on first-updater-wins conflicts.
+
+* :mod:`repro.workloads.tpcc.schema` -- the 7 tables with logical types
+  (and the order-independence deviation, documented there);
+* :mod:`repro.workloads.tpcc.dbgen` -- a deterministic, parameterized
+  data generator (accumulators start at zero);
+* :mod:`repro.workloads.tpcc.loader` -- encrypted upload (warehouse
+  sharding + colocation) and the plaintext oracle engine;
+* :mod:`repro.workloads.tpcc.txns` -- schedule builder, transaction
+  runner, and the checksum/expected-delta pinning helpers.
+"""
+
+from repro.workloads.tpcc.dbgen import generate
+from repro.workloads.tpcc.loader import load_encrypted, load_plain
+from repro.workloads.tpcc.schema import SENSITIVE, TABLES
+from repro.workloads.tpcc.txns import (
+    build_schedule,
+    checksum,
+    delta,
+    expected_delta,
+    run_serial,
+    run_session,
+    run_txn,
+)
+
+__all__ = [
+    "TABLES",
+    "SENSITIVE",
+    "generate",
+    "load_encrypted",
+    "load_plain",
+    "build_schedule",
+    "run_txn",
+    "run_session",
+    "run_serial",
+    "checksum",
+    "delta",
+    "expected_delta",
+]

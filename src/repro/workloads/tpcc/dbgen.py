@@ -1,0 +1,48 @@
+"""Deterministic TPC-C-style data generator.
+
+Sized by (warehouses, districts per warehouse, customers per district,
+items) rather than the spec's fixed cardinalities so tests and benches
+can scale the working set independently of the transaction count.  All
+accumulator columns (``*_ytd``, ``c_balance``, counts) start at zero:
+the workload's final state is then exactly the sum of its committed
+transactions' effects, which is what the serial-oracle pinning checks.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prf import seeded_rng
+
+NAMES = [
+    "alder", "birch", "cedar", "doum", "elm", "ficus", "ginkgo", "hazel",
+    "iroko", "juniper", "kapok", "larch", "maple", "nutmeg", "oak", "pine",
+]
+
+
+def generate(
+    warehouses: int = 2,
+    districts: int = 2,
+    customers: int = 8,
+    items: int = 16,
+    seed: int = 19900604,
+) -> dict:
+    """table name -> rows, in :data:`~repro.workloads.tpcc.schema.TABLES`
+    column order.  ``orders`` and ``order_line`` start empty: the
+    transaction mix populates them."""
+    rng = seeded_rng(seed)
+    data: dict = {table: [] for table in (
+        "warehouse", "district", "customer", "item", "stock",
+        "orders", "order_line",
+    )}
+    for w in range(1, warehouses + 1):
+        data["warehouse"].append((w, f"wh-{NAMES[(w - 1) % len(NAMES)]}", 0.00))
+        for d in range(1, districts + 1):
+            data["district"].append((d, w, f"d-{w}-{d}", 0.00))
+            for c in range(1, customers + 1):
+                name = f"{rng.choice(NAMES)}-{w}{d}{c}"
+                data["customer"].append((c, d, w, name, 0.00, 0.00, 0))
+    for i in range(1, items + 1):
+        price = rng.randint(100, 9999) / 100.0
+        data["item"].append((i, f"item-{NAMES[(i - 1) % len(NAMES)]}-{i}", price))
+        for w in range(1, warehouses + 1):
+            data["stock"].append((i, w, 100, 0, 0))
+    return data

@@ -1,0 +1,84 @@
+"""TPC-C-style schema: 7 tables with logical column types.
+
+A faithful-in-shape subset of the TPC-C schema, sized for the OLTP
+transaction mix (:mod:`repro.workloads.tpcc.txns`) rather than the full
+spec: the columns every NewOrder/Payment touches are present, spec
+columns no transaction reads are dropped.  One deliberate deviation is
+documented where it happens: there is no ``d_next_o_id`` counter --
+order ids are assigned by the workload driver (explicit, per-district
+disjoint ranges), which makes the transaction mix *order-independent*:
+any interleaving of committed transactions reaches the same final
+state, so concurrent runs can be pinned against a serial oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.meta import ValueType
+
+V = ValueType
+
+#: table name -> [(column, ValueType), ...]
+TABLES: dict = {
+    "warehouse": [
+        ("w_id", V.int_()),
+        ("w_name", V.string(10)),
+        ("w_ytd", V.decimal(2)),
+    ],
+    # no d_next_o_id: order ids come from the driver's disjoint ranges
+    "district": [
+        ("d_id", V.int_()),
+        ("d_w_id", V.int_()),
+        ("d_name", V.string(10)),
+        ("d_ytd", V.decimal(2)),
+    ],
+    "customer": [
+        ("c_id", V.int_()),
+        ("c_d_id", V.int_()),
+        ("c_w_id", V.int_()),
+        ("c_name", V.string(16)),
+        ("c_balance", V.decimal(2)),
+        ("c_ytd_payment", V.decimal(2)),
+        ("c_payment_cnt", V.int_()),
+    ],
+    "item": [
+        ("i_id", V.int_()),
+        ("i_name", V.string(24)),
+        ("i_price", V.decimal(2)),
+    ],
+    "stock": [
+        ("s_i_id", V.int_()),
+        ("s_w_id", V.int_()),
+        ("s_quantity", V.int_()),
+        ("s_ytd", V.int_()),
+        ("s_order_cnt", V.int_()),
+    ],
+    "orders": [
+        ("o_id", V.int_()),
+        ("o_d_id", V.int_()),
+        ("o_w_id", V.int_()),
+        ("o_c_id", V.int_()),
+        ("o_ol_cnt", V.int_()),
+        ("o_total", V.decimal(2)),
+    ],
+    "order_line": [
+        ("ol_o_id", V.int_()),
+        ("ol_d_id", V.int_()),
+        ("ol_w_id", V.int_()),
+        ("ol_number", V.int_()),
+        ("ol_i_id", V.int_()),
+        ("ol_quantity", V.int_()),
+        ("ol_amount", V.decimal(2)),
+    ],
+}
+
+#: the money/inventory columns the data owner protects (everything the
+#: transaction mix actually computes on runs over shares)
+SENSITIVE: dict = {
+    "warehouse": ["w_ytd"],
+    "district": ["d_ytd"],
+    "customer": ["c_balance", "c_ytd_payment"],
+    "item": ["i_price"],
+    "stock": ["s_quantity", "s_ytd"],
+    "orders": ["o_total"],
+    "order_line": ["ol_amount"],
+}

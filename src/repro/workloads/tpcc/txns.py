@@ -1,0 +1,253 @@
+"""The TPC-C-style transaction mix: NewOrder + Payment over encrypted rows.
+
+Every transaction is a multi-statement unit run under BEGIN/COMMIT with
+retry-from-BEGIN on :class:`~repro.api.exceptions.TransactionConflict`
+(first-updater-wins: the server already rolled the loser back).
+
+The mix is deliberately **order-independent** so concurrency is testable:
+
+* order ids are explicit and drawn from per-district disjoint ranges
+  assigned at schedule-build time -- no read-modify-write on a shared
+  counter, and no two sessions ever insert the same key;
+* every UPDATE is a commutative additive delta (``x = x + ?``), so any
+  interleaving of the same committed transaction set reaches the same
+  final state;
+* each session owns a disjoint partition of the database -- by
+  ``warehouse`` (sessions never contend; the scaling configuration) or
+  by ``district`` (sessions share warehouse/stock rows, forcing genuine
+  first-updater-wins conflicts and exercising the retry path).
+
+Together these make the *final checksum* a function of the transaction
+set alone, so a concurrent run pins byte-for-byte against a serial
+oracle and against :func:`expected_delta` (the plain-Python effect of
+the schedule).
+"""
+
+from __future__ import annotations
+
+from repro.api import exceptions as exc
+from repro.crypto.prf import seeded_rng
+
+#: NewOrder orders between 1 and this many distinct items
+MAX_ORDER_LINES = 3
+
+
+# -- schedule construction ----------------------------------------------------
+
+def build_schedule(
+    data: dict,
+    sessions: int,
+    transactions: int,
+    seed: int = 4242,
+    payment_fraction: float = 0.5,
+    partition: str = "warehouse",
+    o_id_base: int = 0,
+) -> list:
+    """``sessions`` lists of ``transactions`` txn descriptors each.
+
+    ``partition`` is the contention model (see the module docstring);
+    ``o_id_base`` offsets every assigned order id, so two schedules over
+    the same database (e.g. a serialized phase then a concurrent phase)
+    insert disjoint order keys.
+    """
+    if partition not in ("warehouse", "district"):
+        raise ValueError(f"unknown partition scheme {partition!r}")
+    districts = [(w, d) for (d, w, _name, _ytd) in data["district"]]
+    customers: dict = {}
+    for (c, d, w, _n, _b, _y, _p) in data["customer"]:
+        customers.setdefault((w, d), []).append(c)
+    items = [i for (i, _name, _price) in data["item"]]
+
+    if partition == "warehouse":
+        warehouses = sorted({w for (w, _d) in districts})
+        if len(warehouses) < sessions:
+            raise ValueError(
+                f"{sessions} sessions need >= {sessions} warehouses "
+                f"to partition by warehouse (have {len(warehouses)})"
+            )
+        owned = [
+            [wd for wd in districts if (wd[0] - 1) % sessions == s]
+            for s in range(sessions)
+        ]
+    else:
+        owned = [
+            [wd for i, wd in enumerate(districts) if i % sessions == s]
+            for s in range(sessions)
+        ]
+
+    next_o_id = {wd: o_id_base + 1 for wd in districts}
+    schedule = []
+    for s in range(sessions):
+        rng = seeded_rng(seed * 1000 + s)
+        txns = []
+        for _ in range(transactions):
+            w, d = rng.choice(owned[s])
+            c = rng.choice(customers[(w, d)])
+            if rng.random() < payment_fraction:
+                txns.append({
+                    "kind": "payment", "w": w, "d": d, "c": c,
+                    "amount": rng.randint(100, 50_000) / 100.0,
+                })
+            else:
+                count = rng.randint(1, min(MAX_ORDER_LINES, len(items)))
+                txns.append({
+                    "kind": "new_order", "w": w, "d": d, "c": c,
+                    "o_id": next_o_id[(w, d)],
+                    "items": [
+                        (i, rng.randint(1, 5)) for i in rng.sample(items, count)
+                    ],
+                })
+                next_o_id[(w, d)] += 1
+        schedule.append(txns)
+    return schedule
+
+
+# -- execution ----------------------------------------------------------------
+
+def _apply(cursor, txn) -> None:
+    """One attempt at a transaction's statements (inside an open BEGIN)."""
+    w, d, c = txn["w"], txn["d"], txn["c"]
+    if txn["kind"] == "payment":
+        amount = txn["amount"]
+        cursor.execute(
+            "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+            [amount, w],
+        )
+        cursor.execute(
+            "UPDATE district SET d_ytd = d_ytd + ? "
+            "WHERE d_id = ? AND d_w_id = ?",
+            [amount, d, w],
+        )
+        cursor.execute(
+            "UPDATE customer SET c_balance = c_balance - ?, "
+            "c_ytd_payment = c_ytd_payment + ?, "
+            "c_payment_cnt = c_payment_cnt + 1 "
+            "WHERE c_id = ? AND c_d_id = ? AND c_w_id = ?",
+            [amount, amount, c, d, w],
+        )
+        return
+    total = 0.0
+    for number, (i_id, quantity) in enumerate(txn["items"], start=1):
+        cursor.execute("SELECT i_price FROM item WHERE i_id = ?", [i_id])
+        price = cursor.fetchone()[0]
+        amount = round(price * quantity, 2)
+        total = round(total + amount, 2)
+        cursor.execute(
+            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+            "ol_i_id, ol_quantity, ol_amount) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [txn["o_id"], d, w, number, i_id, quantity, amount],
+        )
+        cursor.execute(
+            "UPDATE stock SET s_quantity = s_quantity - ?, "
+            "s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 "
+            "WHERE s_i_id = ? AND s_w_id = ?",
+            [quantity, quantity, i_id, w],
+        )
+    cursor.execute(
+        "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_ol_cnt, o_total) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        [txn["o_id"], d, w, c, len(txn["items"]), total],
+    )
+
+
+def run_txn(conn, txn, max_attempts: int = 25) -> int:
+    """Run one transaction to COMMIT; returns the number of conflict
+    retries it took.  Any non-conflict error rolls back and re-raises."""
+    for attempt in range(max_attempts):
+        conn.begin()
+        try:
+            _apply(conn.cursor(), txn)
+            conn.commit()
+            return attempt
+        except exc.TransactionConflict:
+            continue  # server already rolled this session back
+        except Exception:
+            conn.rollback()
+            raise
+    raise exc.OperationalError(
+        f"transaction gave up after {max_attempts} conflict retries: {txn}"
+    )
+
+
+def run_session(conn, txns, max_attempts: int = 25) -> dict:
+    """Run one session's schedule; returns commit/conflict counters."""
+    conflicts = 0
+    for txn in txns:
+        conflicts += run_txn(conn, txn, max_attempts=max_attempts)
+    return {"committed": len(txns), "conflicts": conflicts}
+
+
+def run_serial(conn, schedule, max_attempts: int = 25) -> dict:
+    """The serial oracle: every session's schedule through one
+    connection, round-robin (any order reaches the same state)."""
+    queues = [list(txns) for txns in schedule]
+    committed = conflicts = 0
+    while any(queues):
+        for queue in queues:
+            if queue:
+                conflicts += run_txn(conn, queue.pop(0), max_attempts)
+                committed += 1
+    return {"committed": committed, "conflicts": conflicts}
+
+
+# -- pinning ------------------------------------------------------------------
+
+_SUMS = {
+    "w_ytd": "SELECT SUM(w_ytd) AS v FROM warehouse",
+    "d_ytd": "SELECT SUM(d_ytd) AS v FROM district",
+    "c_balance": "SELECT SUM(c_balance) AS v FROM customer",
+    "c_ytd_payment": "SELECT SUM(c_ytd_payment) AS v FROM customer",
+    "c_payment_cnt": "SELECT SUM(c_payment_cnt) AS v FROM customer",
+    "s_quantity": "SELECT SUM(s_quantity) AS v FROM stock",
+    "s_ytd": "SELECT SUM(s_ytd) AS v FROM stock",
+    "s_order_cnt": "SELECT SUM(s_order_cnt) AS v FROM stock",
+    "orders": "SELECT COUNT(*) AS v FROM orders",
+    "o_total": "SELECT SUM(o_total) AS v FROM orders",
+    "order_lines": "SELECT COUNT(*) AS v FROM order_line",
+    "ol_amount": "SELECT SUM(ol_amount) AS v FROM order_line",
+}
+
+
+def checksum(conn) -> dict:
+    """Aggregate state fingerprint: equal checksums <=> equal final
+    state for this workload (all mutations are sums and inserts)."""
+    cursor = conn.cursor()
+    out = {}
+    for key, sql in _SUMS.items():
+        cursor.execute(sql)
+        value = cursor.fetchone()[0]
+        out[key] = round(value or 0, 2)
+    return out
+
+
+def delta(after: dict, before: dict) -> dict:
+    return {key: round(after[key] - before[key], 2) for key in after}
+
+
+def expected_delta(data: dict, schedule) -> dict:
+    """The plain-Python effect of committing every transaction in the
+    schedule exactly once -- the independent oracle for any run."""
+    prices = {i: price for (i, _name, price) in data["item"]}
+    out = {key: 0 for key in _SUMS}
+    for txns in schedule:
+        for txn in txns:
+            if txn["kind"] == "payment":
+                amount = txn["amount"]
+                out["w_ytd"] += amount
+                out["d_ytd"] += amount
+                out["c_balance"] -= amount
+                out["c_ytd_payment"] += amount
+                out["c_payment_cnt"] += 1
+                continue
+            total = 0.0
+            for i_id, quantity in txn["items"]:
+                amount = round(prices[i_id] * quantity, 2)
+                total = round(total + amount, 2)
+                out["s_quantity"] -= quantity
+                out["s_ytd"] += quantity
+                out["s_order_cnt"] += 1
+                out["order_lines"] += 1
+                out["ol_amount"] += amount
+            out["orders"] += 1
+            out["o_total"] += total
+    return {key: round(value, 2) for key, value in out.items()}

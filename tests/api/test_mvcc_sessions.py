@@ -1,0 +1,236 @@
+"""Per-session MVCC: independent write sets, snapshot reads, typed conflicts.
+
+The acceptance scenarios for the transaction tier, run over both a
+single-node server and a 4-shard cluster (same data, same seeds), sync
+and asyncio: two sessions provably hold *independent* uncommitted write
+sets at the same time, readers only ever see committed state, rollback
+restores the exact pre-transaction rows, and a first-updater-wins loss
+surfaces as the typed ``api.TransactionConflict`` with the loser already
+rolled back.  Every committed outcome is pinned against a serial oracle
+deployment that applies the same statements in commit order.
+"""
+
+import asyncio
+
+import pytest
+
+import repro.api as api
+import repro.api.aio as aio
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+COLUMNS = [
+    ("id", ValueType.int_()),
+    ("owner", ValueType.string(8)),
+    ("balance", ValueType.decimal(2)),
+]
+
+ROWS = [
+    (1, "ada", 100.00),
+    (2, "bob", 200.00),
+    (3, "cyd", 300.00),
+    (4, "dan", 400.00),
+    (5, "eve", 500.00),
+    (6, "fay", 600.00),
+]
+
+SELECT_ALL = "SELECT id, owner, balance FROM accounts ORDER BY id"
+
+
+def _load(conn, shard_by=None):
+    conn.proxy.create_table(
+        "accounts", COLUMNS, ROWS, sensitive=["balance"],
+        rng=seeded_rng(71), shard_by=shard_by,
+    )
+
+
+@pytest.fixture(params=["single", "cluster"])
+def deployment(request):
+    if request.param == "single":
+        conn = api.connect(
+            server=SDBServer(), modulus_bits=256, value_bits=64,
+            rng=seeded_rng(70),
+        )
+        _load(conn)
+    else:
+        conn = api.connect(
+            shards=4, modulus_bits=256, value_bits=64, rng=seeded_rng(70)
+        )
+        _load(conn, shard_by="id")
+    yield conn
+    conn.close()
+
+
+@pytest.fixture()
+def oracle():
+    """A serial single-node twin: committed statements replay here
+    autocommit, in commit order, and final states must match."""
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(70),
+    )
+    _load(conn)
+    yield conn
+    conn.close()
+
+
+def rows_of(conn):
+    fetched = conn.cursor().execute(SELECT_ALL).fetchall()
+    return [(i, o, round(b, 2)) for (i, o, b) in fetched]
+
+
+def session_over(conn):
+    return api.connect(proxy=conn.proxy)
+
+
+def test_two_sessions_hold_independent_write_sets(deployment, oracle):
+    a, b = session_over(deployment), session_over(deployment)
+    committed = rows_of(deployment)
+
+    a.begin()
+    b.begin()
+    a.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?", [11, 1])
+    a.execute("INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)",
+              [7, "gus", 70.00])
+    b.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?", [22, 2])
+    b.execute("DELETE FROM accounts WHERE id = ?", [3])
+
+    a_view, b_view = rows_of(a), rows_of(b)
+    # each session sees exactly its own uncommitted effects...
+    assert (1, "ada", 111.00) in a_view and (7, "gus", 70.00) in a_view
+    assert (2, "bob", 222.00) in b_view
+    assert all(row[0] != 3 for row in b_view)
+    # ...and none of the other session's
+    assert (2, "bob", 200.00) in a_view and (3, "cyd", 300.00) in a_view
+    assert (1, "ada", 100.00) in b_view
+    assert all(row[0] != 7 for row in b_view)
+    # a third session (no transaction) still reads the committed snapshot
+    assert rows_of(deployment) == committed
+
+    a.commit()
+    b.commit()
+
+    # serial oracle: the same statements, autocommit, in commit order
+    for sql, params in [
+        ("UPDATE accounts SET balance = balance + ? WHERE id = ?", [11, 1]),
+        ("INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)",
+         [7, "gus", 70.00]),
+        ("UPDATE accounts SET balance = balance + ? WHERE id = ?", [22, 2]),
+        ("DELETE FROM accounts WHERE id = ?", [3]),
+    ]:
+        oracle.execute(sql, params)
+    assert rows_of(deployment) == rows_of(oracle)
+    a.close()
+    b.close()
+
+
+def test_reader_sees_committed_until_commit_then_everything(deployment):
+    writer = session_over(deployment)
+    before = rows_of(deployment)
+    writer.begin()
+    writer.execute("UPDATE accounts SET balance = balance * 2")
+    assert rows_of(deployment) == before     # readers never block, never peek
+    writer.commit()
+    doubled = [(i, o, round(b * 2, 2)) for (i, o, b) in before]
+    assert rows_of(deployment) == doubled
+    writer.close()
+
+
+def test_rollback_restores_exact_state(deployment):
+    writer = session_over(deployment)
+    before = rows_of(deployment)
+    writer.begin()
+    writer.execute("INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)",
+                   [8, "hal", 8.00])
+    writer.execute("UPDATE accounts SET balance = balance + 1")
+    writer.execute("DELETE FROM accounts WHERE id = ?", [5])
+    assert rows_of(writer) != before
+    writer.rollback()
+    assert rows_of(writer) == before
+    assert rows_of(deployment) == before
+    writer.close()
+
+
+def test_first_updater_wins_typed_conflict(deployment, oracle):
+    a, b = session_over(deployment), session_over(deployment)
+    a.begin()
+    b.begin()
+    a.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?", [10, 4])
+    b.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?", [20, 4])
+    a.commit()
+    with pytest.raises(api.TransactionConflict):
+        b.commit()
+    # the server already rolled the loser back: the session is free to
+    # retry from BEGIN immediately, and the retry lands on fresh state
+    b.begin()
+    b.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?", [20, 4])
+    b.commit()
+
+    oracle.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                   [10, 4])
+    oracle.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                   [20, 4])
+    assert rows_of(deployment) == rows_of(oracle)
+    a.close()
+    b.close()
+
+
+def test_conflict_is_operational_error_and_retryable_subclass():
+    assert issubclass(api.TransactionConflict, api.OperationalError)
+
+
+def test_async_sessions_interleave_with_isolation(deployment, oracle):
+    async def scenario():
+        a = await aio.aconnect(proxy=deployment.proxy)
+        b = await aio.aconnect(proxy=deployment.proxy)
+        try:
+            await a.begin()
+            await b.begin()
+            await a.execute(
+                "UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                [5, 1],
+            )
+            await b.execute(
+                "UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                [6, 2],
+            )
+            cursor = await a.execute(SELECT_ALL)
+            a_view = [(i, o, round(v, 2)) for (i, o, v) in
+                      await cursor.fetchall()]
+            cursor = await b.execute(SELECT_ALL)
+            b_view = [(i, o, round(v, 2)) for (i, o, v) in
+                      await cursor.fetchall()]
+            assert (1, "ada", 105.00) in a_view and (2, "bob", 200.00) in a_view
+            assert (2, "bob", 206.00) in b_view and (1, "ada", 100.00) in b_view
+            await a.commit()
+            await b.rollback()
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+    oracle.execute("UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                   [5, 1])
+    assert rows_of(deployment) == rows_of(oracle)
+
+
+def test_async_conflict_is_typed(deployment):
+    async def scenario():
+        a = await aio.aconnect(proxy=deployment.proxy)
+        b = await aio.aconnect(proxy=deployment.proxy)
+        try:
+            await a.begin()
+            await b.begin()
+            await a.execute(
+                "UPDATE accounts SET balance = balance + 1 WHERE id = 6")
+            await b.execute(
+                "UPDATE accounts SET balance = balance + 2 WHERE id = 6")
+            await a.commit()
+            with pytest.raises(api.TransactionConflict):
+                await b.commit()
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())

@@ -233,3 +233,44 @@ def test_shards_flag_rejects_conflicting_deployments():
 
     with pytest.raises(SystemExit, match="deployment shape"):
         main(["--shards", "2", "--durable", "/tmp/nope"])
+
+
+def test_txn_commands_and_prompt(shell):
+    assert shell.prompt == "sdb> "
+    assert "started" in shell.execute_line("\\begin")
+    assert shell.prompt == "sdb*> "
+    shell.execute_line("UPDATE pay SET salary = salary + 5 WHERE id = 1")
+    # uncommitted work visible to this session, prompt still starred
+    assert "105" in shell.execute_line("SELECT salary FROM pay WHERE id = 1")
+    assert "rolled back" in shell.execute_line("\\rollback")
+    assert shell.prompt == "sdb> "
+    assert "100" in shell.execute_line("SELECT salary FROM pay WHERE id = 1")
+
+    shell.execute_line("\\begin")
+    shell.execute_line("UPDATE pay SET salary = salary + 5 WHERE id = 1")
+    assert "committed" in shell.execute_line("\\commit")
+    assert shell.prompt == "sdb> "
+    assert "105" in shell.execute_line("SELECT salary FROM pay WHERE id = 1")
+
+
+def test_txn_commands_render_errors(shell):
+    shell.execute_line("\\begin")
+    out = shell.execute_line("\\begin")  # nested: typed error, rendered
+    assert out.startswith("error:")
+    shell.execute_line("\\rollback")
+    # outside a transaction the session layer's commit/rollback are
+    # PEP-249 no-ops; the console must not claim a commit happened
+    assert shell.execute_line("\\commit") == "no transaction in progress"
+    assert shell.execute_line("\\rollback") == "no transaction in progress"
+
+
+def test_sql_txn_statements_drive_the_prompt(shell):
+    shell.execute_line("BEGIN")
+    assert shell.prompt == "sdb*> "
+    shell.execute_line("COMMIT")
+    assert shell.prompt == "sdb> "
+
+
+def test_help_lists_txn_commands(shell):
+    out = shell.execute_line("\\help")
+    assert "\\begin" in out and "\\commit" in out and "\\rollback" in out

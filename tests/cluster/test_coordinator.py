@@ -201,6 +201,41 @@ def test_transactions_broadcast_and_rollback(cluster):
     assert rows_of(conn, "SELECT COUNT(*) AS n FROM pay") == [(60,)]
 
 
+def test_failed_autocommit_dml_does_not_bump_epoch(cluster, monkeypatch):
+    """Only a *successful* apply advances the snapshot epoch.
+
+    A bumped epoch invalidates every session's prepared-plan routing and
+    cached cardinalities; a DML that failed before touching any shard
+    must not pay (or hide behind) that cost.
+    """
+    conn, coord = cluster
+    # an unsharded table: its DML takes the single-primary branch
+    conn.proxy.create_table(
+        "ledger",
+        [("id", ValueType.int_()), ("note", ValueType.string(8))],
+        [(1, "a"), (2, "b")],
+        rng=seeded_rng(9),
+    )
+    applied = coord.epoch
+
+    def refuse(*args, **kwargs):
+        raise RuntimeError("injected: apply failed")
+
+    monkeypatch.setattr(coord.primary, "execute_dml", refuse)
+    with pytest.raises(api.OperationalError):
+        conn.execute("UPDATE ledger SET note = 'x' WHERE id = 1")
+    assert coord.epoch == applied
+
+
+def test_successful_autocommit_dml_bumps_epoch_once(cluster):
+    conn, coord = cluster
+    before = coord.epoch
+    conn.execute(
+        "UPDATE pay SET amount = amount + 1.0 WHERE id = 1"
+    )
+    assert coord.epoch == before + 1
+
+
 # -- prepared statements --------------------------------------------------------
 
 

@@ -1,0 +1,242 @@
+"""Fault injection on cluster commit: atomic, all-or-none, recoverable.
+
+The 2PC contract (see :mod:`repro.cluster.txn`): **nothing is decided
+until the commit record exists; after it, the transaction always rolls
+forward.**  Four failure windows are exercised, each pinned against a
+1-shard serial oracle:
+
+* a prepare failure (conflict or dead shard) aborts everywhere -- no
+  shard keeps any effect;
+* the coordinator dies *between prepare and record*: a fresh
+  coordinator discards all staging (presumed abort), the transaction
+  never happened;
+* the coordinator dies *after the record*, finalize half-done: a fresh
+  coordinator rolls the transaction forward, it happened everywhere;
+* a shard daemon dies mid-prepare: the commit aborts all-or-none and
+  the cluster keeps serving after the member is revived.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.cluster import Coordinator
+from repro.cluster.faults import FaultInjector, FaultyBackend
+from repro.cluster.txn import TXN_COMMIT_PREFIX, TXN_STAGING_PREFIX
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+pytestmark = pytest.mark.crash
+
+COLUMNS_SQL = "SELECT id, region, amount FROM pay ORDER BY id"
+
+#: the transfer spans several ids, so under shard_by="id" its write set
+#: lands on more than one shard and the commit genuinely needs 2PC
+TXN_STATEMENTS = [
+    ("UPDATE pay SET amount = amount + ? WHERE id = ?", [10.00, 1]),
+    ("UPDATE pay SET amount = amount - ? WHERE id = ?", [10.00, 2]),
+    ("UPDATE pay SET amount = amount + ? WHERE id = ?", [5.00, 3]),
+    ("INSERT INTO pay (id, region, amount) VALUES (?, ?, ?)",
+     [99, "north", 99.00]),
+]
+
+from tests.cluster.conftest import load_pay  # noqa: E402
+
+
+class Crash(RuntimeError):
+    pass
+
+
+def _connect(backends=None, rng_seed=81, load=True):
+    if backends is None:
+        backends = [SDBServer(shard_id=i) for i in range(4)]
+    conn = api.connect(
+        server=Coordinator(backends), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(rng_seed),
+    )
+    if load:
+        load_pay(conn, shard_by="id")
+    return conn, backends
+
+
+def _rows(conn):
+    fetched = conn.cursor().execute(COLUMNS_SQL).fetchall()
+    return [(i, r, round(a, 2)) for (i, r, a) in fetched]
+
+
+@pytest.fixture()
+def oracle_rows():
+    """(without_txn, with_txn) row sets from a serial 1-shard oracle."""
+    conn = api.connect(
+        shards=1, modulus_bits=256, value_bits=64, rng=seeded_rng(81)
+    )
+    load_pay(conn, shard_by="id")
+    without = _rows(conn)
+    for sql, params in TXN_STATEMENTS:
+        conn.execute(sql, params)
+    with_txn = _rows(conn)
+    conn.close()
+    return without, with_txn
+
+
+def _open_txn(conn):
+    conn.begin()
+    for sql, params in TXN_STATEMENTS:
+        conn.execute(sql, params)
+
+
+def _internal_tables(backends):
+    # the coordinator's shard_status() filters txn-internal relations
+    # out (they are protocol state, not operator tables), so the crash
+    # assertions inspect the raw backends
+    return [
+        name
+        for backend in backends
+        for name in backend.shard_status()["tables"]
+        if name.startswith((TXN_STAGING_PREFIX, TXN_COMMIT_PREFIX))
+    ]
+
+
+def test_crash_before_record_fresh_coordinator_discards(oracle_rows):
+    without_txn, _ = oracle_rows
+    conn, backends = _connect()
+    coordinator = conn.proxy.server
+    _open_txn(conn)
+
+    def die_at_record(label):
+        if label == "txn:record":
+            raise Crash(label)
+
+    with pytest.raises(Crash):
+        coordinator.commit(session=conn.context.session_id,
+                           on_step=die_at_record)
+    conn._in_txn = False
+
+    # every shard prepared (staging exists), but nothing was decided
+    assert any(
+        name.startswith(TXN_STAGING_PREFIX)
+        for name in _internal_tables(backends)
+    )
+    fresh = Coordinator(backends)
+    assert _internal_tables(backends) == []
+    conn.proxy.server = fresh
+    assert _rows(conn) == without_txn  # presumed abort: txn never happened
+    conn.close()
+
+
+def test_crash_mid_finalize_fresh_coordinator_rolls_forward(oracle_rows):
+    _, with_txn = oracle_rows
+    conn, backends = _connect()
+    coordinator = conn.proxy.server
+    _open_txn(conn)
+
+    def die_mid_finalize(label):
+        if label == "txn:finalize:2":
+            raise Crash(label)  # record written, two shards applied
+
+    with pytest.raises(Crash):
+        coordinator.commit(session=conn.context.session_id,
+                           on_step=die_mid_finalize)
+    conn._in_txn = False
+
+    # the commit record survived the crash: the transaction is decided
+    assert any(
+        name.startswith(TXN_COMMIT_PREFIX)
+        for name in _internal_tables(backends)
+    )
+    fresh = Coordinator(backends)
+    assert _internal_tables(backends) == []
+    conn.proxy.server = fresh
+    assert _rows(conn) == with_txn  # rolled forward: it happened everywhere
+    conn.close()
+
+
+def test_coordinator_abandoned_mid_prepare_staging_is_discarded(oracle_rows):
+    without_txn, _ = oracle_rows
+    conn, backends = _connect()
+    coordinator = conn.proxy.server
+    _open_txn(conn)
+
+    # the coordinator dies after preparing only some shards: stage two by
+    # hand, then abandon the coordinator object entirely
+    session = conn.context.session_id
+    for shard in list(coordinator.shards)[:2]:
+        shard.txn_prepare("deadbeef", session=session)
+    conn._in_txn = False
+
+    fresh = Coordinator(backends)
+    assert _internal_tables(backends) == []
+    conn.proxy.server = fresh
+    # the dead coordinator's session died with it: a fresh session (the
+    # old one still owns open write-set overlays on the unprepared
+    # shards) sees only committed state -- the txn never happened
+    reader = api.connect(proxy=conn.proxy)
+    assert _rows(reader) == without_txn
+    reader.close()
+    conn.close()
+
+
+def test_prepare_failure_aborts_all_or_none(oracle_rows):
+    without_txn, with_txn = oracle_rows
+    conn, backends = _connect()
+    coordinator = conn.proxy.server
+    _open_txn(conn)
+
+    def die_preparing(label):
+        if label == "txn:prepare:2":
+            raise Crash(label)  # two shards staged, two still open
+
+    with pytest.raises(Crash):
+        coordinator.commit(session=conn.context.session_id,
+                           on_step=die_preparing)
+    conn._in_txn = False
+
+    # the driver survived to run the abort: staging dropped, write sets
+    # rolled back, no recovery pass needed
+    assert _internal_tables(backends) == []
+    assert _rows(conn) == without_txn
+
+    # and the same connection can simply run the transaction again
+    _open_txn(conn)
+    conn.commit()
+    assert _rows(conn) == with_txn
+    conn.close()
+
+
+def test_shard_killed_mid_prepare_aborts_then_cluster_serves(oracle_rows):
+    without_txn, with_txn = oracle_rows
+    injector = FaultInjector()
+    backends = [
+        FaultyBackend(SDBServer(shard_id=i), f"s{i}", injector)
+        for i in range(4)
+    ]
+    conn, _ = _connect(backends=backends)
+    coordinator = conn.proxy.server
+    _open_txn(conn)
+
+    def kill_on_prepare(label):
+        if label == "s2.txn_prepare":
+            injector.kill("s2")
+
+    injector.on_op.append(kill_on_prepare)
+    with pytest.raises(Exception):
+        coordinator.commit(session=conn.context.session_id)
+    conn._in_txn = False
+    injector.on_op.remove(kill_on_prepare)
+    injector.revive("s2")
+
+    # all-or-none: the survivors aborted; the revived member's staging
+    # (if any) has no commit record, so recovery discards it
+    fresh = Coordinator(backends)
+    assert _internal_tables(backends) == []
+    conn.proxy.server = fresh
+    assert _rows(conn) == without_txn
+
+    # a fresh session commits the same transaction cleanly end to end
+    retry = api.connect(proxy=conn.proxy)
+    retry.begin()
+    for sql, params in TXN_STATEMENTS:
+        retry.execute(sql, params)
+    retry.commit()
+    assert _rows(conn) == with_txn
+    retry.close()
+    conn.close()

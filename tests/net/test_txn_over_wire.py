@@ -1,0 +1,133 @@
+"""Transactions over TCP: session scoping and typed error re-raise.
+
+Two independent client processes-worth of state (each its own
+``RemoteServer`` wire session + key-identical proxy, the reattach
+mechanism) transact against one SP daemon.  The daemon keys transaction
+state by wire session, and server-side transaction errors cross the
+wire *typed*: the session layer surfaces ``api.TransactionConflict``
+(retryable), never a generic operational error, identical to the
+in-process deployment.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.proxy import SDBProxy
+from repro.core.server import SDBServer
+from repro.core.txn import TransactionConflictError, TransactionStateError
+from repro.crypto.prf import seeded_rng
+from repro.net import RemoteServer, start_server
+
+COLUMNS = [("id", ValueType.int_()), ("balance", ValueType.decimal(2))]
+ROWS = [(1, 10.00), (2, 20.00), (3, 30.00)]
+
+
+@pytest.fixture()
+def daemon():
+    sdb_server = SDBServer()
+    net_server, _thread = start_server(sdb_server=sdb_server)
+    yield net_server
+    net_server.shutdown()
+    net_server.server_close()
+
+
+def _client(daemon):
+    """A full client stack: wire session + proxy with the shared keys
+    (identical seeds -> identical keys and ciphertexts; the re-upload
+    is idempotent, the same way a second shell session reattaches)."""
+    remote = RemoteServer.connect("127.0.0.1", daemon.port)
+    proxy = SDBProxy(remote, modulus_bits=256, value_bits=64, rng=seeded_rng(91))
+    proxy.create_table(
+        "acct", COLUMNS, ROWS, sensitive=["balance"],
+        rng=seeded_rng(92), replace=True,
+    )
+    return api.connect(proxy=proxy)
+
+
+def _balances(conn):
+    fetched = conn.cursor().execute(
+        "SELECT id, balance FROM acct ORDER BY id"
+    ).fetchall()
+    return [(i, round(b, 2)) for (i, b) in fetched]
+
+
+def test_wire_sessions_hold_independent_write_sets(daemon):
+    a, b = _client(daemon), _client(daemon)
+    a.begin()
+    b.begin()
+    a.execute("UPDATE acct SET balance = balance + 1 WHERE id = 1")
+    b.execute("UPDATE acct SET balance = balance + 2 WHERE id = 2")
+    assert _balances(a) == [(1, 11.00), (2, 20.00), (3, 30.00)]
+    assert _balances(b) == [(1, 10.00), (2, 22.00), (3, 30.00)]
+    a.commit()
+    b.commit()
+    assert _balances(a) == [(1, 11.00), (2, 22.00), (3, 30.00)]
+    a.close()
+    b.close()
+
+
+def test_conflict_crosses_the_wire_typed(daemon):
+    a, b = _client(daemon), _client(daemon)
+    a.begin()
+    b.begin()
+    a.execute("UPDATE acct SET balance = balance + 1 WHERE id = 3")
+    b.execute("UPDATE acct SET balance = balance + 2 WHERE id = 3")
+    a.commit()
+    with pytest.raises(api.TransactionConflict) as excinfo:
+        b.commit()
+    # reconstructed from the daemon's error_type tag, not a NetError or
+    # bare OperationalError -- the retry contract survives the wire
+    assert isinstance(excinfo.value.__cause__, TransactionConflictError)
+    b.begin()
+    b.execute("UPDATE acct SET balance = balance + 2 WHERE id = 3")
+    b.commit()
+    assert _balances(a)[2] == (3, 33.00)
+    a.close()
+    b.close()
+
+
+def test_state_errors_cross_the_wire_typed(daemon):
+    a = _client(daemon)
+    # Connection.commit() is a PEP-249 no-op outside a transaction; the
+    # raw SQL statement reaches the server and must come back typed
+    with pytest.raises(api.ProgrammingError) as excinfo:
+        a.execute("COMMIT")
+    assert isinstance(excinfo.value.__cause__, TransactionStateError)
+    a.close()
+
+
+def test_reseeded_clients_insert_without_row_identity_collision(daemon):
+    """Reattached clients share the loader's seed, so their encryption
+    streams are in lock-step: both would mint the same hidden row id for
+    their next INSERT, and the second commit's upsert would overwrite
+    the first client's row.  ``SDBProxy.reseed`` diverges the streams
+    (keys untouched) so both rows survive."""
+    a, b = _client(daemon), _client(daemon)
+    a.proxy.reseed(seeded_rng(101))
+    b.proxy.reseed(seeded_rng(102))
+    a.begin()
+    b.begin()
+    a.execute("INSERT INTO acct (id, balance) VALUES (?, ?)", [4, 40.00])
+    b.execute("INSERT INTO acct (id, balance) VALUES (?, ?)", [5, 50.00])
+    a.commit()
+    b.commit()
+    assert _balances(a) == [
+        (1, 10.00), (2, 20.00), (3, 30.00), (4, 40.00), (5, 50.00)
+    ]
+    a.close()
+    b.close()
+
+
+def test_raw_wire_client_reraises_core_types(daemon):
+    remote_a = RemoteServer.connect("127.0.0.1", daemon.port)
+    remote_b = RemoteServer.connect("127.0.0.1", daemon.port)
+    try:
+        remote_a.begin()
+        with pytest.raises(TransactionStateError):
+            remote_a.begin()
+        remote_a.rollback()
+        remote_b.rollback  # sanity: surface exists on every client
+    finally:
+        remote_a.close()
+        remote_b.close()

@@ -1,0 +1,146 @@
+"""The TPC-C-style mix: determinism, order-independence, serial pinning.
+
+The workload's design contract (see ``repro.workloads.tpcc``): any
+interleaving of the same committed transaction set reaches the same
+final state.  That is checked three ways -- a serial run against the
+plain-Python :func:`expected_delta` oracle, a concurrent (threaded,
+genuinely conflicting) cluster run against the same oracle *and* a
+serial twin deployment, and schedule/partition invariants that make the
+order-independence argument actually hold.
+"""
+
+import threading
+
+import pytest
+
+import repro.api as api
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.workloads import tpcc
+
+PARAMS = dict(warehouses=2, districts=2, customers=4, items=8)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return tpcc.generate(**PARAMS)
+
+
+def _single(data, seed):
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(seed),
+    )
+    tpcc.load_encrypted(conn.proxy, data, rng=seeded_rng(seed + 1))
+    return conn
+
+
+def test_dbgen_is_deterministic():
+    assert tpcc.generate(**PARAMS) == tpcc.generate(**PARAMS)
+    assert tpcc.generate(**PARAMS) != tpcc.generate(**PARAMS, seed=1)
+
+
+def test_schedule_partitions_are_disjoint(data):
+    for partition in ("warehouse", "district"):
+        schedule = tpcc.build_schedule(
+            data, sessions=2, transactions=30, seed=3, partition=partition
+        )
+        districts = [
+            {(t["w"], t["d"]) for t in txns} for txns in schedule
+        ]
+        assert not districts[0] & districts[1]
+        # explicit order ids never collide across sessions
+        orders = [
+            {(t["w"], t["d"], t["o_id"]) for t in txns if t["kind"] == "new_order"}
+            for txns in schedule
+        ]
+        assert not orders[0] & orders[1]
+
+
+def test_warehouse_partition_requires_enough_warehouses(data):
+    with pytest.raises(ValueError):
+        tpcc.build_schedule(data, sessions=3, transactions=5)
+
+
+def test_serial_run_matches_expected_delta(data):
+    conn = _single(data, seed=41)
+    before = tpcc.checksum(conn)
+    schedule = tpcc.build_schedule(data, sessions=2, transactions=8, seed=11)
+    report = tpcc.run_serial(conn, schedule)
+    assert report["committed"] == 16
+    assert report["conflicts"] == 0  # one session at a time never loses
+    got = tpcc.delta(tpcc.checksum(conn), before)
+    assert got == tpcc.expected_delta(data, schedule)
+    conn.close()
+
+
+@pytest.mark.slow
+def test_concurrent_cluster_run_pins_to_serial_oracle(data):
+    """Two threaded sessions with *shared* warehouses (district
+    partition: stock and w_ytd rows genuinely contend) reach exactly
+    the state the serial oracle reaches."""
+    conn = api.connect(
+        shards=2, modulus_bits=256, value_bits=64, rng=seeded_rng(43)
+    )
+    tpcc.load_encrypted(conn.proxy, data, rng=seeded_rng(44), shard=True)
+    before = tpcc.checksum(conn)
+    schedule = tpcc.build_schedule(
+        data, sessions=2, transactions=12, seed=13, partition="district"
+    )
+
+    sessions = [api.connect(proxy=conn.proxy) for _ in range(2)]
+    results = [None, None]
+
+    def drive(index):
+        results[index] = tpcc.run_session(sessions[index], schedule[index])
+
+    threads = [
+        threading.Thread(target=drive, args=(index,)) for index in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for session in sessions:
+        session.close()
+
+    assert all(r["committed"] == 12 for r in results)
+    got = tpcc.delta(tpcc.checksum(conn), before)
+    want = tpcc.expected_delta(data, schedule)
+    assert got == want
+
+    # the serial twin: same schedule, one session, one statement at a time
+    serial = _single(data, seed=41)
+    serial_before = tpcc.checksum(serial)
+    tpcc.run_serial(serial, schedule)
+    assert tpcc.delta(tpcc.checksum(serial), serial_before) == want
+    serial.close()
+    conn.close()
+
+
+def test_conflicting_sessions_retry_to_convergence(data):
+    """A forced first-updater-wins loss: both sessions pay the same
+    warehouse inside open transactions; the loser retries from BEGIN
+    and both payments land."""
+    conn = _single(data, seed=47)
+    before = tpcc.checksum(conn)
+    a = api.connect(proxy=conn.proxy)
+    b = api.connect(proxy=conn.proxy)
+    pay = {"kind": "payment", "w": 1, "d": 1, "c": 1, "amount": 10.00}
+
+    a.begin()
+    b.begin()
+    from repro.workloads.tpcc.txns import _apply
+
+    _apply(a.cursor(), pay)
+    _apply(b.cursor(), pay)
+    a.commit()
+    with pytest.raises(api.TransactionConflict):
+        b.commit()
+    retries = tpcc.run_txn(b, pay)  # the canonical driver response
+    assert retries == 0
+    got = tpcc.delta(tpcc.checksum(conn), before)
+    assert got["w_ytd"] == 20.00 and got["c_payment_cnt"] == 2
+    a.close()
+    b.close()
+    conn.close()
