@@ -1,0 +1,42 @@
+"""``sdb-lint``: source-level proofs of the DO->SP boundary and lock discipline.
+
+The runtime threat-model harness (:mod:`repro.core.security`) verifies the
+states a test happens to reach; this package verifies the *source*, so the
+security argument does not depend on test coverage:
+
+* **Plaintext-taint analysis** (:mod:`repro.analysis.taint`): an
+  interprocedural dataflow pass over the package.  *Sources* are decrypt
+  outputs, bound parameter plaintexts and shard-key values; *sinks* are wire
+  serialization, SP-side storage writes, exception/log message construction
+  and ``__repr__`` bodies; *sanitizers* are the crypto boundary functions
+  (secret sharing, SIES, the PRF, key ops, the query rewriter).  A
+  source->sink path that crosses no sanitizer is an error unless a baseline
+  suppression cites the matching ``DECLARED_LEAKAGE`` entry -- the static
+  findings and the runtime leakage registry stay in lockstep by
+  construction.
+* **Lock-discipline rules** (:mod:`repro.analysis.locks`): a global
+  lock-order graph over :class:`repro.core.sync.ReadWriteLock` and
+  ``threading`` primitives (cycle => potential deadlock), acquire without a
+  guaranteed release on exception paths, blocking calls under a write lock,
+  and ``await`` while holding a synchronous lock in the asyncio tier.
+
+Entry points: the ``sdb-lint`` console script (:mod:`repro.analysis.cli`)
+and :func:`analyze_paths` for programmatic use.  Boundary functions are
+declared with the zero-runtime-cost decorators in
+:mod:`repro.analysis.contracts`.
+"""
+
+from repro.analysis.contracts import blocking, plaintext_sink, plaintext_source, sanitizer
+from repro.analysis.engine import analyze_paths, analyze_project
+from repro.analysis.model import Finding, Severity
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "analyze_paths",
+    "analyze_project",
+    "blocking",
+    "plaintext_sink",
+    "plaintext_source",
+    "sanitizer",
+]

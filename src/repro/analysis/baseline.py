@@ -1,0 +1,167 @@
+"""Suppression baseline: the single source of truth for accepted findings.
+
+``baseline.toml`` holds ``[[suppression]]`` tables:
+
+.. code-block:: toml
+
+    [[suppression]]
+    rule = "taint-to-wire"
+    file = "src/repro/cluster/router.py"
+    function = "repro.cluster.router.shard_bucket"
+    leakage = "shard-routing"
+    reason = "PRF bucket of the shard key is declared placement leakage"
+
+Every **taint** suppression must cite a ``DECLARED_LEAKAGE`` entry by its
+key -- the text before the first ``:`` of an entry in
+:data:`repro.core.security.DECLARED_LEAKAGE` -- so the static findings and
+the runtime leakage registry cannot drift apart: an undeclared leak cannot
+be waved through statically, and deleting a registry entry invalidates
+every suppression that cited it.  Lock-rule suppressions cite no leakage
+but must give a ``reason``.
+
+A suppression that matches no current finding is itself an error ("stale
+baseline"): the baseline can only shrink or be re-reviewed, never rot.
+
+Parsing uses :mod:`tomllib` where available (3.11+) with a strict
+fallback parser for the exact subset written above, so the 3.10 CI lane
+needs no extra dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.model import Finding
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback below
+    tomllib = None
+
+#: Rules whose suppressions must cite a DECLARED_LEAKAGE key.
+TAINT_RULES = frozenset(
+    {"taint-to-wire", "taint-to-storage", "taint-to-exception",
+     "taint-to-log", "taint-to-repr"}
+)
+
+
+class BaselineError(ValueError):
+    """Malformed, unjustified, or stale baseline content."""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule: str
+    file: str
+    function: str
+    reason: str
+    leakage: Optional[str] = None
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.file == self.file
+            and (self.function in ("", "*") or finding.symbol == self.function)
+        )
+
+
+def declared_leakage_keys() -> frozenset:
+    """The citable keys: first-``:`` prefixes of ``DECLARED_LEAKAGE``."""
+    from repro.core.security import DECLARED_LEAKAGE
+
+    return frozenset(entry.split(":", 1)[0].strip() for entry in DECLARED_LEAKAGE)
+
+
+def _parse_toml(text: str, path: Path) -> dict:
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise BaselineError(f"{path}: {exc}") from None
+    return _parse_subset(text, path)
+
+
+def _parse_subset(text: str, path: Path) -> dict:
+    """Parse the [[suppression]] subset (3.10 fallback, strict)."""
+    out: dict = {"suppression": []}
+    current: Optional[dict] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppression]]":
+            current = {}
+            out["suppression"].append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not (len(value) >= 2 and value[0] == '"' and value[-1] == '"'):
+                raise BaselineError(
+                    f"{path}:{lineno}: only string values are supported"
+                )
+            current[key] = value[1:-1]
+            continue
+        raise BaselineError(f"{path}:{lineno}: unparseable line {line!r}")
+    return out
+
+
+def load_baseline(path: Path, leakage_keys: Optional[frozenset] = None) -> list:
+    """Parse and validate a baseline file into :class:`Suppression` rows."""
+    if not path.exists():
+        return []
+    data = _parse_toml(path.read_text(encoding="utf-8"), path)
+    if leakage_keys is None:
+        leakage_keys = declared_leakage_keys()
+    suppressions = []
+    for i, row in enumerate(data.get("suppression", []), start=1):
+        missing = {"rule", "file", "function", "reason"} - set(row)
+        if missing:
+            raise BaselineError(
+                f"{path}: suppression #{i} is missing {sorted(missing)}"
+            )
+        leakage = row.get("leakage")
+        if row["rule"] in TAINT_RULES:
+            if not leakage:
+                raise BaselineError(
+                    f"{path}: suppression #{i} ({row['rule']}) must cite a "
+                    "DECLARED_LEAKAGE entry via 'leakage = ...'"
+                )
+            if leakage not in leakage_keys:
+                raise BaselineError(
+                    f"{path}: suppression #{i} cites unknown leakage "
+                    f"{leakage!r}; declared keys: {sorted(leakage_keys)}"
+                )
+        if not row["reason"].strip():
+            raise BaselineError(f"{path}: suppression #{i} has an empty reason")
+        suppressions.append(
+            Suppression(
+                rule=row["rule"],
+                file=row["file"],
+                function=row["function"],
+                reason=row["reason"],
+                leakage=leakage,
+            )
+        )
+    return suppressions
+
+
+def apply_baseline(
+    findings: Iterable[Finding], suppressions: list
+) -> tuple[list, list]:
+    """(unsuppressed findings, stale suppressions)."""
+    remaining = []
+    used = [False] * len(suppressions)
+    for finding in findings:
+        hit = False
+        for i, suppression in enumerate(suppressions):
+            if suppression.matches(finding):
+                used[i] = True
+                hit = True
+        if not hit:
+            remaining.append(finding)
+    stale = [s for s, u in zip(suppressions, used) if not u]
+    return remaining, stale

@@ -1,0 +1,116 @@
+"""``sdb-lint``: the command-line front door.
+
+Exit codes: 0 clean, 1 findings, 2 usage/baseline errors (a malformed or
+stale baseline is an *error*, not a warning -- the baseline file is the
+single source of truth and must never rot).
+
+``--changed`` lints only files touched relative to ``git HEAD`` (staged,
+unstaged, and untracked) while still reading the whole tree for
+interprocedural context -- the pre-commit hook uses this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import BaselineError
+from repro.analysis.engine import analyze_paths
+
+#: The reviewed suppression baseline shipped next to this package.
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.toml")
+
+
+def _changed_files(repo_root: Path) -> set:
+    """Repo-relative paths of .py files changed vs HEAD (plus untracked)."""
+    out: set = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, cwd=repo_root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            continue
+        out.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sdb-lint",
+        description="Taint + lock-discipline static analysis for the SDB "
+        "reproduction (see repro.analysis).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="suppression baseline (default: the package's baseline.toml)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report raw findings, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="only report findings in files changed vs git HEAD",
+    )
+    parser.add_argument(
+        "--repo-root", type=Path, default=Path.cwd(),
+        help="root for repo-relative paths (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"sdb-lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    only_files = None
+    if args.changed:
+        only_files = _changed_files(args.repo_root)
+        if not only_files:
+            print("sdb-lint: no changed python files")
+            return 0
+
+    try:
+        findings, stale = analyze_paths(
+            paths,
+            repo_root=args.repo_root,
+            baseline_path=None if args.no_baseline else args.baseline,
+            only_files=only_files,
+        )
+    except BaselineError as exc:
+        print(f"sdb-lint: baseline error: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if stale:
+        for suppression in stale:
+            print(
+                "sdb-lint: stale suppression (matches no finding): "
+                f"{suppression.rule} {suppression.file} {suppression.function}",
+                file=sys.stderr,
+            )
+        return 2
+    if findings:
+        print(f"sdb-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

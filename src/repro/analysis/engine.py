@@ -1,0 +1,46 @@
+"""Orchestration: load sources, run both rule families, apply the baseline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.locks import run_locks
+from repro.analysis.model import Finding
+from repro.analysis.project import Project
+from repro.analysis.taint import run_taint
+
+
+def analyze_project(project: Project) -> list[Finding]:
+    """All findings over an already-loaded project, sorted for stable output."""
+    findings = run_taint(project) + run_locks(project)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.symbol))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable,
+    repo_root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    only_files: Optional[set] = None,
+) -> tuple[list, list]:
+    """(unsuppressed findings, stale suppressions) for the given paths.
+
+    ``only_files`` restricts *reporting* (not analysis -- taint is
+    interprocedural, so the whole tree is always read) to a set of
+    repo-relative paths; ``sdb-lint --changed`` uses this.
+    """
+    project = Project.load([Path(p) for p in paths], repo_root=repo_root)
+    findings = analyze_project(project)
+    if only_files is not None:
+        findings = [f for f in findings if f.file in only_files]
+    if baseline_path is None:
+        return findings, []
+    suppressions = baseline_mod.load_baseline(Path(baseline_path))
+    if only_files is not None:
+        # a restricted run cannot see every finding, so staleness cannot be
+        # judged; only full runs police the baseline
+        remaining, _ = baseline_mod.apply_baseline(findings, suppressions)
+        return remaining, []
+    return baseline_mod.apply_baseline(findings, suppressions)

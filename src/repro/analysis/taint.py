@@ -1,0 +1,472 @@
+"""Interprocedural plaintext-taint analysis.
+
+Labels, not booleans: an expression's taint is a set of labels -- the
+special label ``"*"`` means "sensitive plaintext originated *inside* this
+function" (a call to a decrypt-family source, a declared source parameter),
+while a plain label names a *parameter* of the enclosing function whose
+value flows into the expression.  Findings fire only on ``"*"``; parameter
+labels build per-function **summaries** so taint crosses call boundaries:
+
+* ``param_flows_return`` -- calling ``f(tainted)`` yields a tainted value;
+* ``param_to_sink`` -- calling ``f(tainted)`` reaches a sink *inside* ``f``
+  (the finding is reported at the call site, with the call chain attached);
+* ``tainted_return`` -- ``f()`` is a derived source (its body decrypts).
+
+Summaries iterate to a global fixpoint, so a source->sink path through any
+number of intermediate helpers is found, and a sanitizer call anywhere on
+the path cuts it -- exactly the paper's boundary argument, checked at the
+source level.
+
+The pass is flow-sensitive per function (statements in textual order,
+assignment kills, loop bodies evaluated twice) and deliberately
+approximate everywhere a real type system would be needed; the method-name
+registries in :mod:`repro.analysis.contracts` paper over receiver-typed
+calls.  Approximations err toward reporting -- the baseline file, not
+silence, is the pressure valve.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis import contracts
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import FunctionInfo, Project
+
+#: Taint label meaning "a source inside this very function".
+LOCAL = "*"
+
+#: Calls that neutralize taint structurally (counts, type names, predicates)
+#: -- the replacements the exception-scrub guidance prescribes.
+_BENIGN_CALLS = frozenset(
+    {"len", "type", "isinstance", "hasattr", "id", "bool", "range", "enumerate"}
+)
+_BENIGN_METHODS = frozenset({"bit_length", "count", "keys"})
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+_LOG_RECEIVERS = frozenset({"log", "logger", "logging", "_log", "_logger"})
+
+_MAX_TRACE = 8
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts about one function."""
+
+    tainted_return: bool = False
+    param_flows_return: frozenset = frozenset()
+    #: param name -> (rule, line-in-callee, trace tuple)
+    param_to_sink: dict = field(default_factory=dict)
+
+    def key(self):
+        return (
+            self.tainted_return,
+            self.param_flows_return,
+            tuple(sorted((p, r[0], r[2]) for p, r in self.param_to_sink.items())),
+        )
+
+
+class TaintPass:
+    def __init__(self, project: Project):
+        self.project = project
+        self.summaries: dict[str, Summary] = {
+            q: Summary() for q in project.functions
+        }
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        for _ in range(10):  # global fixpoint over call-crossing summaries
+            self.findings = []
+            before = {q: s.key() for q, s in self.summaries.items()}
+            for fn in self.project.functions.values():
+                self._analyze_function(fn)
+            if {q: s.key() for q, s in self.summaries.items()} == before:
+                break
+        seen = set()
+        unique = []
+        for f in self.findings:
+            k = (f.rule, f.file, f.line, f.symbol)
+            if k not in seen:
+                seen.add(k)
+                unique.append(f)
+        return unique
+
+    # -- per-function ----------------------------------------------------------
+
+    def _analyze_function(self, fn: FunctionInfo) -> None:
+        summary = Summary()
+        env: dict[str, frozenset] = {}
+        for param in fn.params:
+            if (fn.qualname, param) in contracts.SOURCE_PARAMS:
+                env[param] = frozenset({LOCAL})
+            elif param not in ("self", "cls"):
+                env[param] = frozenset({param})
+        analyzer = _FunctionAnalyzer(self, fn, env, summary)
+        # two passes: loop-carried taint stabilizes, findings kept from the
+        # second pass only
+        analyzer.emit = False
+        analyzer.run()
+        analyzer.emit = True
+        analyzer.run()
+        self.summaries[fn.qualname] = summary
+
+    def report(self, fn: FunctionInfo, rule: str, line: int, message: str, trace=()):
+        self.findings.append(
+            Finding(
+                rule=rule,
+                file=fn.module.rel_path,
+                line=line,
+                symbol=fn.qualname,
+                message=message,
+                severity=Severity.ERROR,
+                trace=tuple(trace)[:_MAX_TRACE],
+            )
+        )
+
+
+class _FunctionAnalyzer:
+    """Flow-sensitive walk of one function body."""
+
+    def __init__(self, owner: TaintPass, fn: FunctionInfo, env, summary: Summary):
+        self.owner = owner
+        self.project = owner.project
+        self.fn = fn
+        self.env = env
+        self.summary = summary
+        self.emit = True
+
+    def run(self) -> None:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are indexed and analyzed on their own
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assign(node)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                labels = self._taint(node.value)
+                self._note_return(labels, node)
+            return
+        if isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._check_raise(node.exc)
+                self._taint(node.exc)
+            return
+        if isinstance(node, ast.Expr):
+            self._taint(node.value)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._taint(node.test)
+            for body in (node.body, node.orelse):
+                for s in body:
+                    self._stmt(s)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_labels = self._taint(node.iter)
+            self._bind_target(node.target, iter_labels)
+            for body in (node.body, node.orelse):
+                for s in body:
+                    self._stmt(s)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                labels = self._taint(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, labels)
+            for s in node.body:
+                self._stmt(s)
+            return
+        if isinstance(node, ast.Try):
+            for block in (node.body, node.orelse, node.finalbody):
+                for s in block:
+                    self._stmt(s)
+            for handler in node.handlers:
+                for s in handler.body:
+                    self._stmt(s)
+            return
+        if isinstance(node, (ast.Assert,)):
+            self._taint(node.test)
+            if node.msg is not None:
+                self._sink_check(self._taint(node.msg), "taint-to-exception",
+                                 node.msg, "assertion message")
+            return
+        # Delete/Global/Nonlocal/Pass/Import...: walk embedded expressions
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._taint(child)
+
+    def _assign(self, node) -> None:
+        value = getattr(node, "value", None)
+        labels = self._taint(value) if value is not None else frozenset()
+        if isinstance(node, ast.AugAssign):
+            labels = labels | self._taint(node.target)
+            self._bind_target(node.target, labels)
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            self._bind_target(target, labels)
+
+    def _bind_target(self, target: ast.expr, labels: frozenset) -> None:
+        if isinstance(target, ast.Name):
+            if labels:
+                self.env[target.id] = labels
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, labels)
+        elif isinstance(target, ast.Attribute):
+            # track "self.attr" so plaintext parked on the instance is seen
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                key = f"self.{target.attr}"
+                if labels:
+                    self.env[key] = labels
+                else:
+                    self.env.pop(key, None)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels)
+        # subscript targets: container-level taint is not tracked
+
+    def _note_return(self, labels: frozenset, node: ast.stmt) -> None:
+        if LOCAL in labels:
+            self.summary.tainted_return = True
+            if self.fn.name in ("__repr__", "__str__"):
+                self._report("taint-to-repr", node.lineno,
+                             f"{self.fn.name} returns sensitive plaintext")
+        params = labels - {LOCAL}
+        if params:
+            self.summary.param_flows_return = (
+                self.summary.param_flows_return | frozenset(params)
+            )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _taint(self, node: Optional[ast.expr]) -> frozenset:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                own = self.env.get(f"self.{node.attr}", frozenset())
+                return own | self._taint(node.value)
+            return self._taint(node.value)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.JoinedStr):
+            out: frozenset = frozenset()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out = out | self._taint(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._taint(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self._taint(node.left) | self._taint(node.right)
+        if isinstance(node, ast.BoolOp):
+            out = frozenset()
+            for value in node.values:
+                out = out | self._taint(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._taint(node.operand)
+        if isinstance(node, ast.Compare):
+            self._taint(node.left)
+            for comparator in node.comparators:
+                self._taint(comparator)
+            return frozenset()  # predicates over plaintext are not plaintext
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = frozenset()
+            for element in node.elts:
+                out = out | self._taint(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = frozenset()
+            for key in node.keys:
+                out = out | self._taint(key)
+            for value in node.values:
+                out = out | self._taint(value)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self._taint(node.value) | self._taint(node.slice)
+        if isinstance(node, ast.Starred):
+            return self._taint(node.value)
+        if isinstance(node, ast.IfExp):
+            self._taint(node.test)
+            return self._taint(node.body) | self._taint(node.orelse)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._comprehension(node, [node.key, node.value])
+        if isinstance(node, ast.Await):
+            return self._taint(node.value)
+        if isinstance(node, (ast.NamedExpr,)):
+            labels = self._taint(node.value)
+            self._bind_target(node.target, labels)
+            return labels
+        if isinstance(node, ast.Lambda):
+            return frozenset()
+        if isinstance(node, ast.Slice):
+            return frozenset()
+        return frozenset()
+
+    def _comprehension(self, node, result_exprs) -> frozenset:
+        for gen in node.generators:
+            iter_labels = self._taint(gen.iter)
+            self._bind_target(gen.target, iter_labels)
+            for cond in gen.ifs:
+                self._taint(cond)
+        out = frozenset()
+        for expr in result_exprs:
+            out = out | self._taint(expr)
+        return out
+
+    # -- calls and sinks -------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> frozenset:
+        arg_labels = [self._taint(a) for a in node.args]
+        kw_labels = {kw.arg: self._taint(kw.value) for kw in node.keywords}
+        combined = frozenset().union(*arg_labels, *kw_labels.values()) \
+            if (arg_labels or kw_labels) else frozenset()
+
+        role = self.project.role_of_call(node, self.fn)
+        if role == "sanitizer":
+            return frozenset()
+        if role == "source":
+            return frozenset({LOCAL})
+        if role in ("wire", "storage"):
+            rule = "taint-to-wire" if role == "wire" else "taint-to-storage"
+            self._sink_check(combined, rule, node,
+                             "argument to a boundary serialization" if role == "wire"
+                             else "argument to an SP storage write")
+            return frozenset()
+
+        if self._is_log_call(node):
+            self._sink_check(combined, "taint-to-log", node, "log message")
+            return frozenset()
+
+        qual, meth = self.project.resolve_call(node, self.fn)
+        callee = self.project.functions.get(qual) if qual else None
+        if callee is not None:
+            callee_summary = self.owner_summary(qual)
+            self._propagate_into_callee(node, callee, callee_summary,
+                                        arg_labels, kw_labels)
+            out = frozenset()
+            if callee_summary.tainted_return:
+                out = out | frozenset({LOCAL})
+            if callee_summary.param_flows_return:
+                mapped = self._map_args(callee, node, arg_labels, kw_labels)
+                for param, labels in mapped.items():
+                    if param in callee_summary.param_flows_return:
+                        out = out | labels
+            return out
+
+        # unresolved call: benign filters stop taint, anything else carries it
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        if name in _BENIGN_CALLS:
+            return frozenset()
+        if meth in _BENIGN_METHODS:
+            return frozenset()
+        receiver = frozenset()
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._taint(node.func.value)
+        return combined | receiver
+
+    def owner_summary(self, qual: str) -> Summary:
+        return self.owner.summaries.get(qual, Summary())
+
+    def _map_args(self, callee: FunctionInfo, node: ast.Call,
+                  arg_labels, kw_labels) -> dict:
+        """Map call-site argument labels onto callee parameter names."""
+        params = callee.params
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        mapped: dict[str, frozenset] = {}
+        for i, labels in enumerate(arg_labels):
+            if i < len(params):
+                mapped[params[i]] = labels
+        for name, labels in kw_labels.items():
+            if name is not None and name in callee.params:
+                mapped[name] = labels
+        return mapped
+
+    def _propagate_into_callee(self, node, callee, callee_summary,
+                               arg_labels, kw_labels) -> None:
+        """Report (or transit) sinks reached inside the callee."""
+        if not callee_summary.param_to_sink:
+            return
+        mapped = self._map_args(callee, node, arg_labels, kw_labels)
+        for param, labels in mapped.items():
+            hit = callee_summary.param_to_sink.get(param)
+            if hit is None:
+                continue
+            rule, sink_line, trace = hit
+            step = f"{callee.qualname}:{sink_line}"
+            new_trace = (step,) + tuple(trace)
+            if LOCAL in labels:
+                self._report(
+                    rule, node.lineno,
+                    f"tainted argument {param!r} reaches a "
+                    f"{rule.split('-')[-1]} sink inside {callee.name}()",
+                    trace=new_trace,
+                )
+            for p in labels - {LOCAL}:
+                existing = self.summary.param_to_sink.get(p)
+                if existing is None or len(new_trace) < len(existing[2]):
+                    if len(new_trace) <= _MAX_TRACE:
+                        self.summary.param_to_sink[p] = (
+                            rule, node.lineno, new_trace
+                        )
+
+    def _check_raise(self, exc: ast.expr) -> None:
+        if isinstance(exc, ast.Call):
+            labels = frozenset()
+            for a in exc.args:
+                labels = labels | self._taint(a)
+            for kw in exc.keywords:
+                labels = labels | self._taint(kw.value)
+            self._sink_check(labels, "taint-to-exception", exc,
+                             "exception message")
+        else:
+            self._sink_check(self._taint(exc), "taint-to-exception", exc,
+                             "exception value")
+
+    def _is_log_call(self, node: ast.Call) -> bool:
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        if node.func.attr not in _LOG_METHODS:
+            return False
+        base = node.func.value
+        if isinstance(base, ast.Name):
+            return base.id in _LOG_RECEIVERS or base.id.endswith("logger")
+        if isinstance(base, ast.Attribute):
+            return base.attr in _LOG_RECEIVERS or base.attr.endswith("logger")
+        return False
+
+    def _sink_check(self, labels: frozenset, rule: str, node, what: str) -> None:
+        line = getattr(node, "lineno", self.fn.node.lineno)
+        if LOCAL in labels:
+            self._report(rule, line, f"sensitive plaintext flows into {what}")
+        for param in labels - {LOCAL}:
+            existing = self.summary.param_to_sink.get(param)
+            if existing is None:
+                self.summary.param_to_sink[param] = (rule, line, ())
+
+    def _report(self, rule: str, line: int, message: str, trace=()) -> None:
+        if self.emit:
+            self.owner.report(self.fn, rule, line, message, trace)
+
+
+def run_taint(project: Project) -> list[Finding]:
+    return TaintPass(project).run()

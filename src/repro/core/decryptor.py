@@ -16,6 +16,7 @@ from __future__ import annotations
 import datetime
 from typing import Optional
 
+from repro.analysis.contracts import plaintext_source
 from repro.core.keystore import KeyStore
 from repro.core.plan import Const, OutputColumn, ParamRef, PlainSlot, PostOp, ShareSlot
 from repro.crypto.encoding import decode_signed
@@ -37,6 +38,7 @@ class Decryptor:
         self._sies = SIESCipher(store.sies_key)
         self._params: tuple = ()
 
+    @plaintext_source
     def decrypt(
         self, result: Table, outputs: tuple[OutputColumn, ...], params=()
     ) -> Table:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import secrets
 from typing import Iterable, Optional, Sequence
 
+from repro.analysis.contracts import sanitizer
 from repro.core.meta import ColumnMeta, TableMeta, ValueType
 from repro.crypto import keyops
 from repro.crypto.encoding import check_domain, encode_signed
@@ -46,6 +47,7 @@ class UploadError(ValueError):
     """Invalid upload request (bad schema, out-of-domain values, ...)."""
 
 
+@sanitizer
 def encrypt_table(
     keys: SystemKeys,
     sies_key: SIESKey,
@@ -129,6 +131,7 @@ def encrypt_table(
     return meta, table
 
 
+@sanitizer
 def encrypt_rows(
     keys: SystemKeys,
     sies_key: SIESKey,

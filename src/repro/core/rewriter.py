@@ -38,6 +38,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis.contracts import sanitizer
 from repro.core.keystore import KeyStore
 from repro.core.meta import TableMeta, ValueType
 from repro.core.plan import (
@@ -288,6 +289,7 @@ class Rewriter:
 
     # -- entry point --------------------------------------------------------
 
+    @sanitizer
     @_serialized
     def rewrite(self, query: ast.Select, param_types=()) -> RewrittenQuery:
         """Rewrite ``query``; ``param_types`` declares placeholder vtypes.
@@ -334,6 +336,7 @@ class Rewriter:
 
     # -- DML -----------------------------------------------------------------
 
+    @sanitizer
     @_serialized
     def rewrite_update(self, statement: ast.Update):
         """Rewrite an UPDATE so it runs entirely at the SP.
@@ -420,6 +423,7 @@ class Rewriter:
             notes=tuple(self._notes),
         )
 
+    @sanitizer
     @_serialized
     def rewrite_delete(self, statement: ast.Delete):
         """Rewrite a DELETE's predicate; row removal itself is public."""
@@ -1929,7 +1933,9 @@ class Rewriter:
             return encode_string(str(value), width)
         if vtype.kind == "bool":
             return int(bool(value))
-        raise RewriteError(f"cannot ring-encode {value!r}")
+        # name the type, never the value: rewrite errors travel in exception
+        # text and the constant may be a sensitive query operand
+        raise RewriteError(f"cannot ring-encode value of type {type(value).__name__}")
 
     def _leak(self, kind: str, site: str) -> None:
         self._leakage.append(f"{kind}: {site}")
@@ -1994,7 +2000,7 @@ def _literal_vtype(value) -> ValueType:
         return ValueType.date()
     if isinstance(value, str):
         return ValueType.string(width=max(len(value.encode("utf-8")), 1))
-    raise RewriteError(f"unsupported literal {value!r}")
+    raise RewriteError(f"unsupported literal of type {type(value).__name__}")
 
 
 def _numeric_scale(vtype: ValueType, constant) -> int:

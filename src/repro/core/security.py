@@ -91,8 +91,21 @@ class PlaintextHit:
     value: object
 
 
-def iter_stored_shares(server: SDBServer):
-    """Yield (table, column, row, share) for every SHARE-typed cell."""
+def iter_stored_shares(server):
+    """Yield (table, column, row, share) for every SHARE-typed cell.
+
+    ``server`` is a single :class:`SDBServer` or a cluster coordinator
+    (anything with a ``shards`` list of servers).  In the cluster case the
+    scan covers every shard's full catalog -- including hidden relations
+    such as in-flight ``__txnstage__*`` staging tables -- and table names
+    are prefixed ``shard<i>:`` so a hit names the observing SP.
+    """
+    shards = getattr(server, "shards", None)
+    if shards is not None:
+        for index, shard in enumerate(shards):
+            for name, column, row, value in iter_stored_shares(shard):
+                yield f"shard{index}:{name}", column, row, value
+        return
     for name in server.catalog.names():
         table = server.catalog.get(name)
         for spec in table.schema.columns:
@@ -103,13 +116,14 @@ def iter_stored_shares(server: SDBServer):
 
 
 def scan_for_plaintext(
-    server: SDBServer, plaintexts: Iterable, include_zero: bool = False
+    server, plaintexts: Iterable, include_zero: bool = False
 ) -> list[PlaintextHit]:
     """DB-knowledge check: do any sensitive plaintexts appear on disk?
 
     ``plaintexts`` are the ring-encoded sensitive values the DO uploaded.
     A correct deployment returns an empty list (up to the negligible chance
-    of a share colliding with a value).
+    of a share colliding with a value).  Accepts a single server or a
+    cluster coordinator (see :func:`iter_stored_shares`).
 
     **Zero is excluded by default**: multiplicative secret sharing maps 0
     to 0 (``ve = 0 * vk^-1 = 0``, Definition 2), so zero-ness of a cell is
@@ -128,12 +142,13 @@ def scan_for_plaintext(
     return hits
 
 
-def zero_value_cells(server: SDBServer) -> list[PlaintextHit]:
+def zero_value_cells(server) -> list[PlaintextHit]:
     """Stored shares equal to zero: the scheme's declared zero-leakage.
 
     An SP observer learns *which sensitive cells are exactly zero* (and
     nothing about any non-zero magnitude), because the encryption of 0 is 0
-    under every item key.
+    under every item key.  Accepts a single server or a cluster coordinator
+    (see :func:`iter_stored_shares`).
     """
     return [
         PlaintextHit(table=table, column=column, row=row, value=0)

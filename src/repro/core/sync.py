@@ -52,8 +52,19 @@ class ReadWriteLock:
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
+                if self._write_depth <= 1:
+                    # depth 1 is the write hold itself; a nested read hold
+                    # would have pushed it to >= 2
+                    raise RuntimeError(
+                        "release_read without a matching acquire_read "
+                        "(write side held but no nested read hold)"
+                    )
                 self._write_depth -= 1
                 return
+            if self._readers <= 0:
+                raise RuntimeError(
+                    "release_read without a matching acquire_read"
+                )
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
@@ -78,7 +89,10 @@ class ReadWriteLock:
     def release_write(self) -> None:
         with self._cond:
             if self._writer != threading.get_ident():
-                raise RuntimeError("release_write by a non-holder")
+                raise RuntimeError(
+                    "release_write without a matching acquire_write "
+                    "(calling thread does not hold the write side)"
+                )
             self._write_depth -= 1
             if self._write_depth == 0:
                 self._writer = None

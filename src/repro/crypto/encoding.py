@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import datetime
 
+from repro.analysis.contracts import plaintext_source
+
 _EPOCH = datetime.date(1970, 1, 1)
 
 
@@ -28,6 +30,7 @@ def encode_signed(value: int, n: int) -> int:
     return value % n
 
 
+@plaintext_source
 def decode_signed(residue: int, n: int) -> int:
     """Inverse of :func:`encode_signed` under the ``n/2`` convention."""
     residue %= n
@@ -44,8 +47,11 @@ def check_domain(value: int, value_bits: int) -> int:
     needs.
     """
     if abs(value) >= 1 << (value_bits - 1):
+        # report the magnitude, never the value: this error can surface in
+        # SP-side logs and the value may be a sensitive bound parameter
         raise OverflowError(
-            f"value {value} outside the {value_bits}-bit plaintext domain"
+            f"value of {abs(value).bit_length()} bits outside the "
+            f"{value_bits}-bit plaintext domain"
         )
     return value
 
@@ -55,6 +61,7 @@ def encode_decimal(value, scale: int = 2) -> int:
     return round(float(value) * (10 ** scale))
 
 
+@plaintext_source
 def decode_decimal(encoded: int, scale: int = 2) -> float:
     """Inverse of :func:`encode_decimal`."""
     return encoded / (10 ** scale)
@@ -67,6 +74,7 @@ def encode_date(value) -> int:
     return (value - _EPOCH).days
 
 
+@plaintext_source
 def decode_date(days: int) -> datetime.date:
     """Inverse of :func:`encode_date`."""
     return _EPOCH + datetime.timedelta(days=int(days))
@@ -119,6 +127,7 @@ def ring_encode(value, kind: str, scale: int = 0, width: int = 0) -> int:
     raise ValueError(f"cannot ring-encode kind {kind!r}")
 
 
+@plaintext_source
 def decode_string(encoded: int, width: int) -> str:
     """Inverse of :func:`encode_string` (strips the zero padding)."""
     raw = int(encoded).to_bytes(width, "big")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.analysis.contracts import plaintext_source, sanitizer
 from repro.crypto.keys import ColumnKey, SystemKeys
 from repro.crypto.ntheory import batch_modinv, modinv
 
@@ -43,16 +44,19 @@ def item_keys(keys: SystemKeys, row_ids: Sequence[int], ck: ColumnKey) -> list[i
     return [m * pow(g, (r * x) % phi, n) % n for r in row_ids]
 
 
+@sanitizer
 def encrypt_value(keys: SystemKeys, value: int, vk: int) -> int:
     """Definition 2: split off the SP share ``ve = v * vk^-1 mod n``."""
     return (value % keys.n) * modinv(vk, keys.n) % keys.n
 
 
+@plaintext_source
 def decrypt_value(keys: SystemKeys, ve: int, vk: int) -> int:
     """Equation 4: recover ``v = ve * vk mod n`` (still ring-encoded)."""
     return (ve * vk) % keys.n
 
 
+@sanitizer
 def encrypt_column(
     keys: SystemKeys,
     values: Iterable[int],
@@ -74,6 +78,7 @@ def encrypt_column(
     return [(v % n) * inv % n for v, inv in zip(values, inverses)]
 
 
+@plaintext_source
 def decrypt_column(
     keys: SystemKeys,
     shares: Iterable[int],

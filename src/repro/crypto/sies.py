@@ -25,6 +25,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.analysis.contracts import plaintext_source, sanitizer
 from repro.crypto.prf import prf_int
 
 
@@ -86,6 +87,7 @@ class SIESCipher:
             self._pad_bits,
         ) % self._key.modulus
 
+    @sanitizer
     def encrypt(self, plaintext: int, nonce: int) -> SIESCiphertext:
         if not 0 <= plaintext < self._key.modulus:
             raise ValueError("plaintext outside SIES modulus range")
@@ -94,9 +96,11 @@ class SIESCipher:
             nonce=nonce,
         )
 
+    @plaintext_source
     def decrypt(self, ciphertext: SIESCiphertext) -> int:
         return (ciphertext.value - self._pad(ciphertext.nonce)) % self._key.modulus
 
+    @sanitizer
     def encrypt_many(
         self, plaintexts: Sequence[int], nonces: Sequence[int]
     ) -> list[SIESCiphertext]:
@@ -120,6 +124,7 @@ class SIESCipher:
             )
         return out
 
+    @plaintext_source
     def decrypt_many(self, ciphertexts: Sequence[SIESCiphertext]) -> list[int]:
         """Decrypt a column of ciphertexts (inverse of :meth:`encrypt_many`)."""
         modulus = self._key.modulus

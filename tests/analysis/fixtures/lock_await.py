@@ -1,0 +1,27 @@
+"""Fixture: ``await`` while holding a synchronous lock (await-under-lock)."""
+
+import asyncio
+import threading
+
+
+class AsyncCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aio_lock = asyncio.Lock()
+        self.entries = {}
+
+    async def bad_await_under_sync_lock(self, name, fetch):
+        with self._lock:
+            self.entries[name] = await fetch(name)
+            return self.entries[name]
+
+    async def ok_await_under_async_lock(self, name, fetch):
+        async with self._aio_lock:
+            self.entries[name] = await fetch(name)
+            return self.entries[name]
+
+    async def ok_await_outside_lock(self, name, fetch):
+        value = await fetch(name)
+        with self._lock:
+            self.entries[name] = value
+            return value

@@ -1,0 +1,32 @@
+"""Fixture: blocking calls under the write side (blocking-under-write-lock)."""
+
+import time
+
+from repro.core.sync import ReadWriteLock
+
+
+class Store:
+    def __init__(self):
+        self._lock = ReadWriteLock()
+
+    def _refresh(self):
+        time.sleep(0.05)
+
+    def bad_sleep_under_write(self):
+        with self._lock.write_locked():
+            time.sleep(0.1)
+
+    def bad_refresh_under_write(self):
+        # blocking one call away: exercises the may-block call chains
+        with self._lock.write_locked():
+            self._refresh()
+
+    def ok_sleep_outside(self):
+        with self._lock.write_locked():
+            pass
+        time.sleep(0.1)
+
+    def ok_sleep_under_read(self):
+        # the read side stalls nobody else: the rule targets the write side
+        with self._lock.read_locked():
+            time.sleep(0.1)

@@ -1,0 +1,22 @@
+"""Corrected twin of lock_cycle_bad: one global order, no cycle."""
+
+from repro.core.sync import ReadWriteLock
+
+
+class Pair:
+    def __init__(self):
+        self._meta_lock = ReadWriteLock()
+        self._data_lock = ReadWriteLock()
+        self.meta = {}
+        self.data = {}
+
+    def ok_meta_then_data(self, name):
+        with self._meta_lock.read_locked():
+            with self._data_lock.read_locked():
+                return self.meta.get(name), self.data.get(name)
+
+    def ok_meta_then_data_write(self, name):
+        with self._meta_lock.write_locked():
+            with self._data_lock.write_locked():
+                self.data[name] = None
+                self.meta[name] = None

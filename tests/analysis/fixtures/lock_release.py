@@ -1,0 +1,25 @@
+"""Fixture: bare acquire without a guaranteed release (lock-no-release)."""
+
+from repro.core.sync import ReadWriteLock
+
+
+class Registry:
+    def __init__(self):
+        self._lock = ReadWriteLock()
+        self.items = []
+
+    def bad_acquire_no_finally(self, item):
+        self._lock.acquire_write()
+        self.items.append(item)  # may raise: the lock would leak
+        self._lock.release_write()
+
+    def ok_acquire_with_finally(self, item):
+        self._lock.acquire_write()
+        try:
+            self.items.append(item)
+        finally:
+            self._lock.release_write()
+
+    def ok_with_block(self, item):
+        with self._lock.write_locked():
+            self.items.append(item)

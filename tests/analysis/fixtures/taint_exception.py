@@ -1,0 +1,24 @@
+"""Fixture: plaintext must not be interpolated into exceptions."""
+
+from repro.analysis.contracts import plaintext_source
+
+
+@plaintext_source
+def decrypt_cell(share, key):
+    return share * key
+
+
+def bad_raise_value(share, key, limit):
+    value = decrypt_cell(share, key)
+    if value > limit:
+        raise ValueError(f"cell value {value} exceeds the domain limit")
+    return value
+
+
+def ok_raise_magnitude(share, key, limit):
+    value = decrypt_cell(share, key)
+    if value > limit:
+        raise ValueError(
+            f"cell of {value.bit_length()} bits exceeds the domain limit"
+        )
+    return value

@@ -1,0 +1,22 @@
+"""Fixture: plaintext must not be interpolated into log messages."""
+
+import logging
+
+from repro.analysis.contracts import plaintext_source
+
+logger = logging.getLogger(__name__)
+
+
+@plaintext_source
+def decrypt_cell(share, key):
+    return share * key
+
+
+def bad_log_plaintext(share, key):
+    value = decrypt_cell(share, key)
+    logger.warning("decrypted cell %s", value)
+
+
+def ok_log_count(values, key):
+    cells = [decrypt_cell(v, key) for v in values]
+    logger.warning("decrypted %d cells", len(cells))

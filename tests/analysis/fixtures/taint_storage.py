@@ -1,0 +1,28 @@
+"""Fixture: plaintext must not reach SP-side storage (taint-to-storage)."""
+
+from repro.analysis.contracts import plaintext_source, sanitizer
+
+
+@plaintext_source
+def decrypt_cell(share, key):
+    return share * key
+
+
+@sanitizer
+def reencrypt(value, key):
+    return value * key
+
+
+def bad_persist_plaintext(table, shares, key):
+    values = [decrypt_cell(s, key) for s in shares]
+    table.append_rows([values])
+
+
+def ok_persist_reencrypted(table, shares, key):
+    values = [decrypt_cell(s, key) for s in shares]
+    table.append_rows([[reencrypt(v, key) for v in values]])
+
+
+def ok_persist_cardinality(table, shares, key):
+    values = [decrypt_cell(s, key) for s in shares]
+    table.set_cell("stats", 0, len(values))

@@ -1,0 +1,44 @@
+"""Fixture: plaintext must not reach wire serialization (taint-to-wire).
+
+``bad_*`` functions are seeded violations the analyzer must flag; their
+``ok_*`` twins are the corrected forms it must stay silent on.  The file
+is *parsed* by the analyzer, never imported.
+"""
+
+from repro.analysis.contracts import plaintext_source, sanitizer
+from repro.net.protocol import send_message
+
+
+@plaintext_source
+def decrypt_cell(share, key):
+    return share * key
+
+
+@sanitizer
+def reencrypt(value, key):
+    return value * key
+
+
+def bad_ship_plaintext(sock, share, key):
+    plain = decrypt_cell(share, key)
+    send_message(sock, {"cell": plain})
+
+
+def bad_ship_via_helper(sock, share, key):
+    # the sink is one call away: exercises interprocedural summaries
+    plain = decrypt_cell(share, key)
+    _frame(sock, plain)
+
+
+def _frame(sock, payload):
+    send_message(sock, payload)
+
+
+def ok_ship_reencrypted(sock, share, key):
+    plain = decrypt_cell(share, key)
+    send_message(sock, {"cell": reencrypt(plain, key)})
+
+
+def ok_ship_count(sock, shares, key):
+    cells = [decrypt_cell(s, key) for s in shares]
+    send_message(sock, {"rows": len(cells)})

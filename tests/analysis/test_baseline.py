@@ -1,0 +1,151 @@
+"""Baseline semantics: leakage citation required, staleness is an error."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cli
+from repro.analysis.baseline import (
+    BaselineError,
+    Suppression,
+    _parse_subset,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.model import Finding, Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def write(tmp_path, text):
+    path = tmp_path / "baseline.toml"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+VALID = '''
+[[suppression]]
+rule = "taint-to-wire"
+file = "src/repro/example.py"
+function = "repro.example.route"
+leakage = "zero-values"
+reason = "example suppression for the test"
+'''
+
+
+def test_valid_taint_suppression_loads(tmp_path):
+    rows = load_baseline(write(tmp_path, VALID))
+    assert len(rows) == 1
+    assert rows[0].leakage == "zero-values"
+
+
+def test_taint_suppression_without_leakage_is_rejected(tmp_path):
+    text = VALID.replace('leakage = "zero-values"\n', "")
+    with pytest.raises(BaselineError, match="DECLARED_LEAKAGE"):
+        load_baseline(write(tmp_path, text))
+
+
+def test_taint_suppression_with_unknown_leakage_is_rejected(tmp_path):
+    text = VALID.replace("zero-values", "not-a-declared-entry")
+    with pytest.raises(BaselineError, match="unknown leakage"):
+        load_baseline(write(tmp_path, text))
+
+
+def test_lock_suppression_needs_no_leakage_but_a_reason(tmp_path):
+    text = VALID.replace("taint-to-wire", "lock-no-release").replace(
+        'leakage = "zero-values"\n', ""
+    )
+    rows = load_baseline(write(tmp_path, text))
+    assert rows[0].leakage is None
+    with pytest.raises(BaselineError, match="empty reason"):
+        load_baseline(
+            write(tmp_path, text.replace(
+                'reason = "example suppression for the test"',
+                'reason = "  "',
+            ))
+        )
+
+
+def test_missing_fields_are_rejected(tmp_path):
+    text = VALID.replace('file = "src/repro/example.py"\n', "")
+    with pytest.raises(BaselineError, match="missing"):
+        load_baseline(write(tmp_path, text))
+
+
+def test_subset_parser_matches_tomllib():
+    tomllib = pytest.importorskip("tomllib")
+    assert _parse_subset(VALID, Path("x.toml")) == tomllib.loads(VALID)
+
+
+def finding(rule="taint-to-wire", file="a.py", symbol="a.f"):
+    return Finding(
+        rule=rule, file=file, line=1, symbol=symbol,
+        message="m", severity=Severity.ERROR, trace=(),
+    )
+
+
+def test_apply_baseline_separates_matched_and_stale():
+    matched = Suppression(
+        rule="taint-to-wire", file="a.py", function="a.f", reason="r",
+        leakage="zero-values",
+    )
+    stale = Suppression(
+        rule="taint-to-wire", file="gone.py", function="*", reason="r",
+        leakage="zero-values",
+    )
+    remaining, stale_out = apply_baseline([finding()], [matched, stale])
+    assert remaining == []
+    assert stale_out == [stale]
+
+
+def test_wildcard_function_matches_any_symbol_in_file():
+    wildcard = Suppression(
+        rule="taint-to-wire", file="a.py", function="*", reason="r",
+        leakage="zero-values",
+    )
+    remaining, _ = apply_baseline(
+        [finding(symbol="a.f"), finding(symbol="a.g")], [wildcard]
+    )
+    assert remaining == []
+
+
+# -- the CLI's exit-code contract ---------------------------------------------
+
+
+def test_cli_reports_fixture_violations(capsys):
+    code = cli.main(
+        ["--no-baseline", "--repo-root", str(FIXTURES),
+         str(FIXTURES / "taint_wire.py")]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "taint-to-wire" in out
+
+
+def test_cli_clean_file_exits_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def add(a, b):\n    return a + b\n", encoding="utf-8")
+    assert cli.main(
+        ["--no-baseline", "--repo-root", str(tmp_path), str(clean)]
+    ) == 0
+
+
+def test_cli_stale_baseline_exits_two(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def add(a, b):\n    return a + b\n", encoding="utf-8")
+    baseline = write(tmp_path, VALID)  # matches nothing in clean.py
+    code = cli.main(
+        ["--baseline", str(baseline), "--repo-root", str(tmp_path), str(clean)]
+    )
+    assert code == 2
+    assert "stale suppression" in capsys.readouterr().err
+
+
+def test_cli_malformed_baseline_exits_two(tmp_path, capsys):
+    baseline = write(tmp_path, VALID.replace("zero-values", "nope"))
+    code = cli.main(
+        ["--baseline", str(baseline), "--repo-root", str(FIXTURES),
+         str(FIXTURES / "taint_wire.py")]
+    )
+    assert code == 2
+    assert "baseline error" in capsys.readouterr().err

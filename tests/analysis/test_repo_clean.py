@@ -1,0 +1,43 @@
+"""Repo-wide pin: ``sdb-lint src/`` is clean under the reviewed baseline.
+
+This is the gate the CI ``analysis`` job enforces.  Any new finding must
+be *fixed*, or -- only when it is a declared property of the scheme --
+suppressed in ``src/repro/analysis/baseline.toml`` citing the matching
+``DECLARED_LEAKAGE`` entry.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import (
+    TAINT_RULES,
+    declared_leakage_keys,
+    load_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "src" / "repro" / "analysis" / "baseline.toml"
+
+
+def test_src_tree_is_clean_under_the_shipped_baseline():
+    findings, stale = analyze_paths(
+        [REPO / "src"], repo_root=REPO, baseline_path=BASELINE
+    )
+    assert stale == [], f"stale suppressions: {stale}"
+    assert findings == [], "undeclared findings:\n" + "\n".join(
+        f.render() for f in findings
+    )
+
+
+def test_every_taint_suppression_cites_declared_leakage():
+    keys = declared_leakage_keys()
+    for suppression in load_baseline(BASELINE):
+        if suppression.rule in TAINT_RULES:
+            assert suppression.leakage in keys
+        assert suppression.reason.strip()
+
+
+def test_declared_leakage_keys_cover_the_registry():
+    keys = declared_leakage_keys()
+    # spot-check the long-standing entries the baseline may cite
+    assert {"zero-values", "comparison-signs", "shard-routing"} <= keys

@@ -203,3 +203,28 @@ def test_rewritten_query_reparses(rewriter):
     from repro.sql.parser import parse as reparse
 
     reparse(plan.sql)  # the rewritten SQL must itself be valid SQL
+
+
+def test_rewrite_errors_never_embed_the_constant(rewriter):
+    """Rewrite failures travel in exception text (logs, wire error frames):
+    they must name the offending *type*, never the constant's value."""
+    from repro.core.rewriter import infer_param_type
+
+    class Opaque:
+        def __repr__(self):
+            return "SECRET-7734"
+
+    class UnknownVType:
+        # a kind outside the ring dispatch reaches the fallback raise
+        kind = "opaque"
+        width = 0
+
+    with pytest.raises(RewriteError) as info:
+        rewriter._ring(Opaque(), UnknownVType(), 0)
+    assert "SECRET-7734" not in str(info.value)
+    assert "Opaque" in str(info.value)
+
+    with pytest.raises(RewriteError) as info:
+        infer_param_type(Opaque())
+    assert "SECRET-7734" not in str(info.value)
+    assert "Opaque" in str(info.value)

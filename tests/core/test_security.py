@@ -2,10 +2,12 @@
 
 import pytest
 
+import repro.api as api
 from repro.core import security
 from repro.core.meta import ValueType
 from repro.core.proxy import SDBProxy
 from repro.core.server import SDBServer
+from repro.core.txn import TXN_STAGING_PREFIX
 from repro.crypto.prf import seeded_rng
 
 COLUMNS = [
@@ -97,3 +99,104 @@ def test_qr_attacker_requires_instrumentation():
     server = SDBServer(instrument=False)
     with pytest.raises(ValueError):
         security.QRAttacker(server)
+
+
+# -- cluster deployments ------------------------------------------------------
+#
+# The DB-knowledge scan must cover what a *cluster* SP observer sees: every
+# shard's full catalog, including hidden relations such as the __txnstage__
+# staging tables a two-phase COMMIT leaves visible between prepare and
+# finalize.
+
+CLUSTER_COLUMNS = [
+    ("id", ValueType.int_()),
+    ("amount", ValueType.decimal(2)),
+]
+# every tenth amount is exactly zero: the scheme's declared zero-leakage
+CLUSTER_ROWS = [
+    (i, 0.0 if i % 10 == 0 else float((i * 25) % 900) + 0.25)
+    for i in range(1, 41)
+]
+
+
+@pytest.fixture()
+def cluster_deployment():
+    conn = api.connect(shards=4, modulus_bits=256, value_bits=64, rng=seeded_rng(41))
+    conn.proxy.create_table(
+        "pay", CLUSTER_COLUMNS, CLUSTER_ROWS,
+        sensitive=["amount"], rng=seeded_rng(42), shard_by="id",
+    )
+    yield conn, conn.proxy.server
+    conn.close()
+
+
+def cluster_ring_values(conn, amounts):
+    vtype = ValueType.decimal(2)
+    n = conn.proxy.store.keys.n
+    return [vtype.encode(a) % n for a in amounts]
+
+
+def test_cluster_scan_covers_every_shard(cluster_deployment):
+    conn, coordinator = cluster_deployment
+    shards_seen = {
+        table.split(":", 1)[0]
+        for table, _, _, _ in security.iter_stored_shares(coordinator)
+    }
+    assert shards_seen == {"shard0", "shard1", "shard2", "shard3"}
+
+
+def test_cluster_no_plaintext_on_any_shard(cluster_deployment):
+    conn, coordinator = cluster_deployment
+    values = cluster_ring_values(conn, [a for _, a in CLUSTER_ROWS])
+    assert security.scan_for_plaintext(coordinator, values) == []
+
+
+def test_cluster_zero_cells_are_the_declared_leakage(cluster_deployment):
+    conn, coordinator = cluster_deployment
+    hits = security.zero_value_cells(coordinator)
+    zero_rows = sum(1 for _, a in CLUSTER_ROWS if a == 0.0)
+    # one zero share per zero amount (the aux __s column encrypts 1, and
+    # only the amount column is sensitive), spread across the shards
+    amount_hits = [h for h in hits if h.column == "amount"]
+    assert len(amount_hits) == zero_rows
+    assert all(h.value == 0 for h in amount_hits)
+    # scan_for_plaintext surfaces the same cells only on request
+    values = cluster_ring_values(conn, [a for _, a in CLUSTER_ROWS])
+    assert security.scan_for_plaintext(coordinator, values) == []
+    with_zero = security.scan_for_plaintext(coordinator, values, include_zero=True)
+    assert len([h for h in with_zero if h.column == "amount"]) >= zero_rows
+
+
+def test_cluster_txn_staging_holds_no_plaintext(cluster_deployment):
+    """Scan mid-2PC: staged __txnstage__ relations hold only ciphertext."""
+    conn, coordinator = cluster_deployment
+    conn.begin()
+    conn.execute("UPDATE pay SET amount = amount + 7 WHERE id <= 20")
+    before = [a for _, a in CLUSTER_ROWS]
+    after = [a + 7 if i <= 20 else a for i, a in CLUSTER_ROWS]
+    needles = cluster_ring_values(conn, before + after)
+    observed = {}
+
+    def scan_at_record(label):
+        if label != "txn:record":
+            return
+        # every shard prepared: staging relations exist and are scannable
+        tables = {
+            table for table, _, _, _ in security.iter_stored_shares(coordinator)
+        }
+        observed["staging"] = sorted(
+            t for t in tables if TXN_STAGING_PREFIX in t
+        )
+        observed["hits"] = security.scan_for_plaintext(coordinator, needles)
+
+    coordinator.commit(session=conn.context.session_id, on_step=scan_at_record)
+    conn._in_txn = False
+    assert observed["staging"], "scan ran before any shard staged its delta"
+    assert observed["hits"] == []
+    # after finalize the staging relations are gone and the committed
+    # slices are still ciphertext-only
+    remaining = {
+        table for table, _, _, _ in security.iter_stored_shares(coordinator)
+    }
+    assert not any(TXN_STAGING_PREFIX in t for t in remaining)
+    assert security.scan_for_plaintext(coordinator, needles) == []

@@ -1,0 +1,119 @@
+"""Unit tests for :class:`repro.core.sync.ReadWriteLock` discipline.
+
+The lock is the foundation of the execution tier's concurrency story; an
+unbalanced release must fail loudly at the faulty call site instead of
+silently corrupting the reader count (which would admit readers during a
+write, or wedge writers forever).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.sync import ReadWriteLock
+
+
+class TestBalancedUse:
+    def test_read_roundtrip(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.release_read()
+        # lock is free again: a writer can get in without blocking
+        with lock.write_locked():
+            assert lock.write_held
+
+    def test_write_reentrant(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        lock.acquire_write()
+        lock.release_write()
+        assert lock.write_held
+        lock.release_write()
+        assert not lock.write_held
+
+    def test_write_holder_may_read(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            lock.acquire_read()
+            lock.release_read()
+            assert lock.write_held
+
+    def test_concurrent_readers(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+
+class TestUnbalancedRelease:
+    def test_release_read_without_acquire(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError, match="matching acquire_read"):
+            lock.release_read()
+
+    def test_double_release_read(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.release_read()
+        with pytest.raises(RuntimeError, match="matching acquire_read"):
+            lock.release_read()
+
+    def test_release_write_without_acquire(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError, match="matching acquire_write"):
+            lock.release_write()
+
+    def test_double_release_write(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        lock.release_write()
+        with pytest.raises(RuntimeError, match="matching acquire_write"):
+            lock.release_write()
+
+    def test_release_write_from_other_thread(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        caught = []
+
+        def releaser():
+            try:
+                lock.release_write()
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=releaser)
+        t.start()
+        t.join(timeout=5)
+        assert len(caught) == 1
+        lock.release_write()
+
+    def test_write_holder_unbalanced_read_release(self):
+        # write holder with NO nested read hold must not be able to shed
+        # its write depth through release_read
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(RuntimeError, match="matching acquire_read"):
+            lock.release_read()
+        # the write hold itself is intact
+        assert lock.write_held
+        lock.release_write()
+        assert not lock.write_held
+
+    def test_failed_release_leaves_lock_usable(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        # reader count was not corrupted: writers still proceed
+        with lock.write_locked():
+            assert lock.write_held
+        with lock.read_locked():
+            pass

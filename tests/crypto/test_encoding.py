@@ -29,6 +29,19 @@ def test_check_domain():
         encoding.check_domain(-200, 8)
 
 
+def test_check_domain_error_never_embeds_the_value():
+    # the message can surface in SP-side logs; it must name the magnitude
+    # (bit length), never the out-of-domain plaintext itself
+    secret = 987654321987654321
+    with pytest.raises(OverflowError) as info:
+        encoding.check_domain(secret, 16)
+    assert str(secret) not in str(info.value)
+    assert str(secret.bit_length()) in str(info.value)
+    with pytest.raises(OverflowError) as info:
+        encoding.check_domain(-secret, 16)
+    assert str(secret) not in str(info.value)
+
+
 @given(st.decimals(min_value=-10**6, max_value=10**6, places=2, allow_nan=False))
 def test_decimal_roundtrip_scale2(d):
     encoded = encoding.encode_decimal(d, scale=2)
