@@ -1,0 +1,183 @@
+"""E20 -- observability overhead on the Q6-style hot path.
+
+Tracing is opt-in per connection; the acceptance bars are (a) a session
+with tracing *off* pays essentially nothing for the instrumentation
+points baked into the hot path (each is one ``ContextVar.get`` plus a
+``None`` check), and (b) a session with tracing *on* -- every query
+recording a full span tree (bind, rewrite, route, scatter, merge,
+decrypt) -- stays within 5% of the untraced wall clock.
+
+Scenario: a prepared Q6-style aggregate over an encrypted lineitem
+slice, executed repeatedly on twin connections over the *same* deployment
+(identical server state, identical plans); per-execution wall times are
+compared by median, which shrugs off scheduler spikes.  A third
+measurement times the disabled instrumentation point
+(:func:`repro.obs.trace.child_span` with no ambient span) directly, in
+nanoseconds per call.
+"""
+
+import datetime
+import statistics
+import time
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import (
+    ResultTable,
+    bench_smoke,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.obs.trace import Tracer, child_span
+
+ROWS = smoke_scaled(96, 24)
+MODULUS_BITS = smoke_scaled(512, 256)
+EXECUTIONS = smoke_scaled(60, 8)
+#: acceptance bar: tracing-on wall clock within 5% of tracing-off
+MAX_OVERHEAD_PCT = 5.0
+#: acceptance bar on the disabled hook itself (generous; measured ~100ns)
+MAX_DISABLED_HOOK_US = 2.0
+
+Q6 = (
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+    "WHERE l_shipdate >= ? AND l_shipdate < ? "
+    "AND l_discount BETWEEN ? AND ? AND l_quantity < ?"
+)
+
+PARAMS = [
+    datetime.date(1994, 1, 1),
+    datetime.date(1995, 1, 1),
+    0.01,
+    0.08,
+    40,
+]
+
+
+def _lineitem_rows():
+    base = datetime.date(1994, 1, 1)
+    return [
+        (
+            i,
+            base + datetime.timedelta(days=(i * 17) % 720),
+            float((i * 37) % 90 + 10) + 0.99,
+            ((i * 7) % 9) / 100.0,
+            (i * 13) % 49 + 1,
+        )
+        for i in range(1, ROWS + 1)
+    ]
+
+
+def _median_exec_ms(conn, statement) -> tuple[float, list]:
+    cursor = conn.cursor()
+    cursor.execute(statement, PARAMS).fetchall()  # warm the plan cache
+    times = []
+    rows = None
+    for _ in range(EXECUTIONS):
+        t0 = time.perf_counter()
+        rows = cursor.execute(statement, PARAMS).fetchall()
+        times.append((time.perf_counter() - t0) * 1000.0)
+    return statistics.median(times), rows
+
+
+def test_tracing_overhead_on_the_hot_path():
+    conn_off = api.connect(
+        server=SDBServer(), modulus_bits=MODULUS_BITS, value_bits=64,
+        rng=seeded_rng(20),
+    )
+    conn_off.proxy.create_table(
+        "lineitem",
+        [
+            ("l_orderkey", ValueType.int_()),
+            ("l_shipdate", ValueType.date()),
+            ("l_extendedprice", ValueType.decimal(2)),
+            ("l_discount", ValueType.decimal(2)),
+            ("l_quantity", ValueType.int_()),
+        ],
+        _lineitem_rows(),
+        sensitive=["l_extendedprice", "l_discount", "l_quantity"],
+        rng=seeded_rng(21),
+    )
+    conn_on = api.connect(proxy=conn_off.proxy, tracing=True)
+
+    stmt_off = conn_off.prepare(Q6)
+    stmt_on = conn_on.prepare(Q6)
+
+    off_ms, rows_off = _median_exec_ms(conn_off, stmt_off)
+    on_ms, rows_on = _median_exec_ms(conn_on, stmt_on)
+    assert rows_on == rows_off  # tracing never changes the answer
+    assert conn_on.trace_spans(), "traced twin recorded no spans"
+    assert conn_off.trace_spans() == []
+
+    overhead_pct = (on_ms - off_ms) / off_ms * 100.0
+
+    # the disabled hook in isolation: one ContextVar.get + None check
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        child_span("probe")
+    disabled_us = (time.perf_counter() - t0) / n * 1e6
+
+    table = ResultTable(
+        title="E20: tracing overhead, Q6-style prepared aggregate",
+        columns=["session", "median ms/exec"],
+    )
+    table.add("tracing off", off_ms)
+    table.add("tracing on (full span tree)", on_ms)
+    table.note(
+        f"overhead: {overhead_pct:+.1f}% (bar: <= {MAX_OVERHEAD_PCT}%); "
+        f"disabled hook: {disabled_us * 1000:.0f} ns/call "
+        f"(bar: <= {MAX_DISABLED_HOOK_US} us)"
+    )
+    table.emit()
+
+    if not bench_smoke():
+        assert overhead_pct <= MAX_OVERHEAD_PCT
+        assert disabled_us <= MAX_DISABLED_HOOK_US
+
+    write_bench_json(
+        "e20_obs",
+        {
+            "rows": ROWS,
+            "modulus_bits": MODULUS_BITS,
+            "executions": EXECUTIONS,
+            "off_ms": off_ms,
+            "on_ms": on_ms,
+            "overhead_pct": overhead_pct,
+            "disabled_hook_us": disabled_us,
+            "spans_per_query": len(
+                conn_on.trace_spans(conn_on.tracer.last_trace_id)
+            ),
+        },
+    )
+
+    conn_on.close()
+    conn_off.close()
+
+
+def test_span_recording_throughput():
+    """Span bookkeeping itself is cheap: opening+finishing a child span
+    costs microseconds, so a 10-span query tree adds tens of us."""
+    tracer = Tracer()
+    n = smoke_scaled(20_000, 2_000)
+    with tracer.span("root"):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with child_span("op") as span:
+                span.set_attr("rows", 1)
+        per_span_us = (time.perf_counter() - t0) / n * 1e6
+    table = ResultTable(
+        title="E20: span open/attr/finish cost",
+        columns=["operation", "us/span"],
+    )
+    table.add("child_span + set_attr + finish", per_span_us)
+    table.emit()
+    if not bench_smoke():
+        assert per_span_us < 50.0
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

@@ -43,7 +43,7 @@ except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback below
 #: Rules whose suppressions must cite a DECLARED_LEAKAGE key.
 TAINT_RULES = frozenset(
     {"taint-to-wire", "taint-to-storage", "taint-to-exception",
-     "taint-to-log", "taint-to-repr"}
+     "taint-to-log", "taint-to-repr", "taint-to-telemetry"}
 )
 
 

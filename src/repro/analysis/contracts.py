@@ -79,10 +79,21 @@ SANITIZER_FUNCTIONS = frozenset(
 )
 
 #: Functions whose arguments cross the DO->SP boundary.  kind: "wire" for
-#: serialization onto a socket, "storage" for SP-side persistent writes.
+#: serialization onto a socket, "storage" for SP-side persistent writes,
+#: "telemetry" for observability emissions (span attributes, metric
+#: labels/samples, slow-query-log entries -- all operator-readable).
 SINK_FUNCTIONS = {
     "repro.net.protocol.send_message": "wire",
     "repro.net.protocol.encode_value": "wire",
+    # observability emission surface (repro.obs): anything attached to a
+    # span, metric, or slow-log entry is operator-visible by design
+    "repro.obs.trace.Span.set_attr": "telemetry",
+    "repro.obs.trace.Tracer.record_timed": "telemetry",
+    "repro.obs.metrics.Counter.labels": "telemetry",
+    "repro.obs.metrics.Gauge.labels": "telemetry",
+    "repro.obs.metrics.Histogram.labels": "telemetry",
+    "repro.obs.metrics.Histogram.observe": "telemetry",
+    "repro.obs.slowlog.SlowQueryLog.record_slow_query": "telemetry",
 }
 
 #: Method-name fallbacks for calls whose receiver type is unknown.  These
@@ -117,6 +128,13 @@ SINK_METHODS = {
     # wire serialization
     "send_message": "wire",
     "encode_value": "wire",
+    # telemetry emission (repro.obs surface): span attributes, metric
+    # label selection, histogram samples, slow-log entries
+    "set_attr": "telemetry",
+    "labels": "telemetry",
+    "observe": "telemetry",
+    "record_timed": "telemetry",
+    "record_slow_query": "telemetry",
     # SP-side storage mutation (Table / Catalog narrow mutation surface)
     "append_rows": "storage",
     "keep_rows": "storage",

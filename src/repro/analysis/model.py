@@ -22,6 +22,8 @@ RULES = {
     "exception message",
     "taint-to-log": "sensitive plaintext is interpolated into a log call",
     "taint-to-repr": "a __repr__/__str__ returns sensitive plaintext",
+    "taint-to-telemetry": "sensitive plaintext reaches a span attribute, "
+    "metric label, or slow-query-log entry",
     "lock-order-cycle": "the global lock-order graph has a cycle "
     "(potential deadlock)",
     "lock-no-release": "a lock is acquired without a guaranteed release "

@@ -343,11 +343,15 @@ class _FunctionAnalyzer:
             return frozenset()
         if role == "source":
             return frozenset({LOCAL})
-        if role in ("wire", "storage"):
-            rule = "taint-to-wire" if role == "wire" else "taint-to-storage"
-            self._sink_check(combined, rule, node,
-                             "argument to a boundary serialization" if role == "wire"
-                             else "argument to an SP storage write")
+        if role in ("wire", "storage", "telemetry"):
+            rule = f"taint-to-{role}"
+            what = {
+                "wire": "argument to a boundary serialization",
+                "storage": "argument to an SP storage write",
+                "telemetry": "a span attribute, metric label, or "
+                             "slow-query-log entry",
+            }[role]
+            self._sink_check(combined, rule, node, what)
             return frozenset()
 
         if self._is_log_call(node):

@@ -248,6 +248,19 @@ class AsyncConnection:
     def cached_statements(self) -> list[str]:
         return self._sync.cached_statements()
 
+    def metrics(self) -> dict:
+        """Process metrics snapshot (see :meth:`Connection.metrics`)."""
+        return self._sync.metrics()
+
+    def trace_spans(self, trace_id=None) -> list:
+        return self._sync.trace_spans(trace_id)
+
+    def span_tree(self, trace_id=None) -> str:
+        return self._sync.span_tree(trace_id)
+
+    def slow_queries(self) -> list:
+        return self._sync.slow_queries()
+
     # -- session surface ------------------------------------------------------
 
     def cursor(self) -> AsyncCursor:
@@ -322,6 +335,8 @@ async def aconnect(
     policy=None,
     rng=None,
     statement_cache_size: int = 64,
+    tracing: bool = False,
+    slow_query_s: Optional[float] = None,
 ) -> AsyncConnection:
     """Open an async session; deployment shapes mirror :func:`repro.api.connect`.
 
@@ -366,6 +381,8 @@ async def aconnect(
                 policy=policy,
                 rng=rng,
                 statement_cache_size=statement_cache_size,
+                tracing=tracing,
+                slow_query_s=slow_query_s,
             )
 
         sync_conn = await loop.run_in_executor(executor, build)

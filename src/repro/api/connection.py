@@ -18,9 +18,17 @@ from repro.api import exceptions as exc
 from repro.api.backend import ExecutionContext
 from repro.api.cursor import Cursor
 from repro.api.statement import Statement
+from repro.obs.metrics import global_metrics
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NOOP_TRACER, Tracer, render_span_tree
 from repro.sql import ast
 
 CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize evictions")
+
+_STMT_CACHE = global_metrics().counter(
+    "sdb_stmt_cache_total",
+    "statement-cache lookups by outcome (hit/miss/eviction)",
+)
 
 
 class Connection:
@@ -38,11 +46,21 @@ class Connection:
     ProgrammingError = exc.ProgrammingError
     NotSupportedError = exc.NotSupportedError
 
-    def __init__(self, proxy, statement_cache_size: int = 64):
+    def __init__(self, proxy, statement_cache_size: int = 64,
+                 tracing: bool = False,
+                 slow_query_s: Optional[float] = None):
         if statement_cache_size < 1:
             raise exc.InterfaceError("statement cache needs at least one slot")
         self.proxy = proxy
         self.closed = False
+        #: per-session tracer; disabled by default so the hot path pays one
+        #: ContextVar read.  ``tracing=True`` (or connect(tracing=True))
+        #: records span trees for every statement on this connection.
+        self.tracer = Tracer() if tracing else NOOP_TRACER
+        #: session-level slow-query log (span tree + QueryReport body)
+        self.slowlog = (
+            SlowQueryLog(slow_query_s) if slow_query_s is not None else None
+        )
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
@@ -132,8 +150,10 @@ class Connection:
         if cached is not None and not cached.closed:
             self._cache.move_to_end(sql)
             self.cache_hits += 1
+            _STMT_CACHE.labels(outcome="hit").inc()
             return cached
         self.cache_misses += 1
+        _STMT_CACHE.labels(outcome="miss").inc()
         statement = Statement(self, sql)
         self._cache[sql] = statement
         while len(self._cache) > self._cache_size:
@@ -143,6 +163,7 @@ class Connection:
             # last reference is gone
             self._cache.popitem(last=False)
             self.cache_evictions += 1
+            _STMT_CACHE.labels(outcome="eviction").inc()
         return statement
 
     def execute(self, sql, params: Sequence = ()) -> Cursor:
@@ -164,6 +185,68 @@ class Connection:
     def cached_statements(self) -> list[str]:
         """Cached SQL texts in eviction order (least recent first)."""
         return list(self._cache)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """A JSON-able snapshot of the process metrics registry plus this
+        session's statement-cache counters (the ``\\stats`` surface)."""
+        snapshot = global_metrics().snapshot()
+        snapshot["session"] = {
+            "type": "session",
+            "help": "per-connection statement cache",
+            "values": [
+                {"labels": {"counter": "cache_hits"},
+                 "value": self.cache_hits},
+                {"labels": {"counter": "cache_misses"},
+                 "value": self.cache_misses},
+                {"labels": {"counter": "cache_evictions"},
+                 "value": self.cache_evictions},
+                {"labels": {"counter": "statements"},
+                 "value": self.context.executions},
+            ],
+        }
+        return snapshot
+
+    def trace_spans(self, trace_id: Optional[str] = None) -> list:
+        """Finished spans from this connection's tracer (last trace when
+        ``trace_id`` is None)."""
+        if trace_id is None:
+            trace_id = self.tracer.last_trace_id
+        return self.tracer.spans(trace_id)
+
+    def span_tree(self, trace_id: Optional[str] = None) -> str:
+        """Rendered ASCII span tree of one trace (default: the last)."""
+        return render_span_tree(self.trace_spans(trace_id))
+
+    def slow_queries(self) -> list:
+        """Entries from the session slow-query log (empty when disabled)."""
+        return self.slowlog.entries() if self.slowlog is not None else []
+
+    def _record_slow_select(self, elapsed_s: float, execution) -> None:
+        """Session slow-log hook: span tree + report for one offender."""
+        from repro.api.report import QueryReport
+
+        report = QueryReport(
+            kind="select",
+            rewritten_sql=execution.rewritten_sql,
+            cost=execution.cost(),
+            leakage=execution.plan.leakage + execution.scatter_leakage,
+            notes=execution.plan.notes,
+            scatter=execution.scatter,
+            timing=execution.timing_summary(),
+        )
+        root = execution.root_span
+        body = report.pretty()
+        trace_id = None
+        if root is not None:
+            trace_id = root.trace_id
+            tree = render_span_tree(self.tracer.spans(trace_id))
+            if tree:
+                body = f"{body}\nspans:\n{tree}"
+        self.slowlog.record_slow_query(
+            elapsed_s, "select", body, trace_id=trace_id
+        )
 
     # -- elastic resharding ---------------------------------------------------
 
@@ -223,14 +306,18 @@ class Connection:
         self._in_txn = False
 
     def _txn(self, kind: str) -> None:
-        try:
-            self.proxy.execute_statement(
-                ast.TxnControl(kind=kind), context=self.context
-            )
-        except exc.Error:
-            raise
-        except Exception as error:
-            raise exc.map_exception(error) from error
+        # txn control gets its own root span (there is no SELECT root to
+        # nest under); daemon-side 2PC spans stitch beneath it
+        with self.tracer.span(f"txn-{kind}") as span:
+            span.set_attr("kind", kind)
+            try:
+                self.proxy.execute_statement(
+                    ast.TxnControl(kind=kind), context=self.context
+                )
+            except exc.Error:
+                raise
+            except Exception as error:
+                raise exc.map_exception(error) from error
 
     # -- compatibility shim (used by SDBProxy.query) -------------------------
 
@@ -322,6 +409,8 @@ def connect(
     policy=None,
     rng=None,
     statement_cache_size: int = 64,
+    tracing: bool = False,
+    slow_query_s: Optional[float] = None,
 ) -> Connection:
     """Open a session.
 
@@ -345,6 +434,11 @@ def connect(
 
     When no proxy is supplied a new one is created, which draws fresh system
     keys (``modulus_bits``/``value_bits``/``rng``).
+
+    ``tracing=True`` records a structured span tree per query
+    (:mod:`repro.obs.trace`); ``slow_query_s=`` arms the coordinator-side
+    slow-query log at that threshold.  Both default off and cost ~nothing
+    when off.
     """
     owned_cluster = None
     if proxy is None:
@@ -396,6 +490,11 @@ def connect(
         raise exc.InterfaceError(
             "pass either an existing proxy or deployment parameters, not both"
         )
-    connection = Connection(proxy, statement_cache_size=statement_cache_size)
+    connection = Connection(
+        proxy,
+        statement_cache_size=statement_cache_size,
+        tracing=tracing,
+        slow_query_s=slow_query_s,
+    )
     connection._owned_cluster = owned_cluster
     return connection

@@ -316,6 +316,7 @@ class Cursor:
                 failover=tuple(
                     getattr(execution.scatter, "failover", ()) or ()
                 ),
+                timing=execution.timing_summary(),
             )
         if self._dml_result is not None:
             result = self._dml_result

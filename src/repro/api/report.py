@@ -40,6 +40,10 @@ class QueryReport:
     #: replica failover events (suspect/evict/promote) absorbed by this
     #: execution's transparent retry -- empty on a healthy cluster
     failover: tuple = ()
+    #: per-phase durations in seconds (parse/rewrite/bind/route/scatter/
+    #: merge/server/decrypt), folded from the execution's span timings;
+    #: None when the backend reported none
+    timing: Optional[dict] = None
 
     @property
     def scatter_leakage(self) -> tuple:
@@ -71,4 +75,14 @@ class QueryReport:
         if self.notes:
             lines.append("notes:")
             lines.extend(f"  - {note}" for note in self.notes)
+        if self.timing:
+            lines.append("timing:")
+            lines.extend(
+                f"  {phase}: {seconds * 1000.0:.3f} ms"
+                for phase, seconds in self.timing.items()
+                if seconds is not None
+            )
         return "\n".join(lines)
+
+    # ``render`` is the name some tooling expects; same text as pretty().
+    render = pretty

@@ -35,9 +35,21 @@ from typing import Optional, Sequence
 from repro.core.plan import RewrittenQuery
 from repro.core.rewriter import infer_param_type
 from repro.engine.table import Table
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import DEFAULT_BUCKETS, global_metrics
 from repro.sql import ast
 from repro.sql.params import BindError, bind_parameters, num_parameters
 from repro.sql.parser import parse_statement
+
+_QUERY_SECONDS = global_metrics().histogram(
+    "sdb_query_seconds",
+    "end-to-end SELECT latency by route kind",
+    buckets=DEFAULT_BUCKETS,
+)
+_PLAN_EVICTIONS = global_metrics().counter(
+    "sdb_plan_cache_evictions_total",
+    "prepared-statement plan variants evicted from the per-statement LRU",
+)
 
 _KINDS = {
     ast.Select: "select",
@@ -203,63 +215,80 @@ class Statement:
             )
         proxy = self.proxy
         context = self.connection.context
-        # plan validation through server execution holds the shared side
-        # of the proxy's key-epoch lock: the plan embeds the column keys
-        # it was rewritten under, and a key rotation (exclusive side)
-        # re-keying the stored shares in between would make the result
-        # undecryptable.  Reads from different sessions still overlap.
-        with proxy._key_lock.read_locked():
-            variant = self._variant_for(params)
-            t_bind = time.perf_counter()
-            # mask-deferred plans re-draw their comparison masks / tokens
-            # here, so consecutive binds are unlinkable on the wire
-            literals = variant.plan.bind_slots(
-                proxy.store.keys.n, params, rng=proxy.rewriter.rng
-            )
-            bind_s = time.perf_counter() - t_bind
-
-            t0 = time.perf_counter()
-            server = proxy.server
-            if variant.stmt_id is None or variant.server_id != id(server):
-                # in-process servers take the AST directly; remote ones
-                # render the SQL text once and ship it over the wire.  The
-                # server identity check re-prepares after a server swap
-                # (e.g. crash recovery replacing proxy.server) so a stale
-                # handle can never alias a fresh one.
-                variant.stmt_id = server.prepare_query(
-                    variant.plan.query, session=context.session_id
+        tracer = getattr(self.connection, "tracer", obs_trace.NOOP_TRACER)
+        t_total = time.perf_counter()
+        with tracer.span("query") as root:
+            root.set_attr("kind", "select")
+            root.set_attr("params", len(params))
+            # plan validation through server execution holds the shared side
+            # of the proxy's key-epoch lock: the plan embeds the column keys
+            # it was rewritten under, and a key rotation (exclusive side)
+            # re-keying the stored shares in between would make the result
+            # undecryptable.  Reads from different sessions still overlap.
+            with proxy._key_lock.read_locked():
+                variant = self._variant_for(params)
+                t_bind = time.perf_counter()
+                # mask-deferred plans re-draw their comparison masks / tokens
+                # here, so consecutive binds are unlinkable on the wire
+                literals = variant.plan.bind_slots(
+                    proxy.store.keys.n, params, rng=proxy.rewriter.rng
                 )
-                variant.server_id = id(server)
-                self._server_handles.append([server, variant.stmt_id])
-            result_id, num_rows = server.execute_prepared(
-                variant.stmt_id, literals, session=context.session_id
-            )
-            server_s = time.perf_counter() - t0
-        self._mark_used()
-        # snapshot-epoch observation: in-process backends expose the epoch
-        # as a plain attribute; wire backends make it an explicit call, so
-        # the opportunistic read stays free of extra round trips
-        epoch = getattr(server, "epoch", None)
-        context.observe_epoch(epoch if isinstance(epoch, int) else None)
-        # cluster deployments report how the query was routed (and what the
-        # routing itself leaked); read it keyed by our result id so a
-        # concurrent session's route can never be attributed to this one
-        reporter = getattr(server, "scatter_report", None)
-        scatter = reporter(result_id) if callable(reporter) else None
-        proxy.channel.record_query(
-            f"EXECUTE s{variant.stmt_id} ({len(literals)} bound values)"
-        )
+                bind_s = time.perf_counter() - t_bind
+                tracer.record_timed(
+                    "bind", root if root else None, t_bind, t_bind + bind_s,
+                    slots=len(literals),
+                )
 
-        parse_s = 0.0 if self._parse_charged else self.parse_s
-        self._parse_charged = True
-        rewrite_s = bind_s  # binding is the per-execution remainder of rewriting
-        if not variant.charged:
-            variant.charged = True
-            rewrite_s += variant.rewrite_s
-        context.record_statement(
-            variant.plan.leakage + (tuple(scatter.leakage) if scatter else ())
-        )
-        return SelectExecution(
+                t0 = time.perf_counter()
+                server = proxy.server
+                if variant.stmt_id is None or variant.server_id != id(server):
+                    # in-process servers take the AST directly; remote ones
+                    # render the SQL text once and ship it over the wire.  The
+                    # server identity check re-prepares after a server swap
+                    # (e.g. crash recovery replacing proxy.server) so a stale
+                    # handle can never alias a fresh one.
+                    variant.stmt_id = server.prepare_query(
+                        variant.plan.query, session=context.session_id
+                    )
+                    variant.server_id = id(server)
+                    self._server_handles.append([server, variant.stmt_id])
+                result_id, num_rows = server.execute_prepared(
+                    variant.stmt_id, literals, session=context.session_id
+                )
+                server_s = time.perf_counter() - t0
+            self._mark_used()
+            # snapshot-epoch observation: in-process backends expose the epoch
+            # as a plain attribute; wire backends make it an explicit call, so
+            # the opportunistic read stays free of extra round trips
+            epoch = getattr(server, "epoch", None)
+            context.observe_epoch(epoch if isinstance(epoch, int) else None)
+            # cluster deployments report how the query was routed (and what
+            # the routing itself leaked); read it keyed by our result id so a
+            # concurrent session's route can never be attributed to this one
+            reporter = getattr(server, "scatter_report", None)
+            scatter = reporter(result_id) if callable(reporter) else None
+            proxy.channel.record_query(
+                f"EXECUTE s{variant.stmt_id} ({len(literals)} bound values)"
+            )
+
+            parse_s = 0.0 if self._parse_charged else self.parse_s
+            self._parse_charged = True
+            # binding is the per-execution remainder of rewriting
+            rewrite_s = bind_s
+            if not variant.charged:
+                variant.charged = True
+                rewrite_s += variant.rewrite_s
+            context.record_statement(
+                variant.plan.leakage
+                + (tuple(scatter.leakage) if scatter else ())
+            )
+            route = scatter.mode if scatter is not None else "single"
+            root.set_attr("route", route)
+            if num_rows >= 0:
+                root.set_attr("rows", num_rows)
+        elapsed = time.perf_counter() - t_total
+        _QUERY_SECONDS.labels(route=route).observe(elapsed)
+        execution = SelectExecution(
             statement=self,
             variant=variant,
             params=params,
@@ -267,10 +296,16 @@ class Statement:
             num_rows=num_rows,
             parse_s=parse_s,
             rewrite_s=rewrite_s,
+            bind_s=bind_s,
             server_s=server_s,
             scatter=scatter,
             scatter_leakage=tuple(scatter.leakage) if scatter else (),
+            root_span=root if root else None,
         )
+        slowlog = getattr(self.connection, "slowlog", None)
+        if slowlog is not None and slowlog.is_slow(elapsed):
+            self.connection._record_slow_select(elapsed, execution)
+        return execution
 
     def execute_dml(self, params: Sequence = ()):
         """Bind into the parsed AST and run the proxy's DML pipeline.
@@ -317,6 +352,7 @@ class Statement:
             # key-update parameters -- drop the server-side handle too
             self._drop_variant_handle(variant)
         t0 = time.perf_counter()
+        parent = obs_trace.current_span()
         plan = self.proxy.rewriter.rewrite(self.parsed, param_types=signature)
         # bind-time re-masking: mask/token literals become extra bind
         # markers, re-drawn per execution, so caching this plan does not
@@ -341,6 +377,11 @@ class Statement:
                 )
         sql_text = plan.sql
         rewrite_s = time.perf_counter() - t0
+        if parent is not None:
+            parent.tracer.record_timed(
+                "rewrite", parent, t0, t0 + rewrite_s,
+                variants=len(self._variants) + 1,
+            )
         variant = _PlanVariant(
             plan=plan,
             sql_text=sql_text,
@@ -351,6 +392,7 @@ class Statement:
         while len(self._variants) > self.MAX_PLAN_VARIANTS:
             _, evicted = self._variants.popitem(last=False)
             self._drop_variant_handle(evicted)
+            _PLAN_EVICTIONS.inc()
         self.proxy.channel.record_query(sql_text)
         return variant
 
@@ -391,6 +433,7 @@ class SelectExecution:
     num_rows: int
     parse_s: float = 0.0
     rewrite_s: float = 0.0
+    bind_s: float = 0.0
     server_s: float = 0.0
     decrypt_s: float = 0.0
     fetched: int = 0
@@ -399,6 +442,9 @@ class SelectExecution:
     scatter: Optional[object] = None
     #: routing leakage reported by a cluster coordinator for this execution
     scatter_leakage: tuple = ()
+    #: the execution's root trace span (None when tracing is off); fetch-
+    #: time decrypt spans attach under it even after it finished
+    root_span: Optional[object] = None
 
     def __post_init__(self):
         # an abandoned execution (cursor dropped before exhausting or
@@ -426,6 +472,27 @@ class SelectExecution:
             decrypt_s=self.decrypt_s,
         )
 
+    def timing_summary(self) -> dict:
+        """Per-phase durations (seconds) for the report's timing section.
+
+        The legacy :meth:`cost` breakdown is untouched; this adds the
+        finer phases (bind, and the coordinator's route/scatter/merge
+        when the backend reported them).
+        """
+        timing = {
+            "parse": self.parse_s,
+            "rewrite": self.rewrite_s,
+            "bind": self.bind_s,
+            "server": self.server_s,
+            "decrypt": self.decrypt_s,
+        }
+        extra = getattr(self.scatter, "timings", None)
+        if extra:
+            for phase in ("route", "scatter", "merge", "gather"):
+                if f"{phase}_s" in extra:
+                    timing[phase] = extra[f"{phase}_s"]
+        return timing
+
     # -- streaming fetch ----------------------------------------------------
 
     def fetch_chunk(self, count: Optional[int]) -> Table:
@@ -433,16 +500,32 @@ class SelectExecution:
         proxy = self.statement.proxy
         if self.closed:
             return self._empty()
+        root = self.root_span
+        fetch_cm = (
+            root.tracer.span("fetch", parent=root)
+            if root is not None
+            else obs_trace.NOOP_SPAN
+        )
         t0 = time.perf_counter()
-        chunk = proxy.server.fetch_rows(self.result_id, count)
-        self.server_s += time.perf_counter() - t0
-        proxy.channel.record_result(chunk)
+        with fetch_cm as fetch_span:
+            chunk = proxy.server.fetch_rows(self.result_id, count)
+            fetch_span.set_attr("rows", chunk.num_rows)
         t1 = time.perf_counter()
+        self.server_s += t1 - t0
+        proxy.channel.record_result(chunk)
         table = proxy._decryptor.decrypt(
             chunk, self.plan.outputs, params=self.params
         )
-        self.decrypt_s += time.perf_counter() - t1
+        t2 = time.perf_counter()
+        self.decrypt_s += t2 - t1
         self.fetched += table.num_rows
+        if root is not None:
+            # row count from the *encrypted* chunk (decryption is
+            # row-preserving): the decrypted table is taint-tracked and
+            # must not reach a telemetry sink, even for its shape
+            root.tracer.record_timed(
+                "decrypt", root, t1, t2, rows=chunk.num_rows
+            )
         if (
             count is None
             or table.num_rows < count

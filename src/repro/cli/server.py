@@ -27,6 +27,13 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--max-session-queue", type=int, default=64, metavar="N",
                         help="admission control: max in-flight requests per "
                              "session before replying 'server busy' (0: off)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log wire operations slower than MS milliseconds "
+                             "to the daemon slow-query log (off by default)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-text metrics snapshot on "
+                             "SIGINT shutdown")
     args = parser.parse_args(argv)
 
     if args.durable:
@@ -46,9 +53,13 @@ def main(argv: Optional[list] = None) -> int:
 
     from repro.net.server import SDBNetServer
 
+    slow_query_s = (
+        args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
+    )
     server = SDBNetServer(
         (args.host, args.port), sdb_server=sdb_server,
         max_session_queue=args.max_session_queue,
+        slow_query_s=slow_query_s,
     )
     shard = "" if args.shard_id is None else f" (shard {args.shard_id})"
     print(f"sdb-server listening on {args.host}:{server.port}{shard}", flush=True)
@@ -58,6 +69,10 @@ def main(argv: Optional[list] = None) -> int:
         pass
     finally:
         server.server_close()
+        if args.metrics:
+            from repro.obs.metrics import global_metrics, render_prometheus
+
+            print(render_prometheus(global_metrics().snapshot()), flush=True)
     return 0
 
 

@@ -20,6 +20,13 @@ client/server cost split.  Backslash commands inspect the deployment:
     \\statements         prepared statements and the session cache counters
                         (hits/misses/evictions; per statement: plans,
                         parameter type signatures, last-used)
+    \\stats              live metrics: counters, gauges, latency histograms
+                        (query latency by route, scatter fan-out, cache
+                        hits/misses, txn conflicts, admission rejections)
+    \\trace on|off       record a span tree per query; bare ``\\trace``
+                        prints the last query's stitched span tree
+    \\slowlog [ms]       arm the session slow-query log at ms (bare:
+                        show recorded entries)
     \\shards             per-shard status of a cluster deployment
     \\replicas           per-shard replica health and failover history
     \\rebalance <n> [host:port,...]   grow/shrink the cluster to n shards
@@ -196,6 +203,12 @@ class SDBShell:
             return self._execmany(argument)
         if name == "statements":
             return self._render_statements()
+        if name == "stats":
+            return self._render_stats()
+        if name == "trace":
+            return self._trace(argument)
+        if name == "slowlog":
+            return self._slowlog(argument)
         if name == "shards":
             return self._render_shards()
         if name == "replicas":
@@ -347,6 +360,74 @@ class SDBShell:
                 f"parameter(s), {statement.plan_variants} plan(s), "
                 f"{statement.executions} execution(s), {used}{sig}"
             )
+        return "\n".join(lines)
+
+    # -- observability ---------------------------------------------------------
+
+    def _render_stats(self) -> str:
+        snapshot = self.conn.metrics()
+        lines = []
+        for name in sorted(snapshot):
+            metric = snapshot[name]
+            lines.append(f"{name} ({metric['type']}): {metric['help']}")
+            for row in metric["values"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(row["labels"].items())
+                )
+                prefix = f"  {{{labels}}}" if labels else "  (all)"
+                if "buckets" in row:
+                    lines.append(
+                        f"{prefix} count={row['count']} sum={row['sum']:g}"
+                    )
+                else:
+                    lines.append(f"{prefix} {row['value']}")
+            if not metric["values"]:
+                lines.append("  (no samples)")
+        return "\n".join(lines) if lines else "(no metrics)"
+
+    def _trace(self, argument: str) -> str:
+        from repro.obs.trace import NOOP_TRACER, Tracer
+
+        arg = argument.strip().lower()
+        if arg == "on":
+            if not self.conn.tracer.enabled:
+                self.conn.tracer = Tracer()
+            return "tracing on"
+        if arg == "off":
+            self.conn.tracer = NOOP_TRACER
+            return "tracing off"
+        if arg:
+            return "usage: \\trace [on|off]"
+        if not self.conn.tracer.enabled:
+            return "tracing is off (\\trace on)"
+        tree = self.conn.span_tree()
+        return tree if tree else "(no spans recorded yet)"
+
+    def _slowlog(self, argument: str) -> str:
+        from repro.obs.slowlog import SlowQueryLog
+
+        arg = argument.strip()
+        if arg:
+            try:
+                threshold_ms = float(arg)
+            except ValueError:
+                return "usage: \\slowlog [threshold ms]"
+            self.conn.slowlog = SlowQueryLog(threshold_ms / 1000.0)
+            return f"slow-query log armed at {threshold_ms:g} ms"
+        entries = self.conn.slow_queries()
+        if self.conn.slowlog is None:
+            return "slow-query log is off (\\slowlog <ms>)"
+        if not entries:
+            return "(no slow queries recorded)"
+        lines = []
+        for entry in entries:
+            lines.append(
+                f"{entry['elapsed_s'] * 1000.0:.1f} ms {entry['kind']}"
+                + (f" trace={entry['trace_id']}" if entry.get("trace_id") else "")
+            )
+            body = entry.get("body", "")
+            if body:
+                lines.extend("  " + ln for ln in body.splitlines())
         return "\n".join(lines)
 
     def _rebalance(self, argument: str) -> str:

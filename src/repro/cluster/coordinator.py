@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, replace as dc_replace
@@ -89,6 +90,9 @@ from repro.engine.partial import (
 )
 from repro.engine.table import Table
 from repro.engine.udf import UDFRegistry
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import COUNT_BUCKETS, global_metrics
+from repro.obs.slowlog import SlowQueryLog
 from repro.sql import ast
 from repro.sql.params import (
     bind_parameters,
@@ -144,6 +148,22 @@ class ShardError(RuntimeError):
     """Cluster misconfiguration or an unroutable request."""
 
 
+#: Scatter fan-out per executed query (shards contacted); the shape of the
+#: cluster's read amplification.
+_SCATTER_FANOUT = global_metrics().histogram(
+    "sdb_scatter_fanout_shards",
+    "shards contacted per scattered query",
+    buckets=COUNT_BUCKETS,
+)
+
+#: Statements refused by admission control, labelled by the refusing layer
+#: (the coordinator here; the net daemon counts its own).
+_ADMIT_REJECTS = global_metrics().counter(
+    "sdb_admission_rejections_total",
+    "statements refused by admission control, by layer",
+)
+
+
 def _gather_chunks(source, name: str, offset: int = 0):
     """Yield ``GATHER_CHUNK_ROWS``-row windows of ``name`` from ``source``.
 
@@ -186,6 +206,10 @@ class ScatterReport:
     #: replica failover events (suspect/evict/promote) observed while this
     #: query executed -- the events the query's transparent retry absorbed
     failover: tuple = ()
+    #: per-phase durations in seconds (``route_s``/``scatter_s``/
+    #: ``merge_s``), folded into the session layer's QueryReport timing
+    #: section; None when the route had no timed phases
+    timings: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -265,6 +289,7 @@ class _ClusterStatement:
     def execute(
         self, coordinator: "Coordinator", params: tuple, session=None
     ) -> tuple[Table, "ScatterReport"]:
+        t_plan = time.perf_counter()
         with self._plan_lock:
             epoch = coordinator.topology.epoch
             if self.route is not None and self.topology_epoch != epoch:
@@ -300,24 +325,50 @@ class _ClusterStatement:
             # shard_handles, and an in-flight execute must fail with the
             # server's typed unknown-statement error, never a TypeError
             handles = self.shard_handles
+        route_s = time.perf_counter() - t_plan
+        parent = obs_trace.current_span()
+        if parent is not None:
+            parent.tracer.record_timed(
+                "route", parent, t_plan, t_plan + route_s, kind=self.route[0]
+            )
         if self.route[0] in ("scatter", "coshard") and self.forwardable:
             if self.route[0] == "coshard":
                 # handles bind at execute time, so a refreshed broadcast
                 # copy (same name, new rows) is picked up transparently
                 coordinator._ensure_broadcasts(self.route[1].dims)
-            partials = coordinator._scatter_prepared(
-                handles, params, session=session
-            )
-            out = coordinator._merge(self.split.merge, partials)
+            t0 = time.perf_counter()
+            with obs_trace.child_span("scatter") as span:
+                partials = coordinator._scatter_prepared(
+                    handles, params, session=session
+                )
+                span.set_attr("shards", len(partials))
+            t1 = time.perf_counter()
+            with obs_trace.child_span("merge") as span:
+                out = coordinator._merge(self.split.merge, partials)
+                span.set_attr("rows", out.num_rows)
+            t2 = time.perf_counter()
             if self.route[0] == "coshard":
                 report = coordinator._coshard_report(self.split, self.route[1])
             else:
                 report = coordinator._scatter_report_for(
                     self.query, self.split, self.route
                 )
+            report = dc_replace(
+                report,
+                timings={
+                    "route_s": route_s,
+                    "scatter_s": t1 - t0,
+                    "merge_s": t2 - t1,
+                },
+            )
             return out, report
         bound = bind_parameters(self.query, params)
-        return coordinator._run(bound, self.route, session=session)
+        table, report = coordinator._run(bound, self.route, session=session)
+        if report.timings is not None:
+            report = dc_replace(
+                report, timings={**report.timings, "route_s": route_s}
+            )
+        return table, report
 
     def _release_handles(self) -> None:
         handles, self.shard_handles = self.shard_handles, None
@@ -340,6 +391,7 @@ class Coordinator:
         shards: Sequence,
         max_session_inflight: int = 32,
         weights: Optional[Sequence[int]] = None,
+        slow_query_s: Optional[float] = None,
     ):
         if not shards:
             raise ShardError("a cluster needs at least one shard backend")
@@ -419,6 +471,8 @@ class Coordinator:
             thread_name_prefix="sdb-scatter",
         )
         self.last_scatter: Optional[ScatterReport] = None
+        #: coordinator-side slow-query log (inert until a threshold is set)
+        self.slowlog = SlowQueryLog(slow_query_s)
         self._bootstrap_placements()
         self._bootstrap_topology()
         self._bootstrap_replicas()
@@ -841,6 +895,7 @@ class Coordinator:
         with self._state_lock:
             count = self._inflight.get(session, 0)
             if count >= self.max_session_inflight:
+                _ADMIT_REJECTS.labels(layer="coordinator").inc()
                 raise ServerBusyError(
                     f"server busy: session {session} already has "
                     f"{count} statement(s) in flight "
@@ -870,13 +925,28 @@ class Coordinator:
         """
         if isinstance(query, str):
             query = parse(query)
+        t_start = time.perf_counter()
         with self._admit(session), self._lock.read_locked():
             mark = self.failover.mark()
-            table, report = self._run(
-                query, self._classify(query), session=session
-            )
+            t0 = time.perf_counter()
+            route = self._classify(query)
+            t1 = time.perf_counter()
+            parent = obs_trace.current_span()
+            if parent is not None:
+                parent.tracer.record_timed(
+                    "route", parent, t0, t1, kind=route[0]
+                )
+            table, report = self._run(query, route, session=session)
+            timings = dict(report.timings or ())
+            timings["route_s"] = t1 - t0
+            report = dc_replace(report, timings=timings)
             self.last_scatter = self._with_failover(report, mark)
-            return table
+        self.slowlog.maybe_record(
+            time.perf_counter() - t_start,
+            f"cluster-{report.mode}",
+            f"route={report.mode} shards={report.shards} ({report.reason})",
+        )
+        return table
 
     def _with_failover(
         self, report: ScatterReport, mark: int
@@ -990,35 +1060,61 @@ class Coordinator:
                 reason="no sharded table referenced",
             )
             return self.primary.execute(query, session=session), report
-        if kind == "scatter":
+        if kind in ("scatter", "coshard"):
             split = self._plan_scatter(query, route)
-            partials = self._scatter(split.partial, session=session)
-            out = self._merge(split.merge, partials)
-            return out, self._scatter_report_for(query, split, route)
-        if kind == "coshard":
-            split = self._plan_scatter(query, route)
-            self._ensure_broadcasts(extra.dims)
-            partials = self._scatter(split.partial, session=session)
-            out = self._merge(split.merge, partials)
-            return out, self._coshard_report(split, extra)
+            if kind == "coshard":
+                self._ensure_broadcasts(extra.dims)
+            t0 = time.perf_counter()
+            with obs_trace.child_span("scatter") as span:
+                partials = self._scatter(split.partial, session=session)
+                span.set_attr("shards", len(partials))
+            t1 = time.perf_counter()
+            with obs_trace.child_span("merge") as span:
+                out = self._merge(split.merge, partials)
+                span.set_attr("rows", out.num_rows)
+            t2 = time.perf_counter()
+            if kind == "coshard":
+                report = self._coshard_report(split, extra)
+            else:
+                report = self._scatter_report_for(query, split, route)
+            report = dc_replace(
+                report, timings={"scatter_s": t1 - t0, "merge_s": t2 - t1}
+            )
+            return out, report
         return self._run_fallback(query, extra, session=session)
 
     def _scatter(self, partial: ast.Select, session=None) -> list[Table]:
         # mid-migration the scatter set is the union of old and incoming
         # shards (incoming live slices are empty until the commit), so
         # every row is seen exactly once regardless of migration progress
-        if len(self.shards) == 1:
-            return [self.shards[0].execute_partial(partial, session=session)]
-        return list(
-            self._pool.map(
-                lambda shard: shard.execute_partial(partial, session=session),
-                self.shards,
+        _SCATTER_FANOUT.observe(len(self.shards))
+        # pool threads do not inherit the ambient context: capture the
+        # parent span here and re-open a child inside each task (whose
+        # context manager makes it ambient for the shard's wire call)
+        parent = obs_trace.current_span()
+
+        def run(pair):
+            index, shard = pair
+            cm = (
+                parent.tracer.span("shard", parent=parent)
+                if parent is not None
+                else obs_trace.NOOP_SPAN
             )
-        )
+            with cm as span:
+                table = shard.execute_partial(partial, session=session)
+                span.set_attr("shard", index)
+                span.set_attr("rows", table.num_rows)
+                return table
+
+        if len(self.shards) == 1:
+            return [run((0, self.shards[0]))]
+        return list(self._pool.map(run, enumerate(self.shards)))
 
     def _scatter_prepared(
         self, handles: list[tuple], params: Sequence, session=None
     ) -> list[Table]:
+        parent = obs_trace.current_span()
+
         def run_once(pair):
             shard, handle = pair
             result_id, _ = shard.execute_prepared(
@@ -1032,17 +1128,29 @@ class Coordinator:
                 except Exception:
                     pass
 
-        def run(pair):
-            try:
-                return run_once(pair)
-            except ShardUnavailableError:
-                # a replica died mid-fetch and its group promoted a
-                # survivor: one transparent retry re-executes against the
-                # promoted member (a bare backend that is truly gone fails
-                # again and the typed error surfaces to the caller)
-                return run_once(pair)
+        def run(indexed):
+            index, pair = indexed
+            cm = (
+                parent.tracer.span("shard", parent=parent)
+                if parent is not None
+                else obs_trace.NOOP_SPAN
+            )
+            with cm as span:
+                span.set_attr("shard", index)
+                try:
+                    table = run_once(pair)
+                except ShardUnavailableError:
+                    # a replica died mid-fetch and its group promoted a
+                    # survivor: one transparent retry re-executes against
+                    # the promoted member (a bare backend that is truly
+                    # gone fails again and the typed error surfaces)
+                    span.set_attr("retried", 1)
+                    table = run_once(pair)
+                span.set_attr("rows", table.num_rows)
+                return table
 
-        pairs = list(handles)
+        pairs = list(enumerate(handles))
+        _SCATTER_FANOUT.observe(len(pairs))
         if len(pairs) == 1:
             return [run(pairs[0])]
         return list(self._pool.map(run, pairs))
@@ -1754,6 +1862,7 @@ class Coordinator:
                 statement = self._prepared[stmt_id]
             except KeyError:
                 raise KeyError(f"unknown prepared statement {stmt_id}") from None
+        t_start = time.perf_counter()
         with self._admit(session), self._lock.read_locked():
             mark = self.failover.mark()
             table, report = statement.execute(
@@ -1761,6 +1870,13 @@ class Coordinator:
             )
             if report is not None:
                 report = self._with_failover(report, mark)
+        if report is not None:
+            self.slowlog.maybe_record(
+                time.perf_counter() - t_start,
+                f"cluster-{report.mode}",
+                f"route={report.mode} shards={report.shards} "
+                f"({report.reason})",
+            )
         with self._state_lock:
             result_id = next(self._handle_ids)
             self._results[result_id] = _MaterializedResult(table)

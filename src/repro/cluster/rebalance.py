@@ -55,6 +55,7 @@ from repro.core.keystore import KeyStore
 from repro.crypto.keyops import reshard_update_factor
 from repro.crypto.sies import SIESCipher
 from repro.engine.table import Table
+from repro.obs.trace import child_span
 
 #: Default number of migration chunks (``residue mod num_chunks``).  Small
 #: enough that per-chunk overhead is negligible, large enough that the
@@ -484,20 +485,24 @@ def rebalance_cluster(
         # Each copied chunk is charged against the rate cap, so a capped
         # rebalance yields between chunk windows instead of monopolizing
         # the shards.
-        for _ in range(max(1, copy_passes)):
+        for pass_index in range(max(1, copy_passes)):
             pending = coordinator.migration_pending()
             if not pending:
                 break
-            for table, chunk in pending:
-                step(f"copy:{table}:{chunk}")
-                moved = coordinator.copy_chunk(
-                    table, chunk, rekeyer.rekey_slice
-                )
-                limiter.charge(moved)
+            with child_span("rebalance-copy-pass") as span:
+                span.set_attr("pass", pass_index)
+                span.set_attr("chunks", len(pending))
+                for table, chunk in pending:
+                    step(f"copy:{table}:{chunk}")
+                    moved = coordinator.copy_chunk(
+                        table, chunk, rekeyer.rekey_slice
+                    )
+                    limiter.charge(moved)
         step("commit")
-        migration = coordinator.commit_rebalance(
-            rekeyer.rekey_slice, on_step=on_step
-        )
+        with child_span("rebalance-commit"):
+            migration = coordinator.commit_rebalance(
+                rekeyer.rekey_slice, on_step=on_step
+            )
     except Exception:
         # roll back -- unless the commit record was already written, in
         # which case recovery completes the commit (new topology wins)

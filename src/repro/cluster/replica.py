@@ -52,9 +52,23 @@ from repro.cluster.failover import (
     FailoverManager,
 )
 from repro.cluster.rebalance import RateLimiter
+from repro.obs.metrics import global_metrics
+from repro.obs.trace import child_span
 
 #: Row budget per catch-up wire frame (mirrors the coordinator's gather).
 SYNC_CHUNK_ROWS = 4096
+
+#: Reads re-routed to another member after a transport failure.
+_READ_RETRIES = global_metrics().counter(
+    "sdb_replica_read_retries_total",
+    "replica reads retried on another member after a transport failure",
+)
+
+#: Members evicted from their group (write miss, divergence, dead probe).
+_EVICTIONS = global_metrics().counter(
+    "sdb_replica_evictions_total",
+    "replica members evicted from their group",
+)
 
 #: Ops that mutate member state and therefore fan out to every healthy
 #: member.  Everything else routes to one member (reads).
@@ -255,6 +269,7 @@ class ShardGroup:
                 for m in self.members[: self.members.index(member)]
             )
             member.state = DOWN
+        _EVICTIONS.inc()
         self.failover.record("evict", self.group_index, member.ordinal, detail)
         if was_primary:
             survivor = next(
@@ -304,20 +319,29 @@ class ShardGroup:
 
     def _read(self, op: str, *args, **kwargs):
         last: Optional[BaseException] = None
-        for _ in range(max(4, 2 * len(self.members))):
-            member = self._pick_reader()
-            if member is None:
-                break
-            try:
-                out = getattr(member.backend, op)(*args, **kwargs)
-            except Exception as exc:
-                if not is_transport_error(exc):
-                    raise
-                last = exc
-                self._member_failed(member, exc)
-                continue
-            self._member_ok(member)
-            return out
+        with child_span("replica-read") as span:
+            span.set_attr("op", op)
+            span.set_attr("group", self.group_index)
+            attempts = 0
+            for _ in range(max(4, 2 * len(self.members))):
+                member = self._pick_reader()
+                if member is None:
+                    break
+                attempts += 1
+                try:
+                    out = getattr(member.backend, op)(*args, **kwargs)
+                except Exception as exc:
+                    if not is_transport_error(exc):
+                        raise
+                    last = exc
+                    _READ_RETRIES.labels(op=op).inc()
+                    self._member_failed(member, exc)
+                    continue
+                self._member_ok(member)
+                span.set_attr("member", member.ordinal)
+                if attempts > 1:
+                    span.set_attr("retries", attempts - 1)
+                return out
         raise ShardUnavailableError(
             f"replica group {self.group_index} has no member able to "
             f"serve {op!r}"
@@ -520,6 +544,7 @@ class ShardGroup:
                 if not is_transport_error(exc):
                     raise
                 last = exc
+                _READ_RETRIES.labels(op="execute_prepared").inc()
                 prepared.handles.pop(member.ordinal, None)
                 self._member_failed(member, exc)
                 continue
@@ -607,7 +632,11 @@ class ShardGroup:
             passes = 0
             while True:
                 start_writes = self._writes
-                self._copy_all(member, limiter, chunk_rows)
+                with child_span("replica-sync-pass") as span:
+                    span.set_attr("group", self.group_index)
+                    span.set_attr("member", member.ordinal)
+                    span.set_attr("pass", passes)
+                    self._copy_all(member, limiter, chunk_rows)
                 if self._writes == start_writes or passes >= max_passes:
                     with self._write_lock:
                         if self._writes == start_writes:

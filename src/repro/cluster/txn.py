@@ -29,6 +29,7 @@ from __future__ import annotations
 import uuid
 
 from repro.core.txn import TXN_STAGING_PREFIX
+from repro.obs.trace import child_span
 
 #: Primary-shard relation prefix recording a decided cluster commit:
 #: ``__cluster_txncommit__<token>`` existing means every shard prepared
@@ -81,9 +82,11 @@ def commit_cluster(coordinator, session, on_step=None) -> dict:
     token = uuid.uuid4().hex
     prepared = []
     try:
-        for index, shard in enumerate(shards):
-            _step(on_step, f"txn:prepare:{index}")
-            prepared.append(shard.txn_prepare(token, session=session))
+        with child_span("txn-prepare") as span:
+            span.set_attr("shards", len(shards))
+            for index, shard in enumerate(shards):
+                _step(on_step, f"txn:prepare:{index}")
+                prepared.append(shard.txn_prepare(token, session=session))
     except Exception:
         # conflict (TransactionConflictError) or a dead shard: either way
         # nothing was decided, so the whole transaction aborts
@@ -102,14 +105,17 @@ def commit_cluster(coordinator, session, on_step=None) -> dict:
         return {"token": token, "tables": [], "cardinalities": cardinalities}
     # the commit point: once this record exists the transaction is
     # decided, and every later failure is repaired by rolling *forward*
-    _step(on_step, "txn:record")
-    coordinator.primary.store_table(
-        TXN_COMMIT_PREFIX + token, _commit_record(), replace=True
-    )
-    for index, shard in enumerate(shards):
-        _step(on_step, f"txn:finalize:{index}")
-        shard.txn_finalize(token)
-    coordinator.primary.drop_table(TXN_COMMIT_PREFIX + token)
+    with child_span("txn-commit") as span:
+        span.set_attr("shards", len(shards))
+        span.set_attr("tables", len(tables))
+        _step(on_step, "txn:record")
+        coordinator.primary.store_table(
+            TXN_COMMIT_PREFIX + token, _commit_record(), replace=True
+        )
+        for index, shard in enumerate(shards):
+            _step(on_step, f"txn:finalize:{index}")
+            shard.txn_finalize(token)
+        coordinator.primary.drop_table(TXN_COMMIT_PREFIX + token)
     return {"token": token, "tables": tables, "cardinalities": cardinalities}
 
 

@@ -51,7 +51,15 @@ from typing import Optional
 
 from repro.engine import Engine, Table
 from repro.engine.schema import Schema
+from repro.obs.metrics import global_metrics
 from repro.sql import ast
+
+#: First-updater-wins validation failures, by conflict kind (the
+#: retry-pressure signal the TPC-C style workload watches).
+_TXN_CONFLICTS = global_metrics().counter(
+    "sdb_txn_conflicts_total",
+    "transaction validation conflicts, by kind",
+)
 
 #: Hidden catalog prefix for a prepared (staged) cluster transaction:
 #: ``__txnstage__<token>__<kind>__<table>`` where ``kind`` is ``u``
@@ -468,6 +476,7 @@ class TransactionManager:
         """Refuse mutations of a table with a prepared txn staged on it."""
         token = self._indoubt.get(name.lower())
         if token is not None:
+            _TXN_CONFLICTS.labels(kind="indoubt").inc()
             raise TransactionConflictError(
                 f"table {name!r} has an in-doubt prepared transaction "
                 f"({token}); retry after it finalizes or is discarded"
@@ -521,12 +530,14 @@ class TransactionManager:
         name = write.name
         self.check_indoubt(name)
         if name not in self._server.catalog:
+            _TXN_CONFLICTS.labels(kind="dropped").inc()
             raise TransactionConflictError(
                 f"table {name!r} was dropped by a concurrent session"
             )
         current = self._versions.get(name, 0)
         if write.coarse:
             if current != write.base_version:
+                _TXN_CONFLICTS.labels(kind="coarse").inc()
                 raise TransactionConflictError(
                     f"concurrent commit to {name!r} (no row identity; "
                     "table-granular conflict)"
@@ -538,6 +549,7 @@ class TransactionManager:
             )
             touched = write.updated | set(write.deleted)
             if committed is None or (touched & committed):
+                _TXN_CONFLICTS.labels(kind="row").inc()
                 raise TransactionConflictError(
                     f"concurrent update to {name!r}: first updater wins; "
                     "re-issue the transaction"

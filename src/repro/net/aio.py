@@ -31,6 +31,7 @@ from typing import Optional
 from repro.engine.table import Table
 from repro.net import protocol
 from repro.net.client import _server_exception_types
+from repro.obs.trace import SPANS_KEY, TRACE_KEY, current_span
 from repro.sql import ast
 
 _LENGTH = struct.Struct(">I")
@@ -145,6 +146,12 @@ class AsyncRemoteServer:
             "session": self.session_id if session is None else session,
             **args,
         }
+        # trace propagation: run_coroutine_threadsafe copies the calling
+        # thread's contextvars onto this task, so the ambient span set on
+        # the proxy worker thread is visible here
+        span = current_span()
+        if span is not None:
+            request[TRACE_KEY] = span.context()
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
@@ -154,6 +161,8 @@ class AsyncRemoteServer:
             self._pending.pop(request_id, None)
             raise
         response = await future
+        if span is not None:
+            span.tracer.absorb(response.get(SPANS_KEY))
         if "error" in response:
             exc_type = _server_exception_types().get(response.get("error_type"))
             if exc_type is not None:

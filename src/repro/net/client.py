@@ -19,6 +19,7 @@ import time
 from repro.api.exceptions import ShardUnavailableError
 from repro.engine.table import Table
 from repro.net import protocol
+from repro.obs.trace import SPANS_KEY, TRACE_KEY, current_span
 from repro.sql import ast
 
 
@@ -129,6 +130,12 @@ class RemoteServer:
 
     def _call(self, op: str, session=None, **args):
         request = {"op": op, **args}
+        # trace propagation: the ambient span's identity rides the request
+        # so the daemon's spans stitch under it; absent when tracing is off
+        # (and legacy daemons ignore the extra key)
+        span = current_span()
+        if span is not None:
+            request[TRACE_KEY] = span.context()
         with self._lock:
             if self._dead:
                 raise ShardUnavailableError(
@@ -159,6 +166,10 @@ class RemoteServer:
                 f"got {response.get('id')}"
             )
         self.bytes_received += len(repr(response))
+        if span is not None:
+            # daemon-side spans piggyback on the response (error or ok:
+            # the daemon's work happened either way)
+            span.tracer.absorb(response.get(SPANS_KEY))
         if "error" in response:
             exc_type = _server_exception_types().get(response.get("error_type"))
             if exc_type is not None:
@@ -245,6 +256,18 @@ class RemoteServer:
     def session_stats(self) -> dict:
         """Per-session statement counters, as recorded by the daemon."""
         return self._call("session_stats")
+
+    def metrics(self) -> dict:
+        """The daemon's metrics-registry snapshot (JSON form)."""
+        return self._call("metrics")
+
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return str(self._call("metrics_text"))
+
+    def slow_queries(self) -> list:
+        """The daemon's slow-query log entries (empty when disabled)."""
+        return list(self._call("slow_queries"))
 
     def epoch(self) -> int:
         """The daemon's current snapshot epoch (one round trip).

@@ -23,12 +23,29 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Optional
 
 from repro.core.server import SDBServer
 from repro.net import protocol
+from repro.obs.metrics import DEFAULT_BUCKETS, global_metrics, render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NOOP_SPAN, SPANS_KEY, TRACE_KEY, Tracer
 from repro.sql import ast
+
+#: Wall time per dispatched wire operation, by op name (shape-only).
+_OP_SECONDS = global_metrics().histogram(
+    "sdb_server_op_seconds",
+    "daemon-side wall time per wire operation",
+    buckets=DEFAULT_BUCKETS,
+)
+
+#: Requests refused because a session's dispatch queue was full.
+_ADMIT_REJECTS = global_metrics().counter(
+    "sdb_admission_rejections_total",
+    "statements refused by admission control, by layer",
+)
 
 
 class _RequestHandler(socketserver.BaseRequestHandler):
@@ -119,8 +136,35 @@ class _RequestHandler(socketserver.BaseRequestHandler):
             return False
 
     def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        ctx = request.get(TRACE_KEY)
+        # trace stitching: a request carrying a trace context gets its own
+        # throwaway tracer -- the daemon span opens under the *client's*
+        # span id, and every span finished during this request rides back
+        # on the response (the daemon retains nothing).  Legacy requests
+        # (no context) skip all of it.
+        tracer = Tracer(enabled=True, capacity=256) if isinstance(ctx, dict) else None
+        span_cm = (
+            tracer.span(f"sp:{op}", parent_ctx=ctx, origin="daemon")
+            if tracer is not None
+            else NOOP_SPAN
+        )
+        t0 = time.perf_counter()
+        with span_cm:
+            response = self._dispatch_inner(request, op)
+        elapsed = time.perf_counter() - t0
+        _OP_SECONDS.labels(op=str(op)).observe(elapsed)
+        self.server.slowlog.maybe_record(
+            elapsed,
+            f"op-{op}",
+            trace_id=ctx.get("t") if isinstance(ctx, dict) else None,
+        )
+        if tracer is not None:
+            response[SPANS_KEY] = [span.to_dict() for span in tracer.spans()]
+        return response
+
+    def _dispatch_inner(self, request: dict, op) -> dict:
         try:
-            op = request["op"]
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
                 raise protocol.NetError(f"unknown operation {op!r}")
@@ -228,6 +272,20 @@ class _RequestHandler(socketserver.BaseRequestHandler):
 
     def _op_epoch(self, request: dict):
         return self._sdb.epoch
+
+    # -- observability ----------------------------------------------------------
+
+    def _op_metrics(self, request: dict):
+        """The process metrics registry as a JSON-able snapshot."""
+        return global_metrics().snapshot()
+
+    def _op_metrics_text(self, request: dict):
+        """The same registry in Prometheus text exposition format."""
+        return render_prometheus(global_metrics().snapshot())
+
+    def _op_slow_queries(self, request: dict):
+        """Entries from the daemon's slow-query log ([] when disabled)."""
+        return self.server.slowlog.entries()
 
     # -- SHARD_* operations (cluster coordinator traffic) ----------------------
     #
@@ -374,9 +432,12 @@ class SDBNetServer(socketserver.ThreadingTCPServer):
         sdb_server: Optional[SDBServer] = None,
         max_workers: int = 8,
         max_session_queue: int = 64,
+        slow_query_s: Optional[float] = None,
     ):
         super().__init__(address, _RequestHandler)
         self.sdb_server = sdb_server or SDBServer()
+        #: daemon-side slow-operation log (inert until a threshold is set)
+        self.slowlog = SlowQueryLog(slow_query_s)
         self.executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sdb-session"
         )
@@ -394,6 +455,7 @@ class SDBNetServer(socketserver.ThreadingTCPServer):
         with self._tails_lock:
             count = self._session_pending.get(session_key, 0)
             if count >= self.max_session_queue:
+                _ADMIT_REJECTS.labels(layer="server").inc()
                 return False
             self._session_pending[session_key] = count + 1
             return True
@@ -462,6 +524,7 @@ def start_server(
     sdb_server: Optional[SDBServer] = None,
     max_workers: int = 8,
     max_session_queue: int = 64,
+    slow_query_s: Optional[float] = None,
 ) -> tuple[SDBNetServer, threading.Thread]:
     """Start a daemon thread serving on ``(host, port)``.
 
@@ -470,7 +533,7 @@ def start_server(
     """
     server = SDBNetServer(
         (host, port), sdb_server=sdb_server, max_workers=max_workers,
-        max_session_queue=max_session_queue,
+        max_session_queue=max_session_queue, slow_query_s=slow_query_s,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="sdb-sp", daemon=True

@@ -1,0 +1,39 @@
+"""Leakage-safe observability: tracing, metrics, and a slow-query log.
+
+Telemetry in an encrypted database is itself a disclosure channel: a span
+attribute or metric label that carries a decrypted value, key material, or
+a shard-key plaintext hands the SP-side operator exactly what the crypto
+was bought to hide.  Everything in this package therefore deals in
+**operator shapes only** -- durations, row counts, route kinds, shard
+indices, cache hit ratios -- and every emission API (``Span.set_attr``,
+``Counter.labels``, ``Histogram.observe``, ``SlowQueryLog.
+record_slow_query``) is registered as a taint *sink* in
+:mod:`repro.analysis.contracts`, so ``sdb-lint`` statically proves no
+plaintext can flow into a span, metric label, or log line.
+
+Three subsystems:
+
+* :mod:`repro.obs.trace` -- ``Tracer``/``Span`` with monotonic timings and
+  parent/child links; trace context propagates across the wire protocol so
+  daemon-side spans stitch into the client's trace.
+* :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
+  histograms with Prometheus-text and JSON export; a process-global
+  registry keeps the hot-path cost to one dict update under a lock.
+* :mod:`repro.obs.slowlog` -- a bounded slow-query log capturing the span
+  tree and ``QueryReport`` of queries over a configurable threshold.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    MetricsRegistry,
+    global_metrics,
+    render_prometheus,
+)
+from repro.obs.slowlog import SlowQueryLog  # noqa: F401
+from repro.obs.trace import (  # noqa: F401
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    child_span,
+    current_span,
+    render_span_tree,
+)

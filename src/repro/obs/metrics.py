@@ -1,0 +1,310 @@
+"""Counters, gauges, and fixed-bucket histograms with text/JSON export.
+
+A :class:`MetricsRegistry` names metrics once and hands out cheap handles;
+the hot-path cost of an increment is one dict update under a lock.  Label
+*values* are the disclosure channel -- a label carrying a decrypted value
+would publish it to any scrape endpoint -- so :meth:`Counter.labels` /
+:meth:`Gauge.labels` / :meth:`Histogram.labels` and
+:meth:`Histogram.observe` are declared taint sinks in
+:mod:`repro.analysis.contracts`: ``sdb-lint`` proves statically that only
+operator shapes (route kinds, layer names, cache names) reach them.
+
+The process-global registry (:func:`global_metrics`) is deliberate: a
+daemon process exports one registry over the ``metrics`` wire op, a client
+process reads the same registry through ``connection.metrics()``, and
+components (replica groups, admission control, statement caches) increment
+module-level handles without any constructor plumbing.  Counters only ever
+grow, so concurrent tests assert deltas, not absolutes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+#: Default latency buckets (seconds): sub-ms crypto ops up to multi-second
+#: fallback gathers.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for small integer shapes (scatter fan-out, retry counts).
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared naming/locking for the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict = {}
+
+    def labels(self, **labels) -> "_CounterChild":
+        """Select a labeled child.  **Declared taint sink**: label values
+        must be operator shapes (route kinds, layer names), never data."""
+        return _CounterChild(self, _label_key(labels))
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class _CounterChild:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Counter, key: tuple):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._values[self._key] = (
+                metric._values.get(self._key, 0.0) + amount
+            )
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (in-flight requests, pool sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict = {}
+
+    def labels(self, **labels) -> "_GaugeChild":
+        """Select a labeled child.  **Declared taint sink** -- see
+        :meth:`Counter.labels`."""
+        return _GaugeChild(self, _label_key(labels))
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().inc(-amount)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class _GaugeChild:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Gauge, key: tuple):
+        self._metric = metric
+        self._key = key
+
+    def set(self, value: float) -> None:
+        with self._metric._lock:
+            self._metric._values[self._key] = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._values[self._key] = (
+                metric._values.get(self._key, 0.0) + amount
+            )
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution (cumulative counts, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        #: label key -> [bucket counts..., +Inf count, sum]
+        self._series: dict = {}
+
+    def labels(self, **labels) -> "_HistogramChild":
+        """Select a labeled child.  **Declared taint sink** -- see
+        :meth:`Counter.labels`."""
+        return _HistogramChild(self, _label_key(labels))
+
+    def observe(self, value: float) -> None:
+        """Record one sample.  **Declared taint sink**: samples must be
+        durations or shape counts, never data values."""
+        self.labels().observe(value)
+
+    def _observe(self, key: tuple, value: float) -> None:
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [0] * (len(self.buckets) + 1) + [0.0]
+                self._series[key] = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series[i] += 1
+                    break
+            else:
+                series[len(self.buckets)] += 1
+            series[-1] += value
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return sum(series[:-1]) if series else 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            values = []
+            for key, series in sorted(self._series.items()):
+                cumulative = []
+                running = 0
+                for i in range(len(self.buckets)):
+                    running += series[i]
+                    cumulative.append(running)
+                total = running + series[len(self.buckets)]
+                values.append(
+                    {
+                        "labels": dict(key),
+                        "buckets": {
+                            str(bound): cumulative[i]
+                            for i, bound in enumerate(self.buckets)
+                        },
+                        "count": total,
+                        "sum": series[-1],
+                    }
+                )
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class _HistogramChild:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Histogram, key: tuple):
+        self._metric = metric
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)
+
+
+class MetricsRegistry:
+    """Named metrics; re-registration returns the existing instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict = {}
+
+    def _get(self, name: str, factory, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(name, help, buckets), Histogram
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-able state of every registered metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition of a :meth:`MetricsRegistry.snapshot`."""
+    lines: list = []
+    for name, metric in snapshot.items():
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for row in metric.get("values", ()):
+            labels = row.get("labels") or {}
+            if metric["type"] == "histogram":
+                for bound, count in row["buckets"].items():
+                    le = dict(labels, le=bound)
+                    lines.append(f"{name}_bucket{_fmt_labels(le)} {count}")
+                inf = dict(labels, le="+Inf")
+                lines.append(f"{name}_bucket{_fmt_labels(inf)} {row['count']}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {row['sum']}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {row['count']}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} {_fmt_num(row['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt_num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_GLOBAL: Optional[MetricsRegistry] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry (daemon export, connection.metrics())."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        with _GLOBAL_LOCK:
+            if _GLOBAL is None:
+                _GLOBAL = MetricsRegistry()
+    return _GLOBAL

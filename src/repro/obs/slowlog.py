@@ -1,0 +1,82 @@
+"""Bounded slow-query log: span tree + report for thresholded queries.
+
+Configurable on the coordinator (``slow_query_s=``), the net daemon
+(``--slow-query-ms`` on ``sdb-server``), and the session layer
+(``connect(..., slow_query_s=...)``).  An offending query's entry carries
+its elapsed time, statement kind, trace id, and a rendered body -- the
+span tree plus the ``QueryReport`` text, both of which are shape-only by
+construction (the report shows the *rewritten* SQL the SP already sees,
+never the original statement).
+
+:meth:`SlowQueryLog.record_slow_query` is a declared taint sink
+(:mod:`repro.analysis.contracts`): ``sdb-lint`` proves no decrypted value
+or key material is interpolated into an entry.  The log line emitted to
+the ``repro.obs.slowlog`` logger is shape-only (kind, elapsed, span
+count); the full body stays in the in-process ring buffer.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+logger = logging.getLogger("repro.obs.slowlog")
+
+
+class SlowQueryLog:
+    """Ring buffer of queries that exceeded the configured threshold."""
+
+    def __init__(self, threshold_s: Optional[float] = None,
+                 capacity: int = 128):
+        self.threshold_s = threshold_s
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None
+
+    def is_slow(self, elapsed_s: float) -> bool:
+        return self.threshold_s is not None and elapsed_s >= self.threshold_s
+
+    def record_slow_query(self, elapsed_s: float, kind: str, body: str = "",
+                          trace_id: Optional[str] = None) -> None:
+        """Record one offending query.  **Declared taint sink**: ``kind``
+        and ``body`` must carry operator shapes and SP-visible rewritten
+        text only -- never plaintext or key material."""
+        entry = {
+            "unix_time": time.time(),
+            "elapsed_s": elapsed_s,
+            "kind": kind,
+            "trace_id": trace_id,
+            "body": body,
+        }
+        with self._lock:
+            self._entries.append(entry)
+        logger.warning(
+            "slow query: kind=%s elapsed_ms=%.1f trace=%s body_lines=%d",
+            kind, elapsed_s * 1000.0, trace_id, body.count("\n") + 1,
+        )
+
+    def maybe_record(self, elapsed_s: float, kind: str, body: str = "",
+                     trace_id: Optional[str] = None) -> bool:
+        """Record iff over threshold; returns whether it recorded."""
+        if not self.is_slow(elapsed_s):
+            return False
+        self.record_slow_query(elapsed_s, kind, body, trace_id)
+        return True
+
+    def entries(self) -> list:
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

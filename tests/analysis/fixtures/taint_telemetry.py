@@ -1,0 +1,39 @@
+"""Fixture: plaintext must not enter span attributes, metric labels, or
+slow-query-log entries (the ``repro.obs`` emission surface)."""
+
+from repro.analysis.contracts import plaintext_source
+
+
+@plaintext_source
+def decrypt_cell(share, key):
+    return share * key
+
+
+def bad_span_attr(span, share, key):
+    value = decrypt_cell(share, key)
+    span.set_attr("cell", value)
+
+
+def bad_metric_label(counter, share, key):
+    value = decrypt_cell(share, key)
+    counter.labels(route=value).inc()
+
+
+def bad_slowlog_body(log, share, key):
+    value = decrypt_cell(share, key)
+    log.record_slow_query(1.0, "select", f"slow on {value}")
+
+
+def ok_span_shape(span, values, key):
+    cells = [decrypt_cell(v, key) for v in values]
+    span.set_attr("rows", len(cells))
+
+
+def ok_metric_shape(counter, share, key):
+    decrypt_cell(share, key)
+    counter.labels(route="scatter").inc()
+
+
+def ok_slowlog_shape(log, values, key):
+    cells = [decrypt_cell(v, key) for v in values]
+    log.record_slow_query(1.0, "select", f"decrypted {len(cells)} cells")

@@ -39,6 +39,15 @@ CASES = [
         {"taint_log.bad_log_plaintext"},
     ),
     (
+        "taint_telemetry.py",
+        "taint-to-telemetry",
+        {
+            "taint_telemetry.bad_span_attr",
+            "taint_telemetry.bad_metric_label",
+            "taint_telemetry.bad_slowlog_body",
+        },
+    ),
+    (
         "lock_release.py",
         "lock-no-release",
         {"lock_release.Registry.bad_acquire_no_finally"},

@@ -274,3 +274,36 @@ def test_sql_txn_statements_drive_the_prompt(shell):
 def test_help_lists_txn_commands(shell):
     out = shell.execute_line("\\help")
     assert "\\begin" in out and "\\commit" in out and "\\rollback" in out
+
+
+def test_stats_command_renders_live_metrics(shell):
+    shell.execute_line("SELECT COUNT(*) AS c FROM pay")
+    out = shell.execute_line("\\stats")
+    assert "sdb_query_seconds (histogram)" in out
+    assert "session (session)" in out
+    assert "counter=cache_misses} 1" in out
+
+
+def test_trace_command_toggles_and_renders_span_tree(shell):
+    assert "off" in shell.execute_line("\\trace off")
+    assert shell.execute_line("\\trace") == "tracing is off (\\trace on)"
+    assert "on" in shell.execute_line("\\trace on")
+    shell.execute_line("SELECT dept, SUM(salary) AS t FROM pay GROUP BY dept")
+    tree = shell.execute_line("\\trace")
+    assert tree.startswith("- query (")
+    assert "- decrypt (" in tree
+    assert "salary" not in tree  # shape only: no plaintext column values
+
+
+def test_slowlog_command_arms_and_lists(shell):
+    assert "off" in shell.execute_line("\\slowlog")
+    assert "armed" in shell.execute_line("\\slowlog 0.0001")
+    shell.execute_line("SELECT COUNT(*) AS c FROM pay")
+    out = shell.execute_line("\\slowlog")
+    assert "ms select" in out
+    assert "rewritten:" in out
+
+
+def test_help_lists_observability_commands(shell):
+    out = shell.execute_line("\\help")
+    assert "\\stats" in out and "\\trace" in out and "\\slowlog" in out

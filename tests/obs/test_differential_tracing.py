@@ -1,0 +1,123 @@
+"""Tracing must never change answers: on/off row-identical over TPC-H.
+
+The same generated TPC-H data is loaded into twin deployments per shard
+count -- one connection with tracing + slow-query logging armed, one with
+both off -- and a representative query slice must decrypt to identical
+rows.  The asyncio tier runs the same check over its own twin pair.
+"""
+
+import asyncio
+
+import pytest
+
+import repro.api as api
+import repro.api.aio as aio
+from repro.crypto.prf import seeded_rng
+from repro.workloads.tpch.dbgen import generate
+from repro.workloads.tpch.loader import DEFAULT_SHARD_COLUMNS, load_encrypted
+from repro.workloads.tpch.queries import QUERIES
+
+SCALE_FACTOR = 0.0004
+SEED = 19920101
+
+#: a slice covering every route shape: single-table scatter aggregate
+#: (1, 6), co-shard join (4, 12), fallback materialization (3)
+QUERY_NUMBERS = (1, 3, 4, 6, 12)
+
+
+_DATA = None
+
+
+def _load(proxy, sharded: bool):
+    global _DATA
+    if _DATA is None:
+        _DATA = generate(scale_factor=SCALE_FACTOR, seed=SEED)
+    load_encrypted(
+        proxy, _DATA, rng=seeded_rng(11),
+        shard_by=DEFAULT_SHARD_COLUMNS if sharded else None,
+    )
+
+
+def _build(num_shards: int, tracing: bool):
+    conn = api.connect(
+        shards=num_shards, modulus_bits=256, value_bits=64,
+        rng=seeded_rng(10), tracing=tracing,
+        slow_query_s=0.0 if tracing else None,
+    )
+    _load(conn.proxy, sharded=True)
+    return conn
+
+
+@pytest.fixture(scope="module", params=[1, 4])
+def twins(request):
+    plain = _build(request.param, tracing=False)
+    traced = _build(request.param, tracing=True)
+    yield plain, traced
+    plain.close()
+    traced.close()
+
+
+def _normalize(rows):
+    return sorted(
+        [tuple(round(v, 4) if isinstance(v, float) else v for v in row)
+         for row in rows],
+        key=repr,
+    )
+
+
+@pytest.mark.parametrize("number", QUERY_NUMBERS)
+def test_rows_identical_with_tracing_on(twins, number):
+    plain, traced = twins
+    sql = QUERIES[number]
+    expected = _normalize(plain.cursor().execute(sql).fetchall())
+    actual = _normalize(traced.cursor().execute(sql).fetchall())
+    assert actual == expected
+    # and the traced twin actually recorded a span tree for the query
+    spans = traced.trace_spans()
+    assert any(s.name == "query" for s in spans)
+    assert traced.span_tree().startswith("- query (")
+
+
+def test_traced_connection_logs_every_query_at_zero_threshold(twins):
+    plain, traced = twins
+    traced.slowlog.clear()
+    traced.cursor().execute(QUERIES[6]).fetchall()
+    assert len(traced.slow_queries()) >= 1
+    assert plain.slow_queries() == []
+
+
+def test_plain_connection_records_no_spans(twins):
+    plain, _ = twins
+    plain.cursor().execute(QUERIES[6]).fetchall()
+    assert plain.trace_spans() == []
+    assert not plain.tracer.enabled
+
+
+@pytest.mark.parametrize("num_shards", [1, 4])
+def test_asyncio_rows_identical_with_tracing_on(num_shards):
+    async def run():
+        plain = await aio.aconnect(
+            shards=num_shards, modulus_bits=256, value_bits=64,
+            rng=seeded_rng(10),
+        )
+        traced = await aio.aconnect(
+            shards=num_shards, modulus_bits=256, value_bits=64,
+            rng=seeded_rng(10), tracing=True,
+        )
+        try:
+            await plain.run_sync(lambda c: _load(c.proxy, sharded=True))
+            await traced.run_sync(lambda c: _load(c.proxy, sharded=True))
+            for number in (1, 6):
+                sql = QUERIES[number]
+                cur = await plain.execute(sql)
+                expected = _normalize(await cur.fetchall())
+                cur = await traced.execute(sql)
+                actual = _normalize(await cur.fetchall())
+                assert actual == expected
+            assert any(s.name == "query" for s in traced.trace_spans())
+            assert plain.trace_spans() == []
+        finally:
+            await plain.close()
+            await traced.close()
+
+    asyncio.run(run())

@@ -1,0 +1,162 @@
+"""Counters move when the instrumented events fire.
+
+Every metric here is process-global and monotonic, so each test reads the
+counter before and after provoking its event and asserts the delta --
+robust to other tests having already bumped the same counter.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.api.exceptions import OperationalError
+from repro.cluster import FaultInjector, FaultyBackend, ShardGroup
+from repro.cluster.coordinator import ServerBusyError
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.obs.metrics import global_metrics
+
+COLUMNS = [("id", ValueType.int_()), ("v", ValueType.decimal(2))]
+ROWS = [(i, float(i) * 1.5) for i in range(1, 9)]
+
+
+def counter_total(name: str, **labels) -> float:
+    metric = global_metrics().counter(name)
+    if labels:
+        return metric.value(**labels)
+    snap = metric.snapshot()
+    return sum(row["value"] for row in snap["values"])
+
+
+def _connect(**kwargs):
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(41), **kwargs,
+    )
+    conn.proxy.create_table(
+        "t", COLUMNS, ROWS, sensitive=["v"], rng=seeded_rng(42)
+    )
+    return conn
+
+
+def test_statement_cache_counters_move():
+    conn = _connect(statement_cache_size=2)
+    hits0 = counter_total("sdb_stmt_cache_total", outcome="hit")
+    misses0 = counter_total("sdb_stmt_cache_total", outcome="miss")
+    evict0 = counter_total("sdb_stmt_cache_total", outcome="eviction")
+
+    cursor = conn.cursor()
+    cursor.execute("SELECT COUNT(*) AS c FROM t")          # miss
+    cursor.execute("SELECT COUNT(*) AS c FROM t")          # hit
+    cursor.execute("SELECT SUM(v) AS s FROM t")            # miss
+    cursor.execute("SELECT MAX(v) AS m FROM t")            # miss -> eviction
+
+    assert counter_total("sdb_stmt_cache_total", outcome="hit") == hits0 + 1
+    assert counter_total("sdb_stmt_cache_total", outcome="miss") == misses0 + 3
+    assert counter_total("sdb_stmt_cache_total", outcome="eviction") >= evict0 + 1
+    conn.close()
+
+
+def test_plan_cache_eviction_counter_moves():
+    conn = _connect()
+    statement = conn.prepare("SELECT COUNT(*) AS c FROM t WHERE id > ?")
+    statement.MAX_PLAN_VARIANTS = 1  # shrink this statement's LRU
+    before = counter_total("sdb_plan_cache_evictions_total")
+    cursor = conn.cursor()
+    cursor.execute(statement, [3])      # int signature
+    cursor.execute(statement, [3.5])    # float signature evicts the first
+    assert counter_total("sdb_plan_cache_evictions_total") >= before + 1
+    conn.close()
+
+
+def test_txn_conflict_counter_moves():
+    conn = _connect()
+    a = api.connect(proxy=conn.proxy)
+    b = api.connect(proxy=conn.proxy)
+    before = counter_total("sdb_txn_conflicts_total")
+    a.begin()
+    b.begin()
+    a.execute("UPDATE t SET v = v + ? WHERE id = ?", [1.0, 4])
+    b.execute("UPDATE t SET v = v + ? WHERE id = ?", [2.0, 4])
+    a.commit()
+    with pytest.raises(api.TransactionConflict):
+        b.commit()
+    assert counter_total("sdb_txn_conflicts_total") >= before + 1
+    a.close()
+    b.close()
+    conn.close()
+
+
+def test_coordinator_admission_rejection_counter_moves():
+    conn = api.connect(shards=2, modulus_bits=256, value_bits=64,
+                       rng=seeded_rng(43))
+    coordinator = conn.proxy.server
+    coordinator.max_session_inflight = 1
+    before = counter_total(
+        "sdb_admission_rejections_total", layer="coordinator"
+    )
+    with coordinator._admit("s1"):
+        with pytest.raises((ServerBusyError, OperationalError)):
+            with coordinator._admit("s1"):
+                pass
+    assert counter_total(
+        "sdb_admission_rejections_total", layer="coordinator"
+    ) == before + 1
+    conn.close()
+
+
+def test_server_admission_rejection_counter_moves():
+    from repro.net.server import SDBNetServer
+
+    server = SDBNetServer(("127.0.0.1", 0), sdb_server=SDBServer(),
+                          max_session_queue=1)
+    try:
+        before = counter_total(
+            "sdb_admission_rejections_total", layer="server"
+        )
+        assert server.admit_session_request("s1")
+        assert not server.admit_session_request("s1")  # queue full
+        assert counter_total(
+            "sdb_admission_rejections_total", layer="server"
+        ) == before + 1
+        server.release_session_request("s1")
+    finally:
+        server.server_close()
+
+
+def test_replica_retry_and_eviction_counters_move():
+    injector = FaultInjector()
+    members = [
+        FaultyBackend(SDBServer(shard_id=0), f"m{o}", injector)
+        for o in range(2)
+    ]
+    group = ShardGroup(members)
+    retries0 = counter_total("sdb_replica_read_retries_total")
+    evict0 = counter_total("sdb_replica_evictions_total")
+    injector.kill("m0")
+    assert group.ping()  # retried onto the survivor, m0 evicted
+    assert counter_total("sdb_replica_read_retries_total") >= retries0 + 1
+    assert counter_total("sdb_replica_evictions_total") == evict0 + 1
+
+
+def test_query_latency_histogram_observes_by_route():
+    hist = global_metrics().histogram("sdb_query_seconds")
+    before = hist.count(route="single")
+    conn = _connect()
+    conn.cursor().execute("SELECT COUNT(*) AS c FROM t").fetchall()
+    assert hist.count(route="single") == before + 1
+    conn.close()
+
+
+def test_scatter_fanout_histogram_observes_shard_count():
+    hist = global_metrics().histogram("sdb_scatter_fanout_shards")
+    before = hist.count()
+    conn = api.connect(shards=3, modulus_bits=256, value_bits=64,
+                       rng=seeded_rng(44))
+    conn.proxy.create_table(
+        "t", COLUMNS, ROWS, sensitive=["v"], rng=seeded_rng(45),
+        shard_by="id",
+    )
+    conn.cursor().execute("SELECT COUNT(*) AS c FROM t").fetchall()
+    assert hist.count() >= before + 1
+    conn.close()

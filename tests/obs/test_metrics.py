@@ -1,0 +1,89 @@
+"""Metrics registry unit tier: counters, gauges, histograms, exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    global_metrics,
+    render_prometheus,
+)
+
+
+def test_counter_counts_per_label_set():
+    registry = MetricsRegistry()
+    counter = registry.counter("reqs_total", "requests")
+    counter.inc()
+    counter.inc(2.0)
+    counter.labels(route="scatter").inc()
+    assert counter.value() == 3.0
+    assert counter.value(route="scatter") == 1.0
+    assert counter.value(route="other") == 0.0
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("inflight", "in-flight")
+    gauge.set(5.0)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value() == 4.0
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    hist = registry.histogram("fanout", "shards", buckets=COUNT_BUCKETS)
+    for value in (1, 2, 2, 100):
+        hist.observe(value)
+    assert hist.count() == 4
+    snap = hist.snapshot()
+    row = snap["values"][0]
+    assert row["buckets"]["1.0"] == 1
+    assert row["buckets"]["2.0"] == 3
+    assert row["buckets"]["64.0"] == 3  # the 100 lands only in +Inf
+    assert row["count"] == 4
+    assert row["sum"] == pytest.approx(105.0)
+
+
+def test_registration_is_idempotent_by_name():
+    registry = MetricsRegistry()
+    a = registry.counter("dup_total", "first")
+    b = registry.counter("dup_total", "second registration ignored")
+    assert a is b
+    with pytest.raises(ValueError):
+        registry.gauge("dup_total")  # same name, different kind
+
+
+def test_global_registry_is_a_singleton():
+    assert global_metrics() is global_metrics()
+
+
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "help text").labels(kind="x").inc()
+    snap = registry.snapshot()
+    assert snap["c_total"]["type"] == "counter"
+    assert snap["c_total"]["help"] == "help text"
+    assert snap["c_total"]["values"] == [
+        {"labels": {"kind": "x"}, "value": 1.0}
+    ]
+
+
+def test_render_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("sdb_reqs_total", "requests served").labels(
+        route="scatter"
+    ).inc(3)
+    registry.gauge("sdb_pool", "pool size").set(7)
+    registry.histogram("sdb_lat_seconds", "latency",
+                       buckets=(0.1, 1.0)).observe(0.5)
+    text = render_prometheus(registry.snapshot())
+    assert "# HELP sdb_reqs_total requests served" in text
+    assert "# TYPE sdb_reqs_total counter" in text
+    assert 'sdb_reqs_total{route="scatter"} 3' in text
+    assert "sdb_pool 7" in text
+    assert 'sdb_lat_seconds_bucket{le="0.1"} 0' in text
+    assert 'sdb_lat_seconds_bucket{le="1.0"} 1' in text
+    assert 'sdb_lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "sdb_lat_seconds_count 1" in text
+    assert "sdb_lat_seconds_sum 0.5" in text

@@ -1,0 +1,82 @@
+"""QueryReport timing section: new phases ride along, legacy fields pinned.
+
+The report's pre-existing surface (rewritten SQL, cost split, declared
+leakage, notes) must be byte-identical whether tracing is on or off --
+the timing section is additive and populated from always-on phase timers,
+not from the tracer.
+"""
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+
+COLUMNS = [("id", ValueType.int_()), ("v", ValueType.decimal(2))]
+ROWS = [(i, float(i * 7) + 0.25) for i in range(1, 13)]
+
+
+def _connect(tracing: bool, shards=None):
+    kwargs = {"shards": shards} if shards else {"server": SDBServer()}
+    conn = api.connect(
+        modulus_bits=256, value_bits=64, rng=seeded_rng(61),
+        tracing=tracing, **kwargs,
+    )
+    conn.proxy.create_table(
+        "t", COLUMNS, ROWS, sensitive=["v"], rng=seeded_rng(62),
+        shard_by="id" if shards else None,
+    )
+    return conn
+
+
+SQL = "SELECT SUM(v) AS s FROM t WHERE id > ?"
+
+
+def test_report_carries_phase_timings_without_tracing():
+    conn = _connect(tracing=False)
+    cursor = conn.cursor().execute(SQL, [3])
+    cursor.fetchall()
+    timing = cursor.report.timing
+    assert timing is not None
+    for phase in ("parse", "rewrite", "bind", "server", "decrypt"):
+        assert phase in timing
+        assert timing[phase] >= 0.0
+    conn.close()
+
+
+def test_cluster_report_adds_route_scatter_merge_phases():
+    conn = _connect(tracing=False, shards=3)
+    cursor = conn.cursor().execute(SQL, [3])
+    cursor.fetchall()
+    timing = cursor.report.timing
+    assert timing is not None
+    for phase in ("route", "scatter", "merge"):
+        assert phase in timing, f"missing cluster phase {phase!r}"
+    conn.close()
+
+
+def test_pretty_renders_the_timing_section():
+    conn = _connect(tracing=False)
+    cursor = conn.cursor().execute(SQL, [3])
+    cursor.fetchall()
+    text = cursor.report.pretty()
+    assert "timing:" in text
+    assert "rewrite:" in text and "decrypt:" in text
+    assert " ms" in text
+    conn.close()
+
+
+def test_legacy_report_fields_identical_with_tracing_on():
+    off = _connect(tracing=False)
+    on = _connect(tracing=True)
+    cur_off = off.cursor().execute(SQL, [5])
+    cur_on = on.cursor().execute(SQL, [5])
+    assert cur_off.fetchall() == cur_on.fetchall()
+    r_off, r_on = cur_off.report, cur_on.report
+    assert r_off.rewritten_sql == r_on.rewritten_sql
+    assert r_off.leakage == r_on.leakage
+    assert r_off.notes == r_on.notes
+    assert r_off.kind == r_on.kind == "select"
+    # the cost split has the same fields (values are wall-clock, not pinned)
+    assert vars(r_off.cost).keys() == vars(r_on.cost).keys()
+    off.close()
+    on.close()

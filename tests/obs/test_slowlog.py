@@ -1,0 +1,71 @@
+"""Slow-query log unit tier: thresholds, ring buffer, session integration."""
+
+import repro.api as api
+from repro.core.meta import ValueType
+from repro.core.server import SDBServer
+from repro.crypto.prf import seeded_rng
+from repro.obs.slowlog import SlowQueryLog
+
+
+def test_disabled_log_records_nothing():
+    log = SlowQueryLog()
+    assert not log.enabled
+    assert not log.maybe_record(99.0, "select")
+    assert log.entries() == []
+
+
+def test_threshold_gates_recording():
+    log = SlowQueryLog(threshold_s=0.5)
+    assert not log.maybe_record(0.4, "select")
+    assert log.maybe_record(0.5, "select", body="line1\nline2", trace_id="t1")
+    entries = log.entries()
+    assert len(entries) == 1
+    assert entries[0]["kind"] == "select"
+    assert entries[0]["elapsed_s"] == 0.5
+    assert entries[0]["trace_id"] == "t1"
+    assert entries[0]["body"] == "line1\nline2"
+
+
+def test_capacity_is_a_ring():
+    log = SlowQueryLog(threshold_s=0.0, capacity=3)
+    for i in range(5):
+        log.record_slow_query(float(i), f"k{i}")
+    assert [e["kind"] for e in log.entries()] == ["k2", "k3", "k4"]
+    log.clear()
+    assert len(log) == 0
+
+
+def test_session_slow_query_log_captures_report_and_spans():
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(31), tracing=True, slow_query_s=0.0,
+    )
+    conn.proxy.create_table(
+        "t", [("id", ValueType.int_()), ("v", ValueType.decimal(2))],
+        [(1, 10.0), (2, 20.0)], sensitive=["v"], rng=seeded_rng(32),
+    )
+    conn.cursor().execute("SELECT SUM(v) AS s FROM t").fetchall()
+    entries = conn.slow_queries()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["kind"] == "select"
+    assert entry["trace_id"] == conn.tracer.last_trace_id
+    # the body carries the rewritten-SQL report and the span tree --
+    # SP-visible shapes only, never the plaintext values
+    assert "rewritten:" in entry["body"]
+    assert "timing:" in entry["body"]
+    assert "- query (" in entry["body"]
+    conn.close()
+
+
+def test_fast_queries_stay_out_of_the_log():
+    conn = api.connect(
+        server=SDBServer(), modulus_bits=256, value_bits=64,
+        rng=seeded_rng(33), slow_query_s=60.0,
+    )
+    conn.proxy.create_table(
+        "t", [("id", ValueType.int_())], [(1,)], rng=seeded_rng(34),
+    )
+    conn.cursor().execute("SELECT COUNT(*) AS c FROM t").fetchall()
+    assert conn.slow_queries() == []
+    conn.close()

@@ -1,0 +1,136 @@
+"""Tracer/Span unit tier: links, ambient propagation, stitching, rendering."""
+
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    Tracer,
+    child_span,
+    current_span,
+    render_span_tree,
+)
+
+
+def test_root_span_opens_a_new_trace():
+    tracer = Tracer()
+    with tracer.span("query") as span:
+        assert span.trace_id and span.span_id
+        assert span.parent_id is None
+    assert tracer.last_trace_id == span.trace_id
+    assert [s.name for s in tracer.spans()] == ["query"]
+
+
+def test_children_link_by_ambient_context():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        assert current_span() is root
+        with child_span("inner") as inner:
+            assert inner.trace_id == root.trace_id
+            assert inner.parent_id == root.span_id
+            assert current_span() is inner
+        assert current_span() is root
+    assert current_span() is None
+
+
+def test_explicit_parent_wins_over_ambient():
+    tracer = Tracer()
+    with tracer.span("a") as a:
+        pass
+    with tracer.span("b"):
+        with tracer.span("c", parent=a) as c:
+            assert c.parent_id == a.span_id
+
+
+def test_parent_ctx_links_under_a_remote_span():
+    tracer = Tracer()
+    remote_ctx = {"t": "abcd" * 4, "s": "1234" * 2}
+    with tracer.span("daemon-op", parent_ctx=remote_ctx, origin="daemon") as sp:
+        assert sp.trace_id == remote_ctx["t"]
+        assert sp.parent_id == remote_ctx["s"]
+        assert sp.origin == "daemon"
+
+
+def test_record_timed_retro_records_a_phase():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        t0 = time.perf_counter()
+        tracer.record_timed("phase", root, t0, t0 + 0.5, rows=3)
+    spans = {s.name: s for s in tracer.spans()}
+    phase = spans["phase"]
+    assert phase.parent_id == root.span_id
+    assert phase.duration_s == pytest.approx(0.5)
+    assert phase.attrs == {"rows": 3}
+
+
+def test_absorb_stitches_remote_spans_into_the_trace():
+    client = Tracer()
+    with client.span("query") as root:
+        # simulate a daemon answering with its own spans under our context
+        daemon = Tracer(capacity=16)
+        with daemon.span("sp:execute", parent_ctx=root.context(),
+                         origin="daemon") as dspan:
+            dspan.set_attr("op", "execute")
+        root.tracer.absorb([s.to_dict() for s in daemon.spans()])
+    spans = client.spans(client.last_trace_id)
+    names = {(s.name, s.origin) for s in spans}
+    assert ("query", "client") in names
+    assert ("sp:execute", "daemon") in names
+    stitched = next(s for s in spans if s.name == "sp:execute")
+    assert stitched.parent_id == root.span_id
+    assert stitched.attrs == {"op": "execute"}
+
+
+def test_spans_filter_by_trace_id():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    first = tracer.last_trace_id
+    with tracer.span("second"):
+        pass
+    assert [s.name for s in tracer.spans(first)] == ["first"]
+    assert len(tracer.spans()) == 2
+
+
+def test_capacity_bounds_the_buffer():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+
+def test_disabled_tracer_costs_nothing_and_records_nothing():
+    assert NOOP_TRACER.span("x") is NOOP_SPAN
+    assert not NOOP_SPAN  # falsy: `if span:` guards skip attribute work
+    with NOOP_TRACER.span("x") as span:
+        span.set_attr("k", "v")
+        assert current_span() is None
+    assert NOOP_TRACER.spans() == []
+    assert child_span("free") is NOOP_SPAN
+
+
+def test_render_span_tree_indents_children_and_tags_origin():
+    tracer = Tracer()
+    with tracer.span("query") as root:
+        with child_span("scatter") as sc:
+            sc.set_attr("shards", 2)
+            with child_span("shard", origin="daemon"):
+                pass
+    text = render_span_tree(tracer.spans(), trace_id=root.trace_id)
+    lines = text.splitlines()
+    assert lines[0].startswith("- query (")
+    assert any(line.startswith("  - scatter (") and "shards=2" in line
+               for line in lines)
+    assert any(line.startswith("    - shard [daemon]") for line in lines)
+
+
+def test_render_span_tree_roots_orphans():
+    tracer = Tracer()
+    tracer.absorb([
+        {"name": "lost", "trace": "t1", "span": "s1", "parent": "gone",
+         "start_s": 0.0, "end_s": 0.1, "origin": "daemon", "attrs": {}},
+    ])
+    assert render_span_tree(tracer.spans()).startswith("- lost [daemon]")
